@@ -1,0 +1,279 @@
+//! Image-space adversarial training — the other defence the paper's
+//! conclusion proposes ("adversarial training … to make the feature
+//! extraction more robust").
+//!
+//! Note the difference from AMR: AMR adversarially trains the *recommender*
+//! against feature perturbations; this module adversarially trains the
+//! *CNN* against image perturbations (Madry-style), hardening the feature
+//! extractor itself.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use taamr_nn::{Sgd, SgdConfig, TinyResNet};
+use taamr_tensor::Tensor;
+
+use crate::{Attack, AttackGoal, Epsilon, Pgd};
+
+/// Configuration of adversarial fine-tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialTrainingConfig {
+    /// Perturbation budget of the training-time adversary.
+    pub epsilon: Epsilon,
+    /// PGD steps of the training-time adversary (Madry et al. use 7–10;
+    /// smaller values trade robustness for speed).
+    pub attack_steps: usize,
+    /// Fraction of each batch replaced by adversarial examples (1.0 =
+    /// Madry-style pure adversarial training; 0.5 = mixed).
+    pub adversarial_fraction: f32,
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimiser configuration.
+    pub sgd: SgdConfig,
+}
+
+impl Default for AdversarialTrainingConfig {
+    fn default() -> Self {
+        AdversarialTrainingConfig {
+            epsilon: Epsilon::from_255(8.0),
+            attack_steps: 5,
+            adversarial_fraction: 0.5,
+            epochs: 5,
+            batch_size: 16,
+            sgd: SgdConfig { lr: 0.01, ..SgdConfig::default() },
+        }
+    }
+}
+
+/// Adversarially fine-tunes `net` on `(images, labels)`: each mini-batch is
+/// (partially) replaced by untargeted PGD examples generated against the
+/// *current* network before the gradient step. Returns the mean training
+/// loss per epoch.
+///
+/// # Panics
+///
+/// Panics if `images` is not NCHW, label counts mismatch, or the config is
+/// degenerate (zero epochs/batch, fraction outside `[0, 1]`).
+pub fn adversarial_finetune(
+    net: &mut TinyResNet,
+    images: &Tensor,
+    labels: &[usize],
+    config: &AdversarialTrainingConfig,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    assert_eq!(images.rank(), 4, "adversarial training expects NCHW images");
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "one label per image required");
+    assert!(config.epochs > 0 && config.batch_size > 0, "degenerate training schedule");
+    assert!(
+        (0.0..=1.0).contains(&config.adversarial_fraction),
+        "adversarial fraction must be in [0, 1]"
+    );
+    let sample_len: usize = images.dims()[1..].iter().product();
+    let attack = Pgd::with_steps(config.epsilon, config.attack_steps);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sgd = Sgd::new(config.sgd.clone());
+    let mut history = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(rng);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let (mut batch, batch_labels) = gather(images, labels, chunk, sample_len);
+            // Adversarialise a prefix of the batch. Untargeted PGD per the
+            // majority class is wrong for mixed labels, so attack per label
+            // group (all labels in the group share the goal).
+            let n_adv =
+                (chunk.len() as f32 * config.adversarial_fraction).round() as usize;
+            if n_adv > 0 {
+                let mut attack_rng = StdRng::seed_from_u64(rng.gen());
+                // Group indices by label to batch attacks with one goal.
+                let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> =
+                    std::collections::BTreeMap::new();
+                for (bi, &label) in batch_labels.iter().enumerate().take(n_adv) {
+                    by_label.entry(label).or_default().push(bi);
+                }
+                for (label, members) in by_label {
+                    let sub = gather_rows(&batch, &members, sample_len);
+                    let adv = attack.perturb(
+                        net,
+                        &sub,
+                        AttackGoal::Untargeted(label),
+                        &mut attack_rng,
+                    );
+                    scatter_rows(&mut batch, &adv.images, &members, sample_len);
+                }
+            }
+            net.zero_grads();
+            let loss = net.train_backward(&batch, &batch_labels);
+            sgd.step(&mut net.params_mut());
+            total += f64::from(loss);
+            batches += 1;
+        }
+        history.push((total / batches.max(1) as f64) as f32);
+        sgd.advance_epoch();
+    }
+    history
+}
+
+fn gather(
+    images: &Tensor,
+    labels: &[usize],
+    indices: &[usize],
+    sample_len: usize,
+) -> (Tensor, Vec<usize>) {
+    let mut dims = images.dims().to_vec();
+    dims[0] = indices.len();
+    let mut out = Tensor::zeros(&dims);
+    let src = images.as_slice();
+    let dst = out.as_mut_slice();
+    let mut out_labels = Vec::with_capacity(indices.len());
+    for (bi, &si) in indices.iter().enumerate() {
+        dst[bi * sample_len..(bi + 1) * sample_len]
+            .copy_from_slice(&src[si * sample_len..(si + 1) * sample_len]);
+        out_labels.push(labels[si]);
+    }
+    (out, out_labels)
+}
+
+fn gather_rows(batch: &Tensor, rows: &[usize], sample_len: usize) -> Tensor {
+    let mut dims = batch.dims().to_vec();
+    dims[0] = rows.len();
+    let mut out = Tensor::zeros(&dims);
+    for (bi, &si) in rows.iter().enumerate() {
+        out.as_mut_slice()[bi * sample_len..(bi + 1) * sample_len]
+            .copy_from_slice(&batch.as_slice()[si * sample_len..(si + 1) * sample_len]);
+    }
+    out
+}
+
+fn scatter_rows(batch: &mut Tensor, sub: &Tensor, rows: &[usize], sample_len: usize) {
+    for (bi, &si) in rows.iter().enumerate() {
+        batch.as_mut_slice()[si * sample_len..(si + 1) * sample_len]
+            .copy_from_slice(&sub.as_slice()[bi * sample_len..(bi + 1) * sample_len]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taamr_nn::{
+        ImageClassifier, LrSchedule, TinyResNetConfig, Trainer, TrainerConfig,
+    };
+    use taamr_tensor::seeded_rng;
+
+    fn easy_set(rng: &mut impl Rng) -> (Tensor, Vec<usize>) {
+        let n = 24;
+        let mut images = Tensor::zeros(&[n, 3, 8, 8]);
+        let mut labels = Vec::with_capacity(n);
+        let sample = 3 * 8 * 8;
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.25 } else { 0.75 };
+            for j in 0..sample {
+                images.as_mut_slice()[i * sample + j] = base + rng.gen_range(-0.05..0.05);
+            }
+            labels.push(class);
+        }
+        (images, labels)
+    }
+
+    fn pretrained(rng: &mut StdRng) -> (TinyResNet, Tensor, Vec<usize>) {
+        let arch = TinyResNetConfig::tiny_for_tests(2);
+        let mut net = TinyResNet::new(&arch, rng);
+        let (images, labels) = easy_set(rng);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 8,
+            batch_size: 8,
+            sgd: SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                schedule: LrSchedule::Constant,
+            },
+            log_every: 0,
+        });
+        trainer.fit(&mut net, &images, &labels, rng);
+        (net, images, labels)
+    }
+
+    /// Untargeted PGD success against `net` on the given set.
+    fn attack_success(net: &mut TinyResNet, images: &Tensor, labels: &[usize]) -> f64 {
+        let mut rng = seeded_rng(42);
+        let attack = Pgd::with_steps(Epsilon::from_255(8.0), 5);
+        // Attack per label group.
+        let mut fooled = 0usize;
+        let mut total = 0usize;
+        let sample_len: usize = images.dims()[1..].iter().product();
+        for label in [0usize, 1] {
+            let members: Vec<usize> =
+                (0..labels.len()).filter(|&i| labels[i] == label).collect();
+            let sub = gather_rows(images, &members, sample_len);
+            let adv = attack.perturb(net, &sub, AttackGoal::Untargeted(label), &mut rng);
+            fooled += adv.success.iter().filter(|&&s| s).count();
+            total += adv.success.len();
+        }
+        fooled as f64 / total as f64
+    }
+
+    #[test]
+    fn adversarial_training_reduces_attack_success() {
+        let mut rng = seeded_rng(0);
+        let (mut net, images, labels) = pretrained(&mut rng);
+        let before = attack_success(&mut net, &images, &labels);
+
+        let cfg = AdversarialTrainingConfig {
+            epsilon: Epsilon::from_255(8.0),
+            attack_steps: 5,
+            adversarial_fraction: 1.0,
+            epochs: 6,
+            batch_size: 8,
+            sgd: SgdConfig {
+                lr: 0.02,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                schedule: LrSchedule::Constant,
+            },
+        };
+        adversarial_finetune(&mut net, &images, &labels, &cfg, &mut rng);
+        let after = attack_success(&mut net, &images, &labels);
+        assert!(
+            after <= before,
+            "adversarial training should not increase attack success: {before} -> {after}"
+        );
+        // Clean accuracy must survive.
+        let preds = net.predict(&images);
+        let acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f32
+            / labels.len() as f32;
+        assert!(acc > 0.8, "clean accuracy collapsed to {acc}");
+    }
+
+    #[test]
+    fn zero_fraction_is_plain_finetuning() {
+        let mut rng = seeded_rng(1);
+        let (mut net, images, labels) = pretrained(&mut rng);
+        let cfg = AdversarialTrainingConfig {
+            adversarial_fraction: 0.0,
+            epochs: 2,
+            ..AdversarialTrainingConfig::default()
+        };
+        let history = adversarial_finetune(&mut net, &images, &labels, &cfg, &mut rng);
+        assert_eq!(history.len(), 2);
+        assert!(history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn rejects_bad_fraction() {
+        let mut rng = seeded_rng(2);
+        let (mut net, images, labels) = pretrained(&mut rng);
+        let cfg = AdversarialTrainingConfig {
+            adversarial_fraction: 1.5,
+            ..AdversarialTrainingConfig::default()
+        };
+        adversarial_finetune(&mut net, &images, &labels, &cfg, &mut rng);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fast Gradient Sign Method (Goodfellow et al., ICLR 2015).
+
+use rand::rngs::StdRng;
+use taamr_nn::ImageClassifier;
+use taamr_tensor::Tensor;
+
+use crate::{finish_batch, goal_sign_and_labels, AdversarialBatch, Attack, AttackGoal, Epsilon};
+
+/// One-step signed-gradient attack (paper Eq. 5):
+///
+/// ```text
+/// targeted:   x* = x − ε · sign(∇_x L_F(θ, x, t))
+/// untargeted: x* = x + ε · sign(∇_x L_F(θ, x, y))
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fgsm {
+    epsilon: Epsilon,
+}
+
+impl Fgsm {
+    /// Creates an FGSM attack with the given budget.
+    pub fn new(epsilon: Epsilon) -> Self {
+        Fgsm { epsilon }
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &'static str {
+        "FGSM"
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn ImageClassifier,
+        images: &Tensor,
+        goal: AttackGoal,
+        _rng: &mut StdRng,
+    ) -> AdversarialBatch {
+        assert_eq!(images.rank(), 4, "FGSM expects an NCHW batch");
+        let (sign, labels) = goal_sign_and_labels(goal, images.dims()[0]);
+        let (_, grad) = model.loss_input_grad(images, &labels);
+        let step = grad.signum().scaled(sign * self.epsilon.as_fraction());
+        let adv = images + &step;
+        finish_batch(model, images, adv, self.epsilon, goal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taamr_nn::{TinyResNet, TinyResNetConfig};
+    use taamr_tensor::seeded_rng;
+
+    fn setup() -> (TinyResNet, Tensor) {
+        let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
+        let x = Tensor::rand_uniform(&[3, 3, 16, 16], 0.05, 0.95, &mut seeded_rng(1));
+        (net, x)
+    }
+
+    #[test]
+    fn respects_linf_budget_and_pixel_range() {
+        let (mut net, x) = setup();
+        for eps in Epsilon::paper_sweep() {
+            let adv = Fgsm::new(eps).perturb(&mut net, &x, AttackGoal::Targeted(1), &mut seeded_rng(2));
+            assert!(adv.linf_distance(&x) <= eps.as_fraction() + 1e-6);
+            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn targeted_step_raises_target_probability() {
+        let (mut net, x) = setup();
+        let target = 2usize;
+        let p_before: f32 =
+            (0..3).map(|i| net.probabilities(&x).at(&[i, target])).sum();
+        let adv = Fgsm::new(Epsilon::from_255(16.0)).perturb(
+            &mut net,
+            &x,
+            AttackGoal::Targeted(target),
+            &mut seeded_rng(3),
+        );
+        let p_after: f32 =
+            (0..3).map(|i| net.probabilities(&adv.images).at(&[i, target])).sum();
+        assert!(p_after > p_before, "{p_before} -> {p_after}");
+    }
+
+    #[test]
+    fn untargeted_step_lowers_source_probability() {
+        let (mut net, x) = setup();
+        let preds = net.predict(&x);
+        let src = preds[0];
+        let p_before = net.probabilities(&x).at(&[0, src]);
+        let adv = Fgsm::new(Epsilon::from_255(16.0)).perturb(
+            &mut net,
+            &x,
+            AttackGoal::Untargeted(src),
+            &mut seeded_rng(4),
+        );
+        let p_after = net.probabilities(&adv.images).at(&[0, src]);
+        assert!(p_after < p_before, "{p_before} -> {p_after}");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (mut net, x) = setup();
+        let a = Fgsm::new(Epsilon::from_255(8.0)).perturb(
+            &mut net,
+            &x,
+            AttackGoal::Targeted(0),
+            &mut seeded_rng(5),
+        );
+        let b = Fgsm::new(Epsilon::from_255(8.0)).perturb(
+            &mut net,
+            &x,
+            AttackGoal::Targeted(0),
+            &mut seeded_rng(99),
+        );
+        // FGSM ignores the RNG: same input, same output.
+        assert_eq!(a.images, b.images);
+    }
+
+    #[test]
+    fn success_flags_match_predictions() {
+        let (mut net, x) = setup();
+        let adv = Fgsm::new(Epsilon::from_255(8.0)).perturb(
+            &mut net,
+            &x,
+            AttackGoal::Targeted(1),
+            &mut seeded_rng(6),
+        );
+        for (p, s) in adv.predictions.iter().zip(&adv.success) {
+            assert_eq!(*s, *p == 1);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Adversarial image attacks: FGSM, BIM and PGD, targeted and untargeted.
+//!
+//! These are the attacks the paper runs through CleverHans, re-implemented
+//! against the [`taamr_nn::ImageClassifier`] interface:
+//!
+//! * [`Fgsm`] — the Fast Gradient Sign Method (paper Eq. 5): one signed
+//!   gradient step of size ε.
+//! * [`Bim`] — the Basic Iterative Method: repeated FGSM steps of size α,
+//!   clipped to the ε-ball after every step (included as the ablation point
+//!   between FGSM and PGD).
+//! * [`Pgd`] — Projected Gradient Descent: BIM started from a uniformly
+//!   random point inside the ε-ball (the paper's stronger attack; 10
+//!   iterations by default, as in the paper).
+//!
+//! All attacks enforce the paper's threat model: `l∞`-bounded perturbations
+//! (`‖x* − x‖∞ ≤ ε`) of images that stay inside the valid pixel range
+//! `[0, 1]`. The perturbation budget ε is specified on the paper's 0–255
+//! scale and normalised internally ([`Epsilon`]).
+//!
+//! # Example
+//!
+//! ```
+//! use taamr_attack::{Attack, AttackGoal, Epsilon, Fgsm};
+//! use taamr_nn::{TinyResNet, TinyResNetConfig};
+//! use taamr_tensor::{seeded_rng, Tensor};
+//!
+//! let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
+//! let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(1));
+//! let attack = Fgsm::new(Epsilon::from_255(8.0));
+//! let adv = attack.perturb(&mut net, &x, AttackGoal::Targeted(2), &mut seeded_rng(2));
+//! assert!(adv.linf_distance(&x) <= Epsilon::from_255(8.0).as_fraction() + 1e-6);
+//! ```
+
+#![deny(missing_docs)]
+
+mod bim;
+pub mod defense;
+mod feature_match;
+mod fgsm;
+mod pgd;
+mod types;
+
+pub use bim::Bim;
+pub use defense::{adversarial_finetune, AdversarialTrainingConfig};
+pub use feature_match::{FeatureMatch, FeatureMatchResult};
+pub use fgsm::Fgsm;
+pub use pgd::Pgd;
+pub use types::{AdversarialBatch, AttackGoal, Epsilon};
+
+use rand::rngs::StdRng;
+use taamr_nn::ImageClassifier;
+use taamr_tensor::Tensor;
+
+/// An adversarial image attack over a batch of images.
+///
+/// Implementations perturb every image in the NCHW batch toward (targeted)
+/// or away from (untargeted) the goal class, subject to the `l∞` budget.
+pub trait Attack {
+    /// Short attack name for reports ("FGSM", "PGD", …).
+    fn name(&self) -> &'static str;
+
+    /// The attack's `l∞` budget.
+    fn epsilon(&self) -> Epsilon;
+
+    /// Produces adversarial versions of `images` (NCHW, pixels in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank-4 or the goal class is out of range
+    /// for the model.
+    fn perturb(
+        &self,
+        model: &mut dyn ImageClassifier,
+        images: &Tensor,
+        goal: AttackGoal,
+        rng: &mut StdRng,
+    ) -> AdversarialBatch;
+}
+
+/// Shared post-processing: clamp to the ε-ball around `clean` and to the
+/// valid pixel range, then evaluate predictions and success.
+pub(crate) fn finish_batch(
+    model: &mut dyn ImageClassifier,
+    clean: &Tensor,
+    mut adv: Tensor,
+    epsilon: Epsilon,
+    goal: AttackGoal,
+) -> AdversarialBatch {
+    let eps = epsilon.as_fraction();
+    // Project into the l∞ ball ∩ [0, 1].
+    for (a, &c) in adv.iter_mut().zip(clean.iter()) {
+        *a = a.clamp(c - eps, c + eps).clamp(0.0, 1.0);
+    }
+    let predictions = model.predict(&adv);
+    let success = predictions.iter().map(|&p| goal.is_success(p)).collect();
+    AdversarialBatch { images: adv, predictions, success }
+}
+
+/// The gradient step direction for a goal: targeted attacks *descend* the
+/// loss toward the target (−1), untargeted attacks *ascend* it (+1).
+pub(crate) fn goal_sign_and_labels(goal: AttackGoal, batch: usize) -> (f32, Vec<usize>) {
+    match goal {
+        AttackGoal::Targeted(t) => (-1.0, vec![t; batch]),
+        AttackGoal::Untargeted(src) => (1.0, vec![src; batch]),
+    }
+}

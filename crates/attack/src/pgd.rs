@@ -1,0 +1,158 @@
+//! Projected Gradient Descent (Madry et al., ICLR 2018).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use taamr_nn::ImageClassifier;
+use taamr_tensor::Tensor;
+
+use crate::bim::Bim;
+use crate::{finish_batch, AdversarialBatch, Attack, AttackGoal, Epsilon};
+
+/// PGD: the paper's stronger attack. Identical to [`Bim`] except the
+/// iteration starts from a uniformly random point inside the ε-ball —
+/// "PGD differs from BIM in the fact that PGD starts from a uniform random
+/// noise as the initial perturbation". The paper runs 10 iterations; that is
+/// the [`Pgd::new`] default via [`Pgd::PAPER_STEPS`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pgd {
+    inner: Bim,
+}
+
+impl Pgd {
+    /// The paper's iteration count.
+    pub const PAPER_STEPS: usize = 10;
+
+    /// Creates a PGD attack with the paper's 10 iterations and step size
+    /// `α = 2.5 · ε / steps`.
+    pub fn new(epsilon: Epsilon) -> Self {
+        Pgd { inner: Bim::new(epsilon, Self::PAPER_STEPS) }
+    }
+
+    /// Creates a PGD attack with a custom iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn with_steps(epsilon: Epsilon, steps: usize) -> Self {
+        Pgd { inner: Bim::new(epsilon, steps) }
+    }
+
+    /// Overrides the per-step size (fraction of the pixel range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f32) -> Self {
+        self.inner = self.inner.with_alpha(alpha);
+        self
+    }
+
+    /// Number of gradient steps.
+    pub fn steps(&self) -> usize {
+        self.inner.steps()
+    }
+}
+
+impl Attack for Pgd {
+    fn name(&self) -> &'static str {
+        "PGD"
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.inner.epsilon()
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn ImageClassifier,
+        images: &Tensor,
+        goal: AttackGoal,
+        rng: &mut StdRng,
+    ) -> AdversarialBatch {
+        assert_eq!(images.rank(), 4, "PGD expects an NCHW batch");
+        let eps = self.epsilon().as_fraction();
+        // Random start: uniform noise inside the l∞ ball, clipped valid.
+        let mut start = images.clone();
+        for v in start.iter_mut() {
+            *v = (*v + rng.gen_range(-eps..=eps)).clamp(0.0, 1.0);
+        }
+        let adv = self.inner.iterate(model, images, start, goal);
+        finish_batch(model, images, adv, self.epsilon(), goal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fgsm;
+    use taamr_nn::{TinyResNet, TinyResNetConfig};
+    use taamr_tensor::seeded_rng;
+
+    fn setup() -> (TinyResNet, Tensor) {
+        let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
+        let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.05, 0.95, &mut seeded_rng(1));
+        (net, x)
+    }
+
+    #[test]
+    fn respects_budget_despite_random_start() {
+        let (mut net, x) = setup();
+        for eps in Epsilon::paper_sweep() {
+            let adv =
+                Pgd::new(eps).perturb(&mut net, &x, AttackGoal::Targeted(0), &mut seeded_rng(2));
+            assert!(adv.linf_distance(&x) <= eps.as_fraction() + 1e-6);
+            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn pgd_beats_fgsm_on_target_probability() {
+        // The paper's central Table III observation: PGD ≫ FGSM.
+        let (mut net, x) = setup();
+        let eps = Epsilon::from_255(8.0);
+        let target = 1usize;
+        let goal = AttackGoal::Targeted(target);
+        let fgsm = Fgsm::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(3));
+        let pgd = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(3));
+        let mean_p = |net: &mut TinyResNet, imgs: &Tensor| -> f32 {
+            let p = net.probabilities(imgs);
+            (0..4).map(|i| p.at(&[i, target])).sum::<f32>() / 4.0
+        };
+        let pf = mean_p(&mut net, &fgsm.images);
+        let pp = mean_p(&mut net, &pgd.images);
+        assert!(pp > pf, "PGD {pp} should beat FGSM {pf}");
+    }
+
+    #[test]
+    fn default_matches_paper_iterations() {
+        assert_eq!(Pgd::new(Epsilon::from_255(4.0)).steps(), 10);
+        assert_eq!(Pgd::PAPER_STEPS, 10);
+    }
+
+    #[test]
+    fn random_start_differs_across_seeds_but_is_reproducible() {
+        let (mut net, x) = setup();
+        let eps = Epsilon::from_255(8.0);
+        let goal = AttackGoal::Targeted(2);
+        let a = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(10));
+        let b = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(10));
+        let c = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(11));
+        assert_eq!(a.images, b.images);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn success_rate_is_consistent() {
+        let (mut net, x) = setup();
+        let adv = Pgd::new(Epsilon::from_255(16.0)).perturb(
+            &mut net,
+            &x,
+            AttackGoal::Targeted(3),
+            &mut seeded_rng(12),
+        );
+        let manual =
+            adv.success.iter().filter(|&&s| s).count() as f64 / adv.success.len() as f64;
+        assert_eq!(adv.success_rate(), manual);
+    }
+}

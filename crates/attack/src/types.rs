@@ -1,0 +1,161 @@
+//! Attack configuration and result types.
+
+use std::fmt;
+
+use taamr_tensor::Tensor;
+
+/// An `l∞` perturbation budget on the paper's 0–255 pixel scale.
+///
+/// The paper reports ε ∈ {2, 4, 8, 16} "normalized to a 0/1 scale"; this
+/// type stores the 0–255 value and exposes the normalised fraction used on
+/// `[0, 1]` images.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f32);
+
+impl Epsilon {
+    /// Creates a budget from a 0–255-scale value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative, non-finite, or above 255.
+    pub fn from_255(value: f32) -> Self {
+        assert!(value.is_finite() && (0.0..=255.0).contains(&value), "epsilon {value} out of range");
+        Epsilon(value)
+    }
+
+    /// The paper's ε sweep: {2, 4, 8, 16}.
+    pub fn paper_sweep() -> [Epsilon; 4] {
+        [Self::from_255(2.0), Self::from_255(4.0), Self::from_255(8.0), Self::from_255(16.0)]
+    }
+
+    /// The budget on the 0–255 scale.
+    pub fn as_255(self) -> f32 {
+        self.0
+    }
+
+    /// The budget as a fraction of the `[0, 1]` pixel range.
+    pub fn as_fraction(self) -> f32 {
+        self.0 / 255.0
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// What the adversary wants from the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackGoal {
+    /// Misclassify *as* the given class (the paper's main setting).
+    Targeted(usize),
+    /// Misclassify *away from* the given (true) class.
+    Untargeted(usize),
+}
+
+impl AttackGoal {
+    /// Whether a post-attack prediction satisfies the goal.
+    pub fn is_success(self, prediction: usize) -> bool {
+        match self {
+            AttackGoal::Targeted(t) => prediction == t,
+            AttackGoal::Untargeted(src) => prediction != src,
+        }
+    }
+
+    /// The class the goal refers to (target or source).
+    pub fn class(self) -> usize {
+        match self {
+            AttackGoal::Targeted(c) | AttackGoal::Untargeted(c) => c,
+        }
+    }
+}
+
+/// The result of attacking a batch of images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialBatch {
+    /// The perturbed images (same NCHW shape as the input).
+    pub images: Tensor,
+    /// Post-attack predicted class per image.
+    pub predictions: Vec<usize>,
+    /// Per-image goal satisfaction.
+    pub success: Vec<bool>,
+}
+
+impl AdversarialBatch {
+    /// Fraction of images whose attack succeeded.
+    pub fn success_rate(&self) -> f64 {
+        if self.success.is_empty() {
+            0.0
+        } else {
+            self.success.iter().filter(|&&s| s).count() as f64 / self.success.len() as f64
+        }
+    }
+
+    /// Largest `l∞` distance from the clean batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clean` has a different shape.
+    pub fn linf_distance(&self, clean: &Tensor) -> f32 {
+        assert_eq!(clean.dims(), self.images.dims(), "shape mismatch");
+        self.images
+            .iter()
+            .zip(clean.iter())
+            .fold(0.0f32, |m, (&a, &c)| m.max((a - c).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_scales() {
+        let e = Epsilon::from_255(8.0);
+        assert_eq!(e.as_255(), 8.0);
+        assert!((e.as_fraction() - 8.0 / 255.0).abs() < 1e-9);
+        assert_eq!(e.to_string(), "ε=8");
+    }
+
+    #[test]
+    fn paper_sweep_is_doubling() {
+        let sweep = Epsilon::paper_sweep();
+        assert_eq!(sweep.map(|e| e.as_255()), [2.0, 4.0, 8.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn negative_epsilon_panics() {
+        Epsilon::from_255(-1.0);
+    }
+
+    #[test]
+    fn goal_success_semantics() {
+        assert!(AttackGoal::Targeted(3).is_success(3));
+        assert!(!AttackGoal::Targeted(3).is_success(2));
+        assert!(AttackGoal::Untargeted(3).is_success(2));
+        assert!(!AttackGoal::Untargeted(3).is_success(3));
+        assert_eq!(AttackGoal::Targeted(5).class(), 5);
+    }
+
+    #[test]
+    fn batch_success_rate() {
+        let b = AdversarialBatch {
+            images: Tensor::zeros(&[2, 3, 4, 4]),
+            predictions: vec![1, 2],
+            success: vec![true, false],
+        };
+        assert_eq!(b.success_rate(), 0.5);
+    }
+
+    #[test]
+    fn linf_distance_is_max_abs_diff() {
+        let clean = Tensor::zeros(&[1, 3, 2, 2]);
+        let mut adv = Tensor::zeros(&[1, 3, 2, 2]);
+        adv.as_mut_slice()[5] = 0.25;
+        adv.as_mut_slice()[7] = -0.1;
+        let b = AdversarialBatch { images: adv, predictions: vec![0], success: vec![false] };
+        assert!((b.linf_distance(&clean) - 0.25).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the attack implementations: the threat model
+//! (l∞ ≤ ε, valid pixel range) must hold for *every* budget, goal, and
+//! input, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Fgsm, Pgd};
+use taamr_nn::{TinyResNet, TinyResNetConfig};
+use taamr_tensor::{seeded_rng, Tensor};
+
+fn image_batch(seed: u64) -> Tensor {
+    Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(seed))
+}
+
+fn net(seed: u64) -> TinyResNet {
+    TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_attacks_respect_the_threat_model(
+        eps_255 in 1.0f32..32.0,
+        target in 0usize..4,
+        img_seed in 0u64..100,
+        net_seed in 0u64..10,
+        targeted in any::<bool>()
+    ) {
+        let eps = Epsilon::from_255(eps_255);
+        let x = image_batch(img_seed);
+        let mut model = net(net_seed);
+        let goal = if targeted {
+            AttackGoal::Targeted(target)
+        } else {
+            AttackGoal::Untargeted(target)
+        };
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(Fgsm::new(eps)),
+            Box::new(Bim::new(eps, 3)),
+            Box::new(Pgd::with_steps(eps, 3)),
+        ];
+        for attack in attacks {
+            let mut rng = seeded_rng(img_seed + 1);
+            let adv = attack.perturb(&mut model, &x, goal, &mut rng);
+            prop_assert!(
+                adv.linf_distance(&x) <= eps.as_fraction() + 1e-6,
+                "{} exceeded the l∞ ball",
+                attack.name()
+            );
+            prop_assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert_eq!(adv.images.dims(), x.dims());
+            prop_assert_eq!(adv.predictions.len(), 2);
+            // Success flags agree with predictions under the goal.
+            for (p, s) in adv.predictions.iter().zip(&adv.success) {
+                prop_assert_eq!(*s, goal.is_success(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_like_epsilon_means_almost_no_change(img_seed in 0u64..50) {
+        let eps = Epsilon::from_255(0.25); // a quarter of a pixel level
+        let x = image_batch(img_seed);
+        let mut model = net(0);
+        let mut rng = seeded_rng(img_seed);
+        let adv = Fgsm::new(eps).perturb(&mut model, &x, AttackGoal::Targeted(0), &mut rng);
+        prop_assert!(adv.linf_distance(&x) <= 0.25 / 255.0 + 1e-7);
+    }
+
+    #[test]
+    fn epsilon_ball_nesting(img_seed in 0u64..30, net_seed in 0u64..5) {
+        // A smaller budget can never produce a larger max distortion for
+        // the deterministic FGSM.
+        let x = image_batch(img_seed);
+        let mut model = net(net_seed);
+        let mut rng = seeded_rng(1);
+        let goal = AttackGoal::Targeted(1);
+        let small =
+            Fgsm::new(Epsilon::from_255(4.0)).perturb(&mut model, &x, goal, &mut rng);
+        let large =
+            Fgsm::new(Epsilon::from_255(8.0)).perturb(&mut model, &x, goal, &mut rng);
+        prop_assert!(small.linf_distance(&x) <= large.linf_distance(&x) + 1e-6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **PGD iteration count** — success rate and cost vs 1/5/10/20 steps
+//!   (the paper fixes 10);
+//! * **random start** — PGD vs BIM at the same budget (the paper's stated
+//!   difference between the two attacks);
+//! * **untargeted vs targeted** — the related-work comparison point ([20]).
+//!
+//! These report *quality* numbers through `eprintln!` once per run in
+//! addition to timing, since an ablation without the measured effect is
+//! useless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Pgd};
+use taamr_nn::{
+    LrSchedule, SgdConfig, TinyResNet, TinyResNetConfig, Trainer, TrainerConfig,
+};
+use taamr_tensor::{seeded_rng, Tensor};
+use taamr_vision::{images_to_tensor, Category, ProductImageGenerator};
+
+/// A briefly *trained* classifier on real catalog renders: attack-quality
+/// numbers against an untrained net are meaningless.
+fn setup() -> (TinyResNet, Tensor) {
+    let gen = ProductImageGenerator::new(24, 5);
+    let cats = [Category::Sock, Category::RunningShoe, Category::AnalogClock, Category::Maillot];
+    let mut rng = seeded_rng(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for (label, &cat) in cats.iter().enumerate() {
+        for k in 0..20u64 {
+            images.push(gen.generate(cat, 100 + k));
+            labels.push(label);
+        }
+    }
+    let cfg = TinyResNetConfig {
+        in_channels: 3,
+        base_channels: 8,
+        blocks_per_stage: 1,
+        stages: 2,
+        num_classes: cats.len(),
+    };
+    let mut net = TinyResNet::new(&cfg, &mut seeded_rng(1));
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 10,
+        batch_size: 16,
+        sgd: SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            schedule: LrSchedule::Constant,
+        },
+        log_every: 0,
+    });
+    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
+    // Attack fresh source-category (Sock) renders.
+    let fresh: Vec<taamr_vision::Image> =
+        (0..8u64).map(|k| gen.generate(Category::Sock, 9000 + k)).collect();
+    (net, images_to_tensor(&fresh))
+}
+
+fn ablate_pgd_steps(c: &mut Criterion) {
+    let (mut net, x) = setup();
+    let eps = Epsilon::from_255(8.0);
+    let goal = AttackGoal::Targeted(1);
+    let mut group = c.benchmark_group("pgd_steps");
+    group.sample_size(10);
+    for &steps in &[1usize, 5, 10, 20] {
+        let attack = Pgd::with_steps(eps, steps);
+        // Quality at ε=16: this small CNN is robust at ε=8 (success ~0
+        // everywhere), so the informative sweep is one budget up.
+        let strong = Pgd::with_steps(Epsilon::from_255(16.0), steps);
+        let mut rng = seeded_rng(7);
+        let rate = strong.perturb(&mut net, &x, goal, &mut rng).success_rate();
+        eprintln!("ablation pgd_steps={steps}: success {rate:.2} (ε=16)");
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| {
+                let mut rng = seeded_rng(8);
+                std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablate_random_start(c: &mut Criterion) {
+    let (mut net, x) = setup();
+    let eps = Epsilon::from_255(8.0);
+    let goal = AttackGoal::Targeted(2);
+    let bim = Bim::new(eps, 10);
+    let pgd = Pgd::new(eps);
+    let mut rng = seeded_rng(9);
+    let strong_bim = Bim::new(Epsilon::from_255(16.0), 10);
+    let strong_pgd = Pgd::new(Epsilon::from_255(16.0));
+    let r_bim = strong_bim.perturb(&mut net, &x, goal, &mut rng).success_rate();
+    let r_pgd = strong_pgd.perturb(&mut net, &x, goal, &mut rng).success_rate();
+    eprintln!("ablation random_start (ε=16): BIM {r_bim:.2} vs PGD {r_pgd:.2}");
+    let mut group = c.benchmark_group("random_start");
+    group.sample_size(10);
+    group.bench_function("bim10", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(10);
+            std::hint::black_box(bim.perturb(&mut net, &x, goal, &mut rng).success_rate())
+        });
+    });
+    group.bench_function("pgd10", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(11);
+            std::hint::black_box(pgd.perturb(&mut net, &x, goal, &mut rng).success_rate())
+        });
+    });
+    group.finish();
+}
+
+fn ablate_goal(c: &mut Criterion) {
+    let (mut net, x) = setup();
+    let eps = Epsilon::from_255(8.0);
+    let pgd = Pgd::new(eps);
+    let mut rng = seeded_rng(12);
+    let src = {
+        use taamr_nn::ImageClassifier;
+        net.predict(&x)[0]
+    };
+    let strong = Pgd::new(Epsilon::from_255(16.0));
+    let targeted = strong.perturb(&mut net, &x, AttackGoal::Targeted((src + 1) % 4), &mut rng);
+    let untargeted = strong.perturb(&mut net, &x, AttackGoal::Untargeted(src), &mut rng);
+    eprintln!(
+        "ablation goal (ε=16): targeted {:.2} vs untargeted {:.2}",
+        targeted.success_rate(),
+        untargeted.success_rate()
+    );
+    let mut group = c.benchmark_group("goal");
+    group.sample_size(10);
+    group.bench_function("targeted", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(13);
+            std::hint::black_box(
+                pgd.perturb(&mut net, &x, AttackGoal::Targeted(1), &mut rng).success_rate(),
+            )
+        });
+    });
+    group.bench_function("untargeted", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(14);
+            std::hint::black_box(
+                pgd.perturb(&mut net, &x, AttackGoal::Untargeted(src), &mut rng).success_rate(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablate_pgd_steps, ablate_random_start, ablate_goal);
+criterion_main!(benches);

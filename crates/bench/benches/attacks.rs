@@ -1,0 +1,55 @@
+//! Attack throughput: FGSM (one gradient) vs BIM/PGD (ten gradients) on the
+//! Medium-scale CNN — the dominant cost of regenerating Tables II–IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Fgsm, Pgd};
+use taamr_nn::{TinyResNet, TinyResNetConfig};
+use taamr_tensor::{seeded_rng, Tensor};
+
+fn setup() -> (TinyResNet, Tensor) {
+    let cfg = TinyResNetConfig {
+        in_channels: 3,
+        base_channels: 12,
+        blocks_per_stage: 1,
+        stages: 3,
+        num_classes: 12,
+    };
+    let net = TinyResNet::new(&cfg, &mut seeded_rng(0));
+    let x = Tensor::rand_uniform(&[8, 3, 32, 32], 0.0, 1.0, &mut seeded_rng(1));
+    (net, x)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (mut net, x) = setup();
+    let eps = Epsilon::from_255(8.0);
+    let goal = AttackGoal::Targeted(1);
+
+    c.bench_function("fgsm_batch8_32px", |b| {
+        let attack = Fgsm::new(eps);
+        b.iter(|| {
+            let mut rng = seeded_rng(2);
+            std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+        });
+    });
+    c.bench_function("bim10_batch8_32px", |b| {
+        let attack = Bim::new(eps, 10);
+        b.iter(|| {
+            let mut rng = seeded_rng(3);
+            std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+        });
+    });
+    c.bench_function("pgd10_batch8_32px", |b| {
+        let attack = Pgd::new(eps);
+        b.iter(|| {
+            let mut rng = seeded_rng(4);
+            std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_attacks
+}
+criterion_main!(benches);

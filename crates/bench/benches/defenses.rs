@@ -1,0 +1,127 @@
+//! Defence ablation: targeted-attack success against a vanilla CNN vs an
+//! adversarially trained CNN vs a defensively distilled student — the two
+//! defence strategies the paper's conclusion proposes evaluating.
+//!
+//! Quality numbers (success rates per defence) print once via `eprintln!`;
+//! the timed quantity is the hardened models' attack cost, which is
+//! unchanged by design (the defences alter the model, not the attack).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taamr_attack::{
+    adversarial_finetune, AdversarialTrainingConfig, Attack, AttackGoal, Epsilon, Pgd,
+};
+use taamr_nn::{
+    distill, DistillConfig, LrSchedule, SgdConfig, TinyResNet, TinyResNetConfig, Trainer,
+    TrainerConfig,
+};
+use taamr_tensor::{seeded_rng, Tensor};
+use taamr_vision::{images_to_tensor, Category, ProductImageGenerator};
+
+struct Setup {
+    vanilla: TinyResNet,
+    hardened: TinyResNet,
+    distilled: TinyResNet,
+    eval_batch: Tensor,
+}
+
+fn setup() -> Setup {
+    let gen = ProductImageGenerator::new(24, 3);
+    let cats = [Category::Sock, Category::RunningShoe, Category::AnalogClock];
+    let mut rng = seeded_rng(0);
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for (label, &cat) in cats.iter().enumerate() {
+        for k in 0..20u64 {
+            images.push(gen.generate(cat, 100 + k));
+            labels.push(label);
+        }
+    }
+    let train = images_to_tensor(&images);
+    let arch = TinyResNetConfig {
+        in_channels: 3,
+        base_channels: 8,
+        blocks_per_stage: 1,
+        stages: 2,
+        num_classes: cats.len(),
+    };
+    let sgd = SgdConfig {
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+        schedule: LrSchedule::Constant,
+    };
+    let trainer =
+        Trainer::new(TrainerConfig { epochs: 12, batch_size: 16, sgd: sgd.clone(), log_every: 0 });
+
+    let mut vanilla = TinyResNet::new(&arch, &mut seeded_rng(1));
+    trainer.fit(&mut vanilla, &train, &labels, &mut rng);
+
+    let mut hardened = TinyResNet::new(&arch, &mut seeded_rng(1));
+    trainer.fit(&mut hardened, &train, &labels, &mut seeded_rng(0));
+    adversarial_finetune(
+        &mut hardened,
+        &train,
+        &labels,
+        &AdversarialTrainingConfig {
+            epsilon: Epsilon::from_255(8.0),
+            attack_steps: 5,
+            adversarial_fraction: 1.0,
+            epochs: 6,
+            batch_size: 16,
+            sgd: SgdConfig { lr: 0.01, ..sgd.clone() },
+        },
+        &mut rng,
+    );
+
+    let mut distilled = TinyResNet::new(&arch, &mut seeded_rng(2));
+    distill(
+        &mut vanilla,
+        &mut distilled,
+        &train,
+        &DistillConfig { temperature: 5.0, epochs: 30, batch_size: 16, sgd },
+        &mut rng,
+    );
+
+    let eval: Vec<taamr_vision::Image> =
+        (0..8u64).map(|k| gen.generate(Category::Sock, 9000 + k)).collect();
+    Setup { vanilla, hardened, distilled, eval_batch: images_to_tensor(&eval) }
+}
+
+fn bench_defenses(c: &mut Criterion) {
+    let mut s = setup();
+    let attack = Pgd::new(Epsilon::from_255(8.0));
+    let goal = AttackGoal::Targeted(1);
+
+    for (name, net) in [
+        ("vanilla", &mut s.vanilla),
+        ("adv_trained", &mut s.hardened),
+        ("distilled", &mut s.distilled),
+    ] {
+        let mut rng = seeded_rng(7);
+        let rate = attack.perturb(net, &s.eval_batch, goal, &mut rng).success_rate();
+        eprintln!("defense ablation: PGD ε=8 targeted success vs {name}: {rate:.2}");
+    }
+
+    let mut group = c.benchmark_group("pgd_vs_defended_models");
+    group.sample_size(10);
+    group.bench_function("vanilla", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(8);
+            std::hint::black_box(
+                attack.perturb(&mut s.vanilla, &s.eval_batch, goal, &mut rng).success_rate(),
+            )
+        });
+    });
+    group.bench_function("adv_trained", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(9);
+            std::hint::black_box(
+                attack.perturb(&mut s.hardened, &s.eval_batch, goal, &mut rng).success_rate(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses);
+criterion_main!(benches);

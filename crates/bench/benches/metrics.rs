@@ -1,0 +1,52 @@
+//! Metric benchmarks: CHR@N over full recommendation lists and the
+//! per-image visual-quality metrics of Table IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taamr_metrics::chr::category_hit_ratio_all;
+use taamr_metrics::image::{psnr, ssim};
+use taamr_metrics::psm;
+use taamr_vision::{Category, ProductImageGenerator};
+
+fn bench_chr(c: &mut Criterion) {
+    // 1000 users × top-100 lists over 4000 items in 12 categories.
+    let item_categories: Vec<usize> = (0..4000).map(|i| i % 12).collect();
+    let lists: Vec<Vec<usize>> =
+        (0..1000).map(|u| (0..100).map(|k| (u * 37 + k * 13) % 4000).collect()).collect();
+    c.bench_function("chr_all_1000users_top100", |b| {
+        b.iter(|| std::hint::black_box(category_hit_ratio_all(&lists, &item_categories, 12, 100)));
+    });
+}
+
+fn bench_image_quality(c: &mut Criterion) {
+    let gen = ProductImageGenerator::new(32, 0);
+    let a = gen.generate(Category::Sock, 0);
+    let mut b2 = a.clone();
+    for v in b2.as_mut_slice() {
+        *v = (*v + 0.01).min(1.0);
+    }
+    c.bench_function("psnr_32px", |b| {
+        b.iter(|| std::hint::black_box(psnr(&a, &b2).unwrap()));
+    });
+    c.bench_function("ssim_32px", |b| {
+        b.iter(|| std::hint::black_box(ssim(&a, &b2).unwrap()));
+    });
+    let fa: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+    let fb: Vec<f32> = (0..64).map(|i| i as f32 / 64.0 + 0.1).collect();
+    c.bench_function("psm_d64", |b| {
+        b.iter(|| std::hint::black_box(psm(&fa, &fb).unwrap()));
+    });
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let gen = ProductImageGenerator::new(32, 1);
+    c.bench_function("render_item_image_32px", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(gen.generate(Category::AnalogClock, seed).mean())
+        });
+    });
+}
+
+criterion_group!(benches, bench_chr, bench_image_quality, bench_rendering);
+criterion_main!(benches);

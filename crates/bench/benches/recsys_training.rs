@@ -1,0 +1,91 @@
+//! Recommender benchmarks: one training epoch of each model (BPR-MF, VBPR,
+//! AMR — the adversarial regulariser roughly doubles VBPR's step cost) and
+//! full-catalog scoring (the CHR@N evaluation cost per user).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taamr_data::{SyntheticConfig, SyntheticDataset};
+use taamr_recsys::{
+    Amr, AmrConfig, BprMf, PairwiseConfig, PairwiseTrainer, Recommender, Vbpr, VbprConfig,
+};
+
+fn dataset() -> SyntheticDataset {
+    let mut cfg = SyntheticConfig::amazon_men_like();
+    cfg.num_users = 200;
+    cfg.num_items = 600;
+    SyntheticDataset::generate(&cfg)
+}
+
+fn fake_features(num_items: usize, d: usize) -> Vec<f32> {
+    (0..num_items * d).map(|i| ((i * 37 % 101) as f32 / 101.0) - 0.5).collect()
+}
+
+fn bench_training_epochs(c: &mut Criterion) {
+    let data = dataset();
+    let d = 48;
+    let features = fake_features(data.dataset.num_items(), d);
+    let trainer = PairwiseTrainer::new(PairwiseConfig {
+        epochs: 1,
+        triplets_per_epoch: None,
+        lr: 0.05,
+    });
+
+    c.bench_function("bprmf_epoch", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = BprMf::new(data.dataset.num_users(), data.dataset.num_items(), 16, &mut rng);
+        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).len()));
+    });
+    c.bench_function("vbpr_epoch", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Vbpr::new(
+            data.dataset.num_users(),
+            data.dataset.num_items(),
+            d,
+            features.clone(),
+            VbprConfig::default(),
+            &mut rng,
+        );
+        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).len()));
+    });
+    c.bench_function("amr_epoch", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let vbpr = Vbpr::new(
+            data.dataset.num_users(),
+            data.dataset.num_items(),
+            d,
+            features.clone(),
+            VbprConfig::default(),
+            &mut rng,
+        );
+        let mut model = Amr::from_vbpr(vbpr, AmrConfig::default());
+        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).len()));
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let data = dataset();
+    let d = 48;
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = Vbpr::new(
+        data.dataset.num_users(),
+        data.dataset.num_items(),
+        d,
+        fake_features(data.dataset.num_items(), d),
+        VbprConfig::default(),
+        &mut rng,
+    );
+    c.bench_function("vbpr_score_all_one_user", |b| {
+        b.iter(|| std::hint::black_box(model.score_all(0).len()));
+    });
+    c.bench_function("vbpr_top100_one_user", |b| {
+        b.iter(|| std::hint::black_box(model.top_n(0, 100, data.dataset.user_items(0)).len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training_epochs, bench_scoring
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates **Fig. 2**: one source-category item before and after a PGD
+//! (ε = 8) attack against VBPR — class probability and recommendation
+//! position.
+//!
+//! Paper example: a sock, P(sock) = 60%, position 180 → classified as a
+//! running shoe with P = 100%, position 14.
+
+use taamr::experiment::run_figure2;
+use taamr::ExperimentScale;
+use taamr_bench::print_header;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    print_header("Fig. 2: before/after example", scale);
+    for fig in run_figure2(scale) {
+        println!("{fig}");
+    }
+    println!("Paper (Fig. 2): sock 60% @ 180th  →  running shoe 100% @ 14th");
+}

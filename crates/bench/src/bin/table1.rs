@@ -1,0 +1,39 @@
+//! Regenerates **Table I**: dataset statistics (|U|, |I|, |S|) for the two
+//! synthetic Amazon-shaped datasets after 5-core preprocessing.
+//!
+//! Paper reference values: Amazon Men 26 155 / 82 630 / 193 365;
+//! Amazon Women 18 514 / 76 889 / 137 929 (ours are ≈ 20× smaller with the
+//! same interactions-per-user ratio — see DESIGN.md).
+
+use taamr::{ExperimentScale, PipelineConfig};
+use taamr_bench::print_header;
+use taamr_data::{SyntheticConfig, SyntheticDataset};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    print_header("Table I: dataset statistics", scale);
+
+    println!("{:<26} {:>8} {:>8} {:>9} {:>10} {:>8}", "Dataset", "|U|", "|I|", "|S|", "|S|/|U|", "5-core");
+    for profile in [SyntheticConfig::amazon_men_like(), SyntheticConfig::amazon_women_like()] {
+        // Report the dataset exactly as the other tables use it at this
+        // scale (the presets shrink the profiles below Full).
+        let config = PipelineConfig::for_scale_with_dataset(scale, profile).dataset;
+        let generated = SyntheticDataset::generate(&config);
+        let stats = generated.dataset.stats(&config.name);
+        let min_interactions =
+            (0..generated.dataset.num_users()).map(|u| generated.dataset.user_items(u).len()).min().unwrap_or(0);
+        println!(
+            "{:<26} {:>8} {:>8} {:>9} {:>10.2} {:>8}",
+            stats.name,
+            stats.num_users,
+            stats.num_items,
+            stats.num_interactions,
+            stats.interactions_per_user(),
+            if min_interactions >= 5 { "ok" } else { "VIOLATED" }
+        );
+    }
+    println!();
+    println!("Paper (Table I):");
+    println!("{:<26} {:>8} {:>8} {:>9}", "Amazon Men", 26_155, 82_630, 193_365);
+    println!("{:<26} {:>8} {:>8} {:>9}", "Amazon Women", 18_514, 76_889, 137_929);
+}

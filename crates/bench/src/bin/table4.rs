@@ -1,0 +1,24 @@
+//! Regenerates **Table IV**: average visual-quality metrics (PSNR, SSIM,
+//! PSM) of the attacked images per attack and ε, on both datasets.
+//!
+//! Expected shapes (paper): distortion grows with ε but stays in the "good"
+//! ranges (PSNR ≳ 35 dB, SSIM ≈ 0.98+); PSNR/SSIM slightly favour PGD while
+//! PSM clearly favours FGSM (PGD moves deep features much further — that is
+//! exactly why it is the stronger attack).
+
+use taamr::experiment::run_or_load_all;
+use taamr::ExperimentScale;
+use taamr_bench::print_header;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    print_header("Table IV: average visual-quality metrics", scale);
+    let reports = run_or_load_all(scale);
+    for report in &reports {
+        println!("{}", report.render_table4());
+    }
+    println!("Paper (Table IV, Amazon Men):");
+    println!("  PSNR  FGSM: 41.417 / 40.915 / 39.916 / 37.075   PGD: 41.417 / 41.259 / 40.891 / 40.034");
+    println!("  SSIM  FGSM: 0.9926 / 0.9921 / 0.9902 / 0.9802   PGD: 0.9926 / 0.9924 / 0.9920 / 0.9908");
+    println!("  PSM   FGSM: 0.0132 / 0.0248 / 0.0397 / 0.0502   PGD: 0.0328 / 0.0903 / 0.1877 / 0.2368");
+}

@@ -1,0 +1,39 @@
+//! Benchmark harness for the TAaMR reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Experiment binaries** (`src/bin/table1 … table4, figure2`): each
+//!   regenerates one artifact of the paper's evaluation section. They share
+//!   one expensive pipeline run through the JSON cache in
+//!   [`taamr::experiment`], so running all five costs barely more than
+//!   running one. Scale is controlled by `TAAMR_SCALE=tiny|medium|full`
+//!   (default `medium`).
+//! * **Criterion benches** (`benches/`): micro/meso benchmarks of the
+//!   substrates (tensor ops, CNN forward/backward, attack throughput,
+//!   recommender training and scoring) plus ablation benches for the design
+//!   choices called out in `DESIGN.md`.
+
+#![deny(missing_docs)]
+
+use taamr::{DatasetReport, ExperimentScale};
+
+/// Prints the shared experiment header (scale, cache note).
+pub fn print_header(artifact: &str, scale: ExperimentScale) {
+    println!("== TAaMR reproduction — {artifact} (scale: {scale:?}) ==");
+    println!(
+        "   (set TAAMR_SCALE=tiny|medium|full; reports are cached under target/ and reused)"
+    );
+    println!();
+}
+
+/// Prints CNN quality context that Table II/III numbers depend on.
+pub fn print_cnn_context(reports: &[DatasetReport]) {
+    for r in reports {
+        println!(
+            "   [{}] CNN holdout accuracy on catalog renders: {:.1}%",
+            r.dataset_name,
+            r.cnn_holdout_accuracy * 100.0
+        );
+    }
+    println!();
+}

@@ -1,0 +1,218 @@
+//! Item-image rendering and CNN feature extraction.
+
+use taamr_data::ImplicitDataset;
+use taamr_nn::ImageClassifier;
+use taamr_tensor::Tensor;
+use taamr_vision::{images_to_tensor, Category, Image, ProductImageGenerator};
+
+/// The rendered product image of every item in a dataset.
+///
+/// Item `i`'s image is a deterministic function of the catalog seed, the
+/// item id and its category, so the clean image can always be re-derived.
+#[derive(Debug, Clone)]
+pub struct CatalogImages {
+    images: Vec<Image>,
+}
+
+/// Seed offset separating CNN-training renders from catalog-item renders so
+/// the classifier is never trained on the exact images it will extract
+/// features from (mirroring the paper's ImageNet-pretrained extractor).
+pub(crate) const TRAIN_SEED_OFFSET: u64 = 1 << 40;
+
+impl CatalogImages {
+    /// Renders the image of every item in `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an item's category id does not map to a [`Category`].
+    pub fn render(dataset: &ImplicitDataset, generator: &ProductImageGenerator) -> Self {
+        let images = (0..dataset.num_items())
+            .map(|i| {
+                let cat = Category::from_id(dataset.item_category(i))
+                    .expect("dataset categories map to vision categories");
+                generator.generate(cat, i as u64)
+            })
+            .collect();
+        CatalogImages { images }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The image of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn image(&self, i: usize) -> &Image {
+        &self.images[i]
+    }
+
+    /// All images, indexed by item id.
+    pub fn images(&self) -> &[Image] {
+        &self.images
+    }
+
+    /// Stacks the images of the given items into an NCHW batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or any id is out of range.
+    pub fn batch(&self, items: &[usize]) -> Tensor {
+        let selected: Vec<Image> = items.iter().map(|&i| self.images[i].clone()).collect();
+        images_to_tensor(&selected)
+    }
+}
+
+/// Extracts layer-`e` features for a list of images, in mini-batches.
+///
+/// Returns a row-major `images.len() × feature_dim` matrix.
+///
+/// # Panics
+///
+/// Panics if `images` is empty or `batch_size` is zero.
+pub fn extract_features(
+    model: &mut dyn ImageClassifier,
+    images: &[Image],
+    batch_size: usize,
+) -> Vec<f32> {
+    assert!(!images.is_empty(), "cannot extract features of zero images");
+    assert!(batch_size > 0, "batch size must be positive");
+    let d = model.feature_dim();
+    let mut out = Vec::with_capacity(images.len() * d);
+    for chunk in images.chunks(batch_size) {
+        let batch = images_to_tensor(chunk);
+        let features = model.features(&batch);
+        debug_assert_eq!(features.dims(), &[chunk.len(), d]);
+        out.extend_from_slice(features.as_slice());
+    }
+    out
+}
+
+/// L2-normalises each row of a row-major `rows × d` feature matrix in place.
+///
+/// VBPR-style models are trained with per-item L2-normalised features (raw
+/// CNN activations have arbitrary scale and destabilise the pairwise SGD);
+/// zero rows are left untouched.
+///
+/// # Panics
+///
+/// Panics if `d` is zero or `features.len()` is not a multiple of `d`.
+pub fn l2_normalize_rows(features: &mut [f32], d: usize) {
+    assert!(d > 0, "feature dimension must be positive");
+    assert_eq!(features.len() % d, 0, "matrix length must be a multiple of d");
+    for row in features.chunks_exact_mut(d) {
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for v in row {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+/// Renders the CNN's supervised training set: `per_category` images of every
+/// category, with item seeds disjoint from the catalog renders.
+///
+/// Returns `(images, labels)` where labels are category ids.
+pub(crate) fn render_training_set(
+    generator: &ProductImageGenerator,
+    per_category: usize,
+) -> (Vec<Image>, Vec<usize>) {
+    let mut images = Vec::with_capacity(Category::COUNT * per_category);
+    let mut labels = Vec::with_capacity(Category::COUNT * per_category);
+    for cat in Category::ALL {
+        for k in 0..per_category {
+            images.push(generator.generate(cat, TRAIN_SEED_OFFSET + k as u64));
+            labels.push(cat.id());
+        }
+    }
+    (images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taamr_nn::{TinyResNet, TinyResNetConfig};
+    use taamr_tensor::seeded_rng;
+
+    fn toy_dataset() -> ImplicitDataset {
+        ImplicitDataset::new(vec![vec![0, 1, 2]], vec![0, 3, 5, 0], Category::COUNT)
+    }
+
+    #[test]
+    fn render_produces_one_image_per_item() {
+        let gen = ProductImageGenerator::new(16, 1);
+        let catalog = CatalogImages::render(&toy_dataset(), &gen);
+        assert_eq!(catalog.len(), 4);
+        assert!(!catalog.is_empty());
+        // Items of the same category but different ids look different.
+        assert_ne!(catalog.image(0), catalog.image(3));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let gen = ProductImageGenerator::new(16, 1);
+        let a = CatalogImages::render(&toy_dataset(), &gen);
+        let b = CatalogImages::render(&toy_dataset(), &gen);
+        assert_eq!(a.images(), b.images());
+    }
+
+    #[test]
+    fn batch_stacks_selected_items() {
+        let gen = ProductImageGenerator::new(16, 2);
+        let catalog = CatalogImages::render(&toy_dataset(), &gen);
+        let batch = catalog.batch(&[1, 3]);
+        assert_eq!(batch.dims(), &[2, 3, 16, 16]);
+    }
+
+    #[test]
+    fn feature_extraction_shape_and_batch_invariance() {
+        let gen = ProductImageGenerator::new(16, 3);
+        let catalog = CatalogImages::render(&toy_dataset(), &gen);
+        let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
+        let f1 = extract_features(&mut net, catalog.images(), 4);
+        let f2 = extract_features(&mut net, catalog.images(), 1);
+        assert_eq!(f1.len(), 4 * net.feature_dim());
+        // Batch size must not change the result (eval-mode BN).
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_rows_produces_unit_rows() {
+        let mut m = vec![3.0, 4.0, 0.0, 0.0, 1.0, 1.0];
+        l2_normalize_rows(&mut m, 2);
+        assert!((m[0] - 0.6).abs() < 1e-6 && (m[1] - 0.8).abs() < 1e-6);
+        assert_eq!(&m[2..4], &[0.0, 0.0]); // zero row untouched
+        let n = (m[4] * m[4] + m[5] * m[5]).sqrt();
+        assert!((n - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of d")]
+    fn l2_normalize_rejects_ragged_matrix() {
+        l2_normalize_rows(&mut [1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn training_set_covers_all_categories_disjoint_from_catalog() {
+        let gen = ProductImageGenerator::new(16, 4);
+        let (images, labels) = render_training_set(&gen, 3);
+        assert_eq!(images.len(), Category::COUNT * 3);
+        for cat in Category::ALL {
+            assert_eq!(labels.iter().filter(|&&l| l == cat.id()).count(), 3);
+        }
+        // Disjoint seeds: a training render differs from the item-0 render.
+        let item_render = gen.generate(Category::Sock, 0);
+        assert!(images.iter().all(|img| img != &item_render));
+    }
+}

@@ -1,0 +1,229 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+use taamr_data::SyntheticConfig;
+use taamr_recsys::{AmrConfig, VbprConfig};
+
+/// How large an experiment to run.
+///
+/// The paper's scale (ResNet50, 80k items, 4000 epochs) is not reachable on
+/// one CPU core; these presets trade fidelity for wall-clock while keeping
+/// every code path identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Seconds: unit/integration tests.
+    Tiny,
+    /// A few minutes: the default for the table-regenerating binaries.
+    Medium,
+    /// Tens of minutes: closest to the paper's shape.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the `TAAMR_SCALE` environment variable
+    /// (`tiny` / `medium` / `full`), defaulting to [`ExperimentScale::Medium`].
+    pub fn from_env() -> Self {
+        match std::env::var("TAAMR_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => ExperimentScale::Tiny,
+            "full" => ExperimentScale::Full,
+            _ => ExperimentScale::Medium,
+        }
+    }
+}
+
+/// CNN training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Square image side length.
+    pub image_size: usize,
+    /// Training images rendered per category.
+    pub train_images_per_category: usize,
+    /// Supervised training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+    /// Channels of the first stage (feature dim = base << (stages−1)).
+    pub base_channels: usize,
+    /// Number of stages.
+    pub stages: usize,
+}
+
+/// Recommender training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecTrainConfig {
+    /// Epochs of plain VBPR training before the checkpoint (the paper's
+    /// epoch 2000).
+    pub warmup_epochs: usize,
+    /// Further epochs for each branch: the checkpoint continues as plain
+    /// VBPR *and*, separately, as AMR (the paper's epochs 2000→4000).
+    pub finetune_epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+/// Everything needed to build a [`crate::Pipeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Interaction-data generator profile.
+    pub dataset: SyntheticConfig,
+    /// Seed of the procedural image catalog.
+    pub catalog_seed: u64,
+    /// CNN architecture and training.
+    pub cnn: CnnConfig,
+    /// VBPR hyper-parameters.
+    pub vbpr: VbprConfig,
+    /// AMR adversarial-regulariser hyper-parameters (paper: γ=0.1, η=1).
+    pub amr: AmrConfig,
+    /// Recommender training schedule.
+    pub rec_train: RecTrainConfig,
+    /// The `N` of CHR@N (paper: 100).
+    pub chr_n: usize,
+    /// Master seed for everything not covered by the dataset/catalog seeds.
+    pub seed: u64,
+    /// Attack scenarios as `(source, target)` category-id pairs. `None`
+    /// auto-selects from baseline CHR (lowest-CHR source, highest-CHR
+    /// targets in/out of its semantic group); the Amazon-shaped presets pin
+    /// the paper's scenarios (Sock→Running Shoes, Sock→Analog Clock;
+    /// Maillot→Brassiere, Maillot→Chain).
+    pub scenario_overrides: Option<Vec<(usize, usize)>>,
+}
+
+impl PipelineConfig {
+    /// A preset for the given scale, using the Amazon-Men-shaped dataset.
+    pub fn for_scale(scale: ExperimentScale) -> Self {
+        Self::for_scale_with_dataset(scale, SyntheticConfig::amazon_men_like())
+    }
+
+    /// A preset for the given scale over a specific dataset profile.
+    pub fn for_scale_with_dataset(scale: ExperimentScale, mut dataset: SyntheticConfig) -> Self {
+        let (cnn, rec_train, chr_n) = match scale {
+            ExperimentScale::Tiny => {
+                dataset.num_users = 60;
+                dataset.num_items = 150;
+                dataset.mean_interactions_per_user = 9.0;
+                (
+                    CnnConfig {
+                        image_size: 16,
+                        train_images_per_category: 6,
+                        epochs: 2,
+                        batch_size: 16,
+                        lr: 0.05,
+                        blocks_per_stage: 1,
+                        base_channels: 4,
+                        stages: 2,
+                    },
+                    RecTrainConfig { warmup_epochs: 5, finetune_epochs: 5, lr: 0.05 },
+                    20,
+                )
+            }
+            ExperimentScale::Medium => {
+                dataset.num_users /= 2;
+                dataset.num_items /= 2;
+                (
+                    CnnConfig {
+                        image_size: 32,
+                        train_images_per_category: 40,
+                        epochs: 6,
+                        batch_size: 16,
+                        lr: 0.05,
+                        blocks_per_stage: 1,
+                        base_channels: 12,
+                        stages: 3,
+                    },
+                    RecTrainConfig { warmup_epochs: 40, finetune_epochs: 40, lr: 0.05 },
+                    100,
+                )
+            }
+            ExperimentScale::Full => (
+                CnnConfig {
+                    image_size: 32,
+                    train_images_per_category: 80,
+                    epochs: 12,
+                    batch_size: 16,
+                    lr: 0.05,
+                    blocks_per_stage: 1,
+                    base_channels: 16,
+                    stages: 3,
+                },
+                RecTrainConfig { warmup_epochs: 100, finetune_epochs: 100, lr: 0.05 },
+                100,
+            ),
+        };
+        // The paper's named scenarios for the two Amazon-shaped profiles;
+        // other datasets fall back to CHR-based auto-selection.
+        use taamr_vision::Category as C;
+        let scenario_overrides = if dataset.name.contains("Amazon Men") {
+            Some(vec![
+                (C::Sock.id(), C::RunningShoe.id()),
+                (C::Sock.id(), C::AnalogClock.id()),
+            ])
+        } else if dataset.name.contains("Amazon Women") {
+            Some(vec![
+                (C::Maillot.id(), C::Brassiere.id()),
+                (C::Maillot.id(), C::Chain.id()),
+            ])
+        } else {
+            None
+        };
+        PipelineConfig {
+            dataset,
+            catalog_seed: 0xCA7A,
+            cnn,
+            vbpr: VbprConfig::default(),
+            amr: AmrConfig::default(),
+            rec_train,
+            chr_n,
+            seed: 0x7AA317,
+            scenario_overrides,
+        }
+    }
+
+    /// The CNN feature dimension implied by the architecture.
+    pub fn feature_dim(&self) -> usize {
+        self.cnn.base_channels << (self.cnn.stages.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for scale in [ExperimentScale::Tiny, ExperimentScale::Medium, ExperimentScale::Full] {
+            let cfg = PipelineConfig::for_scale(scale);
+            assert!(cfg.cnn.image_size >= 16);
+            assert!(cfg.chr_n > 0);
+            assert!(cfg.feature_dim() > 0);
+            assert!(cfg.dataset.num_categories == 12);
+        }
+    }
+
+    #[test]
+    fn tiny_is_smaller_than_full() {
+        let tiny = PipelineConfig::for_scale(ExperimentScale::Tiny);
+        let full = PipelineConfig::for_scale(ExperimentScale::Full);
+        assert!(tiny.dataset.num_items < full.dataset.num_items);
+        assert!(tiny.cnn.epochs < full.cnn.epochs);
+        assert!(tiny.rec_train.warmup_epochs < full.rec_train.warmup_epochs);
+    }
+
+    #[test]
+    fn feature_dim_matches_architecture() {
+        let cfg = PipelineConfig::for_scale(ExperimentScale::Full);
+        assert_eq!(cfg.feature_dim(), 16 << 2);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_medium() {
+        // Do not mutate the environment (tests run concurrently); just check
+        // the default path when the variable is absent or unrecognised.
+        if std::env::var("TAAMR_SCALE").is_err() {
+            assert_eq!(ExperimentScale::from_env(), ExperimentScale::Medium);
+        }
+    }
+}

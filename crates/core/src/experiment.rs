@@ -1,0 +1,154 @@
+//! Experiment drivers regenerating the paper's tables and figures.
+//!
+//! The heavy work (training the CNN and the recommenders, running every
+//! attack) happens once per dataset in [`run_dataset`]; the result is cached
+//! as JSON under `target/` so the `table1…table4` / `figure2` binaries can
+//! share one pipeline run. Delete the cache files (or set a different
+//! `TAAMR_SCALE`) to force a re-run.
+
+use std::fs;
+use std::path::PathBuf;
+
+use taamr_data::SyntheticConfig;
+
+use crate::{
+    DatasetReport, ExperimentScale, Figure2Report, ModelKind, Pipeline, PipelineConfig,
+};
+
+/// The two dataset profiles of the paper's Table I.
+pub fn paper_datasets() -> [SyntheticConfig; 2] {
+    [SyntheticConfig::amazon_men_like(), SyntheticConfig::amazon_women_like()]
+}
+
+/// Builds a pipeline and runs the paper's experiment on one dataset profile.
+pub fn run_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> DatasetReport {
+    let config = PipelineConfig::for_scale_with_dataset(scale, dataset);
+    let mut pipeline = Pipeline::build(&config);
+    pipeline.run_paper_experiment()
+}
+
+/// Cache path for one dataset's report at one scale.
+fn cache_path(scale: ExperimentScale, dataset_name: &str) -> PathBuf {
+    let slug: String = dataset_name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+    PathBuf::from(dir).join(format!("taamr-report-{scale:?}-{slug}.json").to_lowercase())
+}
+
+/// Runs (or loads from cache) the paper experiment for one dataset profile.
+///
+/// The cache makes the four table binaries share a single expensive pipeline
+/// run. Corrupt or unreadable cache files are ignored and regenerated.
+pub fn run_or_load_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> DatasetReport {
+    let path = cache_path(scale, &dataset.name);
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(report) = serde_json::from_slice::<DatasetReport>(&bytes) {
+            eprintln!("loaded cached report from {}", path.display());
+            return report;
+        }
+        eprintln!("cache at {} is unreadable; regenerating", path.display());
+    }
+    let report = run_dataset(scale, dataset);
+    if let Ok(json) = serde_json::to_vec_pretty(&report) {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        match fs::write(&path, json) {
+            Ok(()) => eprintln!("cached report at {}", path.display()),
+            Err(e) => eprintln!("could not cache report: {e}"),
+        }
+    }
+    report
+}
+
+/// Runs (or loads) both paper datasets at the given scale.
+pub fn run_or_load_all(scale: ExperimentScale) -> Vec<DatasetReport> {
+    paper_datasets().into_iter().map(|d| run_or_load_dataset(scale, d)).collect()
+}
+
+/// Regenerates the paper's Fig. 2 example on the Men-like dataset, at the
+/// paper's ε = 8 and at ε = 16 (our smaller CNN's fully-flipped regime).
+pub fn run_figure2(scale: ExperimentScale) -> Vec<Figure2Report> {
+    let config =
+        PipelineConfig::for_scale_with_dataset(scale, SyntheticConfig::amazon_men_like());
+    let mut pipeline = Pipeline::build(&config);
+    let scenario = pipeline
+        .experiment_scenarios(ModelKind::Vbpr)
+        .into_iter()
+        .next()
+        .expect("a scenario exists");
+    let reports = vec![
+        pipeline.figure2_example_at(
+            ModelKind::Vbpr,
+            scenario,
+            taamr_attack::Epsilon::from_255(8.0),
+        ),
+        pipeline.figure2_example_at(
+            ModelKind::Vbpr,
+            scenario,
+            taamr_attack::Epsilon::from_255(16.0),
+        ),
+    ];
+    // Dump the figure's panels as PPM files for visual inspection.
+    for report in &reports {
+        save_figure2_panels(&mut pipeline, scenario, report);
+    }
+    reports
+}
+
+/// Saves the clean and attacked images of a Fig. 2 report under `target/`.
+fn save_figure2_panels(
+    pipeline: &mut Pipeline,
+    scenario: crate::AttackScenario,
+    report: &Figure2Report,
+) {
+    use taamr_attack::{Attack, AttackGoal, Epsilon, Pgd};
+    let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+    let eps = Epsilon::from_255(report.epsilon_255);
+    let clean = pipeline.catalog().batch(&[report.item]);
+    // Reproduce the attack with the same seed the pipeline used.
+    let mut rng = rand::SeedableRng::seed_from_u64(pipeline.config().seed ^ 0xF16);
+    let adv = Pgd::new(eps).perturb(
+        pipeline.classifier_mut(),
+        &clean,
+        AttackGoal::Targeted(scenario.target.id()),
+        &mut rng,
+    );
+    let clean_img = pipeline.catalog().image(report.item).clone();
+    let adv_imgs = taamr_vision::tensor_to_images(&adv.images).expect("attack preserves shape");
+    let eps_tag = report.epsilon_255 as u32;
+    let clean_path = format!("{dir}/figure2-item{}-clean.ppm", report.item);
+    let adv_path = format!("{dir}/figure2-item{}-eps{}-attacked.ppm", report.item, eps_tag);
+    if clean_img.save_ppm(&clean_path).is_ok() && adv_imgs[0].save_ppm(&adv_path).is_ok() {
+        eprintln!("saved panels: {clean_path} / {adv_path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_paths_are_distinct_per_dataset_and_scale() {
+        let a = cache_path(ExperimentScale::Tiny, "Amazon Men (synthetic)");
+        let b = cache_path(ExperimentScale::Tiny, "Amazon Women (synthetic)");
+        let c = cache_path(ExperimentScale::Full, "Amazon Men (synthetic)");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.to_string_lossy().ends_with(".json"));
+    }
+
+    #[test]
+    fn run_dataset_tiny_produces_full_grid() {
+        let report = run_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like());
+        // 2 models × ≤2 scenarios × 2 attacks × 4 ε.
+        assert!(!report.outcomes.is_empty());
+        assert_eq!(report.outcomes.len() % 8, 0, "each scenario contributes 8 outcomes");
+        // Table renders work on real data.
+        assert!(report.render_table2().contains("TABLE II"));
+        assert!(report.render_table3().contains("TABLE III"));
+        assert!(report.render_table4().contains("PSNR"));
+    }
+}

@@ -1,0 +1,54 @@
+//! TAaMR: Targeted Adversarial Attacks against Multimedia Recommender
+//! Systems — a full-system reproduction of Di Noia, Malitesta & Merra
+//! (DSN 2020) in pure Rust.
+//!
+//! The attack: perturb the product images of a *low-recommended* category so
+//! that a CNN feature extractor misclassifies them as a *highly recommended*
+//! target category; the visual recommender (VBPR, or its adversarially
+//! trained variant AMR) then pushes the attacked items up its top-N lists.
+//!
+//! The crate wires together the substrates built for this reproduction:
+//!
+//! | stage | crate |
+//! |---|---|
+//! | product-image catalog | [`taamr_vision`] |
+//! | CNN classifier / feature extractor (layer `e`) | [`taamr_nn`] |
+//! | implicit feedback data (Zipf popularity, 5-core) | [`taamr_data`] |
+//! | recommenders: BPR-MF, VBPR, AMR | [`taamr_recsys`] |
+//! | attacks: FGSM, BIM, PGD | [`taamr_attack`] |
+//! | CHR@N, success rate, PSNR/SSIM/PSM | [`taamr_metrics`] |
+//!
+//! The central type is [`Pipeline`]: it builds the whole system (train CNN →
+//! render catalog → extract features → train VBPR → continue as VBPR and as
+//! AMR), evaluates baseline Category Hit Ratios, selects the paper's two
+//! attack scenarios (semantically similar and dissimilar source→target
+//! pairs), runs the attacks across the ε sweep, and measures every quantity
+//! the paper's tables report.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use taamr::{ExperimentScale, Pipeline, PipelineConfig};
+//!
+//! let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
+//! let mut pipeline = Pipeline::build(&config);
+//! let report = pipeline.run_paper_experiment();
+//! println!("{}", report.render_table2());
+//! ```
+
+#![deny(missing_docs)]
+
+mod catalog;
+mod config;
+pub mod experiment;
+mod pipeline;
+mod report;
+mod scenario;
+
+pub use catalog::{extract_features, l2_normalize_rows, CatalogImages};
+pub use config::{CnnConfig, ExperimentScale, PipelineConfig, RecTrainConfig};
+pub use pipeline::{AttackOutcome, ItemToItemOutcome, ModelKind, Pipeline};
+pub use report::{
+    DatasetReport, Figure2Report, Table2Row, Table3Row, Table4Row, VisualQuality,
+};
+pub use scenario::AttackScenario;

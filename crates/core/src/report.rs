@@ -1,0 +1,368 @@
+//! Report types rendering the paper's tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taamr_data::DatasetStats;
+
+use crate::pipeline::{AttackOutcome, ModelKind};
+
+/// Mean visual-quality metrics of a batch of attacked images (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisualQuality {
+    /// Peak signal-to-noise ratio, dB.
+    pub psnr: f64,
+    /// Structural similarity index.
+    pub ssim: f64,
+    /// Perceptual similarity metric (feature reconstruction distance).
+    pub psm: f64,
+}
+
+/// One Table II row: a (model, attack, scenario) triple with the
+/// after-attack CHR@N at each ε.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Recommender model.
+    pub model: ModelKind,
+    /// Attack name.
+    pub attack: String,
+    /// Scenario header, e.g. `Sock(2.12)→Running Shoes(7.89)`.
+    pub scenario: String,
+    /// Whether the scenario is semantically similar.
+    pub semantically_similar: bool,
+    /// Source CHR before attack (×100).
+    pub chr_before: f64,
+    /// `(ε_255, CHR_after ×100)` per budget, ascending ε.
+    pub chr_after: Vec<(f32, f64)>,
+}
+
+/// One Table III row: targeted success probability per ε.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Scenario, e.g. `Sock→Running Shoes`.
+    pub scenario: String,
+    /// Attack name.
+    pub attack: String,
+    /// `(ε_255, success rate ∈ [0,1])` per budget.
+    pub success: Vec<(f32, f64)>,
+}
+
+/// One Table IV row: a visual metric for one attack per ε.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Metric name ("PSNR" / "SSIM" / "PSM").
+    pub metric: String,
+    /// Attack name.
+    pub attack: String,
+    /// `(ε_255, mean value)` per budget.
+    pub values: Vec<(f32, f64)>,
+}
+
+/// The paper's Fig. 2: one item before/after a PGD ε=8 attack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2Report {
+    /// Attacked item id.
+    pub item: usize,
+    /// Source category name.
+    pub source: String,
+    /// Target category name.
+    pub target: String,
+    /// Attack budget (0–255 scale).
+    pub epsilon_255: f32,
+    /// P(source class) on the clean image.
+    pub source_prob_before: f64,
+    /// P(target class) on the clean image.
+    pub target_prob_before: f64,
+    /// P(source class) on the attacked image.
+    pub source_prob_after: f64,
+    /// P(target class) on the attacked image.
+    pub target_prob_after: f64,
+    /// Class predicted for the attacked image.
+    pub predicted_after: String,
+    /// Mean recommendation rank across users before the attack.
+    pub mean_rank_before: f64,
+    /// Mean recommendation rank across users after the attack.
+    pub mean_rank_after: f64,
+    /// Best (minimum) rank across users before the attack — the analogue of
+    /// the paper's single-user "rec. position".
+    pub best_rank_before: usize,
+    /// Best rank across users after the attack.
+    pub best_rank_after: usize,
+}
+
+impl fmt::Display for Figure2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — item {} ({}), PGD ε={}", self.item, self.source, self.epsilon_255)?;
+        writeln!(
+            f,
+            "  (a) original ({}):  P({}) = {:.0}%   rec. position: {} (mean {:.0})",
+            self.source,
+            self.source,
+            self.source_prob_before * 100.0,
+            self.best_rank_before,
+            self.mean_rank_before
+        )?;
+        writeln!(
+            f,
+            "  (b) attacked ({}):  P({}) = {:.0}%   rec. position: {} (mean {:.0})",
+            self.predicted_after,
+            self.target,
+            self.target_prob_after * 100.0,
+            self.best_rank_after,
+            self.mean_rank_after
+        )
+    }
+}
+
+/// Everything measured for one dataset: the raw outcomes plus the dataset
+/// statistics. [`DatasetReport::table2`], [`table3`](DatasetReport::table3)
+/// and [`table4`](DatasetReport::table4) pivot the outcomes into the paper's
+/// table layouts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetReport {
+    /// Dataset display name.
+    pub dataset_name: String,
+    /// Table I statistics.
+    pub stats: DatasetStats,
+    /// The `N` of CHR@N.
+    pub chr_n: usize,
+    /// CNN accuracy on the unseen catalog renders.
+    pub cnn_holdout_accuracy: f32,
+    /// Every attack outcome.
+    pub outcomes: Vec<AttackOutcome>,
+}
+
+impl DatasetReport {
+    /// Pivots the outcomes into Table II rows (CHR@N after attack per ε).
+    pub fn table2(&self) -> Vec<Table2Row> {
+        let mut rows: BTreeMap<(String, String, String), Table2Row> = BTreeMap::new();
+        for o in &self.outcomes {
+            let scenario = format!(
+                "{}({:.3})→{}({:.3})",
+                o.source, o.chr_source_before, o.target, o.chr_target_before
+            );
+            let key = (o.model.name().to_owned(), o.attack.clone(), scenario.clone());
+            let row = rows.entry(key).or_insert_with(|| Table2Row {
+                model: o.model,
+                attack: o.attack.clone(),
+                scenario,
+                semantically_similar: o.semantically_similar,
+                chr_before: o.chr_source_before,
+                chr_after: Vec::new(),
+            });
+            row.chr_after.push((o.epsilon_255, o.chr_source_after));
+        }
+        let mut out: Vec<Table2Row> = rows.into_values().collect();
+        for r in &mut out {
+            r.chr_after.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        out
+    }
+
+    /// Pivots the outcomes into Table III rows (success probability per ε).
+    ///
+    /// Success rates depend only on the CNN, not the recommender, so
+    /// duplicate (scenario, attack) cells across models are averaged.
+    pub fn table3(&self) -> Vec<Table3Row> {
+        let mut acc: BTreeMap<(String, String), BTreeMap<u32, (f64, usize)>> = BTreeMap::new();
+        for o in &self.outcomes {
+            let key = (format!("{}→{}", o.source, o.target), o.attack.clone());
+            let cell = acc.entry(key).or_default().entry(o.epsilon_255 as u32).or_insert((0.0, 0));
+            cell.0 += o.success_rate;
+            cell.1 += 1;
+        }
+        acc.into_iter()
+            .map(|((scenario, attack), cells)| Table3Row {
+                scenario,
+                attack,
+                success: cells
+                    .into_iter()
+                    .map(|(eps, (sum, n))| (eps as f32, sum / n as f64))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Pivots the outcomes into Table IV rows (mean PSNR/SSIM/PSM per ε,
+    /// averaged over scenarios and models per attack).
+    pub fn table4(&self) -> Vec<Table4Row> {
+        let mut acc: BTreeMap<(String, String), BTreeMap<u32, (f64, usize)>> = BTreeMap::new();
+        for o in &self.outcomes {
+            for (metric, value) in [
+                ("PSNR", o.visual.psnr),
+                ("SSIM", o.visual.ssim),
+                ("PSM", o.visual.psm),
+            ] {
+                let cell = acc
+                    .entry((metric.to_owned(), o.attack.clone()))
+                    .or_default()
+                    .entry(o.epsilon_255 as u32)
+                    .or_insert((0.0, 0));
+                cell.0 += value;
+                cell.1 += 1;
+            }
+        }
+        acc.into_iter()
+            .map(|((metric, attack), cells)| Table4Row {
+                metric,
+                attack,
+                values: cells
+                    .into_iter()
+                    .map(|(eps, (sum, n))| (eps as f32, sum / n as f64))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Renders Table II as text.
+    pub fn render_table2(&self) -> String {
+        let mut s = format!(
+            "TABLE II — CHR@{} after TAaMR attacks, {} (×100, as in the paper)\n",
+            self.chr_n, self.dataset_name
+        );
+        let mut rows = self.table2();
+        rows.sort_by_key(|r| (!r.semantically_similar, r.model.name(), r.attack.clone()));
+        for r in rows {
+            let eps: Vec<String> =
+                r.chr_after.iter().map(|(e, v)| format!("ε={e}: {v:.3}")).collect();
+            s.push_str(&format!(
+                "  {:<4} {:<5} {:<44} before {:>7.3} | {}\n",
+                r.model.name(),
+                r.attack,
+                r.scenario,
+                r.chr_before,
+                eps.join("  ")
+            ));
+        }
+        s
+    }
+
+    /// Renders Table III as text.
+    pub fn render_table3(&self) -> String {
+        let mut s = format!("TABLE III — targeted attack success probability, {}\n", self.dataset_name);
+        for r in self.table3() {
+            let eps: Vec<String> =
+                r.success.iter().map(|(e, v)| format!("ε={e}: {:>6.2}%", v * 100.0)).collect();
+            s.push_str(&format!("  {:<28} {:<5} {}\n", r.scenario, r.attack, eps.join("  ")));
+        }
+        s
+    }
+
+    /// Renders Table IV as text.
+    pub fn render_table4(&self) -> String {
+        let mut s = format!("TABLE IV — average visual-quality metrics, {}\n", self.dataset_name);
+        for r in self.table4() {
+            let eps: Vec<String> =
+                r.values.iter().map(|(e, v)| format!("ε={e}: {v:.4}")).collect();
+            s.push_str(&format!("  {:<5} {:<5} {}\n", r.metric, r.attack, eps.join("  ")));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(model: ModelKind, attack: &str, eps: f32, chr_after: f64) -> AttackOutcome {
+        AttackOutcome {
+            attack: attack.to_owned(),
+            epsilon_255: eps,
+            model,
+            source: "Sock".into(),
+            target: "Running Shoes".into(),
+            semantically_similar: true,
+            chr_source_before: 2.0,
+            chr_target_before: 8.0,
+            chr_source_after: chr_after,
+            success_rate: 0.5,
+            visual: VisualQuality { psnr: 40.0, ssim: 0.99, psm: 0.01 },
+            attacked_items: 10,
+        }
+    }
+
+    fn report() -> DatasetReport {
+        DatasetReport {
+            dataset_name: "Test".into(),
+            stats: DatasetStats {
+                name: "Test".into(),
+                num_users: 10,
+                num_items: 20,
+                num_interactions: 80,
+            },
+            chr_n: 100,
+            cnn_holdout_accuracy: 0.9,
+            outcomes: vec![
+                outcome(ModelKind::Vbpr, "FGSM", 2.0, 2.1),
+                outcome(ModelKind::Vbpr, "FGSM", 4.0, 2.5),
+                outcome(ModelKind::Vbpr, "PGD", 2.0, 3.6),
+                outcome(ModelKind::Amr, "PGD", 2.0, 2.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn table2_groups_by_model_attack_scenario() {
+        let t2 = report().table2();
+        assert_eq!(t2.len(), 3);
+        let fgsm = t2.iter().find(|r| r.attack == "FGSM").unwrap();
+        assert_eq!(fgsm.chr_after, vec![(2.0, 2.1), (4.0, 2.5)]);
+        assert_eq!(fgsm.chr_before, 2.0);
+    }
+
+    #[test]
+    fn table3_averages_duplicate_cells() {
+        let t3 = report().table3();
+        let pgd = t3.iter().find(|r| r.attack == "PGD").unwrap();
+        // Two PGD outcomes at ε=2 (VBPR and AMR), same success 0.5.
+        assert_eq!(pgd.success, vec![(2.0, 0.5)]);
+    }
+
+    #[test]
+    fn table4_has_three_metrics_per_attack() {
+        let t4 = report().table4();
+        let metrics: std::collections::HashSet<&str> =
+            t4.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(metrics.len(), 3);
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_mention_the_scenario() {
+        let r = report();
+        assert!(r.render_table2().contains("Sock"));
+        assert!(r.render_table3().contains("FGSM"));
+        assert!(r.render_table4().contains("PSNR"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DatasetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.outcomes.len(), r.outcomes.len());
+        assert_eq!(back.dataset_name, r.dataset_name);
+    }
+
+    #[test]
+    fn figure2_display_shows_both_panels() {
+        let fig = Figure2Report {
+            item: 7,
+            source: "Sock".into(),
+            target: "Running Shoes".into(),
+            epsilon_255: 8.0,
+            source_prob_before: 0.6,
+            target_prob_before: 0.1,
+            source_prob_after: 0.0,
+            target_prob_after: 1.0,
+            predicted_after: "Running Shoes".into(),
+            mean_rank_before: 180.0,
+            mean_rank_after: 14.0,
+            best_rank_before: 150,
+            best_rank_after: 9,
+        };
+        let s = fig.to_string();
+        assert!(s.contains("original") && s.contains("attacked"));
+        assert!(s.contains("180") && s.contains("14"));
+    }
+}

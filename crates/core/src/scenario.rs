@@ -1,0 +1,140 @@
+//! Attack scenario selection.
+
+use std::fmt;
+
+use taamr_vision::Category;
+
+/// A source→target attack scenario: perturb images of `source` so the CNN
+/// classifies them as `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttackScenario {
+    /// The low-recommended category whose item images are perturbed.
+    pub source: Category,
+    /// The highly recommended category the CNN is steered towards.
+    pub target: Category,
+}
+
+impl AttackScenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == target`.
+    pub fn new(source: Category, target: Category) -> Self {
+        assert_ne!(source, target, "source and target must differ");
+        AttackScenario { source, target }
+    }
+
+    /// Whether the pair is semantically similar (same [`taamr_vision::SemanticGroup`]).
+    pub fn is_semantically_similar(&self) -> bool {
+        self.source.is_semantically_similar(self.target)
+    }
+
+    /// Picks the paper's two scenarios from baseline per-category CHR values:
+    ///
+    /// * **source** — the category with the *lowest* CHR among categories
+    ///   with at least `min_items` items (the attacker pushes an unpopular
+    ///   category);
+    /// * **similar target** — the highest-CHR category in the source's
+    ///   semantic group;
+    /// * **dissimilar target** — the highest-CHR category outside it.
+    ///
+    /// Returns `(similar, dissimilar)`; either is `None` when no candidate
+    /// category exists (e.g. the source's group has no other member with
+    /// items).
+    pub fn select_pair(
+        chr_per_category: &[f64],
+        category_sizes: &[usize],
+        min_items: usize,
+    ) -> (Option<AttackScenario>, Option<AttackScenario>) {
+        assert_eq!(
+            chr_per_category.len(),
+            category_sizes.len(),
+            "one CHR and one size per category"
+        );
+        let eligible = |c: usize| category_sizes[c] >= min_items;
+        let source_id = (0..chr_per_category.len())
+            .filter(|&c| eligible(c) && Category::from_id(c).is_some())
+            .min_by(|&a, &b| chr_per_category[a].total_cmp(&chr_per_category[b]));
+        let Some(source_id) = source_id else {
+            return (None, None);
+        };
+        let source = Category::from_id(source_id).expect("checked above");
+
+        let best_target = |same_group: bool| -> Option<AttackScenario> {
+            (0..chr_per_category.len())
+                .filter(|&c| c != source_id && eligible(c))
+                .filter_map(|c| Category::from_id(c))
+                .filter(|t| source.is_semantically_similar(*t) == same_group)
+                .max_by(|a, b| chr_per_category[a.id()].total_cmp(&chr_per_category[b.id()]))
+                .map(|t| AttackScenario::new(source, t))
+        };
+        (best_target(true), best_target(false))
+    }
+}
+
+impl fmt::Display for AttackScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{}", self.source, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_follows_semantic_groups() {
+        let s = AttackScenario::new(Category::Sock, Category::RunningShoe);
+        assert!(s.is_semantically_similar());
+        let d = AttackScenario::new(Category::Sock, Category::AnalogClock);
+        assert!(!d.is_semantically_similar());
+        assert_eq!(s.to_string(), "Sock→Running Shoes");
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_target_panics() {
+        AttackScenario::new(Category::Sock, Category::Sock);
+    }
+
+    #[test]
+    fn selection_picks_low_source_and_high_targets() {
+        // CHR: Sock lowest; RunningShoe highest in Footwear; AnalogClock
+        // highest outside.
+        let mut chr = vec![0.05; Category::COUNT];
+        chr[Category::Sock.id()] = 0.001;
+        chr[Category::RunningShoe.id()] = 0.2;
+        chr[Category::Sandal.id()] = 0.1;
+        chr[Category::AnalogClock.id()] = 0.3;
+        chr[Category::Chain.id()] = 0.25;
+        let sizes = vec![10; Category::COUNT];
+        let (similar, dissimilar) = AttackScenario::select_pair(&chr, &sizes, 1);
+        let similar = similar.unwrap();
+        let dissimilar = dissimilar.unwrap();
+        assert_eq!(similar.source, Category::Sock);
+        assert_eq!(similar.target, Category::RunningShoe);
+        assert!(similar.is_semantically_similar());
+        assert_eq!(dissimilar.source, Category::Sock);
+        assert_eq!(dissimilar.target, Category::AnalogClock);
+        assert!(!dissimilar.is_semantically_similar());
+    }
+
+    #[test]
+    fn selection_respects_min_items() {
+        let mut chr = vec![0.05; Category::COUNT];
+        chr[Category::Sock.id()] = 0.0001; // lowest, but too few items
+        let mut sizes = vec![10; Category::COUNT];
+        sizes[Category::Sock.id()] = 2;
+        let (similar, _) = AttackScenario::select_pair(&chr, &sizes, 5);
+        assert_ne!(similar.unwrap().source, Category::Sock);
+    }
+
+    #[test]
+    fn selection_handles_no_candidates() {
+        let chr = vec![0.1; Category::COUNT];
+        let sizes = vec![0; Category::COUNT];
+        let (s, d) = AttackScenario::select_pair(&chr, &sizes, 1);
+        assert!(s.is_none() && d.is_none());
+    }
+}

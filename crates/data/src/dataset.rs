@@ -1,0 +1,213 @@
+//! Core implicit-feedback dataset representation.
+
+use std::collections::HashSet;
+
+use crate::DatasetStats;
+
+/// An implicit-feedback dataset: users, items with category labels, and
+/// 0/1-valued interactions (the paper's user–item feedback matrix `S`).
+///
+/// Interactions are stored per-user as sorted item-id vectors, which is the
+/// access pattern both training (triplet sampling) and evaluation (top-N with
+/// seen-item exclusion) need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplicitDataset {
+    user_items: Vec<Vec<usize>>,
+    item_categories: Vec<usize>,
+    num_categories: usize,
+}
+
+impl ImplicitDataset {
+    /// Builds a dataset from per-user interaction lists and item category
+    /// labels.
+    ///
+    /// Item lists are deduplicated and sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced item id is out of range of
+    /// `item_categories`, or any category id is `>= num_categories`.
+    pub fn new(
+        mut user_items: Vec<Vec<usize>>,
+        item_categories: Vec<usize>,
+        num_categories: usize,
+    ) -> Self {
+        let num_items = item_categories.len();
+        for items in &mut user_items {
+            items.sort_unstable();
+            items.dedup();
+            if let Some(&max) = items.last() {
+                assert!(max < num_items, "item id {max} out of range ({num_items} items)");
+            }
+        }
+        for (i, &c) in item_categories.iter().enumerate() {
+            assert!(c < num_categories, "item {i} has out-of-range category {c}");
+        }
+        ImplicitDataset { user_items, item_categories, num_categories }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.user_items.len()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.item_categories.len()
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// Total number of interactions `|S|`.
+    pub fn num_interactions(&self) -> usize {
+        self.user_items.iter().map(|v| v.len()).sum()
+    }
+
+    /// The sorted item ids user `u` interacted with (`I_u⁺`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn user_items(&self, u: usize) -> &[usize] {
+        &self.user_items[u]
+    }
+
+    /// Whether user `u` interacted with item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn has_interaction(&self, u: usize, i: usize) -> bool {
+        self.user_items[u].binary_search(&i).is_ok()
+    }
+
+    /// Category id of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn item_category(&self, i: usize) -> usize {
+        self.item_categories[i]
+    }
+
+    /// All item category labels, indexed by item id.
+    pub fn item_categories(&self) -> &[usize] {
+        &self.item_categories
+    }
+
+    /// Item ids belonging to `category` (the paper's `I_c`).
+    pub fn items_of_category(&self, category: usize) -> Vec<usize> {
+        self.item_categories
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == category)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Item ids of `category` as a set, for metric computation.
+    pub fn category_item_set(&self, category: usize) -> HashSet<usize> {
+        self.items_of_category(category).into_iter().collect()
+    }
+
+    /// Per-category item counts.
+    pub fn category_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_categories];
+        for &c in &self.item_categories {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Summary statistics (Table I row).
+    pub fn stats(&self, name: &str) -> DatasetStats {
+        DatasetStats {
+            name: name.to_owned(),
+            num_users: self.num_users(),
+            num_items: self.num_items(),
+            num_interactions: self.num_interactions(),
+        }
+    }
+
+    /// Iterates over all `(user, item)` interaction pairs.
+    pub fn iter_interactions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.user_items
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&i| (u, i)))
+    }
+
+    /// Consumes the dataset, returning `(user_items, item_categories)`.
+    pub fn into_parts(self) -> (Vec<Vec<usize>>, Vec<usize>) {
+        (self.user_items, self.item_categories)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ImplicitDataset {
+        ImplicitDataset::new(
+            vec![vec![2, 0, 2, 1], vec![3], vec![]],
+            vec![0, 0, 1, 2],
+            3,
+        )
+    }
+
+    #[test]
+    fn dedup_and_sort_on_construction() {
+        let d = toy();
+        assert_eq!(d.user_items(0), &[0, 1, 2]);
+        assert_eq!(d.num_interactions(), 4);
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_items(), 4);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let d = toy();
+        assert!(d.has_interaction(0, 1));
+        assert!(!d.has_interaction(1, 1));
+        assert!(!d.has_interaction(2, 0));
+    }
+
+    #[test]
+    fn category_queries() {
+        let d = toy();
+        assert_eq!(d.items_of_category(0), vec![0, 1]);
+        assert_eq!(d.items_of_category(1), vec![2]);
+        assert_eq!(d.category_sizes(), vec![2, 1, 1]);
+        assert!(d.category_item_set(2).contains(&3));
+    }
+
+    #[test]
+    fn interaction_iterator_covers_all() {
+        let d = toy();
+        let pairs: Vec<(usize, usize)> = d.iter_interactions().collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_item_ids() {
+        ImplicitDataset::new(vec![vec![5]], vec![0, 0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range category")]
+    fn rejects_bad_categories() {
+        ImplicitDataset::new(vec![vec![0]], vec![3], 2);
+    }
+
+    #[test]
+    fn stats_row() {
+        let s = toy().stats("Toy");
+        assert_eq!(s.num_users, 3);
+        assert_eq!(s.num_items, 4);
+        assert_eq!(s.num_interactions, 4);
+    }
+}

@@ -1,0 +1,427 @@
+//! Synthetic dataset generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use crate::kcore::filter_cold_users;
+use crate::ImplicitDataset;
+
+/// Configuration of the synthetic feedback generator.
+///
+/// The generative model:
+///
+/// 1. **Categories** get popularity weights `w_c ∝ (rank+1)^(-category_skew)`
+///    under a fixed random permutation of ranks, so which category is popular
+///    is seed-dependent but the skew shape is Zipf.
+/// 2. **Items** are assigned to categories proportionally to `w_c`, and get
+///    within-category popularity `∝ (rank+1)^(-item_skew)`.
+/// 3. **Users** draw a sparse category-affinity vector (a few preferred
+///    categories) and an activity level (log-normal, shifted so the 5-core
+///    filter keeps most users).
+/// 4. **Interactions** are sampled per user: pick a category from the
+///    user-affinity × popularity mixture, then an item by popularity within
+///    the category; duplicates are discarded.
+/// 5. The result is passed through the paper's 5-core user filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Display name for Table I.
+    pub name: String,
+    /// Users to generate (before 5-core filtering).
+    pub num_users: usize,
+    /// Items to generate.
+    pub num_items: usize,
+    /// Number of product categories.
+    pub num_categories: usize,
+    /// Mean interactions per user (the paper's datasets have ≈ 7.4).
+    pub mean_interactions_per_user: f64,
+    /// Zipf exponent for category popularity (higher = more skew).
+    pub category_skew: f64,
+    /// Zipf exponent for within-category item popularity.
+    pub item_skew: f64,
+    /// How many categories each user is concentrated on.
+    pub user_focus: usize,
+    /// Weight of a user's focused categories vs the global distribution.
+    pub affinity_strength: f64,
+    /// Minimum interactions per user (k of the k-core filter).
+    pub min_interactions: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Category popularity ranking, most popular first (category ids).
+    /// `None` draws a random permutation from the seed. The Amazon-shaped
+    /// profiles pin this so the organically popular/unpopular categories
+    /// match the paper's attack scenarios (Sock and Maillot unpopular,
+    /// Running Shoes / Brassiere popular).
+    pub popularity_order: Option<Vec<usize>>,
+}
+
+impl SyntheticConfig {
+    /// An Amazon-Men-shaped profile (paper Table I scaled ≈ 20×down:
+    /// 26 155 → ~1 300 users, 82 630 → 4 100 items, 193 365 → ~9 700
+    /// feedbacks, same ≈ 7.4 interactions/user).
+    pub fn amazon_men_like() -> Self {
+        SyntheticConfig {
+            name: "Amazon Men (synthetic)".into(),
+            num_users: 1300,
+            num_items: 4100,
+            num_categories: 12,
+            mean_interactions_per_user: 7.4,
+            category_skew: 0.9,
+            item_skew: 0.8,
+            user_focus: 3,
+            affinity_strength: 4.0,
+            min_interactions: 5,
+            seed: 0xA11CE,
+            // Most → least popular; mirrors the paper's Amazon Men CHR
+            // ordering (Jersey/Running Shoes/Analog Clock recommended,
+            // Sock barely recommended).
+            popularity_order: Some(vec![3, 1, 2, 9, 7, 10, 11, 8, 6, 5, 4, 0]),
+        }
+    }
+
+    /// An Amazon-Women-shaped profile (18 514 → ~925 users, 76 889 → 3 850
+    /// items, 137 929 → ~6 900 feedbacks, ≈ 7.45 interactions/user).
+    pub fn amazon_women_like() -> Self {
+        SyntheticConfig {
+            name: "Amazon Women (synthetic)".into(),
+            num_users: 925,
+            num_items: 3850,
+            num_categories: 12,
+            mean_interactions_per_user: 7.45,
+            category_skew: 0.9,
+            item_skew: 0.8,
+            user_focus: 3,
+            affinity_strength: 4.0,
+            min_interactions: 5,
+            seed: 0xB0B,
+            // Most → least popular; mirrors Amazon Women (Brassiere and
+            // Chain recommended, Maillot barely recommended).
+            popularity_order: Some(vec![5, 6, 3, 9, 10, 7, 1, 11, 8, 2, 0, 4]),
+        }
+    }
+
+    /// A deliberately small configuration for unit tests.
+    pub fn tiny_for_tests() -> Self {
+        SyntheticConfig {
+            name: "Tiny (test)".into(),
+            num_users: 60,
+            num_items: 120,
+            num_categories: 6,
+            mean_interactions_per_user: 9.0,
+            category_skew: 0.9,
+            item_skew: 0.8,
+            user_focus: 2,
+            affinity_strength: 4.0,
+            min_interactions: 5,
+            seed: 7,
+            popularity_order: None,
+        }
+    }
+}
+
+/// A generated dataset together with the generator's internal popularity
+/// model (useful for diagnostics and for seeding user preferences in the
+/// recommender experiments).
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The interactions, already 5-core filtered.
+    pub dataset: ImplicitDataset,
+    /// Category popularity weights used during generation (normalised).
+    pub category_weights: Vec<f64>,
+    /// Per-user focused categories (post-filtering, aligned with user ids).
+    pub user_focus_categories: Vec<Vec<usize>>,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count in the config is zero or
+    /// `min_interactions` is zero.
+    pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
+        assert!(config.num_users > 0 && config.num_items > 0, "empty dataset config");
+        assert!(config.num_categories > 0, "need at least one category");
+        assert!(config.min_interactions > 0, "k-core k must be positive");
+        assert!(
+            config.user_focus >= 1 && config.user_focus <= config.num_categories,
+            "user_focus out of range"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // 1. Category popularity: Zipf weights under a rank permutation —
+        //    pinned by the profile, or random (so category 0 is not always
+        //    the most popular).
+        let mut ranks: Vec<usize> = (0..config.num_categories).collect();
+        match &config.popularity_order {
+            Some(order) => {
+                assert_eq!(
+                    order.len(),
+                    config.num_categories,
+                    "popularity_order must rank every category exactly once"
+                );
+                let mut seen = vec![false; config.num_categories];
+                for (rank, &cat) in order.iter().enumerate() {
+                    assert!(cat < config.num_categories, "category id {cat} out of range");
+                    assert!(!seen[cat], "category id {cat} ranked twice");
+                    seen[cat] = true;
+                    ranks[cat] = rank;
+                }
+            }
+            None => shuffle(&mut ranks, &mut rng),
+        }
+        let mut category_weights: Vec<f64> = (0..config.num_categories)
+            .map(|c| 1.0 / ((ranks[c] + 1) as f64).powf(config.category_skew))
+            .collect();
+        let total: f64 = category_weights.iter().sum();
+        for w in &mut category_weights {
+            *w /= total;
+        }
+
+        // 2. Item assignment + within-category popularity.
+        let mut item_categories = Vec::with_capacity(config.num_items);
+        for _ in 0..config.num_items {
+            item_categories.push(sample_weighted(&category_weights, &mut rng));
+        }
+        // Per-category item lists and popularity weights.
+        let mut cat_items: Vec<Vec<usize>> = vec![Vec::new(); config.num_categories];
+        for (i, &c) in item_categories.iter().enumerate() {
+            cat_items[c].push(i);
+        }
+        let cat_item_weights: Vec<Vec<f64>> = cat_items
+            .iter()
+            .map(|items| {
+                let mut w: Vec<f64> = (0..items.len())
+                    .map(|r| 1.0 / ((r + 1) as f64).powf(config.item_skew))
+                    .collect();
+                let s: f64 = w.iter().sum();
+                for v in &mut w {
+                    *v /= s.max(1e-12);
+                }
+                w
+            })
+            .collect();
+
+        // 3 + 4. Users and their interactions.
+        let activity = LogNormal::new(config.mean_interactions_per_user.ln(), 0.35)
+            .expect("valid log-normal parameters");
+        let mut user_items: Vec<Vec<usize>> = Vec::with_capacity(config.num_users);
+        let mut focus_all: Vec<Vec<usize>> = Vec::with_capacity(config.num_users);
+        for _ in 0..config.num_users {
+            // Focused categories, weighted by global popularity.
+            let mut focus = Vec::with_capacity(config.user_focus);
+            while focus.len() < config.user_focus {
+                let c = sample_weighted(&category_weights, &mut rng);
+                if !focus.contains(&c) {
+                    focus.push(c);
+                }
+            }
+            // Mixture over categories: popularity boosted on focus.
+            let mut mix = category_weights.clone();
+            for &c in &focus {
+                mix[c] *= 1.0 + config.affinity_strength;
+            }
+            let s: f64 = mix.iter().sum();
+            for v in &mut mix {
+                *v /= s;
+            }
+
+            let count = activity.sample(&mut rng).round().max(1.0) as usize;
+            let mut items = Vec::with_capacity(count);
+            let mut attempts = 0;
+            while items.len() < count && attempts < count * 20 {
+                attempts += 1;
+                let c = sample_weighted(&mix, &mut rng);
+                if cat_items[c].is_empty() {
+                    continue;
+                }
+                let k = sample_weighted(&cat_item_weights[c], &mut rng);
+                let item = cat_items[c][k];
+                if !items.contains(&item) {
+                    items.push(item);
+                }
+            }
+            user_items.push(items);
+            focus_all.push(focus);
+        }
+
+        // 5. Paper preprocessing: drop cold users.
+        let raw =
+            ImplicitDataset::new(user_items.clone(), item_categories, config.num_categories);
+        let dataset = filter_cold_users(&raw, config.min_interactions);
+        // Align focus lists with surviving users (same ordering as filter).
+        let user_focus_categories: Vec<Vec<usize>> = user_items
+            .iter()
+            .zip(focus_all)
+            .filter(|(items, _)| {
+                let mut it: Vec<usize> = (*items).clone();
+                it.sort_unstable();
+                it.dedup();
+                it.len() >= config.min_interactions
+            })
+            .map(|(_, f)| f)
+            .collect();
+        assert_eq!(user_focus_categories.len(), dataset.num_users());
+
+        SyntheticDataset { dataset, category_weights, user_focus_categories }
+    }
+}
+
+/// Samples an index proportionally to `weights` (need not be normalised).
+fn sample_weighted(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Fisher–Yates shuffle (local helper to avoid the `SliceRandom` dependency
+/// surface in the public API).
+fn shuffle(v: &mut [usize], rng: &mut impl Rng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::tiny_for_tests();
+        let a = SyntheticDataset::generate(&cfg);
+        let b = SyntheticDataset::generate(&cfg);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.category_weights, b.category_weights);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SyntheticConfig::tiny_for_tests();
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 8;
+        assert_ne!(
+            SyntheticDataset::generate(&cfg).dataset,
+            SyntheticDataset::generate(&cfg2).dataset
+        );
+    }
+
+    #[test]
+    fn five_core_holds() {
+        let s = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+        for u in 0..s.dataset.num_users() {
+            assert!(s.dataset.user_items(u).len() >= 5);
+        }
+    }
+
+    #[test]
+    fn category_popularity_is_skewed() {
+        let s = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+        let max = s.category_weights.iter().cloned().fold(0.0, f64::max);
+        let min = s.category_weights.iter().cloned().fold(1.0, f64::min);
+        assert!(max / min > 2.0, "weights not skewed: {:?}", s.category_weights);
+        let sum: f64 = s.category_weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interaction_volume_is_near_target() {
+        let cfg = SyntheticConfig::amazon_men_like();
+        let s = SyntheticDataset::generate(&cfg);
+        let stats = s.dataset.stats(&cfg.name);
+        // 5-core filtering biases per-user counts upward; allow a wide band.
+        let ipu = stats.interactions_per_user();
+        assert!(
+            ipu > cfg.mean_interactions_per_user * 0.8
+                && ipu < cfg.mean_interactions_per_user * 1.6,
+            "interactions per user {ipu}"
+        );
+        // Most users survive the 5-core filter.
+        assert!(stats.num_users as f64 > cfg.num_users as f64 * 0.5);
+    }
+
+    #[test]
+    fn item_popularity_within_category_is_skewed() {
+        let s = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+        // Count interactions per item; top item should clearly beat median.
+        let mut counts = vec![0usize; s.dataset.num_items()];
+        for (_, i) in s.dataset.iter_interactions() {
+            counts[i] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn focus_lists_align_with_users() {
+        let s = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+        assert_eq!(s.user_focus_categories.len(), s.dataset.num_users());
+        for f in &s.user_focus_categories {
+            assert_eq!(f.len(), 2);
+            assert!(f.iter().all(|&c| c < s.dataset.num_categories()));
+        }
+    }
+
+    #[test]
+    fn pinned_popularity_order_controls_weights() {
+        let mut cfg = SyntheticConfig::tiny_for_tests();
+        cfg.popularity_order = Some(vec![5, 4, 3, 2, 1, 0]); // reversed
+        let s = SyntheticDataset::generate(&cfg);
+        // Category 5 is pinned most popular, category 0 least.
+        for c in 0..5 {
+            assert!(
+                s.category_weights[c + 1] > s.category_weights[c],
+                "weights not ordered: {:?}",
+                s.category_weights
+            );
+        }
+    }
+
+    #[test]
+    fn paper_profiles_pin_sock_and_maillot_unpopular() {
+        let men = SyntheticDataset::generate(&SyntheticConfig::amazon_men_like());
+        // Category 0 (Sock) is pinned least popular in the Men profile.
+        let min = men.category_weights.iter().cloned().fold(1.0, f64::min);
+        assert!((men.category_weights[0] - min).abs() < 1e-12);
+        let women = SyntheticDataset::generate(&SyntheticConfig::amazon_women_like());
+        // Category 4 (Maillot) is least popular, 5 (Brassiere) most.
+        let min_w = women.category_weights.iter().cloned().fold(1.0, f64::min);
+        let max_w = women.category_weights.iter().cloned().fold(0.0, f64::max);
+        assert!((women.category_weights[4] - min_w).abs() < 1e-12);
+        assert!((women.category_weights[5] - max_w).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranked twice")]
+    fn duplicate_popularity_order_panics() {
+        let mut cfg = SyntheticConfig::tiny_for_tests();
+        cfg.popularity_order = Some(vec![0, 0, 1, 2, 3, 4]);
+        SyntheticDataset::generate(&cfg);
+    }
+
+    #[test]
+    fn sample_weighted_respects_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(sample_weighted(&w, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset config")]
+    fn zero_users_panics() {
+        let mut cfg = SyntheticConfig::tiny_for_tests();
+        cfg.num_users = 0;
+        SyntheticDataset::generate(&cfg);
+    }
+}

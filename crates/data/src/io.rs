@@ -1,0 +1,162 @@
+//! Plain-text dataset persistence.
+//!
+//! A small line-oriented format so generated datasets can be archived,
+//! diffed, and re-loaded bit-for-bit — useful when an experiment should be
+//! re-run against the *exact* interactions of a previous run rather than
+//! regenerated from a seed (e.g. across versions that change the generator).
+//!
+//! ```text
+//! taamr-dataset v1
+//! users <num_users>
+//! items <num_items>
+//! categories <num_categories>
+//! itemcats <c_0> <c_1> … <c_{items−1}>
+//! interactions <count>
+//! <user> <item>
+//! …
+//! ```
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::ImplicitDataset;
+
+/// Writes `dataset` in the `taamr-dataset v1` text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_dataset<W: Write>(dataset: &ImplicitDataset, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "taamr-dataset v1")?;
+    writeln!(writer, "users {}", dataset.num_users())?;
+    writeln!(writer, "items {}", dataset.num_items())?;
+    writeln!(writer, "categories {}", dataset.num_categories())?;
+    write!(writer, "itemcats")?;
+    for i in 0..dataset.num_items() {
+        write!(writer, " {}", dataset.item_category(i))?;
+    }
+    writeln!(writer)?;
+    writeln!(writer, "interactions {}", dataset.num_interactions())?;
+    for (u, i) in dataset.iter_interactions() {
+        writeln!(writer, "{u} {i}")?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` errors for version/field mismatches, out-of-range
+/// ids, or truncated files.
+pub fn read_dataset<R: Read>(reader: R) -> io::Result<ImplicitDataset> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut lines = BufReader::new(reader).lines();
+    let mut next = |what: &str| -> io::Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, format!("missing {what}")))?
+    };
+
+    if next("header")? != "taamr-dataset v1" {
+        return Err(bad("unrecognised header"));
+    }
+    let field = |line: String, name: &str| -> io::Result<usize> {
+        let rest = line
+            .strip_prefix(name)
+            .ok_or_else(|| bad(&format!("expected `{name}` line")))?;
+        rest.trim().parse().map_err(|_| bad(&format!("bad `{name}` value")))
+    };
+    let num_users = field(next("users")?, "users")?;
+    let num_items = field(next("items")?, "items")?;
+    let num_categories = field(next("categories")?, "categories")?;
+
+    let cats_line = next("itemcats")?;
+    let cats_rest =
+        cats_line.strip_prefix("itemcats").ok_or_else(|| bad("expected `itemcats` line"))?;
+    let item_categories: Vec<usize> = cats_rest
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad category id")))
+        .collect::<io::Result<_>>()?;
+    if item_categories.len() != num_items {
+        return Err(bad("itemcats length differs from the item count"));
+    }
+    if item_categories.iter().any(|&c| c >= num_categories) {
+        return Err(bad("category id out of range"));
+    }
+
+    let count = field(next("interactions")?, "interactions")?;
+    let mut user_items = vec![Vec::new(); num_users];
+    for _ in 0..count {
+        let line = next("interaction row")?;
+        let mut parts = line.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing user id"))?
+            .parse()
+            .map_err(|_| bad("bad user id"))?;
+        let i: usize = parts
+            .next()
+            .ok_or_else(|| bad("missing item id"))?
+            .parse()
+            .map_err(|_| bad("bad item id"))?;
+        if u >= num_users || i >= num_items {
+            return Err(bad("interaction id out of range"));
+        }
+        user_items[u].push(i);
+    }
+    Ok(ImplicitDataset::new(user_items, item_categories, num_categories))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SyntheticConfig, SyntheticDataset};
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let original = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests()).dataset;
+        let mut buf = Vec::new();
+        write_dataset(&original, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn format_is_line_oriented_and_versioned() {
+        let d = ImplicitDataset::new(vec![vec![0, 1], vec![1]], vec![0, 1], 2);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("taamr-dataset v1\n"));
+        assert!(text.contains("users 2"));
+        assert!(text.contains("items 2"));
+        assert!(text.contains("interactions 3"));
+        assert!(text.contains("itemcats 0 1"));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let cases: Vec<&[u8]> = vec![
+            b"",
+            b"wrong header\n",
+            b"taamr-dataset v1\nusers x\n",
+            b"taamr-dataset v1\nusers 1\nitems 1\ncategories 1\nitemcats 5\ninteractions 0\n",
+            b"taamr-dataset v1\nusers 1\nitems 2\ncategories 1\nitemcats 0\ninteractions 0\n",
+            b"taamr-dataset v1\nusers 1\nitems 1\ncategories 1\nitemcats 0\ninteractions 1\n9 0\n",
+            b"taamr-dataset v1\nusers 1\nitems 1\ncategories 1\nitemcats 0\ninteractions 2\n0 0\n",
+        ];
+        for (k, case) in cases.into_iter().enumerate() {
+            assert!(read_dataset(case).is_err(), "case {k} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_interactions_round_trip() {
+        let d = ImplicitDataset::new(vec![vec![], vec![]], vec![0], 1);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back.num_interactions(), 0);
+        assert_eq!(back.num_users(), 2);
+    }
+}

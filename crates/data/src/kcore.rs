@@ -1,0 +1,175 @@
+//! K-core preprocessing.
+//!
+//! The paper "considered all the users with at least five interactions
+//! (|I_u⁺| ≥ 5) to discard cold-users". [`filter_cold_users`] implements
+//! exactly that; [`kcore_users_items`] additionally iterates a user/item
+//! k-core to a fixpoint for experiments that want a denser graph.
+
+use crate::ImplicitDataset;
+
+/// Drops users with fewer than `k` interactions. Item ids are preserved.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn filter_cold_users(dataset: &ImplicitDataset, k: usize) -> ImplicitDataset {
+    assert!(k > 0, "k must be positive");
+    let kept: Vec<Vec<usize>> = (0..dataset.num_users())
+        .map(|u| dataset.user_items(u).to_vec())
+        .filter(|items| items.len() >= k)
+        .collect();
+    ImplicitDataset::new(kept, dataset.item_categories().to_vec(), dataset.num_categories())
+}
+
+/// Iterated user/item k-core: repeatedly drops users with `< k` interactions
+/// and items with `< k` interacting users until both constraints hold.
+/// Surviving items are re-indexed densely; the mapping from new to old item
+/// ids is returned alongside the filtered dataset.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn kcore_users_items(dataset: &ImplicitDataset, k: usize) -> (ImplicitDataset, Vec<usize>) {
+    assert!(k > 0, "k must be positive");
+    let mut user_items: Vec<Vec<usize>> =
+        (0..dataset.num_users()).map(|u| dataset.user_items(u).to_vec()).collect();
+    let num_items = dataset.num_items();
+    let mut item_alive = vec![true; num_items];
+    let mut user_alive = vec![true; user_items.len()];
+
+    loop {
+        let mut changed = false;
+        // Drop cold users.
+        for (u, items) in user_items.iter().enumerate() {
+            if user_alive[u] && items.iter().filter(|&&i| item_alive[i]).count() < k {
+                user_alive[u] = false;
+                changed = true;
+            }
+        }
+        // Count item degrees over alive users.
+        let mut degree = vec![0usize; num_items];
+        for (u, items) in user_items.iter().enumerate() {
+            if !user_alive[u] {
+                continue;
+            }
+            for &i in items {
+                if item_alive[i] {
+                    degree[i] += 1;
+                }
+            }
+        }
+        for i in 0..num_items {
+            if item_alive[i] && degree[i] < k {
+                item_alive[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Remove dead items from user lists so the user check sees them gone.
+        for items in &mut user_items {
+            items.retain(|&i| item_alive[i]);
+        }
+    }
+
+    // Re-index items densely.
+    let mut new_to_old = Vec::new();
+    let mut old_to_new = vec![usize::MAX; num_items];
+    for (old, &alive) in item_alive.iter().enumerate() {
+        if alive {
+            old_to_new[old] = new_to_old.len();
+            new_to_old.push(old);
+        }
+    }
+    let new_categories: Vec<usize> =
+        new_to_old.iter().map(|&old| dataset.item_category(old)).collect();
+    let new_user_items: Vec<Vec<usize>> = user_items
+        .iter()
+        .enumerate()
+        .filter(|(u, _)| user_alive[*u])
+        .map(|(_, items)| {
+            items.iter().filter(|&&i| item_alive[i]).map(|&i| old_to_new[i]).collect()
+        })
+        .collect();
+    (
+        ImplicitDataset::new(new_user_items, new_categories, dataset.num_categories()),
+        new_to_old,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ImplicitDataset {
+        // user 0: 3 items, user 1: 2 items, user 2: 1 item.
+        ImplicitDataset::new(
+            vec![vec![0, 1, 2], vec![0, 1], vec![2]],
+            vec![0, 0, 0],
+            1,
+        )
+    }
+
+    #[test]
+    fn filter_cold_users_keeps_warm_ones() {
+        let d = filter_cold_users(&toy(), 2);
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 3); // items untouched
+        assert_eq!(d.user_items(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_with_k_one_keeps_everyone_with_any_interaction() {
+        let d = filter_cold_users(&toy(), 1);
+        assert_eq!(d.num_users(), 3);
+    }
+
+    #[test]
+    fn kcore_reaches_fixpoint() {
+        // item 2 has degree 2, items 0,1 degree 2; user 2 has 1 item.
+        let (d, mapping) = kcore_users_items(&toy(), 2);
+        // user 2 dies; then item 2 has degree 1 and dies; users 0,1 keep {0,1}.
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 2);
+        assert_eq!(mapping, vec![0, 1]);
+        for u in 0..d.num_users() {
+            assert!(d.user_items(u).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn kcore_invariant_holds_property() {
+        // Random-ish larger instance, verify the k-core invariant.
+        let mut user_items = Vec::new();
+        for u in 0..30usize {
+            let items: Vec<usize> = (0..(u % 7)).map(|j| (u * 3 + j * 5) % 20).collect();
+            user_items.push(items);
+        }
+        let d = ImplicitDataset::new(user_items, vec![0; 20], 1);
+        let (core, _) = kcore_users_items(&d, 3);
+        for u in 0..core.num_users() {
+            assert!(core.user_items(u).len() >= 3, "user {u} below core");
+        }
+        let mut degree = vec![0usize; core.num_items()];
+        for (_, i) in core.iter_interactions() {
+            degree[i] += 1;
+        }
+        assert!(degree.iter().all(|&dg| dg >= 3), "item below core: {degree:?}");
+    }
+
+    #[test]
+    fn kcore_can_empty_a_sparse_dataset() {
+        let d = ImplicitDataset::new(vec![vec![0], vec![1]], vec![0, 0], 1);
+        let (core, mapping) = kcore_users_items(&d, 2);
+        assert_eq!(core.num_users(), 0);
+        assert_eq!(core.num_items(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        filter_cold_users(&toy(), 0);
+    }
+}

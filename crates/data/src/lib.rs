@@ -1,0 +1,51 @@
+//! Synthetic implicit-feedback datasets: the reproduction's stand-in for the
+//! Amazon Men / Amazon Women interaction data.
+//!
+//! The paper's datasets cannot be redistributed, so this crate generates
+//! synthetic user–item feedback with the statistical properties the TAaMR
+//! pipeline depends on:
+//!
+//! * **Zipf-skewed item and category popularity** — some categories are
+//!   organically much more recommended than others, which is the premise of
+//!   the attack (perturb a *low*-recommended category towards a *highly*
+//!   recommended one);
+//! * **per-user category affinity** — users concentrate on a few categories,
+//!   so collaborative filtering (and category-correlated visual features)
+//!   carry signal;
+//! * **5-core preprocessing** — like the paper, users with fewer than five
+//!   interactions are discarded ([`kcore`]);
+//! * **leave-one-out splitting** ([`split`]) and **BPR triplet sampling**
+//!   ([`TripletSampler`]) for training pairwise rankers.
+//!
+//! Two ready-made profiles, [`SyntheticConfig::amazon_men_like`] and
+//! [`SyntheticConfig::amazon_women_like`], are shaped like the paper's
+//! Table I datasets scaled down ~20× to single-core laptop size (the same
+//! interactions-per-user ratio, the same relative size ordering).
+//!
+//! # Example
+//!
+//! ```
+//! use taamr_data::{SyntheticConfig, SyntheticDataset};
+//!
+//! let generated = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+//! let dataset = &generated.dataset;
+//! assert!(dataset.num_users() > 0);
+//! // 5-core: every surviving user has at least 5 interactions.
+//! assert!((0..dataset.num_users()).all(|u| dataset.user_items(u).len() >= 5));
+//! ```
+
+#![deny(missing_docs)]
+
+mod dataset;
+mod generator;
+pub mod io;
+pub mod kcore;
+mod sampler;
+pub mod split;
+mod stats;
+
+pub use dataset::ImplicitDataset;
+pub use generator::{SyntheticConfig, SyntheticDataset};
+pub use sampler::{Triplet, TripletSampler};
+pub use split::{leave_one_out, TrainTestSplit};
+pub use stats::DatasetStats;

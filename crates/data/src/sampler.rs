@@ -1,0 +1,133 @@
+//! BPR triplet sampling.
+
+use rand::Rng;
+
+use crate::ImplicitDataset;
+
+/// A BPR training triplet `(u, i, j)`: user `u` interacted with `i` and not
+/// with `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triplet {
+    /// User id.
+    pub user: usize,
+    /// Positive (interacted) item id.
+    pub positive: usize,
+    /// Negative (non-interacted) item id.
+    pub negative: usize,
+}
+
+/// Uniform BPR triplet sampler over a dataset.
+///
+/// Sampling follows the standard BPR scheme: a uniform user among users with
+/// at least one interaction, a uniform positive from `I_u⁺`, and a uniform
+/// negative from `I \ I_u⁺` by rejection.
+#[derive(Debug, Clone)]
+pub struct TripletSampler<'a> {
+    dataset: &'a ImplicitDataset,
+    eligible_users: Vec<usize>,
+}
+
+impl<'a> TripletSampler<'a> {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no user has an interaction, or if any user has interacted
+    /// with every item (making negative sampling impossible).
+    pub fn new(dataset: &'a ImplicitDataset) -> Self {
+        let eligible_users: Vec<usize> = (0..dataset.num_users())
+            .filter(|&u| !dataset.user_items(u).is_empty())
+            .collect();
+        assert!(!eligible_users.is_empty(), "dataset has no interactions");
+        assert!(
+            eligible_users.iter().all(|&u| dataset.user_items(u).len() < dataset.num_items()),
+            "a user has consumed every item; negatives cannot be sampled"
+        );
+        TripletSampler { dataset, eligible_users }
+    }
+
+    /// Number of users the sampler can draw from.
+    pub fn num_eligible_users(&self) -> usize {
+        self.eligible_users.len()
+    }
+
+    /// Draws one triplet.
+    pub fn sample(&self, rng: &mut impl Rng) -> Triplet {
+        let user = self.eligible_users[rng.gen_range(0..self.eligible_users.len())];
+        let items = self.dataset.user_items(user);
+        let positive = items[rng.gen_range(0..items.len())];
+        let negative = loop {
+            let j = rng.gen_range(0..self.dataset.num_items());
+            if !self.dataset.has_interaction(user, j) {
+                break j;
+            }
+        };
+        Triplet { user, positive, negative }
+    }
+
+    /// Draws `count` triplets into a vector.
+    pub fn sample_many(&self, count: usize, rng: &mut impl Rng) -> Vec<Triplet> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> ImplicitDataset {
+        ImplicitDataset::new(
+            vec![vec![0, 1], vec![2], vec![]],
+            vec![0, 0, 0, 0, 0],
+            1,
+        )
+    }
+
+    #[test]
+    fn triplets_satisfy_bpr_invariants() {
+        let d = toy();
+        let sampler = TripletSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in sampler.sample_many(200, &mut rng) {
+            assert!(d.has_interaction(t.user, t.positive));
+            assert!(!d.has_interaction(t.user, t.negative));
+            assert_ne!(t.positive, t.negative);
+        }
+    }
+
+    #[test]
+    fn users_without_interactions_are_never_sampled() {
+        let d = toy();
+        let sampler = TripletSampler::new(&d);
+        assert_eq!(sampler.num_eligible_users(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in sampler.sample_many(100, &mut rng) {
+            assert_ne!(t.user, 2);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let d = toy();
+        let sampler = TripletSampler::new(&d);
+        let a = sampler.sample_many(20, &mut StdRng::seed_from_u64(2));
+        let b = sampler.sample_many(20, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no interactions")]
+    fn empty_dataset_panics() {
+        let d = ImplicitDataset::new(vec![vec![], vec![]], vec![0], 1);
+        TripletSampler::new(&d);
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed every item")]
+    fn saturated_user_panics() {
+        let d = ImplicitDataset::new(vec![vec![0]], vec![0], 1);
+        TripletSampler::new(&d);
+    }
+}

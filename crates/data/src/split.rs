@@ -1,0 +1,107 @@
+//! Train/test splitting.
+
+use rand::Rng;
+
+use crate::ImplicitDataset;
+
+/// A leave-one-out split: one held-out test item per eligible user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Training interactions (the input dataset minus the held-out items).
+    pub train: ImplicitDataset,
+    /// Held-out `(user, item)` pairs; users with a single interaction are
+    /// not split and do not appear here.
+    pub test: Vec<(usize, usize)>,
+}
+
+/// Splits a dataset leave-one-out: for every user with at least two
+/// interactions, one uniformly random interaction is moved to the test set.
+///
+/// # Example
+///
+/// ```
+/// use taamr_data::{leave_one_out, ImplicitDataset};
+/// use rand::SeedableRng;
+///
+/// let d = ImplicitDataset::new(vec![vec![0, 1, 2]], vec![0, 0, 0], 1);
+/// let split = leave_one_out(&d, &mut rand::rngs::StdRng::seed_from_u64(0));
+/// assert_eq!(split.train.user_items(0).len(), 2);
+/// assert_eq!(split.test.len(), 1);
+/// ```
+pub fn leave_one_out(dataset: &ImplicitDataset, rng: &mut impl Rng) -> TrainTestSplit {
+    let mut train_lists = Vec::with_capacity(dataset.num_users());
+    let mut test = Vec::new();
+    for u in 0..dataset.num_users() {
+        let items = dataset.user_items(u);
+        if items.len() < 2 {
+            train_lists.push(items.to_vec());
+            continue;
+        }
+        let held = items[rng.gen_range(0..items.len())];
+        test.push((u, held));
+        train_lists.push(items.iter().copied().filter(|&i| i != held).collect());
+    }
+    TrainTestSplit {
+        train: ImplicitDataset::new(
+            train_lists,
+            dataset.item_categories().to_vec(),
+            dataset.num_categories(),
+        ),
+        test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> ImplicitDataset {
+        ImplicitDataset::new(
+            vec![vec![0, 1, 2, 3], vec![4, 5], vec![6]],
+            vec![0; 7],
+            1,
+        )
+    }
+
+    #[test]
+    fn holds_out_exactly_one_per_eligible_user() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = leave_one_out(&toy(), &mut rng);
+        assert_eq!(split.test.len(), 2); // user 2 has one interaction
+        assert_eq!(split.train.user_items(0).len(), 3);
+        assert_eq!(split.train.user_items(1).len(), 1);
+        assert_eq!(split.train.user_items(2).len(), 1);
+    }
+
+    #[test]
+    fn held_out_item_is_not_in_train() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let split = leave_one_out(&toy(), &mut rng);
+        for &(u, i) in &split.test {
+            assert!(!split.train.has_interaction(u, i));
+        }
+    }
+
+    #[test]
+    fn union_of_train_and_test_recovers_original() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(5);
+        let split = leave_one_out(&d, &mut rng);
+        let train_count = split.train.num_interactions();
+        assert_eq!(train_count + split.test.len(), d.num_interactions());
+        for &(u, i) in &split.test {
+            assert!(d.has_interaction(u, i));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = toy();
+        let a = leave_one_out(&d, &mut StdRng::seed_from_u64(6));
+        let b = leave_one_out(&d, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.train, b.train);
+    }
+}

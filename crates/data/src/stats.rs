@@ -1,0 +1,90 @@
+//! Dataset statistics (Table I).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A Table-I-style dataset summary: `|U|`, `|I|`, `|S|`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset display name (e.g. "Amazon Men (synthetic)").
+    pub name: String,
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Number of items `|I|`.
+    pub num_items: usize,
+    /// Number of interactions `|S|`.
+    pub num_interactions: usize,
+}
+
+impl DatasetStats {
+    /// Interaction matrix density `|S| / (|U|·|I|)`.
+    pub fn density(&self) -> f64 {
+        let cells = self.num_users as f64 * self.num_items as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.num_interactions as f64 / cells
+        }
+    }
+
+    /// Mean interactions per user.
+    pub fn interactions_per_user(&self) -> f64 {
+        if self.num_users == 0 {
+            0.0
+        } else {
+            self.num_interactions as f64 / self.num_users as f64
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} |U| = {:>8} |I| = {:>8} |S| = {:>9} (density {:.5}%)",
+            self.name,
+            self.num_users,
+            self.num_items,
+            self.num_interactions,
+            self.density() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = DatasetStats {
+            name: "X".into(),
+            num_users: 10,
+            num_items: 20,
+            num_interactions: 50,
+        };
+        assert!((s.density() - 0.25).abs() < 1e-12);
+        assert!((s.interactions_per_user() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_densities_are_zero() {
+        let s =
+            DatasetStats { name: "E".into(), num_users: 0, num_items: 0, num_interactions: 0 };
+        assert_eq!(s.density(), 0.0);
+        assert_eq!(s.interactions_per_user(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_all_counts() {
+        let s = DatasetStats {
+            name: "Amazon Men".into(),
+            num_users: 26155,
+            num_items: 82630,
+            num_interactions: 193365,
+        };
+        let line = s.to_string();
+        assert!(line.contains("26155") && line.contains("82630") && line.contains("193365"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the data substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taamr_data::kcore::{filter_cold_users, kcore_users_items};
+use taamr_data::{leave_one_out, ImplicitDataset, TripletSampler};
+
+/// Strategy: a random small implicit dataset.
+fn dataset_strategy() -> impl Strategy<Value = ImplicitDataset> {
+    (2usize..20, 3usize..25, 1usize..5).prop_flat_map(|(users, items, cats)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..items, 0..12),
+                users..=users,
+            ),
+            proptest::collection::vec(0usize..cats, items..=items),
+            Just(cats),
+        )
+            .prop_map(|(user_items, item_cats, cats)| {
+                ImplicitDataset::new(user_items, item_cats, cats)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn construction_dedups_and_sorts(d in dataset_strategy()) {
+        for u in 0..d.num_users() {
+            let items = d.user_items(u);
+            prop_assert!(items.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+        }
+    }
+
+    #[test]
+    fn category_sizes_partition_items(d in dataset_strategy()) {
+        let sizes = d.category_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), d.num_items());
+        for c in 0..d.num_categories() {
+            prop_assert_eq!(d.items_of_category(c).len(), sizes[c]);
+        }
+    }
+
+    #[test]
+    fn cold_user_filter_keeps_only_warm(d in dataset_strategy(), k in 1usize..4) {
+        let filtered = filter_cold_users(&d, k);
+        for u in 0..filtered.num_users() {
+            prop_assert!(filtered.user_items(u).len() >= k);
+        }
+        // No interactions invented.
+        prop_assert!(filtered.num_interactions() <= d.num_interactions());
+        prop_assert_eq!(filtered.num_items(), d.num_items());
+    }
+
+    #[test]
+    fn kcore_fixpoint_invariant(d in dataset_strategy(), k in 1usize..4) {
+        let (core, mapping) = kcore_users_items(&d, k);
+        for u in 0..core.num_users() {
+            prop_assert!(core.user_items(u).len() >= k);
+        }
+        let mut degree = vec![0usize; core.num_items()];
+        for (_, i) in core.iter_interactions() {
+            degree[i] += 1;
+        }
+        prop_assert!(degree.iter().all(|&dg| dg >= k));
+        // Mapping is strictly increasing and in range.
+        prop_assert!(mapping.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(mapping.iter().all(|&old| old < d.num_items()));
+        // Categories survive the re-index.
+        for (new, &old) in mapping.iter().enumerate() {
+            prop_assert_eq!(core.item_category(new), d.item_category(old));
+        }
+    }
+
+    #[test]
+    fn leave_one_out_partitions_interactions(d in dataset_strategy(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = leave_one_out(&d, &mut rng);
+        prop_assert_eq!(
+            split.train.num_interactions() + split.test.len(),
+            d.num_interactions()
+        );
+        for &(u, i) in &split.test {
+            prop_assert!(d.has_interaction(u, i));
+            prop_assert!(!split.train.has_interaction(u, i));
+        }
+        // Every user with ≥2 interactions contributes exactly one test item.
+        let eligible = (0..d.num_users()).filter(|&u| d.user_items(u).len() >= 2).count();
+        prop_assert_eq!(split.test.len(), eligible);
+    }
+
+    #[test]
+    fn triplet_sampler_respects_interactions(d in dataset_strategy(), seed in 0u64..100) {
+        let has_any = (0..d.num_users()).any(|u| !d.user_items(u).is_empty());
+        let saturating = (0..d.num_users()).any(|u| d.user_items(u).len() == d.num_items());
+        prop_assume!(has_any && !saturating);
+        let sampler = TripletSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in sampler.sample_many(50, &mut rng) {
+            prop_assert!(d.has_interaction(t.user, t.positive));
+            prop_assert!(!d.has_interaction(t.user, t.negative));
+        }
+    }
+}

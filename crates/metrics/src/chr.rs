@@ -1,0 +1,140 @@
+//! Category Hit Ratio (the paper's Definition 5).
+
+/// Computes `CHR@N` for one category.
+///
+/// Given each user's top-`N` recommendation list (item ids, already excluding
+/// the user's consumed items, per the paper's protocol) and the set of item
+/// ids belonging to the category under study, the Category Hit Ratio is
+///
+/// ```text
+/// CHR@N = (1 / (N · |U|)) · Σ_u Σ_{i ∈ Ic \ Iu+} hit(i, u)
+/// ```
+///
+/// i.e. the fraction of all recommendation slots occupied by items of the
+/// category. The paper reports this scaled by 100 (a percentage); this
+/// function returns the raw fraction — multiply by 100 to match the tables.
+///
+/// Lists shorter than `n` are allowed (a user may have fewer than `N`
+/// recommendable items); the denominator still uses `n` as in the paper.
+///
+/// # Panics
+///
+/// Panics if `n` is zero, `top_n_lists` is empty, or any list is longer
+/// than `n`.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashSet;
+/// use taamr_metrics::category_hit_ratio;
+///
+/// let lists = vec![vec![1, 2, 3], vec![4, 5, 6]];
+/// let category: HashSet<usize> = [2, 4, 5].into_iter().collect();
+/// // 1 hit in user 0's list, 2 in user 1's: 3 / (3 · 2) = 0.5.
+/// assert_eq!(category_hit_ratio(&lists, &category, 3), 0.5);
+/// ```
+pub fn category_hit_ratio(
+    top_n_lists: &[Vec<usize>],
+    category_items: &std::collections::HashSet<usize>,
+    n: usize,
+) -> f64 {
+    assert!(n > 0, "N must be positive");
+    assert!(!top_n_lists.is_empty(), "need at least one user list");
+    let mut hits = 0usize;
+    for list in top_n_lists {
+        assert!(list.len() <= n, "a top-{n} list has {} entries", list.len());
+        hits += list.iter().filter(|i| category_items.contains(i)).count();
+    }
+    hits as f64 / (n as f64 * top_n_lists.len() as f64)
+}
+
+/// Computes `CHR@N` for every category at once.
+///
+/// `item_categories[i]` is the category id of item `i`; the result has one
+/// entry per category id in `0..num_categories`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`category_hit_ratio`], or if a list
+/// references an item id outside `item_categories`.
+pub fn category_hit_ratio_all(
+    top_n_lists: &[Vec<usize>],
+    item_categories: &[usize],
+    num_categories: usize,
+    n: usize,
+) -> Vec<f64> {
+    assert!(n > 0, "N must be positive");
+    assert!(!top_n_lists.is_empty(), "need at least one user list");
+    let mut hits = vec![0usize; num_categories];
+    for list in top_n_lists {
+        assert!(list.len() <= n, "a top-{n} list has {} entries", list.len());
+        for &item in list {
+            let c = item_categories[item];
+            assert!(c < num_categories, "item {item} has out-of-range category {c}");
+            hits[c] += 1;
+        }
+    }
+    let denom = n as f64 * top_n_lists.len() as f64;
+    hits.into_iter().map(|h| h as f64 / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zero_when_category_absent() {
+        let lists = vec![vec![1, 2], vec![3, 4]];
+        let cat: HashSet<usize> = [9, 10].into_iter().collect();
+        assert_eq!(category_hit_ratio(&lists, &cat, 2), 0.0);
+    }
+
+    #[test]
+    fn one_when_category_fills_all_slots() {
+        let lists = vec![vec![1, 2], vec![1, 2]];
+        let cat: HashSet<usize> = [1, 2].into_iter().collect();
+        assert_eq!(category_hit_ratio(&lists, &cat, 2), 1.0);
+    }
+
+    #[test]
+    fn short_lists_use_n_denominator() {
+        // One hit out of N=10 slots for a single user.
+        let lists = vec![vec![1]];
+        let cat: HashSet<usize> = [1].into_iter().collect();
+        assert!((category_hit_ratio(&lists, &cat, 10) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_categories_sum_matches_occupancy() {
+        let lists = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let cats = vec![0, 0, 1, 1, 2, 2];
+        let chr = category_hit_ratio_all(&lists, &cats, 3, 3);
+        // Every slot is filled, so the per-category CHRs sum to 1.
+        let total: f64 = chr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((chr[0] - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_category_matches_single_category_queries() {
+        let lists = vec![vec![0, 2], vec![1, 2]];
+        let cats = vec![0, 1, 1];
+        let all = category_hit_ratio_all(&lists, &cats, 2, 2);
+        let c1: HashSet<usize> = [1, 2].into_iter().collect();
+        assert!((all[1] - category_hit_ratio(&lists, &c1, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "N must be positive")]
+    fn rejects_zero_n() {
+        category_hit_ratio(&[vec![]], &HashSet::new(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has 3 entries")]
+    fn rejects_oversized_lists() {
+        let cat: HashSet<usize> = HashSet::new();
+        category_hit_ratio(&[vec![1, 2, 3]], &cat, 2);
+    }
+}

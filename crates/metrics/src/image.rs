@@ -1,0 +1,292 @@
+//! Objective visual-quality metrics (Table IV).
+
+use std::fmt;
+
+use taamr_vision::Image;
+
+/// Errors produced by image-quality computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QualityError {
+    /// The two images have different sizes.
+    SizeMismatch {
+        /// First image side length.
+        lhs: usize,
+        /// Second image side length.
+        rhs: usize,
+    },
+    /// Feature vectors passed to [`psm`] have different lengths.
+    FeatureLengthMismatch {
+        /// First length.
+        lhs: usize,
+        /// Second length.
+        rhs: usize,
+    },
+    /// The image is too small for the SSIM window.
+    TooSmall {
+        /// Image side length.
+        size: usize,
+        /// Window side length.
+        window: usize,
+    },
+}
+
+impl fmt::Display for QualityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityError::SizeMismatch { lhs, rhs } => {
+                write!(f, "image sizes differ: {lhs} vs {rhs}")
+            }
+            QualityError::FeatureLengthMismatch { lhs, rhs } => {
+                write!(f, "feature lengths differ: {lhs} vs {rhs}")
+            }
+            QualityError::TooSmall { size, window } => {
+                write!(f, "image of size {size} is smaller than the {window}-pixel ssim window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QualityError {}
+
+fn check_sizes(a: &Image, b: &Image) -> Result<(), QualityError> {
+    if a.height() != b.height() {
+        return Err(QualityError::SizeMismatch { lhs: a.height(), rhs: b.height() });
+    }
+    Ok(())
+}
+
+/// Mean squared error between two images of the same size.
+///
+/// # Errors
+///
+/// Returns [`QualityError::SizeMismatch`] if the images differ in size.
+pub fn mse(a: &Image, b: &Image) -> Result<f64, QualityError> {
+    check_sizes(a, b)?;
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    Ok(sum / a.as_slice().len() as f64)
+}
+
+/// Peak Signal-to-Noise Ratio in decibels (paper Eq. 11).
+///
+/// Pixels are in `[0, 1]`, so the peak value `P = 1`; this matches the
+/// 8-bit `P = 255` convention exactly because PSNR is scale-invariant.
+/// Identical images return `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`QualityError::SizeMismatch`] if the images differ in size.
+pub fn psnr(a: &Image, b: &Image) -> Result<f64, QualityError> {
+    let e = mse(a, b)?;
+    if e == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / e).log10())
+}
+
+/// SSIM window side length (pixels).
+const SSIM_WINDOW: usize = 8;
+/// SSIM window stride (pixels).
+const SSIM_STRIDE: usize = 4;
+const SSIM_K1: f64 = 0.01;
+const SSIM_K2: f64 = 0.03;
+
+/// Mean Structural Similarity Index (paper Eq. 12).
+///
+/// Local SSIM indices are computed per channel over sliding
+/// `8 × 8` windows with stride 4 and averaged, following the windowed
+/// formulation of Wang et al. Values lie in `[-1, 1]`; identical images
+/// score exactly 1.
+///
+/// # Errors
+///
+/// Returns [`QualityError::SizeMismatch`] if sizes differ, or
+/// [`QualityError::TooSmall`] if the image is smaller than the window.
+pub fn ssim(a: &Image, b: &Image) -> Result<f64, QualityError> {
+    check_sizes(a, b)?;
+    let size = a.height();
+    if size < SSIM_WINDOW {
+        return Err(QualityError::TooSmall { size, window: SSIM_WINDOW });
+    }
+    let c1 = (SSIM_K1 * 1.0f64).powi(2);
+    let c2 = (SSIM_K2 * 1.0f64).powi(2);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for channel in 0..Image::CHANNELS {
+        let mut y0 = 0;
+        while y0 + SSIM_WINDOW <= size {
+            let mut x0 = 0;
+            while x0 + SSIM_WINDOW <= size {
+                total += window_ssim(a, b, channel, y0, x0, c1, c2);
+                count += 1;
+                x0 += SSIM_STRIDE;
+            }
+            y0 += SSIM_STRIDE;
+        }
+    }
+    Ok(total / count as f64)
+}
+
+fn window_ssim(a: &Image, b: &Image, channel: usize, y0: usize, x0: usize, c1: f64, c2: f64) -> f64 {
+    let n = (SSIM_WINDOW * SSIM_WINDOW) as f64;
+    let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+    for y in y0..y0 + SSIM_WINDOW {
+        for x in x0..x0 + SSIM_WINDOW {
+            sum_a += f64::from(a.pixel(channel, y, x));
+            sum_b += f64::from(b.pixel(channel, y, x));
+        }
+    }
+    let (mu_a, mu_b) = (sum_a / n, sum_b / n);
+    let (mut var_a, mut var_b, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+    for y in y0..y0 + SSIM_WINDOW {
+        for x in x0..x0 + SSIM_WINDOW {
+            let da = f64::from(a.pixel(channel, y, x)) - mu_a;
+            let db = f64::from(b.pixel(channel, y, x)) - mu_b;
+            var_a += da * da;
+            var_b += db * db;
+            cov += da * db;
+        }
+    }
+    var_a /= n - 1.0;
+    var_b /= n - 1.0;
+    cov /= n - 1.0;
+    ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2))
+}
+
+/// Perceptual Similarity Metric (paper Eq. 13): the feature reconstruction
+/// distance `‖f_e(x) − f_e(x*)‖² / D` between the two images' deep features
+/// at the recommender's extraction layer `e`.
+///
+/// Callers extract the features with the same CNN the recommender uses and
+/// pass the two vectors here; the division by the feature dimension matches
+/// the paper's `1/(He·We·Ce)` normalisation (our layer `e` is the global
+/// average pool, so `He = We = 1` and `Ce = D`).
+///
+/// # Errors
+///
+/// Returns [`QualityError::FeatureLengthMismatch`] if the vectors differ in
+/// length.
+pub fn psm(features_clean: &[f32], features_attacked: &[f32]) -> Result<f64, QualityError> {
+    if features_clean.len() != features_attacked.len() {
+        return Err(QualityError::FeatureLengthMismatch {
+            lhs: features_clean.len(),
+            rhs: features_attacked.len(),
+        });
+    }
+    let sum: f64 = features_clean
+        .iter()
+        .zip(features_attacked)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    Ok(sum / features_clean.len().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image(size: usize, offset: f32) -> Image {
+        let mut img = Image::new(size);
+        for c in 0..Image::CHANNELS {
+            for y in 0..size {
+                for x in 0..size {
+                    let v = (x + y) as f32 / (2 * size) as f32 + offset;
+                    img.set_pixel(c, y, x, v.clamp(0.0, 1.0));
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = gradient_image(16, 0.0);
+        assert_eq!(mse(&img, &img).unwrap(), 0.0);
+        assert_eq!(psnr(&img, &img).unwrap(), f64::INFINITY);
+        assert!((ssim(&img, &img).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise_amplitude() {
+        let clean = gradient_image(16, 0.0);
+        let small = gradient_image(16, 0.01);
+        let big = gradient_image(16, 0.1);
+        let p_small = psnr(&clean, &small).unwrap();
+        let p_big = psnr(&clean, &big).unwrap();
+        assert!(p_small > p_big, "{p_small} vs {p_big}");
+        // 0.01 uniform offset => MSE 1e-4 => PSNR 40 dB.
+        assert!((p_small - 40.0).abs() < 0.5, "{p_small}");
+    }
+
+    #[test]
+    fn ssim_penalises_structural_change_more_than_brightness() {
+        let clean = gradient_image(16, 0.0);
+        // Uniform brightness shift: structure preserved.
+        let shifted = gradient_image(16, 0.05);
+        // Structural scramble: transpose-like distortion.
+        let mut scrambled = clean.clone();
+        for c in 0..3 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    scrambled.set_pixel(c, y, x, clean.pixel(c, x, y) * 0.5 + 0.25);
+                }
+            }
+        }
+        let s_shift = ssim(&clean, &shifted).unwrap();
+        let s_scram = ssim(&clean, &scrambled).unwrap();
+        assert!(s_shift > s_scram, "{s_shift} vs {s_scram}");
+        assert!(s_shift > 0.9);
+    }
+
+    #[test]
+    fn ssim_bounds() {
+        let a = gradient_image(16, 0.0);
+        let b = gradient_image(16, 0.3);
+        let s = ssim(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn psm_is_mean_squared_feature_distance() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 4.0, 3.0];
+        assert!((psm(&a, &b).unwrap() - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(psm(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn errors_on_mismatches() {
+        let a = Image::new(16);
+        let b = Image::new(8);
+        assert!(matches!(mse(&a, &b), Err(QualityError::SizeMismatch { .. })));
+        assert!(matches!(ssim(&a, &b), Err(QualityError::SizeMismatch { .. })));
+        assert!(matches!(
+            psm(&[1.0], &[1.0, 2.0]),
+            Err(QualityError::FeatureLengthMismatch { .. })
+        ));
+        let tiny = Image::new(4);
+        assert!(matches!(ssim(&tiny, &tiny), Err(QualityError::TooSmall { .. })));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            QualityError::SizeMismatch { lhs: 1, rhs: 2 },
+            QualityError::FeatureLengthMismatch { lhs: 1, rhs: 2 },
+            QualityError::TooSmall { size: 4, window: 8 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

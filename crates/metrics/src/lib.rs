@@ -1,0 +1,34 @@
+//! Evaluation metrics for the TAaMR reproduction.
+//!
+//! Three metric families, matching the paper's evaluation protocol:
+//!
+//! * **Recommendation impact** — the paper's novel Category Hit Ratio
+//!   ([`chr::category_hit_ratio`], Definition 5) plus standard top-N ranking
+//!   metrics ([`ranking`]) used for sanity-checking the recommenders.
+//! * **Attack efficacy** — targeted/untargeted success probability
+//!   ([`success`], Table III).
+//! * **Visual quality** — PSNR, SSIM and the perceptual similarity metric
+//!   PSM ([`image`], Table IV / Eq. 11–13).
+//!
+//! # Example
+//!
+//! ```
+//! use taamr_metrics::image::psnr;
+//! use taamr_vision::Image;
+//!
+//! let a = Image::new(16);
+//! let mut b = Image::new(16);
+//! b.as_mut_slice()[0] = 0.01;
+//! assert!(psnr(&a, &b).unwrap() > 40.0); // near-identical images
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chr;
+pub mod image;
+pub mod ranking;
+pub mod success;
+
+pub use chr::category_hit_ratio;
+pub use image::{psm, psnr, ssim};
+pub use success::{targeted_success_rate, untargeted_success_rate};

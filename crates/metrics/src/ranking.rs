@@ -1,0 +1,179 @@
+//! Standard top-N ranking metrics.
+//!
+//! Used to sanity-check that the recommenders actually learned something
+//! before attacking them (the paper trains VBPR/AMR to convergence; we
+//! verify convergence through these metrics).
+
+use std::collections::HashSet;
+
+/// Hit Ratio@N: fraction of users whose held-out item appears in their
+/// top-N list.
+///
+/// `held_out[u]` is the single leave-one-out test item of user `u`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or either is empty.
+pub fn hit_ratio(top_n_lists: &[Vec<usize>], held_out: &[usize]) -> f64 {
+    assert_eq!(top_n_lists.len(), held_out.len(), "one held-out item per user");
+    assert!(!held_out.is_empty(), "need at least one user");
+    let hits = top_n_lists
+        .iter()
+        .zip(held_out)
+        .filter(|(list, item)| list.contains(item))
+        .count();
+    hits as f64 / held_out.len() as f64
+}
+
+/// NDCG@N with binary relevance against a single held-out item per user.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or either is empty.
+pub fn ndcg(top_n_lists: &[Vec<usize>], held_out: &[usize]) -> f64 {
+    assert_eq!(top_n_lists.len(), held_out.len(), "one held-out item per user");
+    assert!(!held_out.is_empty(), "need at least one user");
+    let mut total = 0.0f64;
+    for (list, item) in top_n_lists.iter().zip(held_out) {
+        if let Some(pos) = list.iter().position(|i| i == item) {
+            total += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    total / held_out.len() as f64
+}
+
+/// Precision@N: mean fraction of each user's list that is relevant.
+///
+/// `relevant[u]` is the set of relevant items for user `u`; the denominator
+/// is `n` per the usual convention.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ, either is empty, or `n` is zero.
+pub fn precision(top_n_lists: &[Vec<usize>], relevant: &[HashSet<usize>], n: usize) -> f64 {
+    assert_eq!(top_n_lists.len(), relevant.len(), "one relevance set per user");
+    assert!(!relevant.is_empty(), "need at least one user");
+    assert!(n > 0, "N must be positive");
+    let mut total = 0.0f64;
+    for (list, rel) in top_n_lists.iter().zip(relevant) {
+        let hits = list.iter().filter(|i| rel.contains(i)).count();
+        total += hits as f64 / n as f64;
+    }
+    total / relevant.len() as f64
+}
+
+/// Recall@N: mean fraction of each user's relevant items that were
+/// recommended. Users with no relevant items are skipped.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or either is empty.
+pub fn recall(top_n_lists: &[Vec<usize>], relevant: &[HashSet<usize>]) -> f64 {
+    assert_eq!(top_n_lists.len(), relevant.len(), "one relevance set per user");
+    assert!(!relevant.is_empty(), "need at least one user");
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for (list, rel) in top_n_lists.iter().zip(relevant) {
+        if rel.is_empty() {
+            continue;
+        }
+        let hits = list.iter().filter(|i| rel.contains(i)).count();
+        total += hits as f64 / rel.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// AUC of pairwise preferences: probability that a random held-out item is
+/// scored above a random negative, given per-user `(score_positive,
+/// scores_of_negatives)` pairs.
+///
+/// This is the quantity BPR optimises, so it is the most direct convergence
+/// check for the recommenders.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty.
+pub fn pairwise_auc(pairs: &[(f32, Vec<f32>)]) -> f64 {
+    assert!(!pairs.is_empty(), "need at least one user");
+    let mut wins = 0.0f64;
+    let mut total = 0.0f64;
+    for (pos, negs) in pairs {
+        for &neg in negs {
+            total += 1.0;
+            if pos > &neg {
+                wins += 1.0;
+            } else if (pos - neg).abs() < f32::EPSILON {
+                wins += 0.5;
+            }
+        }
+    }
+    if total == 0.0 {
+        0.5
+    } else {
+        wins / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_counts_membership() {
+        let lists = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        assert_eq!(hit_ratio(&lists, &[2, 9]), 0.5);
+        assert_eq!(hit_ratio(&lists, &[1, 4]), 1.0);
+        assert_eq!(hit_ratio(&lists, &[7, 9]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_prefers_earlier_positions() {
+        let early = vec![vec![7, 1, 2]];
+        let late = vec![vec![1, 2, 7]];
+        assert!(ndcg(&early, &[7]) > ndcg(&late, &[7]));
+        assert_eq!(ndcg(&early, &[7]), 1.0); // position 0 => DCG 1/log2(2) = 1
+    }
+
+    #[test]
+    fn ndcg_zero_when_missed() {
+        assert_eq!(ndcg(&[vec![1, 2]], &[3]), 0.0);
+    }
+
+    #[test]
+    fn precision_and_recall_bounds() {
+        let lists = vec![vec![1, 2, 3, 4]];
+        let rel: Vec<HashSet<usize>> = vec![[1, 2].into_iter().collect()];
+        assert_eq!(precision(&lists, &rel, 4), 0.5);
+        assert_eq!(recall(&lists, &rel), 1.0);
+        let rel2: Vec<HashSet<usize>> = vec![[1, 9, 10, 11].into_iter().collect()];
+        assert_eq!(recall(&lists, &rel2), 0.25);
+    }
+
+    #[test]
+    fn recall_skips_users_without_relevants() {
+        let lists = vec![vec![1], vec![2]];
+        let rel: Vec<HashSet<usize>> = vec![HashSet::new(), [2].into_iter().collect()];
+        assert_eq!(recall(&lists, &rel), 1.0);
+    }
+
+    #[test]
+    fn auc_of_perfect_ranker_is_one() {
+        let pairs = vec![(2.0, vec![1.0, 0.5]), (3.0, vec![0.0])];
+        assert_eq!(pairwise_auc(&pairs), 1.0);
+        let bad = vec![(0.0, vec![1.0, 2.0])];
+        assert_eq!(pairwise_auc(&bad), 0.0);
+        let tied = vec![(1.0, vec![1.0])];
+        assert_eq!(pairwise_auc(&tied), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one held-out item per user")]
+    fn hit_ratio_length_mismatch() {
+        hit_ratio(&[vec![1]], &[1, 2]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Attack success probability (Table III).
+
+/// Fraction of attacked images the classifier assigns to the target class.
+///
+/// This is the paper's "attack success probability" for targeted attacks:
+/// the attack on image `i` succeeds iff `predictions[i] == target`.
+///
+/// # Panics
+///
+/// Panics if `predictions` is empty.
+pub fn targeted_success_rate(predictions: &[usize], target: usize) -> f64 {
+    assert!(!predictions.is_empty(), "need at least one prediction");
+    predictions.iter().filter(|&&p| p == target).count() as f64 / predictions.len() as f64
+}
+
+/// Fraction of attacked images whose predicted class changed away from the
+/// original (source) class — success for *untargeted* attacks.
+///
+/// # Panics
+///
+/// Panics if `predictions` is empty.
+pub fn untargeted_success_rate(predictions: &[usize], source: usize) -> f64 {
+    assert!(!predictions.is_empty(), "need at least one prediction");
+    predictions.iter().filter(|&&p| p != source).count() as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_counts_exact_matches() {
+        assert_eq!(targeted_success_rate(&[1, 1, 2, 1], 1), 0.75);
+        assert_eq!(targeted_success_rate(&[0, 0], 1), 0.0);
+        assert_eq!(targeted_success_rate(&[3, 3, 3], 3), 1.0);
+    }
+
+    #[test]
+    fn untargeted_counts_any_change() {
+        assert_eq!(untargeted_success_rate(&[1, 2, 0, 0], 0), 0.5);
+        assert_eq!(untargeted_success_rate(&[5], 5), 0.0);
+    }
+
+    #[test]
+    fn targeted_implies_untargeted_when_target_differs_from_source() {
+        let preds = [1usize, 2, 1, 0, 1];
+        let t = targeted_success_rate(&preds, 1);
+        let u = untargeted_success_rate(&preds, 0);
+        assert!(u >= t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prediction")]
+    fn empty_predictions_panic() {
+        targeted_success_rate(&[], 0);
+    }
+}

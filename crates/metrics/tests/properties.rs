@@ -1,0 +1,143 @@
+//! Property-based tests of the metric definitions.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use taamr_metrics::chr::{category_hit_ratio, category_hit_ratio_all};
+use taamr_metrics::image::{mse, psnr, ssim};
+use taamr_metrics::ranking::{hit_ratio, ndcg, pairwise_auc};
+use taamr_metrics::{psm, targeted_success_rate, untargeted_success_rate};
+use taamr_vision::Image;
+
+fn lists_strategy() -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<usize>, usize)> {
+    (1usize..8, 2usize..6, 8usize..30).prop_flat_map(|(users, n, items)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..items, 0..=n).prop_map(|mut v| {
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                }),
+                users..=users,
+            ),
+            proptest::collection::vec(0usize..4, items..=items),
+            Just(n),
+        )
+    })
+}
+
+fn image_strategy() -> impl Strategy<Value = Image> {
+    proptest::collection::vec(0.0f32..=1.0, 3 * 8 * 8)
+        .prop_map(|data| Image::from_vec(8, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chr_is_bounded_and_additive((lists, cats, n) in lists_strategy()) {
+        let num_cats = 4;
+        let all = category_hit_ratio_all(&lists, &cats, num_cats, n);
+        let mut total = 0.0;
+        for (c, &v) in all.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&v));
+            let set: HashSet<usize> = cats
+                .iter()
+                .enumerate()
+                .filter(|(_, &cc)| cc == c)
+                .map(|(i, _)| i)
+                .collect();
+            let single = category_hit_ratio(&lists, &set, n);
+            prop_assert!((single - v).abs() < 1e-12);
+            total += v;
+        }
+        // Total occupancy cannot exceed 1 (each slot has one category).
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn success_rates_are_complementary_for_binary_predictions(
+        preds in proptest::collection::vec(0usize..2, 1..50)
+    ) {
+        // With classes {0, 1}: targeted(1) + targeted(0) = 1, and
+        // untargeted(c) = 1 − targeted(c).
+        let t0 = targeted_success_rate(&preds, 0);
+        let t1 = targeted_success_rate(&preds, 1);
+        prop_assert!((t0 + t1 - 1.0).abs() < 1e-12);
+        prop_assert!((untargeted_success_rate(&preds, 0) - (1.0 - t0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_bounds_and_ndcg_ordering(
+        (lists, _, _) in lists_strategy(),
+        held in proptest::collection::vec(0usize..30, 1..8)
+    ) {
+        prop_assume!(lists.len() == held.len());
+        let hr = hit_ratio(&lists, &held);
+        let nd = ndcg(&lists, &held);
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert!((0.0..=1.0).contains(&nd));
+        prop_assert!(nd <= hr + 1e-12, "NDCG {} cannot exceed HR {}", nd, hr);
+    }
+
+    #[test]
+    fn auc_is_bounded_and_antisymmetric(
+        pos in proptest::collection::vec(-5.0f32..5.0, 1..6),
+        negs in proptest::collection::vec(-5.0f32..5.0, 1..6)
+    ) {
+        let pairs: Vec<(f32, Vec<f32>)> =
+            pos.iter().map(|&p| (p, negs.clone())).collect();
+        let auc = pairwise_auc(&pairs);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating all scores flips the AUC around 0.5.
+        let flipped: Vec<(f32, Vec<f32>)> = pos
+            .iter()
+            .map(|&p| (-p, negs.iter().map(|&n| -n).collect()))
+            .collect();
+        let auc_flipped = pairwise_auc(&flipped);
+        prop_assert!((auc + auc_flipped - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn image_metrics_identity_and_symmetry(a in image_strategy(), b in image_strategy()) {
+        // Identity.
+        prop_assert_eq!(mse(&a, &a).unwrap(), 0.0);
+        prop_assert!(ssim(&a, &a).unwrap() > 1.0 - 1e-9);
+        // Symmetry.
+        prop_assert!((mse(&a, &b).unwrap() - mse(&b, &a).unwrap()).abs() < 1e-12);
+        prop_assert!((ssim(&a, &b).unwrap() - ssim(&b, &a).unwrap()).abs() < 1e-9);
+        // Bounds.
+        let s = ssim(&a, &b).unwrap();
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&s));
+        if a != b {
+            prop_assert!(psnr(&a, &b).unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn psnr_is_monotone_in_uniform_noise(a in image_strategy(), e1 in 0.01f32..0.1, factor in 1.5f32..4.0) {
+        let perturb = |img: &Image, eps: f32| -> Image {
+            let mut out = img.clone();
+            for v in out.as_mut_slice() {
+                // Move toward 0.5 to avoid clamping asymmetries.
+                *v = (*v + if *v < 0.5 { eps } else { -eps }).clamp(0.0, 1.0);
+            }
+            out
+        };
+        let small = perturb(&a, e1);
+        let large = perturb(&a, e1 * factor);
+        prop_assert!(psnr(&a, &small).unwrap() >= psnr(&a, &large).unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn psm_is_a_scaled_squared_distance(
+        f1 in proptest::collection::vec(-5.0f32..5.0, 1..32),
+        scale in 0.1f32..3.0
+    ) {
+        let f2: Vec<f32> = f1.iter().map(|&v| v + scale).collect();
+        let p = psm(&f1, &f2).unwrap();
+        // Uniform shift by `scale` gives exactly scale².
+        prop_assert!((p - f64::from(scale * scale)).abs() < 1e-3);
+        prop_assert_eq!(psm(&f1, &f1).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Layer`] trait and trainable [`Param`] container.
+
+use taamr_tensor::Tensor;
+
+/// Whether a forward pass runs in training or inference mode.
+///
+/// Batch normalisation uses batch statistics in [`Mode::Train`] and running
+/// statistics in [`Mode::Eval`]; attacks always run in [`Mode::Eval`] because
+/// the adversary perturbs a *deployed* model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: batch statistics, running-stat updates.
+    Train,
+    /// Inference: frozen statistics, no side effects.
+    #[default]
+    Eval,
+}
+
+impl Mode {
+    /// Whether this is [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A trainable parameter: value, accumulated gradient, and optional
+/// optimiser state (momentum buffer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+    /// Momentum buffer, lazily created by the optimiser.
+    pub momentum: Option<Tensor>,
+    /// Whether weight decay applies (disabled for biases and norm scales).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps an initial value as a decayed (regularised) parameter.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad, momentum: None, decay: true }
+    }
+
+    /// Wraps an initial value as a non-decayed parameter (bias, BN scale).
+    pub fn new_no_decay(value: Tensor) -> Self {
+        Param { decay: false, ..Param::new(value) }
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] so that
+/// [`Layer::backward`] can compute the gradient with respect to the input and
+/// accumulate gradients into their [`Param`]s. `backward` must be called with
+/// the gradient of the loss with respect to the layer's most recent output.
+///
+/// # Contract
+///
+/// * `backward` may only be called after `forward`.
+/// * Parameter gradients *accumulate*; callers zero them via
+///   [`Layer::zero_grads`] between optimiser steps.
+pub trait Layer {
+    /// Computes the layer output for `input`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_output` backwards, returning the gradient with
+    /// respect to the layer's input and accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Layer::forward`] or with a gradient whose
+    /// shape does not match the most recent output.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's trainable parameters (empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// A short human-readable layer name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar trainable parameters.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_starts_with_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 2]));
+        assert!(p.grad.iter().all(|&v| v == 0.0));
+        assert!(p.decay);
+        assert!(p.momentum.is_none());
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn no_decay_constructor_flags_off() {
+        let p = Param::new_no_decay(Tensor::ones(&[3]));
+        assert!(!p.decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        p.grad = Tensor::ones(&[2]);
+        p.zero_grad();
+        assert!(p.grad.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mode_default_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+}

@@ -1,0 +1,250 @@
+//! GEMM-based 2-D convolution.
+
+use rand::Rng;
+use taamr_tensor::{col2im, gemm, im2col, Conv2dGeometry, Tensor, Transpose};
+
+use crate::{Layer, Mode, Param};
+
+/// A 2-D convolution layer over `N × C × H × W` inputs.
+///
+/// The convolution is lowered to a matrix product via `im2col`. Weights are
+/// stored as an `OC × (C·KH·KW)` matrix plus an `OC` bias vector and are
+/// He-initialised.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    geom: Conv2dGeometry,
+    in_channels: usize,
+    out_channels: usize,
+    /// Cached `im2col` matrix from the last forward pass.
+    cols: Option<Tensor>,
+    /// Cached input dims from the last forward pass.
+    input_dims: Option<[usize; 4]>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel × kernel` filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_channels`, `out_channels`, `kernel`, or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        let geom = Conv2dGeometry::new(kernel, kernel, stride, padding);
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Param::new(Tensor::he_normal(&[out_channels, fan_in], fan_in, rng));
+        let bias = Param::new_no_decay(Tensor::zeros(&[out_channels]));
+        Conv2d { weight, bias, geom, in_channels, out_channels, cols: None, input_dims: None }
+    }
+
+    /// The convolution geometry (kernel, stride, padding).
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geom
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Permutes a `[OC, N·OH·OW]` GEMM output into NCHW layout.
+    fn to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        let src = mat.as_slice();
+        let dst = out.as_mut_slice();
+        let spatial = oh * ow;
+        for o in 0..oc {
+            let row = &src[o * n * spatial..(o + 1) * n * spatial];
+            for ni in 0..n {
+                let dst_base = (ni * oc + o) * spatial;
+                let src_base = ni * spatial;
+                dst[dst_base..dst_base + spatial]
+                    .copy_from_slice(&row[src_base..src_base + spatial]);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Conv2d::to_nchw`].
+    fn from_nchw(t: &Tensor) -> Tensor {
+        let [n, oc, oh, ow] = [t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]];
+        let mut out = Tensor::zeros(&[oc, n * oh * ow]);
+        let src = t.as_slice();
+        let dst = out.as_mut_slice();
+        let spatial = oh * ow;
+        for o in 0..oc {
+            let row = &mut dst[o * n * spatial..(o + 1) * n * spatial];
+            for ni in 0..n {
+                let src_base = (ni * oc + o) * spatial;
+                row[ni * spatial..(ni + 1) * spatial]
+                    .copy_from_slice(&src[src_base..src_base + spatial]);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
+        assert_eq!(input.dims()[1], self.in_channels, "Conv2d channel mismatch");
+        let [n, _, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        let (oh, ow) = self.geom.output_hw(h, w);
+
+        let cols = im2col(input, &self.geom).expect("im2col on validated input");
+        let mut out_mat = Tensor::zeros(&[self.out_channels, n * oh * ow]);
+        gemm(1.0, &self.weight.value, Transpose::No, &cols, Transpose::No, 0.0, &mut out_mat)
+            .expect("conv gemm shapes are consistent by construction");
+        // Add bias per output channel.
+        {
+            let row_len = n * oh * ow;
+            let data = out_mat.as_mut_slice();
+            for o in 0..self.out_channels {
+                let b = self.bias.value.as_slice()[o];
+                if b != 0.0 {
+                    for v in &mut data[o * row_len..(o + 1) * row_len] {
+                        *v += b;
+                    }
+                }
+            }
+        }
+        self.cols = Some(cols);
+        self.input_dims = Some([n, self.in_channels, h, w]);
+        Self::to_nchw(&out_mat, n, self.out_channels, oh, ow)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cols = self.cols.as_ref().expect("backward before forward");
+        let dims = self.input_dims.expect("backward before forward");
+        let grad_mat = Self::from_nchw(grad_output);
+
+        // dW += dY · colsᵀ
+        gemm(1.0, &grad_mat, Transpose::No, cols, Transpose::Yes, 1.0, &mut self.weight.grad)
+            .expect("conv weight-grad gemm");
+        // db += row sums of dY
+        {
+            let row_len = grad_mat.dims()[1];
+            let g = grad_mat.as_slice();
+            for o in 0..self.out_channels {
+                self.bias.grad.as_mut_slice()[o] +=
+                    g[o * row_len..(o + 1) * row_len].iter().sum::<f32>();
+            }
+        }
+        // dX = col2im(Wᵀ · dY)
+        let mut grad_cols = Tensor::zeros(cols.dims());
+        gemm(
+            1.0,
+            &self.weight.value,
+            Transpose::Yes,
+            &grad_mat,
+            Transpose::No,
+            0.0,
+            &mut grad_cols,
+        )
+        .expect("conv input-grad gemm");
+        col2im(&grad_cols, &dims, &self.geom).expect("col2im on validated shapes")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use taamr_tensor::seeded_rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn bias_shifts_every_output() {
+        let mut rng = seeded_rng(1);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        let y0 = conv.forward(&x, Mode::Train);
+        assert!(y0.iter().all(|&v| v == 0.0));
+        conv.params_mut()[1].value = Tensor::from_slice(&[1.5, -0.5]);
+        let y1 = conv.forward(&x, Mode::Train);
+        for i in 0..9 {
+            assert_eq!(y1.as_slice()[i], 1.5);
+            assert_eq!(y1.as_slice()[9 + i], -0.5);
+        }
+    }
+
+    #[test]
+    fn nchw_permutation_round_trips() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let mat = Conv2d::from_nchw(&t);
+        let back = Conv2d::to_nchw(&mat, 2, 3, 2, 2);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(2);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        gradcheck::check_input_gradient(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn param_gradients_match_finite_differences() {
+        let mut rng = seeded_rng(3);
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        gradcheck::check_param_gradients(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = seeded_rng(4);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        conv.forward(&x, Mode::Train);
+        conv.backward(&g);
+        let g1 = conv.params_mut()[0].grad.as_slice()[0];
+        conv.forward(&x, Mode::Train);
+        conv.backward(&g);
+        let g2 = conv.params_mut()[0].grad.as_slice()[0];
+        assert!((g2 - 2.0 * g1).abs() < 1e-5);
+        conv.zero_grads();
+        assert_eq!(conv.params_mut()[0].grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channel_count() {
+        let mut rng = seeded_rng(5);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        conv.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Train);
+    }
+
+    #[test]
+    fn param_count_is_weights_plus_bias() {
+        let mut rng = seeded_rng(6);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+    }
+}

@@ -1,0 +1,150 @@
+//! Inverted dropout.
+
+use taamr_tensor::Tensor;
+
+use crate::{Layer, Mode};
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so eval mode is a
+/// no-op (no test-time rescaling needed).
+///
+/// The layer derives its per-forward mask from an internal counter and a
+/// seed, so training runs remain reproducible without threading an RNG
+/// through [`Layer::forward`].
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    seed: u64,
+    calls: u64,
+    mask: Option<Vec<bool>>,
+    trained: bool,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
+        Dropout { p, seed, calls: 0, mask: None, trained: false }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    fn keep(&self, index: usize, call: u64) -> bool {
+        // splitmix64-style hash of (seed, call, index) → uniform in [0, 1).
+        let mut h = self.seed ^ call.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= (index as u64).wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6);
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % 1_000_000) as f32 / 1_000_000.0 >= self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if !mode.is_train() || self.p == 0.0 {
+            self.trained = false;
+            self.mask = None;
+            return input.clone();
+        }
+        self.calls += 1;
+        let call = self.calls;
+        let mask: Vec<bool> = (0..input.len()).map(|i| self.keep(i, call)).collect();
+        let scale = 1.0 / (1.0 - self.p);
+        let mut out = input.clone();
+        for (v, &keep) in out.iter_mut().zip(&mask) {
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        self.trained = true;
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        if !self.trained {
+            return grad_output.clone();
+        }
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let scale = 1.0 / (1.0 - self.p);
+        let mut grad = grad_output.clone();
+        for (g, &keep) in grad.iter_mut().zip(mask) {
+            *g = if keep { *g * scale } else { 0.0 };
+        }
+        grad
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+        assert_eq!(d.backward(&Tensor::ones(&[3])).as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train);
+        let dropped = y.iter().filter(|&&v| v == 0.0).count() as f32 / 10_000.0;
+        assert!((dropped - 0.3).abs() < 0.03, "dropped fraction {dropped}");
+        // Survivors are scaled by 1/(1−p).
+        let survivor = y.iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-5);
+        // Expectation preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::ones(&[64]));
+        for (yv, gv) in y.iter().zip(g.iter()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0, "mask mismatch between forward and backward");
+        }
+    }
+
+    #[test]
+    fn masks_differ_across_calls_but_runs_are_reproducible() {
+        let run = |seed: u64| -> (Tensor, Tensor) {
+            let mut d = Dropout::new(0.5, seed);
+            let x = Tensor::ones(&[32]);
+            (d.forward(&x, Mode::Train), d.forward(&x, Mode::Train))
+        };
+        let (a1, a2) = run(7);
+        let (b1, b2) = run(7);
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+        assert_ne!(a1, a2, "consecutive masks should differ");
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 0);
+    }
+}

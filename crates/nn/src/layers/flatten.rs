@@ -1,0 +1,62 @@
+//! Batch-preserving flatten.
+
+use taamr_tensor::Tensor;
+
+use crate::{Layer, Mode};
+
+/// Flattens `N × …` inputs to `N × (product of the rest)`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert!(input.rank() >= 1, "Flatten expects a batched input");
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        self.input_dims = input.dims().to_vec();
+        input.reshaped(&[n, rest]).expect("flatten preserves element count")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.input_dims.is_empty(), "backward before forward");
+        grad_output
+            .reshaped(&self.input_dims)
+            .expect("gradient has the flattened element count")
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 60]);
+        let g = f.backward(&Tensor::ones(&[2, 60]));
+        assert_eq!(g.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn preserves_data_order() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 2, 2]).unwrap();
+        let y = f.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+}

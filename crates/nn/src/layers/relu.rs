@@ -1,0 +1,87 @@
+//! Rectified linear activation.
+
+use taamr_tensor::Tensor;
+
+use crate::{Layer, Mode};
+
+/// Elementwise `max(0, x)` with the standard subgradient (0 at 0).
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+    dims: Vec<usize>,
+}
+
+impl ReLU {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mask: Vec<bool> = input.iter().map(|&v| v > 0.0).collect();
+        let out = input.map(|v| v.max(0.0));
+        self.mask = Some(mask);
+        self.dims = input.dims().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(grad_output.dims(), self.dims.as_slice(), "ReLU gradient shape mismatch");
+        let mut grad = grad_output.clone();
+        for (g, &m) in grad.iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn forward_clips_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        assert_eq!(r.forward(&x, Mode::Eval).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        r.forward(&x, Mode::Eval);
+        let g = r.backward(&Tensor::from_slice(&[10.0, 10.0, 10.0]));
+        assert_eq!(g.as_slice(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_away_from_kink() {
+        let mut r = ReLU::new();
+        // Stay away from 0 so finite differences are valid.
+        let x = Tensor::from_slice(&[-2.0, -1.0, 1.0, 2.0, 0.7, -0.7]);
+        gradcheck::check_input_gradient(&mut r, &x, 1e-3);
+    }
+
+    #[test]
+    fn has_no_params() {
+        let mut r = ReLU::new();
+        assert_eq!(r.param_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        ReLU::new().backward(&Tensor::zeros(&[1]));
+    }
+}

@@ -1,0 +1,173 @@
+//! Residual (skip-connection) block.
+
+use rand::Rng;
+use taamr_tensor::Tensor;
+
+use crate::layers::{BatchNorm2d, Conv2d, ReLU};
+use crate::{Layer, Mode, Param};
+
+/// A basic ResNet block: `ReLU(BN(conv(ReLU(BN(conv(x))))) + shortcut(x))`.
+///
+/// When `stride > 1` or the channel count changes, the shortcut is a
+/// 1×1 strided convolution followed by batch-norm (projection shortcut);
+/// otherwise it is the identity.
+#[derive(Debug)]
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    /// Mask of the final ReLU (applied after the addition).
+    out_mask: Option<Vec<bool>>,
+}
+
+impl ResidualBlock {
+    /// Creates a block mapping `in_channels → out_channels` with the given
+    /// stride on the first convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel count or the stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let conv1 = Conv2d::new(in_channels, out_channels, 3, stride, 1, rng);
+        let bn1 = BatchNorm2d::new(out_channels);
+        let conv2 = Conv2d::new(out_channels, out_channels, 3, 1, 1, rng);
+        let bn2 = BatchNorm2d::new(out_channels);
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(in_channels, out_channels, 1, stride, 0, rng),
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        ResidualBlock { conv1, bn1, relu1: ReLU::new(), conv2, bn2, shortcut, out_mask: None }
+    }
+
+    /// Whether this block uses a projection shortcut.
+    pub fn has_projection(&self) -> bool {
+        self.shortcut.is_some()
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut main = self.conv1.forward(input, mode);
+        main = self.bn1.forward(&main, mode);
+        main = self.relu1.forward(&main, mode);
+        main = self.conv2.forward(&main, mode);
+        main = self.bn2.forward(&main, mode);
+
+        let skip = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(input, mode);
+                bn.forward(&s, mode)
+            }
+            None => input.clone(),
+        };
+        let mut sum = main;
+        sum += &skip;
+        let mask: Vec<bool> = sum.iter().map(|&v| v > 0.0).collect();
+        let out = sum.map(|v| v.max(0.0));
+        self.out_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.out_mask.as_ref().expect("backward before forward");
+        let mut g = grad_output.clone();
+        for (v, &m) in g.iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        // Main branch.
+        let mut gm = self.bn2.backward(&g);
+        gm = self.conv2.backward(&gm);
+        gm = self.relu1.backward(&gm);
+        gm = self.bn1.backward(&gm);
+        gm = self.conv1.backward(&gm);
+        // Shortcut branch.
+        let gs = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let t = bn.backward(&g);
+                conv.backward(&t)
+            }
+            None => g,
+        };
+        &gm + &gs
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.conv1.params_mut();
+        p.extend(self.bn1.params_mut());
+        p.extend(self.conv2.params_mut());
+        p.extend(self.bn2.params_mut());
+        if let Some((conv, bn)) = &mut self.shortcut {
+            p.extend(conv.params_mut());
+            p.extend(bn.params_mut());
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "ResidualBlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use taamr_tensor::seeded_rng;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = seeded_rng(0);
+        let mut b = ResidualBlock::new(4, 4, 1, &mut rng);
+        assert!(!b.has_projection());
+        let x = Tensor::randn(&[2, 4, 6, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(b.forward(&x, Mode::Train).dims(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn strided_block_downsamples_and_projects() {
+        let mut rng = seeded_rng(1);
+        let mut b = ResidualBlock::new(4, 8, 2, &mut rng);
+        assert!(b.has_projection());
+        let x = Tensor::randn(&[1, 4, 8, 8], 0.0, 1.0, &mut rng);
+        assert_eq!(b.forward(&x, Mode::Train).dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences_identity() {
+        let mut rng = seeded_rng(2);
+        let mut b = ResidualBlock::new(2, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        gradcheck::check_input_gradient_cosine(&mut b, &x, 0.98);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences_projection() {
+        let mut rng = seeded_rng(3);
+        let mut b = ResidualBlock::new(2, 4, 2, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        gradcheck::check_input_gradient_cosine(&mut b, &x, 0.98);
+    }
+
+    #[test]
+    fn param_lists_cover_both_branches() {
+        let mut rng = seeded_rng(4);
+        let mut plain = ResidualBlock::new(4, 4, 1, &mut rng);
+        let mut proj = ResidualBlock::new(4, 8, 2, &mut rng);
+        assert_eq!(plain.params_mut().len(), 8); // 2 convs + 2 bns, 2 params each
+        assert_eq!(proj.params_mut().len(), 12);
+    }
+}

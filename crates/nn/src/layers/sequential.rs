@@ -1,0 +1,119 @@
+//! Ordered composition of layers.
+
+use taamr_tensor::Tensor;
+
+use crate::{Layer, Mode, Param};
+
+/// A stack of layers applied in order; backward runs them in reverse.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer, returning `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, ReLU};
+    use taamr_tensor::seeded_rng;
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut rng = seeded_rng(0);
+        let mut net = Sequential::new()
+            .with(Dense::new(4, 8, &mut rng))
+            .with(ReLU::new())
+            .with(Dense::new(8, 2, &mut rng));
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[3, 2]);
+        let g = net.backward(&Tensor::ones(&[3, 2]));
+        assert_eq!(g.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn collects_all_params() {
+        let mut rng = seeded_rng(1);
+        let mut net =
+            Sequential::new().with(Dense::new(4, 8, &mut rng)).with(Dense::new(8, 2, &mut rng));
+        assert_eq!(net.params_mut().len(), 4); // two weights + two biases
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        assert!(net.is_empty());
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(net.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let mut rng = seeded_rng(2);
+        let net = Sequential::new().with(Dense::new(2, 2, &mut rng)).with(ReLU::new());
+        let s = format!("{net:?}");
+        assert!(s.contains("Dense") && s.contains("ReLU"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Stochastic gradient descent with momentum, weight decay and LR schedules.
+
+use crate::Param;
+use taamr_tensor::Tensor;
+
+/// Learning-rate schedule evaluated per epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply the rate by `factor` every `every` epochs.
+    Step {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        factor: f32,
+    },
+    /// Half-cosine decay from the base rate to `floor` over `total_epochs`.
+    Cosine {
+        /// Total epochs the schedule spans.
+        total_epochs: usize,
+        /// Final learning rate.
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` (0-based) given the base rate.
+    pub fn rate_at(&self, base: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Step { every, factor } => {
+                if every == 0 {
+                    base
+                } else {
+                    base * factor.powi((epoch / every) as i32)
+                }
+            }
+            LrSchedule::Cosine { total_epochs, floor } => {
+                if total_epochs == 0 {
+                    base
+                } else {
+                    let t = (epoch.min(total_epochs) as f32) / total_epochs as f32;
+                    floor + 0.5 * (base - floor) * (1.0 + (std::f32::consts::PI * t).cos())
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for [`Sgd`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdConfig {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay applied to parameters with `decay = true`.
+    pub weight_decay: f32,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, schedule: LrSchedule::Constant }
+    }
+}
+
+/// Plain SGD with (optional) Polyak momentum and decoupled L2 weight decay.
+///
+/// Momentum buffers live inside each [`Param`], so the optimiser itself is
+/// stateless apart from its configuration and the current epoch.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    epoch: usize,
+}
+
+impl Sgd {
+    /// Creates an optimiser from a configuration.
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd { config, epoch: 0 }
+    }
+
+    /// The currently effective learning rate.
+    pub fn current_lr(&self) -> f32 {
+        self.config.schedule.rate_at(self.config.lr, self.epoch)
+    }
+
+    /// Advances the schedule by one epoch.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The 0-based epoch counter.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Applies one update step to `params` using their accumulated gradients.
+    ///
+    /// Gradients are *not* zeroed; call [`crate::Layer::zero_grads`] before
+    /// the next backward pass.
+    pub fn step(&self, params: &mut [&mut Param]) {
+        let lr = self.current_lr();
+        for p in params.iter_mut() {
+            let mut g = p.grad.clone();
+            if self.config.weight_decay > 0.0 && p.decay {
+                g.axpy(self.config.weight_decay, &p.value);
+            }
+            if self.config.momentum > 0.0 {
+                let m = p
+                    .momentum
+                    .get_or_insert_with(|| Tensor::zeros(g.dims()));
+                m.scale(self.config.momentum);
+                *m += &g;
+                p.value.axpy(-lr, m);
+            } else {
+                p.value.axpy(-lr, &g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_slice(&[x0]))
+    }
+
+    /// Gradient of f(x) = x² is 2x.
+    fn set_quad_grad(p: &mut Param) {
+        p.grad = p.value.scaled(2.0);
+    }
+
+    #[test]
+    fn sgd_minimises_a_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            schedule: LrSchedule::Constant,
+        });
+        for _ in 0..50 {
+            set_quad_grad(&mut p);
+            sgd.step(&mut [&mut p]);
+        }
+        assert!(p.value.as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut p = quadratic_param(5.0);
+            let sgd = Sgd::new(SgdConfig {
+                lr: 0.02,
+                momentum,
+                weight_decay: 0.0,
+                schedule: LrSchedule::Constant,
+            });
+            for _ in 0..20 {
+                set_quad_grad(&mut p);
+                sgd.step(&mut [&mut p]);
+            }
+            p.value.as_slice()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_undecayed_gradient_free_param() {
+        let mut p = quadratic_param(1.0);
+        let sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+            schedule: LrSchedule::Constant,
+        });
+        // grad = 0: only decay drives the update.
+        sgd.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_decay_params_are_exempt() {
+        let mut p = Param::new_no_decay(Tensor::from_slice(&[1.0]));
+        let sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+            schedule: LrSchedule::Constant,
+        });
+        sgd.step(&mut [&mut p]);
+        assert_eq!(p.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn step_schedule_decays() {
+        let s = LrSchedule::Step { every: 10, factor: 0.1 };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 9), 1.0);
+        assert!((s.rate_at(1.0, 10) - 0.1).abs() < 1e-6);
+        assert!((s.rate_at(1.0, 25) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = LrSchedule::Cosine { total_epochs: 100, floor: 0.001 };
+        assert!((s.rate_at(0.1, 0) - 0.1).abs() < 1e-6);
+        assert!((s.rate_at(0.1, 100) - 0.001).abs() < 1e-6);
+        let mid = s.rate_at(0.1, 50);
+        assert!(mid < 0.1 && mid > 0.001);
+    }
+
+    #[test]
+    fn advance_epoch_changes_rate() {
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            schedule: LrSchedule::Step { every: 1, factor: 0.5 },
+        });
+        assert_eq!(sgd.current_lr(), 1.0);
+        sgd.advance_epoch();
+        assert_eq!(sgd.current_lr(), 0.5);
+        assert_eq!(sgd.epoch(), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! TinyResNet: the reproduction's stand-in for ResNet50.
+
+use rand::Rng;
+use taamr_tensor::Tensor;
+
+use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, ReLU, ResidualBlock, Sequential};
+use crate::loss::softmax_cross_entropy;
+use crate::{ImageClassifier, Layer, Mode, Param};
+
+/// Architecture of a [`TinyResNet`].
+///
+/// The network is `stem → stage₁ → stage₂ → … → global-avg-pool → dense`.
+/// Stage `i` has `blocks_per_stage` residual blocks at `base_channels · 2^i`
+/// channels; each stage after the first starts with a stride-2 block. The
+/// global-average-pool output is the feature layer `e` whose dimension equals
+/// the final stage's channel count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TinyResNetConfig {
+    /// Input channels (3 for RGB product images).
+    pub in_channels: usize,
+    /// Channel count of the first stage.
+    pub base_channels: usize,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+    /// Number of stages (each doubles channels and halves resolution).
+    pub stages: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl TinyResNetConfig {
+    /// The default catalog classifier: 3 stages of 16→32→64 channels,
+    /// feature dimension 64 — shaped like a CIFAR ResNet.
+    pub fn catalog_default(num_classes: usize) -> Self {
+        TinyResNetConfig {
+            in_channels: 3,
+            base_channels: 16,
+            blocks_per_stage: 1,
+            stages: 3,
+            num_classes,
+        }
+    }
+
+    /// A deliberately small network for fast unit tests.
+    pub fn tiny_for_tests(num_classes: usize) -> Self {
+        TinyResNetConfig {
+            in_channels: 3,
+            base_channels: 4,
+            blocks_per_stage: 1,
+            stages: 2,
+            num_classes,
+        }
+    }
+
+    /// Feature dimension `D` of the global-average-pool layer.
+    pub fn feature_dim(&self) -> usize {
+        self.base_channels << (self.stages.saturating_sub(1))
+    }
+}
+
+/// A small residual CNN with the same *interface* as the paper's ResNet50:
+/// a convolutional trunk ending in global average pooling (the feature layer
+/// `e`) followed by a single dense classification head.
+///
+/// # Example
+///
+/// ```
+/// use taamr_nn::{ImageClassifier, TinyResNet, TinyResNetConfig};
+/// use taamr_tensor::{seeded_rng, Tensor};
+///
+/// let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(5), &mut seeded_rng(0));
+/// let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(1));
+/// assert_eq!(net.features(&x).dims(), &[1, net.feature_dim()]);
+/// assert_eq!(net.predict(&x).len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TinyResNet {
+    trunk: Sequential,
+    head: Dense,
+    config: TinyResNetConfig,
+}
+
+impl TinyResNet {
+    /// Builds a randomly initialised network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config field is zero.
+    pub fn new(config: &TinyResNetConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.stages > 0 && config.blocks_per_stage > 0, "empty architecture");
+        assert!(
+            config.in_channels > 0 && config.base_channels > 0 && config.num_classes > 0,
+            "zero-sized architecture field"
+        );
+        let mut trunk = Sequential::new()
+            .with(Conv2d::new(config.in_channels, config.base_channels, 3, 1, 1, rng))
+            .with(BatchNorm2d::new(config.base_channels))
+            .with(ReLU::new());
+        let mut channels = config.base_channels;
+        for stage in 0..config.stages {
+            let out_channels = config.base_channels << stage;
+            for block in 0..config.blocks_per_stage {
+                let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+                trunk.push(Box::new(ResidualBlock::new(channels, out_channels, stride, rng)));
+                channels = out_channels;
+            }
+        }
+        trunk.push(Box::new(GlobalAvgPool::new()));
+        let head = Dense::new(channels, config.num_classes, rng);
+        TinyResNet { trunk, head, config: config.clone() }
+    }
+
+    /// The architecture this network was built from.
+    pub fn config(&self) -> &TinyResNetConfig {
+        &self.config
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.trunk.param_count() + self.head.param_count()
+    }
+
+    /// Forward pass returning `(features, logits)` in the given mode.
+    pub fn forward_full(&mut self, x: &Tensor, mode: Mode) -> (Tensor, Tensor) {
+        let features = self.trunk.forward(x, mode);
+        let logits = self.head.forward(&features, mode);
+        (features, logits)
+    }
+
+    /// Training step: forward in train mode, backprop the cross-entropy
+    /// gradient, and return the batch loss. Parameter gradients accumulate.
+    pub fn train_backward(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let (_, logits) = self.forward_full(x, Mode::Train);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, labels);
+        let grad_features = self.head.backward(&grad_logits);
+        let _ = self.trunk.backward(&grad_features);
+        loss
+    }
+
+    /// Backpropagates an externally computed logit gradient (e.g. from a
+    /// distillation loss) through the head and trunk, accumulating parameter
+    /// gradients. Must follow a [`TinyResNet::forward_full`] call on the
+    /// same batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass preceded this call or the gradient shape
+    /// does not match the last logits.
+    pub fn backward_from_logits(&mut self, grad_logits: &Tensor) {
+        let grad_features = self.head.backward(grad_logits);
+        let _ = self.trunk.backward(&grad_features);
+    }
+
+    /// All trainable parameters (trunk then head).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.trunk.params_mut();
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        self.trunk.zero_grads();
+        self.head.zero_grads();
+    }
+}
+
+impl ImageClassifier for TinyResNet {
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.config.feature_dim()
+    }
+
+    fn logits(&mut self, x: &Tensor) -> Tensor {
+        let (_, logits) = self.forward_full(x, Mode::Eval);
+        logits
+    }
+
+    fn features(&mut self, x: &Tensor) -> Tensor {
+        self.trunk.forward(x, Mode::Eval)
+    }
+
+    fn loss_input_grad(&mut self, x: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let (_, logits) = self.forward_full(x, Mode::Eval);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, labels);
+        let grad_features = self.head.backward(&grad_logits);
+        let grad_input = self.trunk.backward(&grad_features);
+        (loss, grad_input)
+    }
+}
+
+impl crate::FeatureGradient for TinyResNet {
+    fn feature_loss_input_grad(&mut self, x: &Tensor, target_features: &Tensor) -> (f32, Tensor) {
+        let features = self.trunk.forward(x, Mode::Eval);
+        assert_eq!(
+            features.dims(),
+            target_features.dims(),
+            "one target feature row per batch element required"
+        );
+        let (n, d) = (features.dims()[0], features.dims()[1]);
+        // L = mean_i ‖f_i − t_i‖² / D; ∂L/∂f = 2 (f − t) / (N·D).
+        let diff = &features - target_features;
+        let loss = diff.iter().map(|&v| v * v).sum::<f32>() / (n * d) as f32;
+        let grad_features = diff.scaled(2.0 / (n * d) as f32);
+        let grad_input = self.trunk.backward(&grad_features);
+        (loss, grad_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taamr_tensor::seeded_rng;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let cfg = TinyResNetConfig::tiny_for_tests(5);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(0));
+        assert_eq!(net.feature_dim(), 8); // 4 << 1
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(1));
+        let f = net.features(&x);
+        assert_eq!(f.dims(), &[2, 8]);
+        let l = net.logits(&x);
+        assert_eq!(l.dims(), &[2, 5]);
+        assert_eq!(net.predict(&x).len(), 2);
+    }
+
+    #[test]
+    fn catalog_default_feature_dim_is_64() {
+        assert_eq!(TinyResNetConfig::catalog_default(10).feature_dim(), 64);
+    }
+
+    #[test]
+    fn loss_input_grad_shape_matches_input() {
+        let cfg = TinyResNetConfig::tiny_for_tests(3);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(2));
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeded_rng(3));
+        let (loss, grad) = net.loss_input_grad(&x, &[0, 2]);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grad.dims(), x.dims());
+        assert!(grad.all_finite());
+        assert!(grad.norm_linf() > 0.0, "gradient must be non-trivial");
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        // End-to-end gradient check of the full net in eval mode.
+        let cfg = TinyResNetConfig { in_channels: 1, base_channels: 2, blocks_per_stage: 1, stages: 2, num_classes: 2 };
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(4));
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], 0.2, 0.8, &mut seeded_rng(5));
+        let labels = [1usize];
+        let (_, analytic) = net.loss_input_grad(&x, &labels);
+        let eps = 1e-2f32;
+        // Full numeric gradient, compared by direction: individual pixels
+        // near ReLU kinks are noisy under finite differences.
+        let mut numeric = Tensor::zeros(x.dims());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = net.loss_input_grad(&xp, &labels).0;
+            let lm = net.loss_input_grad(&xm, &labels).0;
+            numeric.as_mut_slice()[i] = (lp - lm) / (2.0 * eps);
+        }
+        let cosine =
+            analytic.dot(&numeric) / (analytic.norm_l2() * numeric.norm_l2()).max(1e-12);
+        assert!(cosine > 0.97, "input-gradient cosine similarity {cosine}");
+    }
+
+    #[test]
+    fn descending_target_gradient_raises_target_probability() {
+        // One manual FGSM-like step must increase the target class prob:
+        // this is the core mechanism the whole paper rests on.
+        let cfg = TinyResNetConfig::tiny_for_tests(4);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(6));
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeded_rng(7));
+        let target = 2usize;
+        let p_before = net.probabilities(&x).at(&[0, target]);
+        let (_, grad) = net.loss_input_grad(&x, &[target]);
+        let x_adv = (&x - &grad.signum().scaled(0.03)).clamped(0.0, 1.0);
+        let p_after = net.probabilities(&x_adv).at(&[0, target]);
+        assert!(
+            p_after > p_before,
+            "target probability should rise: {p_before} -> {p_after}"
+        );
+    }
+
+    #[test]
+    fn feature_loss_is_zero_at_the_target() {
+        use crate::FeatureGradient;
+        let cfg = TinyResNetConfig::tiny_for_tests(3);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(20));
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(21));
+        let target = net.features(&x);
+        let (loss, grad) = net.feature_loss_input_grad(&x, &target);
+        assert!(loss.abs() < 1e-10, "loss at target should vanish, got {loss}");
+        assert!(grad.norm_linf() < 1e-6);
+    }
+
+    #[test]
+    fn feature_gradient_step_reduces_feature_distance() {
+        use crate::FeatureGradient;
+        let cfg = TinyResNetConfig::tiny_for_tests(3);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(22));
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.2, 0.8, &mut seeded_rng(23));
+        let other = Tensor::rand_uniform(&[1, 3, 16, 16], 0.2, 0.8, &mut seeded_rng(24));
+        let target = net.features(&other);
+        let (loss_before, grad) = net.feature_loss_input_grad(&x, &target);
+        assert!(loss_before > 0.0);
+        // A signed-gradient descent step must reduce the matching loss.
+        let x2 = (&x - &grad.signum().scaled(0.01)).clamped(0.0, 1.0);
+        let (loss_after, _) = net.feature_loss_input_grad(&x2, &target);
+        assert!(
+            loss_after < loss_before,
+            "feature loss should drop: {loss_before} -> {loss_after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one target feature row per batch element")]
+    fn feature_gradient_validates_target_shape() {
+        use crate::FeatureGradient;
+        let cfg = TinyResNetConfig::tiny_for_tests(3);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(25));
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let bad = Tensor::zeros(&[1, net.feature_dim()]);
+        net.feature_loss_input_grad(&x, &bad);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let cfg = TinyResNetConfig::tiny_for_tests(3);
+        let mut a = TinyResNet::new(&cfg, &mut seeded_rng(9));
+        let mut b = TinyResNet::new(&cfg, &mut seeded_rng(9));
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeded_rng(10));
+        assert_eq!(a.logits(&x), b.logits(&x));
+    }
+
+    #[test]
+    fn param_count_is_positive_and_stable() {
+        let cfg = TinyResNetConfig::tiny_for_tests(3);
+        let mut net = TinyResNet::new(&cfg, &mut seeded_rng(11));
+        let n = net.param_count();
+        assert!(n > 100);
+        assert_eq!(n, net.param_count());
+    }
+}

@@ -1,0 +1,246 @@
+//! Supervised training loop for [`TinyResNet`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use taamr_tensor::Tensor;
+
+use crate::{ImageClassifier, Sgd, SgdConfig, TinyResNet};
+
+/// Configuration for [`Trainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimiser configuration.
+    pub sgd: SgdConfig,
+    /// Progress callback cadence in epochs (0 disables logging).
+    pub log_every: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig { epochs: 10, batch_size: 16, sgd: SgdConfig::default(), log_every: 0 }
+    }
+}
+
+/// Loss/accuracy summary of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch (computed from train-mode logits).
+    pub accuracy: f32,
+}
+
+/// Mini-batch SGD trainer over an in-memory labelled image set.
+///
+/// The training set is an NCHW tensor of images plus one label per image.
+/// Each epoch shuffles the sample order with the supplied RNG, so runs are
+/// deterministic given the same seed.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `epochs` is zero.
+    pub fn new(config: TrainerConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.epochs > 0, "epoch count must be positive");
+        Trainer { config }
+    }
+
+    /// Trains `net` on `(images, labels)` and returns per-epoch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not NCHW or `labels.len()` differs from the
+    /// batch dimension.
+    pub fn fit(
+        &self,
+        net: &mut TinyResNet,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut impl Rng,
+    ) -> Vec<EpochStats> {
+        assert_eq!(images.rank(), 4, "trainer expects NCHW images");
+        let n = images.dims()[0];
+        assert_eq!(labels.len(), n, "one label per image required");
+        assert!(n > 0, "empty training set");
+
+        let sample_len: usize = images.dims()[1..].iter().product();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut sgd = Sgd::new(self.config.sgd.clone());
+        let mut history = Vec::with_capacity(self.config.epochs);
+
+        for epoch in 0..self.config.epochs {
+            order.shuffle(rng);
+            let mut total_loss = 0.0f64;
+            let mut batches = 0usize;
+            let mut correct = 0usize;
+
+            for chunk in order.chunks(self.config.batch_size) {
+                let (batch, batch_labels) = gather(images, labels, chunk, sample_len);
+                net.zero_grads();
+                let loss = net.train_backward(&batch, &batch_labels);
+                sgd.step(&mut net.params_mut());
+                total_loss += f64::from(loss);
+                batches += 1;
+                // Cheap accuracy from an eval-mode pass on the same batch.
+                let preds = net.predict(&batch);
+                correct +=
+                    preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+            }
+            let stats = EpochStats {
+                epoch,
+                mean_loss: (total_loss / batches.max(1) as f64) as f32,
+                accuracy: correct as f32 / n as f32,
+            };
+            if self.config.log_every > 0 && epoch % self.config.log_every == 0 {
+                eprintln!(
+                    "epoch {:>3}: loss {:.4} acc {:.3} lr {:.4}",
+                    epoch,
+                    stats.mean_loss,
+                    stats.accuracy,
+                    sgd.current_lr()
+                );
+            }
+            history.push(stats);
+            sgd.advance_epoch();
+        }
+        history
+    }
+
+    /// Accuracy of `net` on a held-out labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (see [`Trainer::fit`]).
+    pub fn evaluate(&self, net: &mut TinyResNet, images: &Tensor, labels: &[usize]) -> f32 {
+        assert_eq!(images.rank(), 4, "evaluate expects NCHW images");
+        let n = images.dims()[0];
+        assert_eq!(labels.len(), n, "one label per image required");
+        let sample_len: usize = images.dims()[1..].iter().product();
+        let mut correct = 0usize;
+        let all: Vec<usize> = (0..n).collect();
+        for chunk in all.chunks(self.config.batch_size) {
+            let (batch, batch_labels) = gather(images, labels, chunk, sample_len);
+            let preds = net.predict(&batch);
+            correct += preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+        }
+        correct as f32 / n.max(1) as f32
+    }
+}
+
+/// Copies the selected samples into a contiguous batch tensor.
+fn gather(
+    images: &Tensor,
+    labels: &[usize],
+    indices: &[usize],
+    sample_len: usize,
+) -> (Tensor, Vec<usize>) {
+    let mut dims = images.dims().to_vec();
+    dims[0] = indices.len();
+    let mut batch = Tensor::zeros(&dims);
+    let src = images.as_slice();
+    let dst = batch.as_mut_slice();
+    let mut batch_labels = Vec::with_capacity(indices.len());
+    for (bi, &si) in indices.iter().enumerate() {
+        dst[bi * sample_len..(bi + 1) * sample_len]
+            .copy_from_slice(&src[si * sample_len..(si + 1) * sample_len]);
+        batch_labels.push(labels[si]);
+    }
+    (batch, batch_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TinyResNetConfig};
+    use taamr_tensor::seeded_rng;
+
+    /// Builds a trivially separable two-class image set: class 0 is dark,
+    /// class 1 is bright.
+    fn toy_set(n_per_class: usize, rng: &mut impl Rng) -> (Tensor, Vec<usize>) {
+        let n = n_per_class * 2;
+        let mut images = Tensor::zeros(&[n, 3, 8, 8]);
+        let mut labels = Vec::with_capacity(n);
+        let sample = 3 * 8 * 8;
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.2 } else { 0.8 };
+            for j in 0..sample {
+                images.as_mut_slice()[i * sample + j] = base + rng.gen_range(-0.05..0.05);
+            }
+            labels.push(class);
+        }
+        (images, labels)
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let mut rng = seeded_rng(0);
+        let cfg = TinyResNetConfig::tiny_for_tests(2);
+        let mut net = TinyResNet::new(&cfg, &mut rng);
+        let (images, labels) = toy_set(8, &mut rng);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 8,
+            batch_size: 4,
+            sgd: SgdConfig { lr: 0.05, ..SgdConfig::default() },
+            log_every: 0,
+        });
+        let history = trainer.fit(&mut net, &images, &labels, &mut rng);
+        assert_eq!(history.len(), 8);
+        let final_acc = trainer.evaluate(&mut net, &images, &labels);
+        assert!(final_acc > 0.9, "final accuracy {final_acc}");
+        assert!(
+            history.last().unwrap().mean_loss < history.first().unwrap().mean_loss,
+            "loss should decrease"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TinyResNetConfig::tiny_for_tests(2);
+        let run = || {
+            let mut rng = seeded_rng(42);
+            let mut net = TinyResNet::new(&cfg, &mut rng);
+            let (images, labels) = toy_set(4, &mut rng);
+            let trainer = Trainer::new(TrainerConfig {
+                epochs: 2,
+                batch_size: 4,
+                ..TrainerConfig::default()
+            });
+            trainer.fit(&mut net, &images, &labels, &mut rng)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean_loss, y.mean_loss);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn rejects_label_mismatch() {
+        let mut rng = seeded_rng(1);
+        let cfg = TinyResNetConfig::tiny_for_tests(2);
+        let mut net = TinyResNet::new(&cfg, &mut rng);
+        let images = Tensor::zeros(&[4, 3, 8, 8]);
+        Trainer::new(TrainerConfig::default()).fit(&mut net, &images, &[0, 1], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        Trainer::new(TrainerConfig { batch_size: 0, ..TrainerConfig::default() });
+    }
+}

@@ -1,0 +1,264 @@
+//! Adversarial Multimedia Recommendation (Tang et al., TKDE 2019).
+
+use serde::{Deserialize, Serialize};
+use taamr_data::Triplet;
+
+use crate::train::PairwiseModel;
+use crate::{Recommender, Vbpr, VisualRecommender};
+
+/// Hyper-parameters of the AMR adversarial regulariser (paper Eq. 9–10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmrConfig {
+    /// Weight γ of the adversarial regulariser in the loss.
+    pub gamma: f32,
+    /// Magnitude η of the feature perturbation Δ.
+    pub eta: f32,
+}
+
+impl Default for AmrConfig {
+    /// The paper's setting: γ = 0.1, η = 1.
+    fn default() -> Self {
+        AmrConfig { gamma: 0.1, eta: 1.0 }
+    }
+}
+
+/// AMR: VBPR hardened with adversarial training on the item features.
+///
+/// Training minimises (paper Eq. 10)
+///
+/// ```text
+/// L_AMR = L_VBPR(θ) + γ · L_VBPR(θ | f + Δ_adv)
+/// ```
+///
+/// where `Δ_adv = η · Π / ‖Π‖` and `Π = ∂L_VBPR/∂Δ` (Eq. 9) — an FGSM-style
+/// worst-case perturbation of the *features*, recomputed per training step.
+/// Following the paper's protocol, an `Amr` is constructed from an
+/// already-trained [`Vbpr`] ("we have trained VBPR for 4000 epochs storing
+/// the model parameters at \[the\] 2000-th epoch, i.e. the point where AMR
+/// starts").
+///
+/// At inference time AMR scores exactly like its inner VBPR (the perturbation
+/// exists only during training), so [`Recommender`] and
+/// [`VisualRecommender`] delegate to the wrapped model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Amr {
+    inner: Vbpr,
+    config: AmrConfig,
+}
+
+impl Amr {
+    /// Wraps a (pre-trained) VBPR model for adversarial fine-tuning.
+    pub fn from_vbpr(vbpr: Vbpr, config: AmrConfig) -> Self {
+        assert!(config.gamma >= 0.0, "gamma must be non-negative");
+        assert!(config.eta >= 0.0, "eta must be non-negative");
+        Amr { inner: vbpr, config }
+    }
+
+    /// The adversarial-regulariser hyper-parameters.
+    pub fn config(&self) -> AmrConfig {
+        self.config
+    }
+
+    /// Read access to the wrapped VBPR model.
+    pub fn vbpr(&self) -> &Vbpr {
+        &self.inner
+    }
+
+    /// Unwraps the fine-tuned VBPR model.
+    pub fn into_vbpr(self) -> Vbpr {
+        self.inner
+    }
+
+    /// The adversarial feature perturbation `Δ = η Π/‖Π‖` for a triplet's
+    /// positive item (and its negation for the negative item), per Eq. 9.
+    fn adversarial_delta(&self, t: &Triplet) -> Vec<f32> {
+        // Π = ∂L/∂f_i. (∂L/∂f_j = −Π for the shared visual pathway.)
+        let grad = self.inner.loss_feature_grad(t);
+        let norm = grad.iter().map(|&g| g * g).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            return vec![0.0; grad.len()];
+        }
+        let scale = self.config.eta / norm;
+        grad.into_iter().map(|g| g * scale).collect()
+    }
+}
+
+impl Recommender for Amr {
+    fn num_users(&self) -> usize {
+        self.inner.num_users()
+    }
+
+    fn num_items(&self) -> usize {
+        self.inner.num_items()
+    }
+
+    fn score(&self, user: usize, item: usize) -> f32 {
+        self.inner.score(user, item)
+    }
+
+    fn score_all(&self, user: usize) -> Vec<f32> {
+        self.inner.score_all(user)
+    }
+}
+
+impl VisualRecommender for Amr {
+    fn feature_dim(&self) -> usize {
+        self.inner.feature_dim()
+    }
+
+    fn item_feature(&self, item: usize) -> &[f32] {
+        self.inner.item_feature(item)
+    }
+
+    fn set_item_feature(&mut self, item: usize, feature: &[f32]) {
+        self.inner.set_item_feature(item, feature);
+    }
+}
+
+impl PairwiseModel for Amr {
+    fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32 {
+        // Clean term.
+        let f_i = self.inner.item_feature(t.positive).to_vec();
+        let f_j = self.inner.item_feature(t.negative).to_vec();
+        let loss = self.inner.sgd_step_with_features(t, &f_i, &f_j, lr, 1.0);
+        if self.config.gamma == 0.0 || self.config.eta == 0.0 {
+            return loss;
+        }
+        // Adversarial term: maximise the loss w.r.t. Δ, then descend γ·∇θ of
+        // the perturbed loss. The perturbation raises ŝ_uj − ŝ_ui, i.e. Δ is
+        // *added* to f_i and *subtracted* from f_j (the gradient of the loss
+        // w.r.t. f_j is −Π).
+        let delta = self.adversarial_delta(t);
+        let f_i_adv: Vec<f32> = f_i.iter().zip(&delta).map(|(&f, &d)| f + d).collect();
+        let f_j_adv: Vec<f32> = f_j.iter().zip(&delta).map(|(&f, &d)| f - d).collect();
+        self.inner.sgd_step_with_features(t, &f_i_adv, &f_j_adv, lr, self.config.gamma);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbpr::tests::visual_dataset;
+    use crate::{PairwiseConfig, PairwiseTrainer, VbprConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_vbpr(seed: u64) -> (taamr_data::ImplicitDataset, Vbpr) {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig { factors: 4, visual_factors: 4, reg: 1e-4 },
+            &mut rng,
+        );
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 30,
+            triplets_per_epoch: Some(200),
+            lr: 0.1,
+        });
+        trainer.fit(&mut model, &data, &mut rng);
+        (data, model)
+    }
+
+    #[test]
+    fn adversarial_training_preserves_ranking_quality() {
+        let (data, vbpr) = trained_vbpr(0);
+        let mut amr = Amr::from_vbpr(vbpr, AmrConfig { gamma: 0.1, eta: 0.5 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 20,
+            triplets_per_epoch: Some(200),
+            lr: 0.05,
+        });
+        let losses = trainer.fit(&mut amr, &data, &mut rng);
+        assert!(losses.iter().all(|l| l.is_finite()));
+        // The community structure must survive adversarial fine-tuning.
+        let unseen_same: f32 = (4..8).map(|i| amr.score(0, i)).sum();
+        let unseen_other: f32 = (12..16).map(|i| amr.score(0, i)).sum();
+        assert!(unseen_same > unseen_other);
+    }
+
+    #[test]
+    fn amr_is_more_robust_to_feature_noise_than_vbpr() {
+        // Measure score damage from a worst-case-style feature perturbation
+        // on both models; AMR should be hurt less on average.
+        let (data, vbpr) = trained_vbpr(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 40,
+            triplets_per_epoch: Some(200),
+            lr: 0.05,
+        });
+        // Continue one copy as plain VBPR and one as AMR, same budget.
+        let mut plain = vbpr.clone();
+        trainer.fit(&mut plain, &data, &mut rng);
+        let mut amr = Amr::from_vbpr(vbpr, AmrConfig { gamma: 1.0, eta: 1.0 });
+        let mut rng2 = StdRng::seed_from_u64(3);
+        trainer.fit(&mut amr, &data, &mut rng2);
+        let amr = amr.into_vbpr();
+
+        // Perturb the features of the e1-community items with the direction
+        // that raises community-0 scores (the TAaMR-style push).
+        let damage = |m: &Vbpr| -> f32 {
+            let mut total = 0.0;
+            for item in 12..16 {
+                let t = taamr_data::Triplet { user: 0, positive: item, negative: 0 };
+                let grad = m.loss_feature_grad(&t);
+                let norm = grad.iter().map(|&g| g * g).sum::<f32>().sqrt().max(1e-9);
+                let perturbed: Vec<f32> = m
+                    .item_feature(item)
+                    .iter()
+                    .zip(&grad)
+                    .map(|(&f, &g)| f - g / norm) // descend the loss => raise score
+                    .collect();
+                let before = m.score(0, item);
+                let mut m2 = m.clone();
+                m2.set_item_feature(item, &perturbed);
+                total += m2.score(0, item) - before;
+            }
+            total
+        };
+        let d_plain = damage(&plain);
+        let d_amr = damage(&amr);
+        assert!(
+            d_amr < d_plain,
+            "AMR should damp feature attacks: amr {d_amr} vs vbpr {d_plain}"
+        );
+    }
+
+    #[test]
+    fn gamma_zero_reduces_to_vbpr_training() {
+        let (data, vbpr) = trained_vbpr(4);
+        let mut a = Amr::from_vbpr(vbpr.clone(), AmrConfig { gamma: 0.0, eta: 1.0 });
+        let mut b = vbpr;
+        let t = taamr_data::Triplet { user: 0, positive: 1, negative: 12 };
+        let la = a.sgd_step(&t, 0.05);
+        let lb = b.sgd_step(&t, 0.05);
+        assert_eq!(la, lb);
+        assert_eq!(a.into_vbpr(), b);
+        let _ = data;
+    }
+
+    #[test]
+    fn delta_has_magnitude_eta() {
+        let (_, vbpr) = trained_vbpr(5);
+        let amr = Amr::from_vbpr(vbpr, AmrConfig { gamma: 0.1, eta: 0.7 });
+        let t = taamr_data::Triplet { user: 1, positive: 2, negative: 13 };
+        let delta = amr.adversarial_delta(&t);
+        let norm = delta.iter().map(|&d| d * d).sum::<f32>().sqrt();
+        assert!((norm - 0.7).abs() < 1e-4, "‖Δ‖ = {norm}");
+    }
+
+    #[test]
+    fn scoring_delegates_to_inner_vbpr() {
+        let (_, vbpr) = trained_vbpr(6);
+        let amr = Amr::from_vbpr(vbpr.clone(), AmrConfig::default());
+        assert_eq!(amr.score(0, 3), vbpr.score(0, 3));
+        assert_eq!(amr.score_all(1), vbpr.score_all(1));
+        assert_eq!(amr.feature_dim(), vbpr.feature_dim());
+    }
+}

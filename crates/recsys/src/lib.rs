@@ -1,0 +1,110 @@
+//! Recommender models for the TAaMR reproduction: BPR-MF, VBPR and AMR.
+//!
+//! All three models are trained with stochastic gradient descent on BPR
+//! triplets `(u, i, j)` (user, interacted item, non-interacted item),
+//! minimising the pairwise ranking loss `−ln σ(ŝ_ui − ŝ_uj) + λ‖θ‖²`
+//! (paper Eq. 7):
+//!
+//! * [`BprMf`] — pure collaborative matrix factorisation (Rendle et al.),
+//!   the latent-factor backbone and a no-visual-features baseline;
+//! * [`Vbpr`] — Visual BPR (paper Eq. 6): adds a visual pathway
+//!   `α_uᵀ (E f_i) + βᵀ f_i` on deep image features `f_i`, which is the
+//!   attack surface TAaMR exploits;
+//! * [`Amr`] — Adversarial Multimedia Recommendation (paper Eq. 8–10):
+//!   VBPR continued with an adversarial regulariser that perturbs the item
+//!   features with FGSM-style noise `Δ` during training, the defence whose
+//!   robustness Table II probes.
+//!
+//! The [`Recommender`] trait exposes scoring and top-N recommendation; the
+//! [`VisualRecommender`] trait additionally allows swapping an item's
+//! features — that is how attacked images propagate into recommendations.
+//!
+//! # Example
+//!
+//! ```
+//! use taamr_data::{SyntheticConfig, SyntheticDataset};
+//! use taamr_recsys::{BprMf, PairwiseConfig, PairwiseTrainer, Recommender};
+//! use rand::SeedableRng;
+//!
+//! let data = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut model = BprMf::new(data.dataset.num_users(), data.dataset.num_items(), 8, &mut rng);
+//! let trainer = PairwiseTrainer::new(PairwiseConfig { epochs: 3, ..PairwiseConfig::default() });
+//! trainer.fit(&mut model, &data.dataset, &mut rng);
+//! let top = model.top_n(0, 5, data.dataset.user_items(0));
+//! assert_eq!(top.len(), 5);
+//! ```
+
+#![deny(missing_docs)]
+
+mod amr;
+mod bpr;
+mod popularity;
+mod recommend;
+mod train;
+mod vbpr;
+
+pub use amr::{Amr, AmrConfig};
+pub use bpr::BprMf;
+pub use popularity::Popularity;
+pub use recommend::{item_rank, top_n_indices};
+pub use train::{PairwiseConfig, PairwiseModel, PairwiseTrainer};
+pub use vbpr::{Vbpr, VbprConfig};
+
+/// A trained top-N recommender.
+pub trait Recommender {
+    /// Number of users the model covers.
+    fn num_users(&self) -> usize;
+
+    /// Number of items the model covers.
+    fn num_items(&self) -> usize;
+
+    /// Preference score `ŝ_ui`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `item` is out of range.
+    fn score(&self, user: usize, item: usize) -> f32;
+
+    /// Scores of every item for `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    fn score_all(&self, user: usize) -> Vec<f32> {
+        (0..self.num_items()).map(|i| self.score(user, i)).collect()
+    }
+
+    /// Top-`n` recommendation list for `user`, excluding `seen` items
+    /// (highest score first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    fn top_n(&self, user: usize, n: usize, seen: &[usize]) -> Vec<usize> {
+        recommend::top_n_indices(&self.score_all(user), n, seen)
+    }
+}
+
+/// A recommender whose item representations come from image features and can
+/// therefore be *changed* by perturbing images.
+pub trait VisualRecommender: Recommender {
+    /// Dimension `D` of the item features.
+    fn feature_dim(&self) -> usize;
+
+    /// Current feature vector of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    fn item_feature(&self, item: usize) -> &[f32];
+
+    /// Replaces the feature vector of `item` (e.g. with features extracted
+    /// from an adversarially perturbed image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range or the length differs from
+    /// [`VisualRecommender::feature_dim`].
+    fn set_item_feature(&mut self, item: usize, feature: &[f32]);
+}

@@ -1,0 +1,92 @@
+//! Popularity baseline.
+
+use taamr_data::ImplicitDataset;
+
+use crate::Recommender;
+
+/// A non-personalised most-popular recommender: `ŝ_ui = |users who consumed
+/// i|`, identical for every user.
+///
+/// This is the classic degenerate baseline. In the TAaMR setting it is also
+/// the *attack-immune* reference point: popularity scores ignore images
+/// entirely, so the benchmarks use it to separate "CHR lift caused by the
+/// attack" from "CHR a category gets for free through popularity".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Popularity {
+    counts: Vec<f32>,
+    num_users: usize,
+}
+
+impl Popularity {
+    /// Counts interactions per item over `dataset`.
+    pub fn from_dataset(dataset: &ImplicitDataset) -> Self {
+        let mut counts = vec![0.0f32; dataset.num_items()];
+        for (_, item) in dataset.iter_interactions() {
+            counts[item] += 1.0;
+        }
+        Popularity { counts, num_users: dataset.num_users() }
+    }
+
+    /// The interaction count of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    pub fn count(&self, item: usize) -> f32 {
+        self.counts[item]
+    }
+}
+
+impl Recommender for Popularity {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_items(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn score(&self, _user: usize, item: usize) -> f32 {
+        self.counts[item]
+    }
+
+    fn score_all(&self, _user: usize) -> Vec<f32> {
+        self.counts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ImplicitDataset {
+        ImplicitDataset::new(
+            vec![vec![0, 1], vec![0, 2], vec![0]],
+            vec![0, 0, 0, 0],
+            1,
+        )
+    }
+
+    #[test]
+    fn counts_interactions() {
+        let p = Popularity::from_dataset(&toy());
+        assert_eq!(p.count(0), 3.0);
+        assert_eq!(p.count(1), 1.0);
+        assert_eq!(p.count(3), 0.0);
+    }
+
+    #[test]
+    fn scores_are_user_independent() {
+        let p = Popularity::from_dataset(&toy());
+        assert_eq!(p.score(0, 2), p.score(2, 2));
+        assert_eq!(p.score_all(0), p.score_all(1));
+    }
+
+    #[test]
+    fn top_n_ranks_most_popular_unconsumed_first() {
+        let p = Popularity::from_dataset(&toy());
+        // User 1 consumed items 0 and 2; top item among the rest is 1.
+        let top = p.top_n(1, 2, &[0, 2]);
+        assert_eq!(top, vec![1, 3]);
+    }
+}

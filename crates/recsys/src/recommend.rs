@@ -1,0 +1,114 @@
+//! Top-N selection utilities.
+
+/// Returns the indices of the `n` highest scores, excluding `exclude`,
+/// ordered best-first. Ties break toward the lower index for determinism.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// use taamr_recsys::top_n_indices;
+///
+/// let scores = [0.1, 0.9, 0.5, 0.7];
+/// assert_eq!(top_n_indices(&scores, 2, &[1]), vec![3, 2]);
+/// ```
+pub fn top_n_indices(scores: &[f32], n: usize, exclude: &[usize]) -> Vec<usize> {
+    assert!(n > 0, "n must be positive");
+    let excluded: std::collections::HashSet<usize> = exclude.iter().copied().collect();
+    let mut candidates: Vec<usize> =
+        (0..scores.len()).filter(|i| !excluded.contains(i)).collect();
+    let take = n.min(candidates.len());
+    if take == 0 {
+        return Vec::new();
+    }
+    // Partial selection then exact sort of the selected prefix.
+    candidates.select_nth_unstable_by(take.saturating_sub(1), |&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    candidates.truncate(take);
+    candidates.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    candidates
+}
+
+/// 1-based rank of `item` among all non-excluded items for the given score
+/// vector (rank 1 = highest score). Returns `None` if `item` is excluded or
+/// out of range.
+///
+/// Used for the paper's Fig. 2 ("rec. position: 180th → 14th").
+pub fn item_rank(scores: &[f32], item: usize, exclude: &[usize]) -> Option<usize> {
+    if item >= scores.len() || exclude.contains(&item) {
+        return None;
+    }
+    let excluded: std::collections::HashSet<usize> = exclude.iter().copied().collect();
+    let target = scores[item];
+    let better = (0..scores.len())
+        .filter(|i| !excluded.contains(i))
+        .filter(|&i| scores[i] > target || (scores[i] == target && i < item))
+        .count();
+    Some(better + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_best_first() {
+        let scores = [0.3, 0.1, 0.9, 0.5];
+        assert_eq!(top_n_indices(&scores, 3, &[]), vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn excludes_seen_items() {
+        let scores = [0.3, 0.1, 0.9, 0.5];
+        assert_eq!(top_n_indices(&scores, 2, &[2]), vec![3, 0]);
+    }
+
+    #[test]
+    fn handles_fewer_candidates_than_n() {
+        let scores = [0.3, 0.1];
+        assert_eq!(top_n_indices(&scores, 5, &[1]), vec![0]);
+        assert!(top_n_indices(&scores, 5, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_n_indices(&scores, 2, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn rank_counts_strictly_better() {
+        let scores = [0.9, 0.5, 0.7, 0.5];
+        assert_eq!(item_rank(&scores, 0, &[]), Some(1));
+        assert_eq!(item_rank(&scores, 2, &[]), Some(2));
+        assert_eq!(item_rank(&scores, 1, &[]), Some(3)); // tie: index 1 < 3
+        assert_eq!(item_rank(&scores, 3, &[]), Some(4));
+    }
+
+    #[test]
+    fn rank_respects_exclusions() {
+        let scores = [0.9, 0.5, 0.7];
+        assert_eq!(item_rank(&scores, 1, &[0]), Some(2));
+        assert_eq!(item_rank(&scores, 0, &[0]), None);
+        assert_eq!(item_rank(&scores, 9, &[]), None);
+    }
+
+    #[test]
+    fn rank_one_item_is_in_top_one() {
+        let scores = [0.2, 0.8, 0.4];
+        let top = top_n_indices(&scores, 1, &[]);
+        assert_eq!(item_rank(&scores, top[0], &[]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_n_panics() {
+        top_n_indices(&[1.0], 0, &[]);
+    }
+}

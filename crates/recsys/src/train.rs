@@ -1,0 +1,140 @@
+//! Shared SGD training driver for pairwise-ranking models.
+
+use rand::Rng;
+use taamr_data::{ImplicitDataset, Triplet, TripletSampler};
+
+/// A model trainable by per-triplet SGD on the BPR objective.
+pub trait PairwiseModel {
+    /// Performs one SGD step on triplet `t` with learning rate `lr` and
+    /// returns the triplet's BPR loss *before* the update.
+    fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32;
+}
+
+/// Configuration for [`PairwiseTrainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseConfig {
+    /// Passes over the data; each epoch draws `|S|` triplets (unless
+    /// overridden by `triplets_per_epoch`).
+    pub epochs: usize,
+    /// Triplets per epoch; `None` means one per training interaction.
+    pub triplets_per_epoch: Option<usize>,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl Default for PairwiseConfig {
+    fn default() -> Self {
+        PairwiseConfig { epochs: 20, triplets_per_epoch: None, lr: 0.05 }
+    }
+}
+
+/// SGD driver shared by [`crate::BprMf`], [`crate::Vbpr`] and [`crate::Amr`].
+#[derive(Debug, Clone)]
+pub struct PairwiseTrainer {
+    config: PairwiseConfig,
+}
+
+impl PairwiseTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero or `lr` is not positive.
+    pub fn new(config: PairwiseConfig) -> Self {
+        assert!(config.epochs > 0, "epoch count must be positive");
+        assert!(config.lr > 0.0, "learning rate must be positive");
+        PairwiseTrainer { config }
+    }
+
+    /// Trains `model` on `dataset`, returning mean BPR loss per epoch.
+    pub fn fit(
+        &self,
+        model: &mut impl PairwiseModel,
+        dataset: &ImplicitDataset,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        let sampler = TripletSampler::new(dataset);
+        let per_epoch =
+            self.config.triplets_per_epoch.unwrap_or_else(|| dataset.num_interactions());
+        let mut losses = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let mut total = 0.0f64;
+            for _ in 0..per_epoch {
+                let t = sampler.sample(rng);
+                total += f64::from(model.sgd_step(&t, self.config.lr));
+            }
+            losses.push((total / per_epoch.max(1) as f64) as f32);
+        }
+        losses
+    }
+}
+
+/// Numerically stable `ln σ(x)` and the BPR coefficient `σ(−x)`.
+///
+/// Returns `(−ln σ(x), σ(−x))`: the triplet loss and the common factor in
+/// every gradient (`∂(−ln σ(x))/∂x = −σ(−x)`).
+pub(crate) fn bpr_loss_and_coeff(x: f32) -> (f32, f32) {
+    // −ln σ(x) = ln(1 + e^(−x)) = softplus(−x), computed stably.
+    let loss = if x > 0.0 { (-x).exp().ln_1p() } else { -x + x.exp().ln_1p() };
+    let coeff = 1.0 / (1.0 + x.exp()); // σ(−x)
+    (loss, coeff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taamr_data::ImplicitDataset;
+
+    /// A scalar toy model: score(u, i) = w[i]; BPR pushes w[pos] above
+    /// w[neg].
+    struct Toy {
+        w: Vec<f32>,
+    }
+
+    impl PairwiseModel for Toy {
+        fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32 {
+            let x = self.w[t.positive] - self.w[t.negative];
+            let (loss, coeff) = bpr_loss_and_coeff(x);
+            self.w[t.positive] += lr * coeff;
+            self.w[t.negative] -= lr * coeff;
+            loss
+        }
+    }
+
+    #[test]
+    fn loss_and_coeff_are_stable_and_correct() {
+        let (l0, c0) = bpr_loss_and_coeff(0.0);
+        assert!((l0 - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((c0 - 0.5).abs() < 1e-6);
+        // Large positive x: near-zero loss, near-zero coeff.
+        let (lp, cp) = bpr_loss_and_coeff(30.0);
+        assert!(lp < 1e-6 && cp < 1e-6);
+        // Large negative x: loss ≈ −x, coeff ≈ 1, no overflow.
+        let (ln, cn) = bpr_loss_and_coeff(-30.0);
+        assert!((ln - 30.0).abs() < 1e-3);
+        assert!((cn - 1.0).abs() < 1e-6);
+        assert!(bpr_loss_and_coeff(-100.0).0.is_finite());
+    }
+
+    #[test]
+    fn trainer_reduces_loss_on_separable_toy() {
+        use rand::SeedableRng;
+        // Users 0,1 both like item 0 and 1, never items 2,3.
+        let d = ImplicitDataset::new(vec![vec![0, 1], vec![0, 1]], vec![0; 4], 1);
+        let mut model = Toy { w: vec![0.0; 4] };
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 30,
+            triplets_per_epoch: Some(20),
+            lr: 0.1,
+        });
+        let losses = trainer.fit(&mut model, &d, &mut rand::rngs::StdRng::seed_from_u64(0));
+        assert!(losses.last().unwrap() < &losses[0]);
+        assert!(model.w[0] > model.w[2] && model.w[1] > model.w[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_bad_lr() {
+        PairwiseTrainer::new(PairwiseConfig { lr: 0.0, ..PairwiseConfig::default() });
+    }
+}

@@ -1,0 +1,474 @@
+//! Visual Bayesian Personalized Ranking (He & McAuley, AAAI 2016).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use taamr_data::Triplet;
+
+use crate::train::{bpr_loss_and_coeff, PairwiseModel};
+use crate::{Recommender, VisualRecommender};
+
+/// Hyper-parameters of [`Vbpr`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VbprConfig {
+    /// Collaborative latent dimension K.
+    pub factors: usize,
+    /// Visual latent dimension A (the embedding `E f_i` lives here).
+    pub visual_factors: usize,
+    /// L2 regularisation λ on all parameters.
+    pub reg: f32,
+}
+
+impl Default for VbprConfig {
+    fn default() -> Self {
+        VbprConfig { factors: 16, visual_factors: 16, reg: 1e-4 }
+    }
+}
+
+/// VBPR (paper Eq. 6):
+///
+/// ```text
+/// ŝ_ui = b_i + p_uᵀ q_i + α_uᵀ (E f_i) + βᵀ f_i
+/// ```
+///
+/// where `f_i ∈ R^D` are deep image features, `E ∈ R^{D×A}` projects them
+/// into a visual latent space, `α_u` are per-user visual factors, and `β`
+/// captures the global visual bias. The user bias and global offset of the
+/// paper's `b_ui` cancel inside the pairwise BPR difference and are omitted,
+/// as in the reference implementation.
+///
+/// Item features are *owned* by the model and can be swapped at any time via
+/// [`VisualRecommender::set_item_feature`] — re-scoring with attacked
+/// features is exactly how TAaMR's perturbations reach the recommendation
+/// lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vbpr {
+    num_users: usize,
+    num_items: usize,
+    config: VbprConfig,
+    feature_dim: usize,
+    /// `num_users × K`.
+    user_factors: Vec<f32>,
+    /// `num_items × K`.
+    item_factors: Vec<f32>,
+    /// `num_users × A` — the visual user factors α_u.
+    visual_user_factors: Vec<f32>,
+    /// `D × A` projection E, row-major by feature dimension.
+    projection: Vec<f32>,
+    /// `D` global visual bias β.
+    visual_bias: Vec<f32>,
+    /// Item biases.
+    item_bias: Vec<f32>,
+    /// `num_items × D` deep image features (row-major).
+    features: Vec<f32>,
+}
+
+impl Vbpr {
+    /// Creates a VBPR model over fixed item features.
+    ///
+    /// `features` is row-major `num_items × feature_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `features.len()` differs from
+    /// `num_items * feature_dim`.
+    pub fn new(
+        num_users: usize,
+        num_items: usize,
+        feature_dim: usize,
+        features: Vec<f32>,
+        config: VbprConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_users > 0 && num_items > 0, "empty model dimensions");
+        assert!(feature_dim > 0 && config.factors > 0 && config.visual_factors > 0);
+        assert_eq!(
+            features.len(),
+            num_items * feature_dim,
+            "features must be num_items × feature_dim"
+        );
+        let init = |n: usize, rng: &mut dyn rand::RngCore| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-0.05..0.05)).collect()
+        };
+        Vbpr {
+            num_users,
+            num_items,
+            feature_dim,
+            user_factors: init(num_users * config.factors, rng),
+            item_factors: init(num_items * config.factors, rng),
+            visual_user_factors: init(num_users * config.visual_factors, rng),
+            projection: init(feature_dim * config.visual_factors, rng),
+            visual_bias: vec![0.0; feature_dim],
+            item_bias: vec![0.0; num_items],
+            features,
+            config,
+        }
+    }
+
+    /// The hyper-parameters.
+    pub fn config(&self) -> &VbprConfig {
+        &self.config
+    }
+
+    fn user(&self, u: usize) -> &[f32] {
+        let k = self.config.factors;
+        &self.user_factors[u * k..(u + 1) * k]
+    }
+
+    fn item(&self, i: usize) -> &[f32] {
+        let k = self.config.factors;
+        &self.item_factors[i * k..(i + 1) * k]
+    }
+
+    fn alpha(&self, u: usize) -> &[f32] {
+        let a = self.config.visual_factors;
+        &self.visual_user_factors[u * a..(u + 1) * a]
+    }
+
+    fn feature(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+
+    /// `E f` — projects a feature vector into the visual latent space.
+    pub(crate) fn project(&self, feature: &[f32]) -> Vec<f32> {
+        let a = self.config.visual_factors;
+        let mut out = vec![0.0f32; a];
+        for (d, &fv) in feature.iter().enumerate() {
+            if fv == 0.0 {
+                continue;
+            }
+            let row = &self.projection[d * a..(d + 1) * a];
+            for (o, &e) in out.iter_mut().zip(row) {
+                *o += e * fv;
+            }
+        }
+        out
+    }
+
+    /// Score of a feature vector for a user, with the item's collaborative
+    /// part taken from `item` — used by AMR for adversarially perturbed
+    /// features.
+    pub(crate) fn score_with_feature(&self, user: usize, item: usize, feature: &[f32]) -> f32 {
+        let dot: f32 =
+            self.user(user).iter().zip(self.item(item)).map(|(&a, &b)| a * b).sum();
+        let proj = self.project(feature);
+        let visual: f32 = self.alpha(user).iter().zip(&proj).map(|(&a, &b)| a * b).sum();
+        let bias: f32 = self.visual_bias.iter().zip(feature).map(|(&a, &b)| a * b).sum();
+        self.item_bias[item] + dot + visual + bias
+    }
+
+    /// One SGD step on a triplet whose item features are supplied by the
+    /// caller (AMR passes perturbed features; plain VBPR passes the stored
+    /// ones). `weight` scales the gradient (AMR's adversarial term uses γ).
+    pub(crate) fn sgd_step_with_features(
+        &mut self,
+        t: &Triplet,
+        f_i: &[f32],
+        f_j: &[f32],
+        lr: f32,
+        weight: f32,
+    ) -> f32 {
+        let x = self.score_with_feature(t.user, t.positive, f_i)
+            - self.score_with_feature(t.user, t.negative, f_j);
+        let (loss, raw_coeff) = bpr_loss_and_coeff(x);
+        let coeff = raw_coeff * weight;
+        let reg = self.config.reg;
+        let k = self.config.factors;
+        let a = self.config.visual_factors;
+        let d = self.feature_dim;
+
+        // Collaborative part (same as BPR-MF).
+        let (ub, ib, jb) = (t.user * k, t.positive * k, t.negative * k);
+        for f in 0..k {
+            let pu = self.user_factors[ub + f];
+            let qi = self.item_factors[ib + f];
+            let qj = self.item_factors[jb + f];
+            self.user_factors[ub + f] += lr * (coeff * (qi - qj) - reg * pu);
+            self.item_factors[ib + f] += lr * (coeff * pu - reg * qi);
+            self.item_factors[jb + f] += lr * (-coeff * pu - reg * qj);
+        }
+        self.item_bias[t.positive] += lr * (coeff - reg * self.item_bias[t.positive]);
+        self.item_bias[t.negative] -= lr * (coeff + reg * self.item_bias[t.negative]);
+
+        // Visual part: gradients flow through E, α_u and β with the feature
+        // difference δ = f_i − f_j.
+        let delta: Vec<f32> = f_i.iter().zip(f_j).map(|(&x1, &x2)| x1 - x2).collect();
+        let proj_delta = self.project(&delta);
+        let alpha_base = t.user * a;
+        // α_u ← α_u + lr (coeff · E δ − λ α_u)
+        for v in 0..a {
+            let al = self.visual_user_factors[alpha_base + v];
+            self.visual_user_factors[alpha_base + v] +=
+                lr * (coeff * proj_delta[v] - reg * al);
+        }
+        // E ← E + lr (coeff · δ ⊗ α_u − λ E); use α_u *before* its update
+        // would be ideal, but the standard implementations update in-place —
+        // the bias is O(lr²) and immaterial.
+        for dd in 0..d {
+            if delta[dd] == 0.0 {
+                continue;
+            }
+            let row = dd * a;
+            for v in 0..a {
+                let e = self.projection[row + v];
+                self.projection[row + v] += lr
+                    * (coeff * delta[dd] * self.visual_user_factors[alpha_base + v] - reg * e);
+            }
+        }
+        // β ← β + lr (coeff · δ − λ β)
+        for dd in 0..d {
+            let b = self.visual_bias[dd];
+            self.visual_bias[dd] += lr * (coeff * delta[dd] - reg * b);
+        }
+        loss
+    }
+
+    /// Gradient of the triplet BPR loss with respect to the *positive item's
+    /// feature vector*: `∂L/∂f_i = −σ(−x) · (E α_u + β)`.
+    ///
+    /// This is the direction AMR's adversarial perturbation uses (Eq. 9).
+    pub(crate) fn loss_feature_grad(&self, t: &Triplet) -> Vec<f32> {
+        let x = self.score(t.user, t.positive) - self.score(t.user, t.negative);
+        let (_, coeff) = bpr_loss_and_coeff(x);
+        let a = self.config.visual_factors;
+        let alpha = self.alpha(t.user);
+        let mut grad = vec![0.0f32; self.feature_dim];
+        for dd in 0..self.feature_dim {
+            let row = &self.projection[dd * a..(dd + 1) * a];
+            let e_alpha: f32 = row.iter().zip(alpha).map(|(&e, &al)| e * al).sum();
+            grad[dd] = -coeff * (e_alpha + self.visual_bias[dd]);
+        }
+        grad
+    }
+}
+
+impl Recommender for Vbpr {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn score(&self, user: usize, item: usize) -> f32 {
+        self.score_with_feature(user, item, self.feature(item))
+    }
+
+    fn score_all(&self, user: usize) -> Vec<f32> {
+        // Precompute the visual pathway once per user.
+        let a = self.config.visual_factors;
+        let alpha = self.alpha(user);
+        // w = E α_u + β  (D-vector); then visual score per item is w·f_i.
+        let mut w = self.visual_bias.clone();
+        for dd in 0..self.feature_dim {
+            let row = &self.projection[dd * a..(dd + 1) * a];
+            w[dd] += row.iter().zip(alpha).map(|(&e, &al)| e * al).sum::<f32>();
+        }
+        let pu = self.user(user);
+        (0..self.num_items)
+            .map(|i| {
+                let dot: f32 = pu.iter().zip(self.item(i)).map(|(&x, &y)| x * y).sum();
+                let vis: f32 = w.iter().zip(self.feature(i)).map(|(&x, &y)| x * y).sum();
+                self.item_bias[i] + dot + vis
+            })
+            .collect()
+    }
+}
+
+impl VisualRecommender for Vbpr {
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn item_feature(&self, item: usize) -> &[f32] {
+        self.feature(item)
+    }
+
+    fn set_item_feature(&mut self, item: usize, feature: &[f32]) {
+        assert!(item < self.num_items, "item {item} out of range");
+        assert_eq!(feature.len(), self.feature_dim, "feature dimension mismatch");
+        self.features[item * self.feature_dim..(item + 1) * self.feature_dim]
+            .copy_from_slice(feature);
+    }
+}
+
+impl PairwiseModel for Vbpr {
+    fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32 {
+        let f_i = self.feature(t.positive).to_vec();
+        let f_j = self.feature(t.negative).to_vec();
+        self.sgd_step_with_features(t, &f_i, &f_j, lr, 1.0)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::{PairwiseConfig, PairwiseTrainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taamr_data::ImplicitDataset;
+
+    /// A dataset where preference is driven by a 1-hot "visual" feature:
+    /// users consume items whose feature matches their community.
+    pub(crate) fn visual_dataset() -> (ImplicitDataset, Vec<f32>, usize) {
+        let d = 4usize;
+        let num_items = 16;
+        // Items 0..8 have feature e0, items 8..16 have feature e1.
+        let mut features = vec![0.0f32; num_items * d];
+        for i in 0..num_items {
+            if i < 8 {
+                features[i * d] = 1.0;
+            } else {
+                features[i * d + 1] = 1.0;
+            }
+        }
+        let mut users = Vec::new();
+        for u in 0..12usize {
+            if u < 6 {
+                users.push(vec![0, 1, 2, 3]); // e0 community, items 4..8 held out
+            } else {
+                users.push(vec![8, 9, 10, 11]); // e1 community
+            }
+        }
+        (ImplicitDataset::new(users, vec![0; num_items], 1), features, d)
+    }
+
+    #[test]
+    fn training_generalises_through_visual_features() {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig { factors: 4, visual_factors: 4, reg: 1e-4 },
+            &mut rng,
+        );
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 60,
+            triplets_per_epoch: Some(200),
+            lr: 0.1,
+        });
+        let losses = trainer.fit(&mut model, &data, &mut rng);
+        assert!(losses.last().unwrap() < &losses[0]);
+        // User 0 never saw items 4..8, but they share the community feature:
+        // VBPR should score them above the other community's unseen items.
+        let unseen_same: f32 = (4..8).map(|i| model.score(0, i)).sum();
+        let unseen_other: f32 = (12..16).map(|i| model.score(0, i)).sum();
+        assert!(
+            unseen_same > unseen_other,
+            "visual generalisation failed: {unseen_same} vs {unseen_other}"
+        );
+    }
+
+    #[test]
+    fn swapping_features_changes_scores_and_ranking() {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig { factors: 4, visual_factors: 4, reg: 1e-4 },
+            &mut rng,
+        );
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 40,
+            triplets_per_epoch: Some(200),
+            lr: 0.1,
+        });
+        trainer.fit(&mut model, &data, &mut rng);
+        // Give item 12 (other community) the community-0 feature: its score
+        // for user 0 must rise — this is the TAaMR mechanism in miniature.
+        let before = model.score(0, 12);
+        let mut stolen = vec![0.0f32; d];
+        stolen[0] = 1.0;
+        model.set_item_feature(12, &stolen);
+        let after = model.score(0, 12);
+        assert!(after > before, "feature swap should raise the score: {before} -> {after}");
+        assert_eq!(model.item_feature(12), stolen.as_slice());
+    }
+
+    #[test]
+    fn score_all_matches_pointwise_scores() {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig::default(),
+            &mut rng,
+        );
+        let all = model.score_all(3);
+        for i in 0..data.num_items() {
+            assert!((all[i] - model.score(3, i)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn feature_gradient_matches_finite_differences() {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig { factors: 4, visual_factors: 4, reg: 0.0 },
+            &mut rng,
+        );
+        // A couple of training steps so parameters are not at init noise.
+        let t = taamr_data::Triplet { user: 0, positive: 1, negative: 12 };
+        for _ in 0..5 {
+            let f_i = model.feature(1).to_vec();
+            let f_j = model.feature(12).to_vec();
+            model.sgd_step_with_features(&t, &f_i, &f_j, 0.05, 1.0);
+        }
+        let analytic = model.loss_feature_grad(&t);
+        let eps = 1e-3f32;
+        let loss_of = |m: &Vbpr, fi: &[f32]| -> f32 {
+            let x = m.score_with_feature(t.user, t.positive, fi)
+                - m.score(t.user, t.negative);
+            bpr_loss_and_coeff(x).0
+        };
+        let base_feature = model.feature(1).to_vec();
+        for dd in 0..d {
+            let mut fp = base_feature.clone();
+            fp[dd] += eps;
+            let mut fm = base_feature.clone();
+            fm[dd] -= eps;
+            let numeric = (loss_of(&model, &fp) - loss_of(&model, &fm)) / (2.0 * eps);
+            assert!(
+                (analytic[dd] - numeric).abs() < 1e-3,
+                "dim {dd}: {} vs {numeric}",
+                analytic[dd]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn set_feature_validates_length() {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig::default(),
+            &mut rng,
+        );
+        model.set_item_feature(0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_items × feature_dim")]
+    fn constructor_validates_feature_length() {
+        Vbpr::new(2, 3, 4, vec![0.0; 10], VbprConfig::default(), &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Model persistence: trained recommenders round-trip through serde intact.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taamr_data::ImplicitDataset;
+use taamr_recsys::{
+    Amr, AmrConfig, BprMf, PairwiseConfig, PairwiseTrainer, Recommender, Vbpr, VbprConfig,
+};
+
+fn dataset() -> ImplicitDataset {
+    ImplicitDataset::new(
+        vec![vec![0, 1, 2], vec![3, 4], vec![0, 4, 5]],
+        vec![0; 8],
+        1,
+    )
+}
+
+fn train<M: taamr_recsys::PairwiseModel>(model: &mut M, seed: u64) {
+    let d = dataset();
+    let trainer = PairwiseTrainer::new(PairwiseConfig {
+        epochs: 5,
+        triplets_per_epoch: Some(50),
+        lr: 0.05,
+    });
+    trainer.fit(model, &d, &mut StdRng::seed_from_u64(seed));
+}
+
+#[test]
+fn bprmf_round_trips_with_identical_scores() {
+    let d = dataset();
+    let mut model = BprMf::new(d.num_users(), d.num_items(), 4, &mut StdRng::seed_from_u64(0));
+    train(&mut model, 1);
+    let json = serde_json::to_string(&model).unwrap();
+    let back: BprMf = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, model);
+    for u in 0..d.num_users() {
+        assert_eq!(back.score_all(u), model.score_all(u));
+    }
+}
+
+#[test]
+fn vbpr_round_trips_with_identical_scores() {
+    let d = dataset();
+    let features: Vec<f32> = (0..8 * 4).map(|i| (i as f32 * 0.31).sin()).collect();
+    let mut model = Vbpr::new(
+        d.num_users(),
+        d.num_items(),
+        4,
+        features,
+        VbprConfig { factors: 3, visual_factors: 2, reg: 1e-4 },
+        &mut StdRng::seed_from_u64(2),
+    );
+    train(&mut model, 3);
+    let json = serde_json::to_string(&model).unwrap();
+    let back: Vbpr = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, model);
+    assert_eq!(back.score_all(1), model.score_all(1));
+}
+
+#[test]
+fn amr_round_trips_including_regulariser_config() {
+    let d = dataset();
+    let features: Vec<f32> = (0..8 * 4).map(|i| (i as f32 * 0.17).cos()).collect();
+    let vbpr = Vbpr::new(
+        d.num_users(),
+        d.num_items(),
+        4,
+        features,
+        VbprConfig::default(),
+        &mut StdRng::seed_from_u64(4),
+    );
+    let mut model = Amr::from_vbpr(vbpr, AmrConfig { gamma: 0.3, eta: 0.8 });
+    train(&mut model, 5);
+    let json = serde_json::to_string(&model).unwrap();
+    let back: Amr = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, model);
+    assert_eq!(back.config().gamma, 0.3);
+    assert_eq!(back.score_all(0), model.score_all(0));
+}

@@ -1,0 +1,303 @@
+//! `im2col` / `col2im` lowering for 2-D convolutions.
+//!
+//! Convolution over an `N × C × H × W` batch is lowered to a matrix product:
+//! each receptive field becomes a column of a `(C·KH·KW) × (N·OH·OW)` matrix,
+//! so convolution is `weights(OC × C·KH·KW) · columns`, and the backward pass
+//! with respect to the input is `col2im` of `weightsᵀ · grad_columns`.
+
+use crate::{Tensor, TensorError};
+
+/// Static geometry of a 2-D convolution: kernel, stride and zero padding.
+///
+/// # Example
+///
+/// ```
+/// use taamr_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 3, 1, 1);
+/// assert_eq!(g.output_hw(32, 32), (32, 32)); // "same" conv
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `kernel_h`, `kernel_w`, or `stride` is zero.
+    pub fn new(kernel_h: usize, kernel_w: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel_h > 0 && kernel_w > 0, "kernel dims must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dGeometry { kernel_h, kernel_w, stride, padding }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kernel_h && pw >= self.kernel_w,
+            "input {h}x{w} (padded {ph}x{pw}) smaller than kernel {}x{}",
+            self.kernel_h,
+            self.kernel_w
+        );
+        ((ph - self.kernel_h) / self.stride + 1, (pw - self.kernel_w) / self.stride + 1)
+    }
+}
+
+/// Lowers an `N × C × H × W` input into the column matrix used by a
+/// GEMM-based convolution.
+///
+/// The result has shape `(C·KH·KW) × (N·OH·OW)`, with columns ordered by
+/// `(n, oh, ow)` row-major.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `input` is not rank-4.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch { op: "im2col", expected: 4, actual: input.rank() });
+    }
+    let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+    let (oh, ow) = geom.output_hw(h, w);
+    let rows = c * geom.kernel_h * geom.kernel_w;
+    let cols = n * oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let pad = geom.padding as isize;
+    let stride = geom.stride;
+
+    for ci in 0..c {
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                let row = (ci * geom.kernel_h + kh) * geom.kernel_w + kw;
+                let row_base = row * cols;
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        let iy = (oy * stride) as isize + kh as isize - pad;
+                        let col_base = row_base + (ni * oh + oy) * ow;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding: leave zeros
+                        }
+                        let src_row = img_base + iy as usize * w;
+                        for ox in 0..ow {
+                            let ix = (ox * stride) as isize + kw as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[col_base + ox] = src[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`im2col`]: scatters a column matrix back into an
+/// `N × C × H × W` tensor, accumulating overlapping contributions.
+///
+/// This is exactly the gradient of `im2col` and is used in the convolution
+/// backward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not have the
+/// `(C·KH·KW) × (N·OH·OW)` shape implied by `dims` and `geom`, or
+/// [`TensorError::RankMismatch`] if `cols` is not rank-2.
+pub fn col2im(
+    cols: &Tensor,
+    dims: &[usize; 4],
+    geom: &Conv2dGeometry,
+) -> Result<Tensor, TensorError> {
+    if cols.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "col2im", expected: 2, actual: cols.rank() });
+    }
+    let [n, c, h, w] = *dims;
+    let (oh, ow) = geom.output_hw(h, w);
+    let rows = c * geom.kernel_h * geom.kernel_w;
+    let ncols = n * oh * ow;
+    if cols.dims() != [rows, ncols] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: vec![rows, ncols],
+            rhs: cols.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.as_slice();
+    let dst = out.as_mut_slice();
+    let pad = geom.padding as isize;
+    let stride = geom.stride;
+
+    for ci in 0..c {
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                let row = (ci * geom.kernel_h + kh) * geom.kernel_w + kw;
+                let row_base = row * ncols;
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        let iy = (oy * stride) as isize + kh as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = img_base + iy as usize * w;
+                        let col_base = row_base + (ni * oh + oy) * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * stride) as isize + kw as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[dst_row + ix as usize] += src[col_base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_hw_formulas() {
+        assert_eq!(Conv2dGeometry::new(3, 3, 1, 1).output_hw(32, 32), (32, 32));
+        assert_eq!(Conv2dGeometry::new(3, 3, 2, 1).output_hw(32, 32), (16, 16));
+        assert_eq!(Conv2dGeometry::new(1, 1, 1, 0).output_hw(7, 5), (7, 5));
+        assert_eq!(Conv2dGeometry::new(2, 2, 2, 0).output_hw(4, 4), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn output_hw_panics_when_kernel_too_large() {
+        Conv2dGeometry::new(5, 5, 1, 0).output_hw(3, 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_is_flatten() {
+        // 1x1 kernel, stride 1, no padding: columns are just pixels.
+        let input = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let geom = Conv2dGeometry::new(1, 1, 1, 0);
+        let cols = im2col(&input, &geom).unwrap();
+        assert_eq!(cols.dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_values_with_padding() {
+        // Single 2x2 image, 3x3 kernel, pad 1 => 4 output positions.
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let geom = Conv2dGeometry::new(3, 3, 1, 1);
+        let cols = im2col(&input, &geom).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // Center tap (kh=1, kw=1) row index 4 should reproduce the image.
+        let row4 = &cols.as_slice()[4 * 4..5 * 4];
+        assert_eq!(row4, &[1.0, 2.0, 3.0, 4.0]);
+        // Top-left tap (kh=0, kw=0) sees padding except at output (1,1).
+        let row0 = &cols.as_slice()[0..4];
+        assert_eq!(row0, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_via_gemm_matches_direct_convolution() {
+        use crate::{gemm, Transpose};
+        // Direct convolution reference.
+        let n = 2;
+        let (c, h, w) = (3, 5, 5);
+        let oc = 4;
+        let geom = Conv2dGeometry::new(3, 3, 2, 1);
+        let input = Tensor::from_vec(
+            (0..n * c * h * w).map(|i| ((i * 31 % 17) as f32 - 8.0) / 8.0).collect(),
+            &[n, c, h, w],
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            (0..oc * c * 9).map(|i| ((i * 13 % 11) as f32 - 5.0) / 5.0).collect(),
+            &[oc, c * 9],
+        )
+        .unwrap();
+        let (oh, ow) = geom.output_hw(h, w);
+
+        let cols = im2col(&input, &geom).unwrap();
+        let mut out = Tensor::zeros(&[oc, n * oh * ow]);
+        gemm(1.0, &weight, Transpose::No, &cols, Transpose::No, 0.0, &mut out).unwrap();
+
+        // Direct reference.
+        for ni in 0..n {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = 0.0;
+                        for ci in 0..c {
+                            for kh in 0..3usize {
+                                for kw in 0..3usize {
+                                    let iy = (oy * 2 + kh) as isize - 1;
+                                    let ix = (ox * 2 + kw) as isize - 1;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    s += input.at(&[ni, ci, iy as usize, ix as usize])
+                                        * weight.at(&[o, (ci * 3 + kh) * 3 + kw]);
+                                }
+                            }
+                        }
+                        let got = out.at(&[o, (ni * oh + oy) * ow + ox]);
+                        assert!((got - s).abs() < 1e-4, "{got} vs {s}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let dims = [2usize, 3, 6, 6];
+        let geom = Conv2dGeometry::new(3, 3, 2, 1);
+        let x = Tensor::from_vec(
+            (0..dims.iter().product::<usize>())
+                .map(|i| ((i * 7 % 23) as f32 - 11.0) / 11.0)
+                .collect(),
+            &dims,
+        )
+        .unwrap();
+        let cols_shape = im2col(&x, &geom).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols_shape.len()).map(|i| ((i * 5 % 19) as f32 - 9.0) / 9.0).collect(),
+            cols_shape.dims(),
+        )
+        .unwrap();
+        let lhs = im2col(&x, &geom).unwrap().dot(&y);
+        let rhs = x.dot(&col2im(&y, &dims, &geom).unwrap());
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_rejects_wrong_shapes() {
+        let geom = Conv2dGeometry::new(3, 3, 1, 1);
+        let bad = Tensor::zeros(&[5, 5]);
+        assert!(col2im(&bad, &[1, 1, 4, 4], &geom).is_err());
+        assert!(im2col(&Tensor::zeros(&[3, 4, 4]), &geom).is_err());
+    }
+}

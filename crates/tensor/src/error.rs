@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data.
+    LengthMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"add"`, `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: Vec<usize>,
+        /// Shape of the right operand.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An empty shape or zero-sized dimension where not permitted.
+    EmptyTensor {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but data has {actual}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op} requires rank {expected} but tensor has rank {actual}")
+            }
+            TensorError::EmptyTensor { op } => {
+                write!(f, "{op} requires a non-empty tensor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::ShapeMismatch { op: "add", lhs: vec![2], rhs: vec![3] },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::RankMismatch { op: "matmul", expected: 2, actual: 1 },
+            TensorError::EmptyTensor { op: "argmax" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

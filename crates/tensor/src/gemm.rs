@@ -1,0 +1,331 @@
+//! Cache-blocked single-precision general matrix multiply.
+//!
+//! This is the workhorse behind dense layers and `im2col`-lowered
+//! convolutions. It is a straightforward tiled triple loop with an `ikj`
+//! inner ordering (unit-stride accumulation over the output row), which is
+//! fast enough for the network sizes this reproduction trains while staying
+//! dependency-free and easy to verify against a naive reference.
+
+use crate::{Tensor, TensorError};
+
+/// Whether an operand of [`gemm`] is used as-is or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Transpose {
+    /// Use the matrix as stored.
+    #[default]
+    No,
+    /// Use the matrix transposed (without materialising the transpose).
+    Yes,
+}
+
+impl Transpose {
+    fn is_yes(self) -> bool {
+        matches!(self, Transpose::Yes)
+    }
+}
+
+const BLOCK: usize = 64;
+
+/// Computes `C = alpha * op(A) · op(B) + beta * C`.
+///
+/// `a` must have logical shape `m × k` after `ta` is applied and `b` must
+/// have logical shape `k × n` after `tb` is applied; `c` must be `m × n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if any operand is not rank-2 and
+/// [`TensorError::ShapeMismatch`] if inner or output dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use taamr_tensor::{gemm, Tensor, Transpose};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::eye(2);
+/// let mut c = Tensor::zeros(&[2, 2]);
+/// gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c)?;
+/// assert_eq!(c.as_slice(), a.as_slice());
+/// # Ok::<(), taamr_tensor::TensorError>(())
+/// ```
+pub fn gemm(
+    alpha: f32,
+    a: &Tensor,
+    ta: Transpose,
+    b: &Tensor,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Tensor,
+) -> Result<(), TensorError> {
+    for (t, name) in [(a, "gemm lhs"), (b, "gemm rhs"), (&*c, "gemm out")] {
+        if t.rank() != 2 {
+            let _ = name;
+            return Err(TensorError::RankMismatch { op: "gemm", expected: 2, actual: t.rank() });
+        }
+    }
+    let (m, ka) = if ta.is_yes() {
+        (a.dims()[1], a.dims()[0])
+    } else {
+        (a.dims()[0], a.dims()[1])
+    };
+    let (kb, n) = if tb.is_yes() {
+        (b.dims()[1], b.dims()[0])
+    } else {
+        (b.dims()[0], b.dims()[1])
+    };
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    if c.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm",
+            lhs: vec![m, n],
+            rhs: c.dims().to_vec(),
+        });
+    }
+    let k = ka;
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    // Leading dimensions of the *stored* matrices.
+    let lda = a.dims()[1];
+    let ldb = b.dims()[1];
+    let c_data = c.as_mut_slice();
+
+    // a_at(i, p) = op(A)[i, p]; b_at(p, j) = op(B)[p, j].
+    let a_at = |i: usize, p: usize| -> f32 {
+        if ta.is_yes() {
+            a_data[p * lda + i]
+        } else {
+            a_data[i * lda + p]
+        }
+    };
+
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    let c_row = &mut c_data[i * n..(i + 1) * n];
+                    for p in p0..p1 {
+                        let av = alpha * a_at(i, p);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        if tb.is_yes() {
+                            // op(B)[p, j] = B[j, p]: strided, fall back.
+                            for (j, c_ij) in
+                                c_row[j0..j1].iter_mut().enumerate()
+                            {
+                                *c_ij += av * b_data[(j0 + j) * ldb + p];
+                            }
+                        } else {
+                            let b_row = &b_data[p * ldb + j0..p * ldb + j1];
+                            for (c_ij, &b_pj) in c_row[j0..j1].iter_mut().zip(b_row) {
+                                *c_ij += av * b_pj;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs` of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`gemm`].
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: rhs.rank(),
+            });
+        }
+        let mut out = Tensor::zeros(&[self.dims()[0], rhs.dims()[1]]);
+        gemm(1.0, self, Transpose::No, rhs, Transpose::No, 0.0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–vector product of a rank-2 tensor with a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != v.len()`.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        if v.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[r]);
+        for i in 0..r {
+            out.data[i] = self.data[i * c..(i + 1) * c]
+                .iter()
+                .zip(v.as_slice())
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference used to validate the blocked kernel.
+    fn naive(a: &Tensor, ta: Transpose, b: &Tensor, tb: Transpose) -> Tensor {
+        let (m, k) = if ta.is_yes() {
+            (a.dims()[1], a.dims()[0])
+        } else {
+            (a.dims()[0], a.dims()[1])
+        };
+        let n = if tb.is_yes() { b.dims()[0] } else { b.dims()[1] };
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    let av = if ta.is_yes() { a.at(&[p, i]) } else { a.at(&[i, p]) };
+                    let bv = if tb.is_yes() { b.at(&[j, p]) } else { b.at(&[p, j]) };
+                    s += av * bv;
+                }
+                *c.at_mut(&[i, j]) = s;
+            }
+        }
+        c
+    }
+
+    fn seq(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), dims).unwrap()
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = seq(&[3, 4]);
+        let b = seq(&[4, 5]);
+        assert_close(&a.matmul(&b).unwrap(), &naive(&a, Transpose::No, &b, Transpose::No));
+    }
+
+    #[test]
+    fn matmul_matches_naive_larger_than_block() {
+        let a = seq(&[70, 65]);
+        let b = seq(&[65, 90]);
+        assert_close(&a.matmul(&b).unwrap(), &naive(&a, Transpose::No, &b, Transpose::No));
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_naive() {
+        let cases = [
+            (Transpose::No, Transpose::No, [7usize, 5], [5usize, 9]),
+            (Transpose::Yes, Transpose::No, [5, 7], [5, 9]),
+            (Transpose::No, Transpose::Yes, [7, 5], [9, 5]),
+            (Transpose::Yes, Transpose::Yes, [5, 7], [9, 5]),
+        ];
+        for (ta, tb, da, db) in cases {
+            let a = seq(&da);
+            let b = seq(&db);
+            let mut c = Tensor::zeros(&[7, 9]);
+            gemm(1.0, &a, ta, &b, tb, 0.0, &mut c).unwrap();
+            assert_close(&c, &naive(&a, ta, &b, tb));
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = seq(&[4, 4]);
+        let b = seq(&[4, 4]);
+        let mut c = Tensor::ones(&[4, 4]);
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 3.0, &mut c).unwrap();
+        let expected =
+            &naive(&a, Transpose::No, &b, Transpose::No).scaled(2.0) + &Tensor::full(&[4, 4], 3.0);
+        assert_close(&c, &expected);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = seq(&[6, 6]);
+        assert_close(&a.matmul(&Tensor::eye(6)).unwrap(), &a);
+        assert_close(&Tensor::eye(6).matmul(&a).unwrap(), &a);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(a.matmul(&b).is_err());
+        let mut c = Tensor::zeros(&[2, 2]);
+        assert!(gemm(1.0, &a, Transpose::No, &Tensor::zeros(&[3, 5]), Transpose::No, 0.0, &mut c)
+            .is_err());
+        assert!(Tensor::zeros(&[2]).matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = seq(&[5, 7]);
+        let v = seq(&[7]);
+        let mv = a.matvec(&v).unwrap();
+        let mm = a.matmul(&v.reshaped(&[7, 1]).unwrap()).unwrap();
+        for i in 0..5 {
+            assert!((mv.as_slice()[i] - mm.as_slice()[i]).abs() < 1e-5);
+        }
+        assert!(a.matvec(&seq(&[6])).is_err());
+    }
+
+    #[test]
+    fn zero_k_dimension_yields_beta_c() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 2]);
+        let mut c = Tensor::ones(&[3, 2]);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c).unwrap();
+        assert!(c.iter().all(|&v| v == 0.5));
+    }
+}

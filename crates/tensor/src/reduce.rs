@@ -1,0 +1,191 @@
+//! Reductions over [`Tensor`] values.
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements; 0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor is empty.
+    pub fn max(&self) -> Result<f32, TensorError> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, v| Some(m.map_or(v, |m| m.max(v))))
+            .ok_or(TensorError::EmptyTensor { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor is empty.
+    pub fn min(&self) -> Result<f32, TensorError> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, v| Some(m.map_or(v, |m| m.min(v))))
+            .ok_or(TensorError::EmptyTensor { op: "min" })
+    }
+
+    /// Index of the maximum element (first occurrence on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor is empty.
+    pub fn argmax(&self) -> Result<usize, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::EmptyTensor { op: "argmax" });
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a rank-2 tensor: returns one index per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::EmptyTensor`] if rows have zero width.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "argmax_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        if c == 0 {
+            return Err(TensorError::EmptyTensor { op: "argmax_rows" });
+        }
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Sums a rank-2 tensor along axis 0, producing a length-`cols` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_axis0(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "sum_axis0",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j] += self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mean squared difference between two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mse(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "mse",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        let sum: f32 =
+            self.data.iter().zip(&other.data).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        Ok(sum / self.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0, 0.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max().unwrap(), 3.0);
+        assert_eq!(t.min().unwrap(), -2.0);
+        assert_eq!(t.argmax().unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_reductions_error_or_default() {
+        let e = Tensor::zeros(&[0]);
+        assert!(e.max().is_err());
+        assert!(e.min().is_err());
+        assert!(e.argmax().is_err());
+        assert_eq!(e.mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_ties_break_to_first() {
+        let t = Tensor::from_slice(&[1.0, 3.0, 3.0]);
+        assert_eq!(t.argmax().unwrap(), 1);
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn sum_axis0_matches_manual() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum_axis0().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(t.mse(&t).unwrap(), 0.0);
+        let u = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(t.mse(&u).unwrap(), 4.0);
+        assert!(t.mse(&Tensor::zeros(&[3])).is_err());
+    }
+}

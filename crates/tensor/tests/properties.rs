@@ -1,0 +1,156 @@
+//! Property-based tests of the tensor algebra.
+
+use proptest::prelude::*;
+use taamr_tensor::{col2im, gemm, im2col, Conv2dGeometry, Tensor, Transpose};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn reshape_preserves_elements(data in tensor_strategy(24)) {
+        let t = Tensor::from_vec(data.clone(), &[2, 3, 4]).unwrap();
+        let r = t.reshaped(&[4, 6]).unwrap();
+        prop_assert_eq!(r.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in tensor_strategy(20)) {
+        let t = Tensor::from_vec(data, &[4, 5]).unwrap();
+        prop_assert_eq!(t.transposed().unwrap().transposed().unwrap(), t);
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        let ta = Tensor::from_vec(a, &[4, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[4, 4]).unwrap();
+        prop_assert_eq!(&ta + &tb, &tb + &ta);
+        let back = &(&ta + &tb) - &tb;
+        for (x, y) in back.iter().zip(ta.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clamp_respects_bounds(data in tensor_strategy(32), lo in -5.0f32..0.0, width in 0.1f32..5.0) {
+        let hi = lo + width;
+        let t = Tensor::from_vec(data, &[32]).unwrap();
+        let c = t.clamped(lo, hi);
+        prop_assert!(c.iter().all(|&v| v >= lo && v <= hi));
+        // Idempotent.
+        prop_assert_eq!(c.clamped(lo, hi), c);
+    }
+
+    #[test]
+    fn signum_is_sign_preserving(data in tensor_strategy(32)) {
+        let t = Tensor::from_vec(data, &[32]).unwrap();
+        let s = t.signum();
+        for (&v, &sv) in t.iter().zip(s.iter()) {
+            prop_assert_eq!(sv, if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 });
+        }
+        prop_assert!(s.norm_linf() <= 1.0);
+    }
+
+    #[test]
+    fn norms_satisfy_basic_inequalities(data in tensor_strategy(16)) {
+        let t = Tensor::from_vec(data, &[16]).unwrap();
+        prop_assert!(t.norm_linf() <= t.norm_l2() + 1e-4);
+        prop_assert!(t.norm_l2() <= t.norm_linf() * 4.0 + 1e-4); // √16 = 4
+    }
+
+    #[test]
+    fn gemm_matches_naive_reference(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..1000
+    ) {
+        let mk_data = |len: usize, s: u64| -> Vec<f32> {
+            (0..len).map(|i| (((i as u64 + 1) * (s + 7)) % 17) as f32 / 17.0 - 0.5).collect()
+        };
+        let a = Tensor::from_vec(mk_data(m * k, seed), &[m, k]).unwrap();
+        let b = Tensor::from_vec(mk_data(k * n, seed + 1), &[k, n]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut expect = 0.0f32;
+                for p in 0..k {
+                    expect += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                prop_assert!((c.at(&[i, j]) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_consistency(seed in 0u64..500) {
+        // op(A)·op(B) computed via flags equals the product of materialised
+        // transposes.
+        let mk = |r: usize, c: usize, s: u64| {
+            Tensor::from_vec(
+                (0..r * c).map(|i| (((i as u64 + 3) * s) % 13) as f32 / 13.0 - 0.5).collect(),
+                &[r, c],
+            )
+            .unwrap()
+        };
+        let a = mk(5, 7, seed + 1);
+        let b = mk(6, 5, seed + 2);
+        // Aᵀ (7×5) · Bᵀ (5×6) = 7×6.
+        let mut via_flags = Tensor::zeros(&[7, 6]);
+        gemm(1.0, &a, Transpose::Yes, &b, Transpose::Yes, 0.0, &mut via_flags).unwrap();
+        let materialised =
+            a.transposed().unwrap().matmul(&b.transposed().unwrap()).unwrap();
+        for (x, y) in via_flags.iter().zip(materialised.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        h in 4usize..9, w in 4usize..9,
+        stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..200
+    ) {
+        let geom = Conv2dGeometry::new(3, 3, stride, pad);
+        if h + 2 * pad < 3 || w + 2 * pad < 3 {
+            return Ok(());
+        }
+        let dims = [1usize, 2, h, w];
+        let len: usize = dims.iter().product();
+        let x = Tensor::from_vec(
+            (0..len).map(|i| (((i as u64 + 5) * (seed + 11)) % 23) as f32 / 23.0 - 0.5).collect(),
+            &dims,
+        )
+        .unwrap();
+        let cols = im2col(&x, &geom).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|i| (((i as u64 + 9) * (seed + 3)) % 19) as f32 / 19.0 - 0.5).collect(),
+            cols.dims(),
+        )
+        .unwrap();
+        // <im2col(x), y> == <x, col2im(y)>
+        let lhs = cols.dot(&y);
+        let rhs = x.dot(&col2im(&y, &dims, &geom).unwrap());
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn axpy_is_linear(a in tensor_strategy(8), b in tensor_strategy(8), alpha in -3.0f32..3.0) {
+        let ta = Tensor::from_vec(a, &[8]).unwrap();
+        let tb = Tensor::from_vec(b, &[8]).unwrap();
+        let mut via_axpy = ta.clone();
+        via_axpy.axpy(alpha, &tb);
+        let via_ops = &ta + &tb.scaled(alpha);
+        for (x, y) in via_axpy.iter().zip(via_ops.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn argmax_returns_a_maximum(data in tensor_strategy(15)) {
+        let t = Tensor::from_vec(data, &[15]).unwrap();
+        let idx = t.argmax().unwrap();
+        let max = t.max().unwrap();
+        prop_assert_eq!(t.as_slice()[idx], max);
+        prop_assert!(t.iter().all(|&v| v <= max));
+    }
+}

@@ -1,0 +1,169 @@
+//! Product categories and their semantic grouping.
+
+use std::fmt;
+
+/// A product category in the synthetic fashion catalog.
+///
+/// The names mirror the ImageNet-style classes the paper attacks between
+/// (Sock, Running Shoe, Analog Clock, Jersey/T-shirt, Maillot, Brassiere,
+/// Chain), padded with additional fashion classes so the catalog has a
+/// realistic breadth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Category {
+    /// Knitted tube with horizontal stripes.
+    Sock = 0,
+    /// Wedge-shaped shoe with sole band and lace dots.
+    RunningShoe = 1,
+    /// Round dial with ticks and hands.
+    AnalogClock = 2,
+    /// Torso silhouette with a chest block.
+    Jersey = 3,
+    /// One-piece swimsuit silhouette with vertical gradient.
+    Maillot = 4,
+    /// Paired cups with a horizontal band.
+    Brassiere = 5,
+    /// Diagonal run of interlocked rings.
+    Chain = 6,
+    /// Horizontal strap pattern over a sole.
+    Sandal = 7,
+    /// Trapezoid body with a handle arc.
+    Handbag = 8,
+    /// A-line triangle silhouette.
+    Dress = 9,
+    /// Dome with a brim.
+    Hat = 10,
+    /// Thin horizontal band with a buckle.
+    Belt = 11,
+}
+
+/// Coarse semantic family of a category, used to pick the paper's
+/// "semantically similar" vs "semantically different" attack scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticGroup {
+    /// Footwear (Sock, Running Shoe, Sandal).
+    Footwear,
+    /// Upper-body garments (Jersey, Dress).
+    Garment,
+    /// Underwear and swimwear (Maillot, Brassiere).
+    Underwear,
+    /// Accessories (Analog Clock, Chain, Handbag, Hat, Belt).
+    Accessory,
+}
+
+impl Category {
+    /// All categories, ordered by id.
+    pub const ALL: [Category; 12] = [
+        Category::Sock,
+        Category::RunningShoe,
+        Category::AnalogClock,
+        Category::Jersey,
+        Category::Maillot,
+        Category::Brassiere,
+        Category::Chain,
+        Category::Sandal,
+        Category::Handbag,
+        Category::Dress,
+        Category::Hat,
+        Category::Belt,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable numeric id (also the CNN class label).
+    pub fn id(self) -> usize {
+        self as usize
+    }
+
+    /// Looks a category up by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `id >= Category::COUNT`.
+    pub fn from_id(id: usize) -> Option<Category> {
+        Self::ALL.get(id).copied()
+    }
+
+    /// Human-readable name matching the paper's class labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Sock => "Sock",
+            Category::RunningShoe => "Running Shoes",
+            Category::AnalogClock => "Analog Clock",
+            Category::Jersey => "Jersey, T-shirt",
+            Category::Maillot => "Maillot",
+            Category::Brassiere => "Brassiere",
+            Category::Chain => "Chain",
+            Category::Sandal => "Sandal",
+            Category::Handbag => "Handbag",
+            Category::Dress => "Dress",
+            Category::Hat => "Hat",
+            Category::Belt => "Belt",
+        }
+    }
+
+    /// Coarse semantic family.
+    pub fn semantic_group(self) -> SemanticGroup {
+        match self {
+            Category::Sock | Category::RunningShoe | Category::Sandal => SemanticGroup::Footwear,
+            Category::Jersey | Category::Dress => SemanticGroup::Garment,
+            Category::Maillot | Category::Brassiere => SemanticGroup::Underwear,
+            Category::AnalogClock
+            | Category::Chain
+            | Category::Handbag
+            | Category::Hat
+            | Category::Belt => SemanticGroup::Accessory,
+        }
+    }
+
+    /// Whether two categories belong to the same semantic family — the
+    /// paper's notion of a "semantically similar" source→target pair.
+    pub fn is_semantically_similar(self, other: Category) -> bool {
+        self.semantic_group() == other.semantic_group()
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_round_trip() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.id(), i);
+            assert_eq!(Category::from_id(i), Some(*c));
+        }
+        assert_eq!(Category::from_id(Category::COUNT), None);
+    }
+
+    #[test]
+    fn paper_scenarios_have_expected_similarity() {
+        // Table II scenarios.
+        assert!(Category::Sock.is_semantically_similar(Category::RunningShoe));
+        assert!(!Category::Sock.is_semantically_similar(Category::AnalogClock));
+        assert!(Category::Maillot.is_semantically_similar(Category::Brassiere));
+        assert!(!Category::Maillot.is_semantically_similar(Category::Chain));
+        assert!(!Category::Sock.is_semantically_similar(Category::Jersey));
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Category::COUNT);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Category::RunningShoe.to_string(), "Running Shoes");
+    }
+}

@@ -1,0 +1,234 @@
+//! Minimal software rasteriser used by the category recipes.
+
+use crate::Image;
+
+/// An RGB colour with components in `[0, 1]`.
+pub type Rgb = [f32; 3];
+
+/// A drawing surface over an [`Image`] with normalised `[0, 1]` coordinates.
+///
+/// All shapes take coordinates as fractions of the image side so recipes are
+/// resolution-independent.
+#[derive(Debug)]
+pub struct Canvas {
+    image: Image,
+}
+
+impl Canvas {
+    /// Creates a canvas filled with `background`.
+    pub fn new(size: usize, background: Rgb) -> Self {
+        let mut image = Image::new(size);
+        for c in 0..Image::CHANNELS {
+            for y in 0..size {
+                for x in 0..size {
+                    image.set_pixel(c, y, x, background[c]);
+                }
+            }
+        }
+        Canvas { image }
+    }
+
+    /// Finishes drawing, clamping all pixels to the valid range.
+    pub fn into_image(mut self) -> Image {
+        self.image.clamp_valid();
+        self.image
+    }
+
+    fn size(&self) -> usize {
+        self.image.height()
+    }
+
+    fn px(&self, v: f32) -> isize {
+        (v * self.size() as f32).round() as isize
+    }
+
+    fn blend_pixel(&mut self, y: isize, x: isize, color: Rgb, alpha: f32) {
+        let s = self.size() as isize;
+        if y < 0 || x < 0 || y >= s || x >= s {
+            return;
+        }
+        let (y, x) = (y as usize, x as usize);
+        for c in 0..Image::CHANNELS {
+            let old = self.image.pixel(c, y, x);
+            self.image.set_pixel(c, y, x, old * (1.0 - alpha) + color[c] * alpha);
+        }
+    }
+
+    /// Fills an axis-aligned rectangle given by normalised corner
+    /// coordinates `(y0, x0)`–`(y1, x1)`.
+    pub fn fill_rect(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, color: Rgb) {
+        let (py0, px0, py1, px1) = (self.px(y0), self.px(x0), self.px(y1), self.px(x1));
+        for y in py0.min(py1)..py0.max(py1) {
+            for x in px0.min(px1)..px0.max(px1) {
+                self.blend_pixel(y, x, color, 1.0);
+            }
+        }
+    }
+
+    /// Fills a disc centred at `(cy, cx)` with normalised radius `r`.
+    pub fn fill_circle(&mut self, cy: f32, cx: f32, r: f32, color: Rgb) {
+        self.ring(cy, cx, 0.0, r, color);
+    }
+
+    /// Fills an annulus centred at `(cy, cx)` between radii `r0 < r1`.
+    pub fn ring(&mut self, cy: f32, cx: f32, r0: f32, r1: f32, color: Rgb) {
+        let s = self.size() as f32;
+        let (pcy, pcx, pr0, pr1) = (cy * s, cx * s, r0 * s, r1 * s);
+        let lo_y = (pcy - pr1).floor() as isize;
+        let hi_y = (pcy + pr1).ceil() as isize;
+        let lo_x = (pcx - pr1).floor() as isize;
+        let hi_x = (pcx + pr1).ceil() as isize;
+        for y in lo_y..=hi_y {
+            for x in lo_x..=hi_x {
+                let dy = y as f32 + 0.5 - pcy;
+                let dx = x as f32 + 0.5 - pcx;
+                let d = (dy * dy + dx * dx).sqrt();
+                if d >= pr0 && d <= pr1 {
+                    self.blend_pixel(y, x, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Draws a straight segment of normalised `thickness` between two
+    /// normalised points.
+    pub fn line(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, thickness: f32, color: Rgb) {
+        let s = self.size() as f32;
+        let (ay, ax, by, bx) = (y0 * s, x0 * s, y1 * s, x1 * s);
+        let (dy, dx) = (by - ay, bx - ax);
+        let len = (dy * dy + dx * dx).sqrt().max(1e-6);
+        let half = (thickness * s / 2.0).max(0.5);
+        let lo_y = (ay.min(by) - half).floor() as isize;
+        let hi_y = (ay.max(by) + half).ceil() as isize;
+        let lo_x = (ax.min(bx) - half).floor() as isize;
+        let hi_x = (ax.max(bx) + half).ceil() as isize;
+        for y in lo_y..=hi_y {
+            for x in lo_x..=hi_x {
+                let py = y as f32 + 0.5;
+                let px = x as f32 + 0.5;
+                // Distance from point to segment.
+                let t = (((py - ay) * dy + (px - ax) * dx) / (len * len)).clamp(0.0, 1.0);
+                let qy = ay + t * dy;
+                let qx = ax + t * dx;
+                let d = ((py - qy).powi(2) + (px - qx).powi(2)).sqrt();
+                if d <= half {
+                    self.blend_pixel(y, x, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Fills a vertical linear gradient between two colours inside a
+    /// rectangle.
+    pub fn gradient_rect(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, top: Rgb, bottom: Rgb) {
+        let (py0, px0, py1, px1) = (self.px(y0), self.px(x0), self.px(y1), self.px(x1));
+        let span = (py1 - py0).max(1) as f32;
+        for y in py0.min(py1)..py0.max(py1) {
+            let t = (y - py0) as f32 / span;
+            let color = [
+                top[0] * (1.0 - t) + bottom[0] * t,
+                top[1] * (1.0 - t) + bottom[1] * t,
+                top[2] * (1.0 - t) + bottom[2] * t,
+            ];
+            for x in px0.min(px1)..px0.max(px1) {
+                self.blend_pixel(y, x, color, 1.0);
+            }
+        }
+    }
+
+    /// Adds zero-mean pixel noise of the given amplitude from a simple
+    /// deterministic hash of the coordinates and `seed`.
+    pub fn speckle(&mut self, amplitude: f32, seed: u64) {
+        let s = self.size();
+        for c in 0..Image::CHANNELS {
+            for y in 0..s {
+                for x in 0..s {
+                    let h = hash3(seed, (c * s + y) as u64, x as u64);
+                    let noise = ((h % 2048) as f32 / 2048.0 - 0.5) * 2.0 * amplitude;
+                    let v = self.image.pixel(c, y, x) + noise;
+                    self.image.set_pixel(c, y, x, v);
+                }
+            }
+        }
+    }
+}
+
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = a ^ 0x9e37_79b9_7f4a_7c15;
+    for v in [b, c] {
+        h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_fills_canvas() {
+        let img = Canvas::new(4, [0.25, 0.5, 0.75]).into_image();
+        assert_eq!(img.pixel(0, 2, 2), 0.25);
+        assert_eq!(img.pixel(1, 0, 3), 0.5);
+        assert_eq!(img.pixel(2, 3, 0), 0.75);
+    }
+
+    #[test]
+    fn fill_rect_stays_in_bounds() {
+        let mut c = Canvas::new(8, [0.0; 3]);
+        c.fill_rect(-0.5, -0.5, 1.5, 1.5, [1.0; 3]); // deliberately oversized
+        let img = c.into_image();
+        assert!(img.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn circle_center_is_filled_and_corner_is_not() {
+        let mut c = Canvas::new(16, [0.0; 3]);
+        c.fill_circle(0.5, 0.5, 0.25, [1.0, 0.0, 0.0]);
+        let img = c.into_image();
+        assert_eq!(img.pixel(0, 8, 8), 1.0);
+        assert_eq!(img.pixel(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn ring_leaves_center_empty() {
+        let mut c = Canvas::new(32, [0.0; 3]);
+        c.ring(0.5, 0.5, 0.3, 0.45, [0.0, 1.0, 0.0]);
+        let img = c.into_image();
+        assert_eq!(img.pixel(1, 16, 16), 0.0); // centre untouched
+        assert_eq!(img.pixel(1, 16, 28), 1.0); // on the ring
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = Canvas::new(16, [0.0; 3]);
+        c.line(0.1, 0.1, 0.9, 0.9, 0.08, [0.0, 0.0, 1.0]);
+        let img = c.into_image();
+        assert!(img.pixel(2, 8, 8) > 0.5); // midpoint of the diagonal
+        assert_eq!(img.pixel(2, 1, 14), 0.0); // far off the line
+    }
+
+    #[test]
+    fn gradient_interpolates_vertically() {
+        let mut c = Canvas::new(8, [0.0; 3]);
+        c.gradient_rect(0.0, 0.0, 1.0, 1.0, [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]);
+        let img = c.into_image();
+        assert!(img.pixel(0, 0, 4) > img.pixel(0, 7, 4)); // red fades down
+        assert!(img.pixel(2, 7, 4) > img.pixel(2, 0, 4)); // blue grows down
+    }
+
+    #[test]
+    fn speckle_is_deterministic_and_bounded_after_clamp() {
+        let mut a = Canvas::new(8, [0.5; 3]);
+        a.speckle(0.1, 99);
+        let mut b = Canvas::new(8, [0.5; 3]);
+        b.speckle(0.1, 99);
+        let (ia, ib) = (a.into_image(), b.into_image());
+        assert_eq!(ia, ib);
+        assert!(ia.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mut c = Canvas::new(8, [0.5; 3]);
+        c.speckle(0.1, 100);
+        assert_ne!(ia, c.into_image());
+    }
+}

@@ -1,0 +1,254 @@
+//! The RGB image type shared across the pipeline.
+
+use std::fmt;
+
+use taamr_tensor::Tensor;
+
+/// Errors produced by image construction and conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Data length does not match `3 · height · width`.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// A tensor passed to a conversion had the wrong shape.
+    BadTensorShape {
+        /// The offending shape.
+        dims: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::LengthMismatch { expected, actual } => {
+                write!(f, "image data has {actual} elements, expected {expected}")
+            }
+            ImageError::BadTensorShape { dims } => {
+                write!(f, "tensor shape {dims:?} is not a CHW or NCHW image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A square RGB image with pixel values in `[0, 1]`, stored CHW.
+///
+/// CHW storage means the image's flat buffer is directly the layout of one
+/// sample in the CNN's NCHW batch tensor, so conversions are pure copies.
+///
+/// # Example
+///
+/// ```
+/// use taamr_vision::Image;
+///
+/// let mut img = Image::new(8);
+/// img.set_pixel(0, 2, 3, 0.5); // red channel, row 2, col 3
+/// assert_eq!(img.pixel(0, 2, 3), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    size: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Number of colour channels (RGB).
+    pub const CHANNELS: usize = 3;
+
+    /// Creates a black `size × size` RGB image.
+    pub fn new(size: usize) -> Self {
+        Image { size, data: vec![0.0; Self::CHANNELS * size * size] }
+    }
+
+    /// Creates an image from CHW data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::LengthMismatch`] on a wrong element count.
+    pub fn from_vec(size: usize, data: Vec<f32>) -> Result<Self, ImageError> {
+        let expected = Self::CHANNELS * size * size;
+        if data.len() != expected {
+            return Err(ImageError::LengthMismatch { expected, actual: data.len() });
+        }
+        Ok(Image { size, data })
+    }
+
+    /// Image height (== width; images are square).
+    pub fn height(&self) -> usize {
+        self.size
+    }
+
+    /// Image width (== height; images are square).
+    pub fn width(&self) -> usize {
+        self.size
+    }
+
+    /// Flat CHW pixel data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat CHW pixel data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Pixel value at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    pub fn pixel(&self, channel: usize, row: usize, col: usize) -> f32 {
+        assert!(channel < Self::CHANNELS && row < self.size && col < self.size);
+        self.data[(channel * self.size + row) * self.size + col]
+    }
+
+    /// Sets the pixel at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    pub fn set_pixel(&mut self, channel: usize, row: usize, col: usize, value: f32) {
+        assert!(channel < Self::CHANNELS && row < self.size && col < self.size);
+        self.data[(channel * self.size + row) * self.size + col] = value;
+    }
+
+    /// Clamps all pixels into `[0, 1]`.
+    pub fn clamp_valid(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Converts into a rank-3 `[3, H, W]` tensor (copy).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.data.clone(), &[Self::CHANNELS, self.size, self.size])
+            .expect("image buffer always matches its shape")
+    }
+
+    /// Creates an image from a `[3, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BadTensorShape`] for a non-CHW-image tensor.
+    pub fn from_tensor(t: &Tensor) -> Result<Self, ImageError> {
+        if t.rank() != 3 || t.dims()[0] != Self::CHANNELS || t.dims()[1] != t.dims()[2] {
+            return Err(ImageError::BadTensorShape { dims: t.dims().to_vec() });
+        }
+        Ok(Image { size: t.dims()[1], data: t.as_slice().to_vec() })
+    }
+
+    /// Mean pixel value (useful for quick brightness checks in tests).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+}
+
+/// Stacks images into an NCHW batch tensor.
+///
+/// # Panics
+///
+/// Panics if `images` is empty or the sizes differ.
+pub fn images_to_tensor(images: &[Image]) -> Tensor {
+    assert!(!images.is_empty(), "cannot batch zero images");
+    let size = images[0].size;
+    assert!(images.iter().all(|i| i.size == size), "images must share a size");
+    let sample = Image::CHANNELS * size * size;
+    let mut out = Tensor::zeros(&[images.len(), Image::CHANNELS, size, size]);
+    let dst = out.as_mut_slice();
+    for (i, img) in images.iter().enumerate() {
+        dst[i * sample..(i + 1) * sample].copy_from_slice(&img.data);
+    }
+    out
+}
+
+/// Splits an NCHW batch tensor back into images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::BadTensorShape`] if the tensor is not a square
+/// 3-channel NCHW batch.
+pub fn tensor_to_images(t: &Tensor) -> Result<Vec<Image>, ImageError> {
+    if t.rank() != 4 || t.dims()[1] != Image::CHANNELS || t.dims()[2] != t.dims()[3] {
+        return Err(ImageError::BadTensorShape { dims: t.dims().to_vec() });
+    }
+    let (n, size) = (t.dims()[0], t.dims()[2]);
+    let sample = Image::CHANNELS * size * size;
+    let src = t.as_slice();
+    Ok((0..n)
+        .map(|i| Image { size, data: src[i * sample..(i + 1) * sample].to_vec() })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_round_trip() {
+        let mut img = Image::new(4);
+        img.set_pixel(2, 1, 3, 0.7);
+        assert_eq!(img.pixel(2, 1, 3), 0.7);
+        assert_eq!(img.pixel(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut img = Image::new(4);
+        img.set_pixel(1, 2, 2, 0.9);
+        let t = img.to_tensor();
+        assert_eq!(t.dims(), &[3, 4, 4]);
+        let back = Image::from_tensor(&t).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let mut a = Image::new(4);
+        a.set_pixel(0, 0, 0, 0.1);
+        let mut b = Image::new(4);
+        b.set_pixel(2, 3, 3, 0.2);
+        let batch = images_to_tensor(&[a.clone(), b.clone()]);
+        assert_eq!(batch.dims(), &[2, 3, 4, 4]);
+        let back = tensor_to_images(&batch).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Image::from_vec(2, vec![0.0; 12]).is_ok());
+        assert!(matches!(
+            Image::from_vec(2, vec![0.0; 11]),
+            Err(ImageError::LengthMismatch { expected: 12, actual: 11 })
+        ));
+    }
+
+    #[test]
+    fn conversion_rejects_bad_shapes() {
+        assert!(Image::from_tensor(&Tensor::zeros(&[1, 4, 4])).is_err());
+        assert!(Image::from_tensor(&Tensor::zeros(&[3, 4, 5])).is_err());
+        assert!(tensor_to_images(&Tensor::zeros(&[2, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn clamp_valid_bounds_pixels() {
+        let mut img = Image::from_vec(1, vec![-0.5, 0.5, 1.5]).unwrap();
+        img.clamp_valid();
+        assert_eq!(img.as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot batch zero images")]
+    fn empty_batch_panics() {
+        images_to_tensor(&[]);
+    }
+}

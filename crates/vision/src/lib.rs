@@ -1,0 +1,41 @@
+//! Procedural product-image catalog: the reproduction's stand-in for the
+//! Amazon Men / Amazon Women image collections.
+//!
+//! The paper downloads real product photos and classifies them with a
+//! pre-trained ResNet50. This crate substitutes a *procedural* catalog: each
+//! [`Category`] (Sock, Running Shoe, Analog Clock, …) is a parametric visual
+//! recipe — a silhouette, a texture family and a palette — rendered with
+//! per-item randomness (colour jitter, geometry jitter, background noise).
+//! The result is a labelled image distribution that
+//!
+//! 1. a small CNN learns to classify with high accuracy, and
+//! 2. carries category-level visual structure that the recommenders'
+//!    feature-based preference models can exploit,
+//!
+//! which is exactly what the TAaMR pipeline needs from its image source.
+//!
+//! # Example
+//!
+//! ```
+//! use taamr_vision::{Category, ProductImageGenerator};
+//!
+//! let gen = ProductImageGenerator::new(32, 7);
+//! let img = gen.generate(Category::Sock, 42);
+//! assert_eq!(img.height(), 32);
+//! // Pixels are normalised to [0, 1].
+//! assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+//! ```
+
+#![deny(missing_docs)]
+
+mod category;
+mod draw;
+mod generator;
+mod image;
+pub mod ppm;
+mod recipes;
+
+pub use category::{Category, SemanticGroup};
+pub use draw::Canvas;
+pub use generator::ProductImageGenerator;
+pub use image::{images_to_tensor, tensor_to_images, Image, ImageError};

@@ -1,0 +1,180 @@
+//! Binary PPM (P6) image export/import.
+//!
+//! PPM is the simplest widely readable raster format; the `figure2` binary
+//! uses it to dump the before/after product images for visual inspection
+//! (the paper's Fig. 2 panels).
+
+use std::io::{self, Read, Write};
+
+use crate::{Image, ImageError};
+
+impl Image {
+    /// Writes the image as a binary PPM (P6, 8-bit) to `writer`.
+    ///
+    /// Pixel values are clamped to `[0, 1]` and quantised to 0–255.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_ppm<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let size = self.height();
+        write!(writer, "P6\n{size} {size}\n255\n")?;
+        let mut row = Vec::with_capacity(size * 3);
+        for y in 0..size {
+            row.clear();
+            for x in 0..size {
+                for c in 0..Image::CHANNELS {
+                    let v = (self.pixel(c, y, x).clamp(0.0, 1.0) * 255.0).round() as u8;
+                    row.push(v);
+                }
+            }
+            writer.write_all(&row)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a binary PPM (P6, 8-bit, square) image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` for malformed headers, non-square images,
+    /// unsupported maxval, or truncated pixel data.
+    pub fn read_ppm<R: Read>(mut reader: R) -> io::Result<Image> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+
+        // Parse "P6\n<w> <h>\n<max>\n" allowing any whitespace separation.
+        let mut pos = 0usize;
+        let mut next_token = |bytes: &[u8]| -> io::Result<String> {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated header"));
+            }
+            Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+        };
+        if next_token(&bytes)? != "P6" {
+            return Err(bad("not a binary ppm (P6)"));
+        }
+        let w: usize = next_token(&bytes)?.parse().map_err(|_| bad("bad width"))?;
+        let h: usize = next_token(&bytes)?.parse().map_err(|_| bad("bad height"))?;
+        let maxval: usize = next_token(&bytes)?.parse().map_err(|_| bad("bad maxval"))?;
+        if w != h {
+            return Err(bad("only square images are supported"));
+        }
+        if maxval != 255 {
+            return Err(bad("only 8-bit ppm is supported"));
+        }
+        pos += 1; // single whitespace byte after maxval
+        let expected = w * h * 3;
+        if bytes.len() < pos + expected {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated pixel data"));
+        }
+        let mut img = Image::new(w);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..Image::CHANNELS {
+                    let v = bytes[pos + (y * w + x) * 3 + c] as f32 / 255.0;
+                    img.set_pixel(c, y, x, v);
+                }
+            }
+        }
+        Ok(img)
+    }
+
+    /// Writes the image to a `.ppm` file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn save_ppm(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        self.write_ppm(std::fs::File::create(path)?)
+    }
+
+    /// Loads a `.ppm` file from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file and format errors; see [`Image::read_ppm`].
+    pub fn load_ppm(path: impl AsRef<std::path::Path>) -> io::Result<Image> {
+        Self::read_ppm(std::fs::File::open(path)?)
+    }
+}
+
+/// Quantisation error bound of an 8-bit PPM round trip (half a level).
+pub const PPM_QUANTISATION_ERROR: f32 = 0.5 / 255.0;
+
+/// Convenience: maximum absolute pixel difference between two images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::LengthMismatch`] if the sizes differ.
+pub fn max_abs_diff(a: &Image, b: &Image) -> Result<f32, ImageError> {
+    if a.height() != b.height() {
+        return Err(ImageError::LengthMismatch {
+            expected: a.as_slice().len(),
+            actual: b.as_slice().len(),
+        });
+    }
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, ProductImageGenerator};
+
+    #[test]
+    fn round_trip_preserves_pixels_to_quantisation() {
+        let gen = ProductImageGenerator::new(24, 1);
+        let img = gen.generate(Category::Hat, 3);
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n24 24\n255\n"));
+        let back = Image::read_ppm(buf.as_slice()).unwrap();
+        assert_eq!(back.height(), 24);
+        assert!(max_abs_diff(&img, &back).unwrap() <= PPM_QUANTISATION_ERROR + 1e-6);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(Image::read_ppm(&b"P5\n2 2\n255\n0000"[..]).is_err());
+        assert!(Image::read_ppm(&b"P6\n2 3\n255\n"[..]).is_err()); // non-square
+        assert!(Image::read_ppm(&b"P6\n2 2\n65535\n"[..]).is_err()); // 16-bit
+        assert!(Image::read_ppm(&b"P6\n2 2\n255\nxx"[..]).is_err()); // truncated
+        assert!(Image::read_ppm(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("taamr-ppm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hat.ppm");
+        let img = ProductImageGenerator::new(16, 2).generate(Category::Chain, 1);
+        img.save_ppm(&path).unwrap();
+        let back = Image::load_ppm(&path).unwrap();
+        assert!(max_abs_diff(&img, &back).unwrap() <= PPM_QUANTISATION_ERROR + 1e-6);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn extreme_values_clamp_cleanly() {
+        let mut img = Image::new(16);
+        img.as_mut_slice()[0] = -0.5;
+        img.as_mut_slice()[1] = 1.5;
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        let back = Image::read_ppm(buf.as_slice()).unwrap();
+        assert_eq!(back.as_slice()[0], 0.0);
+        assert_eq!(back.as_slice()[1], 1.0);
+    }
+}

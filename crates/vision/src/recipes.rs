@@ -1,0 +1,198 @@
+//! Per-category drawing recipes.
+//!
+//! Every recipe renders a category-defining silhouette/texture with
+//! per-item jitter supplied by [`ItemStyle`]. The shapes are deliberately
+//! crude — what matters is that the rendered classes are (a) visually
+//! distinct enough for a small CNN to classify and (b) internally varied
+//! enough that items within a category are not identical.
+
+use rand::Rng;
+
+use crate::draw::{Canvas, Rgb};
+use crate::Category;
+
+/// Item-level style jitter shared by all recipes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ItemStyle {
+    /// Primary hue, as an RGB triple.
+    pub primary: Rgb,
+    /// Secondary/accent hue.
+    pub secondary: Rgb,
+    /// Background shade (light, near-white like product photos).
+    pub background: Rgb,
+    /// Geometric jitter in `[-1, 1]`, scaled per recipe.
+    pub jitter: f32,
+    /// Noise seed for speckle.
+    pub noise_seed: u64,
+}
+
+impl ItemStyle {
+    pub(crate) fn sample(rng: &mut impl Rng) -> Self {
+        let hue = |rng: &mut dyn rand::RngCore| -> Rgb {
+            [rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)]
+        };
+        let bg = rng.gen_range(0.82..0.97);
+        ItemStyle {
+            primary: hue(rng),
+            secondary: hue(rng),
+            background: [bg, bg, bg],
+            jitter: rng.gen_range(-1.0..1.0),
+            noise_seed: rng.gen(),
+        }
+    }
+}
+
+/// Renders one item of `category` at the given image size.
+pub(crate) fn render(category: Category, size: usize, style: &ItemStyle) -> crate::Image {
+    let mut canvas = Canvas::new(size, style.background);
+    let j = style.jitter * 0.04; // ±4% geometric jitter
+    match category {
+        Category::Sock => sock(&mut canvas, style, j),
+        Category::RunningShoe => running_shoe(&mut canvas, style, j),
+        Category::AnalogClock => analog_clock(&mut canvas, style, j),
+        Category::Jersey => jersey(&mut canvas, style, j),
+        Category::Maillot => maillot(&mut canvas, style, j),
+        Category::Brassiere => brassiere(&mut canvas, style, j),
+        Category::Chain => chain(&mut canvas, style, j),
+        Category::Sandal => sandal(&mut canvas, style, j),
+        Category::Handbag => handbag(&mut canvas, style, j),
+        Category::Dress => dress(&mut canvas, style, j),
+        Category::Hat => hat(&mut canvas, style, j),
+        Category::Belt => belt(&mut canvas, style, j),
+    }
+    canvas.speckle(0.03, style.noise_seed);
+    canvas.into_image()
+}
+
+fn sock(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Vertical tube with a foot bend and horizontal stripes.
+    let x0 = 0.38 + j;
+    let x1 = 0.62 + j;
+    c.fill_rect(0.1, x0, 0.7, x1, s.primary);
+    // Foot: horizontal extension at the bottom.
+    c.fill_rect(0.6, x0, 0.85, x1 + 0.2, s.primary);
+    c.fill_circle(0.72, x1 + 0.12, 0.13, s.primary);
+    // Stripes on the leg.
+    for k in 0..4 {
+        let y = 0.15 + 0.12 * k as f32;
+        c.fill_rect(y, x0, y + 0.05, x1, s.secondary);
+    }
+}
+
+fn running_shoe(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Horizontal wedge with a contrasting sole and lace dots.
+    c.fill_rect(0.5 + j, 0.1, 0.75 + j, 0.9, s.primary);
+    // Toe box rounding and heel rise.
+    c.fill_circle(0.62 + j, 0.85, 0.13, s.primary);
+    c.fill_rect(0.35 + j, 0.1, 0.55 + j, 0.45, s.primary);
+    c.fill_circle(0.45 + j, 0.28, 0.12, s.primary);
+    // Sole band.
+    c.fill_rect(0.72 + j, 0.08, 0.82 + j, 0.92, s.secondary);
+    // Lace dots.
+    for k in 0..4 {
+        c.fill_circle(0.47 + j + 0.04 * k as f32, 0.42 + 0.09 * k as f32, 0.025, s.secondary);
+    }
+}
+
+fn analog_clock(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Dial, ticks and two hands.
+    c.fill_circle(0.5, 0.5, 0.38, s.primary);
+    c.fill_circle(0.5, 0.5, 0.33, [0.95, 0.95, 0.92]);
+    for k in 0..12 {
+        let a = k as f32 * std::f32::consts::TAU / 12.0;
+        let (sy, sx) = (0.5 + 0.28 * a.sin(), 0.5 + 0.28 * a.cos());
+        let (ey, ex) = (0.5 + 0.32 * a.sin(), 0.5 + 0.32 * a.cos());
+        c.line(sy, sx, ey, ex, 0.02, [0.1, 0.1, 0.1]);
+    }
+    let hour = std::f32::consts::TAU * (0.15 + 0.5 * (j + 0.04) / 0.08);
+    c.line(0.5, 0.5, 0.5 + 0.18 * hour.sin(), 0.5 + 0.18 * hour.cos(), 0.035, s.secondary);
+    c.line(0.5, 0.5, 0.5 + 0.28 * (hour * 1.7).sin(), 0.5 + 0.28 * (hour * 1.7).cos(), 0.02, [0.1, 0.1, 0.1]);
+    c.fill_circle(0.5, 0.5, 0.03, [0.1, 0.1, 0.1]);
+}
+
+fn jersey(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Torso with sleeves and a chest block.
+    c.fill_rect(0.25, 0.3 + j, 0.85, 0.7 + j, s.primary);
+    c.fill_rect(0.25, 0.12 + j, 0.45, 0.32 + j, s.primary); // left sleeve
+    c.fill_rect(0.25, 0.68 + j, 0.45, 0.88 + j, s.primary); // right sleeve
+    // Collar notch.
+    c.fill_rect(0.25, 0.44 + j, 0.32, 0.56 + j, s.background);
+    // Chest block (number patch).
+    c.fill_rect(0.45, 0.42 + j, 0.65, 0.58 + j, s.secondary);
+}
+
+fn maillot(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // One-piece silhouette with a vertical gradient: straps, torso, hip.
+    c.line(0.15, 0.4 + j, 0.3, 0.44 + j, 0.03, s.primary);
+    c.line(0.15, 0.6 + j, 0.3, 0.56 + j, 0.03, s.primary);
+    c.gradient_rect(0.3, 0.36 + j, 0.75, 0.64 + j, s.primary, s.secondary);
+    // Hip flare.
+    c.fill_rect(0.68, 0.3 + j, 0.8, 0.7 + j, s.secondary);
+}
+
+fn brassiere(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Two cups, a band, and shoulder straps.
+    c.fill_circle(0.55, 0.38 + j, 0.16, s.primary);
+    c.fill_circle(0.55, 0.62 + j, 0.16, s.primary);
+    c.fill_rect(0.52, 0.2 + j, 0.58, 0.8 + j, s.secondary);
+    c.line(0.15, 0.3 + j, 0.45, 0.36 + j, 0.025, s.secondary);
+    c.line(0.15, 0.7 + j, 0.45, 0.64 + j, 0.025, s.secondary);
+}
+
+fn chain(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Interlocked rings along the diagonal.
+    for k in 0..6 {
+        let t = k as f32 / 5.0;
+        let cy = 0.2 + 0.6 * t + j;
+        let cx = 0.2 + 0.6 * t;
+        let color = if k % 2 == 0 { s.primary } else { s.secondary };
+        c.ring(cy, cx, 0.055, 0.095, color);
+    }
+}
+
+fn sandal(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Flat sole with two crossing straps.
+    c.fill_rect(0.7 + j, 0.15, 0.8 + j, 0.85, s.primary);
+    c.line(0.7 + j, 0.25, 0.45 + j, 0.5, 0.06, s.secondary);
+    c.line(0.45 + j, 0.5, 0.7 + j, 0.75, 0.06, s.secondary);
+    c.line(0.55 + j, 0.2, 0.55 + j, 0.8, 0.05, s.secondary);
+}
+
+fn handbag(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Trapezoid body with a handle arc.
+    c.fill_rect(0.45, 0.25 + j, 0.85, 0.75 + j, s.primary);
+    c.fill_rect(0.45, 0.3 + j, 0.55, 0.7 + j, s.secondary); // top flap
+    c.ring(0.42, 0.5 + j, 0.12, 0.17, s.secondary); // handle
+    c.fill_rect(0.5, 0.25 + j, 0.85, 0.3 + j, s.primary);
+}
+
+fn dress(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Fitted top flaring into an A-line skirt (stacked widening bands).
+    c.fill_rect(0.15, 0.42 + j, 0.4, 0.58 + j, s.primary);
+    for k in 0..6 {
+        let t = k as f32 / 5.0;
+        let half = 0.08 + 0.22 * t;
+        let y0 = 0.4 + 0.45 * t / 6.0 * 6.0 * (1.0 / 6.0) + 0.075 * k as f32;
+        c.fill_rect(y0, 0.5 - half + j, y0 + 0.09, 0.5 + half + j, s.primary);
+    }
+    // Waist band.
+    c.fill_rect(0.38, 0.4 + j, 0.44, 0.6 + j, s.secondary);
+}
+
+fn hat(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Dome crown over a wide brim.
+    c.fill_circle(0.5 + j, 0.5, 0.22, s.primary);
+    c.fill_rect(0.5 + j, 0.28, 0.58 + j, 0.72, s.primary);
+    c.fill_rect(0.56 + j, 0.15, 0.62 + j, 0.85, s.secondary); // brim
+    c.fill_rect(0.46 + j, 0.28, 0.52 + j, 0.72, s.secondary); // band
+}
+
+fn belt(c: &mut Canvas, s: &ItemStyle, j: f32) {
+    // Thin horizontal band with a buckle square and holes.
+    c.fill_rect(0.45 + j, 0.05, 0.58 + j, 0.95, s.primary);
+    c.fill_rect(0.41 + j, 0.42, 0.62 + j, 0.58, s.secondary); // buckle
+    c.fill_rect(0.45 + j, 0.46, 0.58 + j, 0.54, s.background); // buckle hollow
+    for k in 0..4 {
+        c.fill_circle(0.515 + j, 0.68 + 0.06 * k as f32, 0.012, [0.1, 0.1, 0.1]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests of the vision substrate.
+
+use proptest::prelude::*;
+use taamr_vision::{images_to_tensor, tensor_to_images, Category, Image, ProductImageGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_render_is_valid_and_deterministic(
+        cat_id in 0usize..Category::COUNT,
+        item_seed in 0u64..10_000,
+        catalog_seed in 0u64..100,
+        size in 16usize..40
+    ) {
+        let cat = Category::from_id(cat_id).unwrap();
+        let gen = ProductImageGenerator::new(size, catalog_seed);
+        let a = gen.generate(cat, item_seed);
+        prop_assert_eq!(a.height(), size);
+        prop_assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert_eq!(gen.generate(cat, item_seed), a);
+    }
+
+    #[test]
+    fn batch_round_trip_is_lossless(
+        sizes in proptest::collection::vec(0.0f32..1.0, 3 * 16 * 16),
+        n in 1usize..4
+    ) {
+        let img = Image::from_vec(16, sizes).unwrap();
+        let batch: Vec<Image> = (0..n).map(|_| img.clone()).collect();
+        let t = images_to_tensor(&batch);
+        let back = tensor_to_images(&t).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn pixel_setter_round_trips(
+        c in 0usize..3, y in 0usize..16, x in 0usize..16, v in 0.0f32..1.0
+    ) {
+        let mut img = Image::new(16);
+        img.set_pixel(c, y, x, v);
+        prop_assert_eq!(img.pixel(c, y, x), v);
+        // Exactly one pixel changed.
+        let changed = img.as_slice().iter().filter(|&&p| p != 0.0).count();
+        prop_assert!(changed <= 1);
+    }
+
+    #[test]
+    fn semantic_similarity_is_reflexive_and_symmetric(
+        a in 0usize..Category::COUNT,
+        b in 0usize..Category::COUNT
+    ) {
+        let ca = Category::from_id(a).unwrap();
+        let cb = Category::from_id(b).unwrap();
+        prop_assert!(ca.is_semantically_similar(ca));
+        prop_assert_eq!(ca.is_semantically_similar(cb), cb.is_semantically_similar(ca));
+    }
+}

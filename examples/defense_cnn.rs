@@ -1,0 +1,141 @@
+//! Feature-extractor defences: the paper's proposed future work, evaluated.
+//!
+//! Compares targeted PGD success probability against three CNNs trained on
+//! the product catalog:
+//!
+//! 1. **vanilla** — standard supervised training (the paper's setting),
+//! 2. **adversarially trained** — Madry-style fine-tuning on untargeted PGD
+//!    examples,
+//! 3. **distilled** — a student trained on temperature-softened teacher
+//!    probabilities (defensive distillation).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example defense_cnn
+//! ```
+
+use taamr_attack::{
+    adversarial_finetune, AdversarialTrainingConfig, Attack, AttackGoal, Epsilon, Pgd,
+};
+use taamr_nn::{
+    distill, DistillConfig, ImageClassifier, LrSchedule, SgdConfig, TinyResNet,
+    TinyResNetConfig, Trainer, TrainerConfig,
+};
+use taamr_tensor::seeded_rng;
+use taamr_vision::{images_to_tensor, Category, ProductImageGenerator};
+
+fn main() {
+    let gen = ProductImageGenerator::new(24, 7);
+    let cats = [Category::Sock, Category::RunningShoe, Category::AnalogClock, Category::Maillot];
+    let mut rng = seeded_rng(0);
+
+    // Training set: 4 categories × 24 renders.
+    let mut images = Vec::new();
+    let mut labels = Vec::new();
+    for (label, &cat) in cats.iter().enumerate() {
+        for k in 0..24u64 {
+            images.push(gen.generate(cat, 1000 + k));
+            labels.push(label);
+        }
+    }
+    let train = images_to_tensor(&images);
+
+    let arch = TinyResNetConfig {
+        in_channels: 3,
+        base_channels: 8,
+        blocks_per_stage: 1,
+        stages: 2,
+        num_classes: cats.len(),
+    };
+    let sgd = SgdConfig {
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+        schedule: LrSchedule::Constant,
+    };
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 16,
+        batch_size: 16,
+        sgd: sgd.clone(),
+        log_every: 0,
+    });
+
+    eprintln!("training the vanilla CNN…");
+    let mut vanilla = TinyResNet::new(&arch, &mut rng);
+    trainer.fit(&mut vanilla, &train, &labels, &mut rng);
+
+    eprintln!("adversarially fine-tuning a copy…");
+    let mut hardened = TinyResNet::new(&arch, &mut seeded_rng(0));
+    trainer.fit(&mut hardened, &train, &labels, &mut seeded_rng(0));
+    let at_cfg = AdversarialTrainingConfig {
+        epsilon: Epsilon::from_255(8.0),
+        attack_steps: 5,
+        adversarial_fraction: 1.0,
+        epochs: 6,
+        batch_size: 16,
+        sgd: SgdConfig { lr: 0.01, ..sgd.clone() },
+    };
+    adversarial_finetune(&mut hardened, &train, &labels, &at_cfg, &mut rng);
+
+    eprintln!("distilling a student at T = 5…");
+    let mut student = TinyResNet::new(&arch, &mut seeded_rng(1));
+    let d_cfg = DistillConfig {
+        temperature: 5.0,
+        epochs: 40,
+        batch_size: 16,
+        sgd: SgdConfig { lr: 0.05, ..sgd },
+    };
+    distill(&mut vanilla, &mut student, &train, &d_cfg, &mut rng);
+
+    // Evaluation: clean accuracy + targeted PGD ε ∈ {4, 8, 16} success on
+    // fresh source-category renders (Sock → Running Shoe).
+    let fresh: Vec<taamr_vision::Image> =
+        (0..16u64).map(|k| gen.generate(Category::Sock, 9000 + k)).collect();
+    let fresh_batch = images_to_tensor(&fresh);
+    let clean_all = {
+        let mut imgs = Vec::new();
+        let mut lbls = Vec::new();
+        for (label, &cat) in cats.iter().enumerate() {
+            for k in 0..10u64 {
+                imgs.push(gen.generate(cat, 9000 + k));
+                lbls.push(label);
+            }
+        }
+        (images_to_tensor(&imgs), lbls)
+    };
+
+    println!(
+        "{:<22} {:>10} | {:>8} {:>8} {:>8}",
+        "model", "clean acc", "ε=4", "ε=8", "ε=16"
+    );
+    for (name, net) in [
+        ("vanilla", &mut vanilla),
+        ("adversarially trained", &mut hardened),
+        ("distilled (T=5)", &mut student),
+    ] {
+        let preds = net.predict(&clean_all.0);
+        let acc = preds.iter().zip(&clean_all.1).filter(|(p, l)| p == l).count() as f64
+            / clean_all.1.len() as f64;
+        let mut rates = Vec::new();
+        for eps in [4.0, 8.0, 16.0] {
+            let attack = Pgd::new(Epsilon::from_255(eps));
+            let mut arng = seeded_rng(99);
+            let adv = attack.perturb(net, &fresh_batch, AttackGoal::Targeted(1), &mut arng);
+            rates.push(adv.success_rate());
+        }
+        println!(
+            "{:<22} {:>9.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",
+            name,
+            acc * 100.0,
+            rates[0] * 100.0,
+            rates[1] * 100.0,
+            rates[2] * 100.0
+        );
+    }
+    println!();
+    println!("expected shape: adversarial training cuts targeted PGD success sharply;");
+    println!("defensive distillation helps far less against an *iterative* attack —");
+    println!("matching Carlini & Wagner's finding (cited by the paper) that distillation");
+    println!("mainly masks single-step gradients and is not robust to PGD.");
+}

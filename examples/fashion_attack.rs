@@ -1,0 +1,58 @@
+//! The paper's headline scenario as a runnable walkthrough: an adversary
+//! pushes a low-recommended fashion category (e.g. socks) toward a highly
+//! recommended one (e.g. running shoes) by perturbing product images only.
+//!
+//! Sweeps both attacks over the paper's four ε budgets on one dataset and
+//! prints a Table-II/III/IV-style summary, then shows the Fig. 2 single-item
+//! story.
+//!
+//! Run with (expect a couple of minutes at medium scale):
+//!
+//! ```sh
+//! TAAMR_SCALE=tiny cargo run --release --example fashion_attack
+//! ```
+
+use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
+use taamr_attack::{Attack, Epsilon, Fgsm, Pgd};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let config = PipelineConfig::for_scale(scale);
+    eprintln!("building pipeline at {scale:?} scale…");
+    let mut pipeline = Pipeline::build(&config);
+    eprintln!(
+        "CNN holdout accuracy: {:.1}%",
+        pipeline.cnn_holdout_accuracy() * 100.0
+    );
+
+    let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
+    let scenario = similar.or(dissimilar).expect("a scenario exists");
+    println!("attack scenario: {scenario} (semantically similar: {})", scenario.is_semantically_similar());
+    println!();
+    println!(
+        "{:<6} {:>5} | {:>12} {:>12} | {:>9} | {:>8} {:>8} {:>8}",
+        "attack", "ε", "CHR before", "CHR after", "success", "PSNR", "SSIM", "PSM"
+    );
+
+    for eps in Epsilon::paper_sweep() {
+        for attack in [&Fgsm::new(eps) as &dyn Attack, &Pgd::new(eps) as &dyn Attack] {
+            let o = pipeline.run_attack(ModelKind::Vbpr, attack, scenario);
+            println!(
+                "{:<6} {:>5} | {:>12.3} {:>12.3} | {:>8.1}% | {:>8.2} {:>8.4} {:>8.4}",
+                o.attack,
+                o.epsilon_255,
+                o.chr_source_before,
+                o.chr_source_after,
+                o.success_rate * 100.0,
+                o.visual.psnr,
+                o.visual.ssim,
+                o.visual.psm
+            );
+        }
+    }
+
+    // The Fig. 2 story: one item, before and after.
+    println!();
+    let fig = pipeline.figure2_example(ModelKind::Vbpr, scenario);
+    println!("{fig}");
+}

@@ -1,0 +1,76 @@
+//! Item-to-item "hijack": the paper's future-work attack, implemented.
+//!
+//! Instead of steering a whole category toward a popular *class*, the
+//! adversary perturbs one specific product's image so its deep features
+//! match one specific *popular item* — inheriting that item's standing with
+//! the recommender, even inside the same category.
+//!
+//! Run with:
+//!
+//! ```sh
+//! TAAMR_SCALE=tiny cargo run --release --example item_hijack
+//! ```
+
+use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
+use taamr_attack::Epsilon;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let config = PipelineConfig::for_scale(scale);
+    eprintln!("building pipeline at {scale:?} scale…");
+    let mut pipeline = Pipeline::build(&config);
+
+    // Pick the victim: the item appearing most often in top-N lists; and the
+    // source: an item of the same category that never appears.
+    let lists = pipeline.top_n_lists(pipeline.model(ModelKind::Vbpr));
+    let mut appearances = vec![0usize; pipeline.dataset().num_items()];
+    for list in &lists {
+        for &i in list {
+            appearances[i] += 1;
+        }
+    }
+    let victim = (0..appearances.len()).max_by_key(|&i| appearances[i]).expect("items exist");
+    let victim_cat = pipeline.dataset().item_category(victim);
+    let source = pipeline
+        .dataset()
+        .items_of_category(victim_cat)
+        .into_iter()
+        .filter(|&i| i != victim)
+        .min_by_key(|&i| appearances[i])
+        .expect("category has more than one item");
+
+    println!(
+        "victim: item {victim} ({}, in {} top-{} lists)",
+        taamr_vision::Category::from_id(victim_cat).map(|c| c.name()).unwrap_or("?"),
+        appearances[victim],
+        config.chr_n
+    );
+    println!(
+        "source: item {source} (same category, in {} lists)",
+        appearances[source]
+    );
+    println!();
+    println!(
+        "{:>5} | {:>12} | {:>11} {:>11} | {:>11}",
+        "ε", "feat. match", "rank before", "rank after", "victim rank"
+    );
+    for eps in Epsilon::paper_sweep() {
+        let o = pipeline.run_item_to_item_attack(ModelKind::Vbpr, source, victim, eps);
+        println!(
+            "{:>5} | {:>11.1}% | {:>11.0} {:>11.0} | {:>11.0}",
+            o.epsilon_255,
+            o.feature_distance_reduction * 100.0,
+            o.mean_rank_before,
+            o.mean_rank_after,
+            o.victim_mean_rank
+        );
+    }
+    println!();
+    println!("reading the table: 'feat. match' is how much of the feature distance to the");
+    println!("victim the attack removed. Rank only moves by the *visual* share of the");
+    println!("victim's advantage — the victim's collaborative parameters (item bias, latent");
+    println!("factors) cannot be stolen through the image, which bounds this fine-grained");
+    println!("attack exactly as the paper's future-work discussion anticipates. At tiny");
+    println!("scale the visual pathway is weak; run with TAAMR_SCALE=medium to see a");
+    println!("meaningful pull toward the victim's rank.");
+}

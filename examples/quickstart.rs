@@ -1,0 +1,58 @@
+//! Quickstart: build the whole TAaMR system at test scale and run one
+//! targeted attack, printing each stage's key numbers.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
+use taamr_attack::{Epsilon, Pgd};
+
+fn main() {
+    // 1. Build everything: synthetic data, CNN, catalog, features, VBPR, AMR.
+    //    Tiny scale keeps this to a couple of seconds.
+    let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
+    println!("building pipeline ({} users requested)…", config.dataset.num_users);
+    let mut pipeline = Pipeline::build(&config);
+
+    let stats = pipeline.dataset().stats(&config.dataset.name);
+    println!("dataset: {stats}");
+    println!(
+        "CNN: train accuracy {:.1}%, holdout accuracy {:.1}%",
+        pipeline.cnn_train_accuracy() * 100.0,
+        pipeline.cnn_holdout_accuracy() * 100.0
+    );
+
+    // 2. Baseline Category Hit Ratios: which categories dominate the top-N?
+    let chr = pipeline.chr_per_category(pipeline.model(ModelKind::Vbpr));
+    println!("\nbaseline CHR@{} per category (×100):", config.chr_n);
+    for (c, v) in chr.iter().enumerate() {
+        let name = taamr_vision::Category::from_id(c).map(|c| c.name()).unwrap_or("?");
+        println!("  {name:<16} {v:>7.3}");
+    }
+
+    // 3. Pick the paper's scenario (low-CHR source → high-CHR target) and
+    //    attack the source category's images with PGD at ε = 8.
+    let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
+    let scenario = similar.or(dissimilar).expect("a scenario exists");
+    println!("\nattack scenario: {scenario}");
+    let attack = Pgd::new(Epsilon::from_255(8.0));
+    let outcome = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario);
+    println!(
+        "{} {}: attacked {} items, success rate {:.1}%",
+        outcome.attack,
+        Epsilon::from_255(outcome.epsilon_255),
+        outcome.attacked_items,
+        outcome.success_rate * 100.0
+    );
+    println!(
+        "CHR@{} of {}: {:.3} → {:.3}",
+        config.chr_n, outcome.source, outcome.chr_source_before, outcome.chr_source_after
+    );
+    println!(
+        "visual quality: PSNR {:.1} dB, SSIM {:.4}, PSM {:.4}",
+        outcome.visual.psnr, outcome.visual.ssim, outcome.visual.psm
+    );
+}

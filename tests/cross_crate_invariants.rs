@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: invariants that only hold when the
+//! substrates agree with each other (shapes, layouts, metric conventions).
+
+use std::collections::HashSet;
+
+use taamr::{extract_features, CatalogImages};
+use taamr_data::{leave_one_out, SyntheticConfig, SyntheticDataset};
+use taamr_metrics::chr::category_hit_ratio_all;
+use taamr_metrics::image::{psnr, ssim};
+use taamr_metrics::ranking::{hit_ratio, ndcg, pairwise_auc};
+use taamr_metrics::{category_hit_ratio, psm};
+use taamr_nn::{ImageClassifier, TinyResNet, TinyResNetConfig};
+use taamr_recsys::{BprMf, PairwiseConfig, PairwiseTrainer, Recommender, Vbpr, VbprConfig};
+use taamr_tensor::seeded_rng;
+use taamr_vision::{images_to_tensor, tensor_to_images, Category, ProductImageGenerator};
+
+#[test]
+fn image_tensor_layout_matches_cnn_expectations() {
+    // A pixel written through the Image API must land at the NCHW position
+    // the CNN reads: channel-major, row, column.
+    let mut img = taamr_vision::Image::new(16);
+    img.set_pixel(2, 5, 7, 0.9); // blue channel
+    let batch = images_to_tensor(&[img]);
+    assert_eq!(batch.at(&[0, 2, 5, 7]), 0.9);
+    assert_eq!(batch.at(&[0, 0, 5, 7]), 0.0);
+    // And back.
+    let round = tensor_to_images(&batch).unwrap();
+    assert_eq!(round[0].pixel(2, 5, 7), 0.9);
+}
+
+#[test]
+fn extracted_features_slot_into_vbpr_rows() {
+    // Feature row i of the extraction matrix must be exactly what VBPR
+    // stores and returns for item i.
+    let gen = ProductImageGenerator::new(16, 5);
+    let dataset = taamr_data::ImplicitDataset::new(
+        vec![vec![0, 1, 2, 3, 4]],
+        vec![0, 1, 2, 3, 4],
+        Category::COUNT,
+    );
+    let catalog = CatalogImages::render(&dataset, &gen);
+    let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(Category::COUNT), &mut seeded_rng(0));
+    let features = extract_features(&mut net, catalog.images(), 2);
+    let d = net.feature_dim();
+    let vbpr = Vbpr::new(
+        1,
+        dataset.num_items(),
+        d,
+        features.clone(),
+        VbprConfig::default(),
+        &mut seeded_rng(1),
+    );
+    use taamr_recsys::VisualRecommender;
+    for i in 0..dataset.num_items() {
+        assert_eq!(vbpr.item_feature(i), &features[i * d..(i + 1) * d]);
+    }
+}
+
+#[test]
+fn chr_definition_matches_manual_count() {
+    // CHR from the metrics crate must equal a hand-rolled count over the
+    // same lists — guards against off-by-N denominators.
+    let lists = vec![vec![0, 5, 9], vec![1, 5, 7], vec![2, 3, 4]];
+    let cats = vec![0, 1, 1, 1, 0, 2, 0, 2, 0, 2];
+    let per_cat = category_hit_ratio_all(&lists, &cats, 3, 3);
+    for c in 0..3 {
+        let set: HashSet<usize> =
+            cats.iter().enumerate().filter(|(_, &cc)| cc == c).map(|(i, _)| i).collect();
+        let manual = category_hit_ratio(&lists, &set, 3);
+        assert!((per_cat[c] - manual).abs() < 1e-12);
+        let hand: usize =
+            lists.iter().map(|l| l.iter().filter(|i| set.contains(i)).count()).sum();
+        assert!((manual - hand as f64 / 9.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn trained_bpr_beats_random_on_held_out_items() {
+    // Dataset → split → train → evaluate: the whole collaborative path.
+    let generated = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
+    let mut rng = seeded_rng(2);
+    let split = leave_one_out(&generated.dataset, &mut rng);
+    let mut model =
+        BprMf::new(split.train.num_users(), split.train.num_items(), 16, &mut rng);
+    let trainer = PairwiseTrainer::new(PairwiseConfig {
+        epochs: 30,
+        triplets_per_epoch: None,
+        lr: 0.05,
+    });
+    trainer.fit(&mut model, &split.train, &mut rng);
+
+    // AUC of held-out items vs random negatives must beat chance clearly.
+    let pairs: Vec<(f32, Vec<f32>)> = split
+        .test
+        .iter()
+        .map(|&(u, i)| {
+            let negs: Vec<f32> = (0..20)
+                .map(|k| (u * 31 + k * 17) % split.train.num_items())
+                .filter(|&j| !generated.dataset.has_interaction(u, j))
+                .map(|j| model.score(u, j))
+                .collect();
+            (model.score(u, i), negs)
+        })
+        .collect();
+    let auc = pairwise_auc(&pairs);
+    assert!(auc > 0.6, "trained BPR AUC {auc} barely beats chance");
+
+    // Ranking metrics agree directionally with AUC.
+    let lists: Vec<Vec<usize>> = split
+        .test
+        .iter()
+        .map(|&(u, _)| model.top_n(u, 50, split.train.user_items(u)))
+        .collect();
+    let held: Vec<usize> = split.test.iter().map(|&(_, i)| i).collect();
+    let hr = hit_ratio(&lists, &held);
+    let nd = ndcg(&lists, &held);
+    assert!(hr > 0.0, "HR@50 is zero after training");
+    assert!(nd <= hr, "NDCG cannot exceed HR for single-relevant lists");
+}
+
+#[test]
+fn visual_metrics_agree_on_perturbation_ordering() {
+    // A bigger l∞ perturbation of the same image must not look *better*
+    // under any of the three metrics.
+    let gen = ProductImageGenerator::new(32, 9);
+    let clean = gen.generate(Category::Handbag, 1);
+    let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(Category::COUNT), &mut seeded_rng(3));
+    let f_clean = extract_features(&mut net, &[clean.clone()], 1);
+
+    let perturbed = |eps: f32| -> taamr_vision::Image {
+        let mut img = clean.clone();
+        for (k, v) in img.as_mut_slice().iter_mut().enumerate() {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            *v = (*v + sign * eps).clamp(0.0, 1.0);
+        }
+        img
+    };
+    let small = perturbed(2.0 / 255.0);
+    let large = perturbed(16.0 / 255.0);
+    assert!(psnr(&clean, &small).unwrap() > psnr(&clean, &large).unwrap());
+    assert!(ssim(&clean, &small).unwrap() > ssim(&clean, &large).unwrap());
+    let f_small = extract_features(&mut net, &[small], 1);
+    let f_large = extract_features(&mut net, &[large], 1);
+    assert!(psm(&f_clean, &f_small).unwrap() <= psm(&f_clean, &f_large).unwrap());
+}
+
+#[test]
+fn category_labels_flow_intact_from_data_to_vision() {
+    // Every category id the data generator assigns must map to a vision
+    // Category, and the rendered image must be that category's render.
+    let generated = SyntheticDataset::generate(&SyntheticConfig::amazon_men_like());
+    let gen = ProductImageGenerator::new(16, 11);
+    for i in (0..generated.dataset.num_items()).step_by(503) {
+        let cat_id = generated.dataset.item_category(i);
+        let cat = Category::from_id(cat_id).expect("category maps to vision");
+        let img = gen.generate(cat, i as u64);
+        assert_eq!(img.height(), 16);
+    }
+}
