@@ -1,0 +1,221 @@
+//! Parallel per-item attack execution.
+//!
+//! The pipeline attacks every item of a source category independently: each
+//! item has its own image, its own RNG seed, and a result that must not
+//! depend on any other item. [`par_attack_batch`] exploits exactly that
+//! independence — items are split into chunks, each chunk runs on a worker
+//! thread with its own model clone, and *within* a chunk every item is still
+//! attacked as a batch of one with its own seed. Chunk size and thread count
+//! are therefore pure scheduling knobs: the output is bitwise identical to a
+//! serial per-item loop.
+
+use rayon::prelude::*;
+use taamr_nn::ImageClassifier;
+use taamr_tensor::Tensor;
+
+use crate::{AdversarialBatch, Attack, AttackGoal};
+
+/// Derives the RNG seed for one attacked item from the experiment's master
+/// seed: `master ^ (item_id << 20)`.
+///
+/// The shift keeps small item ids out of the master seed's low bits;
+/// `StdRng`'s SplitMix64 seeding then disperses the XOR-combined word, so
+/// neighbouring items draw unrelated streams.
+pub fn item_seed(master_seed: u64, item_id: u64) -> u64 {
+    master_seed ^ item_id.wrapping_shl(20)
+}
+
+/// Attacks every image row of `images` independently, in parallel.
+///
+/// Item `i` is perturbed as a single-image batch with
+/// [`Attack::perturb_seeded`] and `item_seeds[i]`, so its result depends
+/// only on `(model, image, goal, seed)`. `chunk_size` controls how many
+/// items a worker handles per model clone; it does not affect the output.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank 4, `item_seeds` does not hold one seed
+/// per image, or `chunk_size` is zero.
+pub fn par_attack_batch<M>(
+    model: &M,
+    attack: &dyn Attack,
+    images: &Tensor,
+    goal: AttackGoal,
+    item_seeds: &[u64],
+    chunk_size: usize,
+) -> AdversarialBatch
+where
+    M: ImageClassifier + Clone + Send + Sync + 'static,
+{
+    assert_eq!(images.rank(), 4, "par_attack_batch expects NCHW images");
+    let n = images.dims()[0];
+    assert_eq!(item_seeds.len(), n, "one seed per attacked item required");
+    assert!(chunk_size > 0, "chunk size must be positive");
+
+    let sample_dims = {
+        let mut d = images.dims().to_vec();
+        d[0] = 1;
+        d
+    };
+    let sample_len: usize = sample_dims[1..].iter().product();
+    let src = images.as_slice();
+    let items: Vec<(Tensor, u64)> = (0..n)
+        .map(|i| {
+            let data = src[i * sample_len..(i + 1) * sample_len].to_vec();
+            let img = Tensor::from_vec(data, &sample_dims).expect("row shape is consistent");
+            (img, item_seeds[i])
+        })
+        .collect();
+
+    let per_item: Vec<AdversarialBatch> = items
+        .par_chunks(chunk_size)
+        .map_init(
+            || model.clone(),
+            |m, chunk| {
+                chunk
+                    .iter()
+                    .map(|(img, seed)| {
+                        attack.perturb_seeded(m as &mut dyn ImageClassifier, img, goal, *seed)
+                    })
+                    .collect::<Vec<AdversarialBatch>>()
+            },
+        )
+        .collect::<Vec<Vec<AdversarialBatch>>>()
+        .concat();
+
+    let mut data = Vec::with_capacity(n * sample_len);
+    let mut predictions = Vec::with_capacity(n);
+    let mut success = Vec::with_capacity(n);
+    for item in per_item {
+        data.extend_from_slice(item.images.as_slice());
+        predictions.extend(item.predictions);
+        success.extend(item.success);
+    }
+    AdversarialBatch {
+        images: Tensor::from_vec(data, images.dims()).expect("rows reassemble to input shape"),
+        predictions,
+        success,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bim, Epsilon, Fgsm, Pgd};
+    use taamr_nn::{TinyResNet, TinyResNetConfig};
+    use taamr_tensor::seeded_rng;
+
+    fn setup(n: usize) -> (TinyResNet, Tensor, Vec<u64>) {
+        let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
+        let x = Tensor::rand_uniform(&[n, 3, 16, 16], 0.05, 0.95, &mut seeded_rng(1));
+        let seeds: Vec<u64> = (0..n as u64).map(|i| item_seed(12345, i)).collect();
+        (net, x, seeds)
+    }
+
+    /// Reference implementation: the serial per-item loop the parallel path
+    /// must reproduce exactly.
+    fn serial_per_item(
+        net: &TinyResNet,
+        attack: &dyn Attack,
+        images: &Tensor,
+        goal: AttackGoal,
+        seeds: &[u64],
+    ) -> AdversarialBatch {
+        let mut m = net.clone();
+        let n = images.dims()[0];
+        let sample_len: usize = images.dims()[1..].iter().product();
+        let mut dims = images.dims().to_vec();
+        dims[0] = 1;
+        let mut data = Vec::new();
+        let mut predictions = Vec::new();
+        let mut success = Vec::new();
+        for i in 0..n {
+            let row = images.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec();
+            let img = Tensor::from_vec(row, &dims).unwrap();
+            let out = attack.perturb_seeded(&mut m, &img, goal, seeds[i]);
+            data.extend_from_slice(out.images.as_slice());
+            predictions.extend(out.predictions);
+            success.extend(out.success);
+        }
+        AdversarialBatch {
+            images: Tensor::from_vec(data, images.dims()).unwrap(),
+            predictions,
+            success,
+        }
+    }
+
+    #[test]
+    fn matches_serial_loop_for_every_attack() {
+        let (net, x, seeds) = setup(5);
+        let goal = AttackGoal::Targeted(2);
+        let eps = Epsilon::from_255(8.0);
+        let attacks: [&dyn Attack; 3] =
+            [&Fgsm::new(eps), &Bim::new(eps, 3), &Pgd::with_steps(eps, 3)];
+        for attack in attacks {
+            let reference = serial_per_item(&net, attack, &x, goal, &seeds);
+            for threads in [1usize, 2, 8] {
+                let par = rayon::with_threads(threads, || {
+                    par_attack_batch(&net, attack, &x, goal, &seeds, 2)
+                });
+                assert_eq!(par.images, reference.images, "{} x{threads}", attack.name());
+                assert_eq!(par.predictions, reference.predictions);
+                assert_eq!(par.success, reference.success);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_results() {
+        let (net, x, seeds) = setup(6);
+        let goal = AttackGoal::Targeted(1);
+        let attack = Pgd::with_steps(Epsilon::from_255(8.0), 3);
+        let a = par_attack_batch(&net, &attack, &x, goal, &seeds, 1);
+        let b = par_attack_batch(&net, &attack, &x, goal, &seeds, 4);
+        let c = par_attack_batch(&net, &attack, &x, goal, &seeds, 100);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn respects_epsilon_under_concurrency() {
+        let (net, x, seeds) = setup(6);
+        for eps in Epsilon::paper_sweep() {
+            let attack = Pgd::with_steps(eps, 4);
+            let adv = rayon::with_threads(8, || {
+                par_attack_batch(&net, &attack, &x, AttackGoal::Targeted(0), &seeds, 2)
+            });
+            assert!(
+                adv.linf_distance(&x) <= eps.as_fraction() + 1e-6,
+                "l∞ budget violated at {eps}"
+            );
+            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn seeds_matter_per_item() {
+        let (net, x, seeds) = setup(3);
+        let goal = AttackGoal::Targeted(2);
+        let attack = Pgd::with_steps(Epsilon::from_255(16.0), 2);
+        let a = par_attack_batch(&net, &attack, &x, goal, &seeds, 2);
+        let other: Vec<u64> = seeds.iter().map(|s| s ^ 0xdead_beef).collect();
+        let b = par_attack_batch(&net, &attack, &x, goal, &other, 2);
+        assert_ne!(a.images, b.images, "PGD random starts should differ across seeds");
+    }
+
+    #[test]
+    fn item_seed_is_injective_over_small_ids() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(item_seed(42, i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per attacked item")]
+    fn rejects_seed_count_mismatch() {
+        let (net, x, _) = setup(3);
+        let attack = Fgsm::new(Epsilon::from_255(4.0));
+        par_attack_batch(&net, &attack, &x, AttackGoal::Targeted(0), &[1, 2], 2);
+    }
+}

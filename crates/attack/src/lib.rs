@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 mod bim;
 pub mod defense;
 mod feature_match;
@@ -40,6 +41,7 @@ mod fgsm;
 mod pgd;
 mod types;
 
+pub use batch::{item_seed, par_attack_batch};
 pub use bim::Bim;
 pub use defense::{adversarial_finetune, AdversarialTrainingConfig};
 pub use feature_match::{FeatureMatch, FeatureMatchResult};
@@ -48,6 +50,7 @@ pub use pgd::Pgd;
 pub use types::{AdversarialBatch, AttackGoal, Epsilon};
 
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
 
@@ -55,7 +58,10 @@ use taamr_tensor::Tensor;
 ///
 /// Implementations perturb every image in the NCHW batch toward (targeted)
 /// or away from (untargeted) the goal class, subject to the `l∞` budget.
-pub trait Attack {
+///
+/// Attacks are `Sync` (plain configuration structs), so one instance can be
+/// shared by every worker thread of [`par_attack_batch`].
+pub trait Attack: Sync {
     /// Short attack name for reports ("FGSM", "PGD", …).
     fn name(&self) -> &'static str;
 
@@ -75,6 +81,22 @@ pub trait Attack {
         goal: AttackGoal,
         rng: &mut StdRng,
     ) -> AdversarialBatch;
+
+    /// [`Attack::perturb`] with a fresh RNG seeded from `seed`.
+    ///
+    /// This is the unit of reproducibility for parallel attacks: a result
+    /// depends only on `(model, images, goal, seed)`, never on which thread
+    /// ran it or what was attacked before.
+    fn perturb_seeded(
+        &self,
+        model: &mut dyn ImageClassifier,
+        images: &Tensor,
+        goal: AttackGoal,
+        seed: u64,
+    ) -> AdversarialBatch {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.perturb(model, images, goal, &mut rng)
+    }
 }
 
 /// Shared post-processing: clamp to the ε-ball around `clean` and to the

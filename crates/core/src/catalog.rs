@@ -1,5 +1,6 @@
 //! Item-image rendering and CNN feature extraction.
 
+use rayon::prelude::*;
 use taamr_data::ImplicitDataset;
 use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
@@ -73,27 +74,34 @@ impl CatalogImages {
 
 /// Extracts layer-`e` features for a list of images, in mini-batches.
 ///
-/// Returns a row-major `images.len() × feature_dim` matrix.
+/// Returns a row-major `images.len() × feature_dim` matrix. Mini-batches
+/// run on worker threads, each on its own model clone; eval-mode forwards
+/// never mix batch rows, so the result is bitwise identical to a serial
+/// pass for every thread count.
 ///
 /// # Panics
 ///
 /// Panics if `images` is empty or `batch_size` is zero.
-pub fn extract_features(
-    model: &mut dyn ImageClassifier,
-    images: &[Image],
-    batch_size: usize,
-) -> Vec<f32> {
+pub fn extract_features<M>(model: &M, images: &[Image], batch_size: usize) -> Vec<f32>
+where
+    M: ImageClassifier + Clone + Send + Sync,
+{
     assert!(!images.is_empty(), "cannot extract features of zero images");
     assert!(batch_size > 0, "batch size must be positive");
     let d = model.feature_dim();
-    let mut out = Vec::with_capacity(images.len() * d);
-    for chunk in images.chunks(batch_size) {
-        let batch = images_to_tensor(chunk);
-        let features = model.features(&batch);
-        debug_assert_eq!(features.dims(), &[chunk.len(), d]);
-        out.extend_from_slice(features.as_slice());
-    }
-    out
+    images
+        .par_chunks(batch_size)
+        .map_init(
+            || model.clone(),
+            |m, chunk| {
+                let batch = images_to_tensor(chunk);
+                let features = m.features(&batch);
+                debug_assert_eq!(features.dims(), &[chunk.len(), d]);
+                features.into_vec()
+            },
+        )
+        .collect::<Vec<Vec<f32>>>()
+        .concat()
 }
 
 /// L2-normalises each row of a row-major `rows × d` feature matrix in place.

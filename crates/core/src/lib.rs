@@ -41,6 +41,7 @@
 mod catalog;
 mod config;
 pub mod experiment;
+pub mod parallel;
 mod pipeline;
 mod report;
 mod scenario;

@@ -1,0 +1,74 @@
+//! Thread-pool configuration and the reproduction's determinism contract.
+//!
+//! # Parallelism without losing bitwise reproducibility
+//!
+//! Every parallel path in the stack is *deterministic by construction*: work
+//! is split into contiguous, disjoint pieces whose per-element floating-point
+//! accumulation order never depends on the split, and results are collected
+//! back in input order. Concretely:
+//!
+//! * **Tensor kernels** — GEMM fans out over output-row blocks (each output
+//!   element's reduction over `k` is computed by one thread in a fixed
+//!   order); `im2col`/`col2im` fan out over disjoint output regions.
+//! * **Inference** — eval-mode forward passes never mix batch rows (batch
+//!   norm applies frozen running statistics), so batches split into
+//!   sub-batches that run on model clones.
+//! * **Attacks** — every attacked item draws its own RNG stream from a seed
+//!   derived as `master ^ (item_id << 20)` ([`item_seed`]), so
+//!   [`par_attack_batch`] returns the same bytes as a serial per-item loop
+//!   regardless of chunking or thread count.
+//! * **Metrics** — per-user hit counts and ranks are integers; parallel maps
+//!   collect in user order and reduce serially, which is exact.
+//!
+//! Floating-point *reductions* are never parallelised: sums stay serial (or
+//! integer), so no result depends on reduction order.
+//!
+//! # Choosing the thread count
+//!
+//! Resolution order, strongest first:
+//!
+//! 1. the `serial` cargo feature pins everything to one thread
+//!    (`cargo run --features serial`);
+//! 2. a [`with_threads`] scope overrides the count for its closure
+//!    (innermost scope wins — this is what the determinism tests use);
+//! 3. the `TAAMR_THREADS` environment variable;
+//! 4. the `RAYON_NUM_THREADS` environment variable;
+//! 5. the machine's available parallelism.
+//!
+//! Because every parallel path is bit-reproducible, these knobs only change
+//! wall-clock time, never results.
+
+pub use rayon::{current_num_threads, serial_feature_enabled, with_threads};
+pub use taamr_attack::{item_seed, par_attack_batch};
+pub use taamr_nn::parallel::{batch_chunks, par_features, par_predict};
+pub use taamr_recsys::par_top_n_all;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = current_num_threads();
+        let inside = with_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), ambient);
+    }
+
+    #[test]
+    fn nested_overrides_innermost_wins() {
+        let (outer, inner) = with_threads(4, || {
+            let inner = with_threads(2, current_num_threads);
+            (current_num_threads(), inner)
+        });
+        assert_eq!(outer, 4);
+        assert_eq!(inner, 2);
+    }
+
+    #[test]
+    fn serial_feature_forces_one_thread() {
+        if serial_feature_enabled() {
+            assert_eq!(current_num_threads(), 1);
+        }
+    }
+}

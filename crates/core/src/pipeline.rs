@@ -2,18 +2,24 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use taamr_attack::{Attack, AttackGoal, Epsilon, FeatureMatch, Fgsm, Pgd};
+use taamr_attack::{
+    item_seed, par_attack_batch, AdversarialBatch, Attack, AttackGoal, Epsilon, FeatureMatch,
+    Fgsm, Pgd,
+};
 use taamr_data::{ImplicitDataset, SyntheticDataset};
 use taamr_metrics::chr::category_hit_ratio_all;
 use taamr_metrics::image::{psnr, ssim};
 use taamr_metrics::psm;
+use taamr_nn::parallel::{par_features, par_predict};
 use taamr_nn::{
     ImageClassifier, LrSchedule, SgdConfig, TinyResNet, TinyResNetConfig, Trainer, TrainerConfig,
 };
 use taamr_recsys::{
-    Amr, PairwiseConfig, PairwiseTrainer, Recommender, Vbpr, VisualRecommender,
+    par_top_n_all, Amr, PairwiseConfig, PairwiseTrainer, Recommender, Vbpr, VisualRecommender,
 };
+use taamr_tensor::Tensor;
 use taamr_vision::{tensor_to_images, Category, ProductImageGenerator};
 
 use crate::catalog::{extract_features, l2_normalize_rows, render_training_set, CatalogImages};
@@ -164,21 +170,17 @@ impl Pipeline {
 
         // 3. Render the catalog and extract clean features.
         let catalog = CatalogImages::render(dataset, &generator);
-        let features = extract_features(&mut classifier, catalog.images(), 16);
+        let features = extract_features(&classifier, catalog.images(), 16);
         // Hold-out accuracy: how often the classifier assigns catalog items
         // to their generating category (these renders were never trained on).
         let cnn_holdout_accuracy = {
-            let mut correct = 0usize;
-            for chunk_start in (0..dataset.num_items()).step_by(64) {
-                let end = (chunk_start + 64).min(dataset.num_items());
-                let items: Vec<usize> = (chunk_start..end).collect();
-                let preds = classifier.predict(&catalog.batch(&items));
-                correct += preds
-                    .iter()
-                    .zip(&items)
-                    .filter(|(p, &i)| **p == dataset.item_category(i))
-                    .count();
-            }
+            let all_images = taamr_vision::images_to_tensor(catalog.images());
+            let preds = par_predict(&classifier, &all_images, 64);
+            let correct = preds
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| **p == dataset.item_category(*i))
+                .count();
             correct as f32 / dataset.num_items() as f32
         };
 
@@ -293,12 +295,11 @@ impl Pipeline {
     }
 
     /// Top-`chr_n` recommendation lists for every user under `model`,
-    /// excluding each user's consumed items.
+    /// excluding each user's consumed items. Users are ranked concurrently;
+    /// the lists are identical to a serial per-user loop.
     pub fn top_n_lists(&self, model: &dyn Recommender) -> Vec<Vec<usize>> {
         let dataset = self.dataset();
-        (0..dataset.num_users())
-            .map(|u| model.top_n(u, self.config.chr_n, dataset.user_items(u)))
-            .collect()
+        par_top_n_all(model, self.config.chr_n, |u| dataset.user_items(u))
     }
 
     /// Per-category CHR@N (×100, as the paper reports it) under `model`.
@@ -347,37 +348,43 @@ impl Pipeline {
         // Baseline CHR (before swapping features).
         let chr_before = self.chr_per_category(self.model(kind));
 
-        // Attack all selected item images in mini-batches.
-        let mut rng = StdRng::seed_from_u64(
-            self.config.seed ^ (source_id as u64) << 8 ^ (target_id as u64) << 16,
-        );
+        // Attack every selected item concurrently. Each item draws its own
+        // RNG stream from a seed combining the experiment seed, the scenario
+        // and the item id, so the outcome is bitwise independent of chunking
+        // and thread count.
         let goal = AttackGoal::Targeted(target_id);
-        let mut successes = 0usize;
-        let mut quality_acc = QualityAccumulator::default();
         let d = self.classifier.feature_dim();
-        let mut attacked_features: Vec<f32> = Vec::with_capacity(items.len() * d);
-
-        for chunk in items.chunks(16) {
-            let clean = self.catalog.batch(chunk);
-            let adv = attack.perturb(&mut self.classifier, &clean, goal, &mut rng);
-            successes += adv.success.iter().filter(|&&s| s).count();
-            // Features of the attacked images.
-            let feats = self.classifier.features(&adv.images);
-            attacked_features.extend_from_slice(feats.as_slice());
-            // Visual metrics per image.
-            let adv_images = tensor_to_images(&adv.images)
-                .expect("attack preserves the NCHW image shape");
-            for (bi, &item) in chunk.iter().enumerate() {
+        let master = self.config.seed ^ (source_id as u64) << 8 ^ (target_id as u64) << 16;
+        let item_seeds: Vec<u64> =
+            items.iter().map(|&item| item_seed(master, item as u64)).collect();
+        let clean = self.catalog.batch(&items);
+        let adv = par_attack_batch(&self.classifier, attack, &clean, goal, &item_seeds, 8);
+        let successes = adv.success.iter().filter(|&&s| s).count();
+        // Features of the attacked images.
+        let attacked_features: Vec<f32> =
+            par_features(&self.classifier, &adv.images, 16).into_vec();
+        // Visual metrics, one independent job per image, collected in item
+        // order and reduced serially.
+        let adv_images =
+            tensor_to_images(&adv.images).expect("attack preserves the NCHW image shape");
+        let qualities: Vec<(f64, f64, f64)> = (0..items.len())
+            .into_par_iter()
+            .map(|k| {
+                let item = items[k];
                 let clean_img = self.catalog.image(item);
-                let adv_img = &adv_images[bi];
+                let adv_img = &adv_images[k];
                 let f_clean = &self.features[item * d..(item + 1) * d];
-                let f_adv = &feats.as_slice()[bi * d..(bi + 1) * d];
-                quality_acc.add(
+                let f_adv = &attacked_features[k * d..(k + 1) * d];
+                (
                     psnr(clean_img, adv_img).expect("same sizes"),
                     ssim(clean_img, adv_img).expect("same sizes"),
                     psm(f_clean, f_adv).expect("same dims"),
-                );
-            }
+                )
+            })
+            .collect();
+        let mut quality_acc = QualityAccumulator::default();
+        for (p, s, m) in qualities {
+            quality_acc.add(p, s, m);
         }
 
         // Re-rank with swapped features on a scratch copy of the model. The
@@ -480,34 +487,31 @@ impl Pipeline {
         let items = self.dataset().items_of_category(scenario.source.id());
         assert!(!items.is_empty(), "source category has no items");
         let pgd = Pgd::new(eps);
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF16);
+        let goal = AttackGoal::Targeted(scenario.target.id());
         // The paper's figure showcases a *successful* attack ("a real
-        // example generated during the experimented attack"), so scan the
-        // category for the first item PGD actually flips to the target;
-        // fall back to the first item if none flips at this ε.
-        let mut chosen = (items[0], {
-            let clean = self.catalog.batch(&[items[0]]);
-            pgd.perturb(
-                &mut self.classifier,
-                &clean,
-                AttackGoal::Targeted(scenario.target.id()),
-                &mut rng,
+        // example generated during the experimented attack"), so attack the
+        // first 32 candidates concurrently — each with its own derived seed —
+        // and keep the first one PGD actually flips to the target; fall back
+        // to the first item if none flips at this ε.
+        let candidates: Vec<usize> = items.iter().take(32).copied().collect();
+        let master = self.config.seed ^ 0xF16;
+        let seeds: Vec<u64> =
+            candidates.iter().map(|&c| item_seed(master, c as u64)).collect();
+        let batch = self.catalog.batch(&candidates);
+        let all = par_attack_batch(&self.classifier, &pgd, &batch, goal, &seeds, 4);
+        let k = all.success.iter().position(|&s| s).unwrap_or(0);
+        let item = candidates[k];
+        let sample_dims = [1, batch.dims()[1], batch.dims()[2], batch.dims()[3]];
+        let sample_len: usize = sample_dims[1..].iter().product();
+        let adv = AdversarialBatch {
+            images: Tensor::from_vec(
+                all.images.as_slice()[k * sample_len..(k + 1) * sample_len].to_vec(),
+                &sample_dims,
             )
-        });
-        for &candidate in items.iter().take(32) {
-            let clean = self.catalog.batch(&[candidate]);
-            let attempt = pgd.perturb(
-                &mut self.classifier,
-                &clean,
-                AttackGoal::Targeted(scenario.target.id()),
-                &mut rng,
-            );
-            if attempt.success[0] {
-                chosen = (candidate, attempt);
-                break;
-            }
-        }
-        let (item, adv) = chosen;
+            .expect("row shape is consistent"),
+            predictions: vec![all.predictions[k]],
+            success: vec![all.success[k]],
+        };
         let clean = self.catalog.batch(&[item]);
 
         let p_clean = self.classifier.probabilities(&clean);
@@ -520,19 +524,21 @@ impl Pipeline {
         // paper's single-user "rec. position".
         let rank_stats = |model: &dyn Recommender| -> (f64, usize) {
             let dataset = self.dataset();
+            // Rank users concurrently, then reduce the integer ranks
+            // serially (exact, order-independent sums).
+            let ranks: Vec<Option<usize>> = (0..dataset.num_users())
+                .into_par_iter()
+                .map(|u| {
+                    taamr_recsys::item_rank(&model.score_all(u), item, dataset.user_items(u))
+                })
+                .collect();
             let mut total = 0usize;
             let mut counted = 0usize;
             let mut best = usize::MAX;
-            for u in 0..dataset.num_users() {
-                if let Some(r) = taamr_recsys::item_rank(
-                    &model.score_all(u),
-                    item,
-                    dataset.user_items(u),
-                ) {
-                    total += r;
-                    counted += 1;
-                    best = best.min(r);
-                }
+            for r in ranks.into_iter().flatten() {
+                total += r;
+                counted += 1;
+                best = best.min(r);
             }
             (total as f64 / counted.max(1) as f64, if best == usize::MAX { 0 } else { best })
         };
@@ -605,18 +611,16 @@ impl Pipeline {
 
         let mean_rank = |model: &dyn Recommender, item: usize| -> f64 {
             let dataset = self.dataset();
-            let mut total = 0usize;
-            let mut counted = 0usize;
-            for u in 0..dataset.num_users() {
-                if let Some(r) = taamr_recsys::item_rank(
-                    &model.score_all(u),
-                    item,
-                    dataset.user_items(u),
-                ) {
-                    total += r;
-                    counted += 1;
-                }
-            }
+            let ranks: Vec<Option<usize>> = (0..dataset.num_users())
+                .into_par_iter()
+                .map(|u| {
+                    taamr_recsys::item_rank(&model.score_all(u), item, dataset.user_items(u))
+                })
+                .collect();
+            let (total, counted) = ranks
+                .into_iter()
+                .flatten()
+                .fold((0usize, 0usize), |(t, c), r| (t + r, c + 1));
             total as f64 / counted.max(1) as f64
         };
         let rank_before = mean_rank(self.model(kind), source_item);

@@ -1,4 +1,13 @@
 //! Category Hit Ratio (the paper's Definition 5).
+//!
+//! Hit counting fans out over chunks of user lists; the per-chunk counts are
+//! integers, so summing them is exact and the result is identical for every
+//! thread count.
+
+use rayon::prelude::*;
+
+/// Minimum number of user lists before hit counting fans out across threads.
+const PAR_MIN_USERS: usize = 256;
 
 /// Computes `CHR@N` for one category.
 ///
@@ -40,11 +49,20 @@ pub fn category_hit_ratio(
 ) -> f64 {
     assert!(n > 0, "N must be positive");
     assert!(!top_n_lists.is_empty(), "need at least one user list");
-    let mut hits = 0usize;
-    for list in top_n_lists {
-        assert!(list.len() <= n, "a top-{n} list has {} entries", list.len());
-        hits += list.iter().filter(|i| category_items.contains(i)).count();
-    }
+    let count_chunk = |chunk: &[Vec<usize>]| -> usize {
+        chunk
+            .iter()
+            .map(|list| {
+                assert!(list.len() <= n, "a top-{n} list has {} entries", list.len());
+                list.iter().filter(|i| category_items.contains(i)).count()
+            })
+            .sum()
+    };
+    let hits: usize = if use_threads(top_n_lists.len()) {
+        par_chunk_counts(top_n_lists, &count_chunk).into_iter().sum()
+    } else {
+        count_chunk(top_n_lists)
+    };
     hits as f64 / (n as f64 * top_n_lists.len() as f64)
 }
 
@@ -65,17 +83,47 @@ pub fn category_hit_ratio_all(
 ) -> Vec<f64> {
     assert!(n > 0, "N must be positive");
     assert!(!top_n_lists.is_empty(), "need at least one user list");
-    let mut hits = vec![0usize; num_categories];
-    for list in top_n_lists {
-        assert!(list.len() <= n, "a top-{n} list has {} entries", list.len());
-        for &item in list {
-            let c = item_categories[item];
-            assert!(c < num_categories, "item {item} has out-of-range category {c}");
-            hits[c] += 1;
+    let count_chunk = |chunk: &[Vec<usize>]| -> Vec<usize> {
+        let mut hits = vec![0usize; num_categories];
+        for list in chunk {
+            assert!(list.len() <= n, "a top-{n} list has {} entries", list.len());
+            for &item in list {
+                let c = item_categories[item];
+                assert!(c < num_categories, "item {item} has out-of-range category {c}");
+                hits[c] += 1;
+            }
         }
-    }
+        hits
+    };
+    let hits: Vec<usize> = if use_threads(top_n_lists.len()) {
+        par_chunk_counts(top_n_lists, &count_chunk).into_iter().fold(
+            vec![0usize; num_categories],
+            |mut acc, part| {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    *a += p;
+                }
+                acc
+            },
+        )
+    } else {
+        count_chunk(top_n_lists)
+    };
     let denom = n as f64 * top_n_lists.len() as f64;
     hits.into_iter().map(|h| h as f64 / denom).collect()
+}
+
+fn use_threads(num_lists: usize) -> bool {
+    rayon::current_num_threads() > 1 && num_lists >= PAR_MIN_USERS
+}
+
+/// Runs `count` over contiguous chunks of user lists on worker threads,
+/// returning the per-chunk results in order.
+fn par_chunk_counts<T: Send>(
+    lists: &[Vec<usize>],
+    count: &(impl Fn(&[Vec<usize>]) -> T + Sync),
+) -> Vec<T> {
+    let chunk = lists.len().div_ceil(rayon::current_num_threads()).max(1);
+    lists.par_chunks(chunk).map(count).collect()
 }
 
 #[cfg(test)]
@@ -123,6 +171,24 @@ mod tests {
         let all = category_hit_ratio_all(&lists, &cats, 2, 2);
         let c1: HashSet<usize> = [1, 2].into_iter().collect();
         assert!((all[1] - category_hit_ratio(&lists, &c1, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_counts_match_serial_for_any_thread_count() {
+        // Enough users to cross the parallel threshold.
+        let lists: Vec<Vec<usize>> =
+            (0..600).map(|u| vec![u % 7, (u + 1) % 7, (u * 3) % 7]).collect();
+        let cats = vec![0, 0, 1, 1, 2, 2, 2];
+        let cat1: HashSet<usize> = [2, 3].into_iter().collect();
+        let serial_all = rayon::with_threads(1, || category_hit_ratio_all(&lists, &cats, 3, 3));
+        let serial_one = rayon::with_threads(1, || category_hit_ratio(&lists, &cat1, 3));
+        for threads in [2usize, 8] {
+            let (par_all, par_one) = rayon::with_threads(threads, || {
+                (category_hit_ratio_all(&lists, &cats, 3, 3), category_hit_ratio(&lists, &cat1, 3))
+            });
+            assert_eq!(par_all, serial_all, "thread count {threads}");
+            assert_eq!(par_one, serial_one, "thread count {threads}");
+        }
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod image;
 pub mod ranking;
 pub mod success;
 
-pub use chr::category_hit_ratio;
+pub use chr::{category_hit_ratio, category_hit_ratio_all};
 pub use image::{psm, psnr, ssim};
 pub use success::{targeted_success_rate, untargeted_success_rate};

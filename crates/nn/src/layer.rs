@@ -77,7 +77,11 @@ impl Param {
 /// * `backward` may only be called after `forward`.
 /// * Parameter gradients *accumulate*; callers zero them via
 ///   [`Layer::zero_grads`] between optimiser steps.
-pub trait Layer {
+///
+/// Layers are plain data (`Send + Sync`), and [`Layer::boxed_clone`] deep-
+/// copies one so each worker thread can own private forward/backward caches
+/// when a batch is evaluated in parallel.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `input`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
@@ -97,6 +101,10 @@ pub trait Layer {
 
     /// A short human-readable layer name for debugging.
     fn name(&self) -> &'static str;
+
+    /// Deep copy as a boxed trait object (parameters *and* caches), so a
+    /// worker thread can run forward/backward without touching the original.
+    fn boxed_clone(&self) -> Box<dyn Layer>;
 
     /// Zeroes all parameter gradients.
     fn zero_grads(&mut self) {

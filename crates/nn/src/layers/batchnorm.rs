@@ -10,7 +10,7 @@ use crate::{Layer, Mode, Param};
 /// exponential running statistics; in [`Mode::Eval`] it applies the frozen
 /// running statistics, making it a per-channel affine map (which is the mode
 /// adversarial attacks differentiate through).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -22,7 +22,7 @@ pub struct BatchNorm2d {
     cache: Option<Cache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
@@ -186,6 +186,10 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &'static str {
         "BatchNorm2d"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

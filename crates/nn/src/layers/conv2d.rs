@@ -10,7 +10,7 @@ use crate::{Layer, Mode, Param};
 /// The convolution is lowered to a matrix product via `im2col`. Weights are
 /// stored as an `OC × (C·KH·KW)` matrix plus an `OC` bias vector and are
 /// He-initialised.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
@@ -159,6 +159,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

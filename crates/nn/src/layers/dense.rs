@@ -8,7 +8,7 @@ use crate::{Layer, Mode, Param};
 /// A fully-connected layer: `y = x · Wᵀ + b` over `N × in` batches.
 ///
 /// Weights are stored `out × in` and Xavier-initialised.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     weight: Param,
     bias: Param,
@@ -96,6 +96,10 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "Dense"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -11,7 +11,7 @@ use crate::{Layer, Mode};
 /// The layer derives its per-forward mask from an internal counter and a
 /// seed, so training runs remain reproducible without threading an RNG
 /// through [`Layer::forward`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     seed: u64,
@@ -81,6 +81,10 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "Dropout"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -5,7 +5,7 @@ use taamr_tensor::Tensor;
 use crate::{Layer, Mode};
 
 /// Flattens `N × …` inputs to `N × (product of the rest)`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
     input_dims: Vec<usize>,
 }
@@ -35,6 +35,10 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "Flatten"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

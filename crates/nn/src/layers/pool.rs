@@ -7,7 +7,7 @@ use crate::{Layer, Mode};
 /// Non-overlapping max pooling over `window × window` tiles.
 ///
 /// The input spatial size must be divisible by the window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
     /// Flat source index of each output element's maximum.
@@ -87,13 +87,17 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Global average pooling: `N × C × H × W → N × C`.
 ///
 /// This is the paper's feature layer `e`: "the output of the global average
 /// pooling right after the convolutional part".
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GlobalAvgPool {
     input_dims: Vec<usize>,
 }
@@ -149,6 +153,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

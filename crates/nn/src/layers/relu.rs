@@ -5,7 +5,7 @@ use taamr_tensor::Tensor;
 use crate::{Layer, Mode};
 
 /// Elementwise `max(0, x)` with the standard subgradient (0 at 0).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReLU {
     mask: Option<Vec<bool>>,
     dims: Vec<usize>,
@@ -41,6 +41,10 @@ impl Layer for ReLU {
 
     fn name(&self) -> &'static str {
         "ReLU"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

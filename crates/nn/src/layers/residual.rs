@@ -11,7 +11,7 @@ use crate::{Layer, Mode, Param};
 /// When `stride > 1` or the channel count changes, the shortcut is a
 /// 1×1 strided convolution followed by batch-norm (projection shortcut);
 /// otherwise it is the identity.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResidualBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -119,6 +119,10 @@ impl Layer for ResidualBlock {
 
     fn name(&self) -> &'static str {
         "ResidualBlock"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

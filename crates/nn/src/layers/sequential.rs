@@ -10,6 +10,12 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential { layers: self.layers.iter().map(|l| l.boxed_clone()).collect() }
+    }
+}
+
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
@@ -69,6 +75,10 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "Sequential"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -39,6 +39,7 @@ mod distill;
 mod layer;
 pub mod layers;
 pub mod loss;
+pub mod parallel;
 mod optimizer;
 mod resnet;
 mod trainer;

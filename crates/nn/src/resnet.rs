@@ -73,7 +73,7 @@ impl TinyResNetConfig {
 /// assert_eq!(net.features(&x).dims(), &[1, net.feature_dim()]);
 /// assert_eq!(net.predict(&x).len(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TinyResNet {
     trunk: Sequential,
     head: Dense,

@@ -60,6 +60,12 @@ impl Trainer {
 
     /// Trains `net` on `(images, labels)` and returns per-epoch statistics.
     ///
+    /// Each optimiser step depends on the previous parameters and train-mode
+    /// batch norm couples the samples inside a batch, so `fit` keeps the
+    /// sample loop sequential and draws its parallelism from the tensor
+    /// kernels underneath (GEMM row blocks, the im2col lowering). Results
+    /// are therefore identical for every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `images` is not NCHW or `labels.len()` differs from the
@@ -121,6 +127,10 @@ impl Trainer {
 
     /// Accuracy of `net` on a held-out labelled set.
     ///
+    /// Batches are evaluated on worker threads (each on its own model
+    /// clone); predictions are bitwise identical to a serial pass because
+    /// eval-mode forwards never mix batch rows.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatches (see [`Trainer::fit`]).
@@ -128,15 +138,12 @@ impl Trainer {
         assert_eq!(images.rank(), 4, "evaluate expects NCHW images");
         let n = images.dims()[0];
         assert_eq!(labels.len(), n, "one label per image required");
-        let sample_len: usize = images.dims()[1..].iter().product();
-        let mut correct = 0usize;
-        let all: Vec<usize> = (0..n).collect();
-        for chunk in all.chunks(self.config.batch_size) {
-            let (batch, batch_labels) = gather(images, labels, chunk, sample_len);
-            let preds = net.predict(&batch);
-            correct += preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+        if n == 0 {
+            return 0.0;
         }
-        correct as f32 / n.max(1) as f32
+        let preds = crate::parallel::par_predict(&*net, images, self.config.batch_size);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f32 / n as f32
     }
 }
 

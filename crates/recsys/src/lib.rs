@@ -47,12 +47,16 @@ mod vbpr;
 pub use amr::{Amr, AmrConfig};
 pub use bpr::BprMf;
 pub use popularity::Popularity;
-pub use recommend::{item_rank, top_n_indices};
+pub use recommend::{item_rank, par_top_n_all, top_n_indices};
 pub use train::{PairwiseConfig, PairwiseModel, PairwiseTrainer};
 pub use vbpr::{Vbpr, VbprConfig};
 
 /// A trained top-N recommender.
-pub trait Recommender {
+///
+/// Scoring is read-only, and models are plain data (`Send + Sync`), so one
+/// trained model can serve many users' recommendation lists concurrently —
+/// see [`par_top_n_all`].
+pub trait Recommender: Send + Sync {
     /// Number of users the model covers.
     fn num_users(&self) -> usize;
 

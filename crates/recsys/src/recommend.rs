@@ -1,5 +1,31 @@
 //! Top-N selection utilities.
 
+use rayon::prelude::*;
+
+use crate::Recommender;
+
+/// Top-`n` recommendation lists for every user, computed on worker threads.
+///
+/// `seen_of(u)` supplies the items to exclude for user `u` (typically the
+/// user's training interactions). Users are scored independently and results
+/// are collected in user order, so the output is identical to calling
+/// [`Recommender::top_n`] in a serial loop, for every thread count.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn par_top_n_all<'a, R, F>(model: &R, n: usize, seen_of: F) -> Vec<Vec<usize>>
+where
+    R: Recommender + ?Sized,
+    F: Fn(usize) -> &'a [usize] + Sync,
+{
+    assert!(n > 0, "n must be positive");
+    (0..model.num_users())
+        .into_par_iter()
+        .map(|u| model.top_n(u, n, seen_of(u)))
+        .collect()
+}
+
 /// Returns the indices of the `n` highest scores, excluding `exclude`,
 /// ordered best-first. Ties break toward the lower index for determinism.
 ///
@@ -110,5 +136,22 @@ mod tests {
     #[should_panic(expected = "n must be positive")]
     fn zero_n_panics() {
         top_n_indices(&[1.0], 0, &[]);
+    }
+
+    #[test]
+    fn par_top_n_matches_serial_loop() {
+        use crate::BprMf;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let model = BprMf::new(9, 40, 4, &mut rng);
+        let seen: Vec<Vec<usize>> = (0..9).map(|u| vec![u, (u + 3) % 40]).collect();
+        let serial: Vec<Vec<usize>> =
+            (0..9).map(|u| model.top_n(u, 5, &seen[u])).collect();
+        for threads in [1usize, 2, 8] {
+            let par = rayon::with_threads(threads, || {
+                par_top_n_all(&model, 5, |u| seen[u].as_slice())
+            });
+            assert_eq!(par, serial, "thread count {threads}");
+        }
     }
 }

@@ -4,8 +4,19 @@
 //! each receptive field becomes a column of a `(C·KH·KW) × (N·OH·OW)` matrix,
 //! so convolution is `weights(OC × C·KH·KW) · columns`, and the backward pass
 //! with respect to the input is `col2im` of `weightsᵀ · grad_columns`.
+//!
+//! Both lowerings parallelise over disjoint output regions — `im2col` over
+//! matrix rows (one per `(c, kh, kw)` tap), `col2im` over images — so no
+//! element is ever written by two threads and the per-element accumulation
+//! order matches the serial loop exactly. Results are bitwise identical for
+//! every thread count.
+
+use rayon::prelude::*;
 
 use crate::{Tensor, TensorError};
+
+/// Minimum output elements before the lowering fans out across threads.
+const PAR_MIN_ELEMS: usize = 32 * 1024;
 
 /// Static geometry of a 2-D convolution: kernel, stride and zero padding.
 ///
@@ -78,34 +89,45 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
     let cols = n * oh * ow;
     let mut out = Tensor::zeros(&[rows, cols]);
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
     let pad = geom.padding as isize;
     let stride = geom.stride;
+    let (kernel_h, kernel_w) = (geom.kernel_h, geom.kernel_w);
 
-    for ci in 0..c {
-        for kh in 0..geom.kernel_h {
-            for kw in 0..geom.kernel_w {
-                let row = (ci * geom.kernel_h + kh) * geom.kernel_w + kw;
-                let row_base = row * cols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * h * w;
-                    for oy in 0..oh {
-                        let iy = (oy * stride) as isize + kh as isize - pad;
-                        let col_base = row_base + (ni * oh + oy) * ow;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding: leave zeros
-                        }
-                        let src_row = img_base + iy as usize * w;
-                        for ox in 0..ow {
-                            let ix = (ox * stride) as isize + kw as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            dst[col_base + ox] = src[src_row + ix as usize];
-                        }
+    // Fills the matrix row for one `(c, kh, kw)` tap. Pure writes into a
+    // region owned by exactly one caller, so serial and parallel execution
+    // produce identical bytes.
+    let fill_row = |row: usize, dst_row: &mut [f32]| {
+        let kw = row % kernel_w;
+        let kh = (row / kernel_w) % kernel_h;
+        let ci = row / (kernel_h * kernel_w);
+        for ni in 0..n {
+            let img_base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                let iy = (oy * stride) as isize + kh as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue; // zero padding: leave zeros
+                }
+                let src_row = img_base + iy as usize * w;
+                let col_base = (ni * oh + oy) * ow;
+                for ox in 0..ow {
+                    let ix = (ox * stride) as isize + kw as isize - pad;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
                     }
+                    dst_row[col_base + ox] = src[src_row + ix as usize];
                 }
             }
+        }
+    };
+
+    let dst = out.as_mut_slice();
+    if rayon::current_num_threads() > 1 && rows > 1 && rows * cols >= PAR_MIN_ELEMS {
+        dst.par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(row, dst_row)| fill_row(row, dst_row));
+    } else {
+        for (row, dst_row) in dst.chunks_mut(cols).enumerate() {
+            fill_row(row, dst_row);
         }
     }
     Ok(out)
@@ -143,34 +165,50 @@ pub fn col2im(
     }
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let src = cols.as_slice();
-    let dst = out.as_mut_slice();
     let pad = geom.padding as isize;
     let stride = geom.stride;
+    let (kernel_h, kernel_w) = (geom.kernel_h, geom.kernel_w);
 
-    for ci in 0..c {
-        for kh in 0..geom.kernel_h {
-            for kw in 0..geom.kernel_w {
-                let row = (ci * geom.kernel_h + kh) * geom.kernel_w + kw;
-                let row_base = row * ncols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * h * w;
+    // Scatters all taps of one image. Overlapping receptive fields only
+    // collide *within* an image, and the `ci → kh → kw → oy → ox` order
+    // fixes each pixel's accumulation sequence, so per-image parallelism is
+    // exact.
+    let scatter_image = |ni: usize, img: &mut [f32]| {
+        for ci in 0..c {
+            for kh in 0..kernel_h {
+                for kw in 0..kernel_w {
+                    let row = (ci * kernel_h + kh) * kernel_w + kw;
+                    let row_base = row * ncols;
+                    let chan_base = ci * h * w;
                     for oy in 0..oh {
                         let iy = (oy * stride) as isize + kh as isize - pad;
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let dst_row = img_base + iy as usize * w;
+                        let dst_row = chan_base + iy as usize * w;
                         let col_base = row_base + (ni * oh + oy) * ow;
                         for ox in 0..ow {
                             let ix = (ox * stride) as isize + kw as isize - pad;
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            dst[dst_row + ix as usize] += src[col_base + ox];
+                            img[dst_row + ix as usize] += src[col_base + ox];
                         }
                     }
                 }
             }
+        }
+    };
+
+    let dst = out.as_mut_slice();
+    let image_len = c * h * w;
+    if rayon::current_num_threads() > 1 && n > 1 && n * image_len >= PAR_MIN_ELEMS {
+        dst.par_chunks_mut(image_len)
+            .enumerate()
+            .for_each(|(ni, img)| scatter_image(ni, img));
+    } else {
+        for (ni, img) in dst.chunks_mut(image_len).enumerate() {
+            scatter_image(ni, img);
         }
     }
     Ok(out)

@@ -5,6 +5,13 @@
 //! inner ordering (unit-stride accumulation over the output row), which is
 //! fast enough for the network sizes this reproduction trains while staying
 //! dependency-free and easy to verify against a naive reference.
+//!
+//! Large products are parallelised over contiguous row blocks of `C`. Each
+//! output element `C[i, j]` is owned by exactly one thread and accumulates
+//! its `k` products in the same order regardless of how rows are
+//! partitioned, so the result is bitwise identical for every thread count.
+
+use rayon::prelude::*;
 
 use crate::{Tensor, TensorError};
 
@@ -25,6 +32,70 @@ impl Transpose {
 }
 
 const BLOCK: usize = 64;
+
+/// Minimum `m * n * k` before gemm fans out across threads; below this the
+/// fork-join overhead outweighs the kernel time.
+const PAR_MIN_WORK: usize = 128 * 1024;
+
+/// Scalar kernel over the row range `[row0, row0 + rows)` of `op(A)`,
+/// accumulating into `c_block` (the corresponding rows of `C`). The
+/// `p0 → j0 → p → j` nesting fixes each element's accumulation order
+/// independently of the row partition, which is what makes the parallel
+/// split exact.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    c_block: &mut [f32],
+    row0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a_data: &[f32],
+    lda: usize,
+    ta: Transpose,
+    b_data: &[f32],
+    ldb: usize,
+    tb: Transpose,
+) {
+    // a_at(i, p) = op(A)[i, p] for the *global* row index i.
+    let a_at = |i: usize, p: usize| -> f32 {
+        if ta.is_yes() {
+            a_data[p * lda + i]
+        } else {
+            a_data[i * lda + p]
+        }
+    };
+
+    for l0 in (0..rows).step_by(BLOCK) {
+        let l1 = (l0 + BLOCK).min(rows);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for l in l0..l1 {
+                    let c_row = &mut c_block[l * n..(l + 1) * n];
+                    for p in p0..p1 {
+                        let av = alpha * a_at(row0 + l, p);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        if tb.is_yes() {
+                            // op(B)[p, j] = B[j, p]: strided, fall back.
+                            for (j, c_ij) in c_row[j0..j1].iter_mut().enumerate() {
+                                *c_ij += av * b_data[(j0 + j) * ldb + p];
+                            }
+                        } else {
+                            let b_row = &b_data[p * ldb + j0..p * ldb + j1];
+                            for (c_ij, &b_pj) in c_row[j0..j1].iter_mut().zip(b_row) {
+                                *c_ij += av * b_pj;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Computes `C = alpha * op(A) · op(B) + beta * C`.
 ///
@@ -107,45 +178,17 @@ pub fn gemm(
     let ldb = b.dims()[1];
     let c_data = c.as_mut_slice();
 
-    // a_at(i, p) = op(A)[i, p]; b_at(p, j) = op(B)[p, j].
-    let a_at = |i: usize, p: usize| -> f32 {
-        if ta.is_yes() {
-            a_data[p * lda + i]
-        } else {
-            a_data[i * lda + p]
-        }
-    };
-
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j1 = (j0 + BLOCK).min(n);
-                for i in i0..i1 {
-                    let c_row = &mut c_data[i * n..(i + 1) * n];
-                    for p in p0..p1 {
-                        let av = alpha * a_at(i, p);
-                        if av == 0.0 {
-                            continue;
-                        }
-                        if tb.is_yes() {
-                            // op(B)[p, j] = B[j, p]: strided, fall back.
-                            for (j, c_ij) in
-                                c_row[j0..j1].iter_mut().enumerate()
-                            {
-                                *c_ij += av * b_data[(j0 + j) * ldb + p];
-                            }
-                        } else {
-                            let b_row = &b_data[p * ldb + j0..p * ldb + j1];
-                            for (c_ij, &b_pj) in c_row[j0..j1].iter_mut().zip(b_row) {
-                                *c_ij += av * b_pj;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    let threads = rayon::current_num_threads();
+    if threads > 1 && m > 1 && m * n * k >= PAR_MIN_WORK {
+        // Contiguous row blocks of C: disjoint writes, no reduction.
+        let rows_per = m.div_ceil(threads.min(m));
+        c_data.par_chunks_mut(rows_per * n).enumerate().for_each(|(ci, block)| {
+            let row0 = ci * rows_per;
+            let rows = block.len() / n;
+            gemm_rows(block, row0, rows, n, k, alpha, a_data, lda, ta, b_data, ldb, tb);
+        });
+    } else {
+        gemm_rows(c_data, 0, m, n, k, alpha, a_data, lda, ta, b_data, ldb, tb);
     }
     Ok(())
 }

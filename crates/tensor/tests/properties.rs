@@ -134,6 +134,65 @@ proptest! {
     }
 
     #[test]
+    fn parallel_gemm_is_bitwise_serial_and_matches_naive(
+        m in 16usize..72, k in 16usize..48, n in 16usize..72,
+        seed in 0u64..500
+    ) {
+        // Shapes straddle the m·n·k ≥ 128Ki parallel gate, so both the
+        // serial and the row-blocked parallel kernel are exercised.
+        let mk_data = |len: usize, s: u64| -> Vec<f32> {
+            (0..len).map(|i| (((i as u64 + 1) * (s + 7)) % 17) as f32 / 17.0 - 0.5).collect()
+        };
+        let a = Tensor::from_vec(mk_data(m * k, seed), &[m, k]).unwrap();
+        let b = Tensor::from_vec(mk_data(k * n, seed + 1), &[k, n]).unwrap();
+        let serial = rayon::with_threads(1, || a.matmul(&b).unwrap());
+        for threads in [2usize, 4, 8] {
+            let par = rayon::with_threads(threads, || a.matmul(&b).unwrap());
+            // Bitwise: row-block splitting never changes any element's
+            // accumulation order.
+            prop_assert_eq!(par.as_slice(), serial.as_slice());
+        }
+        // Spot-check a handful of elements against the naive triple loop.
+        for (i, j) in [(0, 0), (m - 1, n - 1), (m / 2, n / 3)] {
+            let mut expect = 0.0f32;
+            for p in 0..k {
+                expect += a.at(&[i, p]) * b.at(&[p, j]);
+            }
+            prop_assert!((serial.at(&[i, j]) - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_im2col_col2im_are_bitwise_serial(
+        n in 1usize..4, c in 1usize..4,
+        h in 8usize..24, w in 8usize..24,
+        stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..200
+    ) {
+        // Sizes straddle the 32Ki-element parallel gate in both kernels.
+        let geom = Conv2dGeometry::new(3, 3, stride, pad);
+        let dims = [n, c, h, w];
+        let len: usize = dims.iter().product();
+        let x = Tensor::from_vec(
+            (0..len).map(|i| (((i as u64 + 5) * (seed + 11)) % 23) as f32 / 23.0 - 0.5).collect(),
+            &dims,
+        )
+        .unwrap();
+        let cols_serial = rayon::with_threads(1, || im2col(&x, &geom).unwrap());
+        let back_serial =
+            rayon::with_threads(1, || col2im(&cols_serial, &dims, &geom).unwrap());
+        for threads in [2usize, 8] {
+            let (cols, back) = rayon::with_threads(threads, || {
+                let cols = im2col(&x, &geom).unwrap();
+                let back = col2im(&cols, &dims, &geom).unwrap();
+                (cols, back)
+            });
+            prop_assert_eq!(cols.as_slice(), cols_serial.as_slice());
+            prop_assert_eq!(back.as_slice(), back_serial.as_slice());
+        }
+    }
+
+    #[test]
     fn axpy_is_linear(a in tensor_strategy(8), b in tensor_strategy(8), alpha in -3.0f32..3.0) {
         let ta = Tensor::from_vec(a, &[8]).unwrap();
         let tb = Tensor::from_vec(b, &[8]).unwrap();

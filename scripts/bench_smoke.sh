@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Smoke-runs the Criterion benches and emits BENCH_parallel.json.
+#
+# Each bench runs in fast mode (TAAMR_BENCH_FAST=1 shrinks the per-sample
+# budget ~10x) and appends one JSON line per benchmark to a raw file
+# (TAAMR_BENCH_JSON). This script aggregates those lines and pairs every
+# `<workload>/serial` measurement with its `<workload>/parallel` twin (the
+# `parallel_scaling` bench emits such pairs for GEMM, a PGD attack batch and
+# CHR evaluation), reporting the speedup for each.
+#
+# On a single-core machine the speedups sit at ~1.0x by construction; the
+# >=2x acceptance target applies to multi-core runners. Results are bitwise
+# identical either way -- see "Parallelism & determinism" in DESIGN.md.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+#   BENCHES="tensor_ops parallel_scaling" scripts/bench_smoke.sh   # subset
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_parallel.json}
+BENCHES=${BENCHES:-"tensor_ops cnn_forward_backward attacks parallel_scaling"}
+THREADS=${TAAMR_THREADS:-$(nproc)}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+export TAAMR_BENCH_FAST=1
+export TAAMR_BENCH_JSON="$RAW"
+
+for bench in $BENCHES; do
+    echo "== cargo bench -p taamr-bench --bench $bench"
+    cargo bench -q -p taamr-bench --bench "$bench"
+done
+
+awk -v threads="$THREADS" '
+{
+    if (!match($0, /"name": *"[^"]*"/)) next
+    name = substr($0, RSTART, RLENGTH)
+    sub(/"name": *"/, "", name); sub(/"$/, "", name)
+    if (!match($0, /"ns_per_iter": *[0-9.eE+-]+/)) next
+    ns = substr($0, RSTART, RLENGTH)
+    sub(/"ns_per_iter": */, "", ns)
+
+    count++; names[count] = name; vals[count] = ns
+    base = name
+    if (sub(/\/serial$/, "", base)) serial[base] = ns
+    else if (sub(/\/parallel$/, "", base)) {
+        parallel[base] = ns
+        pairs[++npairs] = base
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"threads\": %d,\n", threads
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= count; i++)
+        printf "    {\"name\": \"%s\", \"ns_per_iter\": %s}%s\n", \
+            names[i], vals[i], (i < count ? "," : "")
+    printf "  ],\n"
+    printf "  \"serial_vs_parallel\": [\n"
+    for (i = 1; i <= npairs; i++) {
+        b = pairs[i]
+        if (!(b in serial)) continue
+        speedup = (parallel[b] > 0) ? serial[b] / parallel[b] : 0
+        printf "    {\"workload\": \"%s\", \"serial_ns\": %s, \"parallel_ns\": %s, \"speedup\": %.3f}%s\n", \
+            b, serial[b], parallel[b], speedup, (i < npairs ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT (threads=$THREADS)"
+awk '/"workload"/' "$OUT"

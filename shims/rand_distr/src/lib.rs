@@ -1,0 +1,157 @@
+//! Minimal, dependency-free stand-in for `rand_distr`.
+//!
+//! Implements exactly what the workspace consumes: [`Distribution`],
+//! [`Normal`], and [`LogNormal`] for `f32`/`f64`. Normal deviates come from
+//! the Box–Muller transform driven by the shimmed `rand` generator, so they
+//! are deterministic for a fixed seed.
+
+use std::fmt;
+
+use rand::{Rng, RngCore};
+
+/// Types that can produce samples of `T` from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters (non-finite or negative scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Float scalars the distributions are generic over.
+pub trait NormalFloat: Copy {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+}
+
+impl NormalFloat for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl NormalFloat for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller: u1 in (0, 1] so the log is finite, u2 in [0, 1).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: NormalFloat> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.to_f64().is_finite() || !std_dev.to_f64().is_finite() || std_dev.to_f64() < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    inner: Normal<F>,
+}
+
+impl<F: NormalFloat> LogNormal<F> {
+    pub fn new(mu: F, sigma: F) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for LogNormal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.inner.sample(rng).to_f64().exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let normal = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = LogNormal::new(0.0f32, 1.0).unwrap();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Normal::new(0.0f32, 1.0).unwrap();
+        let a: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..32).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..32).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

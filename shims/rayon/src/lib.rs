@@ -1,0 +1,439 @@
+//! Minimal, dependency-free stand-in for `rayon`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! exact surface it uses: `into_par_iter` on ranges and vectors,
+//! `par_chunks` / `par_chunks_mut` on slices, and `map` / `map_init` /
+//! `enumerate` / `for_each` / `collect` on the resulting iterator.
+//!
+//! # Execution model
+//!
+//! Unlike upstream rayon's work-stealing pool, this shim is a plain
+//! fork-join: each parallel call splits its items into at most
+//! [`current_num_threads`] *contiguous, ordered* chunks and runs them on
+//! `std::thread::scope` threads. Outputs are reassembled in input order, so
+//! a `map` over N items returns exactly the Vec the serial loop would
+//! produce — scheduling can never reorder results. Combined with the
+//! per-item seed derivation used by the attack layer, this is what makes
+//! every parallel path in the workspace bitwise-independent of thread count.
+//!
+//! # Thread policy
+//!
+//! The effective thread count is resolved, in priority order, from:
+//! 1. the innermost active [`with_threads`] override (used by tests/benches),
+//! 2. the `TAAMR_THREADS` environment variable,
+//! 3. the `RAYON_NUM_THREADS` environment variable (upstream compat),
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! Building with `--features serial` pins the count to 1 everywhere, and
+//! nested parallel calls always run inline on the calling thread so a
+//! parallel attack batch that calls into parallel gemm cannot explode the
+//! thread count.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Thread policy
+// ---------------------------------------------------------------------------
+
+/// Stack of `with_threads` overrides; the top entry wins.
+static OVERRIDES: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+/// Cheap mirror of `OVERRIDES.last()` so the hot path skips the lock.
+static OVERRIDE_TOP: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        };
+        parse("TAAMR_THREADS")
+            .or_else(|| parse("RAYON_NUM_THREADS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    /// Set while a worker thread is running a parallel region; nested
+    /// parallel calls on such a thread run inline.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of threads parallel constructs will use right now.
+pub fn current_num_threads() -> usize {
+    if cfg!(feature = "serial") {
+        return 1;
+    }
+    if IN_PARALLEL_REGION.with(|f| f.get()) {
+        return 1;
+    }
+    match OVERRIDE_TOP.load(Ordering::Acquire) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// True when the `serial` cargo feature pinned everything to one thread.
+pub fn serial_feature_enabled() -> bool {
+    cfg!(feature = "serial")
+}
+
+/// Runs `f` with the thread count pinned to `n` (process-wide), restoring the
+/// previous policy afterwards — including on panic. Overrides nest; the
+/// innermost wins. The `serial` feature still takes precedence.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let mut stack = OVERRIDES.lock().unwrap_or_else(|e| e.into_inner());
+            stack.pop();
+            OVERRIDE_TOP.store(stack.last().copied().unwrap_or(0), Ordering::Release);
+        }
+    }
+    let n = n.max(1);
+    {
+        let mut stack = OVERRIDES.lock().unwrap_or_else(|e| e.into_inner());
+        stack.push(n);
+        OVERRIDE_TOP.store(n, Ordering::Release);
+    }
+    let _guard = Guard;
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join executor
+// ---------------------------------------------------------------------------
+
+/// Splits `items` into at most `current_num_threads()` contiguous chunks,
+/// maps each chunk on its own scoped thread (`init` once per thread), and
+/// reassembles outputs in input order.
+fn run_chunked<I, O, S, INIT, F>(items: Vec<I>, init: INIT, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(idx, item)| f(&mut state, idx, item))
+            .collect();
+    }
+
+    // Contiguous ordered partition: the first `rem` chunks get one extra item.
+    let base = n / threads;
+    let rem = n % threads;
+    let mut chunks: Vec<(usize, Vec<I>)> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < rem);
+        chunks.push((start, items.by_ref().take(size).collect()));
+        start += size;
+    }
+
+    let mut outputs: Vec<Vec<O>> = Vec::with_capacity(threads);
+    let (init, f) = (&init, &f);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(chunk_start, chunk)| {
+                scope.spawn(move || {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    let mut state = init();
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, item)| f(&mut state, chunk_start + i, item))
+                        .collect::<Vec<O>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => outputs.push(out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut flat = Vec::with_capacity(n);
+    for out in outputs {
+        flat.extend(out);
+    }
+    flat
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator (eager, materialized, order-preserving)
+// ---------------------------------------------------------------------------
+
+/// An ordered collection of items about to be processed in parallel.
+///
+/// Every adapter is eager: `map` runs the closure across threads immediately
+/// and materializes the outputs in input order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, || (), |_, _, item| f(item)),
+        }
+    }
+
+    /// `map` with per-thread scratch state, created once per worker thread.
+    pub fn map_init<S, O, INIT, F>(self, init: INIT, f: F) -> ParIter<O>
+    where
+        O: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> O + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, init, |state, _, item| f(state, item)),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, || (), |_, _, item| f(item));
+    }
+
+    /// `for_each` with per-thread scratch state.
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) + Sync,
+    {
+        run_chunked(self.items, init, |state, _, item| f(state, item));
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_iter(self.items)
+    }
+
+    /// Upstream-compat no-op: chunking here is already one contiguous block
+    /// per thread.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Collections buildable from an ordered parallel iterator.
+pub trait FromParallelIterator<T> {
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Parallel views over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel views over mutable slices (disjoint chunks, so no locking).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_is_thread_count_invariant() {
+        let serial: Vec<usize> = with_threads(1, || {
+            (0..257usize).into_par_iter().map(|i| i * i).collect()
+        });
+        for threads in [2, 3, 8] {
+            let par: Vec<usize> = with_threads(threads, || {
+                (0..257usize).into_par_iter().map(|i| i * i).collect()
+            });
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_regions() {
+        let mut data = vec![0u64; 100];
+        data.par_chunks_mut(7).enumerate().for_each(|(ci, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = ci as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 7) as u64);
+        }
+    }
+
+    #[test]
+    fn map_init_runs_init_once_per_thread() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = with_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::SeqCst);
+                        0usize
+                    },
+                    |_, i| i,
+                )
+                .collect()
+        });
+        assert_eq!(out.len(), 64);
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn with_threads_restores_policy() {
+        let outer = current_num_threads();
+        with_threads(3, || {
+            if !serial_feature_enabled() {
+                assert_eq!(current_num_threads(), 3);
+            }
+            with_threads(2, || {
+                if !serial_feature_enabled() {
+                    assert_eq!(current_num_threads(), 2);
+                }
+            });
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..16usize).into_par_iter().for_each(|i| {
+                    if i == 11 {
+                        panic!("boom");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), current_num_threads());
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline() {
+        with_threads(4, || {
+            (0..8usize).into_par_iter().for_each(|_| {
+                // Inside a worker, further parallel calls must not spawn.
+                assert_eq!(current_num_threads(), 1);
+            });
+        });
+    }
+}

@@ -1,0 +1,260 @@
+//! Syn-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shimmed `serde` crate.
+//!
+//! Supports exactly the shapes this workspace serializes: non-generic
+//! structs with named fields, and non-generic enums with unit variants.
+//! Anything else produces a `compile_error!` naming the limitation rather
+//! than silently misbehaving. Field types are never parsed — the generated
+//! code leans on type inference inside a struct literal, so arbitrary field
+//! types work as long as they implement the serde traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named struct fields, in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Unit enum variants, in declaration order.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute groups (doc comments on items/fields included).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in ...)` visibility modifiers.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the serde shim derive".into());
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err("tuple structs are not supported by the serde shim derive".into());
+        }
+        _ => return Err("expected a braced body".into()),
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => parse_struct_fields(&body).map(|fields| Shape::Struct { name, fields }),
+        "enum" => parse_enum_variants(&body).map(|variants| Shape::Enum { name, variants }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_struct_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        i = skip_visibility(body, i);
+        let field = match body.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Parens/brackets/braces are atomic token groups, but `<`/`>` are
+        // plain puncts, so commas inside e.g. `Vec<(usize, usize)>` need the
+        // depth counter.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    if fields.is_empty() {
+        return Err("structs without named fields are not supported".into());
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let variant = match body.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) | Some(TokenTree::Punct(_)) => {
+                return Err(format!(
+                    "enum variant `{variant}` is not a unit variant; only unit variants are supported"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(variant);
+    }
+    if variants.is_empty() {
+        return Err("empty enums are not supported".into());
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match __v.get_field(\"{f}\") {{\n\
+                             Some(__field) => ::serde::Deserialize::from_json_value(__field)?,\n\
+                             None => ::serde::Deserialize::missing_field(\"{f}\")?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Object(_) => Ok({name} {{ {entries} }}),\n\
+                             __other => Err(::serde::DeError::custom(format!(\n\
+                                 \"expected object for struct {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v.as_str() {{\n\
+                             Some(__s) => match __s {{\n\
+                                 {arms}\n\
+                                 __other => Err(::serde::DeError::custom(format!(\n\
+                                     \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+                             }},\n\
+                             None => Err(::serde::DeError::custom(\n\
+                                 \"expected string for enum {name}\".to_string())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -41,13 +41,15 @@ fn trained_cnn() -> (TinyResNet, ProductImageGenerator, Vec<Category>) {
         }
     }
     let trainer = Trainer::new(TrainerConfig {
-        epochs: 10,
+        epochs: 16,
         batch_size: 16,
         sgd: SgdConfig {
             lr: 0.05,
             momentum: 0.9,
             weight_decay: 5e-4,
-            schedule: LrSchedule::Constant,
+            // Cosine decay keeps the late epochs stable; with a constant
+            // rate this tiny net is at the mercy of the init lottery.
+            schedule: LrSchedule::Cosine { total_epochs: 16, floor: 0.005 },
         },
         log_every: 0,
     });

@@ -1,0 +1,77 @@
+//! Cross-thread-count determinism: the whole pipeline — CNN training,
+//! feature extraction, recommender training, attacks, CHR evaluation —
+//! must produce bit-for-bit identical results at 1, 2 and 8 threads.
+//!
+//! This is the system-level check of the contract documented in
+//! [`taamr::parallel`]: parallelism is a pure scheduling knob. Every
+//! parallel path splits work into pieces whose floating-point accumulation
+//! order is split-invariant and collects results in input order, and every
+//! attacked item derives its own RNG stream from
+//! `item_seed(master, item_id)`, so thread count can never leak into any
+//! number the paper's tables report.
+
+use taamr::parallel::with_threads;
+use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
+use taamr_attack::{Epsilon, Pgd};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn full_experiment_report_is_bitwise_identical_across_thread_counts() {
+    let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
+    let reports: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            with_threads(t, || {
+                let mut pipeline = Pipeline::build(&config);
+                serde_json::to_string(&pipeline.run_paper_experiment())
+                    .expect("report serialises")
+            })
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+}
+
+#[test]
+fn build_attack_and_rankings_are_bitwise_identical_across_thread_counts() {
+    // Finer-grained than the full report: pin down exactly which stage
+    // diverges if the report-level test ever fails.
+    let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
+    struct Probe {
+        features: Vec<f32>,
+        lists: Vec<Vec<usize>>,
+        chr: Vec<f64>,
+        outcome: String,
+        figure2: String,
+    }
+    let probe = |threads: usize| -> Probe {
+        with_threads(threads, || {
+            let mut pipeline = Pipeline::build(&config);
+            let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
+            let scenario = similar.or(dissimilar).expect("scenario exists");
+            let outcome = pipeline.run_attack(
+                ModelKind::Vbpr,
+                &Pgd::new(Epsilon::from_255(8.0)),
+                scenario,
+            );
+            let figure2 = pipeline.figure2_example(ModelKind::Vbpr, scenario);
+            Probe {
+                features: pipeline.clean_features().to_vec(),
+                lists: pipeline.top_n_lists(pipeline.model(ModelKind::Vbpr)),
+                chr: pipeline.chr_per_category(pipeline.model(ModelKind::Vbpr)),
+                outcome: serde_json::to_string(&outcome).expect("outcome serialises"),
+                figure2: figure2.to_string(),
+            }
+        })
+    };
+    let baseline = probe(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let p = probe(threads);
+        assert_eq!(p.features, baseline.features, "features @ {threads} threads");
+        assert_eq!(p.lists, baseline.lists, "top-N lists @ {threads} threads");
+        assert_eq!(p.chr, baseline.chr, "CHR @ {threads} threads");
+        assert_eq!(p.outcome, baseline.outcome, "attack outcome @ {threads} threads");
+        assert_eq!(p.figure2, baseline.figure2, "figure 2 @ {threads} threads");
+    }
+}
