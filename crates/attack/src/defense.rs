@@ -195,6 +195,7 @@ mod tests {
                 schedule: LrSchedule::Constant,
             },
             log_every: 0,
+            divergence: Default::default(),
         });
         trainer.fit(&mut net, &images, &labels, rng);
         (net, images, labels)

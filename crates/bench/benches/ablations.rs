@@ -50,6 +50,7 @@ fn setup() -> (TinyResNet, Tensor) {
             schedule: LrSchedule::Constant,
         },
         log_every: 0,
+        divergence: Default::default(),
     });
     trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
     // Attack fresh source-category (Sock) renders.

@@ -51,7 +51,7 @@ fn setup() -> Setup {
         schedule: LrSchedule::Constant,
     };
     let trainer =
-        Trainer::new(TrainerConfig { epochs: 12, batch_size: 16, sgd: sgd.clone(), log_every: 0 });
+        Trainer::new(TrainerConfig { epochs: 12, batch_size: 16, sgd: sgd.clone(), ..Default::default() });
 
     let mut vanilla = TinyResNet::new(&arch, &mut seeded_rng(1));
     trainer.fit(&mut vanilla, &train, &labels, &mut rng);

@@ -12,8 +12,16 @@ use taamr_bench::print_header;
 fn main() {
     let scale = ExperimentScale::from_env();
     print_header("Fig. 2: before/after example", scale);
-    for fig in run_figure2(scale) {
-        println!("{fig}");
+    match run_figure2(scale) {
+        Ok(figs) => {
+            for fig in figs {
+                println!("{fig}");
+            }
+        }
+        Err(e) => {
+            eprintln!("figure 2 run failed: {e}");
+            std::process::exit(1);
+        }
     }
     println!("Paper (Fig. 2): sock 60% @ 180th  →  running shoe 100% @ 14th");
 }

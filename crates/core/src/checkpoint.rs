@@ -1,0 +1,306 @@
+//! Atomic, checksummed stage checkpoints for resumable experiment runs.
+//!
+//! A *run directory* holds one file per completed pipeline stage (and per
+//! completed attack-grid cell). Each file is written atomically — payload to
+//! a temporary file, then a rename — and carries a one-line JSON header with
+//! the checkpoint schema version, a fingerprint of the pipeline
+//! configuration, and an FNV-1a checksum of the payload bytes. A checkpoint
+//! only loads if all three match; anything else (truncation, bit flips,
+//! schema drift, a different configuration) is detected, the stale file is
+//! deleted, and the stage re-runs.
+//!
+//! Checkpoint payloads are JSON. The vendored `serde_json` prints every
+//! float with shortest-round-trip formatting, so `f32` model weights restore
+//! bit-exactly and a resumed run is bitwise identical to an uninterrupted
+//! one.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the checkpoint format; bump on any layout change so stale
+/// checkpoints from older builds are rejected instead of misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a hash — stable, dependency-free content checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of a serialisable configuration: the FNV-1a hash of its JSON
+/// form. Two configs fingerprint equal iff they serialise identically.
+pub fn config_fingerprint<T: Serialize>(config: &T) -> u64 {
+    match serde_json::to_string(config) {
+        Ok(json) => fnv1a64(json.as_bytes()),
+        Err(_) => 0,
+    }
+}
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (create, write, or rename).
+    Io {
+        /// The file being written or read.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The payload could not be serialised.
+    Serialize {
+        /// The stage whose payload failed.
+        stage: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint I/O at {}: {source}", path.display())
+            }
+            CheckpointError::Serialize { stage } => {
+                write!(f, "could not serialise checkpoint payload for stage '{stage}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Header line preceding every checkpoint payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    /// Checkpoint format version ([`SCHEMA_VERSION`]).
+    schema: u32,
+    /// Hex fingerprint of the pipeline configuration.
+    fingerprint: String,
+    /// Hex FNV-1a checksum of the payload bytes.
+    checksum: String,
+}
+
+/// A directory of stage checkpoints for one experiment run.
+///
+/// All checkpoints in a run directory share one configuration fingerprint;
+/// loading with a different configuration invalidates (and deletes) them.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    dir: PathBuf,
+    fingerprint: String,
+}
+
+impl RunDir {
+    /// Opens (creating if needed) a run directory for the given
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn open<T: Serialize>(dir: impl Into<PathBuf>, config: &T) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|source| CheckpointError::Io { path: dir.clone(), source })?;
+        Ok(RunDir { dir, fingerprint: format!("{:016x}", config_fingerprint(config)) })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a stage's checkpoint lives in.
+    pub fn stage_path(&self, stage: &str) -> PathBuf {
+        self.dir.join(format!("{stage}.ckpt"))
+    }
+
+    /// Whether a checkpoint file exists for `stage` (it may still fail
+    /// validation on load).
+    pub fn has_stage(&self, stage: &str) -> bool {
+        self.stage_path(stage).exists()
+    }
+
+    /// Atomically persists a stage checkpoint: header line + JSON payload,
+    /// written to a temporary file and renamed into place, so a crash
+    /// mid-write never leaves a half-valid checkpoint under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation or any filesystem step fails.
+    pub fn save_stage<T: Serialize>(&self, stage: &str, payload: &T) -> Result<(), CheckpointError> {
+        let body = serde_json::to_string(payload)
+            .map_err(|_| CheckpointError::Serialize { stage: stage.to_owned() })?;
+        let header = Header {
+            schema: SCHEMA_VERSION,
+            fingerprint: self.fingerprint.clone(),
+            checksum: format!("{:016x}", fnv1a64(body.as_bytes())),
+        };
+        let header_line = serde_json::to_string(&header)
+            .map_err(|_| CheckpointError::Serialize { stage: stage.to_owned() })?;
+        let final_path = self.stage_path(stage);
+        let tmp_path = self.dir.join(format!("{stage}.ckpt.tmp"));
+        let contents = format!("{header_line}\n{body}");
+        fs::write(&tmp_path, contents)
+            .map_err(|source| CheckpointError::Io { path: tmp_path.clone(), source })?;
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|source| CheckpointError::Io { path: final_path.clone(), source })?;
+        Ok(())
+    }
+
+    /// Loads and validates a stage checkpoint.
+    ///
+    /// Returns `None` — after **deleting** the stale file — when the file is
+    /// missing, truncated, fails the checksum, carries another schema
+    /// version, or was written under a different configuration. A `None`
+    /// simply means "re-run this stage".
+    pub fn load_stage<T: Deserialize>(&self, stage: &str) -> Option<T> {
+        let path = self.stage_path(stage);
+        let contents = fs::read_to_string(&path).ok()?;
+        match self.validate(&contents) {
+            Some(payload) => match serde_json::from_str(payload) {
+                Ok(value) => Some(value),
+                Err(_) => {
+                    self.discard(stage, "payload does not deserialise");
+                    None
+                }
+            },
+            None => {
+                self.discard(stage, "header, schema, fingerprint or checksum mismatch");
+                None
+            }
+        }
+    }
+
+    /// Splits and validates header + payload; returns the payload slice only
+    /// if every header field matches.
+    fn validate<'a>(&self, contents: &'a str) -> Option<&'a str> {
+        let (header_line, body) = contents.split_once('\n')?;
+        let header: Header = serde_json::from_str(header_line).ok()?;
+        if header.schema != SCHEMA_VERSION
+            || header.fingerprint != self.fingerprint
+            || header.checksum != format!("{:016x}", fnv1a64(body.as_bytes()))
+        {
+            return None;
+        }
+        Some(body)
+    }
+
+    /// Deletes an invalid checkpoint so it cannot shadow a future save.
+    fn discard(&self, stage: &str, reason: &str) {
+        let path = self.stage_path(stage);
+        eprintln!("checkpoint {}: {reason}; deleting and re-running stage", path.display());
+        let _ = fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+        let path = PathBuf::from(dir).join("ckpt-tests").join(name);
+        let _ = fs::remove_dir_all(&path);
+        path
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        weights: Vec<f32>,
+        label: String,
+    }
+
+    fn payload() -> Payload {
+        Payload {
+            weights: vec![1.5e-7, -0.333_333_34, f32::MAX, f32::MIN_POSITIVE],
+            label: "stage".into(),
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn round_trips_floats_bit_exactly() {
+        let run = RunDir::open(scratch("roundtrip"), &42u32).unwrap();
+        let p = payload();
+        run.save_stage("cnn", &p).unwrap();
+        let back: Payload = run.load_stage("cnn").expect("valid checkpoint loads");
+        assert_eq!(back, p);
+        for (a, b) in back.weights.iter().zip(&p.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn missing_stage_is_none() {
+        let run = RunDir::open(scratch("missing"), &1u32).unwrap();
+        assert!(!run.has_stage("nope"));
+        assert!(run.load_stage::<Payload>("nope").is_none());
+    }
+
+    #[test]
+    fn bit_flip_fails_checksum_and_deletes_the_file() {
+        let run = RunDir::open(scratch("bitflip"), &1u32).unwrap();
+        run.save_stage("vbpr", &payload()).unwrap();
+        let path = run.stage_path("vbpr");
+        let len = fs::read(&path).unwrap().len();
+        // Flip a bit inside the payload (past the header line).
+        taamr_fault::flip_bit(&path, len - 3, 2).unwrap();
+        assert!(run.load_stage::<Payload>("vbpr").is_none());
+        assert!(!path.exists(), "corrupt checkpoint must be deleted, not ignored");
+        // The stage can be saved again cleanly.
+        run.save_stage("vbpr", &payload()).unwrap();
+        assert!(run.load_stage::<Payload>("vbpr").is_some());
+    }
+
+    #[test]
+    fn truncation_fails_validation() {
+        let run = RunDir::open(scratch("truncate"), &1u32).unwrap();
+        run.save_stage("amr", &payload()).unwrap();
+        let path = run.stage_path("amr");
+        let len = fs::read(&path).unwrap().len();
+        taamr_fault::truncate_file(&path, len / 2).unwrap();
+        assert!(run.load_stage::<Payload>("amr").is_none());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn different_config_fingerprint_invalidates() {
+        let dir = scratch("fingerprint");
+        let run_a = RunDir::open(&dir, &"config-a").unwrap();
+        run_a.save_stage("cnn", &payload()).unwrap();
+        let run_b = RunDir::open(&dir, &"config-b").unwrap();
+        assert!(run_b.load_stage::<Payload>("cnn").is_none(), "other config must not load");
+    }
+
+    #[test]
+    fn no_tmp_file_survives_a_save()
+    {
+        let run = RunDir::open(scratch("tmp"), &1u32).unwrap();
+        run.save_stage("cnn", &payload()).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(run.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+    }
+
+    #[test]
+    fn fingerprints_differ_per_config() {
+        assert_ne!(config_fingerprint(&1u32), config_fingerprint(&2u32));
+        assert_eq!(config_fingerprint(&1u32), config_fingerprint(&1u32));
+    }
+}

@@ -1,0 +1,119 @@
+//! The workspace-visible error type for pipeline construction and
+//! experiment runs.
+
+use std::fmt;
+
+use taamr_nn::TrainDiverged;
+use taamr_recsys::PairwiseDiverged;
+
+use crate::checkpoint::CheckpointError;
+
+/// Why a pipeline build or experiment run could not complete.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// No attack scenario could be selected (the dataset has no category
+    /// pair with enough items and a usable CHR ordering).
+    NoScenario,
+    /// CNN training diverged beyond the guard's bounded retries.
+    CnnDiverged(TrainDiverged),
+    /// A recommender's pairwise training diverged beyond the guard's
+    /// bounded retries.
+    RecDiverged {
+        /// Which model diverged ("VBPR" / "AMR").
+        model: &'static str,
+        /// The underlying trainer error.
+        source: PairwiseDiverged,
+    },
+    /// A trained recommender produced non-finite scores.
+    NonFiniteScores {
+        /// Which model produced them ("VBPR" / "AMR").
+        model: &'static str,
+    },
+    /// One attack run could not complete (its grid cell degrades to a
+    /// [`crate::CellError`] instead of aborting the experiment).
+    AttackFailed {
+        /// What went wrong.
+        message: String,
+    },
+    /// A checkpoint could not be written or restored.
+    Checkpoint(CheckpointError),
+    /// The run was interrupted (in tests: by an injected fault) after
+    /// completing the named stage; re-running with the same run directory
+    /// resumes from it.
+    Interrupted {
+        /// The last stage whose checkpoint was persisted.
+        after_stage: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoScenario => {
+                write!(f, "no attack scenario could be selected for this dataset")
+            }
+            PipelineError::CnnDiverged(e) => write!(f, "CNN {e}"),
+            PipelineError::RecDiverged { model, source } => {
+                write!(f, "{model} {source}; lower the learning rate")
+            }
+            PipelineError::NonFiniteScores { model } => {
+                write!(f, "{model} training diverged (non-finite scores); lower the learning rate")
+            }
+            PipelineError::AttackFailed { message } => write!(f, "attack failed: {message}"),
+            PipelineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            PipelineError::Interrupted { after_stage } => {
+                write!(f, "run interrupted after stage '{after_stage}'; resume with the same run directory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::CnnDiverged(e) => Some(e),
+            PipelineError::RecDiverged { source, .. } => Some(source),
+            PipelineError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainDiverged> for PipelineError {
+    fn from(e: TrainDiverged) -> Self {
+        PipelineError::CnnDiverged(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = PipelineError::NoScenario;
+        assert!(e.to_string().contains("scenario"));
+        let e = PipelineError::NonFiniteScores { model: "VBPR" };
+        assert!(e.to_string().contains("VBPR"));
+        assert!(e.to_string().contains("learning rate"));
+        let e = PipelineError::Interrupted { after_stage: "cnn".into() };
+        assert!(e.to_string().contains("cnn") && e.to_string().contains("resume"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e = PipelineError::RecDiverged {
+            model: "AMR",
+            source: PairwiseDiverged { epoch: 3, attempts: 2, last_loss: f32::NAN },
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("epoch 3"));
+    }
+}

@@ -7,12 +7,14 @@
 //! `TAAMR_SCALE`) to force a re-run.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use taamr_data::SyntheticConfig;
 
+use crate::checkpoint::{config_fingerprint, RunDir, SCHEMA_VERSION};
 use crate::{
     DatasetReport, ExperimentScale, Figure2Report, ModelKind, Pipeline, PipelineConfig,
+    PipelineError,
 };
 
 /// The two dataset profiles of the paper's Table I.
@@ -28,39 +30,89 @@ pub fn run_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> DatasetR
 }
 
 /// Cache path for one dataset's report at one scale.
-fn cache_path(scale: ExperimentScale, dataset_name: &str) -> PathBuf {
-    let slug: String = dataset_name
+///
+/// The filename embeds the report schema version and a fingerprint of the
+/// full pipeline configuration, so a config or schema change can never load
+/// a stale cache — the name simply misses.
+fn cache_path(scale: ExperimentScale, config: &PipelineConfig) -> PathBuf {
+    let slug: String = config
+        .dataset
+        .name
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
         .collect();
     let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
-    PathBuf::from(dir).join(format!("taamr-report-{scale:?}-{slug}.json").to_lowercase())
+    PathBuf::from(dir).join(
+        format!(
+            "taamr-report-v{SCHEMA_VERSION}-{scale:?}-{slug}-{:016x}.json",
+            config_fingerprint(config)
+        )
+        .to_lowercase(),
+    )
+}
+
+/// Atomically writes `json` at `path`: temp file + rename, so a crash
+/// mid-write never leaves a truncated cache under the final name.
+fn write_atomic(path: &Path, json: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)
 }
 
 /// Runs (or loads from cache) the paper experiment for one dataset profile.
 ///
 /// The cache makes the four table binaries share a single expensive pipeline
-/// run. Corrupt or unreadable cache files are ignored and regenerated.
+/// run. Corrupt or unreadable cache files are **deleted** and regenerated —
+/// a cache that failed to parse once will never be read again.
 pub fn run_or_load_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> DatasetReport {
-    let path = cache_path(scale, &dataset.name);
+    let config = PipelineConfig::for_scale_with_dataset(scale, dataset.clone());
+    let path = cache_path(scale, &config);
     if let Ok(bytes) = fs::read(&path) {
-        if let Ok(report) = serde_json::from_slice::<DatasetReport>(&bytes) {
-            eprintln!("loaded cached report from {}", path.display());
-            return report;
+        match serde_json::from_slice::<DatasetReport>(&bytes) {
+            Ok(report) => {
+                eprintln!("loaded cached report from {}", path.display());
+                return report;
+            }
+            Err(_) => {
+                eprintln!("cache at {} is corrupt; deleting and regenerating", path.display());
+                let _ = fs::remove_file(&path);
+            }
         }
-        eprintln!("cache at {} is unreadable; regenerating", path.display());
     }
     let report = run_dataset(scale, dataset);
     if let Ok(json) = serde_json::to_vec_pretty(&report) {
-        if let Some(parent) = path.parent() {
-            let _ = fs::create_dir_all(parent);
-        }
-        match fs::write(&path, json) {
+        match write_atomic(&path, &json) {
             Ok(()) => eprintln!("cached report at {}", path.display()),
             Err(e) => eprintln!("could not cache report: {e}"),
         }
     }
     report
+}
+
+/// Runs the paper experiment with full stage + cell checkpointing under
+/// `run_dir`, resuming any valid checkpoints already there.
+///
+/// A run killed at any point — mid-training or mid-grid — restarts from the
+/// last completed stage/cell and produces a report byte-identical to an
+/// uninterrupted run. Corrupt checkpoints are detected by checksum, deleted,
+/// and regenerated.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] on training divergence or checkpoint I/O
+/// failure.
+pub fn run_or_resume_dataset(
+    scale: ExperimentScale,
+    dataset: SyntheticConfig,
+    run_dir: impl Into<PathBuf>,
+) -> Result<DatasetReport, PipelineError> {
+    let config = PipelineConfig::for_scale_with_dataset(scale, dataset);
+    let run = RunDir::open(run_dir, &config)?;
+    let mut pipeline = Pipeline::try_build_resumable(&config, &run)?;
+    pipeline.try_run_paper_experiment_resumable(&run)
 }
 
 /// Runs (or loads) both paper datasets at the given scale.
@@ -70,15 +122,20 @@ pub fn run_or_load_all(scale: ExperimentScale) -> Vec<DatasetReport> {
 
 /// Regenerates the paper's Fig. 2 example on the Men-like dataset, at the
 /// paper's ε = 8 and at ε = 16 (our smaller CNN's fully-flipped regime).
-pub fn run_figure2(scale: ExperimentScale) -> Vec<Figure2Report> {
+///
+/// # Errors
+///
+/// Returns [`PipelineError::NoScenario`] if no attack scenario can be
+/// selected, or a training-divergence error from the pipeline build.
+pub fn run_figure2(scale: ExperimentScale) -> Result<Vec<Figure2Report>, PipelineError> {
     let config =
         PipelineConfig::for_scale_with_dataset(scale, SyntheticConfig::amazon_men_like());
-    let mut pipeline = Pipeline::build(&config);
+    let mut pipeline = Pipeline::try_build(&config)?;
     let scenario = pipeline
         .experiment_scenarios(ModelKind::Vbpr)
         .into_iter()
         .next()
-        .expect("a scenario exists");
+        .ok_or(PipelineError::NoScenario)?;
     let reports = vec![
         pipeline.figure2_example_at(
             ModelKind::Vbpr,
@@ -95,7 +152,7 @@ pub fn run_figure2(scale: ExperimentScale) -> Vec<Figure2Report> {
     for report in &reports {
         save_figure2_panels(&mut pipeline, scenario, report);
     }
-    reports
+    Ok(reports)
 }
 
 /// Saves the clean and attacked images of a Fig. 2 report under `target/`.
@@ -132,12 +189,51 @@ mod tests {
 
     #[test]
     fn cache_paths_are_distinct_per_dataset_and_scale() {
-        let a = cache_path(ExperimentScale::Tiny, "Amazon Men (synthetic)");
-        let b = cache_path(ExperimentScale::Tiny, "Amazon Women (synthetic)");
-        let c = cache_path(ExperimentScale::Full, "Amazon Men (synthetic)");
+        let men = |scale| {
+            PipelineConfig::for_scale_with_dataset(scale, SyntheticConfig::amazon_men_like())
+        };
+        let women = PipelineConfig::for_scale_with_dataset(
+            ExperimentScale::Tiny,
+            SyntheticConfig::amazon_women_like(),
+        );
+        let a = cache_path(ExperimentScale::Tiny, &men(ExperimentScale::Tiny));
+        let b = cache_path(ExperimentScale::Tiny, &women);
+        let c = cache_path(ExperimentScale::Full, &men(ExperimentScale::Full));
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert!(a.to_string_lossy().ends_with(".json"));
+    }
+
+    #[test]
+    fn cache_path_embeds_schema_and_config_fingerprint() {
+        let config = PipelineConfig::for_scale_with_dataset(
+            ExperimentScale::Tiny,
+            SyntheticConfig::amazon_men_like(),
+        );
+        let a = cache_path(ExperimentScale::Tiny, &config);
+        assert!(a.to_string_lossy().contains(&format!("v{SCHEMA_VERSION}")));
+        // A different seed is a different config → a different cache file.
+        let mut other = config.clone();
+        other.seed ^= 1;
+        assert_ne!(a, cache_path(ExperimentScale::Tiny, &other));
+    }
+
+    #[test]
+    fn corrupt_cache_is_deleted_and_regenerated() {
+        let dataset = SyntheticConfig::amazon_men_like();
+        let config =
+            PipelineConfig::for_scale_with_dataset(ExperimentScale::Tiny, dataset.clone());
+        let path = cache_path(ExperimentScale::Tiny, &config);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).unwrap();
+        }
+        fs::write(&path, b"{ not json").unwrap();
+        let report = run_or_load_dataset(ExperimentScale::Tiny, dataset);
+        assert!(!report.outcomes.is_empty());
+        // The regenerated cache must now be valid JSON.
+        let bytes = fs::read(&path).expect("cache rewritten");
+        assert!(serde_json::from_slice::<DatasetReport>(&bytes).is_ok());
+        fs::remove_file(&path).ok();
     }
 
     #[test]

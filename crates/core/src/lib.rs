@@ -39,7 +39,9 @@
 #![deny(missing_docs)]
 
 mod catalog;
+pub mod checkpoint;
 mod config;
+mod error;
 pub mod experiment;
 pub mod parallel;
 mod pipeline;
@@ -47,9 +49,11 @@ mod report;
 mod scenario;
 
 pub use catalog::{extract_features, l2_normalize_rows, CatalogImages};
+pub use checkpoint::{config_fingerprint, CheckpointError, RunDir, SCHEMA_VERSION};
 pub use config::{CnnConfig, ExperimentScale, PipelineConfig, RecTrainConfig};
+pub use error::PipelineError;
 pub use pipeline::{AttackOutcome, ItemToItemOutcome, ModelKind, Pipeline};
 pub use report::{
-    DatasetReport, Figure2Report, Table2Row, Table3Row, Table4Row, VisualQuality,
+    CellError, DatasetReport, Figure2Report, Table2Row, Table3Row, Table4Row, VisualQuality,
 };
 pub use scenario::AttackScenario;

@@ -47,11 +47,17 @@ pub use taamr_recsys::par_top_n_all;
 mod tests {
     use super::*;
 
+    /// Under the `serial` feature every override collapses to one thread —
+    /// the feature is the strongest knob in the resolution order.
+    fn expected(requested: usize) -> usize {
+        if serial_feature_enabled() { 1 } else { requested }
+    }
+
     #[test]
     fn with_threads_overrides_and_restores() {
         let ambient = current_num_threads();
         let inside = with_threads(3, current_num_threads);
-        assert_eq!(inside, 3);
+        assert_eq!(inside, expected(3));
         assert_eq!(current_num_threads(), ambient);
     }
 
@@ -61,8 +67,8 @@ mod tests {
             let inner = with_threads(2, current_num_threads);
             (current_num_threads(), inner)
         });
-        assert_eq!(outer, 4);
-        assert_eq!(inner, 2);
+        assert_eq!(outer, expected(4));
+        assert_eq!(inner, expected(2));
     }
 
     #[test]

@@ -22,8 +22,12 @@ use taamr_recsys::{
 use taamr_tensor::Tensor;
 use taamr_vision::{tensor_to_images, Category, ProductImageGenerator};
 
+use taamr_fault::FaultSite;
+
 use crate::catalog::{extract_features, l2_normalize_rows, render_training_set, CatalogImages};
-use crate::report::{DatasetReport, Figure2Report, VisualQuality};
+use crate::checkpoint::{fnv1a64, RunDir};
+use crate::error::PipelineError;
+use crate::report::{CellError, DatasetReport, Figure2Report, VisualQuality};
 use crate::{AttackScenario, PipelineConfig};
 
 /// Which trained recommender an operation refers to.
@@ -116,29 +120,107 @@ pub struct Pipeline {
     amr: Amr,
 }
 
+/// CNN stage checkpoint: the flattened network state plus the statistic the
+/// pipeline keeps from training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CnnCheckpoint {
+    state: Vec<f32>,
+    train_accuracy: f32,
+}
+
+/// One persisted attack-grid cell: either an outcome or a structured error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellRecord {
+    outcome: Option<AttackOutcome>,
+    error: Option<CellError>,
+}
+
+/// A deterministic, stage-scoped RNG: each pipeline stage derives its own
+/// stream from the master seed and a stage tag, so completing (or skipping,
+/// on resume) one stage never shifts the randomness of the next.
+fn stage_rng(seed: u64, tag: &str) -> StdRng {
+    StdRng::seed_from_u64(seed ^ fnv1a64(tag.as_bytes()))
+}
+
+/// After persisting stage `ordinal`, simulate a kill if a test scheduled
+/// one ([`FaultSite::StageInterrupt`]).
+fn interrupt_after(ordinal: u64, stage: &str) -> Result<(), PipelineError> {
+    if taamr_fault::fire(FaultSite::StageInterrupt, ordinal) {
+        return Err(PipelineError::Interrupted { after_stage: stage.to_owned() });
+    }
+    Ok(())
+}
+
 impl Pipeline {
     /// Builds the whole system: generates data, trains the CNN, renders the
     /// catalog, extracts features, and trains VBPR and AMR.
     ///
-    /// This is the expensive call; everything after it is evaluation.
+    /// Infallible wrapper around [`Pipeline::try_build`] for callers without
+    /// an error path.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is internally inconsistent (zero sizes,
-    /// image size below 16, dataset categories ≠ [`Category::COUNT`]).
+    /// image size below 16, dataset categories ≠ [`Category::COUNT`]), or if
+    /// training diverges beyond the trainers' bounded rollback retries.
     pub fn build(config: &PipelineConfig) -> Pipeline {
+        match Self::try_build(config) {
+            Ok(pipeline) => pipeline,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the whole system, reporting training divergence as an error
+    /// instead of panicking.
+    ///
+    /// This is the expensive call; everything after it is evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if CNN or recommender training diverges
+    /// beyond the guards' bounded retries.
+    pub fn try_build(config: &PipelineConfig) -> Result<Pipeline, PipelineError> {
+        Self::build_stages(config, None)
+    }
+
+    /// Builds the whole system with per-stage checkpointing under `run`.
+    ///
+    /// Every completed stage (CNN weights, VBPR warm-up, VBPR fine-tune,
+    /// AMR) is persisted atomically; on a restart with the same run
+    /// directory and configuration, valid checkpoints are loaded and only
+    /// the missing stages re-run. Each stage derives its RNG from the master
+    /// seed and the stage name, so a resumed run is bitwise identical to an
+    /// uninterrupted one. Corrupt or mismatched checkpoints are detected by
+    /// checksum/fingerprint, deleted, and their stages regenerated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] on training divergence, checkpoint I/O
+    /// failure, or an injected stage interrupt.
+    pub fn try_build_resumable(
+        config: &PipelineConfig,
+        run: &RunDir,
+    ) -> Result<Pipeline, PipelineError> {
+        Self::build_stages(config, Some(run))
+    }
+
+    fn build_stages(
+        config: &PipelineConfig,
+        run: Option<&RunDir>,
+    ) -> Result<Pipeline, PipelineError> {
         assert_eq!(
             config.dataset.num_categories,
             Category::COUNT,
             "dataset categories must match the vision catalog"
         );
-        let mut rng = StdRng::seed_from_u64(config.seed);
 
         // 1. Interaction data (5-core filtered inside the generator).
         let generated = SyntheticDataset::generate(&config.dataset);
         let dataset = &generated.dataset;
 
-        // 2. Train the CNN classifier on renders disjoint from the catalog.
+        // 2. The CNN classifier — restored from checkpoint, or trained on
+        //    renders disjoint from the catalog. The stage RNG covers both
+        //    weight init and training.
         let generator = ProductImageGenerator::new(config.cnn.image_size, config.catalog_seed);
         let arch = TinyResNetConfig {
             in_channels: 3,
@@ -147,28 +229,49 @@ impl Pipeline {
             stages: config.cnn.stages,
             num_classes: Category::COUNT,
         };
-        let mut classifier = TinyResNet::new(&arch, &mut rng);
-        let (train_images, labels) =
-            render_training_set(&generator, config.cnn.train_images_per_category);
-        let images_tensor = taamr_vision::images_to_tensor(&train_images);
-        let trainer = Trainer::new(TrainerConfig {
-            epochs: config.cnn.epochs,
-            batch_size: config.cnn.batch_size,
-            sgd: SgdConfig {
-                lr: config.cnn.lr,
-                momentum: 0.9,
-                weight_decay: 5e-4,
-                schedule: LrSchedule::Cosine {
-                    total_epochs: config.cnn.epochs,
-                    floor: config.cnn.lr * 0.05,
-                },
-            },
-            log_every: 0,
-        });
-        let history = trainer.fit(&mut classifier, &images_tensor, &labels, &mut rng);
-        let cnn_train_accuracy = history.last().map(|s| s.accuracy).unwrap_or(0.0);
+        let mut cnn_rng = stage_rng(config.seed, "cnn");
+        let mut classifier = TinyResNet::new(&arch, &mut cnn_rng);
+        let restored = run
+            .and_then(|r| r.load_stage::<CnnCheckpoint>("cnn"))
+            .filter(|ck| classifier.load_state_vec(&ck.state).is_ok());
+        let cnn_train_accuracy = match restored {
+            Some(ck) => ck.train_accuracy,
+            None => {
+                let (train_images, labels) =
+                    render_training_set(&generator, config.cnn.train_images_per_category);
+                let images_tensor = taamr_vision::images_to_tensor(&train_images);
+                let trainer = Trainer::new(TrainerConfig {
+                    epochs: config.cnn.epochs,
+                    batch_size: config.cnn.batch_size,
+                    sgd: SgdConfig {
+                        lr: config.cnn.lr,
+                        momentum: 0.9,
+                        weight_decay: 5e-4,
+                        schedule: LrSchedule::Cosine {
+                            total_epochs: config.cnn.epochs,
+                            floor: config.cnn.lr * 0.05,
+                        },
+                    },
+                    log_every: 0,
+                    divergence: taamr_nn::DivergenceConfig::default(),
+                });
+                let history =
+                    trainer.try_fit(&mut classifier, &images_tensor, &labels, &mut cnn_rng)?;
+                let acc = history.last().map(|s| s.accuracy).unwrap_or(0.0);
+                if let Some(r) = run {
+                    r.save_stage(
+                        "cnn",
+                        &CnnCheckpoint { state: classifier.state_vec(), train_accuracy: acc },
+                    )?;
+                }
+                acc
+            }
+        };
+        interrupt_after(0, "cnn")?;
 
-        // 3. Render the catalog and extract clean features.
+        // 3. Render the catalog and extract clean features. This is
+        //    recomputed on every (re)start: it is deterministic given the
+        //    classifier, so it needs no checkpoint.
         let catalog = CatalogImages::render(dataset, &generator);
         let features = extract_features(&classifier, catalog.images(), 16);
         // Hold-out accuracy: how often the classifier assigns catalog items
@@ -190,45 +293,83 @@ impl Pipeline {
         //    have arbitrary scale and blow up the pairwise SGD); the raw
         //    features are kept for the PSM metric.
         let d = classifier.feature_dim();
-        let mut rec_features = features.clone();
-        l2_normalize_rows(&mut rec_features, d);
-        let mut vbpr = Vbpr::new(
-            dataset.num_users(),
-            dataset.num_items(),
-            d,
-            rec_features,
-            config.vbpr.clone(),
-            &mut rng,
-        );
-        let rec_trainer = PairwiseTrainer::new(PairwiseConfig {
-            epochs: config.rec_train.warmup_epochs,
-            triplets_per_epoch: None,
-            lr: config.rec_train.lr,
-        });
-        rec_trainer.fit(&mut vbpr, dataset, &mut rng);
-        let checkpoint = vbpr.clone();
+        let rec_diverged = |model: &'static str| {
+            move |source: taamr_recsys::PairwiseDiverged| PipelineError::RecDiverged {
+                model,
+                source,
+            }
+        };
+        let warmup = match run.and_then(|r| r.load_stage::<Vbpr>("vbpr-warmup")) {
+            Some(v) => v,
+            None => {
+                let mut rng = stage_rng(config.seed, "vbpr-warmup");
+                let mut rec_features = features.clone();
+                l2_normalize_rows(&mut rec_features, d);
+                let mut v = Vbpr::new(
+                    dataset.num_users(),
+                    dataset.num_items(),
+                    d,
+                    rec_features,
+                    config.vbpr.clone(),
+                    &mut rng,
+                );
+                let rec_trainer = PairwiseTrainer::new(PairwiseConfig {
+                    epochs: config.rec_train.warmup_epochs,
+                    triplets_per_epoch: None,
+                    lr: config.rec_train.lr,
+                });
+                rec_trainer.try_fit(&mut v, dataset, &mut rng).map_err(rec_diverged("VBPR"))?;
+                if let Some(r) = run {
+                    r.save_stage("vbpr-warmup", &v)?;
+                }
+                v
+            }
+        };
+        interrupt_after(1, "vbpr-warmup")?;
 
         let finetune = PairwiseTrainer::new(PairwiseConfig {
             epochs: config.rec_train.finetune_epochs,
             triplets_per_epoch: None,
             lr: config.rec_train.lr,
         });
-        finetune.fit(&mut vbpr, dataset, &mut rng);
-        let mut amr = Amr::from_vbpr(checkpoint, config.amr);
-        finetune.fit(&mut amr, dataset, &mut rng);
+        let vbpr = match run.and_then(|r| r.load_stage::<Vbpr>("vbpr")) {
+            Some(v) => v,
+            None => {
+                let mut rng = stage_rng(config.seed, "vbpr-finetune");
+                let mut v = warmup.clone();
+                finetune.try_fit(&mut v, dataset, &mut rng).map_err(rec_diverged("VBPR"))?;
+                if let Some(r) = run {
+                    r.save_stage("vbpr", &v)?;
+                }
+                v
+            }
+        };
+        interrupt_after(2, "vbpr")?;
 
-        // Divergence guard: every downstream number silently degenerates if
-        // a recommender produced NaN scores, so fail loudly here instead.
-        for (name, scores) in
-            [("VBPR", vbpr.score_all(0)), ("AMR", amr.score_all(0))]
-        {
-            assert!(
-                scores.iter().all(|s| s.is_finite()),
-                "{name} training diverged (non-finite scores); lower the learning rate"
-            );
+        let amr = match run.and_then(|r| r.load_stage::<Amr>("amr")) {
+            Some(a) => a,
+            None => {
+                let mut rng = stage_rng(config.seed, "amr");
+                let mut a = Amr::from_vbpr(warmup, config.amr);
+                finetune.try_fit(&mut a, dataset, &mut rng).map_err(rec_diverged("AMR"))?;
+                if let Some(r) = run {
+                    r.save_stage("amr", &a)?;
+                }
+                a
+            }
+        };
+        interrupt_after(3, "amr")?;
+
+        // Divergence guard of last resort: every downstream number silently
+        // degenerates if a recommender produced NaN scores, so fail loudly
+        // here instead.
+        for (model, scores) in [("VBPR", vbpr.score_all(0)), ("AMR", amr.score_all(0))] {
+            if !scores.iter().all(|s| s.is_finite()) {
+                return Err(PipelineError::NonFiniteScores { model });
+            }
         }
 
-        Pipeline {
+        Ok(Pipeline {
             config: config.clone(),
             classifier,
             cnn_train_accuracy,
@@ -238,7 +379,7 @@ impl Pipeline {
             features,
             vbpr,
             amr,
-        }
+        })
     }
 
     /// The configuration the pipeline was built from.
@@ -331,16 +472,41 @@ impl Pipeline {
     /// Runs one attack configuration end-to-end and measures its impact:
     /// perturb every source-category image, re-extract features, re-rank,
     /// and compute CHR / success-rate / visual-quality numbers.
+    ///
+    /// Infallible wrapper around [`Pipeline::try_run_attack`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's source category has no items.
     pub fn run_attack(
         &mut self,
         kind: ModelKind,
         attack: &dyn Attack,
         scenario: AttackScenario,
     ) -> AttackOutcome {
+        match self.try_run_attack(kind, attack, scenario) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Pipeline::run_attack`] with an error path: an unusable scenario
+    /// (e.g. an empty source category) becomes a [`PipelineError`] so a grid
+    /// run can record the cell as failed and keep going.
+    pub fn try_run_attack(
+        &mut self,
+        kind: ModelKind,
+        attack: &dyn Attack,
+        scenario: AttackScenario,
+    ) -> Result<AttackOutcome, PipelineError> {
         let source_id = scenario.source.id();
         let target_id = scenario.target.id();
         let mut items = self.dataset().items_of_category(source_id);
-        assert!(!items.is_empty(), "source category {} has no items", scenario.source);
+        if items.is_empty() {
+            return Err(PipelineError::AttackFailed {
+                message: format!("source category {} has no items", scenario.source),
+            });
+        }
         if let Some(cap) = self.attack_item_cap() {
             items.truncate(cap);
         }
@@ -409,7 +575,7 @@ impl Pipeline {
             }
         };
 
-        AttackOutcome {
+        Ok(AttackOutcome {
             attack: attack.name().to_owned(),
             epsilon_255: attack.epsilon().as_255(),
             model: kind,
@@ -422,7 +588,7 @@ impl Pipeline {
             success_rate: successes as f64 / items.len() as f64,
             visual: quality_acc.mean(),
             attacked_items: items.len(),
-        }
+        })
     }
 
     /// The scenarios a paper experiment runs for `kind`: the configured
@@ -444,19 +610,63 @@ impl Pipeline {
         [similar, dissimilar].into_iter().flatten().collect()
     }
 
-    /// Runs the paper's full per-dataset experiment: both models, both
-    /// attacks (FGSM and 10-step PGD), both scenarios, all four ε values.
-    pub fn run_paper_experiment(&mut self) -> DatasetReport {
-        let mut outcomes = Vec::new();
+    /// The full attack grid in deterministic order: every model × scenario
+    /// × ε × attack cell. Cell ordinals index fault injection and per-cell
+    /// checkpoints.
+    fn attack_grid(&self) -> Vec<(ModelKind, AttackScenario, Epsilon, bool)> {
+        let mut cells = Vec::new();
         for kind in ModelKind::ALL {
-            let scenarios = self.experiment_scenarios(kind);
-            for scenario in scenarios {
+            for scenario in self.experiment_scenarios(kind) {
                 for eps in Epsilon::paper_sweep() {
-                    let fgsm = Fgsm::new(eps);
-                    outcomes.push(self.run_attack(kind, &fgsm, scenario));
-                    let pgd = Pgd::new(eps);
-                    outcomes.push(self.run_attack(kind, &pgd, scenario));
+                    for is_pgd in [false, true] {
+                        cells.push((kind, scenario, eps, is_pgd));
+                    }
                 }
+            }
+        }
+        cells
+    }
+
+    /// Computes one grid cell, degrading a failure into a [`CellError`]
+    /// instead of aborting the experiment.
+    fn run_cell(
+        &mut self,
+        ordinal: u64,
+        (kind, scenario, eps, is_pgd): (ModelKind, AttackScenario, Epsilon, bool),
+    ) -> CellRecord {
+        let attack: Box<dyn Attack> =
+            if is_pgd { Box::new(Pgd::new(eps)) } else { Box::new(Fgsm::new(eps)) };
+        let result = if taamr_fault::fire(FaultSite::AttackCell, ordinal) {
+            Err(PipelineError::AttackFailed { message: "injected cell fault".to_owned() })
+        } else {
+            self.try_run_attack(kind, attack.as_ref(), scenario)
+        };
+        match result {
+            Ok(outcome) => CellRecord { outcome: Some(outcome), error: None },
+            Err(e) => CellRecord {
+                outcome: None,
+                error: Some(CellError {
+                    model: kind,
+                    attack: attack.name().to_owned(),
+                    source: scenario.source.name().to_owned(),
+                    target: scenario.target.name().to_owned(),
+                    epsilon_255: eps.as_255(),
+                    message: e.to_string(),
+                }),
+            },
+        }
+    }
+
+    /// Assembles the final report from completed cell records.
+    fn report_from_cells(&self, cells: Vec<CellRecord>) -> DatasetReport {
+        let mut outcomes = Vec::new();
+        let mut errors = Vec::new();
+        for cell in cells {
+            if let Some(o) = cell.outcome {
+                outcomes.push(o);
+            }
+            if let Some(e) = cell.error {
+                errors.push(e);
             }
         }
         DatasetReport {
@@ -465,7 +675,62 @@ impl Pipeline {
             chr_n: self.config.chr_n,
             cnn_holdout_accuracy: self.cnn_holdout_accuracy,
             outcomes,
+            errors,
         }
+    }
+
+    /// Runs the paper's full per-dataset experiment: both models, both
+    /// attacks (FGSM and 10-step PGD), both scenarios, all four ε values.
+    ///
+    /// A cell that fails is recorded as a [`CellError`] in the report (the
+    /// tables render a marked gap) rather than aborting the whole grid.
+    pub fn run_paper_experiment(&mut self) -> DatasetReport {
+        let grid = self.attack_grid();
+        let records = grid
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| self.run_cell(i as u64, cell))
+            .collect();
+        self.report_from_cells(records)
+    }
+
+    /// [`Pipeline::run_paper_experiment`] with per-cell checkpointing under
+    /// `run`: each completed grid cell is persisted atomically, so a run
+    /// killed mid-grid resumes from the first missing cell and produces a
+    /// byte-identical report. Corrupt cell checkpoints are detected by
+    /// checksum, deleted, and recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] on checkpoint I/O failure or an injected
+    /// grid interrupt.
+    pub fn try_run_paper_experiment_resumable(
+        &mut self,
+        run: &RunDir,
+    ) -> Result<DatasetReport, PipelineError> {
+        let grid = self.attack_grid();
+        let mut records = Vec::with_capacity(grid.len());
+        for (i, cell) in grid.into_iter().enumerate() {
+            let ordinal = i as u64;
+            // Simulated kill immediately before this cell: completed cells
+            // keep their checkpoints, so a re-run resumes here.
+            if taamr_fault::fire(FaultSite::GridInterrupt, ordinal) {
+                return Err(PipelineError::Interrupted {
+                    after_stage: format!("cell-{:03}", i.saturating_sub(1)),
+                });
+            }
+            let stage = format!("cell-{i:03}");
+            let record = match run.load_stage::<CellRecord>(&stage) {
+                Some(cached) => cached,
+                None => {
+                    let computed = self.run_cell(ordinal, cell);
+                    run.save_stage(&stage, &computed)?;
+                    computed
+                }
+            };
+            records.push(record);
+        }
+        Ok(self.report_from_cells(records))
     }
 
     /// Reproduces Fig. 2: attacks one source-category item with PGD (ε = 8)

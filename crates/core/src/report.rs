@@ -115,6 +115,41 @@ impl fmt::Display for Figure2Report {
     }
 }
 
+/// A structured record of one attack-grid cell that failed instead of
+/// producing an [`AttackOutcome`]. The experiment degrades gracefully: the
+/// cell is recorded here, the tables render a marked gap, and every other
+/// cell's numbers are unaffected.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellError {
+    /// Model under attack.
+    pub model: ModelKind,
+    /// Attack name ("FGSM" / "PGD").
+    pub attack: String,
+    /// Source category name.
+    pub source: String,
+    /// Target category name.
+    pub target: String,
+    /// Budget on the 0–255 scale.
+    pub epsilon_255: f32,
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}→{} ε={}: {}",
+            self.model.name(),
+            self.attack,
+            self.source,
+            self.target,
+            self.epsilon_255,
+            self.message
+        )
+    }
+}
+
 /// Everything measured for one dataset: the raw outcomes plus the dataset
 /// statistics. [`DatasetReport::table2`], [`table3`](DatasetReport::table3)
 /// and [`table4`](DatasetReport::table4) pivot the outcomes into the paper's
@@ -131,6 +166,8 @@ pub struct DatasetReport {
     pub cnn_holdout_accuracy: f32,
     /// Every attack outcome.
     pub outcomes: Vec<AttackOutcome>,
+    /// Grid cells that failed; the tables render these as marked gaps.
+    pub errors: Vec<CellError>,
 }
 
 impl DatasetReport {
@@ -235,6 +272,7 @@ impl DatasetReport {
                 eps.join("  ")
             ));
         }
+        self.append_gaps(&mut s);
         s
     }
 
@@ -246,6 +284,7 @@ impl DatasetReport {
                 r.success.iter().map(|(e, v)| format!("ε={e}: {:>6.2}%", v * 100.0)).collect();
             s.push_str(&format!("  {:<28} {:<5} {}\n", r.scenario, r.attack, eps.join("  ")));
         }
+        self.append_gaps(&mut s);
         s
     }
 
@@ -257,7 +296,22 @@ impl DatasetReport {
                 r.values.iter().map(|(e, v)| format!("ε={e}: {v:.4}")).collect();
             s.push_str(&format!("  {:<5} {:<5} {}\n", r.metric, r.attack, eps.join("  ")));
         }
+        self.append_gaps(&mut s);
         s
+    }
+
+    /// Appends the marked-gap footer listing failed grid cells, if any.
+    fn append_gaps(&self, s: &mut String) {
+        if self.errors.is_empty() {
+            return;
+        }
+        s.push_str(&format!(
+            "  [!] {} grid cell(s) missing — run failed there and degraded gracefully:\n",
+            self.errors.len()
+        ));
+        for e in &self.errors {
+            s.push_str(&format!("      MISSING {e}\n"));
+        }
     }
 }
 
@@ -299,6 +353,7 @@ mod tests {
                 outcome(ModelKind::Vbpr, "PGD", 2.0, 3.6),
                 outcome(ModelKind::Amr, "PGD", 2.0, 2.0),
             ],
+            errors: Vec::new(),
         }
     }
 
@@ -333,6 +388,42 @@ mod tests {
         assert!(r.render_table2().contains("Sock"));
         assert!(r.render_table3().contains("FGSM"));
         assert!(r.render_table4().contains("PSNR"));
+    }
+
+    #[test]
+    fn failed_cells_render_as_marked_gaps() {
+        let mut r = report();
+        r.errors.push(CellError {
+            model: ModelKind::Amr,
+            attack: "PGD".into(),
+            source: "Sock".into(),
+            target: "Running Shoes".into(),
+            epsilon_255: 8.0,
+            message: "injected fault".into(),
+        });
+        for rendered in [r.render_table2(), r.render_table3(), r.render_table4()] {
+            assert!(rendered.contains("MISSING"), "gap marker present:\n{rendered}");
+            assert!(rendered.contains("injected fault"));
+        }
+        // A clean report renders no gap footer.
+        let clean = report();
+        assert!(!clean.render_table2().contains("MISSING"));
+    }
+
+    #[test]
+    fn cell_errors_round_trip_through_json() {
+        let e = CellError {
+            model: ModelKind::Vbpr,
+            attack: "FGSM".into(),
+            source: "Sock".into(),
+            target: "Boot".into(),
+            epsilon_255: 4.0,
+            message: "boom".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: CellError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.message, "boom");
+        assert_eq!(back.epsilon_255, 4.0);
     }
 
     #[test]

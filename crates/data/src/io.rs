@@ -20,6 +20,15 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 
 use crate::ImplicitDataset;
 
+/// Largest accepted value for any count field (`users`, `items`,
+/// `categories`, `interactions`) in a dataset file.
+///
+/// The biggest paper dataset has ~26k users and ~85k items; this cap is four
+/// orders of magnitude above that, so it only ever rejects corrupt or
+/// hostile headers — a declared count drives an up-front allocation, and
+/// without a bound a one-line file could request terabytes.
+pub const MAX_DECLARED_COUNT: usize = 1 << 27;
+
 /// Writes `dataset` in the `taamr-dataset v1` text format.
 ///
 /// # Errors
@@ -47,7 +56,8 @@ pub fn write_dataset<W: Write>(dataset: &ImplicitDataset, mut writer: W) -> io::
 /// # Errors
 ///
 /// Returns `InvalidData` errors for version/field mismatches, out-of-range
-/// ids, or truncated files.
+/// ids, counts above [`MAX_DECLARED_COUNT`], or truncated files. Malformed
+/// input never panics and never drives an unbounded allocation.
 pub fn read_dataset<R: Read>(reader: R) -> io::Result<ImplicitDataset> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
     let mut lines = BufReader::new(reader).lines();
@@ -64,7 +74,12 @@ pub fn read_dataset<R: Read>(reader: R) -> io::Result<ImplicitDataset> {
         let rest = line
             .strip_prefix(name)
             .ok_or_else(|| bad(&format!("expected `{name}` line")))?;
-        rest.trim().parse().map_err(|_| bad(&format!("bad `{name}` value")))
+        let value: usize =
+            rest.trim().parse().map_err(|_| bad(&format!("bad `{name}` value")))?;
+        if value > MAX_DECLARED_COUNT {
+            return Err(bad(&format!("`{name}` count exceeds the supported maximum")));
+        }
+        Ok(value)
     };
     let num_users = field(next("users")?, "users")?;
     let num_items = field(next("items")?, "items")?;
@@ -148,6 +163,27 @@ mod tests {
         for (k, case) in cases.into_iter().enumerate() {
             assert!(read_dataset(case).is_err(), "case {k} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_hostile_counts_without_allocating() {
+        // A declared user count above the cap must fail before `vec![...; n]`.
+        let huge = format!("taamr-dataset v1\nusers {}\n", MAX_DECLARED_COUNT + 1);
+        assert!(read_dataset(huge.as_bytes()).is_err());
+        let huge_items = format!(
+            "taamr-dataset v1\nusers 1\nitems {}\ncategories 1\n",
+            usize::MAX
+        );
+        assert!(read_dataset(huge_items.as_bytes()).is_err());
+        let huge_count = format!(
+            "taamr-dataset v1\nusers 1\nitems 1\ncategories 1\nitemcats 0\ninteractions {}\n",
+            MAX_DECLARED_COUNT + 1
+        );
+        assert!(read_dataset(huge_count.as_bytes()).is_err());
+        // The boundary itself is about declared counts, not real data: a
+        // file that declares a legal count but is truncated still errors.
+        let truncated = "taamr-dataset v1\nusers 2\nitems 1\ncategories 1\nitemcats 0\ninteractions 3\n0 0\n";
+        assert!(read_dataset(truncated.as_bytes()).is_err());
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
             epochs: 8,
             batch_size: 8,
             sgd: SgdConfig { lr: 0.05, ..SgdConfig::default() },
-            log_every: 0,
+            ..TrainerConfig::default()
         });
         trainer.fit(&mut teacher, &images, &labels, &mut rng);
         assert!(trainer.evaluate(&mut teacher, &images, &labels) > 0.9);

@@ -99,6 +99,15 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Mutable views of every tensor defining the layer's persistent state:
+    /// trainable parameter values plus any non-trainable buffers (batch-norm
+    /// running statistics). Checkpointing flattens these in order, so the
+    /// order must be stable across calls. The default covers layers whose
+    /// state is exactly their parameters.
+    fn state_tensors(&mut self) -> Vec<&mut Tensor> {
+        self.params_mut().into_iter().map(|p| &mut p.value).collect()
+    }
+
     /// A short human-readable layer name for debugging.
     fn name(&self) -> &'static str;
 

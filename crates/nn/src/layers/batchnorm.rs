@@ -184,6 +184,15 @@ impl Layer for BatchNorm2d {
         vec![&mut self.gamma, &mut self.beta]
     }
 
+    fn state_tensors(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.gamma.value,
+            &mut self.beta.value,
+            &mut self.running_mean,
+            &mut self.running_var,
+        ]
+    }
+
     fn name(&self) -> &'static str {
         "BatchNorm2d"
     }

@@ -117,6 +117,18 @@ impl Layer for ResidualBlock {
         p
     }
 
+    fn state_tensors(&mut self) -> Vec<&mut Tensor> {
+        let mut t = self.conv1.state_tensors();
+        t.extend(self.bn1.state_tensors());
+        t.extend(self.conv2.state_tensors());
+        t.extend(self.bn2.state_tensors());
+        if let Some((conv, bn)) = &mut self.shortcut {
+            t.extend(conv.state_tensors());
+            t.extend(bn.state_tensors());
+        }
+        t
+    }
+
     fn name(&self) -> &'static str {
         "ResidualBlock"
     }

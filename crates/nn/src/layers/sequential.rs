@@ -73,6 +73,10 @@ impl Layer for Sequential {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 
+    fn state_tensors(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.state_tensors()).collect()
+    }
+
     fn name(&self) -> &'static str {
         "Sequential"
     }

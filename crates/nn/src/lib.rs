@@ -54,4 +54,4 @@ pub use layers::{
 };
 pub use optimizer::{LrSchedule, Sgd, SgdConfig};
 pub use resnet::{TinyResNet, TinyResNetConfig};
-pub use trainer::{EpochStats, Trainer, TrainerConfig};
+pub use trainer::{DivergenceConfig, EpochStats, TrainDiverged, Trainer, TrainerConfig};

@@ -75,17 +75,36 @@ impl Default for SgdConfig {
 pub struct Sgd {
     config: SgdConfig,
     epoch: usize,
+    lr_scale: f32,
 }
 
 impl Sgd {
     /// Creates an optimiser from a configuration.
     pub fn new(config: SgdConfig) -> Self {
-        Sgd { config, epoch: 0 }
+        Sgd { config, epoch: 0, lr_scale: 1.0 }
     }
 
     /// The currently effective learning rate.
     pub fn current_lr(&self) -> f32 {
-        self.config.schedule.rate_at(self.config.lr, self.epoch)
+        self.config.schedule.rate_at(self.config.lr, self.epoch) * self.lr_scale
+    }
+
+    /// Multiplies every future learning rate by `factor` (composes with the
+    /// schedule). The divergence guard uses this for deterministic LR
+    /// backoff after a rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    pub fn scale_lr(&mut self, factor: f32) {
+        assert!(factor.is_finite() && factor > 0.0, "LR scale must be positive and finite");
+        self.lr_scale *= factor;
+    }
+
+    /// The accumulated learning-rate scale (1.0 unless a rollback backed
+    /// off).
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
     }
 
     /// Advances the schedule by one epoch.

@@ -158,6 +158,59 @@ impl TinyResNet {
         p
     }
 
+    /// Every tensor defining the network's persistent state, trunk then
+    /// head: parameter values plus batch-norm running statistics. The order
+    /// is stable, so [`TinyResNet::state_vec`] round-trips.
+    fn state_tensors(&mut self) -> Vec<&mut Tensor> {
+        let mut t = self.trunk.state_tensors();
+        t.extend(self.head.state_tensors());
+        t
+    }
+
+    /// Flattens the full persistent state (weights, biases, batch-norm
+    /// running statistics) into one vector for checkpointing.
+    pub fn state_vec(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for t in self.state_tensors() {
+            out.extend_from_slice(t.as_slice());
+        }
+        out
+    }
+
+    /// Restores state captured by [`TinyResNet::state_vec`] on a network of
+    /// the same architecture. The inverse operation is exact: a restored
+    /// network produces bitwise-identical forwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected length if `data` does not match this
+    /// architecture's state size; the network is left unmodified.
+    pub fn load_state_vec(&mut self, data: &[f32]) -> Result<(), usize> {
+        let expected: usize = {
+            let mut n = 0;
+            for t in self.state_tensors() {
+                n += t.len();
+            }
+            n
+        };
+        if data.len() != expected {
+            return Err(expected);
+        }
+        let mut offset = 0;
+        for t in self.state_tensors() {
+            let n = t.len();
+            t.as_mut_slice().copy_from_slice(&data[offset..offset + n]);
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Whether every parameter value is finite — the divergence guard's
+    /// health check.
+    pub fn is_finite_state(&mut self) -> bool {
+        self.state_tensors().iter().all(|t| t.as_slice().iter().all(|v| v.is_finite()))
+    }
+
     /// Zeroes all parameter gradients.
     pub fn zero_grads(&mut self) {
         self.trunk.zero_grads();

@@ -134,6 +134,10 @@ impl PairwiseModel for Amr {
         self.inner.sgd_step_with_features(t, &f_i_adv, &f_j_adv, lr, self.config.gamma);
         loss
     }
+
+    fn is_finite_state(&self) -> bool {
+        self.inner.is_finite_state()
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,14 @@ impl PairwiseModel for BprMf {
         self.item_bias[t.negative] -= lr * (coeff + self.reg * self.item_bias[t.negative]);
         loss
     }
+
+    fn is_finite_state(&self) -> bool {
+        self.user_factors
+            .iter()
+            .chain(&self.item_factors)
+            .chain(&self.item_bias)
+            .all(|v| v.is_finite())
+    }
 }
 
 #[cfg(test)]

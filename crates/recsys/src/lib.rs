@@ -48,7 +48,9 @@ pub use amr::{Amr, AmrConfig};
 pub use bpr::BprMf;
 pub use popularity::Popularity;
 pub use recommend::{item_rank, par_top_n_all, top_n_indices};
-pub use train::{PairwiseConfig, PairwiseModel, PairwiseTrainer};
+pub use train::{
+    PairwiseConfig, PairwiseDiverged, PairwiseDivergence, PairwiseModel, PairwiseTrainer,
+};
 pub use vbpr::{Vbpr, VbprConfig};
 
 /// A trained top-N recommender.

@@ -1,13 +1,24 @@
-//! Shared SGD training driver for pairwise-ranking models.
+//! Shared SGD training driver for pairwise-ranking models, with divergence
+//! guards.
+
+use std::fmt;
 
 use rand::Rng;
 use taamr_data::{ImplicitDataset, Triplet, TripletSampler};
+use taamr_fault::FaultSite;
 
 /// A model trainable by per-triplet SGD on the BPR objective.
 pub trait PairwiseModel {
     /// Performs one SGD step on triplet `t` with learning rate `lr` and
     /// returns the triplet's BPR loss *before* the update.
     fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32;
+
+    /// Whether every learned parameter is finite. The trainer's divergence
+    /// guard polls this after each epoch; the default claims health, so
+    /// models that cannot corrupt (or do not care) need no override.
+    fn is_finite_state(&self) -> bool {
+        true
+    }
 }
 
 /// Configuration for [`PairwiseTrainer`].
@@ -28,14 +39,57 @@ impl Default for PairwiseConfig {
     }
 }
 
+/// Divergence-guard policy for [`PairwiseTrainer`]; see
+/// [`PairwiseTrainer::with_divergence`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseDivergence {
+    /// Rollback + retry attempts per epoch before giving up.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on each rollback (kept for all
+    /// subsequent epochs).
+    pub lr_backoff: f32,
+}
+
+impl Default for PairwiseDivergence {
+    fn default() -> Self {
+        PairwiseDivergence { max_retries: 3, lr_backoff: 0.5 }
+    }
+}
+
+/// Pairwise training diverged beyond recovery: an epoch kept producing a
+/// non-finite loss (or non-finite parameters) through every rollback +
+/// LR-backoff retry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseDiverged {
+    /// The epoch that could not be completed.
+    pub epoch: usize,
+    /// Retry attempts spent on it.
+    pub attempts: usize,
+    /// The offending mean loss of the final attempt.
+    pub last_loss: f32,
+}
+
+impl fmt::Display for PairwiseDiverged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pairwise training diverged at epoch {} (loss {}) after {} rollback attempts",
+            self.epoch, self.last_loss, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for PairwiseDiverged {}
+
 /// SGD driver shared by [`crate::BprMf`], [`crate::Vbpr`] and [`crate::Amr`].
 #[derive(Debug, Clone)]
 pub struct PairwiseTrainer {
     config: PairwiseConfig,
+    divergence: PairwiseDivergence,
 }
 
 impl PairwiseTrainer {
-    /// Creates a trainer.
+    /// Creates a trainer with the default divergence guard.
     ///
     /// # Panics
     ///
@@ -43,29 +97,100 @@ impl PairwiseTrainer {
     pub fn new(config: PairwiseConfig) -> Self {
         assert!(config.epochs > 0, "epoch count must be positive");
         assert!(config.lr > 0.0, "learning rate must be positive");
-        PairwiseTrainer { config }
+        PairwiseTrainer { config, divergence: PairwiseDivergence::default() }
+    }
+
+    /// Replaces the divergence-guard policy.
+    #[must_use]
+    pub fn with_divergence(mut self, divergence: PairwiseDivergence) -> Self {
+        self.divergence = divergence;
+        self
     }
 
     /// Trains `model` on `dataset`, returning mean BPR loss per epoch.
-    pub fn fit(
+    ///
+    /// Infallible wrapper around [`PairwiseTrainer::try_fit`] for callers
+    /// without an error path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training diverges beyond the guard's bounded retries.
+    pub fn fit<M, R>(&self, model: &mut M, dataset: &ImplicitDataset, rng: &mut R) -> Vec<f32>
+    where
+        M: PairwiseModel + Clone,
+        R: Rng + Clone,
+    {
+        match self.try_fit(model, dataset, rng) {
+            Ok(losses) => losses,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Trains `model` on `dataset`, returning mean BPR loss per epoch, or a
+    /// [`PairwiseDiverged`] error if an epoch stayed non-finite through every
+    /// rollback + LR-backoff retry.
+    ///
+    /// Each epoch starts from a snapshot of the model and RNG. If the epoch
+    /// ends with a non-finite mean loss or non-finite parameters
+    /// ([`PairwiseModel::is_finite_state`]), the snapshot is restored, the
+    /// learning rate is backed off, and the epoch is retried — at most
+    /// [`PairwiseDivergence::max_retries`] times. Healthy epochs are bitwise
+    /// identical to an unguarded run: the guard only reads state.
+    pub fn try_fit<M, R>(
         &self,
-        model: &mut impl PairwiseModel,
+        model: &mut M,
         dataset: &ImplicitDataset,
-        rng: &mut impl Rng,
-    ) -> Vec<f32> {
+        rng: &mut R,
+    ) -> Result<Vec<f32>, PairwiseDiverged>
+    where
+        M: PairwiseModel + Clone,
+        R: Rng + Clone,
+    {
         let sampler = TripletSampler::new(dataset);
         let per_epoch =
             self.config.triplets_per_epoch.unwrap_or_else(|| dataset.num_interactions());
+        let mut lr = self.config.lr;
         let mut losses = Vec::with_capacity(self.config.epochs);
-        for _ in 0..self.config.epochs {
-            let mut total = 0.0f64;
-            for _ in 0..per_epoch {
-                let t = sampler.sample(rng);
-                total += f64::from(model.sgd_step(&t, self.config.lr));
-            }
-            losses.push((total / per_epoch.max(1) as f64) as f32);
+        for epoch in 0..self.config.epochs {
+            let mut attempts = 0usize;
+            let mean = loop {
+                // Rollback point: the model and the RNG, so a retry replays
+                // the identical triplet stream.
+                let snapshot_model = model.clone();
+                let snapshot_rng = rng.clone();
+
+                let mut total = 0.0f64;
+                for _ in 0..per_epoch {
+                    let t = sampler.sample(rng);
+                    total += f64::from(model.sgd_step(&t, lr));
+                }
+                // Test-only fault injection: poison this epoch's loss once
+                // so the rollback path below is exercised end-to-end.
+                if taamr_fault::fire(FaultSite::PairwiseEpochLoss, epoch as u64) {
+                    total = f64::NAN;
+                }
+                let mean = (total / per_epoch.max(1) as f64) as f32;
+                if mean.is_finite() && model.is_finite_state() {
+                    break mean;
+                }
+
+                attempts += 1;
+                if attempts > self.divergence.max_retries {
+                    return Err(PairwiseDiverged {
+                        epoch,
+                        attempts: attempts - 1,
+                        last_loss: mean,
+                    });
+                }
+                *model = snapshot_model;
+                *rng = snapshot_rng;
+                // The backoff persists into later epochs: a rate that just
+                // exploded should not return to full strength.
+                lr *= self.divergence.lr_backoff;
+            };
+            losses.push(mean);
         }
-        losses
+        Ok(losses)
     }
 }
 
@@ -84,9 +209,11 @@ pub(crate) fn bpr_loss_and_coeff(x: f32) -> (f32, f32) {
 mod tests {
     use super::*;
     use taamr_data::ImplicitDataset;
+    use taamr_fault::FaultPlan;
 
     /// A scalar toy model: score(u, i) = w[i]; BPR pushes w[pos] above
     /// w[neg].
+    #[derive(Clone)]
     struct Toy {
         w: Vec<f32>,
     }
@@ -99,6 +226,15 @@ mod tests {
             self.w[t.negative] -= lr * coeff;
             loss
         }
+
+        fn is_finite_state(&self) -> bool {
+            self.w.iter().all(|v| v.is_finite())
+        }
+    }
+
+    fn toy_dataset() -> ImplicitDataset {
+        // Users 0,1 both like item 0 and 1, never items 2,3.
+        ImplicitDataset::new(vec![vec![0, 1], vec![0, 1]], vec![0; 4], 1)
     }
 
     #[test]
@@ -119,8 +255,7 @@ mod tests {
     #[test]
     fn trainer_reduces_loss_on_separable_toy() {
         use rand::SeedableRng;
-        // Users 0,1 both like item 0 and 1, never items 2,3.
-        let d = ImplicitDataset::new(vec![vec![0, 1], vec![0, 1]], vec![0; 4], 1);
+        let d = toy_dataset();
         let mut model = Toy { w: vec![0.0; 4] };
         let trainer = PairwiseTrainer::new(PairwiseConfig {
             epochs: 30,
@@ -130,6 +265,97 @@ mod tests {
         let losses = trainer.fit(&mut model, &d, &mut rand::rngs::StdRng::seed_from_u64(0));
         assert!(losses.last().unwrap() < &losses[0]);
         assert!(model.w[0] > model.w[2] && model.w[1] > model.w[3]);
+    }
+
+    #[test]
+    fn injected_nan_epoch_rolls_back_and_recovers() {
+        use rand::SeedableRng;
+        let d = toy_dataset();
+        let mut model = Toy { w: vec![0.0; 4] };
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 5,
+            triplets_per_epoch: Some(10),
+            lr: 0.1,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (result, unfired) = taamr_fault::with_plan(
+            FaultPlan::new().with(FaultSite::PairwiseEpochLoss, 2),
+            || trainer.try_fit(&mut model, &d, &mut rng),
+        );
+        assert_eq!(unfired, 0, "the scheduled fault must actually fire");
+        let losses = result.expect("guard recovers from a single NaN epoch");
+        assert_eq!(losses.len(), 5);
+        assert!(losses.iter().all(|l| l.is_finite()));
+        assert!(model.is_finite_state());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_an_error() {
+        use rand::SeedableRng;
+        let d = toy_dataset();
+        let mut model = Toy { w: vec![0.0; 4] };
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 2,
+            triplets_per_epoch: Some(5),
+            lr: 0.1,
+        })
+        .with_divergence(PairwiseDivergence { max_retries: 0, lr_backoff: 0.5 });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (result, _) = taamr_fault::with_plan(
+            FaultPlan::new().with(FaultSite::PairwiseEpochLoss, 0),
+            || trainer.try_fit(&mut model, &d, &mut rng),
+        );
+        let err = result.expect_err("zero retries cannot absorb a poisoned epoch");
+        assert_eq!(err.epoch, 0);
+        assert!(!err.last_loss.is_finite());
+        // The rollback contract still holds: the model was not corrupted.
+        assert!(model.is_finite_state());
+    }
+
+    #[test]
+    fn non_finite_model_state_triggers_rollback() {
+        use rand::SeedableRng;
+        let d = toy_dataset();
+
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // One-shot arm that survives the trainer's snapshot/rollback (a
+        // field would be restored along with the weights and re-fire).
+        static POISON_ARMED: AtomicBool = AtomicBool::new(false);
+
+        /// Poisons its own weights on a chosen step, then behaves.
+        #[derive(Clone)]
+        struct Glitchy {
+            inner: Toy,
+            steps: usize,
+            poison_at: usize,
+        }
+        impl PairwiseModel for Glitchy {
+            fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32 {
+                self.steps += 1;
+                if self.steps == self.poison_at && POISON_ARMED.swap(false, Ordering::SeqCst) {
+                    self.inner.w[0] = f32::NAN;
+                }
+                self.inner.sgd_step(t, lr)
+            }
+            fn is_finite_state(&self) -> bool {
+                self.inner.is_finite_state()
+            }
+        }
+
+        POISON_ARMED.store(true, Ordering::SeqCst);
+        let mut model =
+            Glitchy { inner: Toy { w: vec![0.0; 4] }, steps: 0, poison_at: 7 };
+        let trainer = PairwiseTrainer::new(PairwiseConfig {
+            epochs: 3,
+            triplets_per_epoch: Some(5),
+            lr: 0.1,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let losses = trainer
+            .try_fit(&mut model, &d, &mut rng)
+            .expect("a one-shot parameter glitch is recoverable");
+        assert_eq!(losses.len(), 3);
+        assert!(model.is_finite_state(), "rollback discarded the poisoned weights");
     }
 
     #[test]

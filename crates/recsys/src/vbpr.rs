@@ -298,6 +298,17 @@ impl PairwiseModel for Vbpr {
         let f_j = self.feature(t.negative).to_vec();
         self.sgd_step_with_features(t, &f_i, &f_j, lr, 1.0)
     }
+
+    fn is_finite_state(&self) -> bool {
+        self.user_factors
+            .iter()
+            .chain(&self.item_factors)
+            .chain(&self.visual_user_factors)
+            .chain(&self.projection)
+            .chain(&self.visual_bias)
+            .chain(&self.item_bias)
+            .all(|v| v.is_finite())
+    }
 }
 
 #[cfg(test)]

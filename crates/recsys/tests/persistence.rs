@@ -15,7 +15,7 @@ fn dataset() -> ImplicitDataset {
     )
 }
 
-fn train<M: taamr_recsys::PairwiseModel>(model: &mut M, seed: u64) {
+fn train<M: taamr_recsys::PairwiseModel + Clone>(model: &mut M, seed: u64) {
     let d = dataset();
     let trainer = PairwiseTrainer::new(PairwiseConfig {
         epochs: 5,

@@ -33,18 +33,28 @@ impl Image {
         Ok(())
     }
 
+    /// Largest accepted PPM side length. Anything bigger than this is far
+    /// outside what the experiment produces and is treated as a malformed
+    /// (or hostile) header rather than an allocation request.
+    pub const MAX_PPM_DIM: usize = 1 << 14;
+
     /// Reads a binary PPM (P6, 8-bit, square) image.
     ///
     /// # Errors
     ///
-    /// Returns an `io::Error` for malformed headers, non-square images,
-    /// unsupported maxval, or truncated pixel data.
+    /// Returns an `io::Error` for malformed or oversized headers, non-square
+    /// or oversized images, unsupported maxval, dimension overflow, or
+    /// truncated pixel data. Malformed input never panics and never triggers
+    /// a header-controlled allocation.
     pub fn read_ppm<R: Read>(mut reader: R) -> io::Result<Image> {
         let mut bytes = Vec::new();
         reader.read_to_end(&mut bytes)?;
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
 
         // Parse "P6\n<w> <h>\n<max>\n" allowing any whitespace separation.
+        // Tokens are length-capped: no legitimate header token exceeds a few
+        // characters, so an unbounded run of non-whitespace bytes is garbage.
+        const MAX_TOKEN: usize = 16;
         let mut pos = 0usize;
         let mut next_token = |bytes: &[u8]| -> io::Result<String> {
             while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
@@ -53,6 +63,12 @@ impl Image {
             let start = pos;
             while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
                 pos += 1;
+                if pos - start > MAX_TOKEN {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized header token",
+                    ));
+                }
             }
             if start == pos {
                 return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated header"));
@@ -68,12 +84,21 @@ impl Image {
         if w != h {
             return Err(bad("only square images are supported"));
         }
+        if w == 0 {
+            return Err(bad("zero-sized image"));
+        }
+        if w > Self::MAX_PPM_DIM {
+            return Err(bad("image dimensions exceed the supported maximum"));
+        }
         if maxval != 255 {
             return Err(bad("only 8-bit ppm is supported"));
         }
         pos += 1; // single whitespace byte after maxval
-        let expected = w * h * 3;
-        if bytes.len() < pos + expected {
+        let expected = w
+            .checked_mul(h)
+            .and_then(|p| p.checked_mul(3))
+            .ok_or_else(|| bad("image dimensions overflow"))?;
+        if bytes.len().saturating_sub(pos) < expected {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated pixel data"));
         }
         let mut img = Image::new(w);
@@ -152,6 +177,27 @@ mod tests {
         assert!(Image::read_ppm(&b"P6\n2 2\n65535\n"[..]).is_err()); // 16-bit
         assert!(Image::read_ppm(&b"P6\n2 2\n255\nxx"[..]).is_err()); // truncated
         assert!(Image::read_ppm(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_headers_without_panicking_or_allocating() {
+        // Dimensions whose product overflows usize.
+        let huge = format!("P6\n{n} {n}\n255\n", n = usize::MAX / 2);
+        assert!(Image::read_ppm(huge.as_bytes()).is_err());
+        // Dimensions over the cap — must error before any pixel allocation.
+        let big = format!("P6\n{n} {n}\n255\n", n = Image::MAX_PPM_DIM + 1);
+        assert!(Image::read_ppm(big.as_bytes()).is_err());
+        // Width too large to even parse as usize.
+        assert!(Image::read_ppm(&b"P6\n99999999999999999999 2\n255\n"[..]).is_err());
+        // Zero-sized image.
+        assert!(Image::read_ppm(&b"P6\n0 0\n255\n"[..]).is_err());
+        // Unbounded header token.
+        let mut junk = b"P6\n".to_vec();
+        junk.extend(std::iter::repeat(b'9').take(1 << 16));
+        assert!(Image::read_ppm(junk.as_slice()).is_err());
+        // Random binary garbage.
+        let garbage: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        assert!(Image::read_ppm(garbage.as_slice()).is_err());
     }
 
     #[test]

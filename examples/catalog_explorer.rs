@@ -64,6 +64,7 @@ fn main() {
         batch_size: 16,
         sgd: SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, schedule: LrSchedule::Constant },
         log_every: 1,
+        divergence: Default::default(),
     });
     trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
 

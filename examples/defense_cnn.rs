@@ -59,6 +59,7 @@ fn main() {
         batch_size: 16,
         sgd: sgd.clone(),
         log_every: 0,
+        divergence: Default::default(),
     });
 
     eprintln!("training the vanilla CNN…");

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Repo verification gate: build, full test suite, serial-feature test pass,
+# and a panic audit.
+#
+# The panic audit counts `unwrap()` / `expect(` in the non-test code of the
+# crates hardened for fault tolerance (taamr core, taamr-recsys) and fails
+# if the count grows past the audited baseline: the experiment pipeline and
+# the pairwise trainers promise to degrade or return typed errors
+# (PipelineError, TrainDiverged, PairwiseDiverged) rather than panic, so a
+# new panicking call in those crates is a regression. `#[cfg(test)]` modules
+# are exempt. If you removed panics, lower the baseline below.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick skips the release build (test profile only).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=${1:-}
+
+# Audited shape-invariant expects that predate the fault-tolerance work
+# (mostly "attack preserves the NCHW shape" style postconditions).
+BASELINE_CORE=10
+BASELINE_RECSYS=0
+
+panic_count() {
+    local src=$1 n=0 c f
+    while IFS= read -r f; do
+        # Strip everything from the `#[cfg(test)]` module down — the audit
+        # only covers production code paths.
+        c=$(sed '/#\[cfg(test)\]/,$d' "$f" | grep -cE '\.unwrap\(\)|\.expect\(' || true)
+        n=$((n + c))
+    done < <(find "$src" -name '*.rs')
+    echo "$n"
+}
+
+echo "== panic audit: crates/core, crates/recsys (non-test code)"
+core=$(panic_count crates/core/src)
+recsys=$(panic_count crates/recsys/src)
+echo "crates/core: $core panicking calls (baseline $BASELINE_CORE)"
+echo "crates/recsys: $recsys panicking calls (baseline $BASELINE_RECSYS)"
+if [ "$core" -gt "$BASELINE_CORE" ] || [ "$recsys" -gt "$BASELINE_RECSYS" ]; then
+    echo "panic audit failed: new unwrap()/expect( in non-test code."
+    echo "Use typed errors (PipelineError / *Diverged) instead, or justify"
+    echo "the invariant and bump the baseline in scripts/verify.sh."
+    exit 1
+fi
+echo "panic audit clean"
+
+if [ "$QUICK" != "--quick" ]; then
+    echo "== cargo build --release"
+    cargo build --release
+fi
+
+echo "== cargo test -q (full workspace)"
+cargo test -q
+
+echo "== cargo test -p taamr --features serial -q (serial fallback)"
+cargo test -p taamr --features serial -q
+
+echo "verify OK"

@@ -52,6 +52,7 @@ fn trained_cnn() -> (TinyResNet, ProductImageGenerator, Vec<Category>) {
             schedule: LrSchedule::Cosine { total_epochs: 16, floor: 0.005 },
         },
         log_every: 0,
+        divergence: Default::default(),
     });
     trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
     (net, gen, cats)

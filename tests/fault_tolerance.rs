@@ -1,0 +1,198 @@
+//! Fault-tolerance contract for the experiment pipeline.
+//!
+//! The promises under test:
+//!
+//! 1. A checkpointed run produces a report **byte-identical** to an
+//!    uncheckpointed run, whether it starts cold, resumes from a full run
+//!    directory, or resumes after a simulated kill (between training stages
+//!    or between attack-grid cells).
+//! 2. A corrupted checkpoint (bit flip, truncation) is detected by checksum,
+//!    deleted, and transparently regenerated.
+//! 3. A failing attack cell degrades into a marked gap in the report instead
+//!    of aborting the experiment.
+//!
+//! All faults are injected deterministically through `taamr-fault`; no test
+//! here relies on timing or real crashes.
+
+use std::path::PathBuf;
+
+use taamr::experiment::run_or_resume_dataset;
+use taamr::{ExperimentScale, Pipeline, PipelineConfig, PipelineError, RunDir};
+use taamr_data::SyntheticConfig;
+use taamr_fault::{flip_bit, truncate_file, with_plan, FaultPlan, FaultSite};
+
+fn tiny_config() -> PipelineConfig {
+    PipelineConfig::for_scale_with_dataset(
+        ExperimentScale::Tiny,
+        SyntheticConfig::amazon_men_like(),
+    )
+}
+
+/// A fresh run directory under `target/`, wiped before use.
+fn fresh_run_dir(tag: &str) -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+    let dir = PathBuf::from(base).join(format!("taamr-fault-test-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The canonical byte encoding a resumed run must reproduce exactly.
+fn to_json(report: &taamr::DatasetReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+fn baseline_report() -> taamr::DatasetReport {
+    Pipeline::build(&tiny_config()).run_paper_experiment()
+}
+
+#[test]
+fn checkpointed_run_is_byte_identical_to_uncheckpointed_run() {
+    let dir = fresh_run_dir("cold");
+    let baseline = to_json(&baseline_report());
+
+    // Cold checkpointed run: writes every stage + cell checkpoint.
+    let cold = run_or_resume_dataset(
+        ExperimentScale::Tiny,
+        SyntheticConfig::amazon_men_like(),
+        &dir,
+    )
+    .expect("cold run succeeds");
+    assert_eq!(to_json(&cold), baseline, "checkpointing must not change the report");
+
+    // Warm resume: every stage loads from a checkpoint, nothing retrains.
+    let warm = run_or_resume_dataset(
+        ExperimentScale::Tiny,
+        SyntheticConfig::amazon_men_like(),
+        &dir,
+    )
+    .expect("warm resume succeeds");
+    assert_eq!(to_json(&warm), baseline, "a fully-resumed run must be byte-identical");
+
+    // No temp files may survive the atomic writes.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "atomic writes must not leak temp files: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_after_vbpr_warmup_resumes_byte_identical() {
+    let dir = fresh_run_dir("stage-kill");
+    let baseline = to_json(&baseline_report());
+
+    // Simulated kill right after the VBPR warm-up stage completes
+    // (stage ordinals: 0 = cnn, 1 = vbpr-warmup, 2 = vbpr, 3 = amr).
+    let plan = FaultPlan::new().with(FaultSite::StageInterrupt, 1);
+    let (result, unfired) = with_plan(plan, || {
+        run_or_resume_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like(), &dir)
+    });
+    assert_eq!(unfired, 0, "the interrupt must actually fire");
+    match result {
+        Err(PipelineError::Interrupted { after_stage }) => {
+            assert_eq!(after_stage, "vbpr-warmup");
+        }
+        other => panic!("expected an interrupt, got {other:?}"),
+    }
+
+    // The completed stages left checkpoints behind …
+    let run = RunDir::open(&dir, &tiny_config()).unwrap();
+    assert!(run.has_stage("cnn"), "cnn checkpoint survives the kill");
+    assert!(run.has_stage("vbpr-warmup"), "warm-up checkpoint survives the kill");
+    assert!(!run.has_stage("amr"), "later stages must not have checkpoints yet");
+
+    // … so the resumed run skips them and finishes byte-identically.
+    let resumed = run_or_resume_dataset(
+        ExperimentScale::Tiny,
+        SyntheticConfig::amazon_men_like(),
+        &dir,
+    )
+    .expect("resume succeeds");
+    assert_eq!(to_json(&resumed), baseline, "resume after a stage kill must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_mid_grid_resumes_byte_identical() {
+    let dir = fresh_run_dir("grid-kill");
+    let baseline = to_json(&baseline_report());
+
+    // Kill immediately before grid cell 3: cells 0–2 keep their checkpoints.
+    let plan = FaultPlan::new().with(FaultSite::GridInterrupt, 3);
+    let (result, unfired) = with_plan(plan, || {
+        run_or_resume_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like(), &dir)
+    });
+    assert_eq!(unfired, 0, "the grid interrupt must actually fire");
+    match result {
+        Err(PipelineError::Interrupted { after_stage }) => {
+            assert_eq!(after_stage, "cell-002");
+        }
+        other => panic!("expected a grid interrupt, got {other:?}"),
+    }
+    let run = RunDir::open(&dir, &tiny_config()).unwrap();
+    assert!(run.has_stage("cell-000") && run.has_stage("cell-002"));
+    assert!(!run.has_stage("cell-003"), "the killed cell must not be checkpointed");
+
+    let resumed = run_or_resume_dataset(
+        ExperimentScale::Tiny,
+        SyntheticConfig::amazon_men_like(),
+        &dir,
+    )
+    .expect("resume succeeds");
+    assert_eq!(to_json(&resumed), baseline, "resume after a grid kill must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_checkpoints_are_detected_and_regenerated() {
+    let dir = fresh_run_dir("corrupt");
+    let baseline = to_json(&baseline_report());
+
+    // Complete a full checkpointed run, then corrupt two checkpoints:
+    // a bit flip in a grid cell and a truncation of the CNN stage.
+    run_or_resume_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like(), &dir)
+        .expect("cold run succeeds");
+    let run = RunDir::open(&dir, &tiny_config()).unwrap();
+    let cell_path = run.stage_path("cell-000");
+    let cnn_path = run.stage_path("cnn");
+    flip_bit(&cell_path, 200, 3).expect("flip a payload bit");
+    truncate_file(&cnn_path, 64).expect("truncate the cnn checkpoint");
+
+    // Resume: both corruptions fail their checksums, the files are deleted
+    // and the stages recomputed — the report is still byte-identical.
+    let resumed = run_or_resume_dataset(
+        ExperimentScale::Tiny,
+        SyntheticConfig::amazon_men_like(),
+        &dir,
+    )
+    .expect("resume past corruption succeeds");
+    assert_eq!(to_json(&resumed), baseline, "recovery from corruption must be byte-identical");
+
+    // The regenerated checkpoints are valid again.
+    let run = RunDir::open(&dir, &tiny_config()).unwrap();
+    assert!(run.has_stage("cell-000"), "corrupt cell checkpoint was regenerated");
+    assert!(run.has_stage("cnn"), "truncated cnn checkpoint was regenerated");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_cell_degrades_to_marked_gap_not_abort() {
+    let plan = FaultPlan::new().with(FaultSite::AttackCell, 0);
+    let (report, unfired) = with_plan(plan, || baseline_report());
+    assert_eq!(unfired, 0, "the cell fault must actually fire");
+
+    assert_eq!(report.errors.len(), 1, "exactly the faulted cell is missing");
+    let err = &report.errors[0];
+    assert!(err.message.contains("injected cell fault"), "error records the cause: {err}");
+
+    // The rest of the grid still completed.
+    let healthy = baseline_report();
+    assert_eq!(report.outcomes.len() + 1, healthy.outcomes.len());
+
+    // And the rendered tables mark the gap instead of silently shrinking.
+    for table in [report.render_table2(), report.render_table3(), report.render_table4()] {
+        assert!(table.contains("MISSING"), "tables must flag the missing cell:\n{table}");
+    }
+}
