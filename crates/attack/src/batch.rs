@@ -51,6 +51,9 @@ where
     let n = images.dims()[0];
     assert_eq!(item_seeds.len(), n, "one seed per attacked item required");
     assert!(chunk_size > 0, "chunk size must be positive");
+    // Counted at batch entry (not per worker chunk) so the value is
+    // invariant under thread count and chunking.
+    taamr_obs::add(taamr_obs::Counter::AttackItems, n as u64);
 
     let sample_dims = {
         let mut d = images.dims().to_vec();
@@ -129,10 +132,10 @@ mod tests {
         let mut data = Vec::new();
         let mut predictions = Vec::new();
         let mut success = Vec::new();
-        for i in 0..n {
+        for (i, &seed) in seeds.iter().enumerate().take(n) {
             let row = images.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec();
             let img = Tensor::from_vec(row, &dims).unwrap();
-            let out = attack.perturb_seeded(&mut m, &img, goal, seeds[i]);
+            let out = attack.perturb_seeded(&mut m, &img, goal, seed);
             data.extend_from_slice(out.images.as_slice());
             predictions.extend(out.predictions);
             success.extend(out.success);

@@ -57,6 +57,7 @@ impl Bim {
         let eps = self.epsilon.as_fraction();
         let (sign, labels) = goal_sign_and_labels(goal, clean.dims()[0]);
         let mut adv = start;
+        taamr_obs::add(taamr_obs::Counter::AttackGradSteps, self.steps as u64);
         for _ in 0..self.steps {
             let (_, grad) = model.loss_input_grad(&adv, &labels);
             adv.axpy(sign * self.alpha, &grad.signum());

@@ -197,7 +197,7 @@ mod tests {
             log_every: 0,
             divergence: Default::default(),
         });
-        trainer.fit(&mut net, &images, &labels, rng);
+        trainer.fit(&mut net, &images, &labels, rng).unwrap();
         (net, images, labels)
     }
 

@@ -114,6 +114,7 @@ impl FeatureMatch {
         for v in adv.iter_mut() {
             *v = (*v + rng.gen_range(-eps..=eps)).clamp(0.0, 1.0);
         }
+        taamr_obs::add(taamr_obs::Counter::AttackGradSteps, self.steps as u64);
         for _ in 0..self.steps {
             let (loss, grad) = model.feature_loss_input_grad(&adv, target_features);
             if loss < best_loss {

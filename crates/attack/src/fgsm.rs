@@ -41,6 +41,7 @@ impl Attack for Fgsm {
         _rng: &mut StdRng,
     ) -> AdversarialBatch {
         assert_eq!(images.rank(), 4, "FGSM expects an NCHW batch");
+        taamr_obs::incr(taamr_obs::Counter::AttackGradSteps);
         let (sign, labels) = goal_sign_and_labels(goal, images.dims()[0]);
         let (_, grad) = model.loss_input_grad(images, &labels);
         let step = grad.signum().scaled(sign * self.epsilon.as_fraction());

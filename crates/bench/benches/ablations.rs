@@ -52,7 +52,7 @@ fn setup() -> (TinyResNet, Tensor) {
         log_every: 0,
         divergence: Default::default(),
     });
-    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
+    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng).unwrap();
     // Attack fresh source-category (Sock) renders.
     let fresh: Vec<taamr_vision::Image> =
         (0..8u64).map(|k| gen.generate(Category::Sock, 9000 + k)).collect();

@@ -54,10 +54,10 @@ fn setup() -> Setup {
         Trainer::new(TrainerConfig { epochs: 12, batch_size: 16, sgd: sgd.clone(), ..Default::default() });
 
     let mut vanilla = TinyResNet::new(&arch, &mut seeded_rng(1));
-    trainer.fit(&mut vanilla, &train, &labels, &mut rng);
+    trainer.fit(&mut vanilla, &train, &labels, &mut rng).unwrap();
 
     let mut hardened = TinyResNet::new(&arch, &mut seeded_rng(1));
-    trainer.fit(&mut hardened, &train, &labels, &mut seeded_rng(0));
+    trainer.fit(&mut hardened, &train, &labels, &mut seeded_rng(0)).unwrap();
     adversarial_finetune(
         &mut hardened,
         &train,

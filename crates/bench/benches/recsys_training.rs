@@ -34,7 +34,7 @@ fn bench_training_epochs(c: &mut Criterion) {
     c.bench_function("bprmf_epoch", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = BprMf::new(data.dataset.num_users(), data.dataset.num_items(), 16, &mut rng);
-        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).len()));
+        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).unwrap().len()));
     });
     c.bench_function("vbpr_epoch", |b| {
         let mut rng = StdRng::seed_from_u64(1);
@@ -46,7 +46,7 @@ fn bench_training_epochs(c: &mut Criterion) {
             VbprConfig::default(),
             &mut rng,
         );
-        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).len()));
+        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).unwrap().len()));
     });
     c.bench_function("amr_epoch", |b| {
         let mut rng = StdRng::seed_from_u64(2);
@@ -59,7 +59,7 @@ fn bench_training_epochs(c: &mut Criterion) {
             &mut rng,
         );
         let mut model = Amr::from_vbpr(vbpr, AmrConfig::default());
-        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).len()));
+        b.iter(|| std::hint::black_box(trainer.fit(&mut model, &data.dataset, &mut rng).unwrap().len()));
     });
 }
 

@@ -7,10 +7,11 @@
 
 use taamr::experiment::run_figure2;
 use taamr::ExperimentScale;
-use taamr_bench::print_header;
+use taamr_bench::{finish_telemetry, parse_telemetry_args, print_header};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let telemetry = parse_telemetry_args();
     print_header("Fig. 2: before/after example", scale);
     match run_figure2(scale) {
         Ok(figs) => {
@@ -24,4 +25,5 @@ fn main() {
         }
     }
     println!("Paper (Fig. 2): sock 60% @ 180th  →  running shoe 100% @ 14th");
+    finish_telemetry(&telemetry);
 }

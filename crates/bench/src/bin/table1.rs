@@ -6,11 +6,12 @@
 //! same interactions-per-user ratio — see DESIGN.md).
 
 use taamr::{ExperimentScale, PipelineConfig};
-use taamr_bench::print_header;
+use taamr_bench::{finish_telemetry, parse_telemetry_args, print_header};
 use taamr_data::{SyntheticConfig, SyntheticDataset};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let telemetry = parse_telemetry_args();
     print_header("Table I: dataset statistics", scale);
 
     println!("{:<26} {:>8} {:>8} {:>9} {:>10} {:>8}", "Dataset", "|U|", "|I|", "|S|", "|S|/|U|", "5-core");
@@ -18,7 +19,9 @@ fn main() {
         // Report the dataset exactly as the other tables use it at this
         // scale (the presets shrink the profiles below Full).
         let config = PipelineConfig::for_scale_with_dataset(scale, profile).dataset;
+        let span = taamr_obs::span(format!("stage:dataset:{}", config.name));
         let generated = SyntheticDataset::generate(&config);
+        drop(span);
         let stats = generated.dataset.stats(&config.name);
         let min_interactions =
             (0..generated.dataset.num_users()).map(|u| generated.dataset.user_items(u).len()).min().unwrap_or(0);
@@ -36,4 +39,5 @@ fn main() {
     println!("Paper (Table I):");
     println!("{:<26} {:>8} {:>8} {:>9}", "Amazon Men", 26_155, 82_630, 193_365);
     println!("{:<26} {:>8} {:>8} {:>9}", "Amazon Women", 18_514, 76_889, 137_929);
+    finish_telemetry(&telemetry);
 }

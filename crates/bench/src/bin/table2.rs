@@ -8,16 +8,24 @@
 
 use taamr::experiment::run_or_load_all;
 use taamr::ExperimentScale;
-use taamr_bench::{print_cnn_context, print_header};
+use taamr_bench::{print_cnn_context, finish_telemetry, parse_telemetry_args, print_header};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let telemetry = parse_telemetry_args();
     print_header("Table II: CHR@N under targeted attacks", scale);
-    let reports = run_or_load_all(scale);
+    let reports = match run_or_load_all(scale) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
     print_cnn_context(&reports);
     for report in &reports {
         println!("{}", report.render_table2());
     }
     println!("Paper (Table II, Amazon Men, VBPR, Sock→Running Shoes, CHR@100 ×100):");
     println!("  FGSM: 2.131 / 2.595 / 2.994 / 3.500   PGD: 3.654 / 5.562 / 6.402 / 5.931");
+    finish_telemetry(&telemetry);
 }

@@ -7,12 +7,19 @@
 
 use taamr::experiment::run_or_load_all;
 use taamr::ExperimentScale;
-use taamr_bench::{print_cnn_context, print_header};
+use taamr_bench::{print_cnn_context, finish_telemetry, parse_telemetry_args, print_header};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let telemetry = parse_telemetry_args();
     print_header("Table III: targeted attack success probability", scale);
-    let reports = run_or_load_all(scale);
+    let reports = match run_or_load_all(scale) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
     print_cnn_context(&reports);
     for report in &reports {
         println!("{}", report.render_table3());
@@ -20,4 +27,5 @@ fn main() {
     println!("Paper (Table III, Amazon Men, Sock→Running Shoes):");
     println!("  FGSM:  9.32% / 17.02% / 22.14% / 21.68%");
     println!("  PGD:  68.69% / 98.37% / 99.92% / 99.84%");
+    finish_telemetry(&telemetry);
 }

@@ -8,12 +8,19 @@
 
 use taamr::experiment::run_or_load_all;
 use taamr::ExperimentScale;
-use taamr_bench::print_header;
+use taamr_bench::{finish_telemetry, parse_telemetry_args, print_header};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let telemetry = parse_telemetry_args();
     print_header("Table IV: average visual-quality metrics", scale);
-    let reports = run_or_load_all(scale);
+    let reports = match run_or_load_all(scale) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
     for report in &reports {
         println!("{}", report.render_table4());
     }
@@ -21,4 +28,5 @@ fn main() {
     println!("  PSNR  FGSM: 41.417 / 40.915 / 39.916 / 37.075   PGD: 41.417 / 41.259 / 40.891 / 40.034");
     println!("  SSIM  FGSM: 0.9926 / 0.9921 / 0.9902 / 0.9802   PGD: 0.9926 / 0.9924 / 0.9920 / 0.9908");
     println!("  PSM   FGSM: 0.0132 / 0.0248 / 0.0397 / 0.0502   PGD: 0.0328 / 0.0903 / 0.1877 / 0.2368");
+    finish_telemetry(&telemetry);
 }

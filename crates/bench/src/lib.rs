@@ -15,7 +15,71 @@
 
 #![deny(missing_docs)]
 
+use std::path::PathBuf;
+
 use taamr::{DatasetReport, ExperimentScale};
+
+/// Telemetry switches shared by every experiment binary.
+///
+/// Observability is off by default; it is turned on by `TAAMR_OBS=1` (see
+/// [`taamr_obs::init_from_env`]) or by the command-line flags parsed in
+/// [`parse_telemetry_args`]. Either way the collected counters and spans
+/// never feed back into the experiment — reports stay bitwise identical.
+pub struct TelemetryArgs {
+    /// Whether telemetry collection is on for this process.
+    pub enabled: bool,
+    /// Where to write `telemetry.json` (`--telemetry-out PATH`); defaults
+    /// to `telemetry.json` in the working directory.
+    pub out: Option<PathBuf>,
+}
+
+/// Parses `--telemetry` / `--telemetry-out PATH` from the process arguments
+/// and combines them with the `TAAMR_OBS` environment switch, enabling the
+/// [`taamr_obs`] layer when either asks for it.
+pub fn parse_telemetry_args() -> TelemetryArgs {
+    let mut enabled = taamr_obs::init_from_env();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--telemetry" => enabled = true,
+            "--telemetry-out" => {
+                enabled = true;
+                out = args.next().map(PathBuf::from);
+            }
+            _ => {}
+        }
+    }
+    if enabled {
+        taamr_obs::set_enabled(true);
+    }
+    TelemetryArgs { enabled, out }
+}
+
+/// Writes the telemetry collected so far to `telemetry.json` (atomically,
+/// via a temp file + rename) and prints a short summary to stderr. A no-op
+/// when telemetry is disabled.
+pub fn finish_telemetry(args: &TelemetryArgs) {
+    if !args.enabled {
+        return;
+    }
+    let snapshot = taamr_obs::snapshot();
+    let path = args.out.clone().unwrap_or_else(|| PathBuf::from("telemetry.json"));
+    let tmp = path.with_extension("json.tmp");
+    let body = match serde_json::to_string(&snapshot) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("could not serialise telemetry: {e}");
+            return;
+        }
+    };
+    let written = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &path));
+    match written {
+        Ok(()) => eprintln!("telemetry written to {}", path.display()),
+        Err(e) => eprintln!("could not write telemetry to {}: {e}", path.display()),
+    }
+    eprintln!("{}", snapshot.summary());
+}
 
 /// Prints the shared experiment header (scale, cache note).
 pub fn print_header(artifact: &str, scale: ExperimentScale) {

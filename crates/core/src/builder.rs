@@ -1,0 +1,243 @@
+//! Fluent construction of a [`Pipeline`].
+//!
+//! [`PipelineConfig`] remains the *serialized* form — it is what gets
+//! fingerprinted, checkpointed and cached. [`PipelineBuilder`] is the
+//! ergonomic front door: start from a scale preset, override the knobs you
+//! care about, optionally attach a checkpoint directory or flip on
+//! observability, then [`PipelineBuilder::build`].
+
+use std::path::PathBuf;
+
+use taamr_data::SyntheticConfig;
+
+use crate::checkpoint::RunDir;
+use crate::config::{ExperimentScale, PipelineConfig};
+use crate::error::PipelineError;
+use crate::pipeline::Pipeline;
+
+/// Fluent builder for [`Pipeline`].
+///
+/// The builder keeps the *pristine* dataset profile and derives the preset
+/// lazily, so `.scale(..)` and `.dataset(..)` compose in any order (the
+/// presets shrink the profile destructively, which made eager derivation
+/// order-sensitive). Fine-grained overrides are recorded separately and
+/// applied last.
+///
+/// # Example
+///
+/// ```no_run
+/// use taamr::{ExperimentScale, Pipeline};
+///
+/// let mut pipeline = Pipeline::builder()
+///     .scale(ExperimentScale::Tiny)
+///     .seed(7)
+///     .obs(true)
+///     .build()?;
+/// let report = pipeline.run_paper_experiment(None)?;
+/// println!("{}", report.render_table2());
+/// # Ok::<(), taamr::PipelineError>(())
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct PipelineBuilder {
+    scale: ExperimentScale,
+    dataset: SyntheticConfig,
+    explicit: Option<PipelineConfig>,
+    seed: Option<u64>,
+    catalog_seed: Option<u64>,
+    chr_n: Option<usize>,
+    scenario_overrides: Option<Vec<(usize, usize)>>,
+    run_dir: Option<PathBuf>,
+    obs: Option<bool>,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineBuilder {
+    /// Starts from the [`ExperimentScale::Tiny`] preset on the
+    /// Amazon-Men-shaped dataset.
+    pub fn new() -> Self {
+        PipelineBuilder {
+            scale: ExperimentScale::Tiny,
+            dataset: SyntheticConfig::amazon_men_like(),
+            explicit: None,
+            seed: None,
+            catalog_seed: None,
+            chr_n: None,
+            scenario_overrides: None,
+            run_dir: None,
+            obs: None,
+        }
+    }
+
+    /// Selects the preset for `scale` (CNN shape, training schedules,
+    /// dataset shrink factors). Composes with [`PipelineBuilder::dataset`]
+    /// in either order.
+    pub fn scale(mut self, scale: ExperimentScale) -> Self {
+        self.scale = scale;
+        self.explicit = None;
+        self
+    }
+
+    /// Replaces the interaction-data generator profile (the *unshrunk*
+    /// form; the scale preset still applies its shrink factors).
+    pub fn dataset(mut self, dataset: SyntheticConfig) -> Self {
+        self.dataset = dataset;
+        self.explicit = None;
+        self
+    }
+
+    /// Master seed for everything not covered by the dataset/catalog seeds.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Seed of the procedural image catalog.
+    pub fn catalog_seed(mut self, seed: u64) -> Self {
+        self.catalog_seed = Some(seed);
+        self
+    }
+
+    /// The `N` of CHR@N (paper: 100).
+    pub fn chr_n(mut self, n: usize) -> Self {
+        self.chr_n = Some(n);
+        self
+    }
+
+    /// Pins the attack scenarios as `(source, target)` category-id pairs
+    /// instead of auto-selecting them from baseline CHR.
+    pub fn scenario_overrides(mut self, pairs: Vec<(usize, usize)>) -> Self {
+        self.scenario_overrides = Some(pairs);
+        self
+    }
+
+    /// Explicitly enables (or disables) the [`taamr_obs`] telemetry layer
+    /// for this process before building. Left unset, the builder defers to
+    /// whatever [`taamr_obs::set_enabled`] / `TAAMR_OBS` already decided.
+    pub fn obs(mut self, enabled: bool) -> Self {
+        self.obs = Some(enabled);
+        self
+    }
+
+    /// Starts from an explicit, fully-formed [`PipelineConfig`] instead of
+    /// a scale preset. Later fine-grained overrides (seed, CHR-N, …) still
+    /// apply; a later [`PipelineBuilder::scale`] / [`PipelineBuilder::dataset`]
+    /// discards it.
+    pub fn from_config(mut self, config: PipelineConfig) -> Self {
+        self.explicit = Some(config);
+        self
+    }
+
+    /// Makes the build resumable: stage results are checkpointed under
+    /// `dir` and restored on rebuild (see [`RunDir`]).
+    pub fn run_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.run_dir = Some(dir.into());
+        self
+    }
+
+    /// The [`PipelineConfig`] this builder would hand to
+    /// [`Pipeline::build`] — the serialized/fingerprinted form of
+    /// everything configured so far (the run directory and obs switch are
+    /// process-level concerns and not part of it).
+    pub fn into_config(self) -> PipelineConfig {
+        let mut config = match self.explicit {
+            Some(config) => config,
+            None => PipelineConfig::for_scale_with_dataset(self.scale, self.dataset),
+        };
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(seed) = self.catalog_seed {
+            config.catalog_seed = seed;
+        }
+        if let Some(n) = self.chr_n {
+            config.chr_n = n;
+        }
+        if let Some(pairs) = self.scenario_overrides {
+            config.scenario_overrides = Some(pairs);
+        }
+        config
+    }
+
+    /// Builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if a training stage diverges beyond the
+    /// guards' bounded retries, or (with [`PipelineBuilder::run_dir`]) if
+    /// the checkpoint directory cannot be opened or written.
+    pub fn build(mut self) -> Result<Pipeline, PipelineError> {
+        if let Some(enabled) = self.obs {
+            taamr_obs::set_enabled(enabled);
+        }
+        let run_dir = self.run_dir.take();
+        let config = self.into_config();
+        match run_dir {
+            None => Pipeline::build(&config),
+            Some(dir) => {
+                let run = RunDir::open(dir, &config)?;
+                Pipeline::build_resumable(&config, &run)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_to_preset_config() {
+        let cfg = Pipeline::builder().scale(ExperimentScale::Medium).into_config();
+        assert_eq!(cfg, PipelineConfig::for_scale(ExperimentScale::Medium));
+    }
+
+    #[test]
+    fn overrides_apply_after_scale() {
+        let cfg = Pipeline::builder()
+            .scale(ExperimentScale::Tiny)
+            .seed(99)
+            .catalog_seed(12)
+            .chr_n(7)
+            .scenario_overrides(vec![(1, 2)])
+            .into_config();
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.catalog_seed, 12);
+        assert_eq!(cfg.chr_n, 7);
+        assert_eq!(cfg.scenario_overrides, Some(vec![(1, 2)]));
+    }
+
+    #[test]
+    fn scale_and_dataset_compose_in_any_order() {
+        let a = Pipeline::builder()
+            .scale(ExperimentScale::Tiny)
+            .dataset(SyntheticConfig::amazon_women_like())
+            .into_config();
+        let b = Pipeline::builder()
+            .dataset(SyntheticConfig::amazon_women_like())
+            .scale(ExperimentScale::Tiny)
+            .into_config();
+        let expected = PipelineConfig::for_scale_with_dataset(
+            ExperimentScale::Tiny,
+            SyntheticConfig::amazon_women_like(),
+        );
+        assert_eq!(a, expected);
+        assert_eq!(b, expected);
+    }
+
+    #[test]
+    fn from_config_is_verbatim_until_overridden() {
+        let explicit = PipelineConfig::for_scale(ExperimentScale::Full);
+        let cfg = Pipeline::builder().from_config(explicit.clone()).into_config();
+        assert_eq!(cfg, explicit);
+
+        let reseeded = Pipeline::builder().from_config(explicit.clone()).seed(5).into_config();
+        assert_eq!(reseeded.seed, 5);
+        assert_eq!(reseeded.cnn, explicit.cnn);
+    }
+}

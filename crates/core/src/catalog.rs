@@ -185,9 +185,9 @@ mod tests {
     fn feature_extraction_shape_and_batch_invariance() {
         let gen = ProductImageGenerator::new(16, 3);
         let catalog = CatalogImages::render(&toy_dataset(), &gen);
-        let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
-        let f1 = extract_features(&mut net, catalog.images(), 4);
-        let f2 = extract_features(&mut net, catalog.images(), 1);
+        let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
+        let f1 = extract_features(&net, catalog.images(), 4);
+        let f2 = extract_features(&net, catalog.images(), 1);
         assert_eq!(f1.len(), 4 * net.feature_dim());
         // Batch size must not change the result (eval-mode BN).
         for (a, b) in f1.iter().zip(&f2) {

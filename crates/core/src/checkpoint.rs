@@ -161,6 +161,16 @@ impl RunDir {
     /// version, or was written under a different configuration. A `None`
     /// simply means "re-run this stage".
     pub fn load_stage<T: Deserialize>(&self, stage: &str) -> Option<T> {
+        let loaded = self.load_stage_inner(stage);
+        taamr_obs::incr(if loaded.is_some() {
+            taamr_obs::Counter::CheckpointHits
+        } else {
+            taamr_obs::Counter::CheckpointMisses
+        });
+        loaded
+    }
+
+    fn load_stage_inner<T: Deserialize>(&self, stage: &str) -> Option<T> {
         let path = self.stage_path(stage);
         let contents = fs::read_to_string(&path).ok()?;
         match self.validate(&contents) {
@@ -176,6 +186,24 @@ impl RunDir {
                 None
             }
         }
+    }
+
+    /// Atomically writes the current telemetry snapshot to `telemetry.json`
+    /// in the run directory (temp file + rename, like every checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation or any filesystem step fails.
+    pub fn save_telemetry(&self, telemetry: &taamr_obs::Telemetry) -> Result<PathBuf, CheckpointError> {
+        let body = serde_json::to_string(telemetry)
+            .map_err(|_| CheckpointError::Serialize { stage: "telemetry".to_owned() })?;
+        let final_path = self.dir.join("telemetry.json");
+        let tmp_path = self.dir.join("telemetry.json.tmp");
+        fs::write(&tmp_path, body)
+            .map_err(|source| CheckpointError::Io { path: tmp_path.clone(), source })?;
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|source| CheckpointError::Io { path: final_path.clone(), source })?;
+        Ok(final_path)
     }
 
     /// Splits and validates header + payload; returns the payload slice only

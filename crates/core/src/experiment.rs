@@ -23,10 +23,18 @@ pub fn paper_datasets() -> [SyntheticConfig; 2] {
 }
 
 /// Builds a pipeline and runs the paper's experiment on one dataset profile.
-pub fn run_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> DatasetReport {
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if the pipeline build fails (training
+/// divergence beyond the guards' bounded retries).
+pub fn run_dataset(
+    scale: ExperimentScale,
+    dataset: SyntheticConfig,
+) -> Result<DatasetReport, PipelineError> {
     let config = PipelineConfig::for_scale_with_dataset(scale, dataset);
-    let mut pipeline = Pipeline::build(&config);
-    pipeline.run_paper_experiment()
+    let mut pipeline = Pipeline::build(&config)?;
+    pipeline.run_paper_experiment(None)
 }
 
 /// Cache path for one dataset's report at one scale.
@@ -67,14 +75,23 @@ fn write_atomic(path: &Path, json: &[u8]) -> std::io::Result<()> {
 /// The cache makes the four table binaries share a single expensive pipeline
 /// run. Corrupt or unreadable cache files are **deleted** and regenerated —
 /// a cache that failed to parse once will never be read again.
-pub fn run_or_load_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> DatasetReport {
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if the report has to be recomputed and the
+/// pipeline build fails.
+pub fn run_or_load_dataset(
+    scale: ExperimentScale,
+    dataset: SyntheticConfig,
+) -> Result<DatasetReport, PipelineError> {
     let config = PipelineConfig::for_scale_with_dataset(scale, dataset.clone());
     let path = cache_path(scale, &config);
     if let Ok(bytes) = fs::read(&path) {
         match serde_json::from_slice::<DatasetReport>(&bytes) {
             Ok(report) => {
+                taamr_obs::incr(taamr_obs::Counter::ReportCacheHits);
                 eprintln!("loaded cached report from {}", path.display());
-                return report;
+                return Ok(report);
             }
             Err(_) => {
                 eprintln!("cache at {} is corrupt; deleting and regenerating", path.display());
@@ -82,14 +99,15 @@ pub fn run_or_load_dataset(scale: ExperimentScale, dataset: SyntheticConfig) -> 
             }
         }
     }
-    let report = run_dataset(scale, dataset);
+    taamr_obs::incr(taamr_obs::Counter::ReportCacheMisses);
+    let report = run_dataset(scale, dataset)?;
     if let Ok(json) = serde_json::to_vec_pretty(&report) {
         match write_atomic(&path, &json) {
             Ok(()) => eprintln!("cached report at {}", path.display()),
             Err(e) => eprintln!("could not cache report: {e}"),
         }
     }
-    report
+    Ok(report)
 }
 
 /// Runs the paper experiment with full stage + cell checkpointing under
@@ -111,12 +129,22 @@ pub fn run_or_resume_dataset(
 ) -> Result<DatasetReport, PipelineError> {
     let config = PipelineConfig::for_scale_with_dataset(scale, dataset);
     let run = RunDir::open(run_dir, &config)?;
-    let mut pipeline = Pipeline::try_build_resumable(&config, &run)?;
-    pipeline.try_run_paper_experiment_resumable(&run)
+    let mut pipeline = Pipeline::build_resumable(&config, &run)?;
+    let report = pipeline.run_paper_experiment(Some(&run))?;
+    // Telemetry rides along with the checkpoints whenever observability is
+    // on; the report itself is bitwise independent of it.
+    if taamr_obs::enabled() {
+        run.save_telemetry(&taamr_obs::snapshot())?;
+    }
+    Ok(report)
 }
 
 /// Runs (or loads) both paper datasets at the given scale.
-pub fn run_or_load_all(scale: ExperimentScale) -> Vec<DatasetReport> {
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] a recomputed dataset produced.
+pub fn run_or_load_all(scale: ExperimentScale) -> Result<Vec<DatasetReport>, PipelineError> {
     paper_datasets().into_iter().map(|d| run_or_load_dataset(scale, d)).collect()
 }
 
@@ -130,7 +158,7 @@ pub fn run_or_load_all(scale: ExperimentScale) -> Vec<DatasetReport> {
 pub fn run_figure2(scale: ExperimentScale) -> Result<Vec<Figure2Report>, PipelineError> {
     let config =
         PipelineConfig::for_scale_with_dataset(scale, SyntheticConfig::amazon_men_like());
-    let mut pipeline = Pipeline::try_build(&config)?;
+    let mut pipeline = Pipeline::build(&config)?;
     let scenario = pipeline
         .experiment_scenarios(ModelKind::Vbpr)
         .into_iter()
@@ -167,12 +195,16 @@ fn save_figure2_panels(
     let clean = pipeline.catalog().batch(&[report.item]);
     // Reproduce the attack with the same seed the pipeline used.
     let mut rng = rand::SeedableRng::seed_from_u64(pipeline.config().seed ^ 0xF16);
-    let adv = Pgd::new(eps).perturb(
-        pipeline.classifier_mut(),
-        &clean,
-        AttackGoal::Targeted(scenario.target.id()),
-        &mut rng,
-    );
+    // The attack only touches gradient buffers, so the scoped mutable
+    // access below detects no weight change and recomputes nothing.
+    let adv = pipeline.with_classifier_mut(|classifier| {
+        Pgd::new(eps).perturb(
+            classifier,
+            &clean,
+            AttackGoal::Targeted(scenario.target.id()),
+            &mut rng,
+        )
+    });
     let clean_img = pipeline.catalog().image(report.item).clone();
     let adv_imgs = taamr_vision::tensor_to_images(&adv.images).expect("attack preserves shape");
     let eps_tag = report.epsilon_255 as u32;
@@ -228,7 +260,7 @@ mod tests {
             fs::create_dir_all(parent).unwrap();
         }
         fs::write(&path, b"{ not json").unwrap();
-        let report = run_or_load_dataset(ExperimentScale::Tiny, dataset);
+        let report = run_or_load_dataset(ExperimentScale::Tiny, dataset).unwrap();
         assert!(!report.outcomes.is_empty());
         // The regenerated cache must now be valid JSON.
         let bytes = fs::read(&path).expect("cache rewritten");
@@ -238,7 +270,8 @@ mod tests {
 
     #[test]
     fn run_dataset_tiny_produces_full_grid() {
-        let report = run_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like());
+        let report =
+            run_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like()).unwrap();
         // 2 models × ≤2 scenarios × 2 attacks × 4 ε.
         assert!(!report.outcomes.is_empty());
         assert_eq!(report.outcomes.len() % 8, 0, "each scenario contributes 8 outcomes");

@@ -28,16 +28,17 @@
 //! # Example
 //!
 //! ```no_run
-//! use taamr::{ExperimentScale, Pipeline, PipelineConfig};
+//! use taamr::{ExperimentScale, Pipeline};
 //!
-//! let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
-//! let mut pipeline = Pipeline::build(&config);
-//! let report = pipeline.run_paper_experiment();
+//! let mut pipeline = Pipeline::builder().scale(ExperimentScale::Tiny).build()?;
+//! let report = pipeline.run_paper_experiment(None)?;
 //! println!("{}", report.render_table2());
+//! # Ok::<(), taamr::PipelineError>(())
 //! ```
 
 #![deny(missing_docs)]
 
+mod builder;
 mod catalog;
 pub mod checkpoint;
 mod config;
@@ -48,6 +49,7 @@ mod pipeline;
 mod report;
 mod scenario;
 
+pub use builder::PipelineBuilder;
 pub use catalog::{extract_features, l2_normalize_rows, CatalogImages};
 pub use checkpoint::{config_fingerprint, CheckpointError, RunDir, SCHEMA_VERSION};
 pub use config::{CnnConfig, ExperimentScale, PipelineConfig, RecTrainConfig};

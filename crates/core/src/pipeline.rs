@@ -151,27 +151,32 @@ fn interrupt_after(ordinal: u64, stage: &str) -> Result<(), PipelineError> {
     Ok(())
 }
 
+/// Accuracy of `classifier` on the (unseen) catalog renders: how often it
+/// assigns catalog items to their generating category.
+fn holdout_accuracy(
+    classifier: &TinyResNet,
+    catalog: &CatalogImages,
+    dataset: &ImplicitDataset,
+) -> f32 {
+    let all_images = taamr_vision::images_to_tensor(catalog.images());
+    let preds = par_predict(classifier, &all_images, 64);
+    let correct = preds
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| **p == dataset.item_category(*i))
+        .count();
+    correct as f32 / dataset.num_items() as f32
+}
+
 impl Pipeline {
-    /// Builds the whole system: generates data, trains the CNN, renders the
-    /// catalog, extracts features, and trains VBPR and AMR.
-    ///
-    /// Infallible wrapper around [`Pipeline::try_build`] for callers without
-    /// an error path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is internally inconsistent (zero sizes,
-    /// image size below 16, dataset categories ≠ [`Category::COUNT`]), or if
-    /// training diverges beyond the trainers' bounded rollback retries.
-    pub fn build(config: &PipelineConfig) -> Pipeline {
-        match Self::try_build(config) {
-            Ok(pipeline) => pipeline,
-            Err(e) => panic!("{e}"),
-        }
+    /// Starts a fluent [`PipelineBuilder`]; the ergonomic way to configure
+    /// and build a pipeline (`Pipeline::builder().scale(..).seed(..).build()?`).
+    pub fn builder() -> crate::PipelineBuilder {
+        crate::PipelineBuilder::new()
     }
 
-    /// Builds the whole system, reporting training divergence as an error
-    /// instead of panicking.
+    /// Builds the whole system: generates data, trains the CNN, renders the
+    /// catalog, extracts features, and trains VBPR and AMR.
     ///
     /// This is the expensive call; everything after it is evaluation.
     ///
@@ -179,7 +184,12 @@ impl Pipeline {
     ///
     /// Returns a [`PipelineError`] if CNN or recommender training diverges
     /// beyond the guards' bounded retries.
-    pub fn try_build(config: &PipelineConfig) -> Result<Pipeline, PipelineError> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (zero sizes,
+    /// image size below 16, dataset categories ≠ [`Category::COUNT`]).
+    pub fn build(config: &PipelineConfig) -> Result<Pipeline, PipelineError> {
         Self::build_stages(config, None)
     }
 
@@ -197,7 +207,7 @@ impl Pipeline {
     ///
     /// Returns a [`PipelineError`] on training divergence, checkpoint I/O
     /// failure, or an injected stage interrupt.
-    pub fn try_build_resumable(
+    pub fn build_resumable(
         config: &PipelineConfig,
         run: &RunDir,
     ) -> Result<Pipeline, PipelineError> {
@@ -215,7 +225,10 @@ impl Pipeline {
         );
 
         // 1. Interaction data (5-core filtered inside the generator).
-        let generated = SyntheticDataset::generate(&config.dataset);
+        let generated = {
+            let _span = taamr_obs::span("stage:dataset");
+            SyntheticDataset::generate(&config.dataset)
+        };
         let dataset = &generated.dataset;
 
         // 2. The CNN classifier — restored from checkpoint, or trained on
@@ -231,6 +244,7 @@ impl Pipeline {
         };
         let mut cnn_rng = stage_rng(config.seed, "cnn");
         let mut classifier = TinyResNet::new(&arch, &mut cnn_rng);
+        let cnn_span = taamr_obs::span("stage:cnn");
         let restored = run
             .and_then(|r| r.load_stage::<CnnCheckpoint>("cnn"))
             .filter(|ck| classifier.load_state_vec(&ck.state).is_ok());
@@ -256,7 +270,7 @@ impl Pipeline {
                     divergence: taamr_nn::DivergenceConfig::default(),
                 });
                 let history =
-                    trainer.try_fit(&mut classifier, &images_tensor, &labels, &mut cnn_rng)?;
+                    trainer.fit(&mut classifier, &images_tensor, &labels, &mut cnn_rng)?;
                 let acc = history.last().map(|s| s.accuracy).unwrap_or(0.0);
                 if let Some(r) = run {
                     r.save_stage(
@@ -267,25 +281,20 @@ impl Pipeline {
                 acc
             }
         };
+        drop(cnn_span);
         interrupt_after(0, "cnn")?;
 
         // 3. Render the catalog and extract clean features. This is
         //    recomputed on every (re)start: it is deterministic given the
         //    classifier, so it needs no checkpoint.
+        let feature_span = taamr_obs::span("stage:catalog-features");
         let catalog = CatalogImages::render(dataset, &generator);
         let features = extract_features(&classifier, catalog.images(), 16);
         // Hold-out accuracy: how often the classifier assigns catalog items
         // to their generating category (these renders were never trained on).
-        let cnn_holdout_accuracy = {
-            let all_images = taamr_vision::images_to_tensor(catalog.images());
-            let preds = par_predict(&classifier, &all_images, 64);
-            let correct = preds
-                .iter()
-                .enumerate()
-                .filter(|(i, p)| **p == dataset.item_category(*i))
-                .count();
-            correct as f32 / dataset.num_items() as f32
-        };
+        let cnn_holdout_accuracy =
+            holdout_accuracy(&classifier, &catalog, dataset);
+        drop(feature_span);
 
         // 4. Train the recommenders: VBPR warm-up → checkpoint → two
         //    branches (plain VBPR and AMR), mirroring the paper's protocol.
@@ -299,6 +308,7 @@ impl Pipeline {
                 source,
             }
         };
+        let warmup_span = taamr_obs::span("stage:vbpr-warmup");
         let warmup = match run.and_then(|r| r.load_stage::<Vbpr>("vbpr-warmup")) {
             Some(v) => v,
             None => {
@@ -317,14 +327,16 @@ impl Pipeline {
                     epochs: config.rec_train.warmup_epochs,
                     triplets_per_epoch: None,
                     lr: config.rec_train.lr,
-                });
-                rec_trainer.try_fit(&mut v, dataset, &mut rng).map_err(rec_diverged("VBPR"))?;
+                })
+                .with_label("vbpr-warmup");
+                rec_trainer.fit(&mut v, dataset, &mut rng).map_err(rec_diverged("VBPR"))?;
                 if let Some(r) = run {
                     r.save_stage("vbpr-warmup", &v)?;
                 }
                 v
             }
         };
+        drop(warmup_span);
         interrupt_after(1, "vbpr-warmup")?;
 
         let finetune = PairwiseTrainer::new(PairwiseConfig {
@@ -332,32 +344,44 @@ impl Pipeline {
             triplets_per_epoch: None,
             lr: config.rec_train.lr,
         });
+        let vbpr_span = taamr_obs::span("stage:vbpr-finetune");
         let vbpr = match run.and_then(|r| r.load_stage::<Vbpr>("vbpr")) {
             Some(v) => v,
             None => {
                 let mut rng = stage_rng(config.seed, "vbpr-finetune");
                 let mut v = warmup.clone();
-                finetune.try_fit(&mut v, dataset, &mut rng).map_err(rec_diverged("VBPR"))?;
+                finetune
+                    .clone()
+                    .with_label("vbpr-finetune")
+                    .fit(&mut v, dataset, &mut rng)
+                    .map_err(rec_diverged("VBPR"))?;
                 if let Some(r) = run {
                     r.save_stage("vbpr", &v)?;
                 }
                 v
             }
         };
+        drop(vbpr_span);
         interrupt_after(2, "vbpr")?;
 
+        let amr_span = taamr_obs::span("stage:amr");
         let amr = match run.and_then(|r| r.load_stage::<Amr>("amr")) {
             Some(a) => a,
             None => {
                 let mut rng = stage_rng(config.seed, "amr");
                 let mut a = Amr::from_vbpr(warmup, config.amr);
-                finetune.try_fit(&mut a, dataset, &mut rng).map_err(rec_diverged("AMR"))?;
+                finetune
+                    .clone()
+                    .with_label("amr")
+                    .fit(&mut a, dataset, &mut rng)
+                    .map_err(rec_diverged("AMR"))?;
                 if let Some(r) = run {
                     r.save_stage("amr", &a)?;
                 }
                 a
             }
         };
+        drop(amr_span);
         interrupt_after(3, "amr")?;
 
         // Divergence guard of last resort: every downstream number silently
@@ -398,8 +422,47 @@ impl Pipeline {
     }
 
     /// The trained CNN classifier / feature extractor.
-    pub fn classifier_mut(&mut self) -> &mut TinyResNet {
-        &mut self.classifier
+    pub fn classifier(&self) -> &TinyResNet {
+        &self.classifier
+    }
+
+    /// Runs `f` with mutable access to the classifier, then reconciles every
+    /// dependent cached stage if the weights actually changed.
+    ///
+    /// The pipeline caches state derived from the classifier — the clean
+    /// feature matrix, the hold-out accuracy, and the (L2-normalised) visual
+    /// features inside both recommenders. A bare `&mut TinyResNet` accessor
+    /// would let callers change the weights and silently leave all of that
+    /// stale (and inconsistent with any checkpoint fingerprint). Instead,
+    /// this scope fingerprints the weights before and after `f`: if they
+    /// differ, the features, hold-out accuracy, and both models' visual
+    /// features are recomputed from the mutated classifier. Gradient-only
+    /// mutation (e.g. running an attack's backward pass) leaves the weights
+    /// untouched and costs nothing beyond the fingerprint.
+    pub fn with_classifier_mut<R>(&mut self, f: impl FnOnce(&mut TinyResNet) -> R) -> R {
+        let before = weights_fingerprint(&mut self.classifier);
+        let out = f(&mut self.classifier);
+        if weights_fingerprint(&mut self.classifier) != before {
+            self.refresh_classifier_dependents();
+        }
+        out
+    }
+
+    /// Recomputes every stage cached from the classifier: clean features,
+    /// hold-out accuracy, and the recommenders' visual features.
+    fn refresh_classifier_dependents(&mut self) {
+        let _span = taamr_obs::span("stage:refresh-classifier-dependents");
+        self.features = extract_features(&self.classifier, self.catalog.images(), 16);
+        self.cnn_holdout_accuracy =
+            holdout_accuracy(&self.classifier, &self.catalog, &self.generated.dataset);
+        let d = self.classifier.feature_dim();
+        let mut rec_features = self.features.clone();
+        l2_normalize_rows(&mut rec_features, d);
+        for item in 0..self.generated.dataset.num_items() {
+            let row = &rec_features[item * d..(item + 1) * d];
+            self.vbpr.set_item_feature(item, row);
+            self.amr.set_item_feature(item, row);
+        }
     }
 
     /// Final-epoch training accuracy of the CNN.
@@ -473,27 +536,12 @@ impl Pipeline {
     /// perturb every source-category image, re-extract features, re-rank,
     /// and compute CHR / success-rate / visual-quality numbers.
     ///
-    /// Infallible wrapper around [`Pipeline::try_run_attack`].
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics if the scenario's source category has no items.
+    /// An unusable scenario (e.g. an empty source category) becomes a
+    /// [`PipelineError`] so a grid run can record the cell as failed and
+    /// keep going.
     pub fn run_attack(
-        &mut self,
-        kind: ModelKind,
-        attack: &dyn Attack,
-        scenario: AttackScenario,
-    ) -> AttackOutcome {
-        match self.try_run_attack(kind, attack, scenario) {
-            Ok(outcome) => outcome,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// [`Pipeline::run_attack`] with an error path: an unusable scenario
-    /// (e.g. an empty source category) becomes a [`PipelineError`] so a grid
-    /// run can record the cell as failed and keep going.
-    pub fn try_run_attack(
         &mut self,
         kind: ModelKind,
         attack: &dyn Attack,
@@ -634,12 +682,13 @@ impl Pipeline {
         ordinal: u64,
         (kind, scenario, eps, is_pgd): (ModelKind, AttackScenario, Epsilon, bool),
     ) -> CellRecord {
+        let _span = taamr_obs::span("attack-cell");
         let attack: Box<dyn Attack> =
             if is_pgd { Box::new(Pgd::new(eps)) } else { Box::new(Fgsm::new(eps)) };
         let result = if taamr_fault::fire(FaultSite::AttackCell, ordinal) {
             Err(PipelineError::AttackFailed { message: "injected cell fault".to_owned() })
         } else {
-            self.try_run_attack(kind, attack.as_ref(), scenario)
+            self.run_attack(kind, attack.as_ref(), scenario)
         };
         match result {
             Ok(outcome) => CellRecord { outcome: Some(outcome), error: None },
@@ -684,48 +733,44 @@ impl Pipeline {
     ///
     /// A cell that fails is recorded as a [`CellError`] in the report (the
     /// tables render a marked gap) rather than aborting the whole grid.
-    pub fn run_paper_experiment(&mut self) -> DatasetReport {
-        let grid = self.attack_grid();
-        let records = grid
-            .into_iter()
-            .enumerate()
-            .map(|(i, cell)| self.run_cell(i as u64, cell))
-            .collect();
-        self.report_from_cells(records)
-    }
-
-    /// [`Pipeline::run_paper_experiment`] with per-cell checkpointing under
-    /// `run`: each completed grid cell is persisted atomically, so a run
-    /// killed mid-grid resumes from the first missing cell and produces a
-    /// byte-identical report. Corrupt cell checkpoints are detected by
-    /// checksum, deleted, and recomputed.
+    ///
+    /// With `run = Some(..)` every completed grid cell is additionally
+    /// persisted atomically, so a run killed mid-grid resumes from the first
+    /// missing cell and produces a byte-identical report. Corrupt cell
+    /// checkpoints are detected by checksum, deleted, and recomputed.
     ///
     /// # Errors
     ///
-    /// Returns a [`PipelineError`] on checkpoint I/O failure or an injected
-    /// grid interrupt.
-    pub fn try_run_paper_experiment_resumable(
+    /// Returns a [`PipelineError`] on checkpoint I/O failure or (in
+    /// checkpointed runs) an injected grid interrupt; an uncheckpointed grid
+    /// itself never fails — cells degrade into report gaps.
+    pub fn run_paper_experiment(
         &mut self,
-        run: &RunDir,
+        run: Option<&RunDir>,
     ) -> Result<DatasetReport, PipelineError> {
         let grid = self.attack_grid();
         let mut records = Vec::with_capacity(grid.len());
         for (i, cell) in grid.into_iter().enumerate() {
             let ordinal = i as u64;
-            // Simulated kill immediately before this cell: completed cells
-            // keep their checkpoints, so a re-run resumes here.
-            if taamr_fault::fire(FaultSite::GridInterrupt, ordinal) {
-                return Err(PipelineError::Interrupted {
-                    after_stage: format!("cell-{:03}", i.saturating_sub(1)),
-                });
-            }
-            let stage = format!("cell-{i:03}");
-            let record = match run.load_stage::<CellRecord>(&stage) {
-                Some(cached) => cached,
-                None => {
-                    let computed = self.run_cell(ordinal, cell);
-                    run.save_stage(&stage, &computed)?;
-                    computed
+            let record = match run {
+                None => self.run_cell(ordinal, cell),
+                Some(run) => {
+                    // Simulated kill immediately before this cell: completed
+                    // cells keep their checkpoints, so a re-run resumes here.
+                    if taamr_fault::fire(FaultSite::GridInterrupt, ordinal) {
+                        return Err(PipelineError::Interrupted {
+                            after_stage: format!("cell-{:03}", i.saturating_sub(1)),
+                        });
+                    }
+                    let stage = format!("cell-{i:03}");
+                    match run.load_stage::<CellRecord>(&stage) {
+                        Some(cached) => cached,
+                        None => {
+                            let computed = self.run_cell(ordinal, cell);
+                            run.save_stage(&stage, &computed)?;
+                            computed
+                        }
+                    }
                 }
             };
             records.push(record);
@@ -929,6 +974,18 @@ impl Pipeline {
     }
 }
 
+/// FNV-1a fingerprint of a network's weight bits; used by
+/// [`Pipeline::with_classifier_mut`] to detect actual weight mutation
+/// (gradient buffers are not part of the state vector).
+fn weights_fingerprint(net: &mut TinyResNet) -> u64 {
+    let state = net.state_vec();
+    let mut bytes = Vec::with_capacity(state.len() * 4);
+    for v in state {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
 /// Accumulates per-image quality metrics into means.
 #[derive(Debug, Default)]
 struct QualityAccumulator {
@@ -964,7 +1021,7 @@ mod tests {
     use crate::ExperimentScale;
 
     fn tiny_pipeline() -> Pipeline {
-        Pipeline::build(&PipelineConfig::for_scale(ExperimentScale::Tiny))
+        Pipeline::build(&PipelineConfig::for_scale(ExperimentScale::Tiny)).unwrap()
     }
 
     #[test]
@@ -1005,7 +1062,7 @@ mod tests {
         let (similar, dissimilar) = p.select_scenarios(ModelKind::Vbpr);
         let scenario = similar.or(dissimilar).expect("a scenario exists at tiny scale");
         let attack = Fgsm::new(Epsilon::from_255(8.0));
-        let outcome = p.run_attack(ModelKind::Vbpr, &attack, scenario);
+        let outcome = p.run_attack(ModelKind::Vbpr, &attack, scenario).unwrap();
         assert_eq!(outcome.attack, "FGSM");
         assert!(outcome.attacked_items > 0);
         assert!((0.0..=1.0).contains(&outcome.success_rate));

@@ -64,7 +64,7 @@ impl AttackScenario {
         let best_target = |same_group: bool| -> Option<AttackScenario> {
             (0..chr_per_category.len())
                 .filter(|&c| c != source_id && eligible(c))
-                .filter_map(|c| Category::from_id(c))
+                .filter_map(Category::from_id)
                 .filter(|t| source.is_semantically_similar(*t) == same_group)
                 .max_by(|a, b| chr_per_category[a.id()].total_cmp(&chr_per_category[b.id()]))
                 .map(|t| AttackScenario::new(source, t))

@@ -53,6 +53,7 @@ impl<'a> TripletSampler<'a> {
 
     /// Draws one triplet.
     pub fn sample(&self, rng: &mut impl Rng) -> Triplet {
+        taamr_obs::incr(taamr_obs::Counter::SamplerDraws);
         let user = self.eligible_users[rng.gen_range(0..self.eligible_users.len())];
         let items = self.dataset.user_items(user);
         let positive = items[rng.gen_range(0..items.len())];

@@ -38,8 +38,8 @@ proptest! {
     fn category_sizes_partition_items(d in dataset_strategy()) {
         let sizes = d.category_sizes();
         prop_assert_eq!(sizes.iter().sum::<usize>(), d.num_items());
-        for c in 0..d.num_categories() {
-            prop_assert_eq!(d.items_of_category(c).len(), sizes[c]);
+        for (c, &size) in sizes.iter().enumerate().take(d.num_categories()) {
+            prop_assert_eq!(d.items_of_category(c).len(), size);
         }
     }
 

@@ -164,7 +164,7 @@ mod tests {
             sgd: SgdConfig { lr: 0.05, ..SgdConfig::default() },
             ..TrainerConfig::default()
         });
-        trainer.fit(&mut teacher, &images, &labels, &mut rng);
+        trainer.fit(&mut teacher, &images, &labels, &mut rng).unwrap();
         assert!(trainer.evaluate(&mut teacher, &images, &labels) > 0.9);
 
         let mut student = TinyResNet::new(&arch, &mut seeded_rng(99));

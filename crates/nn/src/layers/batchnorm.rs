@@ -72,13 +72,13 @@ impl Layer for BatchNorm2d {
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         if mode.is_train() {
-            for ci in 0..c {
+            for (ci, mean_c) in mean.iter_mut().enumerate() {
                 let mut s = 0.0;
                 for ni in 0..n {
                     let plane = (ni * c + ci) * h * w;
                     s += src[plane..plane + h * w].iter().sum::<f32>();
                 }
-                mean[ci] = s / m;
+                *mean_c = s / m;
             }
             for ci in 0..c {
                 let mu = mean[ci];
@@ -167,8 +167,8 @@ impl Layer for BatchNorm2d {
             }
         } else {
             // Eval mode is a frozen affine map: dx = dy · γ · inv_std.
-            for ci in 0..c {
-                let coeff = g[ci] * cache.inv_std[ci];
+            for (ci, &gamma) in g.iter().enumerate().take(c) {
+                let coeff = gamma * cache.inv_std[ci];
                 for ni in 0..n {
                     let plane = (ni * c + ci) * h * w;
                     for i in plane..plane + h * w {

@@ -105,6 +105,7 @@ pub(crate) mod gradcheck {
 
         let eps = 1e-2f32;
         let n_params = analytic.len();
+        #[allow(clippy::needless_range_loop)] // `pi` also indexes `params_mut()` below
         for pi in 0..n_params {
             for i in 0..analytic[pi].len() {
                 let orig = layer.params_mut()[pi].value.as_slice()[i];

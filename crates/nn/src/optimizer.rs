@@ -29,13 +29,10 @@ impl LrSchedule {
     pub fn rate_at(&self, base: f32, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => base,
-            LrSchedule::Step { every, factor } => {
-                if every == 0 {
-                    base
-                } else {
-                    base * factor.powi((epoch / every) as i32)
-                }
-            }
+            LrSchedule::Step { every, factor } => match epoch.checked_div(every) {
+                None => base,
+                Some(steps) => base * factor.powi(steps as i32),
+            },
             LrSchedule::Cosine { total_epochs, floor } => {
                 if total_epochs == 0 {
                     base

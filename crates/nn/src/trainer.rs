@@ -119,6 +119,8 @@ impl std::error::Error for TrainDiverged {}
 #[derive(Debug)]
 pub struct Trainer {
     config: TrainerConfig,
+    /// Stage name used for per-epoch telemetry records.
+    label: String,
 }
 
 impl Trainer {
@@ -130,29 +132,15 @@ impl Trainer {
     pub fn new(config: TrainerConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(config.epochs > 0, "epoch count must be positive");
-        Trainer { config }
+        Trainer { config, label: "cnn".to_owned() }
     }
 
-    /// Trains `net` on `(images, labels)` and returns per-epoch statistics.
-    ///
-    /// Infallible wrapper around [`Trainer::try_fit`] for callers without an
-    /// error path.
-    ///
-    /// # Panics
-    ///
-    /// Panics on shape mismatches, and if training diverges beyond the
-    /// guard's bounded retries (see [`DivergenceConfig`]).
-    pub fn fit<R: Rng + Clone>(
-        &self,
-        net: &mut TinyResNet,
-        images: &Tensor,
-        labels: &[usize],
-        rng: &mut R,
-    ) -> Vec<EpochStats> {
-        match self.try_fit(net, images, labels, rng) {
-            Ok(history) => history,
-            Err(e) => panic!("{e}"),
-        }
+    /// Sets the stage name under which per-epoch telemetry is recorded
+    /// (default `"cnn"`).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 
     /// Trains `net` on `(images, labels)` and returns per-epoch statistics,
@@ -173,11 +161,16 @@ impl Trainer {
     /// [`DivergenceConfig::max_retries`] times. Healthy epochs are bitwise
     /// identical to an unguarded run.
     ///
+    /// When observability is enabled (`taamr_obs::set_enabled`), every
+    /// completed epoch appends a telemetry record under this trainer's
+    /// [`label`](Trainer::with_label) and bumps the epoch/rollback counters;
+    /// the training result itself is bit-for-bit unaffected.
+    ///
     /// # Panics
     ///
     /// Panics if `images` is not NCHW or `labels.len()` differs from the
     /// batch dimension.
-    pub fn try_fit<R: Rng + Clone>(
+    pub fn fit<R: Rng + Clone>(
         &self,
         net: &mut TinyResNet,
         images: &Tensor,
@@ -239,6 +232,7 @@ impl Trainer {
                 }
 
                 let mean_loss = (total_loss / batches.max(1) as f64) as f32;
+                taamr_obs::incr(taamr_obs::Counter::CnnEpochs);
                 let healthy = mean_loss.is_finite()
                     && max_grad_norm <= guard.explode_norm
                     && net.is_finite_state();
@@ -260,6 +254,7 @@ impl Trainer {
                         last_loss: mean_loss,
                     });
                 }
+                taamr_obs::incr(taamr_obs::Counter::CnnRollbacks);
                 // Roll back to the epoch's start and retry with a smaller
                 // step. The backoff persists into later epochs: a schedule
                 // that just exploded should not return to full rate.
@@ -284,6 +279,12 @@ impl Trainer {
                     sgd.current_lr()
                 );
             }
+            taamr_obs::record_epoch(
+                &self.label,
+                epoch,
+                f64::from(stats.mean_loss),
+                f64::from(stats.accuracy),
+            );
             history.push(stats);
             sgd.advance_epoch();
         }
@@ -388,7 +389,7 @@ mod tests {
             sgd: SgdConfig { lr: 0.05, ..SgdConfig::default() },
             ..TrainerConfig::default()
         });
-        let history = trainer.fit(&mut net, &images, &labels, &mut rng);
+        let history = trainer.fit(&mut net, &images, &labels, &mut rng).unwrap();
         assert_eq!(history.len(), 8);
         let final_acc = trainer.evaluate(&mut net, &images, &labels);
         assert!(final_acc > 0.9, "final accuracy {final_acc}");
@@ -411,7 +412,7 @@ mod tests {
                 batch_size: 4,
                 ..TrainerConfig::default()
             });
-            trainer.fit(&mut net, &images, &labels, &mut rng)
+            trainer.fit(&mut net, &images, &labels, &mut rng).unwrap()
         };
         let (a, b) = (run(), run());
         assert_eq!(a.len(), b.len());
@@ -436,7 +437,7 @@ mod tests {
                 divergence,
                 ..TrainerConfig::default()
             });
-            trainer.fit(&mut net, &images, &labels, &mut rng);
+            trainer.fit(&mut net, &images, &labels, &mut rng).unwrap();
             net.state_vec()
         };
         let guarded = run(DivergenceConfig::default());
@@ -462,7 +463,7 @@ mod tests {
         });
         let (history, unfired) = taamr_fault::with_plan(
             FaultPlan::new().with(FaultSite::CnnEpochLoss, 1),
-            || trainer.try_fit(&mut net, &images, &labels, &mut rng),
+            || trainer.fit(&mut net, &images, &labels, &mut rng),
         );
         assert_eq!(unfired, 0, "the scheduled fault must actually fire");
         let history = history.expect("guard recovers from a single NaN epoch");
@@ -494,7 +495,7 @@ mod tests {
                     FaultPlan::new()
                         .with(FaultSite::CnnEpochLoss, 0)
                         .with(FaultSite::CnnEpochLoss, u64::MAX),
-                    || trainer.try_fit(&mut net, &images, &labels, &mut rng),
+                    || trainer.fit(&mut net, &images, &labels, &mut rng),
                 );
                 r
             },
@@ -510,7 +511,7 @@ mod tests {
             });
             let (res, _) = taamr_fault::with_plan(
                 FaultPlan::new().with(FaultSite::CnnEpochLoss, 0),
-                || trainer.try_fit(&mut net, &images, &labels, &mut rng),
+                || trainer.fit(&mut net, &images, &labels, &mut rng),
             );
             let err = res.expect_err("zero retries cannot absorb a poisoned epoch");
             assert_eq!(err.epoch, 0);
@@ -536,7 +537,7 @@ mod tests {
             },
             ..TrainerConfig::default()
         });
-        let history = trainer.fit(&mut net, &images, &labels, &mut rng);
+        let history = trainer.fit(&mut net, &images, &labels, &mut rng).unwrap();
         assert!(history[0].mean_loss.is_finite());
         assert!(net.is_finite_state());
     }
@@ -549,7 +550,8 @@ mod tests {
         let (images, labels) = toy_set(4, &mut rng);
         let labels: Vec<usize> = labels.iter().map(|&l| l % 3).collect();
         Trainer::new(TrainerConfig { epochs: 1, batch_size: 4, ..TrainerConfig::default() })
-            .fit(&mut net, &images, &labels, &mut rng);
+            .fit(&mut net, &images, &labels, &mut rng)
+            .unwrap();
         let state = net.state_vec();
         let mut other = TinyResNet::new(&cfg, &mut seeded_rng(999));
         other.load_state_vec(&state).expect("architectures match");
@@ -568,7 +570,7 @@ mod tests {
         let cfg = TinyResNetConfig::tiny_for_tests(2);
         let mut net = TinyResNet::new(&cfg, &mut rng);
         let images = Tensor::zeros(&[4, 3, 8, 8]);
-        Trainer::new(TrainerConfig::default()).fit(&mut net, &images, &[0, 1], &mut rng);
+        let _ = Trainer::new(TrainerConfig::default()).fit(&mut net, &images, &[0, 1], &mut rng);
     }
 
     #[test]

@@ -164,7 +164,7 @@ mod tests {
             triplets_per_epoch: Some(200),
             lr: 0.1,
         });
-        trainer.fit(&mut model, &data, &mut rng);
+        trainer.fit(&mut model, &data, &mut rng).unwrap();
         (data, model)
     }
 
@@ -178,7 +178,7 @@ mod tests {
             triplets_per_epoch: Some(200),
             lr: 0.05,
         });
-        let losses = trainer.fit(&mut amr, &data, &mut rng);
+        let losses = trainer.fit(&mut amr, &data, &mut rng).unwrap();
         assert!(losses.iter().all(|l| l.is_finite()));
         // The community structure must survive adversarial fine-tuning.
         let unseen_same: f32 = (4..8).map(|i| amr.score(0, i)).sum();
@@ -199,10 +199,10 @@ mod tests {
         });
         // Continue one copy as plain VBPR and one as AMR, same budget.
         let mut plain = vbpr.clone();
-        trainer.fit(&mut plain, &data, &mut rng);
+        trainer.fit(&mut plain, &data, &mut rng).unwrap();
         let mut amr = Amr::from_vbpr(vbpr, AmrConfig { gamma: 1.0, eta: 1.0 });
         let mut rng2 = StdRng::seed_from_u64(3);
-        trainer.fit(&mut amr, &data, &mut rng2);
+        trainer.fit(&mut amr, &data, &mut rng2).unwrap();
         let amr = amr.into_vbpr();
 
         // Perturb the features of the e1-community items with the direction

@@ -145,7 +145,7 @@ mod tests {
             triplets_per_epoch: Some(100),
             lr: 0.1,
         });
-        let losses = trainer.fit(&mut model, &d, &mut rng);
+        let losses = trainer.fit(&mut model, &d, &mut rng).unwrap();
         assert!(losses.last().unwrap() < &losses[0]);
         // Community 0 user prefers block-0 items over block-1 items.
         let s_in: f32 = (0..4).map(|i| model.score(0, i)).sum();

@@ -26,13 +26,16 @@
 //! use taamr_recsys::{BprMf, PairwiseConfig, PairwiseTrainer, Recommender};
 //! use rand::SeedableRng;
 //!
+//! # fn main() -> Result<(), taamr_recsys::PairwiseDiverged> {
 //! let data = SyntheticDataset::generate(&SyntheticConfig::tiny_for_tests());
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let mut model = BprMf::new(data.dataset.num_users(), data.dataset.num_items(), 8, &mut rng);
 //! let trainer = PairwiseTrainer::new(PairwiseConfig { epochs: 3, ..PairwiseConfig::default() });
-//! trainer.fit(&mut model, &data.dataset, &mut rng);
+//! trainer.fit(&mut model, &data.dataset, &mut rng)?;
 //! let top = model.top_n(0, 5, data.dataset.user_items(0));
 //! assert_eq!(top.len(), 5);
+//! # Ok(())
+//! # }
 //! ```
 
 #![deny(missing_docs)]

@@ -86,6 +86,8 @@ impl std::error::Error for PairwiseDiverged {}
 pub struct PairwiseTrainer {
     config: PairwiseConfig,
     divergence: PairwiseDivergence,
+    /// Stage name used for per-epoch telemetry records.
+    label: String,
 }
 
 impl PairwiseTrainer {
@@ -97,7 +99,11 @@ impl PairwiseTrainer {
     pub fn new(config: PairwiseConfig) -> Self {
         assert!(config.epochs > 0, "epoch count must be positive");
         assert!(config.lr > 0.0, "learning rate must be positive");
-        PairwiseTrainer { config, divergence: PairwiseDivergence::default() }
+        PairwiseTrainer {
+            config,
+            divergence: PairwiseDivergence::default(),
+            label: "pairwise".to_owned(),
+        }
     }
 
     /// Replaces the divergence-guard policy.
@@ -107,23 +113,13 @@ impl PairwiseTrainer {
         self
     }
 
-    /// Trains `model` on `dataset`, returning mean BPR loss per epoch.
-    ///
-    /// Infallible wrapper around [`PairwiseTrainer::try_fit`] for callers
-    /// without an error path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if training diverges beyond the guard's bounded retries.
-    pub fn fit<M, R>(&self, model: &mut M, dataset: &ImplicitDataset, rng: &mut R) -> Vec<f32>
-    where
-        M: PairwiseModel + Clone,
-        R: Rng + Clone,
-    {
-        match self.try_fit(model, dataset, rng) {
-            Ok(losses) => losses,
-            Err(e) => panic!("{e}"),
-        }
+    /// Sets the stage name under which per-epoch telemetry is recorded
+    /// (default `"pairwise"`). The pipeline labels its trainers
+    /// `"vbpr-warmup"`, `"vbpr-finetune"` and `"amr"`.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 
     /// Trains `model` on `dataset`, returning mean BPR loss per epoch, or a
@@ -136,7 +132,12 @@ impl PairwiseTrainer {
     /// learning rate is backed off, and the epoch is retried — at most
     /// [`PairwiseDivergence::max_retries`] times. Healthy epochs are bitwise
     /// identical to an unguarded run: the guard only reads state.
-    pub fn try_fit<M, R>(
+    ///
+    /// When observability is enabled (`taamr_obs::set_enabled`), every
+    /// completed epoch appends a telemetry record under this trainer's
+    /// [`label`](PairwiseTrainer::with_label) and bumps the epoch/rollback
+    /// counters; the training result itself is bit-for-bit unaffected.
+    pub fn fit<M, R>(
         &self,
         model: &mut M,
         dataset: &ImplicitDataset,
@@ -170,6 +171,7 @@ impl PairwiseTrainer {
                     total = f64::NAN;
                 }
                 let mean = (total / per_epoch.max(1) as f64) as f32;
+                taamr_obs::incr(taamr_obs::Counter::PairwiseEpochs);
                 if mean.is_finite() && model.is_finite_state() {
                     break mean;
                 }
@@ -182,12 +184,14 @@ impl PairwiseTrainer {
                         last_loss: mean,
                     });
                 }
+                taamr_obs::incr(taamr_obs::Counter::PairwiseRollbacks);
                 *model = snapshot_model;
                 *rng = snapshot_rng;
                 // The backoff persists into later epochs: a rate that just
                 // exploded should not return to full strength.
                 lr *= self.divergence.lr_backoff;
             };
+            taamr_obs::record_epoch(&self.label, epoch, f64::from(mean), attempts as f64);
             losses.push(mean);
         }
         Ok(losses)
@@ -262,7 +266,8 @@ mod tests {
             triplets_per_epoch: Some(20),
             lr: 0.1,
         });
-        let losses = trainer.fit(&mut model, &d, &mut rand::rngs::StdRng::seed_from_u64(0));
+        let losses =
+            trainer.fit(&mut model, &d, &mut rand::rngs::StdRng::seed_from_u64(0)).unwrap();
         assert!(losses.last().unwrap() < &losses[0]);
         assert!(model.w[0] > model.w[2] && model.w[1] > model.w[3]);
     }
@@ -280,7 +285,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let (result, unfired) = taamr_fault::with_plan(
             FaultPlan::new().with(FaultSite::PairwiseEpochLoss, 2),
-            || trainer.try_fit(&mut model, &d, &mut rng),
+            || trainer.fit(&mut model, &d, &mut rng),
         );
         assert_eq!(unfired, 0, "the scheduled fault must actually fire");
         let losses = result.expect("guard recovers from a single NaN epoch");
@@ -303,7 +308,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let (result, _) = taamr_fault::with_plan(
             FaultPlan::new().with(FaultSite::PairwiseEpochLoss, 0),
-            || trainer.try_fit(&mut model, &d, &mut rng),
+            || trainer.fit(&mut model, &d, &mut rng),
         );
         let err = result.expect_err("zero retries cannot absorb a poisoned epoch");
         assert_eq!(err.epoch, 0);
@@ -352,7 +357,7 @@ mod tests {
         });
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let losses = trainer
-            .try_fit(&mut model, &d, &mut rng)
+            .fit(&mut model, &d, &mut rng)
             .expect("a one-shot parameter glitch is recoverable");
         assert_eq!(losses.len(), 3);
         assert!(model.is_finite_state(), "rollback discarded the poisoned weights");

@@ -195,29 +195,28 @@ impl Vbpr {
         let proj_delta = self.project(&delta);
         let alpha_base = t.user * a;
         // α_u ← α_u + lr (coeff · E δ − λ α_u)
-        for v in 0..a {
+        for (v, &pd) in proj_delta.iter().enumerate().take(a) {
             let al = self.visual_user_factors[alpha_base + v];
-            self.visual_user_factors[alpha_base + v] +=
-                lr * (coeff * proj_delta[v] - reg * al);
+            self.visual_user_factors[alpha_base + v] += lr * (coeff * pd - reg * al);
         }
         // E ← E + lr (coeff · δ ⊗ α_u − λ E); use α_u *before* its update
         // would be ideal, but the standard implementations update in-place —
         // the bias is O(lr²) and immaterial.
-        for dd in 0..d {
-            if delta[dd] == 0.0 {
+        for (dd, &dval) in delta.iter().enumerate().take(d) {
+            if dval == 0.0 {
                 continue;
             }
             let row = dd * a;
             for v in 0..a {
                 let e = self.projection[row + v];
-                self.projection[row + v] += lr
-                    * (coeff * delta[dd] * self.visual_user_factors[alpha_base + v] - reg * e);
+                self.projection[row + v] +=
+                    lr * (coeff * dval * self.visual_user_factors[alpha_base + v] - reg * e);
             }
         }
         // β ← β + lr (coeff · δ − λ β)
-        for dd in 0..d {
+        for (dd, &dval) in delta.iter().enumerate().take(d) {
             let b = self.visual_bias[dd];
-            self.visual_bias[dd] += lr * (coeff * delta[dd] - reg * b);
+            self.visual_bias[dd] += lr * (coeff * dval - reg * b);
         }
         loss
     }
@@ -232,10 +231,10 @@ impl Vbpr {
         let a = self.config.visual_factors;
         let alpha = self.alpha(t.user);
         let mut grad = vec![0.0f32; self.feature_dim];
-        for dd in 0..self.feature_dim {
+        for (dd, g) in grad.iter_mut().enumerate() {
             let row = &self.projection[dd * a..(dd + 1) * a];
             let e_alpha: f32 = row.iter().zip(alpha).map(|(&e, &al)| e * al).sum();
-            grad[dd] = -coeff * (e_alpha + self.visual_bias[dd]);
+            *g = -coeff * (e_alpha + self.visual_bias[dd]);
         }
         grad
     }
@@ -260,9 +259,9 @@ impl Recommender for Vbpr {
         let alpha = self.alpha(user);
         // w = E α_u + β  (D-vector); then visual score per item is w·f_i.
         let mut w = self.visual_bias.clone();
-        for dd in 0..self.feature_dim {
+        for (dd, w_d) in w.iter_mut().enumerate() {
             let row = &self.projection[dd * a..(dd + 1) * a];
-            w[dd] += row.iter().zip(alpha).map(|(&e, &al)| e * al).sum::<f32>();
+            *w_d += row.iter().zip(alpha).map(|(&e, &al)| e * al).sum::<f32>();
         }
         let pu = self.user(user);
         (0..self.num_items)
@@ -361,7 +360,7 @@ pub(crate) mod tests {
             triplets_per_epoch: Some(200),
             lr: 0.1,
         });
-        let losses = trainer.fit(&mut model, &data, &mut rng);
+        let losses = trainer.fit(&mut model, &data, &mut rng).unwrap();
         assert!(losses.last().unwrap() < &losses[0]);
         // User 0 never saw items 4..8, but they share the community feature:
         // VBPR should score them above the other community's unseen items.
@@ -390,7 +389,7 @@ pub(crate) mod tests {
             triplets_per_epoch: Some(200),
             lr: 0.1,
         });
-        trainer.fit(&mut model, &data, &mut rng);
+        trainer.fit(&mut model, &data, &mut rng).unwrap();
         // Give item 12 (other community) the community-0 feature: its score
         // for user 0 must rise — this is the TAaMR mechanism in miniature.
         let before = model.score(0, 12);
@@ -415,8 +414,8 @@ pub(crate) mod tests {
             &mut rng,
         );
         let all = model.score_all(3);
-        for i in 0..data.num_items() {
-            assert!((all[i] - model.score(3, i)).abs() < 1e-5);
+        for (i, &s) in all.iter().enumerate().take(data.num_items()) {
+            assert!((s - model.score(3, i)).abs() < 1e-5);
         }
     }
 

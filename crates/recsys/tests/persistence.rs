@@ -22,7 +22,7 @@ fn train<M: taamr_recsys::PairwiseModel + Clone>(model: &mut M, seed: u64) {
         triplets_per_epoch: Some(50),
         lr: 0.05,
     });
-    trainer.fit(model, &d, &mut StdRng::seed_from_u64(seed));
+    trainer.fit(model, &d, &mut StdRng::seed_from_u64(seed)).unwrap();
 }
 
 #[test]

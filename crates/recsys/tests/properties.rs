@@ -74,7 +74,7 @@ proptest! {
             triplets_per_epoch: Some(50),
             lr: 0.1,
         });
-        trainer.fit(&mut model, &d, &mut rng);
+        trainer.fit(&mut model, &d, &mut rng).unwrap();
         for u in 0..d.num_users() {
             prop_assert!(model.score_all(u).iter().all(|s| s.is_finite()));
         }
@@ -126,8 +126,8 @@ proptest! {
         );
         for u in 0..2 {
             let all = model.score_all(u);
-            for i in 0..6 {
-                prop_assert!((all[i] - model.score(u, i)).abs() < 1e-5);
+            for (i, &s) in all.iter().enumerate().take(6) {
+                prop_assert!((s - model.score(u, i)).abs() < 1e-5);
             }
         }
     }

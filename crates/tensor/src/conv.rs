@@ -80,6 +80,7 @@ impl Conv2dGeometry {
 ///
 /// Returns [`TensorError::RankMismatch`] if `input` is not rank-4.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    taamr_obs::incr(taamr_obs::Counter::Im2colCalls);
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch { op: "im2col", expected: 4, actual: input.rank() });
     }
@@ -149,6 +150,7 @@ pub fn col2im(
     dims: &[usize; 4],
     geom: &Conv2dGeometry,
 ) -> Result<Tensor, TensorError> {
+    taamr_obs::incr(taamr_obs::Counter::Col2imCalls);
     if cols.rank() != 2 {
         return Err(TensorError::RankMismatch { op: "col2im", expected: 2, actual: cols.rank() });
     }

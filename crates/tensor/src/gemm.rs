@@ -128,6 +128,7 @@ pub fn gemm(
     beta: f32,
     c: &mut Tensor,
 ) -> Result<(), TensorError> {
+    taamr_obs::incr(taamr_obs::Counter::GemmCalls);
     for (t, name) in [(a, "gemm lhs"), (b, "gemm rhs"), (&*c, "gemm out")] {
         if t.rank() != 2 {
             let _ = name;

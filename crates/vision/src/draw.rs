@@ -18,10 +18,10 @@ impl Canvas {
     /// Creates a canvas filled with `background`.
     pub fn new(size: usize, background: Rgb) -> Self {
         let mut image = Image::new(size);
-        for c in 0..Image::CHANNELS {
+        for (c, &level) in background.iter().enumerate().take(Image::CHANNELS) {
             for y in 0..size {
                 for x in 0..size {
-                    image.set_pixel(c, y, x, background[c]);
+                    image.set_pixel(c, y, x, level);
                 }
             }
         }
@@ -48,9 +48,9 @@ impl Canvas {
             return;
         }
         let (y, x) = (y as usize, x as usize);
-        for c in 0..Image::CHANNELS {
+        for (c, &level) in color.iter().enumerate().take(Image::CHANNELS) {
             let old = self.image.pixel(c, y, x);
-            self.image.set_pixel(c, y, x, old * (1.0 - alpha) + color[c] * alpha);
+            self.image.set_pixel(c, y, x, old * (1.0 - alpha) + level * alpha);
         }
     }
 

@@ -104,14 +104,14 @@ mod tests {
             .map(|&c| gen.generate_many(c, &[0, 1, 2, 3]))
             .collect();
         for (ci, imgs) in images.iter().enumerate() {
-            for i in 0..per_cat {
-                for k in (i + 1)..per_cat {
-                    intra += dist(&imgs[i], &imgs[k]);
+            for (i, img) in imgs.iter().enumerate().take(per_cat) {
+                for other in imgs.iter().take(per_cat).skip(i + 1) {
+                    intra += dist(img, other);
                     intra_n += 1;
                 }
             }
-            for cj in (ci + 1)..images.len() {
-                inter += dist(&imgs[0], &images[cj][0]);
+            for other in images.iter().skip(ci + 1) {
+                inter += dist(&imgs[0], &other[0]);
                 inter_n += 1;
             }
         }

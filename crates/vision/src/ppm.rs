@@ -193,7 +193,7 @@ mod tests {
         assert!(Image::read_ppm(&b"P6\n0 0\n255\n"[..]).is_err());
         // Unbounded header token.
         let mut junk = b"P6\n".to_vec();
-        junk.extend(std::iter::repeat(b'9').take(1 << 16));
+        junk.extend(std::iter::repeat_n(b'9', 1 << 16));
         assert!(Image::read_ppm(junk.as_slice()).is_err());
         // Random binary garbage.
         let garbage: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();

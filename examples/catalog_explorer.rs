@@ -66,7 +66,7 @@ fn main() {
         log_every: 1,
         divergence: Default::default(),
     });
-    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
+    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng).expect("training converges");
 
     println!("\nper-category accuracy on fresh renders:");
     for cat in Category::ALL {

@@ -15,11 +15,11 @@
 use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 use taamr_attack::{Epsilon, Pgd};
 
-fn main() {
+fn main() -> Result<(), taamr::PipelineError> {
     let scale = ExperimentScale::from_env();
     let config = PipelineConfig::for_scale(scale);
     eprintln!("building pipeline at {scale:?} scale…");
-    let mut pipeline = Pipeline::build(&config);
+    let mut pipeline = Pipeline::build(&config)?;
 
     println!(
         "AMR adversarial regulariser: γ = {}, η = {} (paper's setting)",
@@ -39,7 +39,7 @@ fn main() {
         };
         for eps in [Epsilon::from_255(8.0), Epsilon::from_255(16.0)] {
             let attack = Pgd::new(eps);
-            let o = pipeline.run_attack(kind, &attack, scenario);
+            let o = pipeline.run_attack(kind, &attack, scenario)?;
             println!(
                 "{:<6} {:>5} | {:>13.3} {:>13.3} | {:>+13.3}",
                 kind.name(),
@@ -55,4 +55,5 @@ fn main() {
     println!("expected shape (paper Table II): AMR's lift is much smaller than VBPR's,");
     println!("but usually not zero — adversarial training on *feature* perturbations");
     println!("only partially transfers to *image-space* targeted attacks.");
+    Ok(())
 }

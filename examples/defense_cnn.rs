@@ -64,11 +64,11 @@ fn main() {
 
     eprintln!("training the vanilla CNN…");
     let mut vanilla = TinyResNet::new(&arch, &mut rng);
-    trainer.fit(&mut vanilla, &train, &labels, &mut rng);
+    trainer.fit(&mut vanilla, &train, &labels, &mut rng).expect("training converges");
 
     eprintln!("adversarially fine-tuning a copy…");
     let mut hardened = TinyResNet::new(&arch, &mut seeded_rng(0));
-    trainer.fit(&mut hardened, &train, &labels, &mut seeded_rng(0));
+    trainer.fit(&mut hardened, &train, &labels, &mut seeded_rng(0)).expect("training converges");
     let at_cfg = AdversarialTrainingConfig {
         epsilon: Epsilon::from_255(8.0),
         attack_steps: 5,

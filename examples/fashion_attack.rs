@@ -15,11 +15,11 @@
 use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 use taamr_attack::{Attack, Epsilon, Fgsm, Pgd};
 
-fn main() {
+fn main() -> Result<(), taamr::PipelineError> {
     let scale = ExperimentScale::from_env();
     let config = PipelineConfig::for_scale(scale);
     eprintln!("building pipeline at {scale:?} scale…");
-    let mut pipeline = Pipeline::build(&config);
+    let mut pipeline = Pipeline::build(&config)?;
     eprintln!(
         "CNN holdout accuracy: {:.1}%",
         pipeline.cnn_holdout_accuracy() * 100.0
@@ -36,7 +36,7 @@ fn main() {
 
     for eps in Epsilon::paper_sweep() {
         for attack in [&Fgsm::new(eps) as &dyn Attack, &Pgd::new(eps) as &dyn Attack] {
-            let o = pipeline.run_attack(ModelKind::Vbpr, attack, scenario);
+            let o = pipeline.run_attack(ModelKind::Vbpr, attack, scenario)?;
             println!(
                 "{:<6} {:>5} | {:>12.3} {:>12.3} | {:>8.1}% | {:>8.2} {:>8.4} {:>8.4}",
                 o.attack,
@@ -55,4 +55,5 @@ fn main() {
     println!();
     let fig = pipeline.figure2_example(ModelKind::Vbpr, scenario);
     println!("{fig}");
+    Ok(())
 }

@@ -14,11 +14,11 @@
 use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 use taamr_attack::Epsilon;
 
-fn main() {
+fn main() -> Result<(), taamr::PipelineError> {
     let scale = ExperimentScale::from_env();
     let config = PipelineConfig::for_scale(scale);
     eprintln!("building pipeline at {scale:?} scale…");
-    let mut pipeline = Pipeline::build(&config);
+    let mut pipeline = Pipeline::build(&config)?;
 
     // Pick the victim: the item appearing most often in top-N lists; and the
     // source: an item of the same category that never appears.
@@ -73,4 +73,5 @@ fn main() {
     println!("attack exactly as the paper's future-work discussion anticipates. At tiny");
     println!("scale the visual pathway is weak; run with TAAMR_SCALE=medium to see a");
     println!("meaningful pull toward the victim's rank.");
+    Ok(())
 }

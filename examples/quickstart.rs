@@ -7,15 +7,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
+use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineError};
 use taamr_attack::{Epsilon, Pgd};
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     // 1. Build everything: synthetic data, CNN, catalog, features, VBPR, AMR.
-    //    Tiny scale keeps this to a couple of seconds.
-    let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
+    //    Tiny scale keeps this to a couple of seconds. The builder starts
+    //    from a scale preset; set TAAMR_OBS=1 (or call `.obs(true)`) to also
+    //    collect span/counter telemetry — it never changes the numbers.
+    taamr_obs::init_from_env();
+    let builder = Pipeline::builder().scale(ExperimentScale::Tiny);
+    let config = builder.clone().into_config();
     println!("building pipeline ({} users requested)…", config.dataset.num_users);
-    let mut pipeline = Pipeline::build(&config);
+    let mut pipeline = builder.build()?;
 
     let stats = pipeline.dataset().stats(&config.dataset.name);
     println!("dataset: {stats}");
@@ -39,7 +43,7 @@ fn main() {
     let scenario = similar.or(dissimilar).expect("a scenario exists");
     println!("\nattack scenario: {scenario}");
     let attack = Pgd::new(Epsilon::from_255(8.0));
-    let outcome = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario);
+    let outcome = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario)?;
     println!(
         "{} {}: attacked {} items, success rate {:.1}%",
         outcome.attack,
@@ -55,4 +59,11 @@ fn main() {
         "visual quality: PSNR {:.1} dB, SSIM {:.4}, PSM {:.4}",
         outcome.visual.psnr, outcome.visual.ssim, outcome.visual.psm
     );
+
+    if taamr_obs::enabled() {
+        println!("
+telemetry:
+{}", taamr_obs::snapshot().summary());
+    }
+    Ok(())
 }

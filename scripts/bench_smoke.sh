@@ -12,6 +12,10 @@
 # >=2x acceptance target applies to multi-core runners. Results are bitwise
 # identical either way -- see "Parallelism & determinism" in DESIGN.md.
 #
+# It also runs the table1 experiment binary with telemetry on and copies the
+# resulting span/counter snapshot to BENCH_obs.json (per-stage wall times in
+# ns plus the full counter set from taamr-obs).
+#
 # Usage: scripts/bench_smoke.sh [output.json]
 #   BENCHES="tensor_ops parallel_scaling" scripts/bench_smoke.sh   # subset
 
@@ -71,3 +75,9 @@ END {
 
 echo "wrote $OUT (threads=$THREADS)"
 awk '/"workload"/' "$OUT"
+
+OBS_OUT=${TAAMR_BENCH_OBS:-BENCH_obs.json}
+echo "== table1 --telemetry (per-stage wall times -> $OBS_OUT)"
+TAAMR_SCALE=tiny cargo run -q --release -p taamr-bench --bin table1 -- \
+    --telemetry --telemetry-out "$OBS_OUT" > /dev/null
+echo "wrote $OBS_OUT"

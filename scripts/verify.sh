@@ -47,6 +47,28 @@ if [ "$core" -gt "$BASELINE_CORE" ] || [ "$recsys" -gt "$BASELINE_RECSYS" ]; the
 fi
 echo "panic audit clean"
 
+# API-shape audit: the fallible API unification (PR 3) removed every
+# panicking/fallible twin (`foo` + `try_foo`) from the public surface of the
+# hardened crates. A reintroduced `pub fn try_*` alongside its non-try
+# sibling is a regression: there must be exactly one, Result-returning,
+# entry point per operation.
+echo "== API-shape audit: no pub fn try_* twins in core/nn/recsys"
+twins=0
+for src in crates/core/src crates/nn/src crates/recsys/src; do
+    while IFS=: read -r file _ name; do
+        base=${name#try_}
+        if grep -rqE "pub fn $base\b" "$src"; then
+            echo "twin API in $src: pub fn try_$base next to pub fn $base ($file)"
+            twins=1
+        fi
+    done < <(grep -rnoE 'pub fn try_[a-z_0-9]+' "$src" | sed 's/pub fn //')
+done
+if [ "$twins" -ne 0 ]; then
+    echo "API-shape audit failed: collapse the pair into one Result-returning fn."
+    exit 1
+fi
+echo "API-shape audit clean"
+
 if [ "$QUICK" != "--quick" ]; then
     echo "== cargo build --release"
     cargo build --release
@@ -57,5 +79,8 @@ cargo test -q
 
 echo "== cargo test -p taamr --features serial -q (serial fallback)"
 cargo test -p taamr --features serial -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "verify OK"

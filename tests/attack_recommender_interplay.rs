@@ -54,7 +54,7 @@ fn trained_cnn() -> (TinyResNet, ProductImageGenerator, Vec<Category>) {
         log_every: 0,
         divergence: Default::default(),
     });
-    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng);
+    trainer.fit(&mut net, &images_to_tensor(&images), &labels, &mut rng).unwrap();
     (net, gen, cats)
 }
 
@@ -66,8 +66,8 @@ fn centroid(features: &taamr_tensor::Tensor) -> Vec<f32> {
     let (n, d) = (features.dims()[0], features.dims()[1]);
     let mut c = vec![0.0f32; d];
     for i in 0..n {
-        for j in 0..d {
-            c[j] += features.at(&[i, j]) / n as f32;
+        for (j, c_j) in c.iter_mut().enumerate() {
+            *c_j += features.at(&[i, j]) / n as f32;
         }
     }
     c

@@ -39,8 +39,8 @@ fn extracted_features_slot_into_vbpr_rows() {
         Category::COUNT,
     );
     let catalog = CatalogImages::render(&dataset, &gen);
-    let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(Category::COUNT), &mut seeded_rng(0));
-    let features = extract_features(&mut net, catalog.images(), 2);
+    let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(Category::COUNT), &mut seeded_rng(0));
+    let features = extract_features(&net, catalog.images(), 2);
     let d = net.feature_dim();
     let vbpr = Vbpr::new(
         1,
@@ -63,11 +63,11 @@ fn chr_definition_matches_manual_count() {
     let lists = vec![vec![0, 5, 9], vec![1, 5, 7], vec![2, 3, 4]];
     let cats = vec![0, 1, 1, 1, 0, 2, 0, 2, 0, 2];
     let per_cat = category_hit_ratio_all(&lists, &cats, 3, 3);
-    for c in 0..3 {
+    for (c, &ratio) in per_cat.iter().enumerate().take(3) {
         let set: HashSet<usize> =
             cats.iter().enumerate().filter(|(_, &cc)| cc == c).map(|(i, _)| i).collect();
         let manual = category_hit_ratio(&lists, &set, 3);
-        assert!((per_cat[c] - manual).abs() < 1e-12);
+        assert!((ratio - manual).abs() < 1e-12);
         let hand: usize =
             lists.iter().map(|l| l.iter().filter(|i| set.contains(i)).count()).sum();
         assert!((manual - hand as f64 / 9.0).abs() < 1e-12);
@@ -87,7 +87,7 @@ fn trained_bpr_beats_random_on_held_out_items() {
         triplets_per_epoch: None,
         lr: 0.05,
     });
-    trainer.fit(&mut model, &split.train, &mut rng);
+    trainer.fit(&mut model, &split.train, &mut rng).unwrap();
 
     // AUC of held-out items vs random negatives must beat chance clearly.
     let pairs: Vec<(f32, Vec<f32>)> = split
@@ -124,8 +124,8 @@ fn visual_metrics_agree_on_perturbation_ordering() {
     // under any of the three metrics.
     let gen = ProductImageGenerator::new(32, 9);
     let clean = gen.generate(Category::Handbag, 1);
-    let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(Category::COUNT), &mut seeded_rng(3));
-    let f_clean = extract_features(&mut net, &[clean.clone()], 1);
+    let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(Category::COUNT), &mut seeded_rng(3));
+    let f_clean = extract_features(&net, std::slice::from_ref(&clean), 1);
 
     let perturbed = |eps: f32| -> taamr_vision::Image {
         let mut img = clean.clone();
@@ -139,8 +139,8 @@ fn visual_metrics_agree_on_perturbation_ordering() {
     let large = perturbed(16.0 / 255.0);
     assert!(psnr(&clean, &small).unwrap() > psnr(&clean, &large).unwrap());
     assert!(ssim(&clean, &small).unwrap() > ssim(&clean, &large).unwrap());
-    let f_small = extract_features(&mut net, &[small], 1);
-    let f_large = extract_features(&mut net, &[large], 1);
+    let f_small = extract_features(&net, &[small], 1);
+    let f_large = extract_features(&net, &[large], 1);
     assert!(psm(&f_clean, &f_small).unwrap() <= psm(&f_clean, &f_large).unwrap());
 }
 

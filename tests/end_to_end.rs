@@ -4,13 +4,13 @@ use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 use taamr_attack::{Attack, Epsilon, Fgsm, Pgd};
 
 fn tiny() -> Pipeline {
-    Pipeline::build(&PipelineConfig::for_scale(ExperimentScale::Tiny))
+    Pipeline::build(&PipelineConfig::for_scale(ExperimentScale::Tiny)).expect("tiny build converges")
 }
 
 #[test]
 fn full_grid_experiment_covers_all_cells() {
     let mut pipeline = tiny();
-    let report = pipeline.run_paper_experiment();
+    let report = pipeline.run_paper_experiment(None).unwrap();
     // Each scenario contributes 2 attacks × 4 ε = 8 outcomes per model.
     assert!(!report.outcomes.is_empty());
     assert_eq!(report.outcomes.len() % 8, 0);
@@ -35,7 +35,7 @@ fn full_grid_experiment_covers_all_cells() {
 #[test]
 fn report_survives_json_round_trip() {
     let mut pipeline = tiny();
-    let report = pipeline.run_paper_experiment();
+    let report = pipeline.run_paper_experiment(None).unwrap();
     let json = serde_json::to_string(&report).expect("serialises");
     let back: taamr::DatasetReport = serde_json::from_str(&json).expect("deserialises");
     assert_eq!(back.outcomes.len(), report.outcomes.len());
@@ -55,12 +55,14 @@ fn attacks_respect_threat_model_through_the_pipeline() {
     for eps in Epsilon::paper_sweep() {
         for attack in [&Fgsm::new(eps) as &dyn Attack, &Pgd::new(eps) as &dyn Attack] {
             let mut rng = taamr_tensor::seeded_rng(0);
-            let adv = attack.perturb(
-                pipeline.classifier_mut(),
-                &clean,
-                taamr_attack::AttackGoal::Targeted(scenario.target.id()),
-                &mut rng,
-            );
+            let adv = pipeline.with_classifier_mut(|classifier| {
+                attack.perturb(
+                    classifier,
+                    &clean,
+                    taamr_attack::AttackGoal::Targeted(scenario.target.id()),
+                    &mut rng,
+                )
+            });
             assert!(adv.linf_distance(&clean) <= eps.as_fraction() + 1e-6);
             assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
@@ -74,8 +76,9 @@ fn attack_only_changes_attacked_category_lists_modestly() {
     let mut pipeline = tiny();
     let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
     let scenario = similar.or(dissimilar).expect("scenario exists");
-    let outcome =
-        pipeline.run_attack(ModelKind::Vbpr, &Fgsm::new(Epsilon::from_255(8.0)), scenario);
+    let outcome = pipeline
+        .run_attack(ModelKind::Vbpr, &Fgsm::new(Epsilon::from_255(8.0)), scenario)
+        .unwrap();
     // The baseline CHR reported in the outcome matches a fresh computation.
     let chr = pipeline.chr_per_category(pipeline.model(ModelKind::Vbpr));
     let source_id = taamr_vision::Category::ALL
@@ -105,8 +108,8 @@ fn figure2_example_is_internally_consistent() {
 #[test]
 fn pipeline_is_deterministic() {
     let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
-    let a = Pipeline::build(&config);
-    let b = Pipeline::build(&config);
+    let a = Pipeline::build(&config).unwrap();
+    let b = Pipeline::build(&config).unwrap();
     assert_eq!(a.clean_features(), b.clean_features());
     assert_eq!(
         a.model(ModelKind::Vbpr).score_all(0),
@@ -146,7 +149,7 @@ fn amr_lift_is_bounded_by_vbpr_lift_under_pgd16() {
         let (similar, dissimilar) = p.select_scenarios(kind);
         match similar.or(dissimilar) {
             Some(s) => {
-                let o = p.run_attack(kind, &Pgd::new(eps), s);
+                let o = p.run_attack(kind, &Pgd::new(eps), s).unwrap();
                 o.chr_source_after - o.chr_source_before
             }
             None => 0.0,

@@ -42,7 +42,10 @@ fn to_json(report: &taamr::DatasetReport) -> String {
 }
 
 fn baseline_report() -> taamr::DatasetReport {
-    Pipeline::build(&tiny_config()).run_paper_experiment()
+    Pipeline::build(&tiny_config())
+        .expect("tiny build converges")
+        .run_paper_experiment(None)
+        .expect("uncheckpointed run succeeds")
 }
 
 #[test]
@@ -180,7 +183,7 @@ fn corrupted_checkpoints_are_detected_and_regenerated() {
 #[test]
 fn failed_cell_degrades_to_marked_gap_not_abort() {
     let plan = FaultPlan::new().with(FaultSite::AttackCell, 0);
-    let (report, unfired) = with_plan(plan, || baseline_report());
+    let (report, unfired) = with_plan(plan, baseline_report);
     assert_eq!(unfired, 0, "the cell fault must actually fire");
 
     assert_eq!(report.errors.len(), 1, "exactly the faulted cell is missing");

@@ -23,8 +23,8 @@ fn full_experiment_report_is_bitwise_identical_across_thread_counts() {
         .iter()
         .map(|&t| {
             with_threads(t, || {
-                let mut pipeline = Pipeline::build(&config);
-                serde_json::to_string(&pipeline.run_paper_experiment())
+                let mut pipeline = Pipeline::build(&config).unwrap();
+                serde_json::to_string(&pipeline.run_paper_experiment(None).unwrap())
                     .expect("report serialises")
             })
         })
@@ -47,14 +47,12 @@ fn build_attack_and_rankings_are_bitwise_identical_across_thread_counts() {
     }
     let probe = |threads: usize| -> Probe {
         with_threads(threads, || {
-            let mut pipeline = Pipeline::build(&config);
+            let mut pipeline = Pipeline::build(&config).unwrap();
             let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
             let scenario = similar.or(dissimilar).expect("scenario exists");
-            let outcome = pipeline.run_attack(
-                ModelKind::Vbpr,
-                &Pgd::new(Epsilon::from_255(8.0)),
-                scenario,
-            );
+            let outcome = pipeline
+                .run_attack(ModelKind::Vbpr, &Pgd::new(Epsilon::from_255(8.0)), scenario)
+                .unwrap();
             let figure2 = pipeline.figure2_example(ModelKind::Vbpr, scenario);
             Probe {
                 features: pipeline.clean_features().to_vec(),
