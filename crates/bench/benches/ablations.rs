@@ -150,5 +150,48 @@ fn ablate_goal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablate_pgd_steps, ablate_random_start, ablate_goal);
+fn ablate_gemm_blocking(c: &mut Criterion) {
+    // Panel-size ablation for the packed GEMM: the shipped MC×NC blocking
+    // against smaller and larger cache footprints on a 256³ product. The
+    // fixed-summation-order contract makes every variant bitwise identical
+    // (KC is pinned), so the only thing that can move is throughput —
+    // exactly what an ablation should isolate.
+    use taamr_tensor::{gemm_blocked, BlockSizes, GemmScratch, Transpose, GEMM_BLOCKING, GEMM_KC};
+
+    let a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut seeded_rng(20));
+    let b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut seeded_rng(21));
+    let mut out = Tensor::zeros(&[256, 256]);
+    let mut scratch = GemmScratch::new();
+
+    let variants: [(&str, BlockSizes); 4] = [
+        ("mc16_nc64", BlockSizes { mc: 16, nc: 64, kc: GEMM_KC }),
+        ("mc32_nc128", BlockSizes { mc: 32, nc: 128, kc: GEMM_KC }),
+        ("shipped_mc64_nc256", GEMM_BLOCKING),
+        ("mc128_nc512", BlockSizes { mc: 128, nc: 512, kc: GEMM_KC }),
+    ];
+    let mut group = c.benchmark_group("gemm_blocking");
+    group.sample_size(10);
+    for (name, bs) in variants {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                gemm_blocked(
+                    1.0,
+                    &a,
+                    Transpose::No,
+                    &b,
+                    Transpose::No,
+                    0.0,
+                    &mut out,
+                    bs,
+                    &mut scratch,
+                )
+                .unwrap();
+                std::hint::black_box(out.as_slice()[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_pgd_steps, ablate_random_start, ablate_goal, ablate_gemm_blocking);
 criterion_main!(benches);

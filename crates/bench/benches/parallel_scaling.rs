@@ -5,8 +5,11 @@
 //! `rayon::with_threads(1, ..)` and on the ambient pool — under names
 //! `<workload>/serial` and `<workload>/parallel`, so
 //! `scripts/bench_smoke.sh` can pair the JSON lines and report speedups.
-//! On a single-core machine the two are expected to tie (~1×); the ≥2×
-//! targets apply to multi-core runners.
+//! On a single-core machine the two run the *identical* code path (the
+//! ambient pool resolves to one thread), so any measured "speedup" away
+//! from 1× — in either direction — is pure timer noise, not a regression;
+//! the ≥2× targets apply to multi-core runners. `tests/perf_kernel.rs`
+//! holds the `#[ignore]`d assertion form of this contract.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use taamr_attack::{item_seed, par_attack_batch, AttackGoal, Epsilon, Pgd};

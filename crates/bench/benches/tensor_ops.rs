@@ -35,6 +35,22 @@ fn bench_gemm_transposed(c: &mut Criterion) {
     });
 }
 
+fn bench_gemm_conv_shaped(c: &mut Criterion) {
+    // The shape conv lowering actually produces at tiny scale: a short-wide
+    // product of an `OC × C·KH·KW` weight against an im2col matrix. Packing
+    // pays off differently here than on cubes, so it gets its own number.
+    let mut rng = seeded_rng(4);
+    let w = Tensor::rand_uniform(&[16, 144], -1.0, 1.0, &mut rng);
+    let cols = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
+    let mut out = Tensor::zeros(&[16, 4096]);
+    c.bench_function("gemm_conv_16x144x4096", |bench| {
+        bench.iter(|| {
+            gemm(1.0, &w, Transpose::No, &cols, Transpose::No, 0.0, &mut out).unwrap();
+            std::hint::black_box(out.as_slice()[0])
+        });
+    });
+}
+
 fn bench_im2col(c: &mut Criterion) {
     let mut rng = seeded_rng(2);
     let input = Tensor::rand_uniform(&[8, 16, 32, 32], 0.0, 1.0, &mut rng);
@@ -60,5 +76,12 @@ fn bench_elementwise(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemm, bench_gemm_transposed, bench_im2col, bench_elementwise);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemm_transposed,
+    bench_gemm_conv_shaped,
+    bench_im2col,
+    bench_elementwise
+);
 criterion_main!(benches);

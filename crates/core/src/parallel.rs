@@ -7,9 +7,11 @@
 //! accumulation order never depends on the split, and results are collected
 //! back in input order. Concretely:
 //!
-//! * **Tensor kernels** — GEMM fans out over output-row blocks (each output
-//!   element's reduction over `k` is computed by one thread in a fixed
-//!   order); `im2col`/`col2im` fan out over disjoint output regions.
+//! * **Tensor kernels** — the packed-panel GEMM fans out over whole output
+//!   panels (micro-tile-aligned row panels or column stripes; each output
+//!   element's reduction over `k` is computed by one thread in the fixed
+//!   KC-blocked order the kernel documents); `im2col`/`col2im` fan out over
+//!   disjoint output regions.
 //! * **Inference** — eval-mode forward passes never mix batch rows (batch
 //!   norm applies frozen running statistics), so batches split into
 //!   sub-batches that run on model clones.

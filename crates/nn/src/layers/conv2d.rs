@@ -1,7 +1,7 @@
 //! GEMM-based 2-D convolution.
 
 use rand::Rng;
-use taamr_tensor::{col2im, gemm, im2col, Conv2dGeometry, Tensor, Transpose};
+use taamr_tensor::{col2im, gemm, im2col_into, with_conv_scratch, Conv2dGeometry, Tensor, Transpose};
 
 use crate::{Layer, Mode, Param};
 
@@ -10,6 +10,13 @@ use crate::{Layer, Mode, Param};
 /// The convolution is lowered to a matrix product via `im2col`. Weights are
 /// stored as an `OC × (C·KH·KW)` matrix plus an `OC` bias vector and are
 /// He-initialised.
+///
+/// The lowering path is allocation-free in steady state: the `cols`
+/// activation cache is rebuilt in place each forward, and the transient
+/// matrices (GEMM output, permuted gradient, column gradient) live in the
+/// calling thread's reusable [`taamr_tensor::ConvScratch`], so repeated
+/// passes over same-shaped batches — a training epoch, PGD's ten gradient
+/// steps — stop touching the allocator entirely.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
@@ -74,9 +81,17 @@ impl Conv2d {
     }
 
     /// Inverse of [`Conv2d::to_nchw`].
+    #[cfg(test)]
     fn from_nchw(t: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        Self::from_nchw_into(t, &mut out);
+        out
+    }
+
+    /// [`Conv2d::from_nchw`] into a reusable buffer.
+    fn from_nchw_into(t: &Tensor, out: &mut Tensor) {
         let [n, oc, oh, ow] = [t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]];
-        let mut out = Tensor::zeros(&[oc, n * oh * ow]);
+        out.reset_to_zeros(&[oc, n * oh * ow]);
         let src = t.as_slice();
         let dst = out.as_mut_slice();
         let spatial = oh * ow;
@@ -88,7 +103,6 @@ impl Conv2d {
                     .copy_from_slice(&src[src_base..src_base + spatial]);
             }
         }
-        out
     }
 }
 
@@ -99,12 +113,17 @@ impl Layer for Conv2d {
         let [n, _, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
         let (oh, ow) = self.geom.output_hw(h, w);
 
-        let cols = im2col(input, &self.geom).expect("im2col on validated input");
-        let mut out_mat = Tensor::zeros(&[self.out_channels, n * oh * ow]);
-        gemm(1.0, &self.weight.value, Transpose::No, &cols, Transpose::No, 0.0, &mut out_mat)
-            .expect("conv gemm shapes are consistent by construction");
-        // Add bias per output channel.
-        {
+        // Rebuild the cols cache in place: it is semantic state (backward
+        // needs this forward's lowering), so it lives on the layer, but its
+        // allocation survives across passes.
+        let mut cols = self.cols.take().unwrap_or_else(|| Tensor::zeros(&[0]));
+        im2col_into(input, &self.geom, &mut cols).expect("im2col on validated input");
+        let out = with_conv_scratch(|scratch| {
+            let out_mat = &mut scratch.out_mat;
+            out_mat.reset_to_zeros(&[self.out_channels, n * oh * ow]);
+            gemm(1.0, &self.weight.value, Transpose::No, &cols, Transpose::No, 0.0, out_mat)
+                .expect("conv gemm shapes are consistent by construction");
+            // Add bias per output channel.
             let row_len = n * oh * ow;
             let data = out_mat.as_mut_slice();
             for o in 0..self.out_channels {
@@ -115,42 +134,47 @@ impl Layer for Conv2d {
                     }
                 }
             }
-        }
+            Self::to_nchw(out_mat, n, self.out_channels, oh, ow)
+        });
         self.cols = Some(cols);
         self.input_dims = Some([n, self.in_channels, h, w]);
-        Self::to_nchw(&out_mat, n, self.out_channels, oh, ow)
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cols = self.cols.as_ref().expect("backward before forward");
         let dims = self.input_dims.expect("backward before forward");
-        let grad_mat = Self::from_nchw(grad_output);
+        with_conv_scratch(|scratch| {
+            Self::from_nchw_into(grad_output, &mut scratch.grad_mat);
+            let grad_mat = &scratch.grad_mat;
 
-        // dW += dY · colsᵀ
-        gemm(1.0, &grad_mat, Transpose::No, cols, Transpose::Yes, 1.0, &mut self.weight.grad)
-            .expect("conv weight-grad gemm");
-        // db += row sums of dY
-        {
-            let row_len = grad_mat.dims()[1];
-            let g = grad_mat.as_slice();
-            for o in 0..self.out_channels {
-                self.bias.grad.as_mut_slice()[o] +=
-                    g[o * row_len..(o + 1) * row_len].iter().sum::<f32>();
+            // dW += dY · colsᵀ
+            gemm(1.0, grad_mat, Transpose::No, cols, Transpose::Yes, 1.0, &mut self.weight.grad)
+                .expect("conv weight-grad gemm");
+            // db += row sums of dY
+            {
+                let row_len = grad_mat.dims()[1];
+                let g = grad_mat.as_slice();
+                for o in 0..self.out_channels {
+                    self.bias.grad.as_mut_slice()[o] +=
+                        g[o * row_len..(o + 1) * row_len].iter().sum::<f32>();
+                }
             }
-        }
-        // dX = col2im(Wᵀ · dY)
-        let mut grad_cols = Tensor::zeros(cols.dims());
-        gemm(
-            1.0,
-            &self.weight.value,
-            Transpose::Yes,
-            &grad_mat,
-            Transpose::No,
-            0.0,
-            &mut grad_cols,
-        )
-        .expect("conv input-grad gemm");
-        col2im(&grad_cols, &dims, &self.geom).expect("col2im on validated shapes")
+            // dX = col2im(Wᵀ · dY)
+            let grad_cols = &mut scratch.grad_cols;
+            grad_cols.reset_to_zeros(cols.dims());
+            gemm(
+                1.0,
+                &self.weight.value,
+                Transpose::Yes,
+                grad_mat,
+                Transpose::No,
+                0.0,
+                grad_cols,
+            )
+            .expect("conv input-grad gemm");
+            col2im(grad_cols, &dims, &self.geom).expect("col2im on validated shapes")
+        })
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

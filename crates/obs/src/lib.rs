@@ -19,7 +19,17 @@
 //!    semantic API entry points (one bump per `gemm` call, per sampled
 //!    triplet, per attack gradient step), not at implementation artifacts
 //!    like "per worker" or "per model clone" whose multiplicity varies with
-//!    the thread count.
+//!    the thread count. Even derived kernel counters obey this: the GEMM
+//!    panel-pack counter records the *canonical serial schedule's* pack
+//!    count at the `gemm` entry point, not the packs each thread actually
+//!    performed.
+//!
+//!    The one documented carve-out is the pair of allocator-health counters
+//!    ([`Counter::ScratchReuseHits`] / [`Counter::ScratchGrows`]). Scratch
+//!    arenas are per-thread, so how often a buffer grows versus gets reused
+//!    genuinely depends on how work was scheduled. They count memory
+//!    behaviour, not scientific events; [`Counter::thread_invariant`]
+//!    separates the two classes so invariance checks can filter them.
 //! 3. **Timing lives only in the telemetry export.** Span wall-times are
 //!    recorded into the telemetry registry and written to `telemetry.json`;
 //!    they are never folded into reports, seeds, or control flow.
@@ -54,7 +64,7 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the `telemetry.json` layout; bump on any schema change so
 /// downstream tooling can reject files it does not understand.
-pub const TELEMETRY_SCHEMA: u32 = 1;
+pub const TELEMETRY_SCHEMA: u32 = 2;
 
 /// The process-wide monotonic counters.
 ///
@@ -92,10 +102,20 @@ pub enum Counter {
     CnnEpochs,
     /// Pairwise (VBPR/AMR) training epochs completed (retries included).
     PairwiseEpochs,
+    /// Operand panels packed by the GEMM kernel, counted as the canonical
+    /// serial schedule's pack count at the `gemm` entry point (so the value
+    /// is thread-invariant even though parallel tasks re-pack B slivers).
+    GemmPanelPacks,
+    /// Scratch-arena requests satisfied by an existing allocation.
+    /// Scheduling-dependent — see the crate docs carve-out.
+    ScratchReuseHits,
+    /// Scratch-arena requests that had to grow the allocation.
+    /// Scheduling-dependent — see the crate docs carve-out.
+    ScratchGrows,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 17] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -110,6 +130,9 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::PairwiseRollbacks,
     Counter::CnnEpochs,
     Counter::PairwiseEpochs,
+    Counter::GemmPanelPacks,
+    Counter::ScratchReuseHits,
+    Counter::ScratchGrows,
 ];
 
 impl Counter {
@@ -130,7 +153,18 @@ impl Counter {
             Counter::PairwiseRollbacks => "pairwise_rollbacks",
             Counter::CnnEpochs => "cnn_epochs",
             Counter::PairwiseEpochs => "pairwise_epochs",
+            Counter::GemmPanelPacks => "gemm_panel_packs",
+            Counter::ScratchReuseHits => "scratch_reuse_hits",
+            Counter::ScratchGrows => "scratch_grows",
         }
+    }
+
+    /// Whether this counter's value is pinned by the deterministic parallel
+    /// contract (`true` for every semantic event counter), or reflects
+    /// per-thread memory behaviour and may legitimately differ across thread
+    /// counts (`false` — the scratch allocator-health counters).
+    pub fn thread_invariant(self) -> bool {
+        !matches!(self, Counter::ScratchReuseHits | Counter::ScratchGrows)
     }
 }
 
@@ -436,6 +470,16 @@ mod tests {
             assert_eq!(stat.name, c.name());
         }
         set_enabled(false);
+    }
+
+    #[test]
+    fn scratch_counters_are_the_only_scheduling_dependent_ones() {
+        let variant: Vec<_> = COUNTERS.iter().filter(|c| !c.thread_invariant()).collect();
+        assert_eq!(variant, [&Counter::ScratchReuseHits, &Counter::ScratchGrows]);
+        assert!(Counter::GemmPanelPacks.thread_invariant());
+        assert_eq!(Counter::GemmPanelPacks.name(), "gemm_panel_packs");
+        assert_eq!(Counter::ScratchReuseHits.name(), "scratch_reuse_hits");
+        assert_eq!(Counter::ScratchGrows.name(), "scratch_grows");
     }
 
     #[test]

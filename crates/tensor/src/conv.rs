@@ -80,6 +80,26 @@ impl Conv2dGeometry {
 ///
 /// Returns [`TensorError::RankMismatch`] if `input` is not rank-4.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros(&[0]);
+    im2col_into(input, geom, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`im2col`]: lowers into `out`, reshaping it in place and
+/// reusing its allocation when large enough.
+///
+/// Identical results and column ordering to [`im2col`]; this is the variant
+/// the conv layers call with a [`ConvScratch`](crate::ConvScratch)-style
+/// reusable buffer so repeated forward passes stop allocating.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `input` is not rank-4.
+pub fn im2col_into(
+    input: &Tensor,
+    geom: &Conv2dGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     taamr_obs::incr(taamr_obs::Counter::Im2colCalls);
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch { op: "im2col", expected: 4, actual: input.rank() });
@@ -88,7 +108,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
     let (oh, ow) = geom.output_hw(h, w);
     let rows = c * geom.kernel_h * geom.kernel_w;
     let cols = n * oh * ow;
-    let mut out = Tensor::zeros(&[rows, cols]);
+    out.reset_to_zeros(&[rows, cols]);
     let src = input.as_slice();
     let pad = geom.padding as isize;
     let stride = geom.stride;
@@ -131,7 +151,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
             fill_row(row, dst_row);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Adjoint of [`im2col`]: scatters a column matrix back into an
@@ -150,6 +170,24 @@ pub fn col2im(
     dims: &[usize; 4],
     geom: &Conv2dGeometry,
 ) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros(&[0]);
+    col2im_into(cols, dims, geom, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`col2im`]: scatters into `out`, reshaping it in place
+/// and reusing its allocation when large enough. Identical results to
+/// [`col2im`].
+///
+/// # Errors
+///
+/// Same errors as [`col2im`].
+pub fn col2im_into(
+    cols: &Tensor,
+    dims: &[usize; 4],
+    geom: &Conv2dGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     taamr_obs::incr(taamr_obs::Counter::Col2imCalls);
     if cols.rank() != 2 {
         return Err(TensorError::RankMismatch { op: "col2im", expected: 2, actual: cols.rank() });
@@ -165,7 +203,7 @@ pub fn col2im(
             rhs: cols.dims().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[n, c, h, w]);
+    out.reset_to_zeros(&[n, c, h, w]);
     let src = cols.as_slice();
     let pad = geom.padding as isize;
     let stride = geom.stride;
@@ -213,7 +251,7 @@ pub fn col2im(
             scatter_image(ni, img);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -331,6 +369,36 @@ mod tests {
         let lhs = im2col(&x, &geom).unwrap().dot(&y);
         let rhs = x.dot(&col2im(&y, &dims, &geom).unwrap());
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_api_and_reuse_buffers() {
+        let dims = [2usize, 3, 6, 6];
+        let geom = Conv2dGeometry::new(3, 3, 2, 1);
+        let x = Tensor::from_vec(
+            (0..dims.iter().product::<usize>()).map(|i| (i as f32 * 0.11).cos()).collect(),
+            &dims,
+        )
+        .unwrap();
+        let fresh_cols = im2col(&x, &geom).unwrap();
+        let mut cols = Tensor::zeros(&[0]);
+        im2col_into(&x, &geom, &mut cols).unwrap();
+        assert_eq!(cols, fresh_cols);
+
+        let fresh_img = col2im(&cols, &dims, &geom).unwrap();
+        let mut img = Tensor::zeros(&[0]);
+        col2im_into(&cols, &dims, &geom, &mut img).unwrap();
+        assert_eq!(img, fresh_img);
+
+        // A second pass through the same shapes must not reallocate.
+        let cap_cols = cols.data.capacity();
+        let cap_img = img.data.capacity();
+        im2col_into(&x, &geom, &mut cols).unwrap();
+        col2im_into(&cols, &dims, &geom, &mut img).unwrap();
+        assert_eq!(cols.data.capacity(), cap_cols);
+        assert_eq!(img.data.capacity(), cap_img);
+        assert_eq!(cols, fresh_cols);
+        assert_eq!(img, fresh_img);
     }
 
     #[test]

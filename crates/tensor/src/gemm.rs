@@ -1,19 +1,42 @@
-//! Cache-blocked single-precision general matrix multiply.
+//! Packed-panel single-precision general matrix multiply.
 //!
 //! This is the workhorse behind dense layers and `im2col`-lowered
-//! convolutions. It is a straightforward tiled triple loop with an `ikj`
-//! inner ordering (unit-stride accumulation over the output row), which is
-//! fast enough for the network sizes this reproduction trains while staying
-//! dependency-free and easy to verify against a naive reference.
+//! convolutions. The kernel is a cache-blocked, register-tiled design in the
+//! BLIS mould: operand panels are packed into contiguous,
+//! transpose-normalized scratch buffers ([`BlockSizes`]: `MC × KC` slivers of
+//! `op(A)` with `alpha` folded in, `KC × NC` slivers of `op(B)`), and an
+//! inner [`MR`]`×`[`NR`] micro-kernel accumulates a register tile over one
+//! `KC` block before adding it into `C`. Packing normalises both transpose
+//! cases into the same unit-stride layout, so all four `op` combinations run
+//! the identical inner loop.
 //!
-//! Large products are parallelised over contiguous row blocks of `C`. Each
-//! output element `C[i, j]` is owned by exactly one thread and accumulates
-//! its `k` products in the same order regardless of how rows are
-//! partitioned, so the result is bitwise identical for every thread count.
+//! # Fixed summation order
+//!
+//! Results are **bitwise identical at every thread count and for every
+//! row/column partition**. The canonical accumulation sequence for one
+//! output element `C[i, j]` is:
+//!
+//! 1. scale by `beta` (exact zero fill when `beta == 0`), then
+//! 2. for each `KC`-aligned block of the shared dimension, in ascending
+//!    order: add the block's partial sum, itself accumulated from zero over
+//!    `p` ascending as `((alpha · op(A)[i, p]) · op(B)[p, j])`.
+//!
+//! That sequence depends only on [`GEMM_KC`] and the ascending `p` loops —
+//! never on `MC`/`NC`, the micro-tile shape, or how rows/columns were
+//! handed to threads, because parallelism only ever splits the `m` and `n`
+//! dimensions (each output element is owned by exactly one task) and every
+//! task walks the *absolute* `K` blocks in the same order. Packing is a pure
+//! copy and bit-preserving. The differential and golden-fixture tests lock
+//! this contract down; changing `GEMM_KC` is a semantic change that must
+//! regenerate the golden digests.
+//!
+//! Scratch for the packed panels comes from a caller-supplied
+//! [`GemmScratch`] (or the calling thread's, via [`gemm`]), so steady-state
+//! workloads never allocate here.
 
 use rayon::prelude::*;
 
-use crate::{Tensor, TensorError};
+use crate::{with_gemm_scratch, GemmScratch, Tensor, TensorError};
 
 /// Whether an operand of [`gemm`] is used as-is or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -31,63 +54,236 @@ impl Transpose {
     }
 }
 
-const BLOCK: usize = 64;
+/// Micro-tile rows: each inner-kernel invocation produces an `MR × NR`
+/// register accumulator. Perf knobs only — they never change results.
+pub const MR: usize = 4;
+/// Micro-tile columns. See [`MR`].
+pub const NR: usize = 16;
 
-/// Minimum `m * n * k` before gemm fans out across threads; below this the
-/// fork-join overhead outweighs the kernel time.
-const PAR_MIN_WORK: usize = 128 * 1024;
+/// The `K`-dimension block length of the canonical summation order.
+///
+/// This is the one blocking parameter that is *semantic*: partial sums
+/// restart at every `GEMM_KC` boundary, so a different value produces
+/// different (equally valid) floating-point results. It is re-exported so
+/// tests and docs can state the contract explicitly.
+pub const GEMM_KC: usize = 256;
 
-/// Scalar kernel over the row range `[row0, row0 + rows)` of `op(A)`,
-/// accumulating into `c_block` (the corresponding rows of `C`). The
-/// `p0 → j0 → p → j` nesting fixes each element's accumulation order
-/// independently of the row partition, which is what makes the parallel
-/// split exact.
+/// Cache-blocking parameters for the packed kernel.
+///
+/// `mc × kc` is one packed sliver of `op(A)` (sized for L2), `kc × nc` one
+/// packed sliver of `op(B)` (sized for L1-friendly panel reuse). `mc` and
+/// `nc` are pure performance knobs; `kc` participates in the summation-order
+/// contract (see [`GEMM_KC`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Row-block length of packed `op(A)` slivers.
+    pub mc: usize,
+    /// Column-block length of packed `op(B)` slivers.
+    pub nc: usize,
+    /// Shared-dimension block length (summation-order sensitive).
+    pub kc: usize,
+}
+
+/// The production blocking: `64 × 256` A-slivers (64 KiB) and `256 × 256`
+/// B-slivers (256 KiB), tuned by the `gemm_blocking` ablation bench.
+pub const GEMM_BLOCKING: BlockSizes = BlockSizes { mc: 64, nc: 256, kc: GEMM_KC };
+
+impl BlockSizes {
+    /// Packed `op(B)` sliver length in floats, padded to whole `NR` panels.
+    fn b_pack_len(&self) -> usize {
+        self.kc * self.nc.div_ceil(NR) * NR
+    }
+
+    /// Packed `op(A)` sliver length in floats, padded to whole `MR` panels.
+    fn a_pack_len(&self) -> usize {
+        self.kc * self.mc.div_ceil(MR) * MR
+    }
+
+    /// Scratch floats one task needs for its packing buffers.
+    fn pack_len(&self) -> usize {
+        self.b_pack_len() + self.a_pack_len()
+    }
+}
+
+/// Minimum `m * n * k` before gemm fans out across threads. The rayon shim
+/// spawns fresh scoped threads per region (no persistent pool), so the
+/// fork-join cost only amortises over fairly large products.
+const PAR_MIN_WORK: usize = 2 * 1024 * 1024;
+
+/// A borrowed matrix with its transpose normalised away: `at(i, j)` is
+/// `op(M)[i, j]` regardless of storage order.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    ld: usize,
+    trans: bool,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        if self.trans {
+            self.data[j * self.ld + i]
+        } else {
+            self.data[i * self.ld + j]
+        }
+    }
+}
+
+/// Packs the `rows × kc` sliver of `op(A)` starting at `(row0, p0)` into
+/// `MR`-row panels: `dst[ir][p * MR + r] = alpha · op(A)[row0 + ir·MR + r,
+/// p0 + p]`, zero-padded past `rows`. Folding `alpha` here keeps the inner
+/// kernel multiply-add only and matches the canonical `(alpha·a)·b` order.
+fn pack_a(dst: &mut [f32], a: MatRef<'_>, row0: usize, rows: usize, p0: usize, kc: usize, alpha: f32) {
+    for (ir, panel) in dst.chunks_mut(kc * MR).take(rows.div_ceil(MR)).enumerate() {
+        let base = row0 + ir * MR;
+        let live = MR.min(rows - ir * MR);
+        for p in 0..kc {
+            let out = &mut panel[p * MR..(p + 1) * MR];
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = if r < live { alpha * a.at(base + r, p0 + p) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs the `kc × cols` sliver of `op(B)` starting at `(p0, col0)` into
+/// `NR`-column panels: `dst[jr][p * NR + j] = op(B)[p0 + p, col0 + jr·NR +
+/// j]`, zero-padded past `cols`.
+fn pack_b(dst: &mut [f32], b: MatRef<'_>, p0: usize, kc: usize, col0: usize, cols: usize) {
+    for (jr, panel) in dst.chunks_mut(kc * NR).take(cols.div_ceil(NR)).enumerate() {
+        let base = col0 + jr * NR;
+        let live = NR.min(cols - jr * NR);
+        for p in 0..kc {
+            let out = &mut panel[p * NR..(p + 1) * NR];
+            for (j, slot) in out.iter_mut().enumerate() {
+                *slot = if j < live { b.at(p0 + p, base + j) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// The register-tile inner kernel: accumulates one `MR × NR` tile over a
+/// full `kc` block, `p` ascending, starting from zero. Padding lanes in the
+/// panels are zero so edge tiles compute harmless extra zeros that are never
+/// stored.
+#[inline(always)]
+fn micro_kernel(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let a_it = a_panel.chunks_exact(MR).take(kc);
+    let b_it = b_panel.chunks_exact(NR).take(kc);
+    for (ap, bp) in a_it.zip(b_it) {
+        let ap: &[f32; MR] = ap.try_into().expect("A panel is MR-strided");
+        let bp: &[f32; NR] = bp.try_into().expect("B panel is NR-strided");
+        for (acc_row, &ar) in acc.iter_mut().zip(ap) {
+            for (slot, &bv) in acc_row.iter_mut().zip(bp) {
+                *slot += ar * bv;
+            }
+        }
+    }
+}
+
+/// Serial packed-panel driver over one rectangular region of `C`.
+///
+/// Writes into `c` (leading dimension `ldc`, origin at the region's top-left
+/// element) the update for global rows `[row0, row0 + m)` and columns
+/// `[col0, col0 + n)`. `pack` must hold at least `bs.pack_len()` floats; its
+/// prior contents are irrelevant (packing fully overwrites each sliver).
+///
+/// This wrapper only picks a code-generation flavour of the one driver body:
+/// on x86-64 CPUs reporting AVX2 it calls the AVX2-compiled clone, otherwise
+/// the baseline build. Both are the *same Rust function* compiled twice —
+/// identical IEEE-754 multiply/add sequence per element, no fused
+/// multiply-add (Rust never enables floating-point contraction) — so the
+/// dispatch is bitwise invisible; the differential and golden tests would
+/// fail on any machine where it were not.
 #[allow(clippy::too_many_arguments)]
-fn gemm_rows(
-    c_block: &mut [f32],
+fn gemm_region(
+    c: &mut [f32],
+    ldc: usize,
     row0: usize,
-    rows: usize,
+    m: usize,
+    col0: usize,
     n: usize,
     k: usize,
     alpha: f32,
-    a_data: &[f32],
-    lda: usize,
-    ta: Transpose,
-    b_data: &[f32],
-    ldb: usize,
-    tb: Transpose,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    bs: BlockSizes,
+    pack: &mut [f32],
 ) {
-    // a_at(i, p) = op(A)[i, p] for the *global* row index i.
-    let a_at = |i: usize, p: usize| -> f32 {
-        if ta.is_yes() {
-            a_data[p * lda + i]
-        } else {
-            a_data[i * lda + p]
-        }
-    };
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the callee only requires AVX2, which the runtime check
+        // just confirmed this CPU supports.
+        unsafe { gemm_region_avx2(c, ldc, row0, m, col0, n, k, alpha, a, b, bs, pack) };
+        return;
+    }
+    gemm_region_impl(c, ldc, row0, m, col0, n, k, alpha, a, b, bs, pack);
+}
 
-    for l0 in (0..rows).step_by(BLOCK) {
-        let l1 = (l0 + BLOCK).min(rows);
-        for p0 in (0..k).step_by(BLOCK) {
-            let p1 = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j1 = (j0 + BLOCK).min(n);
-                for l in l0..l1 {
-                    let c_row = &mut c_block[l * n..(l + 1) * n];
-                    for p in p0..p1 {
-                        let av = alpha * a_at(row0 + l, p);
-                        if av == 0.0 {
-                            continue;
-                        }
-                        if tb.is_yes() {
-                            // op(B)[p, j] = B[j, p]: strided, fall back.
-                            for (j, c_ij) in c_row[j0..j1].iter_mut().enumerate() {
-                                *c_ij += av * b_data[(j0 + j) * ldb + p];
-                            }
-                        } else {
-                            let b_row = &b_data[p * ldb + j0..p * ldb + j1];
-                            for (c_ij, &b_pj) in c_row[j0..j1].iter_mut().zip(b_row) {
-                                *c_ij += av * b_pj;
+/// The AVX2-compiled clone of [`gemm_region_impl`]. The 8-wide registers
+/// roughly double the no-FMA mul/add throughput the baseline x86-64 (SSE2)
+/// build is capped at, without touching the operation order.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn gemm_region_avx2(
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    m: usize,
+    col0: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    bs: BlockSizes,
+    pack: &mut [f32],
+) {
+    gemm_region_impl(c, ldc, row0, m, col0, n, k, alpha, a, b, bs, pack);
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn gemm_region_impl(
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    m: usize,
+    col0: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    bs: BlockSizes,
+    pack: &mut [f32],
+) {
+    let (b_pack, a_pack) = pack[..bs.pack_len()].split_at_mut(bs.b_pack_len());
+    for jc in (0..n).step_by(bs.nc) {
+        let ncb = bs.nc.min(n - jc);
+        // Absolute, ascending K blocks: the summation-order anchor.
+        for pc in (0..k).step_by(bs.kc) {
+            let kcb = bs.kc.min(k - pc);
+            pack_b(b_pack, b, pc, kcb, col0 + jc, ncb);
+            for ic in (0..m).step_by(bs.mc) {
+                let mcb = bs.mc.min(m - ic);
+                pack_a(a_pack, a, row0 + ic, mcb, pc, kcb, alpha);
+                for jr in 0..ncb.div_ceil(NR) {
+                    let j0 = jr * NR;
+                    let cols = NR.min(ncb - j0);
+                    let b_panel = &b_pack[jr * kcb * NR..(jr + 1) * kcb * NR];
+                    for ir in 0..mcb.div_ceil(MR) {
+                        let i0 = ir * MR;
+                        let rows = MR.min(mcb - i0);
+                        let a_panel = &a_pack[ir * kcb * MR..(ir + 1) * kcb * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        micro_kernel(kcb, a_panel, b_panel, &mut acc);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            let off = (ic + i0 + r) * ldc + jc + j0;
+                            for (slot, &v) in c[off..off + cols].iter_mut().zip(acc_row) {
+                                *slot += v;
                             }
                         }
                     }
@@ -97,10 +293,13 @@ fn gemm_rows(
     }
 }
 
-/// Computes `C = alpha * op(A) · op(B) + beta * C`.
+/// Computes `C = alpha * op(A) · op(B) + beta * C` using the calling
+/// thread's reusable [`GemmScratch`].
 ///
 /// `a` must have logical shape `m × k` after `ta` is applied and `b` must
 /// have logical shape `k × n` after `tb` is applied; `c` must be `m × n`.
+/// Results are bitwise identical at every thread count (see the module docs
+/// for the exact summation-order contract).
 ///
 /// # Errors
 ///
@@ -128,10 +327,61 @@ pub fn gemm(
     beta: f32,
     c: &mut Tensor,
 ) -> Result<(), TensorError> {
+    with_gemm_scratch(|scratch| gemm_with_scratch(alpha, a, ta, b, tb, beta, c, scratch))
+}
+
+/// [`gemm`] with an explicit scratch arena instead of the thread-local one.
+///
+/// Useful when the caller manages workspace lifetimes itself (e.g. one arena
+/// per worker state). Identical results and errors.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_scratch(
+    alpha: f32,
+    a: &Tensor,
+    ta: Transpose,
+    b: &Tensor,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Tensor,
+    scratch: &mut GemmScratch,
+) -> Result<(), TensorError> {
+    gemm_blocked(alpha, a, ta, b, tb, beta, c, GEMM_BLOCKING, scratch)
+}
+
+/// [`gemm`] with explicit cache-blocking parameters — the ablation entry
+/// point behind the `gemm_blocking` bench.
+///
+/// `blocking.mc` / `blocking.nc` only change performance. `blocking.kc`
+/// changes the summation order: results are bitwise identical to [`gemm`]
+/// **only** when `blocking.kc == GEMM_KC` (they remain correct to rounding
+/// error otherwise).
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`gemm`].
+///
+/// # Panics
+///
+/// Panics if any field of `blocking` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked(
+    alpha: f32,
+    a: &Tensor,
+    ta: Transpose,
+    b: &Tensor,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Tensor,
+    blocking: BlockSizes,
+    scratch: &mut GemmScratch,
+) -> Result<(), TensorError> {
+    assert!(
+        blocking.mc > 0 && blocking.nc > 0 && blocking.kc > 0,
+        "gemm block sizes must be positive"
+    );
     taamr_obs::incr(taamr_obs::Counter::GemmCalls);
-    for (t, name) in [(a, "gemm lhs"), (b, "gemm rhs"), (&*c, "gemm out")] {
+    for t in [a, b, &*c] {
         if t.rank() != 2 {
-            let _ = name;
             return Err(TensorError::RankMismatch { op: "gemm", expected: 2, actual: t.rank() });
         }
     }
@@ -172,24 +422,75 @@ pub fn gemm(
         return Ok(());
     }
 
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    // Leading dimensions of the *stored* matrices.
-    let lda = a.dims()[1];
-    let ldb = b.dims()[1];
+    // Canonical pack count (the serial schedule's): counted here, at the
+    // semantic entry point, so the telemetry value is invariant under thread
+    // count even though parallel tasks re-pack B slivers per row range.
+    let (jcs, kbs, ics) =
+        (n.div_ceil(blocking.nc) as u64, k.div_ceil(blocking.kc) as u64, m.div_ceil(blocking.mc) as u64);
+    taamr_obs::add(taamr_obs::Counter::GemmPanelPacks, jcs * kbs * (1 + ics));
+
+    let a_ref = MatRef { data: a.as_slice(), ld: a.dims()[1], trans: ta.is_yes() };
+    let b_ref = MatRef { data: b.as_slice(), ld: b.dims()[1], trans: tb.is_yes() };
     let c_data = c.as_mut_slice();
+    let per_task = blocking.pack_len();
 
     let threads = rayon::current_num_threads();
-    if threads > 1 && m > 1 && m * n * k >= PAR_MIN_WORK {
-        // Contiguous row blocks of C: disjoint writes, no reduction.
-        let rows_per = m.div_ceil(threads.min(m));
-        c_data.par_chunks_mut(rows_per * n).enumerate().for_each(|(ci, block)| {
-            let row0 = ci * rows_per;
-            let rows = block.len() / n;
-            gemm_rows(block, row0, rows, n, k, alpha, a_data, lda, ta, b_data, ldb, tb);
+    let parallel = threads > 1 && m * n * k >= PAR_MIN_WORK;
+    if parallel && m >= threads * MR {
+        // Row panels: whole MR-aligned row ranges of C, one per task. Each
+        // task walks the same absolute jc/pc schedule over its rows, so the
+        // partition is invisible to the summation order.
+        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+        let tasks = m.div_ceil(rows_per);
+        let buf = scratch.ensure(per_task * tasks);
+        let work: Vec<(usize, &mut [f32], &mut [f32])> = c_data
+            .chunks_mut(rows_per * n)
+            .zip(buf.chunks_mut(per_task))
+            .enumerate()
+            .map(|(i, (c_chunk, pack))| (i, c_chunk, pack))
+            .collect();
+        work.into_par_iter().for_each(|(i, c_chunk, pack)| {
+            let rows = c_chunk.len() / n;
+            gemm_region(c_chunk, n, i * rows_per, rows, 0, n, k, alpha, a_ref, b_ref, blocking, pack);
         });
+    } else if parallel && n >= threads * NR {
+        // Column stripes for short-wide products (the conv shapes: m = OC,
+        // n = N·OH·OW). Disjoint column ranges of C are not contiguous, so
+        // each task computes into its own contiguous staging buffer; the
+        // serial copy-in/copy-out is bit-preserving.
+        let cols_per = n.div_ceil(threads).div_ceil(NR) * NR;
+        let stripes = n.div_ceil(cols_per);
+        let task_len = per_task + m * cols_per;
+        let buf = scratch.ensure(task_len * stripes);
+        for s in 0..stripes {
+            let j0 = s * cols_per;
+            let cols = cols_per.min(n - j0);
+            let cbuf = &mut buf[s * task_len..s * task_len + m * cols];
+            for r in 0..m {
+                cbuf[r * cols..(r + 1) * cols]
+                    .copy_from_slice(&c_data[r * n + j0..r * n + j0 + cols]);
+            }
+        }
+        let work: Vec<(usize, &mut [f32])> =
+            buf.chunks_mut(task_len).enumerate().collect();
+        work.into_par_iter().for_each(|(s, chunk)| {
+            let j0 = s * cols_per;
+            let cols = cols_per.min(n - j0);
+            let (cbuf, pack) = chunk.split_at_mut(m * cols_per);
+            gemm_region(&mut cbuf[..m * cols], cols, 0, m, j0, cols, k, alpha, a_ref, b_ref, blocking, pack);
+        });
+        for s in 0..stripes {
+            let j0 = s * cols_per;
+            let cols = cols_per.min(n - j0);
+            let cbuf = &buf[s * task_len..s * task_len + m * cols];
+            for r in 0..m {
+                c_data[r * n + j0..r * n + j0 + cols]
+                    .copy_from_slice(&cbuf[r * cols..(r + 1) * cols]);
+            }
+        }
     } else {
-        gemm_rows(c_data, 0, m, n, k, alpha, a_data, lda, ta, b_data, ldb, tb);
+        let buf = scratch.ensure(per_task);
+        gemm_region(c_data, n, 0, m, 0, n, k, alpha, a_ref, b_ref, blocking, buf);
     }
     Ok(())
 }
@@ -371,5 +672,72 @@ mod tests {
         let mut c = Tensor::ones(&[3, 2]);
         gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c).unwrap();
         assert!(c.iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local_path_bitwise() {
+        let a = seq(&[37, 53]);
+        let b = seq(&[53, 29]);
+        let mut c1 = Tensor::zeros(&[37, 29]);
+        gemm(0.7, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1).unwrap();
+        let mut scratch = GemmScratch::new();
+        let mut c2 = Tensor::zeros(&[37, 29]);
+        gemm_with_scratch(0.7, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c2, &mut scratch)
+            .unwrap();
+        assert_eq!(c1, c2);
+        assert!(scratch.capacity() >= GEMM_BLOCKING.pack_len());
+    }
+
+    #[test]
+    fn custom_mc_nc_blocking_is_bitwise_neutral() {
+        // mc/nc are pure perf knobs; only kc participates in the summation
+        // order. Same kc => same bits, for sizes straddling block edges.
+        let a = seq(&[67, 130]);
+        let b = seq(&[130, 71]);
+        let mut base = Tensor::zeros(&[67, 71]);
+        gemm(1.3, &a, Transpose::No, &b, Transpose::No, 0.0, &mut base).unwrap();
+        for bs in [
+            BlockSizes { mc: 8, nc: 16, kc: GEMM_KC },
+            BlockSizes { mc: 3, nc: 5, kc: GEMM_KC },
+            BlockSizes { mc: 256, nc: 1024, kc: GEMM_KC },
+        ] {
+            let mut c = Tensor::zeros(&[67, 71]);
+            let mut scratch = GemmScratch::new();
+            gemm_blocked(1.3, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c, bs, &mut scratch)
+                .unwrap();
+            let same = base.iter().zip(c.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "blocking {bs:?} changed bits");
+        }
+    }
+
+    #[test]
+    fn smaller_kc_still_correct_to_rounding() {
+        let a = seq(&[20, 300]);
+        let b = seq(&[300, 20]);
+        let mut c = Tensor::zeros(&[20, 20]);
+        let mut scratch = GemmScratch::new();
+        let bs = BlockSizes { mc: 64, nc: 64, kc: 32 };
+        gemm_blocked(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c, bs, &mut scratch)
+            .unwrap();
+        assert_close(&c, &naive(&a, Transpose::No, &b, Transpose::No));
+    }
+
+    #[test]
+    #[should_panic(expected = "block sizes must be positive")]
+    fn zero_block_size_rejected() {
+        let a = seq(&[2, 2]);
+        let b = seq(&[2, 2]);
+        let mut c = Tensor::zeros(&[2, 2]);
+        let _ = gemm_blocked(
+            1.0,
+            &a,
+            Transpose::No,
+            &b,
+            Transpose::No,
+            0.0,
+            &mut c,
+            BlockSizes { mc: 0, nc: 64, kc: 64 },
+            &mut GemmScratch::new(),
+        );
     }
 }

@@ -8,8 +8,11 @@
 //! * shape bookkeeping ([`Shape`]) with checked reshapes,
 //! * elementwise arithmetic and mapping combinators,
 //! * reductions (sum / mean / max / argmax, optionally along an axis),
-//! * a cache-blocked SGEMM ([`gemm`]) used by dense and convolution layers,
+//! * a packed-panel, register-tiled SGEMM ([`gemm`]) used by dense and
+//!   convolution layers, bitwise deterministic at every thread count,
 //! * `im2col` / `col2im` lowering for convolutions ([`im2col`] / [`col2im`]),
+//!   with allocation-free `_into` variants fed by reusable scratch arenas
+//!   ([`GemmScratch`] / [`ConvScratch`]),
 //! * seeded random initialisation (uniform, normal, He, Xavier).
 //!
 //! The design deliberately avoids views/strides: every tensor owns its data
@@ -36,13 +39,20 @@ mod gemm;
 mod init;
 mod ops;
 mod reduce;
+mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
-pub use gemm::{gemm, Transpose};
+pub use gemm::{
+    gemm, gemm_blocked, gemm_with_scratch, BlockSizes, Transpose, GEMM_BLOCKING, GEMM_KC, MR, NR,
+};
 pub use init::seeded_rng;
+pub use scratch::{
+    conv_scratch_footprint, gemm_scratch_footprint, with_conv_scratch, with_gemm_scratch,
+    ConvScratch, GemmScratch,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -41,6 +41,22 @@ impl Tensor {
         Tensor { data: vec![value; shape.len()], shape }
     }
 
+    /// Reshapes this tensor in place to `dims` and fills it with zeros,
+    /// reusing the existing allocation whenever it is large enough.
+    ///
+    /// This is the allocation-free counterpart of [`Tensor::zeros`] used by
+    /// the reusable convolution/GEMM scratch buffers: a steady-state
+    /// workload that cycles through the same shapes stops allocating after
+    /// the first pass. Reuse vs. growth is recorded in the
+    /// `scratch_reuse_hits` / `scratch_grows` telemetry counters.
+    pub fn reset_to_zeros(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        crate::scratch::count_reuse(shape.len() > self.data.capacity());
+        self.data.clear();
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(&[n, n]);

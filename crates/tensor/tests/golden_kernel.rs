@@ -1,0 +1,107 @@
+//! Golden-fixture regression tests for the packed GEMM + conv lowering path.
+//!
+//! Each fixture runs a seeded workload and hashes the output bytes with the
+//! same FNV-1a scheme `taamr::checkpoint` uses for stage digests. The hex
+//! constants below are the kernel's contract: any change to the summation
+//! order, the packing, the AVX2 dispatch, or the im2col/col2im layout flips
+//! a digest and fails loudly. If a change is *intentional* (a new blocking
+//! contract), re-derive the constants with
+//! `cargo test -p taamr-tensor --test golden_kernel -- --nocapture` after
+//! convincing yourself the new bits are the ones you meant to ship.
+//!
+//! Digests are asserted at 8 threads as well as the ambient count: the
+//! fixed-summation-order contract makes thread count invisible to the bits.
+
+use taamr_tensor::{col2im, gemm, im2col, seeded_rng, Conv2dGeometry, Tensor, Transpose};
+
+/// FNV-1a 64-bit, byte-for-byte the scheme in `taamr::checkpoint`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn digest(t: &Tensor) -> u64 {
+    let mut bytes = Vec::with_capacity(t.len() * 4);
+    for v in t.iter() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn check(name: &str, got: u64, want: u64) {
+    assert_eq!(
+        got, want,
+        "golden digest changed for `{name}`: got {got:#018x}, expected {want:#018x} \
+         — the kernel's bit-level contract moved"
+    );
+}
+
+/// Square product through the packed kernel, both plain and transposed.
+fn gemm_square_fixture() -> Tensor {
+    let a = Tensor::rand_uniform(&[96, 80], -1.0, 1.0, &mut seeded_rng(41));
+    let b = Tensor::rand_uniform(&[80, 72], -1.0, 1.0, &mut seeded_rng(42));
+    let mut c = Tensor::rand_uniform(&[96, 72], -1.0, 1.0, &mut seeded_rng(43));
+    gemm(0.5, &a, Transpose::No, &b, Transpose::No, -0.25, &mut c).unwrap();
+    c
+}
+
+/// Transposed operands with k past one KC block (k = 300 > GEMM_KC = 256).
+fn gemm_transposed_fixture() -> Tensor {
+    let a = Tensor::rand_uniform(&[300, 48], -1.0, 1.0, &mut seeded_rng(44));
+    let b = Tensor::rand_uniform(&[56, 300], -1.0, 1.0, &mut seeded_rng(45));
+    let mut c = Tensor::zeros(&[48, 56]);
+    gemm(1.0, &a, Transpose::Yes, &b, Transpose::Yes, 0.0, &mut c).unwrap();
+    c
+}
+
+/// Conv forward as shipped: im2col lowering then the weight GEMM.
+fn conv_forward_fixture() -> (Tensor, Tensor) {
+    let x = Tensor::rand_uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut seeded_rng(46));
+    let geom = Conv2dGeometry::new(3, 3, 2, 1);
+    let cols = im2col(&x, &geom).unwrap();
+    let w = Tensor::rand_uniform(&[8, 27], -1.0, 1.0, &mut seeded_rng(47));
+    let mut out = Tensor::zeros(&[8, cols.dims()[1]]);
+    gemm(1.0, &w, Transpose::No, &cols, Transpose::No, 0.0, &mut out).unwrap();
+    (cols, out)
+}
+
+/// Conv backward's input-gradient path: Wᵀ·dY then col2im scatter.
+fn conv_backward_fixture() -> Tensor {
+    let (cols, out) = conv_forward_fixture();
+    let w = Tensor::rand_uniform(&[8, 27], -1.0, 1.0, &mut seeded_rng(47));
+    let mut grad_cols = Tensor::zeros(cols.dims());
+    gemm(1.0, &w, Transpose::Yes, &out, Transpose::No, 0.0, &mut grad_cols).unwrap();
+    col2im(&grad_cols, &[2, 3, 16, 16], &Conv2dGeometry::new(3, 3, 2, 1)).unwrap()
+}
+
+const GOLD_GEMM_SQUARE: u64 = 0xf855_d9ca_661a_a12b;
+const GOLD_GEMM_TRANSPOSED: u64 = 0xb51f_31ab_3abc_e304;
+const GOLD_CONV_FORWARD: u64 = 0x8ae0_c4c3_7855_8ecf;
+const GOLD_CONV_BACKWARD: u64 = 0xfc8c_3efe_57f4_8ea2;
+
+#[test]
+fn golden_digests_are_stable() {
+    println!("gemm_square      {:#018x}", digest(&gemm_square_fixture()));
+    println!("gemm_transposed  {:#018x}", digest(&gemm_transposed_fixture()));
+    println!("conv_forward     {:#018x}", digest(&conv_forward_fixture().1));
+    println!("conv_backward    {:#018x}", digest(&conv_backward_fixture()));
+
+    check("gemm_square", digest(&gemm_square_fixture()), GOLD_GEMM_SQUARE);
+    check("gemm_transposed", digest(&gemm_transposed_fixture()), GOLD_GEMM_TRANSPOSED);
+    check("conv_forward", digest(&conv_forward_fixture().1), GOLD_CONV_FORWARD);
+    check("conv_backward", digest(&conv_backward_fixture()), GOLD_CONV_BACKWARD);
+}
+
+#[test]
+fn golden_digests_are_thread_invariant() {
+    rayon::with_threads(8, || {
+        check("gemm_square@8", digest(&gemm_square_fixture()), GOLD_GEMM_SQUARE);
+        check("gemm_transposed@8", digest(&gemm_transposed_fixture()), GOLD_GEMM_TRANSPOSED);
+        check("conv_forward@8", digest(&conv_forward_fixture().1), GOLD_CONV_FORWARD);
+        check("conv_backward@8", digest(&conv_backward_fixture()), GOLD_CONV_BACKWARD);
+    });
+}

