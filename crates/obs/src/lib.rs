@@ -64,7 +64,7 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the `telemetry.json` layout; bump on any schema change so
 /// downstream tooling can reject files it does not understand.
-pub const TELEMETRY_SCHEMA: u32 = 2;
+pub const TELEMETRY_SCHEMA: u32 = 3;
 
 /// The process-wide monotonic counters.
 ///
@@ -112,10 +112,20 @@ pub enum Counter {
     /// Scratch-arena requests that had to grow the allocation.
     /// Scheduling-dependent — see the crate docs carve-out.
     ScratchGrows,
+    /// GEMMs issued by the recsys scoring engine (batched score blocks and
+    /// item-embedding cache rebuilds). Counted at the engine entry points
+    /// with a fixed user-block size, so the value is thread-invariant.
+    ScoringGemmCalls,
+    /// Scoring-engine `ensure` calls satisfied by a fresh item-embedding
+    /// cache (model version unchanged since the last rebuild).
+    EmbedCacheHits,
+    /// Scoring-engine item-embedding cache (re)builds: first use, or the
+    /// model's scoring version moved (training step / feature swap).
+    EmbedCacheRebuilds,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 17] = [
+pub const COUNTERS: [Counter; 20] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -133,6 +143,9 @@ pub const COUNTERS: [Counter; 17] = [
     Counter::GemmPanelPacks,
     Counter::ScratchReuseHits,
     Counter::ScratchGrows,
+    Counter::ScoringGemmCalls,
+    Counter::EmbedCacheHits,
+    Counter::EmbedCacheRebuilds,
 ];
 
 impl Counter {
@@ -156,6 +169,9 @@ impl Counter {
             Counter::GemmPanelPacks => "gemm_panel_packs",
             Counter::ScratchReuseHits => "scratch_reuse_hits",
             Counter::ScratchGrows => "scratch_grows",
+            Counter::ScoringGemmCalls => "scoring_gemm_calls",
+            Counter::EmbedCacheHits => "embed_cache_hits",
+            Counter::EmbedCacheRebuilds => "embed_cache_rebuilds",
         }
     }
 
@@ -480,6 +496,14 @@ mod tests {
         assert_eq!(Counter::GemmPanelPacks.name(), "gemm_panel_packs");
         assert_eq!(Counter::ScratchReuseHits.name(), "scratch_reuse_hits");
         assert_eq!(Counter::ScratchGrows.name(), "scratch_grows");
+        // The scoring-engine counters sit at fixed-block semantic entry
+        // points and therefore promise thread invariance.
+        assert!(Counter::ScoringGemmCalls.thread_invariant());
+        assert!(Counter::EmbedCacheHits.thread_invariant());
+        assert!(Counter::EmbedCacheRebuilds.thread_invariant());
+        assert_eq!(Counter::ScoringGemmCalls.name(), "scoring_gemm_calls");
+        assert_eq!(Counter::EmbedCacheHits.name(), "embed_cache_hits");
+        assert_eq!(Counter::EmbedCacheRebuilds.name(), "embed_cache_rebuilds");
     }
 
     #[test]

@@ -96,8 +96,24 @@ impl Recommender for Amr {
         self.inner.score(user, item)
     }
 
+    fn score_into(&self, user: usize, out: &mut [f32]) {
+        self.inner.score_into(user, out);
+    }
+
     fn score_all(&self, user: usize) -> Vec<f32> {
         self.inner.score_all(user)
+    }
+
+    fn scoring_version(&self) -> u64 {
+        self.inner.scoring_version()
+    }
+
+    fn catalog_plan(&self) -> crate::CatalogPlan {
+        self.inner.catalog_plan()
+    }
+
+    fn user_term_rows(&self, term: usize, users: std::ops::Range<usize>) -> &[f32] {
+        self.inner.user_term_rows(term, users)
     }
 }
 

@@ -3,9 +3,11 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use taamr_data::Triplet;
+use taamr_tensor::dot_blocked;
 
+use crate::scoring::tensor_2d;
 use crate::train::{bpr_loss_and_coeff, PairwiseModel};
-use crate::Recommender;
+use crate::{CatalogPlan, Recommender};
 
 /// Pure collaborative BPR-MF: `ŝ_ui = b_i + p_uᵀ q_i`.
 ///
@@ -24,6 +26,9 @@ pub struct BprMf {
     item_bias: Vec<f32>,
     /// L2 regularisation λ.
     reg: f32,
+    /// Monotone mutation counter for scoring-cache invalidation (see
+    /// [`Recommender::scoring_version`]).
+    version: u64,
 }
 
 impl BprMf {
@@ -45,6 +50,7 @@ impl BprMf {
             item_factors: init(num_items * factors, rng),
             item_bias: vec![0.0; num_items],
             reg: 1e-4,
+            version: 0,
         }
     }
 
@@ -79,15 +85,34 @@ impl Recommender for BprMf {
         self.num_items
     }
 
+    /// `b_i + p_uᵀ q_i` with the dot in canonical [`dot_blocked`] order —
+    /// bitwise identical to a [`crate::ScoringEngine`] score block. For
+    /// `factors ≤ GEMM_KC` this is also bit-for-bit the plain sequential
+    /// fold, so training (which scores through this) is unchanged.
     fn score(&self, user: usize, item: usize) -> f32 {
-        let dot: f32 =
-            self.user(user).iter().zip(self.item(item)).map(|(&a, &b)| a * b).sum();
-        self.item_bias[item] + dot
+        dot_blocked(self.item_bias[item], self.user(user), self.item(item))
+    }
+
+    fn scoring_version(&self) -> u64 {
+        self.version
+    }
+
+    fn catalog_plan(&self) -> CatalogPlan {
+        CatalogPlan::gemm(self.num_users, self.num_items, self.item_bias.clone())
+            .with_term(tensor_2d(self.item_factors.clone(), self.num_items, self.factors))
+    }
+
+    fn user_term_rows(&self, term: usize, users: std::ops::Range<usize>) -> &[f32] {
+        match term {
+            0 => &self.user_factors[users.start * self.factors..users.end * self.factors],
+            _ => &[],
+        }
     }
 }
 
 impl PairwiseModel for BprMf {
     fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32 {
+        self.version = self.version.wrapping_add(1);
         let x = self.score(t.user, t.positive) - self.score(t.user, t.negative);
         let (loss, coeff) = bpr_loss_and_coeff(x);
         let k = self.factors;

@@ -44,13 +44,17 @@ mod amr;
 mod bpr;
 mod popularity;
 mod recommend;
+mod scoring;
 mod train;
 mod vbpr;
 
 pub use amr::{Amr, AmrConfig};
 pub use bpr::BprMf;
 pub use popularity::Popularity;
-pub use recommend::{item_rank, par_top_n_all, top_n_indices};
+pub use recommend::{
+    item_rank, item_rank_with, par_top_n_all, top_n_indices, top_n_with, SelectionScratch,
+};
+pub use scoring::{CatalogPlan, ScoreBlock, ScoringEngine, SCORE_BLOCK_USERS};
 pub use train::{
     PairwiseConfig, PairwiseDiverged, PairwiseDivergence, PairwiseModel, PairwiseTrainer,
 };
@@ -75,13 +79,30 @@ pub trait Recommender: Send + Sync {
     /// Panics if `user` or `item` is out of range.
     fn score(&self, user: usize, item: usize) -> f32;
 
+    /// Scores of every item for `user`, written into a caller-owned buffer
+    /// of length [`Recommender::num_items`]. Implementations override this
+    /// to reuse per-call intermediates; the default delegates to
+    /// [`Recommender::score`] per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range or `out` has the wrong length.
+    fn score_into(&self, user: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.num_items(), "score buffer length mismatch");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.score(user, i);
+        }
+    }
+
     /// Scores of every item for `user`.
     ///
     /// # Panics
     ///
     /// Panics if `user` is out of range.
     fn score_all(&self, user: usize) -> Vec<f32> {
-        (0..self.num_items()).map(|i| self.score(user, i)).collect()
+        let mut out = vec![0.0; self.num_items()];
+        self.score_into(user, &mut out);
+        out
     }
 
     /// Top-`n` recommendation list for `user`, excluding `seen` items
@@ -92,6 +113,36 @@ pub trait Recommender: Send + Sync {
     /// Panics if `user` is out of range.
     fn top_n(&self, user: usize, n: usize, seen: &[usize]) -> Vec<usize> {
         recommend::top_n_indices(&self.score_all(user), n, seen)
+    }
+
+    /// Monotone version counter for scoring-cache invalidation: any
+    /// mutation that can change a score (an SGD step, a feature swap) must
+    /// bump it. Immutable models may keep the default constant `0`.
+    ///
+    /// [`ScoringEngine::ensure`] compares this against the version the
+    /// cached [`CatalogPlan`] was built at, so cache invalidation is exact.
+    fn scoring_version(&self) -> u64 {
+        0
+    }
+
+    /// Describes how to batch-score the full catalog (see [`CatalogPlan`]).
+    /// The default is the scalar fallback plan, correct for any model;
+    /// bilinear models override this to expose their GEMM decomposition.
+    fn catalog_plan(&self) -> CatalogPlan {
+        CatalogPlan::scalar(self.num_users(), self.num_items())
+    }
+
+    /// Row-major per-user factors of bilinear term `term` of the model's
+    /// [`CatalogPlan`], for the contiguous user block `users` — a borrowed
+    /// `users.len() × dim` slice straight out of model storage (no copy).
+    /// Models with a scalar plan keep the default empty slice.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `users` is out of range for the model.
+    fn user_term_rows(&self, term: usize, users: std::ops::Range<usize>) -> &[f32] {
+        let _ = (term, users);
+        &[]
     }
 }
 

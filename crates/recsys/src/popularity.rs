@@ -50,8 +50,22 @@ impl Recommender for Popularity {
         self.counts[item]
     }
 
+    fn score_into(&self, _user: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.counts.len(), "score buffer length mismatch");
+        out.copy_from_slice(&self.counts);
+    }
+
     fn score_all(&self, _user: usize) -> Vec<f32> {
         self.counts.clone()
+    }
+
+    // `scoring_version` stays at the default constant 0: a `Popularity`
+    // model is immutable after construction.
+
+    fn catalog_plan(&self) -> crate::CatalogPlan {
+        // User-independent scores: the whole catalog is one static term and
+        // zero bilinear pathways.
+        crate::CatalogPlan::gemm(self.num_users, self.counts.len(), self.counts.clone())
     }
 }
 

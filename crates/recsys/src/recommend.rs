@@ -1,15 +1,72 @@
 //! Top-N selection utilities.
+//!
+//! The selection primitives come in two layers: the original allocating
+//! entry points ([`top_n_indices`] / [`item_rank`]) and allocation-free
+//! `_with` variants that reuse a caller-owned [`SelectionScratch`]. The
+//! batched scoring engine ([`crate::ScoringEngine`]) drives the `_with`
+//! variants with one scratch per worker thread, so full-catalog top-N
+//! evaluation allocates only the output lists.
+//!
+//! Exclusion lists are treated as sets. Already-sorted, duplicate-free
+//! exclusion slices (which is what `ImplicitDataset::user_items` returns)
+//! are consumed by a direct merge walk with no copying at all; unsorted
+//! slices are normalised once into the scratch.
 
-use rayon::prelude::*;
-
+use crate::scoring::ScoringEngine;
 use crate::Recommender;
+
+/// Reusable buffers for [`top_n_with`] / [`item_rank_with`]. The buffers
+/// grow to the high-water mark of the catalog and exclusion sizes and are
+/// then reused, so steady-state selection performs no allocation (beyond
+/// each returned top-N list itself).
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    /// Non-excluded candidate indices for the current call.
+    candidates: Vec<usize>,
+    /// Normalised (sorted, deduplicated) exclusions, used only when the
+    /// caller's exclusion slice is not already strictly increasing.
+    exclude: Vec<usize>,
+}
+
+impl SelectionScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        SelectionScratch::default()
+    }
+}
+
+/// Returns `exclude` itself when it is already strictly increasing (sorted,
+/// no duplicates), otherwise normalises it into `buf` and returns that.
+fn normalised_exclude<'a>(exclude: &'a [usize], buf: &'a mut Vec<usize>) -> &'a [usize] {
+    if exclude.windows(2).all(|w| w[0] < w[1]) {
+        exclude
+    } else {
+        buf.clear();
+        buf.extend_from_slice(exclude);
+        buf.sort_unstable();
+        buf.dedup();
+        buf
+    }
+}
+
+/// Descending-score comparator with deterministic lower-index tie-break.
+fn by_score_desc(scores: &[f32]) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + '_ {
+    move |&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    }
+}
 
 /// Top-`n` recommendation lists for every user, computed on worker threads.
 ///
 /// `seen_of(u)` supplies the items to exclude for user `u` (typically the
-/// user's training interactions). Users are scored independently and results
-/// are collected in user order, so the output is identical to calling
-/// [`Recommender::top_n`] in a serial loop, for every thread count.
+/// user's training interactions). Scoring runs through a
+/// [`ScoringEngine`](crate::ScoringEngine) built for this call — batched
+/// GEMM score blocks consumed by per-thread selection scratch — and the
+/// output is identical to calling [`Recommender::top_n`] in a serial loop,
+/// for every thread count. Callers evaluating the same model repeatedly
+/// should hold a [`ScoringEngine`](crate::ScoringEngine) themselves and use
+/// [`ScoringEngine::par_top_n_all`](crate::ScoringEngine::par_top_n_all) to
+/// reuse the item-embedding cache across calls.
 ///
 /// # Panics
 ///
@@ -19,11 +76,8 @@ where
     R: Recommender + ?Sized,
     F: Fn(usize) -> &'a [usize] + Sync,
 {
-    assert!(n > 0, "n must be positive");
-    (0..model.num_users())
-        .into_par_iter()
-        .map(|u| model.top_n(u, n, seen_of(u)))
-        .collect()
+    let engine = ScoringEngine::for_model(model);
+    engine.par_top_n_all(model, n, seen_of)
 }
 
 /// Returns the indices of the `n` highest scores, excluding `exclude`,
@@ -42,23 +96,45 @@ where
 /// assert_eq!(top_n_indices(&scores, 2, &[1]), vec![3, 2]);
 /// ```
 pub fn top_n_indices(scores: &[f32], n: usize, exclude: &[usize]) -> Vec<usize> {
+    top_n_with(scores, n, exclude, &mut SelectionScratch::new())
+}
+
+/// [`top_n_indices`] writing its intermediates into a reusable
+/// [`SelectionScratch`]. Semantics are identical.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn top_n_with(
+    scores: &[f32],
+    n: usize,
+    exclude: &[usize],
+    scratch: &mut SelectionScratch,
+) -> Vec<usize> {
     assert!(n > 0, "n must be positive");
-    let excluded: std::collections::HashSet<usize> = exclude.iter().copied().collect();
-    let mut candidates: Vec<usize> =
-        (0..scores.len()).filter(|i| !excluded.contains(i)).collect();
+    let SelectionScratch { candidates, exclude: exclude_buf } = scratch;
+    let excluded = normalised_exclude(exclude, exclude_buf);
+    // Merge walk: both the candidate range and the exclusions are ascending.
+    candidates.clear();
+    let mut e = 0;
+    for i in 0..scores.len() {
+        while e < excluded.len() && excluded[e] < i {
+            e += 1;
+        }
+        if e < excluded.len() && excluded[e] == i {
+            continue;
+        }
+        candidates.push(i);
+    }
     let take = n.min(candidates.len());
     if take == 0 {
         return Vec::new();
     }
     // Partial selection then exact sort of the selected prefix.
-    candidates.select_nth_unstable_by(take.saturating_sub(1), |&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
-    candidates.truncate(take);
-    candidates.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
-    candidates
+    candidates.select_nth_unstable_by(take - 1, by_score_desc(scores));
+    let top = &mut candidates[..take];
+    top.sort_unstable_by(by_score_desc(scores));
+    top.to_vec()
 }
 
 /// 1-based rank of `item` among all non-excluded items for the given score
@@ -67,15 +143,38 @@ pub fn top_n_indices(scores: &[f32], n: usize, exclude: &[usize]) -> Vec<usize> 
 ///
 /// Used for the paper's Fig. 2 ("rec. position: 180th → 14th").
 pub fn item_rank(scores: &[f32], item: usize, exclude: &[usize]) -> Option<usize> {
-    if item >= scores.len() || exclude.contains(&item) {
+    item_rank_with(scores, item, exclude, &mut SelectionScratch::new())
+}
+
+/// [`item_rank`] writing its intermediates into a reusable
+/// [`SelectionScratch`]. Semantics are identical.
+pub fn item_rank_with(
+    scores: &[f32],
+    item: usize,
+    exclude: &[usize],
+    scratch: &mut SelectionScratch,
+) -> Option<usize> {
+    if item >= scores.len() {
         return None;
     }
-    let excluded: std::collections::HashSet<usize> = exclude.iter().copied().collect();
+    let excluded = normalised_exclude(exclude, &mut scratch.exclude);
+    if excluded.binary_search(&item).is_ok() {
+        return None;
+    }
     let target = scores[item];
-    let better = (0..scores.len())
-        .filter(|i| !excluded.contains(i))
-        .filter(|&i| scores[i] > target || (scores[i] == target && i < item))
-        .count();
+    let mut e = 0;
+    let mut better = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        while e < excluded.len() && excluded[e] < i {
+            e += 1;
+        }
+        if e < excluded.len() && excluded[e] == i {
+            continue;
+        }
+        if s > target || (s == target && i < item) {
+            better += 1;
+        }
+    }
     Some(better + 1)
 }
 
@@ -106,6 +205,31 @@ mod tests {
     fn ties_break_to_lower_index() {
         let scores = [0.5, 0.5, 0.5];
         assert_eq!(top_n_indices(&scores, 2, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn unsorted_and_duplicated_exclusions_behave_as_a_set() {
+        let scores = [0.3, 0.1, 0.9, 0.5, 0.2];
+        let sorted = top_n_indices(&scores, 3, &[1, 3]);
+        assert_eq!(top_n_indices(&scores, 3, &[3, 1, 3, 1]), sorted);
+        assert_eq!(item_rank(&scores, 2, &[3, 1, 3]), item_rank(&scores, 2, &[1, 3]));
+    }
+
+    #[test]
+    fn out_of_range_exclusions_are_ignored() {
+        let scores = [0.3, 0.1, 0.9];
+        assert_eq!(top_n_indices(&scores, 2, &[99]), vec![2, 0]);
+        assert_eq!(item_rank(&scores, 0, &[99]), Some(2));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_calls() {
+        let mut scratch = SelectionScratch::new();
+        let a = [0.3, 0.1, 0.9, 0.5];
+        let b = [0.9, 0.5, 0.7, 0.5, 0.1];
+        assert_eq!(top_n_with(&a, 2, &[2, 0, 2], &mut scratch), top_n_indices(&a, 2, &[2, 0, 2]));
+        assert_eq!(top_n_with(&b, 3, &[], &mut scratch), top_n_indices(&b, 3, &[]));
+        assert_eq!(item_rank_with(&b, 3, &[4, 0], &mut scratch), item_rank(&b, 3, &[4, 0]));
     }
 
     #[test]

@@ -11,6 +11,13 @@ use taamr_fault::FaultSite;
 pub trait PairwiseModel {
     /// Performs one SGD step on triplet `t` with learning rate `lr` and
     /// returns the triplet's BPR loss *before* the update.
+    ///
+    /// **Cache-invalidation contract:** models that also implement
+    /// [`Recommender`](crate::Recommender) with a GEMM
+    /// [`catalog_plan`](crate::Recommender::catalog_plan) must bump their
+    /// [`scoring_version`](crate::Recommender::scoring_version) inside every
+    /// step — that is what lets a [`ScoringEngine`](crate::ScoringEngine)
+    /// built before training detect that its item-embedding cache is stale.
     fn sgd_step(&mut self, t: &Triplet, lr: f32) -> f32;
 
     /// Whether every learned parameter is finite. The trainer's divergence

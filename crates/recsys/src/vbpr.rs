@@ -3,9 +3,11 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use taamr_data::Triplet;
+use taamr_tensor::{dot_blocked, with_gemm_scratch, Tensor, Transpose, GEMM_KC};
 
+use crate::scoring::{scoring_gemm, tensor_2d};
 use crate::train::{bpr_loss_and_coeff, PairwiseModel};
-use crate::{Recommender, VisualRecommender};
+use crate::{CatalogPlan, Recommender, VisualRecommender};
 
 /// Hyper-parameters of [`Vbpr`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +62,10 @@ pub struct Vbpr {
     item_bias: Vec<f32>,
     /// `num_items × D` deep image features (row-major).
     features: Vec<f32>,
+    /// Monotone mutation counter for scoring-cache invalidation: bumped by
+    /// every SGD step and feature swap (see
+    /// [`Recommender::scoring_version`]).
+    version: u64,
 }
 
 impl Vbpr {
@@ -101,6 +107,7 @@ impl Vbpr {
             item_bias: vec![0.0; num_items],
             features,
             config,
+            version: 0,
         }
     }
 
@@ -144,6 +151,40 @@ impl Vbpr {
         out
     }
 
+    /// `E f` in the GEMM kernel's canonical element order: per
+    /// [`GEMM_KC`]-block of the feature dimension, a partial accumulated
+    /// from zero, then added to the output — the exact scalar replication
+    /// of the item-embedding cache's `V = F·E` GEMM, so scores built from
+    /// this are bitwise identical to the batched engine. Unlike
+    /// [`Vbpr::project`] (the training path), zero feature entries are
+    /// *not* skipped: the kernel adds their products too.
+    fn embed_feature_into(&self, feature: &[f32], out: &mut [f32], partial: &mut [f32]) {
+        let a = self.config.visual_factors;
+        out.fill(0.0);
+        let mut d0 = 0;
+        while d0 < feature.len() {
+            let d1 = (d0 + GEMM_KC).min(feature.len());
+            partial.fill(0.0);
+            for (dd, &fv) in feature.iter().enumerate().take(d1).skip(d0) {
+                let row = &self.projection[dd * a..(dd + 1) * a];
+                for (p, &e) in partial.iter_mut().zip(row) {
+                    *p += fv * e;
+                }
+            }
+            for (o, &p) in out.iter_mut().zip(partial.iter()) {
+                *o += p;
+            }
+            d0 = d1;
+        }
+    }
+
+    /// The user-independent score term of `item`: `b_i + βᵀ f_i`, with the
+    /// visual bias dot in canonical [`dot_blocked`] order. This is the value
+    /// the scoring engine caches per item as the plan's static term.
+    fn static_score_term(&self, item: usize) -> f32 {
+        self.item_bias[item] + dot_blocked(0.0, self.feature(item), &self.visual_bias)
+    }
+
     /// Score of a feature vector for a user, with the item's collaborative
     /// part taken from `item` — used by AMR for adversarially perturbed
     /// features.
@@ -167,6 +208,7 @@ impl Vbpr {
         lr: f32,
         weight: f32,
     ) -> f32 {
+        self.version = self.version.wrapping_add(1);
         let x = self.score_with_feature(t.user, t.positive, f_i)
             - self.score_with_feature(t.user, t.negative, f_j);
         let (loss, raw_coeff) = bpr_loss_and_coeff(x);
@@ -226,7 +268,12 @@ impl Vbpr {
     ///
     /// This is the direction AMR's adversarial perturbation uses (Eq. 9).
     pub(crate) fn loss_feature_grad(&self, t: &Triplet) -> Vec<f32> {
-        let x = self.score(t.user, t.positive) - self.score(t.user, t.negative);
+        // Deliberately uses the training-path scorer (`score_with_feature`)
+        // rather than the canonical `score`, so attack directions — and the
+        // AMR training trajectory built on them — keep their exact
+        // pre-engine numerics.
+        let x = self.score_with_feature(t.user, t.positive, self.feature(t.positive))
+            - self.score_with_feature(t.user, t.negative, self.feature(t.negative));
         let (_, coeff) = bpr_loss_and_coeff(x);
         let a = self.config.visual_factors;
         let alpha = self.alpha(t.user);
@@ -249,28 +296,73 @@ impl Recommender for Vbpr {
         self.num_items
     }
 
+    /// Canonical (engine-order) score: static term, then the collaborative
+    /// and visual bilinear terms, each in [`dot_blocked`] order — bitwise
+    /// identical to a [`crate::ScoringEngine`] score block at any thread
+    /// count. (The training path keeps the historical summation order in
+    /// [`Vbpr::score_with_feature`].)
     fn score(&self, user: usize, item: usize) -> f32 {
-        self.score_with_feature(user, item, self.feature(item))
+        let a = self.config.visual_factors;
+        let mut v_i = vec![0.0f32; a];
+        let mut partial = vec![0.0f32; a];
+        self.embed_feature_into(self.feature(item), &mut v_i, &mut partial);
+        let s = dot_blocked(self.static_score_term(item), self.user(user), self.item(item));
+        dot_blocked(s, self.alpha(user), &v_i)
     }
 
-    fn score_all(&self, user: usize) -> Vec<f32> {
-        // Precompute the visual pathway once per user.
+    fn score_into(&self, user: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.num_items, "score buffer length mismatch");
         let a = self.config.visual_factors;
-        let alpha = self.alpha(user);
-        // w = E α_u + β  (D-vector); then visual score per item is w·f_i.
-        let mut w = self.visual_bias.clone();
-        for (dd, w_d) in w.iter_mut().enumerate() {
-            let row = &self.projection[dd * a..(dd + 1) * a];
-            *w_d += row.iter().zip(alpha).map(|(&e, &al)| e * al).sum::<f32>();
-        }
         let pu = self.user(user);
-        (0..self.num_items)
-            .map(|i| {
-                let dot: f32 = pu.iter().zip(self.item(i)).map(|(&x, &y)| x * y).sum();
-                let vis: f32 = w.iter().zip(self.feature(i)).map(|(&x, &y)| x * y).sum();
-                self.item_bias[i] + dot + vis
-            })
-            .collect()
+        let alpha = self.alpha(user);
+        let mut v_i = vec![0.0f32; a];
+        let mut partial = vec![0.0f32; a];
+        for (i, slot) in out.iter_mut().enumerate() {
+            self.embed_feature_into(self.feature(i), &mut v_i, &mut partial);
+            let s = dot_blocked(self.static_score_term(i), pu, self.item(i));
+            *slot = dot_blocked(s, alpha, &v_i);
+        }
+    }
+
+    fn scoring_version(&self) -> u64 {
+        self.version
+    }
+
+    fn catalog_plan(&self) -> CatalogPlan {
+        let (ni, d) = (self.num_items, self.feature_dim);
+        let (k, a) = (self.config.factors, self.config.visual_factors);
+        let features = tensor_2d(self.features.clone(), ni, d);
+        // V = F·E — every item's visual embedding in one GEMM.
+        let projection = tensor_2d(self.projection.clone(), d, a);
+        let mut visual_items = Tensor::zeros(&[ni, a]);
+        // b_vis = F·β — the per-item visual bias term in one GEMM.
+        let beta = tensor_2d(self.visual_bias.clone(), d, 1);
+        let mut b_vis = Tensor::zeros(&[ni, 1]);
+        with_gemm_scratch(|scratch| {
+            scoring_gemm(&features, &projection, Transpose::No, 0.0, &mut visual_items, scratch);
+            scoring_gemm(&features, &beta, Transpose::No, 0.0, &mut b_vis, scratch);
+        });
+        let static_term: Vec<f32> =
+            self.item_bias.iter().zip(b_vis.as_slice()).map(|(&b, &bv)| b + bv).collect();
+        // Term order must match `score`: collaborative p·q first, then the
+        // visual α·(E f) pathway.
+        CatalogPlan::gemm(self.num_users, ni, static_term)
+            .with_term(tensor_2d(self.item_factors.clone(), ni, k))
+            .with_term(visual_items)
+    }
+
+    fn user_term_rows(&self, term: usize, users: std::ops::Range<usize>) -> &[f32] {
+        match term {
+            0 => {
+                let k = self.config.factors;
+                &self.user_factors[users.start * k..users.end * k]
+            }
+            1 => {
+                let a = self.config.visual_factors;
+                &self.visual_user_factors[users.start * a..users.end * a]
+            }
+            _ => &[],
+        }
     }
 }
 
@@ -288,6 +380,7 @@ impl VisualRecommender for Vbpr {
         assert_eq!(feature.len(), self.feature_dim, "feature dimension mismatch");
         self.features[item * self.feature_dim..(item + 1) * self.feature_dim]
             .copy_from_slice(feature);
+        self.version = self.version.wrapping_add(1);
     }
 }
 
@@ -415,8 +508,55 @@ pub(crate) mod tests {
         );
         let all = model.score_all(3);
         for (i, &s) in all.iter().enumerate().take(data.num_items()) {
-            assert!((s - model.score(3, i)).abs() < 1e-5);
+            assert_eq!(s.to_bits(), model.score(3, i).to_bits(), "item {i}");
         }
+    }
+
+    #[test]
+    fn canonical_score_tracks_training_scorer() {
+        // `score` (engine order) and `score_with_feature` (training order)
+        // sum the same four terms with different association — equal up to
+        // rounding, and that is all the qualitative tests rely on.
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig::default(),
+            &mut rng,
+        );
+        for u in 0..data.num_users() {
+            for i in 0..data.num_items() {
+                let canonical = model.score(u, i);
+                let training = model.score_with_feature(u, i, model.feature(i));
+                assert!(
+                    (canonical - training).abs() <= 1e-5 * (1.0 + training.abs()),
+                    "user {u} item {i}: {canonical} vs {training}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_bump_the_scoring_version() {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig { factors: 4, visual_factors: 4, reg: 1e-4 },
+            &mut rng,
+        );
+        assert_eq!(model.scoring_version(), 0);
+        let t = taamr_data::Triplet { user: 0, positive: 1, negative: 12 };
+        model.sgd_step(&t, 0.05);
+        assert_eq!(model.scoring_version(), 1);
+        model.set_item_feature(0, &vec![0.5; d]);
+        assert_eq!(model.scoring_version(), 2);
     }
 
     #[test]

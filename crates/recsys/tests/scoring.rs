@@ -1,0 +1,232 @@
+//! Differential tests of the GEMM-backed scoring engine.
+//!
+//! The engine's contract is *bitwise* agreement with the scalar scoring
+//! path: for every model family, `ScoringEngine::score_block` must
+//! reproduce `Recommender::score(u, i)` / `score_all(u)` bit-for-bit at
+//! every thread count, and the derived top-N / rank paths must match the
+//! trait entry points exactly. These tests drive that contract over random
+//! shapes and seeds, plus the cache-invalidation rules (feature swaps and
+//! training epochs must rebuild; stale reads must be impossible).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taamr_data::{ImplicitDataset, Triplet, TripletSampler};
+use taamr_recsys::{
+    Amr, AmrConfig, BprMf, PairwiseConfig, PairwiseModel, PairwiseTrainer, Popularity,
+    Recommender, ScoreBlock, ScoringEngine, Vbpr, VbprConfig, VisualRecommender,
+    SCORE_BLOCK_USERS,
+};
+
+/// A small dataset whose item count we can vary.
+fn dataset(num_users: usize, num_items: usize) -> ImplicitDataset {
+    let users: Vec<Vec<usize>> = (0..num_users)
+        .map(|u| vec![u % num_items, (u * 3 + 1) % num_items])
+        .collect();
+    ImplicitDataset::new(users, vec![0; num_items], 1)
+}
+
+fn vbpr(num_users: usize, num_items: usize, seed: u64) -> Vbpr {
+    let d = 6;
+    let features: Vec<f32> = (0..num_items * d).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Vbpr::new(
+        num_users,
+        num_items,
+        d,
+        features,
+        VbprConfig { factors: 5, visual_factors: 3, reg: 1e-4 },
+        &mut rng,
+    );
+    // A few SGD steps so biases and β are non-zero.
+    let data = dataset(num_users, num_items);
+    let sampler = TripletSampler::new(&data);
+    for _ in 0..30 {
+        model.sgd_step(&sampler.sample(&mut rng), 0.05);
+    }
+    model
+}
+
+/// Asserts bitwise equality between the batched engine and the scalar trait
+/// path for one model, across thread counts and odd block boundaries.
+fn assert_engine_matches_scalar<M: Recommender>(model: &M) {
+    let engine = ScoringEngine::for_model(model);
+    let nu = model.num_users();
+
+    // Scalar references: pointwise score and score_all agree first.
+    let reference: Vec<Vec<f32>> = (0..nu).map(|u| model.score_all(u)).collect();
+    for (u, row) in reference.iter().enumerate() {
+        for (i, &s) in row.iter().enumerate() {
+            assert_eq!(s.to_bits(), model.score(u, i).to_bits(), "score_all vs score ({u},{i})");
+        }
+    }
+
+    // Batched blocks, including ragged ones, at several thread counts.
+    let mut block = ScoreBlock::new();
+    for threads in [1usize, 2, 8] {
+        rayon::with_threads(threads, || {
+            for start in [0, 1, nu / 2] {
+                for len in [1, 3, nu - start] {
+                    let end = (start + len).min(nu);
+                    engine.score_block(model, start..end, &mut block);
+                    for (u, row) in block.rows() {
+                        for (i, &s) in row.iter().enumerate() {
+                            assert_eq!(
+                                s.to_bits(),
+                                reference[u][i].to_bits(),
+                                "engine vs scalar ({u},{i}) at {threads} threads"
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_is_bitwise_identical_for_every_model_family(
+        seed in 0u64..1000,
+        num_users in 3usize..20,
+        num_items in 4usize..40,
+    ) {
+        let data = dataset(num_users, num_items);
+
+        let v = vbpr(num_users, num_items, seed);
+        assert_engine_matches_scalar(&v);
+
+        let a = Amr::from_vbpr(v, AmrConfig::default());
+        assert_engine_matches_scalar(&a);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb5);
+        let b = BprMf::new(num_users, num_items, 4, &mut rng);
+        assert_engine_matches_scalar(&b);
+
+        let p = Popularity::from_dataset(&data);
+        assert_engine_matches_scalar(&p);
+    }
+
+    #[test]
+    fn engine_top_n_and_ranks_match_trait_paths(
+        seed in 0u64..1000,
+        num_users in 3usize..16,
+        num_items in 6usize..30,
+        n in 1usize..6,
+    ) {
+        let data = dataset(num_users, num_items);
+        let model = vbpr(num_users, num_items, seed);
+        let engine = ScoringEngine::for_model(&model);
+        let serial_lists: Vec<Vec<usize>> =
+            (0..num_users).map(|u| model.top_n(u, n, data.user_items(u))).collect();
+        let serial_ranks: Vec<Option<usize>> = (0..num_users)
+            .map(|u| taamr_recsys::item_rank(&model.score_all(u), 2, data.user_items(u)))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let (lists, ranks) = rayon::with_threads(threads, || {
+                (
+                    engine.par_top_n_all(&model, n, |u| data.user_items(u)),
+                    engine.par_item_ranks(&model, 2, |u| data.user_items(u)),
+                )
+            });
+            assert_eq!(&lists, &serial_lists, "top-n at {threads} threads");
+            assert_eq!(&ranks, &serial_ranks, "ranks at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn engine_spans_multiple_user_blocks() {
+    // More users than SCORE_BLOCK_USERS so par_top_n_all exercises several
+    // blocks (and block boundaries) per call.
+    let nu = SCORE_BLOCK_USERS + 17;
+    let ni = 25;
+    let data = dataset(nu, ni);
+    let model = vbpr(nu, ni, 11);
+    let engine = ScoringEngine::for_model(&model);
+    let serial: Vec<Vec<usize>> =
+        (0..nu).map(|u| model.top_n(u, 5, data.user_items(u))).collect();
+    for threads in [1usize, 2, 8] {
+        let lists = rayon::with_threads(threads, || {
+            engine.par_top_n_all(&model, 5, |u| data.user_items(u))
+        });
+        assert_eq!(lists, serial, "thread count {threads}");
+    }
+}
+
+#[test]
+fn feature_swap_invalidates_the_cache() {
+    let mut model = vbpr(8, 20, 3);
+    let mut engine = ScoringEngine::new();
+    assert!(engine.ensure(&model), "first ensure builds the cache");
+    assert!(!engine.ensure(&model), "fresh model is a cache hit");
+
+    let before = model.score_all(0);
+    let new_feature = vec![0.25f32; model.feature_dim()];
+    model.set_item_feature(4, &new_feature);
+    assert!(!engine.is_fresh(&model), "feature swap must invalidate");
+    assert!(engine.ensure(&model), "ensure rebuilds after the swap");
+
+    // The rebuilt cache serves the *new* scores, bitwise.
+    let mut block = ScoreBlock::new();
+    engine.score_block(&model, 0..model.num_users(), &mut block);
+    let after = model.score_all(0);
+    assert_ne!(
+        before[4].to_bits(),
+        after[4].to_bits(),
+        "swap should change the swapped item's score"
+    );
+    for (u, row) in block.rows() {
+        let scalar = model.score_all(u);
+        for (i, &s) in row.iter().enumerate() {
+            assert_eq!(s.to_bits(), scalar[i].to_bits(), "({u},{i}) after swap");
+        }
+    }
+}
+
+#[test]
+fn training_epoch_invalidates_the_cache() {
+    let data = dataset(8, 20);
+    let mut model = vbpr(8, 20, 7);
+    let mut engine = ScoringEngine::new();
+    engine.ensure(&model);
+
+    let trainer = PairwiseTrainer::new(PairwiseConfig {
+        epochs: 1,
+        triplets_per_epoch: Some(10),
+        lr: 0.05,
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    trainer.fit(&mut model, &data, &mut rng).unwrap();
+    assert!(!engine.is_fresh(&model), "a training epoch must invalidate");
+    assert!(engine.ensure(&model));
+    let mut block = ScoreBlock::new();
+    engine.score_block(&model, 0..8, &mut block);
+    for (u, row) in block.rows() {
+        let scalar = model.score_all(u);
+        for (i, &s) in row.iter().enumerate() {
+            assert_eq!(s.to_bits(), scalar[i].to_bits(), "({u},{i}) after training");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "stale scoring cache")]
+fn stale_engine_cannot_serve_scores() {
+    let mut model = vbpr(4, 10, 5);
+    let engine = ScoringEngine::for_model(&model);
+    model.set_item_feature(0, &vec![1.0; model.feature_dim()]);
+    let mut block = ScoreBlock::new();
+    engine.score_block(&model, 0..4, &mut block);
+}
+
+#[test]
+fn amr_training_invalidates_through_the_wrapper() {
+    let mut amr = Amr::from_vbpr(vbpr(6, 15, 9), AmrConfig::default());
+    let mut engine = ScoringEngine::new();
+    engine.ensure(&amr);
+    amr.sgd_step(&Triplet { user: 0, positive: 1, negative: 2 }, 0.05);
+    assert!(!engine.is_fresh(&amr), "AMR steps mutate the inner VBPR");
+}

@@ -330,6 +330,36 @@ pub fn gemm(
     with_gemm_scratch(|scratch| gemm_with_scratch(alpha, a, ta, b, tb, beta, c, scratch))
 }
 
+/// The scalar reference for one GEMM output element: `acc + x · y`,
+/// accumulated in the kernel's canonical [`GEMM_KC`]-blocked order.
+///
+/// Per block of the shared dimension (ascending), a partial sum is folded
+/// from zero over ascending indices, then added to the running value —
+/// exactly the per-element sequence the module docs pin down for
+/// `alpha == 1`. A scalar scoring path built on this helper is therefore
+/// **bitwise identical** to materialising the same products through
+/// [`gemm`] with `beta == 1` into an `acc`-initialised output (or
+/// `beta == 0` when `acc == 0.0`, which replicates the exact zero-fill).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_blocked(acc: f32, x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot_blocked operand length mismatch");
+    let mut acc = acc;
+    let mut p0 = 0;
+    while p0 < x.len() {
+        let p1 = (p0 + GEMM_KC).min(x.len());
+        let mut partial = 0.0f32;
+        for p in p0..p1 {
+            partial += x[p] * y[p];
+        }
+        acc += partial;
+        p0 = p1;
+    }
+    acc
+}
+
 /// [`gemm`] with an explicit scratch arena instead of the thread-local one.
 ///
 /// Useful when the caller manages workspace lifetimes itself (e.g. one arena

@@ -46,7 +46,8 @@ mod tensor;
 pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
 pub use gemm::{
-    gemm, gemm_blocked, gemm_with_scratch, BlockSizes, Transpose, GEMM_BLOCKING, GEMM_KC, MR, NR,
+    dot_blocked, gemm, gemm_blocked, gemm_with_scratch, BlockSizes, Transpose, GEMM_BLOCKING,
+    GEMM_KC, MR, NR,
 };
 pub use init::seeded_rng;
 pub use scratch::{

@@ -57,6 +57,26 @@ impl Tensor {
         self.shape = shape;
     }
 
+    /// Reshapes this tensor in place to `dims` and copies `src` into it,
+    /// reusing the existing allocation whenever it is large enough.
+    ///
+    /// The copy-in counterpart of [`Tensor::reset_to_zeros`], used by
+    /// batched-scoring staging buffers that repeatedly load row blocks of a
+    /// larger matrix. Reuse vs. growth is recorded in the same scratch
+    /// telemetry counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` does not equal the product of `dims`.
+    pub fn reset_to_copy(&mut self, dims: &[usize], src: &[f32]) {
+        let shape = Shape::new(dims);
+        assert_eq!(src.len(), shape.len(), "reset_to_copy source length mismatch");
+        crate::scratch::count_reuse(shape.len() > self.data.capacity());
+        self.data.clear();
+        self.data.extend_from_slice(src);
+        self.shape = shape;
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(&[n, n]);

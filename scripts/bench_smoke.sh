@@ -17,6 +17,13 @@
 # recorded in BENCH_parallel.json at commit 83fdde5, threads=1), with the
 # speedup the packed-panel rewrite delivers on each.
 #
+# It also emits BENCH_scoring.json from the `scoring` bench: every
+# `<workload>/pointwise` measurement paired with its `<workload>/engine`
+# twin (full-catalog scoring and top-100 through the GEMM-backed
+# ScoringEngine vs the scalar per-(user,item) path, both pinned to one
+# thread so the speedup is purely algorithmic), plus the embedding-cache
+# rebuild/hit costs. The engine speedups carry a >=5x acceptance target.
+#
 # Finally it runs the table1 experiment binary with telemetry on and copies
 # the resulting span/counter snapshot to BENCH_obs.json (per-stage wall
 # times in ns plus the full counter set from taamr-obs).
@@ -28,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_parallel.json}
-BENCHES=${BENCHES:-"tensor_ops cnn_forward_backward attacks parallel_scaling"}
+BENCHES=${BENCHES:-"tensor_ops cnn_forward_backward attacks parallel_scaling scoring"}
 THREADS=${TAAMR_THREADS:-$(nproc)}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -135,6 +142,45 @@ END {
 }' "$RAW" > "$GEMM_OUT"
 echo "wrote $GEMM_OUT"
 awk '/speedup/' "$GEMM_OUT"
+
+# --- BENCH_scoring.json: GEMM-backed scoring engine vs the scalar path ---
+SCORING_OUT=${TAAMR_BENCH_SCORING:-BENCH_scoring.json}
+awk -v threads="$THREADS" '
+{
+    if (!match($0, /"name": *"[^"]*"/)) next
+    name = substr($0, RSTART, RLENGTH)
+    sub(/"name": *"/, "", name); sub(/"$/, "", name)
+    if (!match($0, /"ns_per_iter": *[0-9.eE+-]+/)) next
+    ns = substr($0, RSTART, RLENGTH)
+    sub(/"ns_per_iter": */, "", ns)
+
+    base = name
+    if (sub(/\/pointwise$/, "", base)) pointwise[base] = ns
+    else if (sub(/\/engine$/, "", base)) {
+        engine[base] = ns
+        pairs[++npairs] = base
+    }
+    if (name == "embed_cache/rebuild") rebuild = ns
+    if (name == "embed_cache/hit") hit = ns
+}
+END {
+    printf "{\n"
+    printf "  \"threads_pinned\": 1,\n"
+    printf "  \"pointwise_vs_engine\": [\n"
+    for (i = 1; i <= npairs; i++) {
+        b = pairs[i]
+        if (!(b in pointwise)) continue
+        speedup = (engine[b] > 0) ? pointwise[b] / engine[b] : 0
+        printf "    {\"workload\": \"%s\", \"pointwise_ns\": %s, \"engine_ns\": %s, \"speedup\": %.3f}%s\n", \
+            b, pointwise[b], engine[b], speedup, (i < npairs ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"embed_cache\": {\"rebuild_ns\": %s, \"hit_ns\": %s}\n", \
+        (rebuild != "" ? rebuild : 0), (hit != "" ? hit : 0)
+    printf "}\n"
+}' "$RAW" > "$SCORING_OUT"
+echo "wrote $SCORING_OUT"
+awk '/speedup/' "$SCORING_OUT"
 
 OBS_OUT=${TAAMR_BENCH_OBS:-BENCH_obs.json}
 echo "== table1 --telemetry (per-stage wall times -> $OBS_OUT)"

@@ -88,6 +88,14 @@ echo "== kernel audit: differential + golden GEMM tests (serial feature)"
 cargo test -p taamr-tensor --features serial -q \
     --test gemm_differential --test golden_kernel
 
+# Scoring audit: the GEMM-backed ScoringEngine's bitwise contract — block
+# scores, top-N lists and item ranks must match the scalar per-(user,item)
+# path exactly for every model family — run under the `serial` feature so
+# the reference schedule is what gets checked (the threaded schedules are
+# covered by the same tests in the workspace pass above).
+echo "== scoring audit: differential engine tests (serial feature)"
+cargo test -p taamr-recsys --features serial -q --test scoring
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

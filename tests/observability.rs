@@ -76,6 +76,9 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
             Counter::SamplerDraws,
             Counter::AttackItems,
             Counter::CnnEpochs,
+            Counter::ScoringGemmCalls,
+            Counter::EmbedCacheRebuilds,
+            Counter::EmbedCacheHits,
         ] {
             assert!(
                 telemetry.counter(c.name()).unwrap_or(0) > 0,
