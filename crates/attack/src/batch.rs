@@ -207,6 +207,37 @@ mod tests {
     }
 
     #[test]
+    fn content_hash_is_thread_invariant_and_bit_sensitive() {
+        // The replay harness pins attack artifacts via
+        // AdversarialBatch::content_hash; the digest must be one number at
+        // every thread count, and any single perturbed pixel must move it.
+        let (net, x, seeds) = setup(5);
+        let goal = AttackGoal::Targeted(2);
+        let attack = Pgd::with_steps(Epsilon::from_255(8.0), 3);
+        let reference = par_attack_batch(&net, &attack, &x, goal, &seeds, 2);
+        for threads in [1usize, 2, 8] {
+            let h = rayon::with_threads(threads, || {
+                par_attack_batch(&net, &attack, &x, goal, &seeds, 2).content_hash()
+            });
+            assert_eq!(h, reference.content_hash(), "content hash at {threads} threads");
+        }
+        let mut tweaked = reference.clone();
+        let mut pixels = tweaked.images.as_slice().to_vec();
+        pixels[0] = f32::from_bits(pixels[0].to_bits() ^ 1);
+        tweaked.images = Tensor::from_vec(pixels, reference.images.dims()).unwrap();
+        assert_ne!(
+            tweaked.content_hash(),
+            reference.content_hash(),
+            "a one-bit pixel change must change the hash"
+        );
+        let mut flipped = reference.clone();
+        if let Some(s) = flipped.success.first_mut() {
+            *s = !*s;
+        }
+        assert_ne!(flipped.content_hash(), reference.content_hash());
+    }
+
+    #[test]
     fn item_seed_is_injective_over_small_ids() {
         let mut seen = std::collections::HashSet::new();
         for i in 0..1000u64 {

@@ -83,6 +83,23 @@ pub struct AdversarialBatch {
 }
 
 impl AdversarialBatch {
+    /// Stable FNV-1a content hash of the batch: image shape, every pixel
+    /// by IEEE-754 bit pattern, predictions, and per-image success flags.
+    /// Attacks derive per-item RNG streams from `item_seed`, so this hash
+    /// is invariant under the thread count — the property replay records
+    /// pin down.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = taamr_replay::Fnv::new();
+        h.usizes(self.images.dims());
+        h.usize(self.images.len());
+        for &v in self.images.iter() {
+            h.f32(v);
+        }
+        h.usizes(&self.predictions);
+        h.bools(&self.success);
+        h.finish()
+    }
+
     /// Fraction of images whose attack succeeded.
     pub fn success_rate(&self) -> f64 {
         if self.success.is_empty() {

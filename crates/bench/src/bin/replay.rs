@@ -1,0 +1,143 @@
+//! Replay driver: records, verifies, and regenerates the golden experiment
+//! records under `tests/golden_records/`.
+//!
+//! ```text
+//! replay record <dir>    write a record for every golden profile (skips existing)
+//! replay regen  <dir>    overwrite every golden record (after intentional changes)
+//! replay verify <dir>    re-execute every record and diff stage-by-stage;
+//!                        exits non-zero on the first divergent command
+//! replay verify <a.rec> <b.rec> ...   verify specific record files
+//! ```
+//!
+//! Verification re-runs the live pipeline for each record's profile under a
+//! fresh recorder and diffs the two command streams; a divergence names the
+//! first drifting stage with its config/seed context. `TAAMR_THREADS=n`
+//! pins the thread pool so CI can check thread-count independence.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use taamr::golden::GoldenProfile;
+use taamr::parallel::with_threads;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: replay <record|regen|verify> <dir | record files...>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(command), Some(first)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let threads: Option<usize> =
+        std::env::var("TAAMR_THREADS").ok().and_then(|v| v.parse().ok());
+    let run = |f: &mut dyn FnMut() -> ExitCode| match threads {
+        Some(t) => with_threads(t, f),
+        None => f(),
+    };
+    match command.as_str() {
+        "record" => run(&mut || write_records(Path::new(first), false)),
+        "regen" => run(&mut || write_records(Path::new(first), true)),
+        "verify" => run(&mut || verify(&args[1..])),
+        _ => usage(),
+    }
+}
+
+fn write_records(dir: &Path, overwrite: bool) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("replay: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for profile in GoldenProfile::all() {
+        let path = dir.join(profile.file_name());
+        if path.exists() && !overwrite {
+            println!("replay: {} exists, skipping (use 'regen' to overwrite)", path.display());
+            continue;
+        }
+        let record = match profile.run_recorded() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay: profile '{}' failed: {e}", profile.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = taamr_replay::write_record(&path, &record) {
+            eprintln!("replay: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "replay: wrote {} ({} commands, seed {:#x})",
+            path.display(),
+            record.commands.len(),
+            record.seed
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn record_files(targets: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for target in targets {
+        let path = PathBuf::from(target);
+        if path.is_dir() {
+            let entries = std::fs::read_dir(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let mut found: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "rec"))
+                .collect();
+            found.sort();
+            if found.is_empty() {
+                return Err(format!("no .rec files in {}", path.display()));
+            }
+            files.extend(found);
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(files)
+}
+
+fn verify(targets: &[String]) -> ExitCode {
+    let files = match record_files(targets) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for path in files {
+        let golden = match taamr_replay::read_record(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay: {}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let Some(profile) = GoldenProfile::by_name(&golden.name) else {
+            eprintln!("replay: {}: unknown golden profile '{}'", path.display(), golden.name);
+            failed = true;
+            continue;
+        };
+        let replayed = match profile.run_recorded() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay: profile '{}' failed to re-run: {e}", profile.name);
+                failed = true;
+                continue;
+            }
+        };
+        let report = taamr_replay::diff(&golden, &replayed);
+        println!("{report}");
+        failed |= !report.is_match();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

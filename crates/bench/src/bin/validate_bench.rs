@@ -1,0 +1,80 @@
+//! Validates the `BENCH_*.json` artifacts emitted by `scripts/bench_smoke.sh`:
+//! each file must parse as JSON and carry the schema version its consumer
+//! expects, so a drive-by format change fails the smoke run instead of
+//! silently feeding stale-shaped numbers to downstream tooling.
+//!
+//! ```text
+//! validate_bench BENCH_parallel.json BENCH_obs.json ...
+//! ```
+//!
+//! Known files are pinned to their schema: the awk-aggregated bench
+//! summaries declare `"schema": 1`, and `BENCH_obs.json` is a telemetry
+//! snapshot that must match [`taamr_obs::TELEMETRY_SCHEMA`]. Unknown files
+//! only need to parse and declare *some* positive integer schema.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use serde::Value;
+
+/// The schema version the bench summary JSON files declare.
+const BENCH_SUMMARY_SCHEMA: u64 = 1;
+
+fn expected_schema(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    match name {
+        "BENCH_parallel.json" | "BENCH_gemm_v2.json" | "BENCH_scoring.json" => {
+            Some(BENCH_SUMMARY_SCHEMA)
+        }
+        "BENCH_obs.json" => Some(u64::from(taamr_obs::TELEMETRY_SCHEMA)),
+        _ => None,
+    }
+}
+
+fn declared_schema(value: &Value) -> Option<u64> {
+    match value.get_field("schema")? {
+        Value::UInt(v) => Some(*v),
+        Value::Int(v) if *v > 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+fn validate(path: &Path) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let value = serde_json::parse_value(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let declared = declared_schema(&value)
+        .ok_or_else(|| "missing or non-integer \"schema\" field".to_owned())?;
+    if declared == 0 {
+        return Err("schema version 0 is reserved".to_owned());
+    }
+    if let Some(expected) = expected_schema(path) {
+        if declared != expected {
+            return Err(format!("declares schema {declared}, expected {expected}"));
+        }
+    }
+    Ok(declared)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate_bench <BENCH_*.json ...>");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for arg in &args {
+        let path = Path::new(arg);
+        match validate(path) {
+            Ok(schema) => println!("validate_bench: {} OK (schema {schema})", path.display()),
+            Err(e) => {
+                eprintln!("validate_bench: {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

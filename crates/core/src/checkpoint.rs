@@ -25,15 +25,11 @@ use serde::{Deserialize, Serialize};
 /// checkpoints from older builds are rejected instead of misread.
 pub const SCHEMA_VERSION: u32 = 1;
 
-/// 64-bit FNV-1a hash — stable, dependency-free content checksum.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// The workspace's one FNV-1a definition now lives in `taamr-replay` (which
+// also hashes model/attack artifacts with it); re-exported here so existing
+// `taamr::checkpoint::fnv1a64` callers and the checkpoint checksums keep
+// working unchanged.
+pub use taamr_replay::fnv1a64;
 
 /// Fingerprint of a serialisable configuration: the FNV-1a hash of its JSON
 /// form. Two configs fingerprint equal iff they serialise identically.

@@ -1,0 +1,161 @@
+//! Golden experiment profiles: small, fully pinned record/replay runs.
+//!
+//! A golden profile names a tiny-scale pipeline configuration plus a fixed
+//! set of attack cells — one cell per attack family (FGSM, BIM, PGD) and
+//! one defended (AMR) cell — and knows how to execute it under a replay
+//! recorder. Recording and replaying are the *same operation*: a replay
+//! re-runs the profile with a fresh recorder and diffs the resulting
+//! command stream against the checked-in record
+//! (`tests/golden_records/<name>.rec`), so the first stage whose artifact
+//! hash drifts is named precisely.
+//!
+//! Regenerating the records after an *intentional* numerics change:
+//!
+//! ```text
+//! cargo run --release -p taamr-bench --bin replay -- regen tests/golden_records
+//! ```
+
+use taamr_attack::{Attack, Bim, Epsilon, Fgsm, Pgd};
+use taamr_data::SyntheticConfig;
+use taamr_replay::{CommandKind, ExperimentRecord};
+
+use crate::checkpoint::config_fingerprint;
+use crate::{ExperimentScale, ModelKind, Pipeline, PipelineConfig, PipelineError};
+
+/// A named, fully pinned experiment profile backing one golden record.
+#[derive(Debug, Clone)]
+pub struct GoldenProfile {
+    /// Stable profile name; the record file is `<name>.rec`.
+    pub name: &'static str,
+    config: PipelineConfig,
+}
+
+impl GoldenProfile {
+    /// Every golden profile, in record order: one per Amazon-shaped dataset
+    /// preset, each with pinned attack scenarios.
+    pub fn all() -> Vec<GoldenProfile> {
+        vec![
+            GoldenProfile {
+                name: "tiny-men",
+                config: PipelineConfig::for_scale_with_dataset(
+                    ExperimentScale::Tiny,
+                    SyntheticConfig::amazon_men_like(),
+                ),
+            },
+            GoldenProfile {
+                name: "tiny-women",
+                config: PipelineConfig::for_scale_with_dataset(
+                    ExperimentScale::Tiny,
+                    SyntheticConfig::amazon_women_like(),
+                ),
+            },
+        ]
+    }
+
+    /// Looks up a profile by name.
+    pub fn by_name(name: &str) -> Option<GoldenProfile> {
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+
+    /// The pinned pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The record file name for this profile (`<name>.rec`).
+    pub fn file_name(&self) -> String {
+        format!("{}.rec", self.name)
+    }
+
+    /// Executes the profile under a replay recorder and returns the
+    /// resulting record: full pipeline build (dataset, CNN, features, VBPR
+    /// warm-up, VBPR, AMR — each hook fires at its stage boundary), then
+    /// one attack cell per family against VBPR, one PGD cell against the
+    /// AMR defense, then a report command over all four outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if the build or any attack fails.
+    pub fn run_recorded(&self) -> Result<ExperimentRecord, PipelineError> {
+        let (result, commands) = taamr_replay::with_recorder(|| self.run_commands());
+        result?;
+        Ok(ExperimentRecord::new(
+            self.name,
+            config_fingerprint(&self.config),
+            self.config.seed,
+            crate::parallel::current_num_threads(),
+            commands,
+        ))
+    }
+
+    fn run_commands(&self) -> Result<(), PipelineError> {
+        let mut pipeline = Pipeline::build(&self.config)?;
+        let scenario = pipeline
+            .experiment_scenarios(ModelKind::Vbpr)
+            .into_iter()
+            .next()
+            .ok_or(PipelineError::NoScenario)?;
+        let eps = Epsilon::from_255(8.0);
+        let fgsm = Fgsm::new(eps);
+        let bim = Bim::new(eps, 3);
+        let pgd = Pgd::new(eps);
+        let cells: [(&str, ModelKind, &dyn Attack); 4] = [
+            ("cell-fgsm-vbpr", ModelKind::Vbpr, &fgsm),
+            ("cell-bim-vbpr", ModelKind::Vbpr, &bim),
+            ("cell-pgd-vbpr", ModelKind::Vbpr, &pgd),
+            ("cell-pgd-amr", ModelKind::Amr, &pgd),
+        ];
+        let mut outcomes = Vec::with_capacity(cells.len());
+        for (label, kind, attack) in cells {
+            let outcome = pipeline.run_attack(kind, attack, scenario)?;
+            taamr_replay::record_with(CommandKind::AttackCell, label, || {
+                taamr_replay::json_hash(&outcome)
+            });
+            outcomes.push(outcome);
+        }
+        taamr_replay::record_with(CommandKind::Report, "report", || {
+            taamr_replay::json_hash(&outcomes)
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct_and_resolvable() {
+        let all = GoldenProfile::all();
+        assert_eq!(all.len(), 2);
+        let mut names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "profile names must be unique");
+        for p in &all {
+            let found = GoldenProfile::by_name(p.name).expect("by_name resolves");
+            assert_eq!(
+                config_fingerprint(found.config()),
+                config_fingerprint(p.config()),
+                "lookup must return the identical configuration"
+            );
+            assert_eq!(found.file_name(), format!("{}.rec", p.name));
+        }
+        assert!(GoldenProfile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn profiles_pin_different_datasets() {
+        let all = GoldenProfile::all();
+        assert_ne!(
+            config_fingerprint(all[0].config()),
+            config_fingerprint(all[1].config()),
+            "the two golden profiles must cover different dataset presets"
+        );
+        for p in &all {
+            assert!(
+                p.config().scenario_overrides.is_some(),
+                "golden profiles must pin their attack scenarios, not derive them"
+            );
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod checkpoint;
 mod config;
 mod error;
 pub mod experiment;
+pub mod golden;
 pub mod parallel;
 mod pipeline;
 mod report;

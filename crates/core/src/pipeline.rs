@@ -237,6 +237,17 @@ impl Pipeline {
             SyntheticDataset::generate(&config.dataset)
         };
         let dataset = &generated.dataset;
+        taamr_replay::record_with(taamr_replay::CommandKind::Dataset, "dataset", || {
+            let mut h = taamr_replay::Fnv::new();
+            h.usize(dataset.num_users())
+                .usize(dataset.num_items())
+                .usize(dataset.num_categories());
+            for u in 0..dataset.num_users() {
+                h.usizes(dataset.user_items(u));
+            }
+            h.usizes(dataset.item_categories());
+            h.finish()
+        });
 
         // 2. The CNN classifier — restored from checkpoint, or trained on
         //    renders disjoint from the catalog. The stage RNG covers both
@@ -289,6 +300,13 @@ impl Pipeline {
             }
         };
         drop(cnn_span);
+        // Replay hooks fire on the restored path too: a resumed run is
+        // bit-identical to an uninterrupted one, so the hashes must agree.
+        taamr_replay::record_with(taamr_replay::CommandKind::Train, "cnn", || {
+            let mut h = taamr_replay::Fnv::new();
+            h.f32s(&classifier.state_vec()).f32(cnn_train_accuracy);
+            h.finish()
+        });
         interrupt_after(0, "cnn")?;
 
         // 3. Render the catalog and extract clean features. This is
@@ -302,6 +320,9 @@ impl Pipeline {
         let cnn_holdout_accuracy =
             holdout_accuracy(&classifier, &catalog, dataset);
         drop(feature_span);
+        taamr_replay::record_with(taamr_replay::CommandKind::Evaluate, "features", || {
+            taamr_replay::hash_f32s(&features)
+        });
 
         // 4. Train the recommenders: VBPR warm-up → checkpoint → two
         //    branches (plain VBPR and AMR), mirroring the paper's protocol.
@@ -344,6 +365,9 @@ impl Pipeline {
             }
         };
         drop(warmup_span);
+        taamr_replay::record_with(taamr_replay::CommandKind::Train, "vbpr-warmup", || {
+            warmup.artifact_hash()
+        });
         interrupt_after(1, "vbpr-warmup")?;
 
         let finetune = PairwiseTrainer::new(PairwiseConfig {
@@ -369,6 +393,9 @@ impl Pipeline {
             }
         };
         drop(vbpr_span);
+        taamr_replay::record_with(taamr_replay::CommandKind::Train, "vbpr", || {
+            vbpr.artifact_hash()
+        });
         interrupt_after(2, "vbpr")?;
 
         let amr_span = taamr_obs::span("stage:amr");
@@ -389,6 +416,9 @@ impl Pipeline {
             }
         };
         drop(amr_span);
+        taamr_replay::record_with(taamr_replay::CommandKind::Train, "amr", || {
+            amr.artifact_hash()
+        });
         interrupt_after(3, "amr")?;
 
         // Divergence guard of last resort: every downstream number silently
@@ -812,9 +842,18 @@ impl Pipeline {
                     }
                 }
             };
+            taamr_replay::record_with(
+                taamr_replay::CommandKind::AttackCell,
+                &format!("cell-{i:03}"),
+                || taamr_replay::json_hash(&record),
+            );
             records.push(record);
         }
-        Ok(self.report_from_cells(records))
+        let report = self.report_from_cells(records);
+        taamr_replay::record_with(taamr_replay::CommandKind::Report, "report", || {
+            taamr_replay::json_hash(&report)
+        });
+        Ok(report)
     }
 
     /// Reproduces Fig. 2: attacks one source-category item with PGD (ε = 8)

@@ -41,6 +41,10 @@ pub enum FaultSite {
     /// ordinal is the index (0 = CNN, 1 = VBPR warm-up, 2 = VBPR fine-tune,
     /// 3 = AMR).
     StageInterrupt,
+    /// Replay recorder: silently corrupt (bit-flip) the recorded output
+    /// hash of the command whose ordinal is the index, so replay-diff
+    /// tests can prove a divergence is localised to the right stage.
+    ReplayHash,
 }
 
 /// A deterministic schedule of one-shot faults, keyed by `(site, index)`.

@@ -64,7 +64,10 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the `telemetry.json` layout; bump on any schema change so
 /// downstream tooling can reject files it does not understand.
-pub const TELEMETRY_SCHEMA: u32 = 3;
+///
+/// v4 added the replay counters (`replay_commands`,
+/// `replay_record_writes`, `replay_record_reads`).
+pub const TELEMETRY_SCHEMA: u32 = 4;
 
 /// The process-wide monotonic counters.
 ///
@@ -122,10 +125,16 @@ pub enum Counter {
     /// Scoring-engine item-embedding cache (re)builds: first use, or the
     /// model's scoring version moved (training step / feature swap).
     EmbedCacheRebuilds,
+    /// Pipeline-level commands captured by an installed replay recorder.
+    ReplayCommands,
+    /// Experiment record files written (atomic header+payload saves).
+    ReplayRecordWrites,
+    /// Experiment record files read and fully validated.
+    ReplayRecordReads,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 20] = [
+pub const COUNTERS: [Counter; 23] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -146,6 +155,9 @@ pub const COUNTERS: [Counter; 20] = [
     Counter::ScoringGemmCalls,
     Counter::EmbedCacheHits,
     Counter::EmbedCacheRebuilds,
+    Counter::ReplayCommands,
+    Counter::ReplayRecordWrites,
+    Counter::ReplayRecordReads,
 ];
 
 impl Counter {
@@ -172,6 +184,9 @@ impl Counter {
             Counter::ScoringGemmCalls => "scoring_gemm_calls",
             Counter::EmbedCacheHits => "embed_cache_hits",
             Counter::EmbedCacheRebuilds => "embed_cache_rebuilds",
+            Counter::ReplayCommands => "replay_commands",
+            Counter::ReplayRecordWrites => "replay_record_writes",
+            Counter::ReplayRecordReads => "replay_record_reads",
         }
     }
 
@@ -504,6 +519,12 @@ mod tests {
         assert_eq!(Counter::ScoringGemmCalls.name(), "scoring_gemm_calls");
         assert_eq!(Counter::EmbedCacheHits.name(), "embed_cache_hits");
         assert_eq!(Counter::EmbedCacheRebuilds.name(), "embed_cache_rebuilds");
+        // Replay counters count semantic command/file events recorded on
+        // the orchestrating thread, so they are thread-invariant too.
+        assert!(Counter::ReplayCommands.thread_invariant());
+        assert_eq!(Counter::ReplayCommands.name(), "replay_commands");
+        assert_eq!(Counter::ReplayRecordWrites.name(), "replay_record_writes");
+        assert_eq!(Counter::ReplayRecordReads.name(), "replay_record_reads");
     }
 
     #[test]

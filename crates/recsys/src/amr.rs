@@ -69,6 +69,15 @@ impl Amr {
         self.inner
     }
 
+    /// Stable FNV-1a content hash: the wrapped VBPR's
+    /// [`Vbpr::artifact_hash`] folded with the adversarial
+    /// hyper-parameters.
+    pub fn artifact_hash(&self) -> u64 {
+        let mut h = taamr_replay::Fnv::new();
+        h.u64(self.inner.artifact_hash()).f32(self.config.gamma).f32(self.config.eta);
+        h.finish()
+    }
+
     /// The adversarial feature perturbation `Δ = η Π/‖Π‖` for a triplet's
     /// positive item (and its negation for the negative item), per Eq. 9.
     fn adversarial_delta(&self, t: &Triplet) -> Vec<f32> {

@@ -67,6 +67,22 @@ impl BprMf {
         self.factors
     }
 
+    /// Stable FNV-1a content hash of the model (dimensions,
+    /// regularisation, and every parameter block by bit pattern). The
+    /// `version` mutation counter is excluded, as in
+    /// [`crate::Vbpr::artifact_hash`].
+    pub fn artifact_hash(&self) -> u64 {
+        let mut h = taamr_replay::Fnv::new();
+        h.usize(self.num_users)
+            .usize(self.num_items)
+            .usize(self.factors)
+            .f32(self.reg)
+            .f32s(&self.user_factors)
+            .f32s(&self.item_factors)
+            .f32s(&self.item_bias);
+        h.finish()
+    }
+
     fn user(&self, u: usize) -> &[f32] {
         &self.user_factors[u * self.factors..(u + 1) * self.factors]
     }

@@ -116,6 +116,30 @@ impl Vbpr {
         &self.config
     }
 
+    /// Stable FNV-1a content hash of the model: dimensions,
+    /// hyper-parameters, every parameter block, and the owned item
+    /// features, folded in by IEEE-754 bit pattern. The mutation counter
+    /// (`version`) is scoring-cache bookkeeping, not model content, and is
+    /// excluded — a trained model hashes equal to the same parameters
+    /// restored from a checkpoint.
+    pub fn artifact_hash(&self) -> u64 {
+        let mut h = taamr_replay::Fnv::new();
+        h.usize(self.num_users)
+            .usize(self.num_items)
+            .usize(self.config.factors)
+            .usize(self.config.visual_factors)
+            .f32(self.config.reg)
+            .usize(self.feature_dim)
+            .f32s(&self.user_factors)
+            .f32s(&self.item_factors)
+            .f32s(&self.visual_user_factors)
+            .f32s(&self.projection)
+            .f32s(&self.visual_bias)
+            .f32s(&self.item_bias)
+            .f32s(&self.features);
+        h.finish()
+    }
+
     fn user(&self, u: usize) -> &[f32] {
         let k = self.config.factors;
         &self.user_factors[u * k..(u + 1) * k]

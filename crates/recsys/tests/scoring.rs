@@ -223,6 +223,79 @@ fn stale_engine_cannot_serve_scores() {
 }
 
 #[test]
+fn zero_item_catalog_yields_empty_lists_without_panicking() {
+    // A 5-core-filtered dataset can never be empty in production, but the
+    // engine API accepts any Recommender — an empty catalog must degrade
+    // to empty lists, not assert somewhere inside the GEMM plan.
+    let data = ImplicitDataset::new(vec![Vec::new(); 5], Vec::new(), 0);
+    assert_eq!(data.num_items(), 0);
+    let model = Popularity::from_dataset(&data);
+    let engine = ScoringEngine::for_model(&model);
+    for threads in [1usize, 2, 8] {
+        let lists = rayon::with_threads(threads, || {
+            engine.par_top_n_all(&model, 3, |u| data.user_items(u))
+        });
+        assert_eq!(lists.len(), 5, "one (empty) list per user");
+        assert!(lists.iter().all(|l| l.is_empty()), "no items means empty lists");
+    }
+}
+
+#[test]
+fn single_user_block_smaller_than_the_block_size() {
+    // One user is the extreme ragged block: far below SCORE_BLOCK_USERS,
+    // so the engine must not assume a full 64-user panel anywhere.
+    const { assert!(SCORE_BLOCK_USERS > 1) };
+    let data = dataset(1, 12);
+    let model = vbpr(1, 12, 21);
+    let engine = ScoringEngine::for_model(&model);
+
+    let mut block = ScoreBlock::new();
+    engine.score_block(&model, 0..1, &mut block);
+    let scalar = model.score_all(0);
+    let rows: Vec<_> = block.rows().collect();
+    assert_eq!(rows.len(), 1);
+    for (i, &s) in rows[0].1.iter().enumerate() {
+        assert_eq!(s.to_bits(), scalar[i].to_bits(), "item {i}");
+    }
+
+    let serial = vec![model.top_n(0, 4, data.user_items(0))];
+    for threads in [1usize, 2, 8] {
+        let lists = rayon::with_threads(threads, || {
+            engine.par_top_n_all(&model, 4, |u| data.user_items(u))
+        });
+        assert_eq!(lists, serial, "single user at {threads} threads");
+    }
+}
+
+#[test]
+fn par_top_n_all_replay_hash_is_stable_across_thread_counts() {
+    // The replay harness pins recommendation lists by content hash; this is
+    // the engine-level version of that contract: the FNV digest of
+    // par_top_n_all output must be one number regardless of the thread
+    // count, across several user-block shapes.
+    for (nu, ni, n) in [(3usize, 10usize, 3usize), (SCORE_BLOCK_USERS, 20, 5), (SCORE_BLOCK_USERS + 9, 31, 4)] {
+        let data = dataset(nu, ni);
+        let model = vbpr(nu, ni, 0xC0FFEE ^ nu as u64);
+        let engine = ScoringEngine::for_model(&model);
+        let hashes: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                rayon::with_threads(t, || {
+                    taamr_replay::hash_lists(&engine.par_top_n_all(&model, n, |u| data.user_items(u)))
+                })
+            })
+            .collect();
+        assert_eq!(hashes[0], hashes[1], "1 vs 2 threads ({nu}x{ni})");
+        assert_eq!(hashes[0], hashes[2], "1 vs 8 threads ({nu}x{ni})");
+        // And re-running at the same thread count is hash-stable too.
+        let again = rayon::with_threads(2, || {
+            taamr_replay::hash_lists(&engine.par_top_n_all(&model, n, |u| data.user_items(u)))
+        });
+        assert_eq!(hashes[0], again, "repeat run must not drift ({nu}x{ni})");
+    }
+}
+
+#[test]
 fn amr_training_invalidates_through_the_wrapper() {
     let mut amr = Amr::from_vbpr(vbpr(6, 15, 9), AmrConfig::default());
     let mut engine = ScoringEngine::new();

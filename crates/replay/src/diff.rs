@@ -1,0 +1,243 @@
+//! Stage-by-stage replay diffing.
+//!
+//! A replay either matches its golden record command-for-command or it
+//! doesn't — and when it doesn't, "hash mismatch somewhere" is useless.
+//! The diff walks both command streams in order and stops at the *first*
+//! divergent command, reporting its ordinal, stage label, both hashes, and
+//! the record's config/seed context, so a determinism break names the
+//! stage that introduced it rather than the report that inherited it.
+
+use std::fmt;
+
+use crate::record::ExperimentRecord;
+
+/// The first point where a replay departs from its golden record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Ordinal of the first divergent command in the stream.
+    pub index: usize,
+    /// Stage label of the divergent command (golden side when both exist).
+    pub stage: String,
+    /// What the golden record expected at this point.
+    pub expected: String,
+    /// What the replay produced.
+    pub actual: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at command #{} ('{}'): expected {}, got {}",
+            self.index, self.stage, self.expected, self.actual
+        )
+    }
+}
+
+/// Outcome of diffing a replay against a golden record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Name of the golden record.
+    pub name: String,
+    /// Identifying context: seed, config fingerprint, thread counts of
+    /// recording and replay.
+    pub context: String,
+    /// Commands that matched before the first divergence (all of them on a
+    /// clean replay).
+    pub matched: usize,
+    /// Commands in the golden record.
+    pub total: usize,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl ReplayReport {
+    /// Whether the replay matched the golden record completely.
+    pub fn is_match(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.divergence {
+            None => write!(
+                f,
+                "replay '{}' OK: {}/{} commands match ({})",
+                self.name, self.matched, self.total, self.context
+            ),
+            Some(d) => write!(
+                f,
+                "replay '{}' DIVERGED after {}/{} commands — {} ({})",
+                self.name, self.matched, self.total, d, self.context
+            ),
+        }
+    }
+}
+
+fn metadata_divergence(field: &str, expected: impl fmt::Display, actual: impl fmt::Display) -> Divergence {
+    Divergence {
+        index: 0,
+        stage: format!("metadata:{field}"),
+        expected: expected.to_string(),
+        actual: actual.to_string(),
+    }
+}
+
+/// Diffs a replayed record against its golden record.
+///
+/// Metadata is compared first — name, seed, and config fingerprint must
+/// agree or the two records describe different experiments. Thread count
+/// is deliberately *not* compared: thread-count independence is the
+/// property under test, so a 1-thread golden must match an 8-thread
+/// replay. Counter evidence is informational and never diffed.
+pub fn diff(golden: &ExperimentRecord, replayed: &ExperimentRecord) -> ReplayReport {
+    let context = format!(
+        "seed {:#x}, config {}, recorded @ {} thread(s), replayed @ {} thread(s)",
+        golden.seed, golden.config_fingerprint, golden.threads, replayed.threads
+    );
+    let total = golden.commands.len();
+    let mut report = ReplayReport {
+        name: golden.name.clone(),
+        context,
+        matched: 0,
+        total,
+        divergence: None,
+    };
+
+    if golden.name != replayed.name {
+        report.divergence = Some(metadata_divergence("name", &golden.name, &replayed.name));
+        return report;
+    }
+    if golden.seed != replayed.seed {
+        report.divergence =
+            Some(metadata_divergence("seed", golden.seed, replayed.seed));
+        return report;
+    }
+    if golden.config_fingerprint != replayed.config_fingerprint {
+        report.divergence = Some(metadata_divergence(
+            "config_fingerprint",
+            &golden.config_fingerprint,
+            &replayed.config_fingerprint,
+        ));
+        return report;
+    }
+
+    for (index, want) in golden.commands.iter().enumerate() {
+        let Some(got) = replayed.commands.get(index) else {
+            report.divergence = Some(Divergence {
+                index,
+                stage: want.label.clone(),
+                expected: format!("{} '{}' hash {}", want.kind, want.label, want.output_hash),
+                actual: "replay ended early (command missing)".to_owned(),
+            });
+            return report;
+        };
+        if want.kind != got.kind || want.label != got.label {
+            report.divergence = Some(Divergence {
+                index,
+                stage: want.label.clone(),
+                expected: format!("{} '{}'", want.kind, want.label),
+                actual: format!("{} '{}'", got.kind, got.label),
+            });
+            return report;
+        }
+        if want.output_hash != got.output_hash {
+            report.divergence = Some(Divergence {
+                index,
+                stage: want.label.clone(),
+                expected: format!("hash {}", want.output_hash),
+                actual: format!("hash {}", got.output_hash),
+            });
+            return report;
+        }
+        report.matched += 1;
+    }
+
+    if replayed.commands.len() > total {
+        let extra = &replayed.commands[total];
+        report.divergence = Some(Divergence {
+            index: total,
+            stage: extra.label.clone(),
+            expected: "end of record".to_owned(),
+            actual: format!("extra {} '{}' hash {}", extra.kind, extra.label, extra.output_hash),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CommandKind, CommandRecord};
+
+    fn record(hashes: &[u64]) -> ExperimentRecord {
+        let commands = hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| CommandRecord::new(CommandKind::Train, format!("stage-{i}"), h))
+            .collect();
+        ExperimentRecord::new("test", 0xabc, 7, 1, commands)
+    }
+
+    #[test]
+    fn identical_records_match() {
+        let report = diff(&record(&[1, 2, 3]), &record(&[1, 2, 3]));
+        assert!(report.is_match());
+        assert_eq!(report.matched, 3);
+        assert_eq!(report.total, 3);
+    }
+
+    #[test]
+    fn first_divergent_command_is_reported() {
+        let report = diff(&record(&[1, 2, 3]), &record(&[1, 9, 8]));
+        let d = report.divergence.expect("diverges");
+        assert_eq!(d.index, 1, "first divergence wins, not the last");
+        assert_eq!(d.stage, "stage-1");
+        assert_eq!(report.matched, 1);
+    }
+
+    #[test]
+    fn short_replay_diverges_at_the_missing_command() {
+        let report = diff(&record(&[1, 2, 3]), &record(&[1, 2]));
+        let d = report.divergence.expect("diverges");
+        assert_eq!(d.index, 2);
+        assert!(d.actual.contains("missing"), "{}", d.actual);
+    }
+
+    #[test]
+    fn extra_replay_commands_diverge_past_the_end() {
+        let report = diff(&record(&[1, 2]), &record(&[1, 2, 3]));
+        let d = report.divergence.expect("diverges");
+        assert_eq!(d.index, 2);
+        assert!(d.actual.contains("extra"), "{}", d.actual);
+    }
+
+    #[test]
+    fn metadata_mismatch_beats_command_walk() {
+        let golden = record(&[1]);
+        let mut other = record(&[1]);
+        other.seed = 8;
+        let d = diff(&golden, &other).divergence.expect("diverges");
+        assert_eq!(d.stage, "metadata:seed");
+    }
+
+    #[test]
+    fn thread_count_is_context_not_contract() {
+        let golden = record(&[1, 2]);
+        let mut replayed = record(&[1, 2]);
+        replayed.threads = 8;
+        let report = diff(&golden, &replayed);
+        assert!(report.is_match(), "thread count must not diff: {report}");
+        assert!(report.context.contains("replayed @ 8"));
+    }
+
+    #[test]
+    fn display_names_the_stage_and_context() {
+        let report = diff(&record(&[1, 2, 3]), &record(&[1, 9, 3]));
+        let text = report.to_string();
+        assert!(text.contains("stage-1"), "{text}");
+        assert!(text.contains("seed 0x7"), "{text}");
+        assert!(text.contains("DIVERGED after 1/3"), "{text}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Stable content hashing for experiment artifacts.
+//!
+//! Every hash in a replay record is a 64-bit FNV-1a digest over a defined
+//! byte sequence. FNV-1a is the workspace's standard content checksum (the
+//! PR-2 checkpoint headers and the PR-4 golden kernel digests use the same
+//! function); it is dependency-free, endian-pinned here via little-endian
+//! byte encoding, and stable across platforms and thread counts.
+
+use serde::Serialize;
+
+/// 64-bit FNV-1a hash — stable, dependency-free content checksum.
+///
+/// This is the single definition the whole workspace shares;
+/// `taamr::checkpoint` re-exports it for checkpoint checksums.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An incremental FNV-1a hasher for composite artifacts (model parameter
+/// blocks, image tensors, recommendation lists). Scalars are folded in as
+/// little-endian bytes, so a digest is a pure function of the value
+/// sequence — independent of platform, thread count, or how the caller
+/// chunks the pushes... as long as the *sequence* of primitive values is
+/// the same, which is exactly the determinism contract under test.
+#[derive(Debug, Clone)]
+pub struct Fnv {
+    state: u64,
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Starts a digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds one `u64` in as little-endian bytes.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds one `usize` in as a 64-bit little-endian value (so 32- and
+    /// 64-bit hosts agree).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Folds a slice of `usize` values, length-prefixed.
+    pub fn usizes(&mut self, vs: &[usize]) -> &mut Self {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+        self
+    }
+
+    /// Folds one `f32` in by its IEEE-754 bit pattern (so `-0.0 != 0.0`
+    /// and NaN payloads are visible — bitwise means bitwise).
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.bytes(&v.to_bits().to_le_bytes())
+    }
+
+    /// Folds a slice of `f32` values, length-prefixed.
+    pub fn f32s(&mut self, vs: &[f32]) -> &mut Self {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f32(v);
+        }
+        self
+    }
+
+    /// Folds a slice of `bool` values, length-prefixed.
+    pub fn bools(&mut self, vs: &[bool]) -> &mut Self {
+        self.usize(vs.len());
+        for &v in vs {
+            self.bytes(&[u8::from(v)]);
+        }
+        self
+    }
+
+    /// Folds a UTF-8 string in, length-prefixed.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.usize(s.len());
+        self.bytes(s.as_bytes())
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Digest of an `f32` slice (length-prefixed, bit patterns).
+pub fn hash_f32s(values: &[f32]) -> u64 {
+    let mut h = Fnv::new();
+    h.f32s(values);
+    h.finish()
+}
+
+/// Digest of nested recommendation lists (length-prefixed at both levels);
+/// used to pin `par_top_n_all` output across thread counts.
+pub fn hash_lists(lists: &[Vec<usize>]) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(lists.len());
+    for list in lists {
+        h.usizes(list);
+    }
+    h.finish()
+}
+
+/// Digest of a value's canonical JSON form. The vendored `serde_json`
+/// prints floats with shortest-round-trip formatting, so two values hash
+/// equal iff they serialise identically — the same equivalence the PR-2
+/// config fingerprints use. Returns 0 if the value cannot serialise
+/// (unreachable for the plain data types this workspace records).
+pub fn json_hash<T: Serialize + ?Sized>(value: &T) -> u64 {
+    match serde_json::to_string(value) {
+        Ok(json) => fnv1a64(json.as_bytes()),
+        Err(_) => 0,
+    }
+}
+
+/// Formats a digest the way records store it: 16 lowercase hex digits.
+pub fn hex64(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn incremental_hasher_matches_one_shot() {
+        let mut h = Fnv::new();
+        h.bytes(b"ab").bytes(b"c");
+        assert_eq!(h.finish(), fnv1a64(b"abc"));
+    }
+
+    #[test]
+    fn f32_hash_is_bit_sensitive() {
+        assert_ne!(hash_f32s(&[0.0]), hash_f32s(&[-0.0]));
+        assert_eq!(hash_f32s(&[1.5, 2.5]), hash_f32s(&[1.5, 2.5]));
+        // Length prefix: a trailing zero is not the same as nothing.
+        assert_ne!(hash_f32s(&[1.5]), hash_f32s(&[1.5, 0.0]));
+    }
+
+    #[test]
+    fn list_hash_sees_structure() {
+        assert_ne!(
+            hash_lists(&[vec![1, 2], vec![3]]),
+            hash_lists(&[vec![1], vec![2, 3]]),
+            "flattened-equal lists must hash differently"
+        );
+    }
+
+    #[test]
+    fn json_hash_tracks_serialised_form() {
+        assert_eq!(json_hash(&vec![1u32, 2]), fnv1a64(b"[1,2]"));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex64(0xab), "00000000000000ab");
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment record/replay for the TAaMR reproduction.
+//!
+//! The paper's headline numbers (CHR@N shifts under targeted FGSM/BIM/PGD
+//! perturbations) only mean something if the train→attack→evaluate
+//! pipeline is bit-for-bit deterministic. This crate generalises the PR-4
+//! kernel-level golden digests to the whole experiment:
+//!
+//! * every pipeline-level command — dataset generation, each training
+//!   stage, each attack cell, evaluation, report assembly — is recorded as
+//!   a [`CommandRecord`] carrying an FNV-1a content hash of its output
+//!   artifact ([`record`], [`record_with`], [`with_recorder`]);
+//! * the stream plus its identifying context (seed, config fingerprint,
+//!   thread count) forms an [`ExperimentRecord`], persisted with the same
+//!   header + checksum + atomic-rename layout as the PR-2 checkpoints
+//!   ([`write_record`], [`read_record`]);
+//! * replaying means re-running the experiment under a fresh recorder and
+//!   [`diff`]ing the two streams: the report names the *first* divergent
+//!   command with its config/seed context instead of a bare mismatch.
+//!
+//! Corrupt, truncated, oversized, or foreign-schema record files surface
+//! as typed [`RecordError`]s — never panics — and the
+//! `taamr_fault::FaultSite::ReplayHash` site lets tests corrupt a recorded
+//! hash in flight to prove the diff localises it.
+
+#![deny(missing_docs)]
+
+mod diff;
+mod hash;
+mod record;
+mod recorder;
+
+pub use diff::{diff, Divergence, ReplayReport};
+pub use hash::{fnv1a64, hash_f32s, hash_lists, hex64, json_hash, Fnv};
+pub use record::{
+    read_record, write_record, CommandKind, CommandRecord, CounterSample, ExperimentRecord,
+    RecordError, MAX_RECORD_BYTES, REPLAY_SCHEMA,
+};
+pub use recorder::{record, record_with, recording, with_recorder};

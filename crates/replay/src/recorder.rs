@@ -1,0 +1,150 @@
+//! Thread-local command recorder.
+//!
+//! Mirrors the `taamr-fault` plan idiom: a recorder is installed for the
+//! duration of one closure on the *calling* thread, and every pipeline
+//! hook inside that closure appends to it. The vendored `rayon` runs
+//! `with_threads` closures inline on the calling thread, so pipeline
+//! orchestration — and therefore every `record` call — stays on the thread
+//! that installed the recorder even when worker threads fan out underneath.
+//!
+//! When no recorder is installed, recording is a no-op and
+//! [`record_with`] never even computes the artifact hash, so production
+//! runs pay nothing.
+
+use std::cell::RefCell;
+
+use crate::record::{CommandKind, CommandRecord, CounterSample};
+
+thread_local! {
+    static RECORDER: RefCell<Option<Vec<CommandRecord>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with a fresh command recorder installed on this thread and
+/// returns its value together with the recorded command stream. Nests:
+/// an outer recorder is suspended, not clobbered, for the inner call.
+pub fn with_recorder<T>(f: impl FnOnce() -> T) -> (T, Vec<CommandRecord>) {
+    let previous = RECORDER.with(|r| r.borrow_mut().replace(Vec::new()));
+    let value = f();
+    let commands = RECORDER.with(|r| {
+        let mut slot = r.borrow_mut();
+        let recorded = slot.take().unwrap_or_default();
+        *slot = previous;
+        recorded
+    });
+    (value, commands)
+}
+
+/// Whether a recorder is installed on this thread.
+pub fn recording() -> bool {
+    RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Records one pipeline-level command. A no-op unless a recorder is
+/// installed.
+///
+/// The command's ordinal doubles as the [`taamr_fault::FaultSite::ReplayHash`]
+/// fault index: an armed plan flips one bit of this command's recorded
+/// hash, modelling the silent artifact corruption the replay diff must
+/// localise.
+pub fn record(kind: CommandKind, label: &str, output_hash: u64) {
+    RECORDER.with(|r| {
+        let mut slot = r.borrow_mut();
+        let Some(commands) = slot.as_mut() else { return };
+        let index = commands.len() as u64;
+        let hash = if taamr_fault::fire(taamr_fault::FaultSite::ReplayHash, index) {
+            output_hash ^ (1 << 17)
+        } else {
+            output_hash
+        };
+        let mut command = CommandRecord::new(kind, label, hash);
+        command.counters = counter_evidence();
+        commands.push(command);
+        taamr_obs::incr(taamr_obs::Counter::ReplayCommands);
+    });
+}
+
+/// Records one command with a lazily computed hash: `hash_fn` only runs
+/// when a recorder is installed, so hook sites can sit on hot paths.
+pub fn record_with(kind: CommandKind, label: &str, hash_fn: impl FnOnce() -> u64) {
+    if recording() {
+        record(kind, label, hash_fn());
+    }
+}
+
+/// Snapshot of the non-zero observability counters, as side-channel
+/// evidence. Empty when telemetry is disabled — golden records are
+/// recorded with telemetry off so that evidence from unrelated tests
+/// sharing the process-global counters cannot leak in.
+fn counter_evidence() -> Vec<CounterSample> {
+    if !taamr_obs::enabled() {
+        return Vec::new();
+    }
+    taamr_obs::COUNTERS
+        .iter()
+        .filter_map(|&c| {
+            let value = taamr_obs::counter_value(c);
+            (value != 0).then(|| CounterSample { name: c.name().to_owned(), value })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_recorder_means_no_op_and_no_hash_computation() {
+        assert!(!recording());
+        record(CommandKind::Train, "cnn", 7); // must not panic
+        let mut computed = false;
+        record_with(CommandKind::Train, "cnn", || {
+            computed = true;
+            7
+        });
+        assert!(!computed, "hash must not be computed without a recorder");
+    }
+
+    #[test]
+    fn records_in_order() {
+        let ((), commands) = with_recorder(|| {
+            record(CommandKind::Dataset, "dataset", 1);
+            record(CommandKind::Train, "cnn", 2);
+            record(CommandKind::Report, "report", 3);
+        });
+        assert_eq!(commands.len(), 3);
+        assert_eq!(commands[0].label, "dataset");
+        assert_eq!(commands[2].kind, CommandKind::Report);
+        assert_eq!(commands[1].output_hash, crate::hex64(2));
+        assert!(!recording(), "recorder must be uninstalled afterwards");
+    }
+
+    #[test]
+    fn nested_recorders_restore_the_outer_stream() {
+        let ((), outer) = with_recorder(|| {
+            record(CommandKind::Train, "outer-1", 1);
+            let ((), inner) = with_recorder(|| {
+                record(CommandKind::Train, "inner", 2);
+            });
+            assert_eq!(inner.len(), 1);
+            record(CommandKind::Train, "outer-2", 3);
+        });
+        let labels: Vec<&str> = outer.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["outer-1", "outer-2"], "inner commands must not leak out");
+    }
+
+    #[test]
+    fn replay_hash_fault_flips_one_bit_of_the_indexed_command() {
+        let plan = taamr_fault::FaultPlan::new().with(taamr_fault::FaultSite::ReplayHash, 1);
+        let (((), commands), unfired) = taamr_fault::with_plan(plan, || {
+            with_recorder(|| {
+                record(CommandKind::Train, "a", 10);
+                record(CommandKind::Train, "b", 20);
+                record(CommandKind::Train, "c", 30);
+            })
+        });
+        assert_eq!(unfired, 0, "the fault must have fired");
+        assert_eq!(commands[0].output_hash, crate::hex64(10));
+        assert_eq!(commands[1].output_hash, crate::hex64(20 ^ (1 << 17)));
+        assert_eq!(commands[2].output_hash, crate::hex64(30));
+    }
+}

@@ -1,0 +1,159 @@
+//! Hostile-input hardening for the record reader: truncated, bit-flipped,
+//! oversized, and wrong-schema record files must every one land in a typed
+//! [`RecordError`] — the reader never panics, whatever the bytes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use taamr_fault::{flip_bit, truncate_file};
+use taamr_replay::{
+    read_record, write_record, CommandKind, CommandRecord, ExperimentRecord, RecordError,
+    MAX_RECORD_BYTES, REPLAY_SCHEMA,
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+    let path = PathBuf::from(dir).join("hostile-records").join(name);
+    let _ = fs::remove_dir_all(&path);
+    fs::create_dir_all(&path).expect("scratch dir");
+    path
+}
+
+fn sample() -> ExperimentRecord {
+    ExperimentRecord::new(
+        "hostile-sample",
+        0x1234_5678_9abc_def0,
+        42,
+        1,
+        vec![
+            CommandRecord::new(CommandKind::Dataset, "dataset", 0xaaaa),
+            CommandRecord::new(CommandKind::Train, "cnn", 0xbbbb),
+            CommandRecord::new(CommandKind::AttackCell, "cell-000", 0xcccc),
+            CommandRecord::new(CommandKind::Report, "report", 0xdddd),
+        ],
+    )
+}
+
+#[test]
+fn truncation_at_every_interesting_length_is_a_typed_error() {
+    let dir = scratch("truncate");
+    let path = dir.join("t.rec");
+    write_record(&path, &sample()).expect("write");
+    let full = fs::read(&path).expect("read").len();
+    // Empty, mid-header, header-only, mid-payload, one-byte-short.
+    for keep in [0, 7, 44, full / 2, full - 1] {
+        write_record(&path, &sample()).expect("rewrite");
+        truncate_file(&path, keep).expect("truncate");
+        let err = read_record(&path).expect_err("truncated record must not load");
+        assert!(
+            matches!(
+                err,
+                RecordError::MissingHeader
+                    | RecordError::BadHeader
+                    | RecordError::ChecksumMismatch
+                    | RecordError::Malformed
+            ),
+            "keep={keep}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected_as_a_typed_error() {
+    let dir = scratch("bitflip");
+    let path = dir.join("b.rec");
+    write_record(&path, &sample()).expect("write");
+    let len = fs::read(&path).expect("read").len();
+    // Walk the whole file, all 8 bits of a spread of bytes: header bytes,
+    // the header/payload boundary, and payload bytes. A flip may corrupt
+    // the header JSON, the schema digits, the checksum hex, or the payload
+    // — each maps to a typed error; none may panic or read back as valid.
+    for byte in (0..len).step_by(3) {
+        for bit in 0..8 {
+            write_record(&path, &sample()).expect("rewrite");
+            flip_bit(&path, byte, bit).expect("flip");
+            match read_record(&path) {
+                Err(
+                    RecordError::MissingHeader
+                    | RecordError::BadHeader
+                    | RecordError::SchemaMismatch { .. }
+                    | RecordError::ChecksumMismatch
+                    | RecordError::Malformed,
+                ) => {}
+                Err(other) => panic!("byte {byte} bit {bit}: unexpected error {other:?}"),
+                Ok(_) => panic!("byte {byte} bit {bit}: corrupt record read back as valid"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_record_is_rejected_without_reading_it() {
+    let dir = scratch("oversized");
+    let path = dir.join("big.rec");
+    let len = MAX_RECORD_BYTES + 1;
+    fs::write(&path, vec![b'x'; len as usize]).expect("write");
+    match read_record(&path) {
+        Err(RecordError::Oversized { len: found, max }) => {
+            assert_eq!(found, len);
+            assert_eq!(max, MAX_RECORD_BYTES);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_schema_is_rejected_with_both_versions_named() {
+    let dir = scratch("schema");
+    let path = dir.join("future.rec");
+    // Re-checksum a valid payload under a future schema header, simulating
+    // a record written by a newer build.
+    write_record(&path, &sample()).expect("write");
+    let text = fs::read_to_string(&path).expect("read");
+    let (_, body) = text.split_once('\n').expect("has header");
+    let future = REPLAY_SCHEMA + 1;
+    let checksum = taamr_replay::hex64(taamr_replay::fnv1a64(body.as_bytes()));
+    fs::write(&path, format!("{{\"schema\":{future},\"checksum\":\"{checksum}\"}}\n{body}"))
+        .expect("rewrite");
+    match read_record(&path) {
+        Err(RecordError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, future);
+            assert_eq!(expected, REPLAY_SCHEMA);
+        }
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_and_non_utf8_files_are_typed_errors() {
+    let dir = scratch("garbage");
+    for (name, bytes) in [
+        ("empty.rec", Vec::new()),
+        ("no-newline.rec", b"{\"schema\":1}".to_vec()),
+        ("binary.rec", vec![0xFF, 0xFE, 0x00, 0x9C, b'\n', 0x80]),
+        ("not-json.rec", b"hello\nworld".to_vec()),
+    ] {
+        let path = dir.join(name);
+        fs::write(&path, &bytes).expect("write");
+        let err = read_record(&path).expect_err("garbage must not load");
+        assert!(
+            matches!(err, RecordError::MissingHeader | RecordError::BadHeader),
+            "{name}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn error_messages_name_the_failure() {
+    // The Display strings are what verify.sh users see; each must identify
+    // the failure class without a debugger.
+    let dir = scratch("display");
+    let path = dir.join("t.rec");
+    write_record(&path, &sample()).expect("write");
+    let len = fs::read(&path).expect("read").len();
+    flip_bit(&path, len - 2, 4).expect("flip payload");
+    let msg = read_record(&path).expect_err("corrupt").to_string();
+    assert!(msg.contains("checksum"), "unhelpful message: {msg}");
+    let missing = read_record(&dir.join("absent.rec")).expect_err("missing").to_string();
+    assert!(missing.contains("record I/O"), "unhelpful message: {missing}");
+}

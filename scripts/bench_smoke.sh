@@ -67,6 +67,7 @@ awk -v threads="$THREADS" '
 }
 END {
     printf "{\n"
+    printf "  \"schema\": 1,\n"
     printf "  \"threads\": %d,\n", threads
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= count; i++)
@@ -117,6 +118,7 @@ BEGIN {
 }
 END {
     printf "{\n"
+    printf "  \"schema\": 1,\n"
     printf "  \"threads\": %d,\n", threads
     printf "  \"v1_source\": \"BENCH_parallel.json @ 83fdde5 (naive kernel, threads=1)\",\n"
     printf "  \"benchmarks\": [\n"
@@ -165,6 +167,7 @@ awk -v threads="$THREADS" '
 }
 END {
     printf "{\n"
+    printf "  \"schema\": 1,\n"
     printf "  \"threads_pinned\": 1,\n"
     printf "  \"pointwise_vs_engine\": [\n"
     for (i = 1; i <= npairs; i++) {
@@ -187,3 +190,11 @@ echo "== table1 --telemetry (per-stage wall times -> $OBS_OUT)"
 TAAMR_SCALE=tiny cargo run -q --release -p taamr-bench --bin table1 -- \
     --telemetry --telemetry-out "$OBS_OUT" > /dev/null
 echo "wrote $OBS_OUT"
+
+# Every emitted summary must declare the schema version its consumers
+# expect: the awk aggregations above pin summary schema 1 and the telemetry
+# snapshot embeds TELEMETRY_SCHEMA. validate_bench re-parses each file and
+# fails the run on a missing or mismatched declaration.
+echo "== validate emitted BENCH_*.json schemas"
+cargo run -q --release -p taamr-bench --bin validate_bench -- \
+    "$OUT" "$GEMM_OUT" "$SCORING_OUT" "$OBS_OUT"

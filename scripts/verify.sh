@@ -96,6 +96,28 @@ cargo test -p taamr-tensor --features serial -q \
 echo "== scoring audit: differential engine tests (serial feature)"
 cargo test -p taamr-recsys --features serial -q --test scoring
 
+# Replay audit: re-run the checked-in golden experiment records against the
+# live pipeline and diff the per-stage content hashes. Any hash divergence —
+# a determinism break anywhere from dataset synthesis through the attack
+# cells to the final report — fails the gate with the first divergent stage
+# named. Runs under both the default (threaded) and the `serial` build so a
+# schedule-dependent divergence cannot hide behind either configuration.
+echo "== replay audit: golden records, default build"
+cargo run -q --release -p taamr-bench --bin replay -- verify tests/golden_records
+
+echo "== replay audit: golden records, serial build"
+cargo run -q --release -p taamr-bench --features taamr/serial --bin replay -- \
+    verify tests/golden_records
+
+# Perf smoke: the gemm_256 dispatch-overhead guard self-skips without
+# TAAMR_PERF_TESTS=1; enable it here where a release build is available.
+# Smoke form (best-of-3 medians, 25% headroom) keeps it non-flaky on
+# loaded boxes.
+if [ "$QUICK" != "--quick" ]; then
+    echo "== perf smoke: gemm_256 dispatch overhead (TAAMR_PERF_TESTS=1)"
+    TAAMR_PERF_TESTS=1 cargo test -p taamr --release -q --test perf_kernel
+fi
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,8 +1,10 @@
 //! Perf regression guards for the packed GEMM kernel.
 //!
-//! `#[ignore]`d by default: wall-clock assertions are hostile to loaded CI
-//! boxes, so these run on demand —
-//! `cargo test -p taamr --release --test perf_kernel -- --ignored`.
+//! Wall-clock assertions are hostile to loaded CI boxes, so these tests
+//! self-skip unless `TAAMR_PERF_TESTS=1` is set (verify.sh sets it for its
+//! perf-smoke step). When enabled they run in smoke form: a handful of
+//! median-of-5 samples with generous headroom, tuned to catch order-of-
+//! magnitude scheduling regressions rather than percent-level drift.
 //!
 //! The contract under test replaces the old, misleading
 //! `gemm_256 speedup 0.851` row in `BENCH_parallel.json`: on a single-core
@@ -15,6 +17,15 @@ use std::time::Instant;
 
 use taamr::parallel::with_threads;
 use taamr_tensor::{gemm, seeded_rng, Tensor, Transpose};
+
+/// True unless the caller opted in via `TAAMR_PERF_TESTS=1`.
+fn perf_tests_disabled() -> bool {
+    if std::env::var("TAAMR_PERF_TESTS").as_deref() == Ok("1") {
+        return false;
+    }
+    eprintln!("perf_kernel: skipped (set TAAMR_PERF_TESTS=1 to enable)");
+    true
+}
 
 /// Median-of-5 wall time of one 256³ GEMM, in nanoseconds.
 fn time_gemm_256(threads: Option<usize>) -> u128 {
@@ -37,20 +48,29 @@ fn time_gemm_256(threads: Option<usize>) -> u128 {
 }
 
 #[test]
-#[ignore = "wall-clock sensitive; run with --ignored on a quiet machine"]
 fn gemm_256_parallel_dispatch_is_not_slower_than_serial() {
-    let serial = time_gemm_256(Some(1));
-    let parallel = time_gemm_256(None); // ambient pool, as the pipeline runs it
-    let ratio = parallel as f64 / serial as f64;
-    eprintln!(
-        "gemm_256: serial {serial} ns, parallel {parallel} ns, parallel/serial {ratio:.3}"
-    );
+    if perf_tests_disabled() {
+        return;
+    }
+    // Best-of-3 medians: the smoke form retries the whole measurement so a
+    // single scheduler hiccup on a shared box cannot fail the gate.
+    let mut best_ratio = f64::INFINITY;
+    for attempt in 0..3 {
+        let serial = time_gemm_256(Some(1));
+        let parallel = time_gemm_256(None); // ambient pool, as the pipeline runs it
+        let ratio = parallel as f64 / serial as f64;
+        eprintln!(
+            "gemm_256 attempt {attempt}: serial {serial} ns, parallel {parallel} ns, \
+             parallel/serial {ratio:.3}"
+        );
+        best_ratio = best_ratio.min(ratio);
+        if best_ratio <= 1.25 {
+            return;
+        }
+    }
     // 25% headroom absorbs timer noise and, on single-core hosts, the cost
     // of resolving the (empty) parallel dispatch. A real scheduling
     // regression — like the historical 0.851 "speedup" would have implied
-    // if it had been signal — blows well past this.
-    assert!(
-        ratio <= 1.25,
-        "parallel gemm_256 is {ratio:.3}x serial; dispatch overhead regressed"
-    );
+    // if it had been signal — blows well past this on all three attempts.
+    panic!("parallel gemm_256 is {best_ratio:.3}x serial; dispatch overhead regressed");
 }

@@ -1,0 +1,132 @@
+//! Golden-record replay: the end-to-end determinism lock.
+//!
+//! The checked-in records under `tests/golden_records/` pin the content
+//! hash of every pipeline-level command — dataset, CNN, features, VBPR
+//! warm-up, VBPR, AMR, four attack cells, report — for two tiny-scale
+//! profiles. Replaying means re-running the live pipeline under a fresh
+//! recorder and diffing command streams; any determinism-breaking change
+//! to gemm, scoring, checkpointing, or RNG derivation fails here with the
+//! *first* divergent stage named, at both 1 and 8 threads.
+//!
+//! After an intentional numerics change, regenerate with
+//! `cargo run --release -p taamr-bench --bin replay -- regen tests/golden_records`.
+
+use std::path::PathBuf;
+
+use taamr::golden::GoldenProfile;
+use taamr::parallel::with_threads;
+use taamr_fault::{FaultPlan, FaultSite};
+use taamr_replay::{diff, read_record, ExperimentRecord};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden_records")
+}
+
+fn golden(profile: &GoldenProfile) -> ExperimentRecord {
+    read_record(&golden_dir().join(profile.file_name()))
+        .expect("checked-in golden record reads cleanly")
+}
+
+#[test]
+fn golden_records_replay_bit_identically_at_1_and_8_threads() {
+    for profile in GoldenProfile::all() {
+        let record = golden(&profile);
+        assert_eq!(record.commands.len(), 11, "6 build stages + 4 cells + report");
+        for threads in [1usize, 8] {
+            let replayed = with_threads(threads, || {
+                profile.run_recorded().expect("golden profile re-runs")
+            });
+            let report = diff(&record, &replayed);
+            assert!(
+                report.is_match(),
+                "'{}' diverged at {threads} thread(s): {report}",
+                profile.name
+            );
+            assert_eq!(report.matched, record.commands.len());
+        }
+    }
+}
+
+#[test]
+fn corrupting_any_command_hash_reports_that_command_as_first_divergent() {
+    // Pure diff-level check across *every* stage of *every* record: flip
+    // one bit of command i's hash and the diff must localise the
+    // divergence to exactly index i with its stage label.
+    for profile in GoldenProfile::all() {
+        let record = golden(&profile);
+        for i in 0..record.commands.len() {
+            let mut corrupt = record.clone();
+            let hash = u64::from_str_radix(&corrupt.commands[i].output_hash, 16)
+                .expect("stored hash is hex");
+            corrupt.commands[i].output_hash = taamr_replay::hex64(hash ^ (1 << 5));
+            let report = diff(&record, &corrupt);
+            let d = report.divergence.unwrap_or_else(|| {
+                panic!("'{}' command {i}: corruption went undetected", profile.name)
+            });
+            assert_eq!(d.index, i, "wrong divergence index for '{}'", profile.name);
+            assert_eq!(d.stage, record.commands[i].label, "wrong stage named");
+            assert_eq!(report.matched, i, "every command before {i} must match");
+        }
+    }
+}
+
+#[test]
+fn injected_recorder_fault_diverges_at_the_faulted_stage_only() {
+    // Live fault injection: a FaultSite::ReplayHash plan corrupts the
+    // recorded hash of command 5 (the "amr" train stage) during a real
+    // re-run. The diff against the checked-in golden must blame exactly
+    // that stage — proving divergence localisation works on live replays,
+    // not just on doctored records.
+    let profile = GoldenProfile::by_name("tiny-men").expect("profile exists");
+    let record = golden(&profile);
+    const FAULT_INDEX: usize = 5;
+    let (replayed, unfired) =
+        taamr_fault::with_plan(FaultPlan::new().with(FaultSite::ReplayHash, FAULT_INDEX as u64), || {
+            profile.run_recorded().expect("profile re-runs")
+        });
+    assert_eq!(unfired, 0, "the injected fault must have fired");
+    let report = diff(&record, &replayed);
+    let d = report.divergence.expect("corrupted replay must diverge");
+    assert_eq!(d.index, FAULT_INDEX);
+    assert_eq!(d.stage, record.commands[FAULT_INDEX].label);
+    assert_eq!(d.stage, "amr", "command 5 is the AMR train stage");
+    assert_eq!(report.matched, FAULT_INDEX, "stages before the fault must all match");
+}
+
+#[test]
+fn golden_metadata_matches_the_live_profiles() {
+    // The records must belong to the profiles this build defines: same
+    // seed and same config fingerprint. A config drift (new field, changed
+    // preset) shows up here as a metadata mismatch before any replay runs.
+    for profile in GoldenProfile::all() {
+        let record = golden(&profile);
+        assert_eq!(record.name, profile.name);
+        assert_eq!(record.seed, profile.config().seed);
+        assert_eq!(
+            record.config_fingerprint,
+            taamr_replay::hex64(taamr::config_fingerprint(profile.config())),
+            "'{}': golden record was written under a different configuration — \
+             regenerate with the replay bin if the change was intentional",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn on_disk_corruption_of_a_golden_record_fails_its_checksum() {
+    // End-to-end file-level story: copy a golden record, flip one payload
+    // bit, and the reader must refuse it with a checksum error rather
+    // than replaying garbage.
+    let src = golden_dir().join("tiny-men.rec");
+    let dir = std::env::temp_dir().join("taamr-replay-golden-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let dst = dir.join("tiny-men-corrupt.rec");
+    std::fs::copy(&src, &dst).expect("copy golden record");
+    let len = std::fs::read(&dst).expect("read").len();
+    taamr_fault::flip_bit(&dst, len - 4, 1).expect("flip");
+    assert!(
+        matches!(read_record(&dst), Err(taamr_replay::RecordError::ChecksumMismatch)),
+        "bit-flipped golden record must fail its checksum"
+    );
+    std::fs::remove_file(&dst).ok();
+}
