@@ -73,7 +73,7 @@ fn bench_score_catalog(c: &mut Criterion) {
                 let mut start = 0;
                 while start < nu {
                     let end = (start + SCORE_BLOCK_USERS).min(nu);
-                    engine.score_block(&m, start..end, &mut block);
+                    engine.score_block(&m, start..end, &mut block).unwrap();
                     for (_, row) in block.rows() {
                         acc += row.iter().sum::<f32>();
                     }
@@ -105,7 +105,7 @@ fn bench_top_n(c: &mut Criterion) {
             let engine = ScoringEngine::for_model(&m);
             b.iter(|| {
                 let lists =
-                    engine.par_top_n_all(&m, 100, |u| data.dataset.user_items(u));
+                    engine.par_top_n_all(&m, 100, |u| data.dataset.user_items(u)).unwrap();
                 std::hint::black_box(lists.len())
             });
         });

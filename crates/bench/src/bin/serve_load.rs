@@ -1,0 +1,248 @@
+//! Load generator for the serving layer: sustained top-100 QPS through the
+//! HTTP front door, with and without an injected crash storm, written to
+//! `BENCH_serve.json` (summary schema 1).
+//!
+//! Phase 1 ("sustained") hammers `/recommend` from several client threads
+//! and reports throughput plus p50/p99 latency. Phase 2 ("crash_storm")
+//! repeats the exact same load while a chaos thread kills the slot's actor
+//! every few milliseconds: the supervisor restarts it from its snapshot
+//! each time, and the phase's error count is the number of requests that
+//! ever saw a failure — the robustness headline is that it stays zero
+//! while the restart counter climbs.
+//!
+//! ```text
+//! serve_load [BENCH_serve.json]       # TAAMR_BENCH_FAST=1 shrinks the run
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use serde::Serialize;
+use taamr_recsys::BprMf;
+use taamr_serve::{http_get, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig};
+
+#[derive(Clone, Copy)]
+struct LoadConfig {
+    users: usize,
+    items: usize,
+    factors: usize,
+    clients: usize,
+    requests_per_client: usize,
+    top_n: usize,
+    kill_interval: Duration,
+    kills: usize,
+}
+
+impl LoadConfig {
+    fn from_env() -> Self {
+        if std::env::var_os("TAAMR_BENCH_FAST").is_some() {
+            LoadConfig {
+                users: 300,
+                items: 800,
+                factors: 16,
+                clients: 2,
+                requests_per_client: 150,
+                top_n: 100,
+                kill_interval: Duration::from_millis(25),
+                kills: 8,
+            }
+        } else {
+            LoadConfig {
+                users: 2000,
+                items: 5000,
+                factors: 32,
+                clients: 4,
+                requests_per_client: 500,
+                top_n: 100,
+                kill_interval: Duration::from_millis(25),
+                kills: 20,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct PhaseSummary {
+    requests: usize,
+    errors: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeBench {
+    schema: u64,
+    users: usize,
+    items: usize,
+    factors: usize,
+    clients: usize,
+    requests_per_client: usize,
+    top_n: usize,
+    sustained: PhaseSummary,
+    crash_storm: PhaseSummary,
+    storm_kills: usize,
+    ledger: LedgerSnapshot,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Runs one load phase: `clients` threads each issuing
+/// `requests_per_client` top-N requests round-robin over the user space.
+fn run_phase(addr: SocketAddr, config: &LoadConfig) -> PhaseSummary {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..config.clients)
+        .map(|c| {
+            let clients = config.clients;
+            let users = config.users;
+            let requests = config.requests_per_client;
+            let top_n = config.top_n;
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut errors = 0usize;
+                for r in 0..requests {
+                    let user = (c + r * clients) % users;
+                    let target = format!("/recommend/bpr/{user}?n={top_n}");
+                    let sent = Instant::now();
+                    match http_get(addr, &target) {
+                        Ok((200, _)) => {
+                            latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (latencies_us, errors)
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::new();
+    let mut errors = 0;
+    for handle in handles {
+        let (lat, err) = handle.join().expect("client thread");
+        latencies_us.extend(lat);
+        errors += err;
+    }
+    let wall = started.elapsed();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let requests = config.clients * config.requests_per_client;
+    PhaseSummary {
+        requests,
+        errors,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: requests as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let config = LoadConfig::from_env();
+    taamr_obs::set_enabled(true);
+
+    let dir = std::env::temp_dir().join(format!("taamr-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let model = BprMf::new(config.users, config.items, config.factors, &mut rng);
+    let seen: Vec<Vec<usize>> =
+        (0..config.users).map(|u| vec![u % config.items, (u * 7) % config.items]).collect();
+
+    let mut sup_config = SupervisorConfig::new(&dir);
+    sup_config.max_retries = 4;
+    let supervisor = Arc::new(Supervisor::new(sup_config));
+    supervisor.add_slot("bpr", model, seen).expect("add slot");
+
+    let server_config = ServerConfig {
+        workers: config.clients,
+        queue_capacity: 64,
+        deadline: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(server_config, Arc::clone(&supervisor)).expect("start server");
+    let addr = server.addr();
+
+    // Warm up connections and caches off the record.
+    for user in 0..config.clients {
+        let _ = http_get(addr, &format!("/recommend/bpr/{user}?n={}", config.top_n));
+    }
+
+    eprintln!(
+        "serve_load: {} users x {} items x {} factors, {} clients x {} requests, top-{}",
+        config.users,
+        config.items,
+        config.factors,
+        config.clients,
+        config.requests_per_client,
+        config.top_n
+    );
+
+    let sustained = run_phase(addr, &config);
+    eprintln!(
+        "sustained:   {:.0} qps, p50 {:.0} us, p99 {:.0} us, {} errors",
+        sustained.qps, sustained.p50_us, sustained.p99_us, sustained.errors
+    );
+
+    // Crash storm: kill the actor on a fixed cadence while the identical
+    // load runs. Recovery is the supervisor's problem, not the clients'.
+    let storm_stop = Arc::new(AtomicBool::new(false));
+    let chaos = {
+        let supervisor = Arc::clone(&supervisor);
+        let stop = Arc::clone(&storm_stop);
+        let interval = config.kill_interval;
+        let kills = config.kills;
+        std::thread::spawn(move || {
+            let mut sent = 0usize;
+            while sent < kills && !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if supervisor.kill("bpr").is_ok() {
+                    sent += 1;
+                }
+            }
+            sent
+        })
+    };
+    let crash_storm = run_phase(addr, &config);
+    storm_stop.store(true, Ordering::Relaxed);
+    let storm_kills = chaos.join().expect("chaos thread");
+    eprintln!(
+        "crash storm: {:.0} qps, p50 {:.0} us, p99 {:.0} us, {} errors, {} kills",
+        crash_storm.qps, crash_storm.p50_us, crash_storm.p99_us, crash_storm.errors, storm_kills
+    );
+
+    let ledger = supervisor.accountant().snapshot();
+    eprintln!(
+        "ledger: {} requests, {} restarts, {} retries, {} timeouts, {} snapshot writes",
+        ledger.requests, ledger.restarts, ledger.retries, ledger.timeouts, ledger.snapshot_writes
+    );
+
+    let summary = ServeBench {
+        schema: 1,
+        users: config.users,
+        items: config.items,
+        factors: config.factors,
+        clients: config.clients,
+        requests_per_client: config.requests_per_client,
+        top_n: config.top_n,
+        sustained,
+        crash_storm,
+        storm_kills,
+        ledger,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("summary serialises");
+    std::fs::write(&out, json + "\n").expect("write summary");
+    eprintln!("wrote {out}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

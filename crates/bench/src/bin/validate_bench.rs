@@ -23,9 +23,8 @@ const BENCH_SUMMARY_SCHEMA: u64 = 1;
 fn expected_schema(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     match name {
-        "BENCH_parallel.json" | "BENCH_gemm_v2.json" | "BENCH_scoring.json" => {
-            Some(BENCH_SUMMARY_SCHEMA)
-        }
+        "BENCH_parallel.json" | "BENCH_gemm_v2.json" | "BENCH_scoring.json"
+        | "BENCH_serve.json" => Some(BENCH_SUMMARY_SCHEMA),
         "BENCH_obs.json" => Some(u64::from(taamr_obs::TELEMETRY_SCHEMA)),
         _ => None,
     }

@@ -539,6 +539,17 @@ impl Pipeline {
         }
     }
 
+    /// Unwraps a scoring-engine result at a call site that just `ensure`d
+    /// the engine against a model it holds an immutable borrow of: the
+    /// scoring version cannot move while the shared borrow is live, so a
+    /// `StaleEngine` here is a logic bug, not a runtime condition.
+    fn fresh<T>(result: Result<T, taamr_recsys::StaleEngine>) -> T {
+        match result {
+            Ok(v) => v,
+            Err(e) => unreachable!("scoring engine stale under a shared model borrow: {e}"),
+        }
+    }
+
     /// The persistent scoring engine of one of the pipeline's own models.
     fn scorer(&self, kind: ModelKind) -> std::sync::MutexGuard<'_, ScoringEngine> {
         let idx = match kind {
@@ -556,7 +567,8 @@ impl Pipeline {
     pub fn top_n_lists(&self, model: &dyn Recommender) -> Vec<Vec<usize>> {
         let dataset = self.dataset();
         let engine = ScoringEngine::for_model(model);
-        engine.par_top_n_all(model, self.config.chr_n, |u| dataset.user_items(u))
+        debug_assert!(engine.is_fresh(model));
+        Self::fresh(engine.par_top_n_all(model, self.config.chr_n, |u| dataset.user_items(u)))
     }
 
     /// Per-category CHR@N (×100, as the paper reports it) under `model`.
@@ -572,7 +584,9 @@ impl Pipeline {
         let dataset = self.dataset();
         let mut engine = self.scorer(kind);
         engine.ensure(model);
-        let lists = engine.par_top_n_all(model, self.config.chr_n, |u| dataset.user_items(u));
+        debug_assert!(engine.is_fresh(model));
+        let lists =
+            Self::fresh(engine.par_top_n_all(model, self.config.chr_n, |u| dataset.user_items(u)));
         self.chr_from_lists(&lists)
     }
 
@@ -914,7 +928,7 @@ impl Pipeline {
             let dataset = self.dataset();
             // Rank users concurrently from batched score blocks, then reduce
             // the integer ranks serially (exact, order-independent sums).
-            let ranks = engine.par_item_ranks(model, item, |u| dataset.user_items(u));
+            let ranks = Self::fresh(engine.par_item_ranks(model, item, |u| dataset.user_items(u)));
             let mut total = 0usize;
             let mut counted = 0usize;
             let mut best = usize::MAX;
@@ -999,7 +1013,7 @@ impl Pipeline {
 
         let mean_rank = |model: &dyn Recommender, engine: &ScoringEngine, item: usize| -> f64 {
             let dataset = self.dataset();
-            let ranks = engine.par_item_ranks(model, item, |u| dataset.user_items(u));
+            let ranks = Self::fresh(engine.par_item_ranks(model, item, |u| dataset.user_items(u)));
             let (total, counted) = ranks
                 .into_iter()
                 .flatten()

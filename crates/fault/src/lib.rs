@@ -22,6 +22,8 @@ use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// A production code location where a fault can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +47,20 @@ pub enum FaultSite {
     /// hash of the command whose ordinal is the index, so replay-diff
     /// tests can prove a divergence is localised to the right stage.
     ReplayHash,
+    /// Serving actor: panic while handling the request whose per-actor
+    /// ordinal is the index, so supervision tests can prove the supervisor
+    /// restarts the slot from its last snapshot.
+    ServeActorPanic,
+    /// Serving snapshot store: silently corrupt (bit-flip) the snapshot
+    /// file whose per-slot write ordinal is the index immediately after it
+    /// is written, so recovery tests can prove restore falls back to the
+    /// previous good generation.
+    ServeSnapshotCorrupt,
+    /// Serving actor: stall (sleep past the request deadline) while
+    /// handling the request whose per-actor ordinal is the index, so
+    /// deadline tests can prove a slow handler becomes a typed timeout
+    /// response instead of a hang.
+    ServeStall,
 }
 
 /// A deterministic schedule of one-shot faults, keyed by `(site, index)`.
@@ -78,6 +94,12 @@ thread_local! {
     static ACTIVE: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
 }
 
+/// Fast flag guarding the process-global plan: with no shared plan
+/// installed (the production default) [`fire`] pays one relaxed load for
+/// it, never a lock.
+static SHARED_ACTIVE: AtomicBool = AtomicBool::new(false);
+static SHARED: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
 /// Installs `plan` for the current thread, runs `f`, and restores the
 /// previous plan (if any). Returns `f`'s result plus the number of faults
 /// that never fired — tests assert it is zero to prove every injected fault
@@ -94,21 +116,78 @@ pub fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> (T, usize) {
     (result, finished.map_or(0, |p| p.remaining()))
 }
 
+/// Installs `plan` **process-globally**, runs `f`, and uninstalls it.
+///
+/// The thread-local [`with_plan`] cannot reach code running on threads the
+/// test did not start — a serving actor polls its fault sites on its own
+/// supervisor-spawned thread. A shared plan is visible to [`fire`] on
+/// *every* thread. Like the thread-local variant, each fault is one-shot
+/// and the second tuple element reports how many faults never fired.
+///
+/// Shared plans do not nest: only one can be installed at a time, and tests
+/// in one binary that install them must serialise themselves (integration
+/// test files are separate processes, so cross-file interference is
+/// impossible).
+///
+/// # Panics
+///
+/// Panics if a shared plan is already installed.
+pub fn with_shared_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> (T, usize) {
+    /// Uninstalls the shared plan even when `f` panics, so one failing
+    /// test cannot leave the plan stuck for the whole process.
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            let mut slot = SHARED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            SHARED_ACTIVE.store(false, Ordering::SeqCst);
+            *slot = None;
+        }
+    }
+    {
+        let mut slot = SHARED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(slot.is_none(), "a shared fault plan is already installed");
+        *slot = Some(plan);
+        SHARED_ACTIVE.store(true, Ordering::SeqCst);
+    }
+    let uninstall = Uninstall;
+    let result = f();
+    let finished = {
+        let mut slot = SHARED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        SHARED_ACTIVE.store(false, Ordering::SeqCst);
+        slot.take()
+    };
+    std::mem::forget(uninstall);
+    (result, finished.map_or(0, |p| p.remaining()))
+}
+
 /// Polls the fault at `(site, index)`. Returns `true` (and consumes the
-/// fault) if the active plan scheduled it; `false` otherwise, including when
-/// no plan is installed.
+/// fault) if the calling thread's plan — or the process-global shared plan
+/// (see [`with_shared_plan`]) — scheduled it; `false` otherwise, including
+/// when no plan is installed.
 pub fn fire(site: FaultSite, index: u64) -> bool {
-    ACTIVE.with(|a| {
+    let local = ACTIVE.with(|a| {
         a.borrow_mut()
             .as_mut()
             .map(|plan| plan.pending.remove(&(site, index)))
             .unwrap_or(false)
-    })
+    });
+    if local {
+        return true;
+    }
+    if SHARED_ACTIVE.load(Ordering::SeqCst) {
+        return SHARED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_mut()
+            .map(|plan| plan.pending.remove(&(site, index)))
+            .unwrap_or(false);
+    }
+    false
 }
 
-/// Whether any fault plan is installed on this thread.
+/// Whether any fault plan is installed on this thread (or shared with it).
 pub fn plan_installed() -> bool {
-    ACTIVE.with(|a| a.borrow().is_some())
+    ACTIVE.with(|a| a.borrow().is_some()) || SHARED_ACTIVE.load(Ordering::SeqCst)
 }
 
 /// Flips one bit of the file at `path` (byte `byte_index`, bit `bit`),
@@ -143,6 +222,10 @@ pub fn truncate_file(path: impl AsRef<Path>, keep: usize) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The shared plan is process-global and tests run concurrently, so
+    /// every test that installs one holds this lock.
+    static SHARED_GATE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn no_plan_never_fires() {
@@ -182,6 +265,55 @@ mod tests {
             assert!(fire(FaultSite::GridInterrupt, 1), "outer plan restored");
         });
         assert!(!plan_installed());
+    }
+
+    #[test]
+    fn shared_plan_fires_on_other_threads() {
+        let _g = SHARED_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ((), unfired) = with_shared_plan(
+            FaultPlan::new().with(FaultSite::ServeActorPanic, 3),
+            || {
+                let seen = std::thread::spawn(|| {
+                    assert!(!fire(FaultSite::ServeActorPanic, 0), "wrong index must not fire");
+                    fire(FaultSite::ServeActorPanic, 3)
+                })
+                .join()
+                .expect("poller thread");
+                assert!(seen, "shared fault fires on a foreign thread");
+                assert!(!fire(FaultSite::ServeActorPanic, 3), "one-shot: consumed");
+            },
+        );
+        assert_eq!(unfired, 0);
+        assert!(!plan_installed());
+    }
+
+    #[test]
+    fn shared_plan_reports_unfired_faults() {
+        let _g = SHARED_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ((), unfired) = with_shared_plan(
+            FaultPlan::new().with(FaultSite::ServeStall, 1).with(FaultSite::ServeSnapshotCorrupt, 0),
+            || {
+                assert!(plan_installed(), "shared plan counts as installed");
+                assert!(fire(FaultSite::ServeStall, 1));
+            },
+        );
+        assert_eq!(unfired, 1);
+    }
+
+    #[test]
+    fn local_plan_shadows_shared_for_the_same_key() {
+        let _g = SHARED_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A thread-local fault consumes first; the shared copy stays pending.
+        let ((), unfired) = with_shared_plan(
+            FaultPlan::new().with(FaultSite::ServeStall, 7),
+            || {
+                with_plan(FaultPlan::new().with(FaultSite::ServeStall, 7), || {
+                    assert!(fire(FaultSite::ServeStall, 7), "local copy fires first");
+                });
+                assert!(fire(FaultSite::ServeStall, 7), "shared copy still pending");
+            },
+        );
+        assert_eq!(unfired, 0);
     }
 
     #[test]

@@ -24,12 +24,16 @@
 //!    count at the `gemm` entry point, not the packs each thread actually
 //!    performed.
 //!
-//!    The one documented carve-out is the pair of allocator-health counters
-//!    ([`Counter::ScratchReuseHits`] / [`Counter::ScratchGrows`]). Scratch
+//!    There are two documented carve-outs. The allocator-health counters
+//!    ([`Counter::ScratchReuseHits`] / [`Counter::ScratchGrows`]): scratch
 //!    arenas are per-thread, so how often a buffer grows versus gets reused
-//!    genuinely depends on how work was scheduled. They count memory
-//!    behaviour, not scientific events; [`Counter::thread_invariant`]
-//!    separates the two classes so invariance checks can filter them.
+//!    genuinely depends on how work was scheduled. And the serving
+//!    accountant counters (`serve_*`): they meter a live service — external
+//!    request load, deadline expiries, queue pressure and crash recovery —
+//!    so their values follow wall-clock behaviour, not the deterministic
+//!    parallel contract. Both classes count operational behaviour, not
+//!    scientific events; [`Counter::thread_invariant`] separates the
+//!    classes so invariance checks can filter them.
 //! 3. **Timing lives only in the telemetry export.** Span wall-times are
 //!    recorded into the telemetry registry and written to `telemetry.json`;
 //!    they are never folded into reports, seeds, or control flow.
@@ -66,8 +70,11 @@ use serde::{Deserialize, Serialize};
 /// downstream tooling can reject files it does not understand.
 ///
 /// v4 added the replay counters (`replay_commands`,
-/// `replay_record_writes`, `replay_record_reads`).
-pub const TELEMETRY_SCHEMA: u32 = 4;
+/// `replay_record_writes`, `replay_record_reads`). v5 added the serving
+/// accountant counters (`serve_requests`, `serve_ok`, `serve_timeouts`,
+/// `serve_sheds`, `serve_retries`, `serve_restarts`, `serve_swaps`,
+/// `serve_snapshot_writes`).
+pub const TELEMETRY_SCHEMA: u32 = 5;
 
 /// The process-wide monotonic counters.
 ///
@@ -131,10 +138,29 @@ pub enum Counter {
     ReplayRecordWrites,
     /// Experiment record files read and fully validated.
     ReplayRecordReads,
+    /// Recommendation requests accepted by the serving layer (after load
+    /// shedding). Driven by external load — see the serve carve-out in the
+    /// crate docs.
+    ServeRequests,
+    /// Serving requests answered with a recommendation list.
+    ServeOk,
+    /// Serving requests that hit their deadline and were answered with a
+    /// typed timeout instead of hanging.
+    ServeTimeouts,
+    /// Connections rejected with 429 because the request queue was full.
+    ServeSheds,
+    /// Request retries after an actor crash (deterministic backoff path).
+    ServeRetries,
+    /// Actor restarts performed by the supervisor (crash recovery).
+    ServeRestarts,
+    /// Zero-downtime model swaps completed by the supervisor.
+    ServeSwaps,
+    /// Actor-state snapshots written to the serving snapshot store.
+    ServeSnapshotWrites,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 23] = [
+pub const COUNTERS: [Counter; 31] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -158,6 +184,14 @@ pub const COUNTERS: [Counter; 23] = [
     Counter::ReplayCommands,
     Counter::ReplayRecordWrites,
     Counter::ReplayRecordReads,
+    Counter::ServeRequests,
+    Counter::ServeOk,
+    Counter::ServeTimeouts,
+    Counter::ServeSheds,
+    Counter::ServeRetries,
+    Counter::ServeRestarts,
+    Counter::ServeSwaps,
+    Counter::ServeSnapshotWrites,
 ];
 
 impl Counter {
@@ -187,15 +221,37 @@ impl Counter {
             Counter::ReplayCommands => "replay_commands",
             Counter::ReplayRecordWrites => "replay_record_writes",
             Counter::ReplayRecordReads => "replay_record_reads",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeOk => "serve_ok",
+            Counter::ServeTimeouts => "serve_timeouts",
+            Counter::ServeSheds => "serve_sheds",
+            Counter::ServeRetries => "serve_retries",
+            Counter::ServeRestarts => "serve_restarts",
+            Counter::ServeSwaps => "serve_swaps",
+            Counter::ServeSnapshotWrites => "serve_snapshot_writes",
         }
     }
 
     /// Whether this counter's value is pinned by the deterministic parallel
-    /// contract (`true` for every semantic event counter), or reflects
-    /// per-thread memory behaviour and may legitimately differ across thread
-    /// counts (`false` — the scratch allocator-health counters).
+    /// contract (`true` for every semantic event counter), or may
+    /// legitimately differ across runs at different thread counts (`false`):
+    /// the scratch allocator-health counters reflect per-thread memory
+    /// behaviour, and the serving accountant counters reflect external load
+    /// and wall-clock effects (timeouts, queue pressure, crash recovery).
     pub fn thread_invariant(self) -> bool {
-        !matches!(self, Counter::ScratchReuseHits | Counter::ScratchGrows)
+        !matches!(
+            self,
+            Counter::ScratchReuseHits
+                | Counter::ScratchGrows
+                | Counter::ServeRequests
+                | Counter::ServeOk
+                | Counter::ServeTimeouts
+                | Counter::ServeSheds
+                | Counter::ServeRetries
+                | Counter::ServeRestarts
+                | Counter::ServeSwaps
+                | Counter::ServeSnapshotWrites
+        )
     }
 }
 
@@ -504,9 +560,23 @@ mod tests {
     }
 
     #[test]
-    fn scratch_counters_are_the_only_scheduling_dependent_ones() {
+    fn scratch_and_serve_counters_are_the_only_scheduling_dependent_ones() {
         let variant: Vec<_> = COUNTERS.iter().filter(|c| !c.thread_invariant()).collect();
-        assert_eq!(variant, [&Counter::ScratchReuseHits, &Counter::ScratchGrows]);
+        assert_eq!(
+            variant,
+            [
+                &Counter::ScratchReuseHits,
+                &Counter::ScratchGrows,
+                &Counter::ServeRequests,
+                &Counter::ServeOk,
+                &Counter::ServeTimeouts,
+                &Counter::ServeSheds,
+                &Counter::ServeRetries,
+                &Counter::ServeRestarts,
+                &Counter::ServeSwaps,
+                &Counter::ServeSnapshotWrites,
+            ]
+        );
         assert!(Counter::GemmPanelPacks.thread_invariant());
         assert_eq!(Counter::GemmPanelPacks.name(), "gemm_panel_packs");
         assert_eq!(Counter::ScratchReuseHits.name(), "scratch_reuse_hits");
@@ -525,6 +595,11 @@ mod tests {
         assert_eq!(Counter::ReplayCommands.name(), "replay_commands");
         assert_eq!(Counter::ReplayRecordWrites.name(), "replay_record_writes");
         assert_eq!(Counter::ReplayRecordReads.name(), "replay_record_reads");
+        // The serving accountant meters live-service behaviour (load,
+        // deadlines, recovery), so none of its counters promise invariance.
+        assert!(!Counter::ServeRequests.thread_invariant());
+        assert_eq!(Counter::ServeRequests.name(), "serve_requests");
+        assert_eq!(Counter::ServeSnapshotWrites.name(), "serve_snapshot_writes");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use popularity::Popularity;
 pub use recommend::{
     item_rank, item_rank_with, par_top_n_all, top_n_indices, top_n_with, SelectionScratch,
 };
-pub use scoring::{CatalogPlan, ScoreBlock, ScoringEngine, SCORE_BLOCK_USERS};
+pub use scoring::{CatalogPlan, ScoreBlock, ScoringEngine, StaleEngine, SCORE_BLOCK_USERS};
 pub use train::{
     PairwiseConfig, PairwiseDiverged, PairwiseDivergence, PairwiseModel, PairwiseTrainer,
 };

@@ -77,7 +77,12 @@ where
     F: Fn(usize) -> &'a [usize] + Sync,
 {
     let engine = ScoringEngine::for_model(model);
-    engine.par_top_n_all(model, n, seen_of)
+    match engine.par_top_n_all(model, n, seen_of) {
+        Ok(lists) => lists,
+        // The engine was built for this call against a model borrowed for
+        // the whole call, so staleness is unreachable.
+        Err(e) => unreachable!("scoring engine stale under a shared model borrow: {e}"),
+    }
 }
 
 /// Returns the indices of the `n` highest scores, excluding `exclude`,

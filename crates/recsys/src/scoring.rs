@@ -35,6 +35,7 @@
 //! and results are invariant under the thread count; the inner GEMMs run on
 //! the canonical schedule regardless of how blocks were distributed.
 
+use std::fmt;
 use std::ops::Range;
 
 use rayon::prelude::*;
@@ -229,6 +230,43 @@ impl ScoreBlock {
     }
 }
 
+/// The engine's cached plan does not match the live model: either
+/// [`ScoringEngine::ensure`] was never called, or the model mutated (an SGD
+/// step, a feature swap) after the last `ensure`.
+///
+/// Serving code treats this as a *refresh signal* — call `ensure` again and
+/// retry — rather than dying; a long-lived actor wrapping an engine must
+/// survive a model update racing a request. Pipeline code, which always
+/// ensures under the same lock it scores under, treats it as unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleEngine {
+    /// Scoring version the cache was built at; `None` when `ensure` was
+    /// never called.
+    pub cached: Option<u64>,
+    /// The model's scoring version at the failed read.
+    pub live: u64,
+}
+
+impl fmt::Display for StaleEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cached {
+            None => write!(
+                f,
+                "scoring engine used before ensure(): model is at version {}",
+                self.live
+            ),
+            Some(cached) => write!(
+                f,
+                "stale scoring cache: built at model version {cached}, model is at {}; \
+                 call ensure(model) again before scoring",
+                self.live
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StaleEngine {}
+
 #[derive(Debug)]
 struct PlanCache {
     version: u64,
@@ -287,21 +325,22 @@ impl ScoringEngine {
         true
     }
 
-    /// The cached plan, or a panic naming the misuse. Keeping this check in
-    /// one place makes stale reads *impossible*: every scoring entry point
-    /// revalidates the version against the live model.
-    fn plan<M: Recommender + ?Sized>(&self, model: &M) -> &CatalogPlan {
+    /// The cached plan, or a typed [`StaleEngine`] error naming the misuse.
+    /// Keeping this check in one place makes silent stale reads
+    /// *impossible*: every scoring entry point revalidates the version
+    /// against the live model, and a mismatch surfaces as an error the
+    /// caller can convert into an `ensure`-and-retry.
+    fn plan<M: Recommender + ?Sized>(&self, model: &M) -> Result<&CatalogPlan, StaleEngine> {
         let Some(cache) = &self.cache else {
-            panic!("ScoringEngine used before ensure(); call ensure(model) first")
+            return Err(StaleEngine { cached: None, live: model.scoring_version() });
         };
-        assert!(
-            cache.version == model.scoring_version()
-                && cache.plan.num_users == model.num_users()
-                && cache.plan.num_items == model.num_items(),
-            "stale scoring cache: the model changed after ensure(); \
-             call ensure(model) again before scoring"
-        );
-        &cache.plan
+        if cache.version != model.scoring_version()
+            || cache.plan.num_users != model.num_users()
+            || cache.plan.num_items != model.num_items()
+        {
+            return Err(StaleEngine { cached: Some(cache.version), live: model.scoring_version() });
+        }
+        Ok(&cache.plan)
     }
 
     /// Scores every item for the contiguous user block `users`, writing the
@@ -311,17 +350,22 @@ impl ScoringEngine {
     /// [`Recommender::score`](crate::Recommender::score) over the same user,
     /// at every thread count (see the module docs for the argument).
     ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEngine`] when the cache is absent or the model mutated
+    /// after the last [`ScoringEngine::ensure`]; refresh with `ensure` and
+    /// retry.
+    ///
     /// # Panics
     ///
-    /// Panics if the cache is absent or stale (see [`ScoringEngine::ensure`])
-    /// or `users` is out of range.
+    /// Panics if `users` is out of range.
     pub fn score_block<M: Recommender + ?Sized>(
         &self,
         model: &M,
         users: Range<usize>,
         out: &mut ScoreBlock,
-    ) {
-        let plan = self.plan(model);
+    ) -> Result<(), StaleEngine> {
+        let plan = self.plan(model)?;
         assert!(
             users.start <= users.end && users.end <= plan.num_users,
             "user block {users:?} out of range for {} users",
@@ -356,6 +400,7 @@ impl ScoringEngine {
                 }
             }
         }
+        Ok(())
     }
 
     /// Top-`n` lists for every user, served from batched score blocks on
@@ -367,17 +412,29 @@ impl ScoringEngine {
     /// seen-lists (as [`taamr_data::ImplicitDataset::user_items`] returns)
     /// take the allocation-free merge path.
     ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEngine`] when the cache is absent or stale; refresh
+    /// with [`ScoringEngine::ensure`] and retry.
+    ///
     /// # Panics
     ///
-    /// Panics if `n` is zero or the cache is absent/stale.
-    pub fn par_top_n_all<'a, M, F>(&self, model: &M, n: usize, seen_of: F) -> Vec<Vec<usize>>
+    /// Panics if `n` is zero.
+    pub fn par_top_n_all<'a, M, F>(
+        &self,
+        model: &M,
+        n: usize,
+        seen_of: F,
+    ) -> Result<Vec<Vec<usize>>, StaleEngine>
     where
         M: Recommender + ?Sized,
         F: Fn(usize) -> &'a [usize] + Sync,
     {
         assert!(n > 0, "n must be positive");
-        // Validate eagerly so misuse fails even for zero-user models.
-        let _ = self.plan(model);
+        // Validate eagerly so misuse fails even for zero-user models. The
+        // model is borrowed for the whole call, so the per-block
+        // revalidation below cannot fail after this succeeds.
+        self.plan(model)?;
         let num_users = model.num_users();
         let nested: Vec<Vec<Vec<usize>>> = (0..num_users.div_ceil(SCORE_BLOCK_USERS))
             .into_par_iter()
@@ -386,12 +443,12 @@ impl ScoringEngine {
                 |(block, sel), blk| {
                     let users =
                         blk * SCORE_BLOCK_USERS..((blk + 1) * SCORE_BLOCK_USERS).min(num_users);
-                    self.score_block(model, users.clone(), block);
-                    users.map(|u| top_n_with(block.row(u), n, seen_of(u), sel)).collect()
+                    self.score_block(model, users.clone(), block)?;
+                    Ok(users.map(|u| top_n_with(block.row(u), n, seen_of(u), sel)).collect())
                 },
             )
-            .collect();
-        nested.into_iter().flatten().collect()
+            .collect::<Result<_, StaleEngine>>()?;
+        Ok(nested.into_iter().flatten().collect())
     }
 
     /// 1-based rank of `item` for every user (see
@@ -399,15 +456,21 @@ impl ScoringEngine {
     /// worker threads. Entry `u` is `None` when `item` is excluded for user
     /// `u`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cache is absent/stale.
-    pub fn par_item_ranks<'a, M, F>(&self, model: &M, item: usize, seen_of: F) -> Vec<Option<usize>>
+    /// Returns [`StaleEngine`] when the cache is absent or stale; refresh
+    /// with [`ScoringEngine::ensure`] and retry.
+    pub fn par_item_ranks<'a, M, F>(
+        &self,
+        model: &M,
+        item: usize,
+        seen_of: F,
+    ) -> Result<Vec<Option<usize>>, StaleEngine>
     where
         M: Recommender + ?Sized,
         F: Fn(usize) -> &'a [usize] + Sync,
     {
-        let _ = self.plan(model);
+        self.plan(model)?;
         let num_users = model.num_users();
         let nested: Vec<Vec<Option<usize>>> = (0..num_users.div_ceil(SCORE_BLOCK_USERS))
             .into_par_iter()
@@ -416,12 +479,12 @@ impl ScoringEngine {
                 |(block, sel), blk| {
                     let users =
                         blk * SCORE_BLOCK_USERS..((blk + 1) * SCORE_BLOCK_USERS).min(num_users);
-                    self.score_block(model, users.clone(), block);
-                    users.map(|u| item_rank_with(block.row(u), item, seen_of(u), sel)).collect()
+                    self.score_block(model, users.clone(), block)?;
+                    Ok(users.map(|u| item_rank_with(block.row(u), item, seen_of(u), sel)).collect())
                 },
             )
-            .collect();
-        nested.into_iter().flatten().collect()
+            .collect::<Result<_, StaleEngine>>()?;
+        Ok(nested.into_iter().flatten().collect())
     }
 }
 
@@ -442,7 +505,7 @@ mod tests {
         let m = model();
         let engine = ScoringEngine::for_model(&m);
         let mut block = ScoreBlock::new();
-        engine.score_block(&m, 2..9, &mut block);
+        engine.score_block(&m, 2..9, &mut block).unwrap();
         assert_eq!(block.users(), 2..9);
         assert_eq!(block.num_items(), 33);
         for (u, row) in block.rows() {
@@ -457,10 +520,10 @@ mod tests {
         let m = model();
         let engine = ScoringEngine::for_model(&m);
         let mut block = ScoreBlock::new();
-        engine.score_block(&m, 0..8, &mut block);
+        engine.score_block(&m, 0..8, &mut block).unwrap();
         let full = m.score_all(3);
         assert_eq!(block.row(3), full.as_slice());
-        engine.score_block(&m, 8..10, &mut block);
+        engine.score_block(&m, 8..10, &mut block).unwrap();
         assert_eq!(block.users(), 8..10);
         assert_eq!(block.row(9), m.score_all(9).as_slice());
     }
@@ -482,26 +545,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stale scoring cache")]
-    fn stale_cache_reads_panic() {
+    fn stale_cache_reads_are_typed_errors() {
         let mut m = model();
-        let engine = ScoringEngine::for_model(&m);
+        let mut engine = ScoringEngine::for_model(&m);
+        let built_at = m.scoring_version();
         crate::PairwiseModel::sgd_step(
             &mut m,
             &taamr_data::Triplet { user: 0, positive: 1, negative: 2 },
             0.05,
         );
         let mut block = ScoreBlock::new();
-        engine.score_block(&m, 0..1, &mut block);
+        let err = engine.score_block(&m, 0..1, &mut block).unwrap_err();
+        assert_eq!(err, StaleEngine { cached: Some(built_at), live: m.scoring_version() });
+        assert!(err.to_string().contains("stale scoring cache"), "{err}");
+        // The error is a refresh signal: ensure() and the same call succeeds.
+        engine.ensure(&m);
+        engine.score_block(&m, 0..1, &mut block).unwrap();
+        assert_eq!(block.row(0)[1].to_bits(), m.score(0, 1).to_bits());
     }
 
     #[test]
-    #[should_panic(expected = "before ensure")]
-    fn unensured_engine_panics() {
+    fn unensured_engine_is_a_typed_error() {
         let m = model();
         let engine = ScoringEngine::new();
         let mut block = ScoreBlock::new();
-        engine.score_block(&m, 0..1, &mut block);
+        let err = engine.score_block(&m, 0..1, &mut block).unwrap_err();
+        assert_eq!(err.cached, None);
+        assert!(err.to_string().contains("before ensure"), "{err}");
+        assert!(engine.par_top_n_all(&m, 3, |_| &[][..]).is_err());
+        assert!(engine.par_item_ranks(&m, 0, |_| &[][..]).is_err());
     }
 
     #[test]
@@ -510,7 +582,7 @@ mod tests {
         let p = Popularity::from_dataset(&data);
         let engine = ScoringEngine::for_model(&p);
         let mut block = ScoreBlock::new();
-        engine.score_block(&p, 0..2, &mut block);
+        engine.score_block(&p, 0..2, &mut block).unwrap();
         assert_eq!(block.row(0), &[1.0, 2.0, 0.0]);
         assert_eq!(block.row(1), &[1.0, 2.0, 0.0]);
     }
@@ -520,7 +592,7 @@ mod tests {
         let m = model();
         let engine = ScoringEngine::for_model(&m);
         let seen: Vec<Vec<usize>> = (0..10).map(|u| vec![u % 33, (u + 5) % 33]).collect();
-        let lists = engine.par_top_n_all(&m, 7, |u| seen[u].as_slice());
+        let lists = engine.par_top_n_all(&m, 7, |u| seen[u].as_slice()).unwrap();
         for (u, list) in lists.iter().enumerate() {
             assert_eq!(list, &m.top_n(u, 7, &seen[u]), "user {u}");
         }

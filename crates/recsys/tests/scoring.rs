@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use taamr_data::{ImplicitDataset, Triplet, TripletSampler};
 use taamr_recsys::{
     Amr, AmrConfig, BprMf, PairwiseConfig, PairwiseModel, PairwiseTrainer, Popularity,
-    Recommender, ScoreBlock, ScoringEngine, Vbpr, VbprConfig, VisualRecommender,
+    Recommender, ScoreBlock, ScoringEngine, StaleEngine, Vbpr, VbprConfig, VisualRecommender,
     SCORE_BLOCK_USERS,
 };
 
@@ -68,7 +68,7 @@ fn assert_engine_matches_scalar<M: Recommender>(model: &M) {
             for start in [0, 1, nu / 2] {
                 for len in [1, 3, nu - start] {
                     let end = (start + len).min(nu);
-                    engine.score_block(model, start..end, &mut block);
+                    engine.score_block(model, start..end, &mut block).unwrap();
                     for (u, row) in block.rows() {
                         for (i, &s) in row.iter().enumerate() {
                             assert_eq!(
@@ -127,8 +127,8 @@ proptest! {
         for threads in [1usize, 2, 8] {
             let (lists, ranks) = rayon::with_threads(threads, || {
                 (
-                    engine.par_top_n_all(&model, n, |u| data.user_items(u)),
-                    engine.par_item_ranks(&model, 2, |u| data.user_items(u)),
+                    engine.par_top_n_all(&model, n, |u| data.user_items(u)).unwrap(),
+                    engine.par_item_ranks(&model, 2, |u| data.user_items(u)).unwrap(),
                 )
             });
             assert_eq!(&lists, &serial_lists, "top-n at {threads} threads");
@@ -150,7 +150,7 @@ fn engine_spans_multiple_user_blocks() {
         (0..nu).map(|u| model.top_n(u, 5, data.user_items(u))).collect();
     for threads in [1usize, 2, 8] {
         let lists = rayon::with_threads(threads, || {
-            engine.par_top_n_all(&model, 5, |u| data.user_items(u))
+            engine.par_top_n_all(&model, 5, |u| data.user_items(u)).unwrap()
         });
         assert_eq!(lists, serial, "thread count {threads}");
     }
@@ -171,7 +171,7 @@ fn feature_swap_invalidates_the_cache() {
 
     // The rebuilt cache serves the *new* scores, bitwise.
     let mut block = ScoreBlock::new();
-    engine.score_block(&model, 0..model.num_users(), &mut block);
+    engine.score_block(&model, 0..model.num_users(), &mut block).unwrap();
     let after = model.score_all(0);
     assert_ne!(
         before[4].to_bits(),
@@ -203,7 +203,7 @@ fn training_epoch_invalidates_the_cache() {
     assert!(!engine.is_fresh(&model), "a training epoch must invalidate");
     assert!(engine.ensure(&model));
     let mut block = ScoreBlock::new();
-    engine.score_block(&model, 0..8, &mut block);
+    engine.score_block(&model, 0..8, &mut block).unwrap();
     for (u, row) in block.rows() {
         let scalar = model.score_all(u);
         for (i, &s) in row.iter().enumerate() {
@@ -213,13 +213,27 @@ fn training_epoch_invalidates_the_cache() {
 }
 
 #[test]
-#[should_panic(expected = "stale scoring cache")]
 fn stale_engine_cannot_serve_scores() {
+    // A feature swap after ensure() surfaces as a typed StaleEngine error —
+    // the refresh signal a serving actor turns into ensure()-and-retry —
+    // never as silently stale scores (and, since PR 7, never as a panic).
     let mut model = vbpr(4, 10, 5);
-    let engine = ScoringEngine::for_model(&model);
+    let mut engine = ScoringEngine::for_model(&model);
+    let built_at = model.scoring_version();
     model.set_item_feature(0, &vec![1.0; model.feature_dim()]);
     let mut block = ScoreBlock::new();
-    engine.score_block(&model, 0..4, &mut block);
+    let err = engine.score_block(&model, 0..4, &mut block).unwrap_err();
+    assert_eq!(err, StaleEngine { cached: Some(built_at), live: model.scoring_version() });
+    assert!(engine.par_top_n_all(&model, 3, |_| &[][..]).is_err());
+    assert!(engine.par_item_ranks(&model, 0, |_| &[][..]).is_err());
+    // Refresh-and-retry: after ensure() the same calls serve fresh scores.
+    assert!(engine.ensure(&model), "stale engine rebuilds");
+    engine.score_block(&model, 0..4, &mut block).unwrap();
+    for (u, row) in block.rows() {
+        for (i, &sc) in row.iter().enumerate() {
+            assert_eq!(sc.to_bits(), model.score(u, i).to_bits(), "({u},{i})");
+        }
+    }
 }
 
 #[test]
@@ -233,7 +247,7 @@ fn zero_item_catalog_yields_empty_lists_without_panicking() {
     let engine = ScoringEngine::for_model(&model);
     for threads in [1usize, 2, 8] {
         let lists = rayon::with_threads(threads, || {
-            engine.par_top_n_all(&model, 3, |u| data.user_items(u))
+            engine.par_top_n_all(&model, 3, |u| data.user_items(u)).unwrap()
         });
         assert_eq!(lists.len(), 5, "one (empty) list per user");
         assert!(lists.iter().all(|l| l.is_empty()), "no items means empty lists");
@@ -250,7 +264,7 @@ fn single_user_block_smaller_than_the_block_size() {
     let engine = ScoringEngine::for_model(&model);
 
     let mut block = ScoreBlock::new();
-    engine.score_block(&model, 0..1, &mut block);
+    engine.score_block(&model, 0..1, &mut block).unwrap();
     let scalar = model.score_all(0);
     let rows: Vec<_> = block.rows().collect();
     assert_eq!(rows.len(), 1);
@@ -261,7 +275,7 @@ fn single_user_block_smaller_than_the_block_size() {
     let serial = vec![model.top_n(0, 4, data.user_items(0))];
     for threads in [1usize, 2, 8] {
         let lists = rayon::with_threads(threads, || {
-            engine.par_top_n_all(&model, 4, |u| data.user_items(u))
+            engine.par_top_n_all(&model, 4, |u| data.user_items(u)).unwrap()
         });
         assert_eq!(lists, serial, "single user at {threads} threads");
     }
@@ -281,7 +295,7 @@ fn par_top_n_all_replay_hash_is_stable_across_thread_counts() {
             .iter()
             .map(|&t| {
                 rayon::with_threads(t, || {
-                    taamr_replay::hash_lists(&engine.par_top_n_all(&model, n, |u| data.user_items(u)))
+                    taamr_replay::hash_lists(&engine.par_top_n_all(&model, n, |u| data.user_items(u)).unwrap())
                 })
             })
             .collect();
@@ -289,7 +303,7 @@ fn par_top_n_all_replay_hash_is_stable_across_thread_counts() {
         assert_eq!(hashes[0], hashes[2], "1 vs 8 threads ({nu}x{ni})");
         // And re-running at the same thread count is hash-stable too.
         let again = rayon::with_threads(2, || {
-            taamr_replay::hash_lists(&engine.par_top_n_all(&model, n, |u| data.user_items(u)))
+            taamr_replay::hash_lists(&engine.par_top_n_all(&model, n, |u| data.user_items(u)).unwrap())
         });
         assert_eq!(hashes[0], again, "repeat run must not drift ({nu}x{ni})");
     }

@@ -1,0 +1,171 @@
+//! Model-slot actors: one thread, one model, one scoring engine.
+//!
+//! An actor owns a model plus its warmed [`ScoringEngine`] and serves
+//! requests from an mpsc mailbox. Crashing is part of the protocol: a panic
+//! mid-request (injected via [`FaultSite::ServeActorPanic`] or real) is
+//! caught at the loop boundary, the mailbox is dropped, and every sender —
+//! the supervisor's request path — observes a disconnect and triggers
+//! restart-from-snapshot. Stalls ([`FaultSite::ServeStall`]) sleep through
+//! the caller's deadline; the late reply lands in a dropped channel.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use taamr_fault::FaultSite;
+use taamr_recsys::{top_n_with, ScoreBlock, ScoringEngine, SelectionScratch};
+
+use crate::error::ServeError;
+use crate::ServeModel;
+
+/// A served recommendation list, annotated with where it came from: the
+/// slot, the model version behind the gate, and the actor incarnation that
+/// computed it. Tests read the version/incarnation fields to prove swap
+/// cliffs are clean and restarts actually happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopNResponse {
+    /// Slot that served the request.
+    pub slot: String,
+    /// Model version behind the slot's version gate.
+    pub model_version: u64,
+    /// Actor incarnation (bumps on every restart and swap).
+    pub incarnation: u64,
+    /// The user the list is for.
+    pub user: usize,
+    /// Recommended item indices, best first.
+    pub items: Vec<usize>,
+    /// Scores aligned with `items` (bit-exact across restarts).
+    pub scores: Vec<f32>,
+}
+
+/// Mailbox protocol between supervisor and actor.
+pub(crate) enum ActorMsg {
+    /// Serve a top-`n` request; the answer goes to `reply`.
+    TopN { user: usize, n: usize, reply: Sender<Result<TopNResponse, ServeError>> },
+    /// Hand back the actor's serialised state for a snapshot.
+    State { reply: Sender<(String, u64)> },
+    /// Chaos: die immediately, dropping everything still queued.
+    Crash,
+    /// Finish the messages already queued ahead of this one, then exit.
+    Drain,
+}
+
+/// Everything an actor needs to start serving.
+pub(crate) struct ActorSpec<M> {
+    pub slot: String,
+    pub model: M,
+    pub model_version: u64,
+    pub incarnation: u64,
+    pub seen: Arc<Vec<Vec<usize>>>,
+    pub stall: Duration,
+}
+
+/// Spawns the actor thread with a warm scoring engine. The returned sender
+/// is the only handle; when the actor dies (crash or drain) the channel
+/// disconnects.
+pub(crate) fn spawn<M: ServeModel>(spec: ActorSpec<M>) -> (Sender<ActorMsg>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || run(spec, rx));
+    (tx, handle)
+}
+
+fn run<M: ServeModel>(spec: ActorSpec<M>, rx: Receiver<ActorMsg>) {
+    let ActorSpec { slot, model, model_version, incarnation, seen, stall } = spec;
+    let mut engine = ScoringEngine::for_model(&model);
+    let mut block = ScoreBlock::new();
+    let mut scratch = SelectionScratch::new();
+    // Per-actor request ordinal: the fault index for ServeActorPanic and
+    // ServeStall.
+    let mut served: u64 = 0;
+    for msg in rx {
+        match msg {
+            ActorMsg::TopN { user, n, reply } => {
+                let ordinal = served;
+                served += 1;
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    if taamr_fault::fire(FaultSite::ServeStall, ordinal) {
+                        std::thread::sleep(stall);
+                    }
+                    if taamr_fault::fire(FaultSite::ServeActorPanic, ordinal) {
+                        panic!("injected serving-actor crash (ServeActorPanic #{ordinal})");
+                    }
+                    serve_top_n(
+                        &slot,
+                        &model,
+                        &mut engine,
+                        &mut block,
+                        &mut scratch,
+                        &seen,
+                        model_version,
+                        incarnation,
+                        user,
+                        n,
+                    )
+                }));
+                match outcome {
+                    Ok(result) => {
+                        // A dropped receiver (caller timed out) is fine.
+                        let _ = reply.send(result);
+                    }
+                    // Crash mid-request: drop `reply` unanswered and die.
+                    // Senders see a disconnect; the supervisor restarts us.
+                    Err(_) => return,
+                }
+            }
+            ActorMsg::State { reply } => {
+                if let Ok(json) = serde_json::to_string(&model) {
+                    let _ = reply.send((json, model_version));
+                }
+            }
+            ActorMsg::Crash => return,
+            ActorMsg::Drain => return,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_top_n<M: ServeModel>(
+    slot: &str,
+    model: &M,
+    engine: &mut ScoringEngine,
+    block: &mut ScoreBlock,
+    scratch: &mut SelectionScratch,
+    seen: &[Vec<usize>],
+    model_version: u64,
+    incarnation: u64,
+    user: usize,
+    n: usize,
+) -> Result<TopNResponse, ServeError> {
+    if user >= model.num_users() {
+        return Err(ServeError::BadRequest {
+            reason: format!("user {user} out of range ({} users)", model.num_users()),
+        });
+    }
+    if n == 0 {
+        return Err(ServeError::BadRequest { reason: "n must be positive".to_owned() });
+    }
+    if let Err(_stale) = engine.score_block(model, user..user + 1, block) {
+        // The typed StaleEngine path: refresh the plan cache and retry.
+        engine.ensure(model);
+        if let Err(e) = engine.score_block(model, user..user + 1, block) {
+            // The actor owns the model exclusively, so a just-ensured
+            // engine cannot be stale again.
+            unreachable!("scoring engine stale immediately after refresh: {e}");
+        }
+    }
+    let row = block.row(user);
+    let exclude = seen.get(user).map_or(&[][..], |s| s.as_slice());
+    let items = top_n_with(row, n, exclude, scratch);
+    let scores = items.iter().map(|&i| row[i]).collect();
+    Ok(TopNResponse {
+        slot: slot.to_owned(),
+        model_version,
+        incarnation,
+        user,
+        items,
+        scores,
+    })
+}

@@ -1,0 +1,104 @@
+//! Typed serving errors with a stable HTTP mapping.
+
+use std::fmt;
+
+/// Everything that can go wrong while serving a recommendation request.
+///
+/// Each variant carries enough context to be actionable and maps onto a
+/// fixed HTTP status ([`ServeError::status`]) and a stable machine-readable
+/// kind ([`ServeError::kind`]) used in JSON error bodies. The serving layer
+/// never panics on these paths: injected crashes, stalls, and corrupt
+/// snapshots all surface here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request missed its deadline (a stalled handler, or retries ate
+    /// the whole budget). Maps to `503`.
+    Timeout {
+        /// Slot the request was addressed to.
+        slot: String,
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The bounded request queue was full and the connection was shed
+    /// instead of queued. Maps to `429`.
+    Overloaded {
+        /// Capacity of the queue that was full.
+        queue_capacity: usize,
+    },
+    /// The request named a slot the supervisor does not own. Maps to `404`.
+    SlotNotFound {
+        /// The unknown slot name.
+        slot: String,
+    },
+    /// The slot exists but cannot serve: its actor crashed and the retry
+    /// budget is exhausted, or recovery itself failed. Maps to `503`.
+    SlotUnavailable {
+        /// Slot the request was addressed to.
+        slot: String,
+        /// Why the slot cannot serve.
+        reason: String,
+    },
+    /// The request itself is malformed (out-of-range user, `n == 0`,
+    /// unparseable path or query). Maps to `400`.
+    BadRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// A snapshot store operation failed (I/O, serialisation, or no usable
+    /// generation left to restore from). Maps to `500`.
+    Snapshot {
+        /// Slot whose store failed.
+        slot: String,
+        /// Underlying failure.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// The HTTP status this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::Timeout { .. } => 503,
+            ServeError::Overloaded { .. } => 429,
+            ServeError::SlotNotFound { .. } => 404,
+            ServeError::SlotUnavailable { .. } => 503,
+            ServeError::BadRequest { .. } => 400,
+            ServeError::Snapshot { .. } => 500,
+        }
+    }
+
+    /// Stable machine-readable error kind used in JSON error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Timeout { .. } => "timeout",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::SlotNotFound { .. } => "slot_not_found",
+            ServeError::SlotUnavailable { .. } => "slot_unavailable",
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::Snapshot { .. } => "snapshot",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Timeout { slot, deadline_ms } => {
+                write!(f, "request to slot `{slot}` missed its {deadline_ms} ms deadline")
+            }
+            ServeError::Overloaded { queue_capacity } => {
+                write!(f, "request queue full (capacity {queue_capacity}); connection shed")
+            }
+            ServeError::SlotNotFound { slot } => write!(f, "no such slot: `{slot}`"),
+            ServeError::SlotUnavailable { slot, reason } => {
+                write!(f, "slot `{slot}` unavailable: {reason}")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Snapshot { slot, detail } => {
+                write!(f, "snapshot store failure for slot `{slot}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,160 @@
+//! Minimal std-only HTTP/1.1: request parsing, response writing, and a
+//! tiny blocking client for tests and the load generator.
+//!
+//! The server speaks exactly the subset the serving API needs: `GET` with
+//! a path and query string, `Connection: close` semantics, JSON bodies.
+//! Headers beyond the request line are read (up to a hard cap) and
+//! ignored.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Hard cap on request head size; anything longer is malformed.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// How long the server waits for a slow client to finish sending its
+/// request head before dropping the connection.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Request {
+    /// Request method (only `GET` is routed).
+    pub method: String,
+    /// Path portion of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one request head. `Ok(None)` means the connection was
+/// closed early or the head was malformed — the caller just drops it.
+pub(crate) fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HEAD_BYTES {
+            return Ok(None);
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let Some(line) = head.lines().next() else { return Ok(None) };
+    Ok(parse_request_line(line))
+}
+
+fn parse_request_line(line: &str) -> Option<Request> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_owned();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (kv.to_owned(), String::new()),
+        })
+        .collect();
+    Some(Request { method, path: path.to_owned(), query })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. `Connection: close` is
+/// always sent; the caller drops the stream afterwards.
+pub(crate) fn respond(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot GET against a local server: sends the request, reads
+/// to EOF, returns `(status, body)`. This is the client used by the
+/// integration tests and the load generator.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; a response without a valid
+/// status line or body separator is `InvalidData`.
+pub fn http_get(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request =
+        format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let bad = || io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(bad)?;
+    let body = text.split_once("\r\n\r\n").ok_or_else(bad)?.1.to_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_path_and_query() {
+        let req = parse_request_line("GET /recommend/vbpr/3?n=10&x=&flag HTTP/1.1").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/recommend/vbpr/3");
+        assert_eq!(req.param("n"), Some("10"));
+        assert_eq!(req.param("x"), Some(""));
+        assert_eq!(req.param("flag"), Some(""));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        assert!(parse_request_line("").is_none());
+        assert!(parse_request_line("GET /x").is_none());
+        assert!(parse_request_line("GET /x SMTP/1.0").is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! The HTTP front door: acceptor, bounded queue, worker pool.
+//!
+//! One acceptor thread pulls connections off the listener and `try_push`es
+//! them onto a bounded queue — the load-shed point: a full queue answers
+//! `429` inline and drops the connection, so overload degrades into fast
+//! typed rejections instead of unbounded memory growth. A fixed pool of
+//! worker threads drains the queue, parses requests, and calls into the
+//! supervisor with the configured per-request deadline.
+//!
+//! Routes:
+//!
+//! | Route | Response |
+//! |---|---|
+//! | `GET /recommend/<slot>/<user>?n=K` | [`TopNResponse`] JSON |
+//! | `GET /stats` | [`LedgerSnapshot`](crate::LedgerSnapshot) JSON |
+//! | `GET /healthz` | `{"ok":true}` |
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::actor::TopNResponse;
+use crate::error::ServeError;
+use crate::http::{read_request, respond, Request};
+use crate::queue::BoundedQueue;
+use crate::supervisor::Supervisor;
+use crate::ServeModel;
+
+/// HTTP server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (tests read
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded request-queue capacity; connection number
+    /// `workers + capacity + 1` is shed with `429`.
+    pub queue_capacity: usize,
+    /// Per-request deadline handed to the supervisor.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            deadline: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A running HTTP server. Dropping it without [`Server::shutdown`] leaks
+/// the threads until process exit; tests and the bench always shut down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and starts serving
+    /// `supervisor`'s slots.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the bind address is unusable.
+    pub fn start<M: ServeModel>(
+        config: ServerConfig,
+        supervisor: Arc<Supervisor<M>>,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::BadRequest {
+            reason: format!("cannot bind {}: {e}", config.addr),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ServeError::BadRequest {
+            reason: format!("cannot resolve bound address: {e}"),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let accountant = supervisor.accountant();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if let Err(mut shed) = queue.try_push(stream) {
+                        // The load-shed point: full queue, typed 429.
+                        // Consume the request head first — closing with
+                        // unread bytes in the socket would RST the client
+                        // before it reads the response.
+                        accountant.shed();
+                        let _ = read_request(&mut shed);
+                        let body = error_body(&ServeError::Overloaded {
+                            queue_capacity: queue.capacity(),
+                        });
+                        let _ = respond(&mut shed, 429, &body);
+                    }
+                }
+            })
+        };
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let supervisor = Arc::clone(&supervisor);
+                let deadline = config.deadline;
+                std::thread::spawn(move || {
+                    while let Some(mut stream) = queue.pop() {
+                        let _ = handle_connection(&mut stream, &supervisor, deadline);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Server { addr, stop, queue, acceptor: Some(acceptor), workers })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor with a throwaway connection so it sees `stop`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn error_body(err: &ServeError) -> String {
+    // Hand-rolled object: two string fields, no escaping subtleties beyond
+    // what `{:?}` already guarantees for the message.
+    format!(r#"{{"error":{:?},"detail":{:?}}}"#, err.kind(), err.to_string())
+}
+
+fn handle_connection<M: ServeModel>(
+    stream: &mut TcpStream,
+    supervisor: &Supervisor<M>,
+    deadline: Duration,
+) -> io::Result<()> {
+    let Some(request) = read_request(stream)? else {
+        // Closed early or malformed head; nothing to answer.
+        return Ok(());
+    };
+    let (status, body) = route(&request, supervisor, deadline);
+    respond(stream, status, &body)
+}
+
+fn route<M: ServeModel>(
+    request: &Request,
+    supervisor: &Supervisor<M>,
+    deadline: Duration,
+) -> (u16, String) {
+    if request.method != "GET" {
+        let err = ServeError::BadRequest { reason: format!("method {} not allowed", request.method) };
+        return (err.status(), error_body(&err));
+    }
+    match request.path.as_str() {
+        "/healthz" => (200, r#"{"ok":true}"#.to_owned()),
+        "/stats" => match serde_json::to_string(&supervisor.accountant().snapshot()) {
+            Ok(body) => (200, body),
+            Err(e) => {
+                let err = ServeError::BadRequest { reason: format!("stats unserialisable: {e}") };
+                (500, error_body(&err))
+            }
+        },
+        path => match parse_recommend(path, request) {
+            Ok((slot, user, n)) => match supervisor.top_n(&slot, user, n, deadline) {
+                Ok(resp) => ok_body(&resp),
+                Err(err) => (err.status(), error_body(&err)),
+            },
+            Err(err) => (err.status(), error_body(&err)),
+        },
+    }
+}
+
+fn ok_body(resp: &TopNResponse) -> (u16, String) {
+    match serde_json::to_string(resp) {
+        Ok(body) => (200, body),
+        Err(e) => {
+            let err =
+                ServeError::BadRequest { reason: format!("response unserialisable: {e}") };
+            (500, error_body(&err))
+        }
+    }
+}
+
+/// Parses `/recommend/<slot>/<user>` plus the optional `n` query parameter
+/// (default 10).
+fn parse_recommend(path: &str, request: &Request) -> Result<(String, usize, usize), ServeError> {
+    let bad = |reason: String| ServeError::BadRequest { reason };
+    let mut parts = path.trim_start_matches('/').split('/');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("recommend"), Some(slot), Some(user), None) if !slot.is_empty() => {
+            let user = user
+                .parse::<usize>()
+                .map_err(|_| bad(format!("user must be an integer, got `{user}`")))?;
+            let n = match request.param("n") {
+                None => 10,
+                Some(raw) => raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| bad(format!("n must be a positive integer, got `{raw}`")))?,
+            };
+            Ok((slot.to_owned(), user, n))
+        }
+        _ => Err(ServeError::SlotNotFound { slot: path.to_owned() }),
+    }
+}

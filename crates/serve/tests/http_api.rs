@@ -1,0 +1,92 @@
+//! End-to-end HTTP API behaviour: routes, JSON bodies, typed error
+//! statuses, and the `/stats` ledger.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taamr_serve::{
+    http_get, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig, TopNResponse,
+};
+
+fn start() -> (Server, Arc<Supervisor<taamr_recsys::BprMf>>, std::path::PathBuf) {
+    let dir = common::fresh_dir("http-api");
+    let sup = Arc::new(Supervisor::new(SupervisorConfig::new(&dir)));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+    let config = ServerConfig { deadline: Duration::from_secs(5), ..ServerConfig::default() };
+    let server = Server::start(config, Arc::clone(&sup)).unwrap();
+    (server, sup, dir)
+}
+
+#[test]
+fn the_full_surface_speaks_json() {
+    let (server, sup, _dir) = start();
+    let addr = server.addr();
+
+    // Health.
+    let (status, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, r#"{"ok":true}"#));
+
+    // A recommendation, parseable back into the typed response, matching
+    // what the supervisor serves directly.
+    let (status, body) = http_get(addr, "/recommend/bpr/3?n=7").unwrap();
+    assert_eq!(status, 200);
+    let resp: TopNResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp.user, 3);
+    assert_eq!(resp.items.len(), 7);
+    let direct = sup.top_n("bpr", 3, 7, Duration::from_secs(5)).unwrap();
+    assert_eq!(resp.items, direct.items);
+    assert_eq!(common::score_bits(&resp), common::score_bits(&direct));
+
+    // Default n is 10.
+    let (_, body) = http_get(addr, "/recommend/bpr/0").unwrap();
+    let resp: TopNResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp.items.len(), 10);
+
+    // Typed errors with stable kinds.
+    let (status, body) = http_get(addr, "/recommend/ghost/0").unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("\"slot_not_found\""), "body: {body}");
+
+    let (status, body) = http_get(addr, "/recommend/bpr/999").unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("\"bad_request\""), "body: {body}");
+
+    let (status, _) = http_get(addr, "/recommend/bpr/notanumber").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_get(addr, "/recommend/bpr/0?n=0").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_get(addr, "/nope").unwrap();
+    assert_eq!(status, 404);
+
+    // The accountant's definition of a request is "entered the
+    // supervisor": the three served lists plus the unknown-slot and
+    // out-of-range rejections. Requests the server rejects while parsing
+    // (bad user, n=0, unknown path) never reach it.
+    let (status, body) = http_get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let ledger: LedgerSnapshot = serde_json::from_str(&body).unwrap();
+    assert_eq!(ledger.ok, 3);
+    assert_eq!(ledger.requests, 5, "ledger: {ledger:?}");
+    assert_eq!(ledger.sheds, 0);
+    assert_eq!(ledger.timeouts, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_reentrant_for_new_servers() {
+    let (server, sup, _dir) = start();
+    let addr = server.addr();
+    let (status, _) = http_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+
+    // The port is released: a fresh server can serve the same supervisor.
+    let config = ServerConfig { deadline: Duration::from_secs(5), ..ServerConfig::default() };
+    let server = Server::start(config, Arc::clone(&sup)).unwrap();
+    let (status, _) = http_get(server.addr(), "/recommend/bpr/1?n=3").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}

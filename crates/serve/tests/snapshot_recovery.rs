@@ -1,0 +1,140 @@
+//! Snapshot store robustness: round-trips are bit-exact, corrupt
+//! generations are skipped with a typed record (never a panic), and the
+//! supervisor's recovery falls back to the previous good generation.
+
+mod common;
+
+use std::time::Duration;
+
+use taamr_fault::{flip_bit, with_plan, FaultPlan, FaultSite};
+use taamr_recsys::BprMf;
+use taamr_serve::{ServeError, SnapshotStore, Supervisor, SupervisorConfig, SNAPSHOT_KEEP};
+
+const DEADLINE: Duration = Duration::from_secs(5);
+
+#[test]
+fn round_trip_is_bit_exact_and_generations_accumulate() {
+    let dir = common::fresh_dir("snap-roundtrip");
+    let mut store = SnapshotStore::open(&dir, "bpr").unwrap();
+    let model = common::model(1);
+
+    assert_eq!(store.save(&model, 1).unwrap(), 0);
+    assert_eq!(store.save(&model, 2).unwrap(), 1);
+    assert_eq!(store.generations(), vec![0, 1]);
+
+    let restored = store.restore::<BprMf>().unwrap();
+    assert_eq!(restored.generation, 1, "restore picks the newest generation");
+    assert_eq!(restored.version, 2);
+    assert!(restored.skipped.is_empty());
+    assert_eq!(restored.model, model, "serde round trip is exact");
+}
+
+#[test]
+fn old_generations_are_pruned() {
+    let dir = common::fresh_dir("snap-prune");
+    let mut store = SnapshotStore::open(&dir, "bpr").unwrap();
+    let model = common::model(1);
+    for version in 1..=7 {
+        store.save(&model, version).unwrap();
+    }
+    let gens = store.generations();
+    assert_eq!(gens.len(), SNAPSHOT_KEEP);
+    assert_eq!(gens, vec![3, 4, 5, 6]);
+}
+
+#[test]
+fn injected_corruption_falls_back_to_previous_good_generation() {
+    let dir = common::fresh_dir("snap-corrupt");
+    let mut store = SnapshotStore::open(&dir, "bpr").unwrap();
+    let good = common::model(1);
+    let newer = common::model(2);
+
+    // Write ordinal 1 (the second save) is corrupted just after hitting
+    // disk — the store itself runs on this thread, so the thread-local
+    // plan reaches it.
+    let plan = FaultPlan::new().with(FaultSite::ServeSnapshotCorrupt, 1);
+    let (_, unfired) = with_plan(plan, || {
+        store.save(&good, 1).unwrap();
+        store.save(&newer, 2).unwrap();
+    });
+    assert_eq!(unfired, 0, "the injected corruption must actually fire");
+
+    let restored = store.restore::<BprMf>().unwrap();
+    assert_eq!(restored.generation, 0, "fell back past the corrupt newest generation");
+    assert_eq!(restored.version, 1);
+    assert_eq!(restored.skipped, vec![1], "the corrupt generation is recorded");
+    assert_eq!(restored.model, good);
+
+    // The corrupt file was deleted on load; the good one survived.
+    assert_eq!(store.generations(), vec![0]);
+}
+
+#[test]
+fn no_usable_generation_is_a_typed_error_not_a_panic() {
+    let dir = common::fresh_dir("snap-dead");
+    let mut store = SnapshotStore::open(&dir, "bpr").unwrap();
+    let model = common::model(1);
+    store.save(&model, 1).unwrap();
+    store.save(&model, 2).unwrap();
+    for generation in store.generations() {
+        flip_bit(store.generation_path(generation), 40, 2).unwrap();
+    }
+    let err = store.restore::<BprMf>().unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Snapshot { slot, detail }
+            if slot == "bpr" && detail.contains("no usable snapshot")),
+        "got {err:?}"
+    );
+    assert_eq!(err.status(), 500);
+    assert!(store.generations().is_empty(), "corrupt files are deleted as they fail");
+}
+
+#[test]
+fn supervisor_recovery_falls_back_when_the_newest_snapshot_rots() {
+    let dir = common::fresh_dir("snap-supervisor");
+    let sup = Supervisor::new(SupervisorConfig::new(&dir));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+    let v1_baseline = sup.top_n("bpr", 2, 10, DEADLINE).unwrap();
+
+    // Swap to version 2 (generation 1), then rot that newest snapshot on
+    // disk behind the supervisor's back.
+    sup.swap("bpr", common::model(2)).unwrap();
+    flip_bit(sup.snapshot_path("bpr", 1).unwrap(), 64, 5).unwrap();
+
+    // Crash. Recovery skips the rotten generation 1 and restores the
+    // version-1 model from generation 0 — degraded by one snapshot, but
+    // serving, and byte-identical to the original version-1 scores.
+    sup.kill("bpr").unwrap();
+    let recovered = sup.top_n("bpr", 2, 10, DEADLINE).unwrap();
+    // Incarnation 1 = add_slot, 2 = swap, 3 = this restart.
+    assert_eq!(recovered.incarnation, 3);
+    assert_eq!(recovered.model_version, 1, "fell back to the previous good generation");
+    assert_eq!(recovered.items, v1_baseline.items);
+    assert_eq!(common::score_bits(&recovered), common::score_bits(&v1_baseline));
+}
+
+#[test]
+fn unrecoverable_slot_fails_typed_and_fast() {
+    let dir = common::fresh_dir("snap-unrecoverable");
+    let sup = Supervisor::new(SupervisorConfig::new(&dir));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+    sup.top_n("bpr", 0, 10, DEADLINE).unwrap();
+
+    // Rot every generation, then crash: recovery has nothing to stand on.
+    flip_bit(sup.snapshot_path("bpr", 0).unwrap(), 64, 5).unwrap();
+    sup.kill("bpr").unwrap();
+
+    let err = sup.top_n("bpr", 0, 10, DEADLINE).unwrap_err();
+    assert!(matches!(&err, ServeError::SlotUnavailable { .. }), "got {err:?}");
+    assert_eq!(err.status(), 503);
+
+    // The slot is failed for good: later requests get the same typed
+    // answer immediately instead of a retry storm.
+    let err = sup.top_n("bpr", 0, 10, DEADLINE).unwrap_err();
+    assert!(matches!(&err, ServeError::SlotUnavailable { .. }), "got {err:?}");
+    // ... but other slots (and swaps) are unaffected: a swap installs a
+    // fresh model and clears the failure.
+    sup.swap("bpr", common::model(3)).unwrap();
+    let resp = sup.top_n("bpr", 0, 10, DEADLINE).unwrap();
+    assert_eq!(resp.model_version, 2);
+}

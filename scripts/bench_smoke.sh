@@ -24,6 +24,10 @@
 # thread so the speedup is purely algorithmic), plus the embedding-cache
 # rebuild/hit costs. The engine speedups carry a >=5x acceptance target.
 #
+# It also emits BENCH_serve.json from the `serve_load` bin: sustained
+# top-100 QPS through the HTTP serving layer plus the same load under a
+# crash storm (an actor kill every 25ms), with the supervisor ledger.
+#
 # Finally it runs the table1 experiment binary with telemetry on and copies
 # the resulting span/counter snapshot to BENCH_obs.json (per-stage wall
 # times in ns plus the full counter set from taamr-obs).
@@ -185,6 +189,14 @@ END {
 echo "wrote $SCORING_OUT"
 awk '/speedup/' "$SCORING_OUT"
 
+# --- BENCH_serve.json: serving-layer load test, with and without a crash
+# storm. TAAMR_BENCH_FAST is already exported, so this is the shrunk run;
+# unset it and re-run serve_load by hand for the full checked-in numbers.
+SERVE_OUT=${TAAMR_BENCH_SERVE:-BENCH_serve.json}
+echo "== serve_load (sustained + crash-storm QPS -> $SERVE_OUT)"
+cargo run -q --release -p taamr-bench --bin serve_load -- "$SERVE_OUT"
+echo "wrote $SERVE_OUT"
+
 OBS_OUT=${TAAMR_BENCH_OBS:-BENCH_obs.json}
 echo "== table1 --telemetry (per-stage wall times -> $OBS_OUT)"
 TAAMR_SCALE=tiny cargo run -q --release -p taamr-bench --bin table1 -- \
@@ -197,4 +209,4 @@ echo "wrote $OBS_OUT"
 # fails the run on a missing or mismatched declaration.
 echo "== validate emitted BENCH_*.json schemas"
 cargo run -q --release -p taamr-bench --bin validate_bench -- \
-    "$OUT" "$GEMM_OUT" "$SCORING_OUT" "$OBS_OUT"
+    "$OUT" "$GEMM_OUT" "$SCORING_OUT" "$SERVE_OUT" "$OBS_OUT"

@@ -3,7 +3,8 @@
 # a kernel audit, and a panic audit.
 #
 # The panic audit counts `unwrap()` / `expect(` in the non-test code of the
-# crates hardened for fault tolerance (taamr core, taamr-recsys) and fails
+# crates hardened for fault tolerance (taamr core, taamr-recsys,
+# taamr-serve) and fails
 # if the count grows past the audited baseline: the experiment pipeline and
 # the pairwise trainers promise to degrade or return typed errors
 # (PipelineError, TrainDiverged, PairwiseDiverged) rather than panic, so a
@@ -22,6 +23,7 @@ QUICK=${1:-}
 # (mostly "attack preserves the NCHW shape" style postconditions).
 BASELINE_CORE=10
 BASELINE_RECSYS=0
+BASELINE_SERVE=0
 
 panic_count() {
     local src=$1 n=0 c f
@@ -34,12 +36,15 @@ panic_count() {
     echo "$n"
 }
 
-echo "== panic audit: crates/core, crates/recsys (non-test code)"
+echo "== panic audit: crates/core, crates/recsys, crates/serve (non-test code)"
 core=$(panic_count crates/core/src)
 recsys=$(panic_count crates/recsys/src)
+serve=$(panic_count crates/serve/src)
 echo "crates/core: $core panicking calls (baseline $BASELINE_CORE)"
 echo "crates/recsys: $recsys panicking calls (baseline $BASELINE_RECSYS)"
-if [ "$core" -gt "$BASELINE_CORE" ] || [ "$recsys" -gt "$BASELINE_RECSYS" ]; then
+echo "crates/serve: $serve panicking calls (baseline $BASELINE_SERVE)"
+if [ "$core" -gt "$BASELINE_CORE" ] || [ "$recsys" -gt "$BASELINE_RECSYS" ] \
+    || [ "$serve" -gt "$BASELINE_SERVE" ]; then
     echo "panic audit failed: new unwrap()/expect( in non-test code."
     echo "Use typed errors (PipelineError / *Diverged) instead, or justify"
     echo "the invariant and bump the baseline in scripts/verify.sh."
@@ -108,6 +113,18 @@ cargo run -q --release -p taamr-bench --bin replay -- verify tests/golden_record
 echo "== replay audit: golden records, serial build"
 cargo run -q --release -p taamr-bench --features taamr/serial --bin replay -- \
     verify tests/golden_records
+
+# Serve audit: the serving layer's two headline guarantees — crash recovery
+# restores byte-identical scores from the snapshot, and a hammered model
+# swap shows no errors and a clean version cliff — re-run under the `serial`
+# scoring feature as well as the default, so neither threading schedule can
+# hide a supervision race. (The full workspace pass above already ran every
+# serve test once under the default features.)
+echo "== serve audit: supervision + swap tests (default features)"
+cargo test -p taamr-serve -q --test supervision --test swap
+
+echo "== serve audit: supervision + swap tests (serial feature)"
+cargo test -p taamr-serve --features serial -q --test supervision --test swap
 
 # Perf smoke: the gemm_256 dispatch-overhead guard self-skips without
 # TAAMR_PERF_TESTS=1; enable it here where a release build is available.

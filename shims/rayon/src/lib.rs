@@ -262,6 +262,20 @@ impl<T> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// Fallible collection: `Ok` of the collected successes, or the first error
+/// in input order. (Upstream rayon short-circuits; this eager shim evaluates
+/// every item first, which only costs wasted work, never a different
+/// result.)
+impl<T, E, C: FromParallelIterator<T>> FromParallelIterator<Result<T, E>> for Result<C, E> {
+    fn from_par_iter(items: Vec<Result<T, E>>) -> Self {
+        let mut ok = Vec::with_capacity(items.len());
+        for item in items {
+            ok.push(item?);
+        }
+        Ok(C::from_par_iter(ok))
+    }
+}
+
 /// Conversion into a [`ParIter`].
 pub trait IntoParallelIterator {
     type Item: Send;

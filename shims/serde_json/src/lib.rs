@@ -313,13 +313,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte sequence is valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal run of unescaped bytes in one
+                    // append. `"` and `\` are ASCII, so splitting there
+                    // keeps the run valid UTF-8 (input is a &str), and
+                    // validating per run — not per character — keeps long
+                    // strings linear.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error("invalid utf-8".into()))?;
-                    let ch = rest.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
