@@ -1,118 +1,108 @@
-//! Parallel per-item attack execution.
+//! The parallel per-item batch driver behind [`Attack::perturb_batch`].
 //!
 //! The pipeline attacks every item of a source category independently: each
-//! item has its own image, its own RNG seed, and a result that must not
-//! depend on any other item. [`par_attack_batch`] exploits exactly that
-//! independence — items are split into chunks, each chunk runs on a worker
-//! thread with its own model clone, and *within* a chunk every item is still
-//! attacked as a batch of one with its own seed. Chunk size and thread count
-//! are therefore pure scheduling knobs: the output is bitwise identical to a
-//! serial per-item loop.
+//! item has its own payload row, its own RNG seed derived via
+//! [`Attack::item_seed`], and a result that must not depend on any other
+//! item. The driver exploits exactly that independence — items are split
+//! into chunks, each chunk runs on a worker thread with its own
+//! [`crate::TargetWorker`], and *within* a chunk every item is still bound
+//! and attacked as a batch of one with its own seed. Chunk size and thread
+//! count are therefore pure scheduling knobs: the output is bitwise
+//! identical to a serial per-item loop.
 
 use rayon::prelude::*;
-use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
 
-use crate::{AdversarialBatch, Attack, AttackGoal};
+use crate::{AdversarialBatch, Attack, AttackError, AttackGoal, AttackTarget};
 
-/// Derives the RNG seed for one attacked item from the experiment's master
-/// seed: `master ^ (item_id << 20)`.
-///
-/// The shift keeps small item ids out of the master seed's low bits;
-/// `StdRng`'s SplitMix64 seeding then disperses the XOR-combined word, so
-/// neighbouring items draw unrelated streams.
-pub fn item_seed(master_seed: u64, item_id: u64) -> u64 {
-    master_seed ^ item_id.wrapping_shl(20)
-}
-
-/// Attacks every image row of `images` independently, in parallel.
-///
-/// Item `i` is perturbed as a single-image batch with
-/// [`Attack::perturb_seeded`] and `item_seeds[i]`, so its result depends
-/// only on `(model, image, goal, seed)`. `chunk_size` controls how many
-/// items a worker handles per model clone; it does not affect the output.
-///
-/// # Panics
-///
-/// Panics if `images` is not rank 4, `item_seeds` does not hold one seed
-/// per image, or `chunk_size` is zero.
-pub fn par_attack_batch<M>(
-    model: &M,
-    attack: &dyn Attack,
-    images: &Tensor,
+/// The default body of [`Attack::perturb_batch`]; generic so trait objects
+/// (`dyn Attack`) can dispatch into it.
+pub(crate) fn drive<A: Attack + ?Sized>(
+    attack: &A,
+    target: &dyn AttackTarget,
+    batch: &Tensor,
     goal: AttackGoal,
-    item_seeds: &[u64],
+    master_seed: u64,
+    items: &[u64],
     chunk_size: usize,
-) -> AdversarialBatch
-where
-    M: ImageClassifier + Clone + Send + Sync + 'static,
-{
-    assert_eq!(images.rank(), 4, "par_attack_batch expects NCHW images");
-    let n = images.dims()[0];
-    assert_eq!(item_seeds.len(), n, "one seed per attacked item required");
+) -> Result<AdversarialBatch, AttackError> {
+    assert!(batch.rank() >= 2, "perturb_batch expects one payload row per item");
+    let n = batch.dims()[0];
+    assert_eq!(items.len(), n, "one item id per batch row required");
     assert!(chunk_size > 0, "chunk size must be positive");
     // Counted at batch entry (not per worker chunk) so the value is
     // invariant under thread count and chunking.
     taamr_obs::add(taamr_obs::Counter::AttackItems, n as u64);
 
     let sample_dims = {
-        let mut d = images.dims().to_vec();
+        let mut d = batch.dims().to_vec();
         d[0] = 1;
         d
     };
     let sample_len: usize = sample_dims[1..].iter().product();
-    let src = images.as_slice();
-    let items: Vec<(Tensor, u64)> = (0..n)
+    let src = batch.as_slice();
+    let rows: Vec<(Tensor, u64)> = (0..n)
         .map(|i| {
             let data = src[i * sample_len..(i + 1) * sample_len].to_vec();
-            let img = Tensor::from_vec(data, &sample_dims).expect("row shape is consistent");
-            (img, item_seeds[i])
+            let row = Tensor::from_vec(data, &sample_dims).expect("row shape is consistent");
+            (row, items[i])
         })
         .collect();
 
-    let per_item: Vec<AdversarialBatch> = items
+    let per_item: Vec<Result<AdversarialBatch, AttackError>> = rows
         .par_chunks(chunk_size)
         .map_init(
-            || model.clone(),
-            |m, chunk| {
+            || target.worker(),
+            |worker, chunk| {
                 chunk
                     .iter()
-                    .map(|(img, seed)| {
-                        attack.perturb_seeded(m as &mut dyn ImageClassifier, img, goal, *seed)
+                    .map(|(row, item)| {
+                        worker.bind(*item);
+                        attack.perturb_seeded(
+                            worker.as_mut(),
+                            row,
+                            goal,
+                            attack.item_seed(master_seed, *item),
+                        )
                     })
-                    .collect::<Vec<AdversarialBatch>>()
+                    .collect::<Vec<Result<AdversarialBatch, AttackError>>>()
             },
         )
-        .collect::<Vec<Vec<AdversarialBatch>>>()
+        .collect::<Vec<Vec<Result<AdversarialBatch, AttackError>>>>()
         .concat();
 
     let mut data = Vec::with_capacity(n * sample_len);
     let mut predictions = Vec::with_capacity(n);
     let mut success = Vec::with_capacity(n);
+    // First error in item order wins, so failures are as deterministic as
+    // successes.
     for item in per_item {
-        data.extend_from_slice(item.images.as_slice());
+        let item = item?;
+        data.extend_from_slice(item.data.as_slice());
         predictions.extend(item.predictions);
         success.extend(item.success);
     }
-    AdversarialBatch {
-        images: Tensor::from_vec(data, images.dims()).expect("rows reassemble to input shape"),
+    Ok(AdversarialBatch {
+        data: Tensor::from_vec(data, batch.dims()).expect("rows reassemble to input shape"),
         predictions,
         success,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Bim, Epsilon, Fgsm, Pgd};
+    use crate::{Bim, Epsilon, Fgsm, Pgd, WhiteBox, WhiteBoxTarget};
     use taamr_nn::{TinyResNet, TinyResNetConfig};
     use taamr_tensor::seeded_rng;
+
+    const MASTER: u64 = 12345;
 
     fn setup(n: usize) -> (TinyResNet, Tensor, Vec<u64>) {
         let net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
         let x = Tensor::rand_uniform(&[n, 3, 16, 16], 0.05, 0.95, &mut seeded_rng(1));
-        let seeds: Vec<u64> = (0..n as u64).map(|i| item_seed(12345, i)).collect();
-        (net, x, seeds)
+        let items: Vec<u64> = (0..n as u64).collect();
+        (net, x, items)
     }
 
     /// Reference implementation: the serial per-item loop the parallel path
@@ -122,7 +112,7 @@ mod tests {
         attack: &dyn Attack,
         images: &Tensor,
         goal: AttackGoal,
-        seeds: &[u64],
+        items: &[u64],
     ) -> AdversarialBatch {
         let mut m = net.clone();
         let n = images.dims()[0];
@@ -132,16 +122,18 @@ mod tests {
         let mut data = Vec::new();
         let mut predictions = Vec::new();
         let mut success = Vec::new();
-        for (i, &seed) in seeds.iter().enumerate().take(n) {
+        for (i, &item) in items.iter().enumerate().take(n) {
             let row = images.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec();
             let img = Tensor::from_vec(row, &dims).unwrap();
-            let out = attack.perturb_seeded(&mut m, &img, goal, seed);
-            data.extend_from_slice(out.images.as_slice());
+            let out = attack
+                .perturb_seeded(&mut WhiteBox(&mut m), &img, goal, attack.item_seed(MASTER, item))
+                .unwrap();
+            data.extend_from_slice(out.data.as_slice());
             predictions.extend(out.predictions);
             success.extend(out.success);
         }
         AdversarialBatch {
-            images: Tensor::from_vec(data, images.dims()).unwrap(),
+            data: Tensor::from_vec(data, images.dims()).unwrap(),
             predictions,
             success,
         }
@@ -149,18 +141,19 @@ mod tests {
 
     #[test]
     fn matches_serial_loop_for_every_attack() {
-        let (net, x, seeds) = setup(5);
+        let (net, x, items) = setup(5);
         let goal = AttackGoal::Targeted(2);
         let eps = Epsilon::from_255(8.0);
         let attacks: [&dyn Attack; 3] =
             [&Fgsm::new(eps), &Bim::new(eps, 3), &Pgd::with_steps(eps, 3)];
         for attack in attacks {
-            let reference = serial_per_item(&net, attack, &x, goal, &seeds);
+            let reference = serial_per_item(&net, attack, &x, goal, &items);
+            let target = WhiteBoxTarget::new(&net);
             for threads in [1usize, 2, 8] {
                 let par = rayon::with_threads(threads, || {
-                    par_attack_batch(&net, attack, &x, goal, &seeds, 2)
+                    attack.perturb_batch(&target, &x, goal, MASTER, &items, 2).unwrap()
                 });
-                assert_eq!(par.images, reference.images, "{} x{threads}", attack.name());
+                assert_eq!(par.data, reference.data, "{} x{threads}", attack.name());
                 assert_eq!(par.predictions, reference.predictions);
                 assert_eq!(par.success, reference.success);
             }
@@ -169,62 +162,67 @@ mod tests {
 
     #[test]
     fn chunk_size_does_not_change_results() {
-        let (net, x, seeds) = setup(6);
+        let (net, x, items) = setup(6);
         let goal = AttackGoal::Targeted(1);
         let attack = Pgd::with_steps(Epsilon::from_255(8.0), 3);
-        let a = par_attack_batch(&net, &attack, &x, goal, &seeds, 1);
-        let b = par_attack_batch(&net, &attack, &x, goal, &seeds, 4);
-        let c = par_attack_batch(&net, &attack, &x, goal, &seeds, 100);
+        let target = WhiteBoxTarget::new(&net);
+        let a = attack.perturb_batch(&target, &x, goal, MASTER, &items, 1).unwrap();
+        let b = attack.perturb_batch(&target, &x, goal, MASTER, &items, 4).unwrap();
+        let c = attack.perturb_batch(&target, &x, goal, MASTER, &items, 100).unwrap();
         assert_eq!(a, b);
         assert_eq!(b, c);
     }
 
     #[test]
     fn respects_epsilon_under_concurrency() {
-        let (net, x, seeds) = setup(6);
+        let (net, x, items) = setup(6);
+        let target = WhiteBoxTarget::new(&net);
         for eps in Epsilon::paper_sweep() {
             let attack = Pgd::with_steps(eps, 4);
             let adv = rayon::with_threads(8, || {
-                par_attack_batch(&net, &attack, &x, AttackGoal::Targeted(0), &seeds, 2)
+                attack
+                    .perturb_batch(&target, &x, AttackGoal::Targeted(0), MASTER, &items, 2)
+                    .unwrap()
             });
             assert!(
                 adv.linf_distance(&x) <= eps.as_fraction() + 1e-6,
                 "l∞ budget violated at {eps}"
             );
-            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(adv.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
 
     #[test]
-    fn seeds_matter_per_item() {
-        let (net, x, seeds) = setup(3);
+    fn master_seed_matters_per_item() {
+        let (net, x, items) = setup(3);
         let goal = AttackGoal::Targeted(2);
         let attack = Pgd::with_steps(Epsilon::from_255(16.0), 2);
-        let a = par_attack_batch(&net, &attack, &x, goal, &seeds, 2);
-        let other: Vec<u64> = seeds.iter().map(|s| s ^ 0xdead_beef).collect();
-        let b = par_attack_batch(&net, &attack, &x, goal, &other, 2);
-        assert_ne!(a.images, b.images, "PGD random starts should differ across seeds");
+        let target = WhiteBoxTarget::new(&net);
+        let a = attack.perturb_batch(&target, &x, goal, MASTER, &items, 2).unwrap();
+        let b = attack.perturb_batch(&target, &x, goal, MASTER ^ 0xdead_beef, &items, 2).unwrap();
+        assert_ne!(a.data, b.data, "PGD random starts should differ across master seeds");
     }
 
     #[test]
     fn content_hash_is_thread_invariant_and_bit_sensitive() {
         // The replay harness pins attack artifacts via
         // AdversarialBatch::content_hash; the digest must be one number at
-        // every thread count, and any single perturbed pixel must move it.
-        let (net, x, seeds) = setup(5);
+        // every thread count, and any single perturbed value must move it.
+        let (net, x, items) = setup(5);
         let goal = AttackGoal::Targeted(2);
         let attack = Pgd::with_steps(Epsilon::from_255(8.0), 3);
-        let reference = par_attack_batch(&net, &attack, &x, goal, &seeds, 2);
+        let target = WhiteBoxTarget::new(&net);
+        let reference = attack.perturb_batch(&target, &x, goal, MASTER, &items, 2).unwrap();
         for threads in [1usize, 2, 8] {
             let h = rayon::with_threads(threads, || {
-                par_attack_batch(&net, &attack, &x, goal, &seeds, 2).content_hash()
+                attack.perturb_batch(&target, &x, goal, MASTER, &items, 2).unwrap().content_hash()
             });
             assert_eq!(h, reference.content_hash(), "content hash at {threads} threads");
         }
         let mut tweaked = reference.clone();
-        let mut pixels = tweaked.images.as_slice().to_vec();
+        let mut pixels = tweaked.data.as_slice().to_vec();
         pixels[0] = f32::from_bits(pixels[0].to_bits() ^ 1);
-        tweaked.images = Tensor::from_vec(pixels, reference.images.dims()).unwrap();
+        tweaked.data = Tensor::from_vec(pixels, reference.data.dims()).unwrap();
         assert_ne!(
             tweaked.content_hash(),
             reference.content_hash(),
@@ -239,17 +237,19 @@ mod tests {
 
     #[test]
     fn item_seed_is_injective_over_small_ids() {
+        let attack = Fgsm::new(Epsilon::from_255(4.0));
         let mut seen = std::collections::HashSet::new();
         for i in 0..1000u64 {
-            assert!(seen.insert(item_seed(42, i)));
+            assert!(seen.insert(attack.item_seed(42, i)));
         }
     }
 
     #[test]
-    #[should_panic(expected = "one seed per attacked item")]
-    fn rejects_seed_count_mismatch() {
+    #[should_panic(expected = "one item id per batch row")]
+    fn rejects_item_count_mismatch() {
         let (net, x, _) = setup(3);
         let attack = Fgsm::new(Epsilon::from_255(4.0));
-        par_attack_batch(&net, &attack, &x, AttackGoal::Targeted(0), &[1, 2], 2);
+        let target = WhiteBoxTarget::new(&net);
+        let _ = attack.perturb_batch(&target, &x, AttackGoal::Targeted(0), MASTER, &[1, 2], 2);
     }
 }

@@ -4,7 +4,10 @@ use rand::rngs::StdRng;
 use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
 
-use crate::{finish_batch, goal_sign_and_labels, AdversarialBatch, Attack, AttackGoal, Epsilon};
+use crate::{
+    finish_batch, goal_sign_and_labels, Access, AdversarialBatch, Attack, AttackError,
+    AttackGoal, Budget, Epsilon, Surface, TargetWorker, ThreatModel,
+};
 
 /// Iterated FGSM: `steps` signed-gradient steps of size `alpha`, projecting
 /// back into the ε-ball (and `[0, 1]`) after every step. Unlike [`crate::Pgd`],
@@ -38,6 +41,11 @@ impl Bim {
         assert!(alpha > 0.0, "alpha must be positive");
         self.alpha = alpha;
         self
+    }
+
+    /// The attack's `l∞` budget.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
     }
 
     /// Number of gradient steps.
@@ -75,27 +83,37 @@ impl Attack for Bim {
         "BIM"
     }
 
-    fn epsilon(&self) -> Epsilon {
-        self.epsilon
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel { surface: Surface::Pixels, access: Access::WhiteBox }
+    }
+
+    fn budget(&self) -> Budget {
+        Budget::PixelLinf(self.epsilon)
     }
 
     fn perturb(
         &self,
-        model: &mut dyn ImageClassifier,
-        images: &Tensor,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
         goal: AttackGoal,
         _rng: &mut StdRng,
-    ) -> AdversarialBatch {
-        assert_eq!(images.rank(), 4, "BIM expects an NCHW batch");
-        let adv = self.iterate(model, images, images.clone(), goal);
-        finish_batch(model, images, adv, self.epsilon, goal)
+    ) -> Result<AdversarialBatch, AttackError> {
+        assert_eq!(clean.rank(), 4, "BIM expects an NCHW batch");
+        let adv = {
+            let model = target.classifier().ok_or(AttackError::UnsupportedTarget {
+                attack: "BIM",
+                needs: "white-box classifier gradients",
+            })?;
+            self.iterate(model, clean, clean.clone(), goal)
+        };
+        Ok(finish_batch(target, clean, adv, self.epsilon, goal))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Fgsm;
+    use crate::{Fgsm, WhiteBox};
     use taamr_nn::{TinyResNet, TinyResNetConfig};
     use taamr_tensor::seeded_rng;
 
@@ -109,9 +127,11 @@ mod tests {
     fn respects_budget() {
         let (mut net, x) = setup();
         let eps = Epsilon::from_255(8.0);
-        let adv = Bim::new(eps, 5).perturb(&mut net, &x, AttackGoal::Targeted(1), &mut seeded_rng(2));
+        let adv = Bim::new(eps, 5)
+            .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(1), &mut seeded_rng(2))
+            .unwrap();
         assert!(adv.linf_distance(&x) <= eps.as_fraction() + 1e-6);
-        assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(adv.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -120,16 +140,19 @@ mod tests {
         let eps = Epsilon::from_255(8.0);
         let target = 3usize;
         let goal = AttackGoal::Targeted(target);
-        let fgsm = Fgsm::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(3));
-        let bim = Bim::new(eps, 10).perturb(&mut net, &x, goal, &mut seeded_rng(3));
+        let fgsm =
+            Fgsm::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(3)).unwrap();
+        let bim = Bim::new(eps, 10)
+            .perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(3))
+            .unwrap();
         // Compare mean target probability: the iterative attack should not
         // be weaker.
         let mean_p = |net: &mut TinyResNet, imgs: &Tensor| -> f32 {
             let p = net.probabilities(imgs);
             (0..3).map(|i| p.at(&[i, target])).sum::<f32>() / 3.0
         };
-        let pf = mean_p(&mut net, &fgsm.images);
-        let pb = mean_p(&mut net, &bim.images);
+        let pf = mean_p(&mut net, &fgsm.data);
+        let pb = mean_p(&mut net, &bim.data);
         assert!(pb >= pf - 1e-3, "BIM {pb} vs FGSM {pf}");
     }
 
@@ -138,11 +161,13 @@ mod tests {
         let (mut net, x) = setup();
         let eps = Epsilon::from_255(8.0);
         let goal = AttackGoal::Targeted(2);
-        let fgsm = Fgsm::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(4));
+        let fgsm =
+            Fgsm::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(4)).unwrap();
         let bim = Bim::new(eps, 1)
             .with_alpha(eps.as_fraction())
-            .perturb(&mut net, &x, goal, &mut seeded_rng(4));
-        for (a, b) in fgsm.images.iter().zip(bim.images.iter()) {
+            .perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(4))
+            .unwrap();
+        for (a, b) in fgsm.data.iter().zip(bim.data.iter()) {
             assert!((a - b).abs() < 1e-6);
         }
     }

@@ -98,13 +98,15 @@ pub fn adversarial_finetune(
                 }
                 for (label, members) in by_label {
                     let sub = gather_rows(&batch, &members, sample_len);
-                    let adv = attack.perturb(
-                        net,
-                        &sub,
-                        AttackGoal::Untargeted(label),
-                        &mut attack_rng,
-                    );
-                    scatter_rows(&mut batch, &adv.images, &members, sample_len);
+                    let adv = attack
+                        .perturb(
+                            &mut crate::WhiteBox(&mut *net),
+                            &sub,
+                            AttackGoal::Untargeted(label),
+                            &mut attack_rng,
+                        )
+                        .expect("white-box PGD cannot fail on a white-box worker");
+                    scatter_rows(&mut batch, &adv.data, &members, sample_len);
                 }
             }
             net.zero_grads();
@@ -213,7 +215,14 @@ mod tests {
             let members: Vec<usize> =
                 (0..labels.len()).filter(|&i| labels[i] == label).collect();
             let sub = gather_rows(images, &members, sample_len);
-            let adv = attack.perturb(net, &sub, AttackGoal::Untargeted(label), &mut rng);
+            let adv = attack
+                .perturb(
+                    &mut crate::WhiteBox(&mut *net),
+                    &sub,
+                    AttackGoal::Untargeted(label),
+                    &mut rng,
+                )
+                .unwrap();
             fooled += adv.success.iter().filter(|&&s| s).count();
             total += adv.success.len();
         }

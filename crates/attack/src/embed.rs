@@ -1,0 +1,209 @@
+//! Multi-step embedding-space attack on the recommender's item features.
+//!
+//! Instead of routing a perturbation through pixels and the CNN, the
+//! adversary edits the item's feature vector directly inside an `l2` ball —
+//! the threat model AMR (Tang et al., TKDE 2019) trains against. Two step
+//! rules are provided: coordinate-sign ascent (the FGSM analogue in feature
+//! space) and normalised-gradient `l2` ascent.
+
+use rand::rngs::StdRng;
+use taamr_tensor::Tensor;
+
+use crate::{
+    Access, AdversarialBatch, Attack, AttackError, AttackGoal, Budget, Surface, TargetWorker,
+    ThreatModel,
+};
+
+/// The per-step update rule of an [`EmbedAttack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EmbedStep {
+    /// Coordinate-wise sign ascent, scaled so each step moves `radius/steps`
+    /// in `l2`.
+    Sign,
+    /// Step along the normalised score gradient (`l2` steepest ascent).
+    L2,
+}
+
+/// White-box embedding-space attacker: `steps` ascent steps on the bound
+/// item's feature vector, projected back into the `l2` ball of the given
+/// radius after every step.
+///
+/// The recommenders in this reproduction score bilinearly in the item
+/// features, so the score gradient is constant over the ball and is
+/// computed once per item; nonlinear models would re-evaluate it per step
+/// through [`crate::EmbeddingAccess::grad`].
+///
+/// Success means the item's probe-mean score strictly increased. The result
+/// batch carries the perturbed feature rows as its payload and no class
+/// predictions (there is no classifier in this threat model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbedAttack {
+    radius: f32,
+    steps: usize,
+    rule: EmbedStep,
+}
+
+impl EmbedAttack {
+    /// Sign-ascent variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite or `steps` is zero.
+    pub fn sign(radius: f32, steps: usize) -> Self {
+        Self::with_rule(radius, steps, EmbedStep::Sign)
+    }
+
+    /// Normalised-gradient `l2` variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite or `steps` is zero.
+    pub fn l2(radius: f32, steps: usize) -> Self {
+        Self::with_rule(radius, steps, EmbedStep::L2)
+    }
+
+    fn with_rule(radius: f32, steps: usize, rule: EmbedStep) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        assert!(steps > 0, "step count must be positive");
+        EmbedAttack { radius, steps, rule }
+    }
+
+    /// The `l2` ball radius.
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Number of ascent steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|&x| x * x).sum::<f32>().sqrt()
+}
+
+impl Attack for EmbedAttack {
+    fn name(&self) -> &'static str {
+        match self.rule {
+            EmbedStep::Sign => "EmbedSign",
+            EmbedStep::L2 => "EmbedL2",
+        }
+    }
+
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel { surface: Surface::Embeddings, access: Access::WhiteBox }
+    }
+
+    fn budget(&self) -> Budget {
+        Budget::EmbedL2(self.radius)
+    }
+
+    fn perturb(
+        &self,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
+        goal: AttackGoal,
+        _rng: &mut StdRng,
+    ) -> Result<AdversarialBatch, AttackError> {
+        assert_eq!(clean.rank(), 2, "embedding attack expects [n, d] feature rows");
+        assert_eq!(clean.dims()[0], 1, "embedding attack perturbs one item per call");
+        // Embedding attacks promote the bound item for the probe users; the
+        // classifier-goal class has no role in feature space.
+        let _ = goal;
+        let emb = target.embedding().ok_or(AttackError::UnsupportedTarget {
+            attack: match self.rule {
+                EmbedStep::Sign => "EmbedSign",
+                EmbedStep::L2 => "EmbedL2",
+            },
+            needs: "white-box embedding access",
+        })?;
+        let d = clean.dims()[1];
+        assert_eq!(emb.dim(), d, "feature row width must match the model's feature_dim");
+        let clean_row = clean.as_slice();
+        let step = self.radius / self.steps as f32;
+        let grad = emb.grad();
+        taamr_obs::add(taamr_obs::Counter::EmbedAttackSteps, self.steps as u64);
+        let mut delta = vec![0.0f32; d];
+        for _ in 0..self.steps {
+            match self.rule {
+                EmbedStep::Sign => {
+                    // sign(g)/√d has unit l2 norm (when no coordinate
+                    // vanishes), so each step moves ≈ `step` in l2.
+                    let scale = step / (d as f32).sqrt();
+                    for (dv, &g) in delta.iter_mut().zip(&grad) {
+                        *dv += scale * g.signum();
+                    }
+                }
+                EmbedStep::L2 => {
+                    let norm = l2_norm(&grad);
+                    if norm > 1e-12 {
+                        let scale = step / norm;
+                        for (dv, &g) in delta.iter_mut().zip(&grad) {
+                            *dv += scale * g;
+                        }
+                    }
+                }
+            }
+            // Project back into the l2 ball after every step.
+            let norm = l2_norm(&delta);
+            if norm > self.radius {
+                let scale = self.radius / norm;
+                for dv in delta.iter_mut() {
+                    *dv *= scale;
+                }
+            }
+        }
+        let adv_row: Vec<f32> =
+            clean_row.iter().zip(&delta).map(|(&c, &dv)| c + dv).collect();
+        let adv_score = emb.score(&adv_row);
+        let success = adv_score > emb.clean_score();
+        let data = Tensor::from_vec(adv_row, clean.dims()).expect("row keeps the input shape");
+        let predictions = target.measure(&data).unwrap_or_default();
+        Ok(AdversarialBatch { data, predictions, success: vec![success] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WhiteBox;
+    use taamr_tensor::seeded_rng;
+
+    #[test]
+    fn declares_embedding_threat_model_and_budget() {
+        let s = EmbedAttack::sign(0.5, 5);
+        assert_eq!(s.name(), "EmbedSign");
+        assert_eq!(
+            s.threat_model(),
+            ThreatModel { surface: Surface::Embeddings, access: Access::WhiteBox }
+        );
+        assert_eq!(s.budget(), Budget::EmbedL2(0.5));
+        assert_eq!(EmbedAttack::l2(0.25, 3).name(), "EmbedL2");
+    }
+
+    #[test]
+    fn embedding_attack_on_pixel_target_is_a_typed_error() {
+        let mut net = taamr_nn::TinyResNet::new(
+            &taamr_nn::TinyResNetConfig::tiny_for_tests(4),
+            &mut seeded_rng(0),
+        );
+        let clean = Tensor::from_vec(vec![0.5; 8], &[1, 8]).unwrap();
+        let err = EmbedAttack::sign(0.5, 2)
+            .perturb(&mut WhiteBox(&mut net), &clean, AttackGoal::Targeted(0), &mut seeded_rng(1))
+            .expect_err("white-box pixel worker grants no embedding access");
+        assert!(matches!(err, AttackError::UnsupportedTarget { attack: "EmbedSign", .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn rejects_non_positive_radius() {
+        EmbedAttack::l2(0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "step count must be positive")]
+    fn rejects_zero_steps() {
+        EmbedAttack::sign(0.5, 0);
+    }
+}

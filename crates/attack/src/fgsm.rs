@@ -1,10 +1,12 @@
 //! Fast Gradient Sign Method (Goodfellow et al., ICLR 2015).
 
 use rand::rngs::StdRng;
-use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
 
-use crate::{finish_batch, goal_sign_and_labels, AdversarialBatch, Attack, AttackGoal, Epsilon};
+use crate::{
+    finish_batch, goal_sign_and_labels, Access, AdversarialBatch, Attack, AttackError,
+    AttackGoal, Budget, Epsilon, Surface, TargetWorker, ThreatModel,
+};
 
 /// One-step signed-gradient attack (paper Eq. 5):
 ///
@@ -22,6 +24,11 @@ impl Fgsm {
     pub fn new(epsilon: Epsilon) -> Self {
         Fgsm { epsilon }
     }
+
+    /// The attack's `l∞` budget.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
 }
 
 impl Attack for Fgsm {
@@ -29,31 +36,42 @@ impl Attack for Fgsm {
         "FGSM"
     }
 
-    fn epsilon(&self) -> Epsilon {
-        self.epsilon
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel { surface: Surface::Pixels, access: Access::WhiteBox }
+    }
+
+    fn budget(&self) -> Budget {
+        Budget::PixelLinf(self.epsilon)
     }
 
     fn perturb(
         &self,
-        model: &mut dyn ImageClassifier,
-        images: &Tensor,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
         goal: AttackGoal,
         _rng: &mut StdRng,
-    ) -> AdversarialBatch {
-        assert_eq!(images.rank(), 4, "FGSM expects an NCHW batch");
-        taamr_obs::incr(taamr_obs::Counter::AttackGradSteps);
-        let (sign, labels) = goal_sign_and_labels(goal, images.dims()[0]);
-        let (_, grad) = model.loss_input_grad(images, &labels);
-        let step = grad.signum().scaled(sign * self.epsilon.as_fraction());
-        let adv = images + &step;
-        finish_batch(model, images, adv, self.epsilon, goal)
+    ) -> Result<AdversarialBatch, AttackError> {
+        assert_eq!(clean.rank(), 4, "FGSM expects an NCHW batch");
+        let adv = {
+            let model = target.classifier().ok_or(AttackError::UnsupportedTarget {
+                attack: "FGSM",
+                needs: "white-box classifier gradients",
+            })?;
+            taamr_obs::incr(taamr_obs::Counter::AttackGradSteps);
+            let (sign, labels) = goal_sign_and_labels(goal, clean.dims()[0]);
+            let (_, grad) = model.loss_input_grad(clean, &labels);
+            let step = grad.signum().scaled(sign * self.epsilon.as_fraction());
+            clean + &step
+        };
+        Ok(finish_batch(target, clean, adv, self.epsilon, goal))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taamr_nn::{TinyResNet, TinyResNetConfig};
+    use crate::WhiteBox;
+    use taamr_nn::{ImageClassifier, TinyResNet, TinyResNetConfig};
     use taamr_tensor::seeded_rng;
 
     fn setup() -> (TinyResNet, Tensor) {
@@ -66,10 +84,36 @@ mod tests {
     fn respects_linf_budget_and_pixel_range() {
         let (mut net, x) = setup();
         for eps in Epsilon::paper_sweep() {
-            let adv = Fgsm::new(eps).perturb(&mut net, &x, AttackGoal::Targeted(1), &mut seeded_rng(2));
+            let adv = Fgsm::new(eps)
+                .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(1), &mut seeded_rng(2))
+                .unwrap();
             assert!(adv.linf_distance(&x) <= eps.as_fraction() + 1e-6);
-            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(adv.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(Fgsm::new(eps).budget().holds(&x, &adv.data));
         }
+    }
+
+    #[test]
+    fn declares_white_box_pixel_threat_model() {
+        let a = Fgsm::new(Epsilon::from_255(8.0));
+        assert_eq!(
+            a.threat_model(),
+            ThreatModel { surface: Surface::Pixels, access: Access::WhiteBox }
+        );
+        assert_eq!(a.budget(), Budget::PixelLinf(Epsilon::from_255(8.0)));
+    }
+
+    #[test]
+    fn gradient_attack_on_gradientless_target_is_a_typed_error() {
+        struct NoAccess;
+        impl TargetWorker for NoAccess {
+            fn bind(&mut self, _item: u64) {}
+        }
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        let err = Fgsm::new(Epsilon::from_255(8.0))
+            .perturb(&mut NoAccess, &x, AttackGoal::Targeted(0), &mut seeded_rng(2))
+            .expect_err("no gradients available");
+        assert!(matches!(err, AttackError::UnsupportedTarget { attack: "FGSM", .. }));
     }
 
     #[test]
@@ -78,14 +122,16 @@ mod tests {
         let target = 2usize;
         let p_before: f32 =
             (0..3).map(|i| net.probabilities(&x).at(&[i, target])).sum();
-        let adv = Fgsm::new(Epsilon::from_255(16.0)).perturb(
-            &mut net,
-            &x,
-            AttackGoal::Targeted(target),
-            &mut seeded_rng(3),
-        );
+        let adv = Fgsm::new(Epsilon::from_255(16.0))
+            .perturb(
+                &mut WhiteBox(&mut net),
+                &x,
+                AttackGoal::Targeted(target),
+                &mut seeded_rng(3),
+            )
+            .unwrap();
         let p_after: f32 =
-            (0..3).map(|i| net.probabilities(&adv.images).at(&[i, target])).sum();
+            (0..3).map(|i| net.probabilities(&adv.data).at(&[i, target])).sum();
         assert!(p_after > p_before, "{p_before} -> {p_after}");
     }
 
@@ -95,44 +141,37 @@ mod tests {
         let preds = net.predict(&x);
         let src = preds[0];
         let p_before = net.probabilities(&x).at(&[0, src]);
-        let adv = Fgsm::new(Epsilon::from_255(16.0)).perturb(
-            &mut net,
-            &x,
-            AttackGoal::Untargeted(src),
-            &mut seeded_rng(4),
-        );
-        let p_after = net.probabilities(&adv.images).at(&[0, src]);
+        let adv = Fgsm::new(Epsilon::from_255(16.0))
+            .perturb(
+                &mut WhiteBox(&mut net),
+                &x,
+                AttackGoal::Untargeted(src),
+                &mut seeded_rng(4),
+            )
+            .unwrap();
+        let p_after = net.probabilities(&adv.data).at(&[0, src]);
         assert!(p_after < p_before, "{p_before} -> {p_after}");
     }
 
     #[test]
     fn is_deterministic() {
         let (mut net, x) = setup();
-        let a = Fgsm::new(Epsilon::from_255(8.0)).perturb(
-            &mut net,
-            &x,
-            AttackGoal::Targeted(0),
-            &mut seeded_rng(5),
-        );
-        let b = Fgsm::new(Epsilon::from_255(8.0)).perturb(
-            &mut net,
-            &x,
-            AttackGoal::Targeted(0),
-            &mut seeded_rng(99),
-        );
+        let a = Fgsm::new(Epsilon::from_255(8.0))
+            .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(0), &mut seeded_rng(5))
+            .unwrap();
+        let b = Fgsm::new(Epsilon::from_255(8.0))
+            .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(0), &mut seeded_rng(99))
+            .unwrap();
         // FGSM ignores the RNG: same input, same output.
-        assert_eq!(a.images, b.images);
+        assert_eq!(a.data, b.data);
     }
 
     #[test]
     fn success_flags_match_predictions() {
         let (mut net, x) = setup();
-        let adv = Fgsm::new(Epsilon::from_255(8.0)).perturb(
-            &mut net,
-            &x,
-            AttackGoal::Targeted(1),
-            &mut seeded_rng(6),
-        );
+        let adv = Fgsm::new(Epsilon::from_255(8.0))
+            .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(1), &mut seeded_rng(6))
+            .unwrap();
         for (p, s) in adv.predictions.iter().zip(&adv.success) {
             assert_eq!(*s, *p == 1);
         }

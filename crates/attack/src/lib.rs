@@ -1,108 +1,177 @@
-//! Adversarial image attacks: FGSM, BIM and PGD, targeted and untargeted.
+//! Adversarial attacks against the recommendation pipeline, polymorphic
+//! over threat models.
 //!
-//! These are the attacks the paper runs through CleverHans, re-implemented
-//! against the [`taamr_nn::ImageClassifier`] interface:
+//! Every attacker implements the one [`Attack`] trait and declares its
+//! [`ThreatModel`] — which [`Surface`] it perturbs and what [`Access`] it
+//! assumes — and its [`Budget`] (the norm ball it promises to stay in):
 //!
-//! * [`Fgsm`] — the Fast Gradient Sign Method (paper Eq. 5): one signed
-//!   gradient step of size ε.
-//! * [`Bim`] — the Basic Iterative Method: repeated FGSM steps of size α,
-//!   clipped to the ε-ball after every step (included as the ablation point
-//!   between FGSM and PGD).
-//! * [`Pgd`] — Projected Gradient Descent: BIM started from a uniformly
-//!   random point inside the ε-ball (the paper's stronger attack; 10
-//!   iterations by default, as in the paper).
+//! | attack | surface | access | budget |
+//! |---|---|---|---|
+//! | [`Fgsm`] | pixels | white-box | `l∞` ε (paper Eq. 5) |
+//! | [`Bim`] | pixels | white-box | `l∞` ε |
+//! | [`Pgd`] | pixels | white-box | `l∞` ε (the paper's stronger attack) |
+//! | [`SpsaAttack`] | pixels | black-box, query-budgeted | `l∞` ε |
+//! | [`EmbedAttack`] | embeddings | white-box | `l2` radius |
 //!
-//! All attacks enforce the paper's threat model: `l∞`-bounded perturbations
-//! (`‖x* − x‖∞ ≤ ε`) of images that stay inside the valid pixel range
-//! `[0, 1]`. The perturbation budget ε is specified on the paper's 0–255
-//! scale and normalised internally ([`Epsilon`]).
+//! Attacks never talk to a concrete model type; they ask their
+//! [`TargetWorker`] for the capability they need — white-box classifier
+//! gradients, a budgeted score oracle, or direct embedding access — and fail
+//! with a typed [`AttackError::UnsupportedTarget`] when pointed at a target
+//! that does not grant it. Batch execution, per-item seed derivation and the
+//! parallel fan-out live on the trait itself ([`Attack::perturb_batch`]), so
+//! every attacker inherits the same bit-reproducible parallel driver.
 //!
 //! # Example
 //!
 //! ```
-//! use taamr_attack::{Attack, AttackGoal, Epsilon, Fgsm};
+//! use taamr_attack::{Attack, AttackGoal, Epsilon, Fgsm, WhiteBox};
 //! use taamr_nn::{TinyResNet, TinyResNetConfig};
 //! use taamr_tensor::{seeded_rng, Tensor};
 //!
 //! let mut net = TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(0));
 //! let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(1));
 //! let attack = Fgsm::new(Epsilon::from_255(8.0));
-//! let adv = attack.perturb(&mut net, &x, AttackGoal::Targeted(2), &mut seeded_rng(2));
+//! let adv = attack
+//!     .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(2), &mut seeded_rng(2))
+//!     .unwrap();
 //! assert!(adv.linf_distance(&x) <= Epsilon::from_255(8.0).as_fraction() + 1e-6);
 //! ```
 
 #![deny(missing_docs)]
 
-pub mod batch;
+mod batch;
 mod bim;
 pub mod defense;
+mod embed;
 mod feature_match;
 mod fgsm;
 mod pgd;
+mod spsa;
+mod target;
 mod types;
 
-pub use batch::{item_seed, par_attack_batch};
 pub use bim::Bim;
 pub use defense::{adversarial_finetune, AdversarialTrainingConfig};
+pub use embed::EmbedAttack;
 pub use feature_match::{FeatureMatch, FeatureMatchResult};
 pub use fgsm::Fgsm;
 pub use pgd::Pgd;
-pub use types::{AdversarialBatch, AttackGoal, Epsilon};
+pub use spsa::SpsaAttack;
+pub use target::{
+    AttackTarget, EmbedTarget, EmbeddingAccess, OracleTarget, ScoreOracle, TargetWorker,
+    WhiteBox, WhiteBoxTarget,
+};
+pub use types::{
+    Access, AdversarialBatch, AttackError, AttackGoal, Budget, Epsilon, Surface, ThreatModel,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
 
-/// An adversarial image attack over a batch of images.
+/// An adversarial attack over items of the recommendation catalog.
 ///
-/// Implementations perturb every image in the NCHW batch toward (targeted)
-/// or away from (untargeted) the goal class, subject to the `l∞` budget.
+/// Implementations perturb one payload row per item (NCHW images for pixel
+/// surfaces, feature rows for embedding surfaces) toward the attacker's
+/// goal, subject to the declared [`Budget`], using only the access their
+/// [`ThreatModel`] grants.
 ///
 /// Attacks are `Sync` (plain configuration structs), so one instance can be
-/// shared by every worker thread of [`par_attack_batch`].
+/// shared by every worker thread of [`Attack::perturb_batch`].
 pub trait Attack: Sync {
-    /// Short attack name for reports ("FGSM", "PGD", …).
+    /// Short attack name for reports ("FGSM", "PGD", "SPSA", …).
     fn name(&self) -> &'static str;
 
-    /// The attack's `l∞` budget.
-    fn epsilon(&self) -> Epsilon;
+    /// The surface × access threat model this attack operates under.
+    fn threat_model(&self) -> ThreatModel;
 
-    /// Produces adversarial versions of `images` (NCHW, pixels in `[0, 1]`).
+    /// The norm ball the attack promises its perturbations stay inside.
+    fn budget(&self) -> Budget;
+
+    /// Produces adversarial versions of the `clean` payload against the
+    /// bound target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::UnsupportedTarget`] when `target` lacks the
+    /// access this attack's threat model requires, and
+    /// [`AttackError::QueryBudgetExceeded`] when a black-box attack
+    /// overspends its oracle budget.
     ///
     /// # Panics
     ///
-    /// Panics if `images` is not rank-4 or the goal class is out of range
-    /// for the model.
+    /// Panics on shape misuse (wrong rank, or a multi-row batch passed to a
+    /// per-item attack) or goal classes out of range for the model.
     fn perturb(
         &self,
-        model: &mut dyn ImageClassifier,
-        images: &Tensor,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
         goal: AttackGoal,
         rng: &mut StdRng,
-    ) -> AdversarialBatch;
+    ) -> Result<AdversarialBatch, AttackError>;
 
     /// [`Attack::perturb`] with a fresh RNG seeded from `seed`.
     ///
     /// This is the unit of reproducibility for parallel attacks: a result
-    /// depends only on `(model, images, goal, seed)`, never on which thread
+    /// depends only on `(target, clean, goal, seed)`, never on which thread
     /// ran it or what was attacked before.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Attack::perturb`].
     fn perturb_seeded(
         &self,
-        model: &mut dyn ImageClassifier,
-        images: &Tensor,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
         goal: AttackGoal,
         seed: u64,
-    ) -> AdversarialBatch {
+    ) -> Result<AdversarialBatch, AttackError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        self.perturb(model, images, goal, &mut rng)
+        self.perturb(target, clean, goal, &mut rng)
+    }
+
+    /// Derives the RNG seed for one attacked item from the experiment's
+    /// master seed: `master ^ (item_id << 20)`.
+    ///
+    /// The shift keeps small item ids out of the master seed's low bits;
+    /// `StdRng`'s SplitMix64 seeding then disperses the XOR-combined word,
+    /// so neighbouring items draw unrelated streams.
+    fn item_seed(&self, master_seed: u64, item_id: u64) -> u64 {
+        master_seed ^ item_id.wrapping_shl(20)
+    }
+
+    /// Attacks every leading-dimension row of `batch` independently, in
+    /// parallel: row `i` belongs to item `items[i]`, is bound on a worker
+    /// from `target`, and is perturbed as a single-row batch with the seed
+    /// [`Attack::item_seed`]`(master_seed, items[i])`. `chunk_size` controls
+    /// how many items a worker handles per [`AttackTarget::worker`] call; it
+    /// does not affect the output.
+    ///
+    /// # Errors
+    ///
+    /// The first (in item order) per-item error, if any item fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` has rank below 2, `items` does not name one item
+    /// per row, or `chunk_size` is zero.
+    fn perturb_batch(
+        &self,
+        target: &dyn AttackTarget,
+        batch: &Tensor,
+        goal: AttackGoal,
+        master_seed: u64,
+        items: &[u64],
+        chunk_size: usize,
+    ) -> Result<AdversarialBatch, AttackError> {
+        batch::drive(self, target, batch, goal, master_seed, items, chunk_size)
     }
 }
 
-/// Shared post-processing: clamp to the ε-ball around `clean` and to the
-/// valid pixel range, then evaluate predictions and success.
+/// Shared pixel-attack post-processing: clamp to the ε-ball around `clean`
+/// and to the valid pixel range, then measure predictions and success.
 pub(crate) fn finish_batch(
-    model: &mut dyn ImageClassifier,
+    target: &mut dyn TargetWorker,
     clean: &Tensor,
     mut adv: Tensor,
     epsilon: Epsilon,
@@ -113,9 +182,9 @@ pub(crate) fn finish_batch(
     for (a, &c) in adv.iter_mut().zip(clean.iter()) {
         *a = a.clamp(c - eps, c + eps).clamp(0.0, 1.0);
     }
-    let predictions = model.predict(&adv);
+    let predictions = target.measure(&adv).unwrap_or_default();
     let success = predictions.iter().map(|&p| goal.is_success(p)).collect();
-    AdversarialBatch { images: adv, predictions, success }
+    AdversarialBatch { data: adv, predictions, success }
 }
 
 /// The gradient step direction for a goal: targeted attacks *descend* the

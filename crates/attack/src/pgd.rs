@@ -2,11 +2,13 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use taamr_nn::ImageClassifier;
 use taamr_tensor::Tensor;
 
 use crate::bim::Bim;
-use crate::{finish_batch, AdversarialBatch, Attack, AttackGoal, Epsilon};
+use crate::{
+    finish_batch, Access, AdversarialBatch, Attack, AttackError, AttackGoal, Budget, Epsilon,
+    Surface, TargetWorker, ThreatModel,
+};
 
 /// PGD: the paper's stronger attack. Identical to [`Bim`] except the
 /// iteration starts from a uniformly random point inside the ε-ball —
@@ -48,6 +50,11 @@ impl Pgd {
         self
     }
 
+    /// The attack's `l∞` budget.
+    pub fn epsilon(&self) -> Epsilon {
+        self.inner.epsilon()
+    }
+
     /// Number of gradient steps.
     pub fn steps(&self) -> usize {
         self.inner.steps()
@@ -59,34 +66,44 @@ impl Attack for Pgd {
         "PGD"
     }
 
-    fn epsilon(&self) -> Epsilon {
-        self.inner.epsilon()
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel { surface: Surface::Pixels, access: Access::WhiteBox }
+    }
+
+    fn budget(&self) -> Budget {
+        Budget::PixelLinf(self.epsilon())
     }
 
     fn perturb(
         &self,
-        model: &mut dyn ImageClassifier,
-        images: &Tensor,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
         goal: AttackGoal,
         rng: &mut StdRng,
-    ) -> AdversarialBatch {
-        assert_eq!(images.rank(), 4, "PGD expects an NCHW batch");
+    ) -> Result<AdversarialBatch, AttackError> {
+        assert_eq!(clean.rank(), 4, "PGD expects an NCHW batch");
         let eps = self.epsilon().as_fraction();
-        // Random start: uniform noise inside the l∞ ball, clipped valid.
-        let mut start = images.clone();
-        for v in start.iter_mut() {
-            *v = (*v + rng.gen_range(-eps..=eps)).clamp(0.0, 1.0);
-        }
-        let adv = self.inner.iterate(model, images, start, goal);
-        finish_batch(model, images, adv, self.epsilon(), goal)
+        let adv = {
+            let model = target.classifier().ok_or(AttackError::UnsupportedTarget {
+                attack: "PGD",
+                needs: "white-box classifier gradients",
+            })?;
+            // Random start: uniform noise inside the l∞ ball, clipped valid.
+            let mut start = clean.clone();
+            for v in start.iter_mut() {
+                *v = (*v + rng.gen_range(-eps..=eps)).clamp(0.0, 1.0);
+            }
+            self.inner.iterate(model, clean, start, goal)
+        };
+        Ok(finish_batch(target, clean, adv, self.epsilon(), goal))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Fgsm;
-    use taamr_nn::{TinyResNet, TinyResNetConfig};
+    use crate::{Fgsm, WhiteBox};
+    use taamr_nn::{ImageClassifier, TinyResNet, TinyResNetConfig};
     use taamr_tensor::seeded_rng;
 
     fn setup() -> (TinyResNet, Tensor) {
@@ -99,10 +116,11 @@ mod tests {
     fn respects_budget_despite_random_start() {
         let (mut net, x) = setup();
         for eps in Epsilon::paper_sweep() {
-            let adv =
-                Pgd::new(eps).perturb(&mut net, &x, AttackGoal::Targeted(0), &mut seeded_rng(2));
+            let adv = Pgd::new(eps)
+                .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(0), &mut seeded_rng(2))
+                .unwrap();
             assert!(adv.linf_distance(&x) <= eps.as_fraction() + 1e-6);
-            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(adv.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
 
@@ -113,14 +131,16 @@ mod tests {
         let eps = Epsilon::from_255(8.0);
         let target = 1usize;
         let goal = AttackGoal::Targeted(target);
-        let fgsm = Fgsm::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(3));
-        let pgd = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(3));
+        let fgsm =
+            Fgsm::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(3)).unwrap();
+        let pgd =
+            Pgd::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(3)).unwrap();
         let mean_p = |net: &mut TinyResNet, imgs: &Tensor| -> f32 {
             let p = net.probabilities(imgs);
             (0..4).map(|i| p.at(&[i, target])).sum::<f32>() / 4.0
         };
-        let pf = mean_p(&mut net, &fgsm.images);
-        let pp = mean_p(&mut net, &pgd.images);
+        let pf = mean_p(&mut net, &fgsm.data);
+        let pp = mean_p(&mut net, &pgd.data);
         assert!(pp > pf, "PGD {pp} should beat FGSM {pf}");
     }
 
@@ -135,22 +155,22 @@ mod tests {
         let (mut net, x) = setup();
         let eps = Epsilon::from_255(8.0);
         let goal = AttackGoal::Targeted(2);
-        let a = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(10));
-        let b = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(10));
-        let c = Pgd::new(eps).perturb(&mut net, &x, goal, &mut seeded_rng(11));
-        assert_eq!(a.images, b.images);
-        assert_ne!(a.images, c.images);
+        let a =
+            Pgd::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(10)).unwrap();
+        let b =
+            Pgd::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(10)).unwrap();
+        let c =
+            Pgd::new(eps).perturb(&mut WhiteBox(&mut net), &x, goal, &mut seeded_rng(11)).unwrap();
+        assert_eq!(a.data, b.data);
+        assert_ne!(a.data, c.data);
     }
 
     #[test]
     fn success_rate_is_consistent() {
         let (mut net, x) = setup();
-        let adv = Pgd::new(Epsilon::from_255(16.0)).perturb(
-            &mut net,
-            &x,
-            AttackGoal::Targeted(3),
-            &mut seeded_rng(12),
-        );
+        let adv = Pgd::new(Epsilon::from_255(16.0))
+            .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(3), &mut seeded_rng(12))
+            .unwrap();
         let manual =
             adv.success.iter().filter(|&&s| s).count() as f64 / adv.success.len() as f64;
         assert_eq!(adv.success_rate(), manual);

@@ -1,0 +1,214 @@
+//! SPSA-style black-box score-oracle attack.
+//!
+//! The adversary sees no weights and no gradients — only the answer to
+//! "what would this item score if its image were X?", paid per query. The
+//! attack estimates the score gradient by simultaneous-perturbation
+//! stochastic approximation (Spall 1992; adversarial use as in Uesato et
+//! al., ICML 2018): each iterate draws Rademacher directions `v`, queries
+//! the oracle at `x ± σv`, and combines the two-sided differences into a
+//! gradient surrogate, then takes a signed ascent step projected into the
+//! `l∞` ε-ball.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use taamr_tensor::Tensor;
+
+use crate::{
+    Access, AdversarialBatch, Attack, AttackError, AttackGoal, Budget, Epsilon, Surface,
+    TargetWorker, ThreatModel,
+};
+
+/// Query-budgeted black-box pixel attack via SPSA gradient estimation.
+///
+/// Success is judged on the attacker's own objective — did the oracle score
+/// of the best candidate exceed the clean score? — not on classifier labels
+/// the black-box adversary cannot see. The final best candidate is
+/// re-queried once for validation; that re-query is a memo hit and costs no
+/// budget, so a run needs at most
+/// [`SpsaAttack::required_queries`]`(steps, samples)` fresh queries — fewer
+/// when distinct probe images collapse to bit-identical features and hit
+/// the oracle's memo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpsaAttack {
+    epsilon: Epsilon,
+    steps: usize,
+    samples: usize,
+    query_budget: u64,
+}
+
+impl SpsaAttack {
+    /// Creates an SPSA attack with `steps` iterates of `samples` two-sided
+    /// probes each, and a query budget of exactly what the run needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` or `samples` is zero.
+    pub fn new(epsilon: Epsilon, steps: usize, samples: usize) -> Self {
+        assert!(steps > 0, "step count must be positive");
+        assert!(samples > 0, "sample count must be positive");
+        SpsaAttack { epsilon, steps, samples, query_budget: Self::required_queries(steps, samples) }
+    }
+
+    /// Overrides the per-item query budget (e.g. to starve the attack and
+    /// test the typed budget error).
+    #[must_use]
+    pub fn with_query_budget(mut self, query_budget: u64) -> Self {
+        self.query_budget = query_budget;
+        self
+    }
+
+    /// Fresh oracle queries one run spends at most: per step, `2 · samples`
+    /// probe queries plus one iterate query. Memo hits are free, so the
+    /// actual spend can be lower.
+    pub fn required_queries(steps: usize, samples: usize) -> u64 {
+        steps as u64 * (2 * samples as u64 + 1)
+    }
+
+    /// The attack's `l∞` budget.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Number of SPSA iterates.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Rademacher probe pairs per iterate.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The per-item oracle query budget.
+    pub fn query_budget(&self) -> u64 {
+        self.query_budget
+    }
+}
+
+impl Attack for SpsaAttack {
+    fn name(&self) -> &'static str {
+        "SPSA"
+    }
+
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel {
+            surface: Surface::Pixels,
+            access: Access::BlackBox { query_budget: self.query_budget },
+        }
+    }
+
+    fn budget(&self) -> Budget {
+        Budget::PixelLinf(self.epsilon)
+    }
+
+    fn perturb(
+        &self,
+        target: &mut dyn TargetWorker,
+        clean: &Tensor,
+        goal: AttackGoal,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialBatch, AttackError> {
+        assert_eq!(clean.rank(), 4, "SPSA expects an NCHW batch");
+        assert_eq!(clean.dims()[0], 1, "black-box SPSA perturbs one item per call");
+        // The goal class belongs to the white-box classifier objective; the
+        // black-box objective is always score promotion of the bound item.
+        let _ = goal;
+        let eps = self.epsilon.as_fraction();
+        let (best, success) = {
+            let oracle = target.oracle().ok_or(AttackError::UnsupportedTarget {
+                attack: "SPSA",
+                needs: "a black-box score oracle",
+            })?;
+            let clean_score = oracle.clean_score();
+            let sigma = (eps * 0.5).max(1e-4);
+            let alpha = eps / self.steps as f32;
+            let len = clean.len();
+            let mut adv = clean.clone();
+            let mut best = clean.clone();
+            let mut best_score = clean_score;
+            for _ in 0..self.steps {
+                let mut ghat = vec![0.0f32; len];
+                for _ in 0..self.samples {
+                    let dir: Vec<f32> =
+                        (0..len).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+                    let mut plus = adv.clone();
+                    let mut minus = adv.clone();
+                    for ((p, m), &d) in plus.iter_mut().zip(minus.iter_mut()).zip(&dir) {
+                        *p = (*p + sigma * d).clamp(0.0, 1.0);
+                        *m = (*m - sigma * d).clamp(0.0, 1.0);
+                    }
+                    let s_plus = oracle.query(&plus)?;
+                    let s_minus = oracle.query(&minus)?;
+                    let coeff = (s_plus - s_minus) / (2.0 * sigma);
+                    for (g, &d) in ghat.iter_mut().zip(&dir) {
+                        *g += coeff * d;
+                    }
+                }
+                // Signed ascent, projected into the ε-ball ∩ [0, 1].
+                for ((a, &c), &g) in adv.iter_mut().zip(clean.iter()).zip(&ghat) {
+                    *a = (*a + alpha * g.signum()).clamp(c - eps, c + eps).clamp(0.0, 1.0);
+                }
+                let score = oracle.query(&adv)?;
+                if score > best_score {
+                    best_score = score;
+                    best = adv.clone();
+                }
+            }
+            // Validation re-query of the winner: a memo hit (the winner was
+            // either queried above or is the clean image), so it is free.
+            let final_score = oracle.query(&best)?;
+            (best, final_score > clean_score)
+        };
+        let predictions = target.measure(&best).unwrap_or_default();
+        Ok(AdversarialBatch { data: best, predictions, success: vec![success] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WhiteBox;
+    use taamr_tensor::seeded_rng;
+
+    #[test]
+    fn declares_black_box_pixel_threat_model() {
+        let a = SpsaAttack::new(Epsilon::from_255(8.0), 2, 2);
+        assert_eq!(
+            a.threat_model(),
+            ThreatModel {
+                surface: Surface::Pixels,
+                access: Access::BlackBox { query_budget: 10 }
+            }
+        );
+        assert_eq!(a.budget(), Budget::PixelLinf(Epsilon::from_255(8.0)));
+        assert_eq!(a.query_budget(), SpsaAttack::required_queries(2, 2));
+    }
+
+    #[test]
+    fn required_queries_counts_probes_and_iterates() {
+        assert_eq!(SpsaAttack::required_queries(2, 2), 10);
+        assert_eq!(SpsaAttack::required_queries(1, 1), 3);
+        assert_eq!(SpsaAttack::required_queries(3, 4), 27);
+    }
+
+    #[test]
+    fn oracle_less_target_is_a_typed_error() {
+        // A white-box worker grants gradients but no score oracle; SPSA
+        // must refuse with UnsupportedTarget, not panic.
+        let mut net = taamr_nn::TinyResNet::new(
+            &taamr_nn::TinyResNetConfig::tiny_for_tests(4),
+            &mut seeded_rng(0),
+        );
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeded_rng(1));
+        let err = SpsaAttack::new(Epsilon::from_255(8.0), 1, 1)
+            .perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(0), &mut seeded_rng(2))
+            .expect_err("no oracle on a white-box worker");
+        assert!(matches!(err, AttackError::UnsupportedTarget { attack: "SPSA", .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "step count must be positive")]
+    fn zero_steps_panics() {
+        SpsaAttack::new(Epsilon::from_255(8.0), 0, 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Attack targets: what an attacker is allowed to touch.
+//!
+//! The [`Attack`](crate::Attack) trait is polymorphic over *threat models*:
+//! a gradient attack needs white-box classifier access, a black-box attack
+//! needs a score-query oracle, an embedding attack needs direct access to
+//! one item's feature vector. [`AttackTarget`] packages a victim system
+//! behind exactly those capability channels:
+//!
+//! * [`AttackTarget`] is the shared, read-only handle (`Sync`) the batch
+//!   driver fans out across worker threads;
+//! * [`TargetWorker`] is one thread's private working copy — model clones,
+//!   query ledgers, memo caches — bound to one attacked item at a time via
+//!   [`TargetWorker::bind`];
+//! * a worker answers the capability probes [`TargetWorker::classifier`]
+//!   (white-box gradients), [`TargetWorker::oracle`] (budgeted black-box
+//!   score queries) and [`TargetWorker::embedding`] (direct feature access)
+//!   with `Some` only for the access it actually grants, so an attack
+//!   pointed at the wrong target fails with a typed
+//!   [`AttackError::UnsupportedTarget`] instead of nonsense.
+//!
+//! Workers are constructed once per worker thread and re-bound per item, so
+//! the per-item results are bitwise independent of thread count and
+//! chunking — the same contract the old `par_attack_batch` enforced.
+
+use std::ops::Range;
+
+use taamr_nn::ImageClassifier;
+use taamr_recsys::{ItemScoreOracle, VisualRecommender};
+use taamr_tensor::Tensor;
+
+use crate::AttackError;
+
+/// A victim system that can hand out per-thread [`TargetWorker`]s.
+///
+/// Implementations are cheap shared views (references plus configuration);
+/// all mutable state lives in the workers.
+pub trait AttackTarget: Sync {
+    /// Creates this thread's private working copy of the target.
+    fn worker(&self) -> Box<dyn TargetWorker + '_>;
+}
+
+/// One worker thread's mutable view of an [`AttackTarget`].
+///
+/// A worker is bound to one attacked item at a time; the capability probes
+/// return `None` for access kinds the threat model does not grant.
+pub trait TargetWorker {
+    /// Points the worker at the given attacked item. Oracle ledgers, memo
+    /// caches and cached clean state are (re)initialised so results for an
+    /// item never depend on which items the worker saw before.
+    fn bind(&mut self, item: u64);
+
+    /// White-box gradient access to the image classifier, if granted.
+    fn classifier(&mut self) -> Option<&mut dyn ImageClassifier> {
+        None
+    }
+
+    /// Budgeted black-box score-query access, if granted.
+    fn oracle(&mut self) -> Option<&mut dyn ScoreOracle> {
+        None
+    }
+
+    /// Direct access to the bound item's embedding, if granted.
+    fn embedding(&mut self) -> Option<&mut dyn EmbeddingAccess> {
+        None
+    }
+
+    /// Evaluation-side measurement of the perturbed payload: post-attack
+    /// class predictions where a classifier is part of the system (pixel
+    /// surfaces), `None` where there is nothing to classify (embedding
+    /// surfaces). This is the *evaluator's* instrument, not the attacker's —
+    /// black-box attackers never see these labels during their search.
+    fn measure(&mut self, adv: &Tensor) -> Option<Vec<usize>> {
+        let _ = adv;
+        None
+    }
+}
+
+/// Budgeted what-if score queries against the recommender for the bound
+/// item — the only channel a black-box attacker gets.
+pub trait ScoreOracle {
+    /// Scores a candidate payload (an NCHW image for pixel surfaces) for
+    /// the bound item: the mean predicted score over the target's probe
+    /// users if the item's contents were replaced by `candidate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::QueryBudgetExceeded`] once the per-item query
+    /// budget is spent. Repeat queries of bit-identical candidates are memo
+    /// hits and stay free.
+    fn query(&mut self, candidate: &Tensor) -> Result<f32, AttackError>;
+
+    /// The bound item's score before any perturbation.
+    fn clean_score(&self) -> f32;
+
+    /// Fresh queries spent on the bound item so far.
+    fn queries_used(&self) -> u64;
+
+    /// The per-item query budget.
+    fn query_budget(&self) -> u64;
+}
+
+/// White-box access to the bound item's feature vector in the recommender —
+/// the channel of embedding-space attacks.
+pub trait EmbeddingAccess {
+    /// Feature dimension `D`.
+    fn dim(&self) -> usize;
+
+    /// The bound item's clean (pre-attack) feature vector.
+    fn clean(&self) -> &[f32];
+
+    /// The bound item's clean score (mean over the target's probe users).
+    fn clean_score(&self) -> f32;
+
+    /// Gradient of the probe-mean score with respect to the item's feature
+    /// vector, evaluated at the clean features — the ascent direction that
+    /// promotes the item.
+    fn grad(&self) -> Vec<f32>;
+
+    /// Probe-mean score of the bound item if its features were `feature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` has the wrong dimension.
+    fn score(&mut self, feature: &[f32]) -> f32;
+}
+
+/// The minimal white-box target: a mutable borrow of one classifier.
+///
+/// This is the single-shot migration shim for callers that used to pass
+/// `&mut dyn ImageClassifier` straight to `Attack::perturb`:
+///
+/// ```ignore
+/// attack.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng)?
+/// ```
+///
+/// It is a [`TargetWorker`] only (no [`AttackTarget`] fan-out): batch
+/// drivers need a cloneable model, which [`WhiteBoxTarget`] provides.
+pub struct WhiteBox<'a>(
+    /// The attacked classifier.
+    pub &'a mut dyn ImageClassifier,
+);
+
+impl TargetWorker for WhiteBox<'_> {
+    fn bind(&mut self, _item: u64) {}
+
+    fn classifier(&mut self) -> Option<&mut dyn ImageClassifier> {
+        Some(self.0)
+    }
+
+    fn measure(&mut self, adv: &Tensor) -> Option<Vec<usize>> {
+        Some(self.0.predict(adv))
+    }
+}
+
+/// A white-box pixel-surface target whose workers clone the classifier —
+/// the parallel-batch counterpart of [`WhiteBox`].
+pub struct WhiteBoxTarget<'a, C: ImageClassifier + Clone + Sync> {
+    model: &'a C,
+}
+
+impl<'a, C: ImageClassifier + Clone + Sync> WhiteBoxTarget<'a, C> {
+    /// Wraps a classifier for parallel white-box attacks.
+    pub fn new(model: &'a C) -> Self {
+        WhiteBoxTarget { model }
+    }
+}
+
+impl<C: ImageClassifier + Clone + Sync> AttackTarget for WhiteBoxTarget<'_, C> {
+    fn worker(&self) -> Box<dyn TargetWorker + '_> {
+        Box::new(WhiteBoxWorker { model: self.model.clone() })
+    }
+}
+
+struct WhiteBoxWorker<C: ImageClassifier> {
+    model: C,
+}
+
+impl<C: ImageClassifier> TargetWorker for WhiteBoxWorker<C> {
+    fn bind(&mut self, _item: u64) {}
+
+    fn classifier(&mut self) -> Option<&mut dyn ImageClassifier> {
+        Some(&mut self.model)
+    }
+
+    fn measure(&mut self, adv: &Tensor) -> Option<Vec<usize>> {
+        Some(self.model.predict(adv))
+    }
+}
+
+/// `l2`-normalises one feature row in place — bit-for-bit the same
+/// normalisation the pipeline applies to extracted features before they
+/// enter the recommender, so oracle queries of the clean image land on the
+/// memo-seeded clean feature.
+fn l2_normalize(row: &mut [f32]) {
+    let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for v in row.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+/// A black-box pixel-surface target: the adversary submits candidate
+/// *images* and observes only the recommender score the item would get —
+/// the full deployed pipeline (feature extraction, normalisation, scoring)
+/// is behind the query wall.
+///
+/// Per-item clean baselines are precomputed by the caller (through the
+/// batched [`taamr_recsys::ScoringEngine`] path) and passed in, so oracle
+/// construction never rebuilds scoring caches inside worker threads.
+pub struct OracleTarget<'a, C, M>
+where
+    C: ImageClassifier + Clone + Sync,
+    M: VisualRecommender + Clone + Sync,
+{
+    classifier: &'a C,
+    model: &'a M,
+    probe_users: Range<usize>,
+    query_budget: u64,
+    baselines: Vec<(u64, f32)>,
+}
+
+impl<'a, C, M> OracleTarget<'a, C, M>
+where
+    C: ImageClassifier + Clone + Sync,
+    M: VisualRecommender + Clone + Sync,
+{
+    /// Builds a black-box target over `(classifier, model)` with the given
+    /// probe-user range, per-item query budget, and precomputed per-item
+    /// clean baselines `(item, clean_score)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe range is empty or out of range for the model.
+    pub fn new(
+        classifier: &'a C,
+        model: &'a M,
+        probe_users: Range<usize>,
+        query_budget: u64,
+        baselines: Vec<(u64, f32)>,
+    ) -> Self {
+        assert!(
+            probe_users.start < probe_users.end && probe_users.end <= model.num_users(),
+            "probe users {probe_users:?} out of range for {} users",
+            model.num_users()
+        );
+        OracleTarget { classifier, model, probe_users, query_budget, baselines }
+    }
+}
+
+impl<C, M> AttackTarget for OracleTarget<'_, C, M>
+where
+    C: ImageClassifier + Clone + Sync,
+    M: VisualRecommender + Clone + Sync,
+{
+    fn worker(&self) -> Box<dyn TargetWorker + '_> {
+        Box::new(OracleWorker {
+            classifier: self.classifier.clone(),
+            model: self.model,
+            probe_users: self.probe_users.clone(),
+            query_budget: self.query_budget,
+            baselines: &self.baselines,
+            oracle: None,
+        })
+    }
+}
+
+struct OracleWorker<'a, C: ImageClassifier, M: VisualRecommender + Clone> {
+    classifier: C,
+    model: &'a M,
+    probe_users: Range<usize>,
+    query_budget: u64,
+    baselines: &'a [(u64, f32)],
+    oracle: Option<ItemScoreOracle<M>>,
+}
+
+impl<C: ImageClassifier, M: VisualRecommender + Clone> TargetWorker for OracleWorker<'_, C, M> {
+    fn bind(&mut self, item: u64) {
+        let clean_score = self
+            .baselines
+            .iter()
+            .find(|(i, _)| *i == item)
+            .map(|&(_, s)| s)
+            .expect("a clean baseline must be precomputed for every attacked item");
+        self.oracle = Some(ItemScoreOracle::with_baseline(
+            self.model,
+            item as usize,
+            self.probe_users.clone(),
+            self.query_budget,
+            clean_score,
+        ));
+    }
+
+    fn oracle(&mut self) -> Option<&mut dyn ScoreOracle> {
+        self.oracle.as_ref()?;
+        Some(self)
+    }
+
+    fn measure(&mut self, adv: &Tensor) -> Option<Vec<usize>> {
+        Some(self.classifier.predict(adv))
+    }
+}
+
+impl<C: ImageClassifier, M: VisualRecommender + Clone> ScoreOracle for OracleWorker<'_, C, M> {
+    fn query(&mut self, candidate: &Tensor) -> Result<f32, AttackError> {
+        let features = self.classifier.features(candidate);
+        assert_eq!(features.dims()[0], 1, "oracle queries score one item at a time");
+        let mut row = features.as_slice().to_vec();
+        l2_normalize(&mut row);
+        let oracle = self.oracle.as_mut().expect("bind() precedes oracle queries");
+        Ok(oracle.query_feature(&row)?)
+    }
+
+    fn clean_score(&self) -> f32 {
+        self.oracle.as_ref().expect("bind() precedes oracle queries").clean_score()
+    }
+
+    fn queries_used(&self) -> u64 {
+        self.oracle.as_ref().expect("bind() precedes oracle queries").queries_used()
+    }
+
+    fn query_budget(&self) -> u64 {
+        self.oracle.as_ref().expect("bind() precedes oracle queries").query_budget()
+    }
+}
+
+/// A white-box embedding-surface target: workers operate on a sandbox clone
+/// of the recommender and expose the bound item's feature vector, its
+/// probe-mean score and the score gradient.
+pub struct EmbedTarget<'a, M: VisualRecommender + Clone + Sync> {
+    model: &'a M,
+    probe_users: Range<usize>,
+}
+
+impl<'a, M: VisualRecommender + Clone + Sync> EmbedTarget<'a, M> {
+    /// Builds an embedding-surface target with the given probe-user range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe range is empty or out of range for the model.
+    pub fn new(model: &'a M, probe_users: Range<usize>) -> Self {
+        assert!(
+            probe_users.start < probe_users.end && probe_users.end <= model.num_users(),
+            "probe users {probe_users:?} out of range for {} users",
+            model.num_users()
+        );
+        EmbedTarget { model, probe_users }
+    }
+}
+
+impl<M: VisualRecommender + Clone + Sync> AttackTarget for EmbedTarget<'_, M> {
+    fn worker(&self) -> Box<dyn TargetWorker + '_> {
+        Box::new(EmbedWorker {
+            sandbox: self.model.clone(),
+            probe_users: self.probe_users.clone(),
+            item: None,
+            clean: Vec::new(),
+            clean_score: 0.0,
+        })
+    }
+}
+
+struct EmbedWorker<M: VisualRecommender + Clone> {
+    sandbox: M,
+    probe_users: Range<usize>,
+    item: Option<usize>,
+    clean: Vec<f32>,
+    clean_score: f32,
+}
+
+impl<M: VisualRecommender + Clone> EmbedWorker<M> {
+    fn probe_mean(&self, item: usize) -> f32 {
+        let mut sum = 0.0f64;
+        for u in self.probe_users.clone() {
+            sum += f64::from(self.sandbox.score(u, item));
+        }
+        (sum / self.probe_users.len().max(1) as f64) as f32
+    }
+}
+
+impl<M: VisualRecommender + Clone> TargetWorker for EmbedWorker<M> {
+    fn bind(&mut self, item: u64) {
+        // Undo the previous item's perturbation so a reused worker is
+        // bitwise indistinguishable from a fresh one.
+        if let Some(prev) = self.item {
+            self.sandbox.set_item_feature(prev, &self.clean);
+        }
+        let item = item as usize;
+        self.clean = self.sandbox.item_feature(item).to_vec();
+        self.clean_score = self.probe_mean(item);
+        self.item = Some(item);
+    }
+
+    fn embedding(&mut self) -> Option<&mut dyn EmbeddingAccess> {
+        self.item?;
+        Some(self)
+    }
+}
+
+impl<M: VisualRecommender + Clone> EmbeddingAccess for EmbedWorker<M> {
+    fn dim(&self) -> usize {
+        self.sandbox.feature_dim()
+    }
+
+    fn clean(&self) -> &[f32] {
+        &self.clean
+    }
+
+    fn clean_score(&self) -> f32 {
+        self.clean_score
+    }
+
+    fn grad(&self) -> Vec<f32> {
+        let item = self.item.expect("bind() precedes embedding access");
+        let d = self.sandbox.feature_dim();
+        let mut acc = vec![0.0f64; d];
+        for u in self.probe_users.clone() {
+            let g = self.sandbox.score_feature_grad(u, item);
+            for (a, &gv) in acc.iter_mut().zip(&g) {
+                *a += f64::from(gv);
+            }
+        }
+        let n = self.probe_users.len().max(1) as f64;
+        acc.iter().map(|&a| (a / n) as f32).collect()
+    }
+
+    fn score(&mut self, feature: &[f32]) -> f32 {
+        let item = self.item.expect("bind() precedes embedding access");
+        self.sandbox.set_item_feature(item, feature);
+        self.probe_mean(item)
+    }
+}

@@ -45,6 +45,163 @@ impl fmt::Display for Epsilon {
     }
 }
 
+/// Where an attack's perturbation lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Surface {
+    /// The attack perturbs item *images*; the recommender is reached
+    /// indirectly through the feature extractor (the paper's setting).
+    Pixels,
+    /// The attack perturbs the recommender's *item feature vectors*
+    /// directly, skipping the CNN (the AMR threat model).
+    Embeddings,
+}
+
+/// What the adversary can observe about the system under attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Full gradient access to the model (classifier or recommender).
+    WhiteBox,
+    /// Score-query access only: the adversary may ask "what would this
+    /// item score with these contents?" at most `query_budget` times.
+    BlackBox {
+        /// Maximum number of fresh oracle queries per attacked item.
+        query_budget: u64,
+    },
+}
+
+/// An attack's threat model: which surface it perturbs and what access to
+/// the victim it assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreatModel {
+    /// The perturbed surface.
+    pub surface: Surface,
+    /// The assumed level of access.
+    pub access: Access,
+}
+
+/// A perturbation budget, generalising the pixel-space [`Epsilon`] to the
+/// norm ball that matches the attack's [`Surface`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// `l∞` ball of radius ε (0–255 scale) around the clean image, clipped
+    /// to the valid pixel range — the paper's threat model.
+    PixelLinf(Epsilon),
+    /// `l2` ball of the given radius around the clean item embedding.
+    EmbedL2(f32),
+}
+
+impl Budget {
+    /// The budget's scalar magnitude on its native scale: ε on 0–255 for
+    /// pixel budgets, the `l2` radius for embedding budgets.
+    pub fn magnitude(&self) -> f32 {
+        match *self {
+            Budget::PixelLinf(eps) => eps.as_255(),
+            Budget::EmbedL2(radius) => radius,
+        }
+    }
+
+    /// The pixel budget, if this is a pixel-space ball.
+    pub fn epsilon(&self) -> Option<Epsilon> {
+        match *self {
+            Budget::PixelLinf(eps) => Some(eps),
+            Budget::EmbedL2(_) => None,
+        }
+    }
+
+    /// The embedding radius, if this is an embedding-space ball.
+    pub fn radius(&self) -> Option<f32> {
+        match *self {
+            Budget::PixelLinf(_) => None,
+            Budget::EmbedL2(radius) => Some(radius),
+        }
+    }
+
+    /// Whether `adv` stays inside the ball around `clean` (with a small
+    /// float tolerance). Pixel budgets additionally require `adv` to stay in
+    /// the valid `[0, 1]` range; embedding budgets check the `l2` distance
+    /// per leading-dimension row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn holds(&self, clean: &Tensor, adv: &Tensor) -> bool {
+        assert_eq!(clean.dims(), adv.dims(), "shape mismatch");
+        match *self {
+            Budget::PixelLinf(eps) => {
+                let bound = eps.as_fraction() + 1e-6;
+                adv.iter()
+                    .zip(clean.iter())
+                    .all(|(&a, &c)| (a - c).abs() <= bound && (0.0..=1.0).contains(&a))
+            }
+            Budget::EmbedL2(radius) => {
+                let rows = adv.dims().first().copied().unwrap_or(0);
+                let row_len: usize = adv.dims().iter().skip(1).product();
+                let bound = radius + 1e-5;
+                (0..rows).all(|r| {
+                    let a = &adv.as_slice()[r * row_len..(r + 1) * row_len];
+                    let c = &clean.as_slice()[r * row_len..(r + 1) * row_len];
+                    let d2: f32 = a.iter().zip(c).map(|(&x, &y)| (x - y) * (x - y)).sum();
+                    d2.sqrt() <= bound
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Budget::PixelLinf(eps) => write!(f, "l∞ {eps}"),
+            Budget::EmbedL2(radius) => write!(f, "l2 r={radius}"),
+        }
+    }
+}
+
+/// Typed failure of an attack run.
+///
+/// Attacks return errors — never panic — for conditions the *caller* chose:
+/// an over-tight query budget or a target that lacks the access the attack's
+/// [`ThreatModel`] requires. Shape and configuration misuse still panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackError {
+    /// A black-box attacker spent more oracle queries than its budget.
+    QueryBudgetExceeded {
+        /// Queries already debited when the over-budget query arrived.
+        used: u64,
+        /// The declared budget.
+        budget: u64,
+    },
+    /// The [`crate::AttackTarget`] does not expose the access this attack
+    /// needs (e.g. a gradient attack pointed at a black-box oracle).
+    UnsupportedTarget {
+        /// The attack that was asked to run.
+        attack: &'static str,
+        /// The access kind it requires.
+        needs: &'static str,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AttackError::QueryBudgetExceeded { used, budget } => {
+                write!(f, "query budget exhausted: {used} of {budget} oracle queries spent")
+            }
+            AttackError::UnsupportedTarget { attack, needs } => {
+                write!(f, "{attack} cannot run against this target: it needs {needs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<taamr_recsys::QueryBudgetExceeded> for AttackError {
+    fn from(e: taamr_recsys::QueryBudgetExceeded) -> Self {
+        AttackError::QueryBudgetExceeded { used: e.used, budget: e.budget }
+    }
+}
+
 /// What the adversary wants from the classifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackGoal {
@@ -71,28 +228,31 @@ impl AttackGoal {
     }
 }
 
-/// The result of attacking a batch of images.
+/// The result of attacking a batch of items.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdversarialBatch {
-    /// The perturbed images (same NCHW shape as the input).
-    pub images: Tensor,
-    /// Post-attack predicted class per image.
+    /// The perturbed payload, one row per attacked item, same shape as the
+    /// input: NCHW images for [`Surface::Pixels`] attacks, `[n, d]` feature
+    /// rows for [`Surface::Embeddings`] attacks.
+    pub data: Tensor,
+    /// Post-attack predicted class per item, when the target can measure
+    /// one (pixel surfaces); empty for embedding surfaces.
     pub predictions: Vec<usize>,
-    /// Per-image goal satisfaction.
+    /// Per-item goal satisfaction.
     pub success: Vec<bool>,
 }
 
 impl AdversarialBatch {
-    /// Stable FNV-1a content hash of the batch: image shape, every pixel
-    /// by IEEE-754 bit pattern, predictions, and per-image success flags.
-    /// Attacks derive per-item RNG streams from `item_seed`, so this hash
-    /// is invariant under the thread count — the property replay records
-    /// pin down.
+    /// Stable FNV-1a content hash of the batch: payload shape, every value
+    /// by IEEE-754 bit pattern, predictions, and per-item success flags.
+    /// Attacks derive per-item RNG streams from [`crate::Attack::item_seed`],
+    /// so this hash is invariant under the thread count — the property
+    /// replay records pin down.
     pub fn content_hash(&self) -> u64 {
         let mut h = taamr_replay::Fnv::new();
-        h.usizes(self.images.dims());
-        h.usize(self.images.len());
-        for &v in self.images.iter() {
+        h.usizes(self.data.dims());
+        h.usize(self.data.len());
+        for &v in self.data.iter() {
             h.f32(v);
         }
         h.usizes(&self.predictions);
@@ -100,7 +260,7 @@ impl AdversarialBatch {
         h.finish()
     }
 
-    /// Fraction of images whose attack succeeded.
+    /// Fraction of items whose attack succeeded.
     pub fn success_rate(&self) -> f64 {
         if self.success.is_empty() {
             0.0
@@ -115,8 +275,8 @@ impl AdversarialBatch {
     ///
     /// Panics if `clean` has a different shape.
     pub fn linf_distance(&self, clean: &Tensor) -> f32 {
-        assert_eq!(clean.dims(), self.images.dims(), "shape mismatch");
-        self.images
+        assert_eq!(clean.dims(), self.data.dims(), "shape mismatch");
+        self.data
             .iter()
             .zip(clean.iter())
             .fold(0.0f32, |m, (&a, &c)| m.max((a - c).abs()))
@@ -148,6 +308,52 @@ mod tests {
     }
 
     #[test]
+    fn budget_magnitudes_and_accessors() {
+        let px = Budget::PixelLinf(Epsilon::from_255(8.0));
+        assert_eq!(px.magnitude(), 8.0);
+        assert_eq!(px.epsilon(), Some(Epsilon::from_255(8.0)));
+        assert_eq!(px.radius(), None);
+        let em = Budget::EmbedL2(0.5);
+        assert_eq!(em.magnitude(), 0.5);
+        assert_eq!(em.epsilon(), None);
+        assert_eq!(em.radius(), Some(0.5));
+        assert_eq!(px.to_string(), "l∞ ε=8");
+        assert_eq!(em.to_string(), "l2 r=0.5");
+    }
+
+    #[test]
+    fn pixel_budget_holds_checks_ball_and_range() {
+        let clean = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[1, 4]).unwrap();
+        let budget = Budget::PixelLinf(Epsilon::from_255(255.0 * 0.1));
+        let inside = Tensor::from_vec(vec![0.55, 0.45, 0.5, 0.59], &[1, 4]).unwrap();
+        assert!(budget.holds(&clean, &inside));
+        let outside = Tensor::from_vec(vec![0.7, 0.5, 0.5, 0.5], &[1, 4]).unwrap();
+        assert!(!budget.holds(&clean, &outside));
+    }
+
+    #[test]
+    fn embed_budget_holds_is_per_row_l2() {
+        let clean = Tensor::from_vec(vec![0.0; 6], &[2, 3]).unwrap();
+        let budget = Budget::EmbedL2(1.0);
+        let inside = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.9, 0.0, 0.0], &[2, 3]).unwrap();
+        assert!(budget.holds(&clean, &inside));
+        // One row over the radius spoils the whole batch.
+        let outside = Tensor::from_vec(vec![0.5, 0.5, 0.5, 1.5, 0.0, 0.0], &[2, 3]).unwrap();
+        assert!(!budget.holds(&clean, &outside));
+    }
+
+    #[test]
+    fn attack_error_formats_and_converts() {
+        let e = AttackError::QueryBudgetExceeded { used: 5, budget: 5 };
+        assert!(e.to_string().contains("query budget exhausted"));
+        let u = AttackError::UnsupportedTarget { attack: "FGSM", needs: "gradients" };
+        assert!(u.to_string().contains("FGSM"));
+        let from: AttackError =
+            taamr_recsys::QueryBudgetExceeded { used: 3, budget: 4 }.into();
+        assert_eq!(from, AttackError::QueryBudgetExceeded { used: 3, budget: 4 });
+    }
+
+    #[test]
     fn goal_success_semantics() {
         assert!(AttackGoal::Targeted(3).is_success(3));
         assert!(!AttackGoal::Targeted(3).is_success(2));
@@ -159,7 +365,7 @@ mod tests {
     #[test]
     fn batch_success_rate() {
         let b = AdversarialBatch {
-            images: Tensor::zeros(&[2, 3, 4, 4]),
+            data: Tensor::zeros(&[2, 3, 4, 4]),
             predictions: vec![1, 2],
             success: vec![true, false],
         };
@@ -172,7 +378,7 @@ mod tests {
         let mut adv = Tensor::zeros(&[1, 3, 2, 2]);
         adv.as_mut_slice()[5] = 0.25;
         adv.as_mut_slice()[7] = -0.1;
-        let b = AdversarialBatch { images: adv, predictions: vec![0], success: vec![false] };
+        let b = AdversarialBatch { data: adv, predictions: vec![0], success: vec![false] };
         assert!((b.linf_distance(&clean) - 0.25).abs() < 1e-7);
     }
 }

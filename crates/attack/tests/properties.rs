@@ -1,10 +1,16 @@
-//! Property-based tests of the attack implementations: the threat model
-//! (l∞ ≤ ε, valid pixel range) must hold for *every* budget, goal, and
-//! input, not just the unit-test fixtures.
+//! Property-based tests of the attack suite: every attacker must respect
+//! its *declared* [`Budget`] (`l∞` pixel balls and `l2` embedding balls)
+//! for every budget, goal, and input; every attacker family must be
+//! bitwise-deterministic under the thread count; and black-box budget
+//! exhaustion must surface as a typed error, never a panic.
 
 use proptest::prelude::*;
-use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Fgsm, Pgd};
-use taamr_nn::{TinyResNet, TinyResNetConfig};
+use taamr_attack::{
+    Attack, AttackError, AttackGoal, Bim, EmbedAttack, EmbedTarget, Epsilon, Fgsm, OracleTarget,
+    Pgd, SpsaAttack, WhiteBox, WhiteBoxTarget,
+};
+use taamr_nn::{ImageClassifier, TinyResNet, TinyResNetConfig};
+use taamr_recsys::{Recommender, Vbpr, VbprConfig, VisualRecommender};
 use taamr_tensor::{seeded_rng, Tensor};
 
 fn image_batch(seed: u64) -> Tensor {
@@ -15,11 +21,44 @@ fn net(seed: u64) -> TinyResNet {
     TinyResNet::new(&TinyResNetConfig::tiny_for_tests(4), &mut seeded_rng(seed))
 }
 
+/// A VBPR model whose item features are the l2-normalised deep features of
+/// `images` — the same wiring the pipeline uses, so oracle queries of a
+/// clean image land on the memo-seeded clean feature.
+fn vbpr_over(net: &mut TinyResNet, images: &Tensor, num_users: usize) -> Vbpr {
+    let n = images.dims()[0];
+    let d = net.feature_dim();
+    let mut rows = net.features(images).as_slice().to_vec();
+    for r in 0..n {
+        let row = &mut rows[r * d..(r + 1) * d];
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+    Vbpr::new(num_users, n, d, rows, VbprConfig::default(), &mut seeded_rng(900))
+}
+
+/// Per-item clean baselines: probe-mean scores with the same f64
+/// accumulation the oracle uses.
+fn baselines(model: &Vbpr, probes: std::ops::Range<usize>) -> Vec<(u64, f32)> {
+    (0..model.num_items() as u64)
+        .map(|item| {
+            let mut sum = 0.0f64;
+            for u in probes.clone() {
+                sum += f64::from(model.score(u, item as usize));
+            }
+            (item, (sum / probes.len().max(1) as f64) as f32)
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn all_attacks_respect_the_threat_model(
+    fn white_box_pixel_attacks_respect_their_declared_budget(
         eps_255 in 1.0f32..32.0,
         target in 0usize..4,
         img_seed in 0u64..100,
@@ -41,14 +80,13 @@ proptest! {
         ];
         for attack in attacks {
             let mut rng = seeded_rng(img_seed + 1);
-            let adv = attack.perturb(&mut model, &x, goal, &mut rng);
+            let adv = attack.perturb(&mut WhiteBox(&mut model), &x, goal, &mut rng).unwrap();
             prop_assert!(
-                adv.linf_distance(&x) <= eps.as_fraction() + 1e-6,
-                "{} exceeded the l∞ ball",
+                attack.budget().holds(&x, &adv.data),
+                "{} escaped its declared budget",
                 attack.name()
             );
-            prop_assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
-            prop_assert_eq!(adv.images.dims(), x.dims());
+            prop_assert_eq!(adv.data.dims(), x.dims());
             prop_assert_eq!(adv.predictions.len(), 2);
             // Success flags agree with predictions under the goal.
             for (p, s) in adv.predictions.iter().zip(&adv.success) {
@@ -63,7 +101,9 @@ proptest! {
         let x = image_batch(img_seed);
         let mut model = net(0);
         let mut rng = seeded_rng(img_seed);
-        let adv = Fgsm::new(eps).perturb(&mut model, &x, AttackGoal::Targeted(0), &mut rng);
+        let adv = Fgsm::new(eps)
+            .perturb(&mut WhiteBox(&mut model), &x, AttackGoal::Targeted(0), &mut rng)
+            .unwrap();
         prop_assert!(adv.linf_distance(&x) <= 0.25 / 255.0 + 1e-7);
     }
 
@@ -75,10 +115,181 @@ proptest! {
         let mut model = net(net_seed);
         let mut rng = seeded_rng(1);
         let goal = AttackGoal::Targeted(1);
-        let small =
-            Fgsm::new(Epsilon::from_255(4.0)).perturb(&mut model, &x, goal, &mut rng);
-        let large =
-            Fgsm::new(Epsilon::from_255(8.0)).perturb(&mut model, &x, goal, &mut rng);
+        let small = Fgsm::new(Epsilon::from_255(4.0))
+            .perturb(&mut WhiteBox(&mut model), &x, goal, &mut rng)
+            .unwrap();
+        let large = Fgsm::new(Epsilon::from_255(8.0))
+            .perturb(&mut WhiteBox(&mut model), &x, goal, &mut rng)
+            .unwrap();
         prop_assert!(small.linf_distance(&x) <= large.linf_distance(&x) + 1e-6);
+    }
+}
+
+proptest! {
+    // The oracle/embedding fixtures are heavier, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn spsa_respects_its_declared_pixel_budget(
+        eps_255 in 2.0f32..24.0,
+        img_seed in 0u64..40,
+    ) {
+        let mut classifier = net(0);
+        let x = image_batch(img_seed);
+        let model = vbpr_over(&mut classifier, &x, 8);
+        let probes = 0..model.num_users();
+        let base = baselines(&model, probes.clone());
+        let target = OracleTarget::new(&classifier, &model, probes, u64::MAX, base);
+        let attack = SpsaAttack::new(Epsilon::from_255(eps_255), 2, 1);
+        let items: Vec<u64> = (0..x.dims()[0] as u64).collect();
+        let adv = attack
+            .perturb_batch(&target, &x, AttackGoal::Targeted(0), 77, &items, 1)
+            .unwrap();
+        prop_assert!(attack.budget().holds(&x, &adv.data), "SPSA escaped its l∞ ball");
+        prop_assert_eq!(adv.success.len(), items.len());
+    }
+
+    #[test]
+    fn embedding_attacks_respect_their_declared_l2_budget(
+        radius in 0.05f32..1.5,
+        img_seed in 0u64..40,
+        sign_rule in any::<bool>(),
+    ) {
+        let mut classifier = net(0);
+        let x = image_batch(img_seed);
+        let model = vbpr_over(&mut classifier, &x, 8);
+        let target = EmbedTarget::new(&model, 0..model.num_users());
+        let attack = if sign_rule {
+            EmbedAttack::sign(radius, 4)
+        } else {
+            EmbedAttack::l2(radius, 4)
+        };
+        // The clean payload is the model's item-feature matrix, one row per
+        // attacked item.
+        let n = model.num_items();
+        let d = model.feature_dim();
+        let mut rows = Vec::with_capacity(n * d);
+        for i in 0..n {
+            rows.extend_from_slice(model.item_feature(i));
+        }
+        let clean = Tensor::from_vec(rows, &[n, d]).unwrap();
+        let items: Vec<u64> = (0..n as u64).collect();
+        let adv = attack
+            .perturb_batch(&target, &clean, AttackGoal::Targeted(0), 13, &items, 1)
+            .unwrap();
+        prop_assert!(
+            attack.budget().holds(&clean, &adv.data),
+            "{} escaped its l2 ball (radius {})",
+            attack.name(),
+            radius
+        );
+        prop_assert!(adv.predictions.is_empty(), "no classifier in the embedding threat model");
+        prop_assert_eq!(adv.success.len(), n);
+    }
+}
+
+/// Every attacker family is bitwise-deterministic under the thread count:
+/// the batch content hash is one number at 1, 2, and 8 threads.
+#[test]
+fn every_attacker_family_is_thread_count_invariant() {
+    let mut classifier = net(3);
+    let x = image_batch(11);
+    let model = vbpr_over(&mut classifier, &x, 8);
+    let probes = 0..model.num_users();
+    let base = baselines(&model, probes.clone());
+    let items: Vec<u64> = (0..x.dims()[0] as u64).collect();
+    let eps = Epsilon::from_255(8.0);
+    let goal = AttackGoal::Targeted(1);
+
+    let n = model.num_items();
+    let d = model.feature_dim();
+    let mut rows = Vec::with_capacity(n * d);
+    for i in 0..n {
+        rows.extend_from_slice(model.item_feature(i));
+    }
+    let feature_rows = Tensor::from_vec(rows, &[n, d]).unwrap();
+
+    // (attack, payload, use_oracle_target): one entry per attacker family.
+    let pixel_white: Vec<(Box<dyn Attack>, &Tensor)> = vec![
+        (Box::new(Fgsm::new(eps)), &x),
+        (Box::new(Bim::new(eps, 3)), &x),
+        (Box::new(Pgd::with_steps(eps, 3)), &x),
+    ];
+    for (attack, payload) in &pixel_white {
+        let target = WhiteBoxTarget::new(&classifier);
+        let hashes: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                rayon::with_threads(t, || {
+                    attack
+                        .perturb_batch(&target, payload, goal, 42, &items, 1)
+                        .unwrap()
+                        .content_hash()
+                })
+            })
+            .collect();
+        assert_eq!(hashes[0], hashes[1], "{} at 2 threads", attack.name());
+        assert_eq!(hashes[0], hashes[2], "{} at 8 threads", attack.name());
+    }
+
+    let spsa = SpsaAttack::new(eps, 2, 1);
+    let oracle_target = OracleTarget::new(&classifier, &model, probes.clone(), u64::MAX, base);
+    let spsa_hashes: Vec<u64> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            rayon::with_threads(t, || {
+                spsa.perturb_batch(&oracle_target, &x, goal, 42, &items, 1)
+                    .unwrap()
+                    .content_hash()
+            })
+        })
+        .collect();
+    assert_eq!(spsa_hashes[0], spsa_hashes[1], "SPSA at 2 threads");
+    assert_eq!(spsa_hashes[0], spsa_hashes[2], "SPSA at 8 threads");
+
+    let embed_items: Vec<u64> = (0..n as u64).collect();
+    for attack in [EmbedAttack::sign(0.5, 5), EmbedAttack::l2(0.5, 5)] {
+        let target = EmbedTarget::new(&model, 0..model.num_users());
+        let hashes: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                rayon::with_threads(t, || {
+                    attack
+                        .perturb_batch(&target, &feature_rows, goal, 42, &embed_items, 1)
+                        .unwrap()
+                        .content_hash()
+                })
+            })
+            .collect();
+        assert_eq!(hashes[0], hashes[1], "{} at 2 threads", attack.name());
+        assert_eq!(hashes[0], hashes[2], "{} at 8 threads", attack.name());
+    }
+}
+
+/// A black-box attacker that overspends its query budget gets a typed
+/// [`AttackError::QueryBudgetExceeded`] — never a panic — and the error is
+/// the same at every thread count.
+#[test]
+fn overspent_query_budget_is_a_typed_error_not_a_panic() {
+    let mut classifier = net(5);
+    let x = image_batch(21);
+    let model = vbpr_over(&mut classifier, &x, 8);
+    let probes = 0..model.num_users();
+    let base = baselines(&model, probes.clone());
+    // A zero budget starves the very first fresh oracle query (memo hits
+    // are free but the first probe is always a new feature here).
+    let starved = SpsaAttack::new(Epsilon::from_255(8.0), 2, 1).with_query_budget(0);
+    let items: Vec<u64> = (0..x.dims()[0] as u64).collect();
+    for threads in [1usize, 8] {
+        let target = OracleTarget::new(&classifier, &model, probes.clone(), 0, base.clone());
+        let err = rayon::with_threads(threads, || {
+            starved.perturb_batch(&target, &x, AttackGoal::Targeted(0), 7, &items, 1)
+        })
+        .expect_err("a starved budget must fail");
+        assert_eq!(
+            err,
+            AttackError::QueryBudgetExceeded { used: 0, budget: 0 },
+            "typed budget error at {threads} threads"
+        );
     }
 }

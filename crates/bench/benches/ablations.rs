@@ -11,7 +11,7 @@
 //! useless.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Pgd};
+use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Pgd, WhiteBox};
 use taamr_nn::{
     LrSchedule, SgdConfig, TinyResNet, TinyResNetConfig, Trainer, TrainerConfig,
 };
@@ -71,12 +71,12 @@ fn ablate_pgd_steps(c: &mut Criterion) {
         // everywhere), so the informative sweep is one budget up.
         let strong = Pgd::with_steps(Epsilon::from_255(16.0), steps);
         let mut rng = seeded_rng(7);
-        let rate = strong.perturb(&mut net, &x, goal, &mut rng).success_rate();
+        let rate = strong.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate();
         eprintln!("ablation pgd_steps={steps}: success {rate:.2} (ε=16)");
         group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
             b.iter(|| {
                 let mut rng = seeded_rng(8);
-                std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+                std::hint::black_box(attack.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate())
             });
         });
     }
@@ -92,21 +92,21 @@ fn ablate_random_start(c: &mut Criterion) {
     let mut rng = seeded_rng(9);
     let strong_bim = Bim::new(Epsilon::from_255(16.0), 10);
     let strong_pgd = Pgd::new(Epsilon::from_255(16.0));
-    let r_bim = strong_bim.perturb(&mut net, &x, goal, &mut rng).success_rate();
-    let r_pgd = strong_pgd.perturb(&mut net, &x, goal, &mut rng).success_rate();
+    let r_bim = strong_bim.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate();
+    let r_pgd = strong_pgd.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate();
     eprintln!("ablation random_start (ε=16): BIM {r_bim:.2} vs PGD {r_pgd:.2}");
     let mut group = c.benchmark_group("random_start");
     group.sample_size(10);
     group.bench_function("bim10", |b| {
         b.iter(|| {
             let mut rng = seeded_rng(10);
-            std::hint::black_box(bim.perturb(&mut net, &x, goal, &mut rng).success_rate())
+            std::hint::black_box(bim.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate())
         });
     });
     group.bench_function("pgd10", |b| {
         b.iter(|| {
             let mut rng = seeded_rng(11);
-            std::hint::black_box(pgd.perturb(&mut net, &x, goal, &mut rng).success_rate())
+            std::hint::black_box(pgd.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate())
         });
     });
     group.finish();
@@ -122,8 +122,10 @@ fn ablate_goal(c: &mut Criterion) {
         net.predict(&x)[0]
     };
     let strong = Pgd::new(Epsilon::from_255(16.0));
-    let targeted = strong.perturb(&mut net, &x, AttackGoal::Targeted((src + 1) % 4), &mut rng);
-    let untargeted = strong.perturb(&mut net, &x, AttackGoal::Untargeted(src), &mut rng);
+    let targeted =
+        strong.perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted((src + 1) % 4), &mut rng).unwrap();
+    let untargeted =
+        strong.perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Untargeted(src), &mut rng).unwrap();
     eprintln!(
         "ablation goal (ε=16): targeted {:.2} vs untargeted {:.2}",
         targeted.success_rate(),
@@ -135,7 +137,7 @@ fn ablate_goal(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = seeded_rng(13);
             std::hint::black_box(
-                pgd.perturb(&mut net, &x, AttackGoal::Targeted(1), &mut rng).success_rate(),
+                pgd.perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Targeted(1), &mut rng).unwrap().success_rate(),
             )
         });
     });
@@ -143,7 +145,7 @@ fn ablate_goal(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = seeded_rng(14);
             std::hint::black_box(
-                pgd.perturb(&mut net, &x, AttackGoal::Untargeted(src), &mut rng).success_rate(),
+                pgd.perturb(&mut WhiteBox(&mut net), &x, AttackGoal::Untargeted(src), &mut rng).unwrap().success_rate(),
             )
         });
     });

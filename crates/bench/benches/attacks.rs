@@ -2,7 +2,7 @@
 //! Medium-scale CNN — the dominant cost of regenerating Tables II–IV.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Fgsm, Pgd};
+use taamr_attack::{Attack, AttackGoal, Bim, Epsilon, Fgsm, Pgd, WhiteBox};
 use taamr_nn::{TinyResNet, TinyResNetConfig};
 use taamr_tensor::{seeded_rng, Tensor};
 
@@ -28,21 +28,21 @@ fn bench_attacks(c: &mut Criterion) {
         let attack = Fgsm::new(eps);
         b.iter(|| {
             let mut rng = seeded_rng(2);
-            std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+            std::hint::black_box(attack.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate())
         });
     });
     c.bench_function("bim10_batch8_32px", |b| {
         let attack = Bim::new(eps, 10);
         b.iter(|| {
             let mut rng = seeded_rng(3);
-            std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+            std::hint::black_box(attack.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate())
         });
     });
     c.bench_function("pgd10_batch8_32px", |b| {
         let attack = Pgd::new(eps);
         b.iter(|| {
             let mut rng = seeded_rng(4);
-            std::hint::black_box(attack.perturb(&mut net, &x, goal, &mut rng).success_rate())
+            std::hint::black_box(attack.perturb(&mut WhiteBox(&mut net), &x, goal, &mut rng).unwrap().success_rate())
         });
     });
 }

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use taamr_attack::{
-    adversarial_finetune, AdversarialTrainingConfig, Attack, AttackGoal, Epsilon, Pgd,
+    adversarial_finetune, AdversarialTrainingConfig, Attack, AttackGoal, Epsilon, Pgd, WhiteBox,
 };
 use taamr_nn::{
     distill, DistillConfig, LrSchedule, SgdConfig, TinyResNet, TinyResNetConfig, Trainer,
@@ -98,7 +98,8 @@ fn bench_defenses(c: &mut Criterion) {
         ("distilled", &mut s.distilled),
     ] {
         let mut rng = seeded_rng(7);
-        let rate = attack.perturb(net, &s.eval_batch, goal, &mut rng).success_rate();
+        let rate =
+            attack.perturb(&mut WhiteBox(net), &s.eval_batch, goal, &mut rng).unwrap().success_rate();
         eprintln!("defense ablation: PGD ε=8 targeted success vs {name}: {rate:.2}");
     }
 
@@ -108,7 +109,10 @@ fn bench_defenses(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = seeded_rng(8);
             std::hint::black_box(
-                attack.perturb(&mut s.vanilla, &s.eval_batch, goal, &mut rng).success_rate(),
+                attack
+                    .perturb(&mut WhiteBox(&mut s.vanilla), &s.eval_batch, goal, &mut rng)
+                    .unwrap()
+                    .success_rate(),
             )
         });
     });
@@ -116,7 +120,10 @@ fn bench_defenses(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = seeded_rng(9);
             std::hint::black_box(
-                attack.perturb(&mut s.hardened, &s.eval_batch, goal, &mut rng).success_rate(),
+                attack
+                    .perturb(&mut WhiteBox(&mut s.hardened), &s.eval_batch, goal, &mut rng)
+                    .unwrap()
+                    .success_rate(),
             )
         });
     });

@@ -12,7 +12,7 @@
 //! holds the `#[ignore]`d assertion form of this contract.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use taamr_attack::{item_seed, par_attack_batch, AttackGoal, Epsilon, Pgd};
+use taamr_attack::{Attack, AttackGoal, Epsilon, Pgd, WhiteBoxTarget};
 use taamr_metrics::category_hit_ratio_all;
 use taamr_nn::{TinyResNet, TinyResNetConfig};
 use taamr_tensor::{seeded_rng, Tensor};
@@ -50,9 +50,10 @@ fn bench_pgd_batch(c: &mut Criterion) {
     };
     let net = TinyResNet::new(&cfg, &mut seeded_rng(2));
     let images = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(3));
-    let seeds: Vec<u64> = (0..8).map(|i| item_seed(42, i)).collect();
+    let items: Vec<u64> = (0..8).collect();
     let pgd = Pgd::new(Epsilon::from_255(8.0));
     let goal = AttackGoal::Targeted(1);
+    let target = WhiteBoxTarget::new(&net);
 
     let mut group = c.benchmark_group("pgd10_batch8");
     for parallel in [false, true] {
@@ -60,7 +61,9 @@ fn bench_pgd_batch(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(mode), |bench| {
             bench.iter(|| {
                 at(parallel, || {
-                    par_attack_batch(&net, &pgd, &images, goal, &seeds, 1).success_rate()
+                    pgd.perturb_batch(&target, &images, goal, 42, &items, 1)
+                        .expect("white-box attack cannot fail")
+                        .success_rate()
                 })
             });
         });

@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the checkpoint format; bump on any layout change so stale
 /// checkpoints from older builds are rejected instead of misread.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2: the attack grid gained black-box and embedding-space cells,
+/// so cell checkpoints from version-1 runs cover a different grid.
+pub const SCHEMA_VERSION: u32 = 2;
 
 // The workspace's one FNV-1a definition now lives in `taamr-replay` (which
 // also hashes model/attack artifacts with it); re-exported here so existing

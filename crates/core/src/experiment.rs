@@ -189,7 +189,7 @@ fn save_figure2_panels(
     scenario: crate::AttackScenario,
     report: &Figure2Report,
 ) {
-    use taamr_attack::{Attack, AttackGoal, Epsilon, Pgd};
+    use taamr_attack::{Attack, AttackGoal, Epsilon, Pgd, WhiteBox};
     let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
     let eps = Epsilon::from_255(report.epsilon_255);
     let clean = pipeline.catalog().batch(&[report.item]);
@@ -198,15 +198,17 @@ fn save_figure2_panels(
     // The attack only touches gradient buffers, so the scoped mutable
     // access below detects no weight change and recomputes nothing.
     let adv = pipeline.with_classifier_mut(|classifier| {
-        Pgd::new(eps).perturb(
-            classifier,
-            &clean,
-            AttackGoal::Targeted(scenario.target.id()),
-            &mut rng,
-        )
+        Pgd::new(eps)
+            .perturb(
+                &mut WhiteBox(classifier),
+                &clean,
+                AttackGoal::Targeted(scenario.target.id()),
+                &mut rng,
+            )
+            .expect("white-box PGD cannot fail on a white-box worker")
     });
     let clean_img = pipeline.catalog().image(report.item).clone();
-    let adv_imgs = taamr_vision::tensor_to_images(&adv.images).expect("attack preserves shape");
+    let adv_imgs = taamr_vision::tensor_to_images(&adv.data).expect("attack preserves shape");
     let eps_tag = report.epsilon_255 as u32;
     let clean_path = format!("{dir}/figure2-item{}-clean.ppm", report.item);
     let adv_path = format!("{dir}/figure2-item{}-eps{}-attacked.ppm", report.item, eps_tag);
@@ -272,9 +274,9 @@ mod tests {
     fn run_dataset_tiny_produces_full_grid() {
         let report =
             run_dataset(ExperimentScale::Tiny, SyntheticConfig::amazon_men_like()).unwrap();
-        // 2 models × ≤2 scenarios × 2 attacks × 4 ε.
+        // 2 models × ≤2 scenarios × (2 pixel attacks × 4 ε + SPSA + 2 embed).
         assert!(!report.outcomes.is_empty());
-        assert_eq!(report.outcomes.len() % 8, 0, "each scenario contributes 8 outcomes");
+        assert_eq!(report.outcomes.len() % 11, 0, "each scenario contributes 11 outcomes");
         // Table renders work on real data.
         assert!(report.render_table2().contains("TABLE II"));
         assert!(report.render_table3().contains("TABLE III"));

@@ -1,9 +1,9 @@
 //! Golden experiment profiles: small, fully pinned record/replay runs.
 //!
 //! A golden profile names a tiny-scale pipeline configuration plus a fixed
-//! set of attack cells — one cell per attack family (FGSM, BIM, PGD) and
-//! one defended (AMR) cell — and knows how to execute it under a replay
-//! recorder. Recording and replaying are the *same operation*: a replay
+//! set of attack cells — one cell per white-box pixel family (FGSM, BIM,
+//! PGD), one defended (AMR) cell, and one black-box SPSA cell — and knows
+//! how to execute it under a replay recorder. Recording and replaying are the *same operation*: a replay
 //! re-runs the profile with a fresh recorder and diffs the resulting
 //! command stream against the checked-in record
 //! (`tests/golden_records/<name>.rec`), so the first stage whose artifact
@@ -15,12 +15,12 @@
 //! cargo run --release -p taamr-bench --bin replay -- regen tests/golden_records
 //! ```
 
-use taamr_attack::{Attack, Bim, Epsilon, Fgsm, Pgd};
+use taamr_attack::SpsaAttack;
 use taamr_data::SyntheticConfig;
 use taamr_replay::{CommandKind, ExperimentRecord};
 
 use crate::checkpoint::config_fingerprint;
-use crate::{ExperimentScale, ModelKind, Pipeline, PipelineConfig, PipelineError};
+use crate::{AttackSpec, ExperimentScale, ModelKind, Pipeline, PipelineConfig, PipelineError};
 
 /// A named, fully pinned experiment profile backing one golden record.
 #[derive(Debug, Clone)]
@@ -70,8 +70,9 @@ impl GoldenProfile {
     /// Executes the profile under a replay recorder and returns the
     /// resulting record: full pipeline build (dataset, CNN, features, VBPR
     /// warm-up, VBPR, AMR — each hook fires at its stage boundary), then
-    /// one attack cell per family against VBPR, one PGD cell against the
-    /// AMR defense, then a report command over all four outcomes.
+    /// one attack cell per white-box pixel family against VBPR, one PGD
+    /// cell against the AMR defense, one black-box SPSA cell against VBPR,
+    /// then a report command over all five outcomes.
     ///
     /// # Errors
     ///
@@ -95,19 +96,25 @@ impl GoldenProfile {
             .into_iter()
             .next()
             .ok_or(PipelineError::NoScenario)?;
-        let eps = Epsilon::from_255(8.0);
-        let fgsm = Fgsm::new(eps);
-        let bim = Bim::new(eps, 3);
-        let pgd = Pgd::new(eps);
-        let cells: [(&str, ModelKind, &dyn Attack); 4] = [
-            ("cell-fgsm-vbpr", ModelKind::Vbpr, &fgsm),
-            ("cell-bim-vbpr", ModelKind::Vbpr, &bim),
-            ("cell-pgd-vbpr", ModelKind::Vbpr, &pgd),
-            ("cell-pgd-amr", ModelKind::Amr, &pgd),
+        let fgsm = AttackSpec::Fgsm { epsilon_255: 8.0 };
+        let bim = AttackSpec::Bim { epsilon_255: 8.0, steps: 3 };
+        let pgd = AttackSpec::Pgd { epsilon_255: 8.0 };
+        let spsa = AttackSpec::BlackBox {
+            epsilon_255: 8.0,
+            steps: 2,
+            samples: 2,
+            query_budget: SpsaAttack::required_queries(2, 2),
+        };
+        let cells: [(&str, ModelKind, AttackSpec); 5] = [
+            ("cell-fgsm-vbpr", ModelKind::Vbpr, fgsm),
+            ("cell-bim-vbpr", ModelKind::Vbpr, bim),
+            ("cell-pgd-vbpr", ModelKind::Vbpr, pgd),
+            ("cell-pgd-amr", ModelKind::Amr, pgd),
+            ("cell-spsa-vbpr", ModelKind::Vbpr, spsa),
         ];
         let mut outcomes = Vec::with_capacity(cells.len());
-        for (label, kind, attack) in cells {
-            let outcome = pipeline.run_attack(kind, attack, scenario)?;
+        for (label, kind, spec) in cells {
+            let outcome = pipeline.run_attack(kind, &spec, scenario)?;
             taamr_replay::record_with(CommandKind::AttackCell, label, || {
                 taamr_replay::json_hash(&outcome)
             });

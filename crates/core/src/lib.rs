@@ -15,7 +15,7 @@
 //! | CNN classifier / feature extractor (layer `e`) | [`taamr_nn`] |
 //! | implicit feedback data (Zipf popularity, 5-core) | [`taamr_data`] |
 //! | recommenders: BPR-MF, VBPR, AMR | [`taamr_recsys`] |
-//! | attacks: FGSM, BIM, PGD | [`taamr_attack`] |
+//! | attacks: FGSM, BIM, PGD, black-box SPSA, embedding-space | [`taamr_attack`] |
 //! | CHR@N, success rate, PSNR/SSIM/PSM | [`taamr_metrics`] |
 //!
 //! The central type is [`Pipeline`]: it builds the whole system (train CNN →
@@ -55,7 +55,7 @@ pub use catalog::{extract_features, l2_normalize_rows, CatalogImages};
 pub use checkpoint::{config_fingerprint, CheckpointError, RunDir, SCHEMA_VERSION};
 pub use config::{CnnConfig, ExperimentScale, PipelineConfig, RecTrainConfig};
 pub use error::PipelineError;
-pub use pipeline::{AttackOutcome, ItemToItemOutcome, ModelKind, Pipeline};
+pub use pipeline::{AttackOutcome, AttackSpec, ItemToItemOutcome, ModelKind, Pipeline};
 pub use report::{
     CellError, DatasetReport, Figure2Report, Table2Row, Table3Row, Table4Row, VisualQuality,
 };

@@ -16,9 +16,10 @@
 //!   norm applies frozen running statistics), so batches split into
 //!   sub-batches that run on model clones.
 //! * **Attacks** — every attacked item draws its own RNG stream from a seed
-//!   derived as `master ^ (item_id << 20)` ([`item_seed`]), so
-//!   [`par_attack_batch`] returns the same bytes as a serial per-item loop
-//!   regardless of chunking or thread count.
+//!   derived as `master ^ (item_id << 20)`
+//!   ([`taamr_attack::Attack::item_seed`]), so the trait's batch driver
+//!   ([`taamr_attack::Attack::perturb_batch`]) returns the same bytes as a
+//!   serial per-item loop regardless of chunking or thread count.
 //! * **Metrics** — per-user hit counts and ranks are integers; parallel maps
 //!   collect in user order and reduce serially, which is exact.
 //!
@@ -41,7 +42,6 @@
 //! wall-clock time, never results.
 
 pub use rayon::{current_num_threads, serial_feature_enabled, with_threads};
-pub use taamr_attack::{item_seed, par_attack_batch};
 pub use taamr_nn::parallel::{batch_chunks, par_features, par_predict};
 pub use taamr_recsys::par_top_n_all;
 

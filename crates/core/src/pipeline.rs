@@ -5,8 +5,8 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use taamr_attack::{
-    item_seed, par_attack_batch, AdversarialBatch, Attack, AttackGoal, Epsilon, FeatureMatch,
-    Fgsm, Pgd,
+    AdversarialBatch, Attack, AttackGoal, Bim, EmbedAttack, EmbedTarget, Epsilon, FeatureMatch,
+    Fgsm, OracleTarget, Pgd, SpsaAttack, Surface, WhiteBoxTarget,
 };
 use taamr_data::{ImplicitDataset, SyntheticDataset};
 use taamr_metrics::chr::category_hit_ratio_all;
@@ -52,13 +52,128 @@ impl ModelKind {
     }
 }
 
+/// A serialisable description of one attack configuration — the unified
+/// entry point of [`Pipeline::run_attack`] across every attacker family
+/// (white-box pixel, black-box pixel, and embedding-space).
+///
+/// A spec is plain data: it names the attacker and its budget, and
+/// [`AttackSpec::build`] instantiates the boxed [`Attack`]. Specs serialise
+/// into grid-cell checkpoints and replay records, so a resumed or replayed
+/// experiment reconstructs exactly the attacker that produced a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// One-step signed-gradient attack (paper Eq. 5).
+    Fgsm {
+        /// `l∞` budget on the 0–255 scale.
+        epsilon_255: f32,
+    },
+    /// Iterative FGSM.
+    Bim {
+        /// `l∞` budget on the 0–255 scale.
+        epsilon_255: f32,
+        /// Gradient steps.
+        steps: usize,
+    },
+    /// PGD with the paper's 10 iterations and a random start.
+    Pgd {
+        /// `l∞` budget on the 0–255 scale.
+        epsilon_255: f32,
+    },
+    /// Query-budgeted black-box SPSA against the score oracle.
+    BlackBox {
+        /// `l∞` budget on the 0–255 scale.
+        epsilon_255: f32,
+        /// SPSA iterates.
+        steps: usize,
+        /// Rademacher probe pairs per iterate.
+        samples: usize,
+        /// Per-item fresh-query budget against the score oracle.
+        query_budget: u64,
+    },
+    /// Sign-rule embedding-space ascent inside an `l2` ball.
+    EmbedSign {
+        /// `l2` ball radius around the clean item feature.
+        radius: f32,
+        /// Ascent steps.
+        steps: usize,
+    },
+    /// Normalised-gradient embedding-space ascent inside an `l2` ball.
+    EmbedL2 {
+        /// `l2` ball radius around the clean item feature.
+        radius: f32,
+        /// Ascent steps.
+        steps: usize,
+    },
+}
+
+impl AttackSpec {
+    /// Instantiates the attacker this spec describes.
+    pub fn build(&self) -> Box<dyn Attack> {
+        match *self {
+            AttackSpec::Fgsm { epsilon_255 } => {
+                Box::new(Fgsm::new(Epsilon::from_255(epsilon_255)))
+            }
+            AttackSpec::Bim { epsilon_255, steps } => {
+                Box::new(Bim::new(Epsilon::from_255(epsilon_255), steps))
+            }
+            AttackSpec::Pgd { epsilon_255 } => {
+                Box::new(Pgd::new(Epsilon::from_255(epsilon_255)))
+            }
+            AttackSpec::BlackBox { epsilon_255, steps, samples, query_budget } => Box::new(
+                SpsaAttack::new(Epsilon::from_255(epsilon_255), steps, samples)
+                    .with_query_budget(query_budget),
+            ),
+            AttackSpec::EmbedSign { radius, steps } => Box::new(EmbedAttack::sign(radius, steps)),
+            AttackSpec::EmbedL2 { radius, steps } => Box::new(EmbedAttack::l2(radius, steps)),
+        }
+    }
+
+    /// The surface the attacker perturbs; [`Pipeline::run_attack`] dispatches
+    /// its measurement path on this.
+    pub fn surface(&self) -> Surface {
+        match self {
+            AttackSpec::Fgsm { .. }
+            | AttackSpec::Bim { .. }
+            | AttackSpec::Pgd { .. }
+            | AttackSpec::BlackBox { .. } => Surface::Pixels,
+            AttackSpec::EmbedSign { .. } | AttackSpec::EmbedL2 { .. } => Surface::Embeddings,
+        }
+    }
+
+    /// The attacker's report name; matches [`Attack::name`] of the built
+    /// attacker.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackSpec::Fgsm { .. } => "FGSM",
+            AttackSpec::Bim { .. } => "BIM",
+            AttackSpec::Pgd { .. } => "PGD",
+            AttackSpec::BlackBox { .. } => "SPSA",
+            AttackSpec::EmbedSign { .. } => "EmbedSign",
+            AttackSpec::EmbedL2 { .. } => "EmbedL2",
+        }
+    }
+
+    /// The pixel budget on the 0–255 scale; `0.0` for embedding-space
+    /// attacks, which measure their budget as an `l2` radius instead.
+    pub fn epsilon_255(&self) -> f32 {
+        match *self {
+            AttackSpec::Fgsm { epsilon_255 }
+            | AttackSpec::Bim { epsilon_255, .. }
+            | AttackSpec::Pgd { epsilon_255 }
+            | AttackSpec::BlackBox { epsilon_255, .. } => epsilon_255,
+            AttackSpec::EmbedSign { .. } | AttackSpec::EmbedL2 { .. } => 0.0,
+        }
+    }
+}
+
 /// Everything a single TAaMR attack run produced (one model × attack ×
 /// scenario × ε cell across Tables II–IV).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttackOutcome {
-    /// Attack name ("FGSM" / "PGD").
+    /// Attack name ("FGSM", "PGD", "SPSA", "EmbedSign", "EmbedL2", …).
     pub attack: String,
-    /// Budget on the 0–255 scale.
+    /// Budget on the 0–255 scale (0 for embedding-space attacks, whose
+    /// budget is an `l2` radius).
     pub epsilon_255: f32,
     /// Model under attack.
     pub model: ModelKind,
@@ -614,24 +729,37 @@ impl Pipeline {
         AttackScenario::select_pair(&chr, &sizes, 5)
     }
 
-    /// Runs one attack configuration end-to-end and measures its impact:
-    /// perturb every source-category image, re-extract features, re-rank,
-    /// and compute CHR / success-rate / visual-quality numbers.
+    /// Runs one attack configuration end-to-end and measures its impact.
+    ///
+    /// The spec's [`Surface`] picks the measurement path: pixel attacks
+    /// (white-box or black-box) perturb every source-category image,
+    /// re-extract features and re-rank; embedding attacks perturb the item
+    /// feature vectors directly and re-rank. Both paths produce the same
+    /// CHR / success-rate / perceptibility numbers, so every attacker family
+    /// flows through the unchanged grid, checkpointing and replay machinery.
     ///
     /// # Errors
     ///
-    /// An unusable scenario (e.g. an empty source category) becomes a
+    /// An unusable scenario (e.g. an empty source category) or a failed
+    /// attack (e.g. an overspent black-box query budget) becomes a
     /// [`PipelineError`] so a grid run can record the cell as failed and
     /// keep going.
     pub fn run_attack(
         &mut self,
         kind: ModelKind,
-        attack: &dyn Attack,
+        spec: &AttackSpec,
         scenario: AttackScenario,
     ) -> Result<AttackOutcome, PipelineError> {
-        let source_id = scenario.source.id();
-        let target_id = scenario.target.id();
-        let mut items = self.dataset().items_of_category(source_id);
+        match spec.surface() {
+            Surface::Pixels => self.run_pixel_attack(kind, spec, scenario),
+            Surface::Embeddings => self.run_embedding_attack(kind, spec, scenario),
+        }
+    }
+
+    /// The attacked items of a scenario's source category, capped at this
+    /// scale's per-cell limit.
+    fn attack_items(&self, scenario: AttackScenario) -> Result<Vec<usize>, PipelineError> {
+        let mut items = self.dataset().items_of_category(scenario.source.id());
         if items.is_empty() {
             return Err(PipelineError::AttackFailed {
                 message: format!("source category {} has no items", scenario.source),
@@ -640,6 +768,59 @@ impl Pipeline {
         if let Some(cap) = self.attack_item_cap() {
             items.truncate(cap);
         }
+        Ok(items)
+    }
+
+    /// The probe users black-box and embedding attackers average scores
+    /// over: a fixed prefix of the user base, capped so oracle queries stay
+    /// cheap at every scale.
+    fn probe_users(&self) -> std::ops::Range<usize> {
+        0..self.dataset().num_users().min(32)
+    }
+
+    /// Per-item clean baseline scores `(item, probe-mean)` for a black-box
+    /// cell, computed through the model's persistent [`ScoringEngine`] in
+    /// ascending user order with an `f64` accumulator — bitwise the same
+    /// mean the oracle's sandbox path produces, so "did the attack promote
+    /// the item?" is judged against the serving-layer scores.
+    fn oracle_baselines(
+        &self,
+        kind: ModelKind,
+        items: &[usize],
+        probes: std::ops::Range<usize>,
+    ) -> Vec<(u64, f32)> {
+        let model = self.model(kind);
+        let mut engine = self.scorer(kind);
+        engine.ensure(model);
+        let mut block = taamr_recsys::ScoreBlock::new();
+        let mut sums = vec![0.0f64; items.len()];
+        let mut start = probes.start;
+        while start < probes.end {
+            let end = probes.end.min(start + taamr_recsys::SCORE_BLOCK_USERS);
+            Self::fresh(engine.score_block(model, start..end, &mut block));
+            for u in start..end {
+                let row = block.row(u);
+                for (sum, &item) in sums.iter_mut().zip(items) {
+                    *sum += f64::from(row[item]);
+                }
+            }
+            start = end;
+        }
+        let n = probes.len().max(1) as f64;
+        items.iter().zip(sums).map(|(&item, sum)| (item as u64, (sum / n) as f32)).collect()
+    }
+
+    /// The pixel-surface measurement path shared by white-box and black-box
+    /// attackers: perturb images, re-extract features, re-rank.
+    fn run_pixel_attack(
+        &mut self,
+        kind: ModelKind,
+        spec: &AttackSpec,
+        scenario: AttackScenario,
+    ) -> Result<AttackOutcome, PipelineError> {
+        let source_id = scenario.source.id();
+        let target_id = scenario.target.id();
+        let items = self.attack_items(scenario)?;
 
         // Baseline CHR (before swapping features) — served from the model's
         // persistent embedding cache; only the first grid cell rebuilds it.
@@ -649,21 +830,54 @@ impl Pipeline {
         // RNG stream from a seed combining the experiment seed, the scenario
         // and the item id, so the outcome is bitwise independent of chunking
         // and thread count.
+        let attack = spec.build();
         let goal = AttackGoal::Targeted(target_id);
         let d = self.classifier.feature_dim();
         let master = self.config.seed ^ (source_id as u64) << 8 ^ (target_id as u64) << 16;
-        let item_seeds: Vec<u64> =
-            items.iter().map(|&item| item_seed(master, item as u64)).collect();
+        let item_ids: Vec<u64> = items.iter().map(|&item| item as u64).collect();
         let clean = self.catalog.batch(&items);
-        let adv = par_attack_batch(&self.classifier, attack, &clean, goal, &item_seeds, 8);
+        let adv = if let AttackSpec::BlackBox { query_budget, .. } = spec {
+            // Black-box cells hide the whole deployed pipeline (feature
+            // extraction, normalisation, scoring) behind a budgeted score
+            // oracle; clean baselines are batched through the persistent
+            // engine up front so worker threads never rebuild scoring caches.
+            let probes = self.probe_users();
+            let baselines = self.oracle_baselines(kind, &items, probes.clone());
+            match kind {
+                ModelKind::Vbpr => {
+                    let target = OracleTarget::new(
+                        &self.classifier,
+                        &self.vbpr,
+                        probes,
+                        *query_budget,
+                        baselines,
+                    );
+                    attack.perturb_batch(&target, &clean, goal, master, &item_ids, 8)
+                }
+                ModelKind::Amr => {
+                    let target = OracleTarget::new(
+                        &self.classifier,
+                        &self.amr,
+                        probes,
+                        *query_budget,
+                        baselines,
+                    );
+                    attack.perturb_batch(&target, &clean, goal, master, &item_ids, 8)
+                }
+            }
+        } else {
+            let target = WhiteBoxTarget::new(&self.classifier);
+            attack.perturb_batch(&target, &clean, goal, master, &item_ids, 8)
+        }
+        .map_err(|e| PipelineError::AttackFailed { message: e.to_string() })?;
         let successes = adv.success.iter().filter(|&&s| s).count();
         // Features of the attacked images.
         let attacked_features: Vec<f32> =
-            par_features(&self.classifier, &adv.images, 16).into_vec();
+            par_features(&self.classifier, &adv.data, 16).into_vec();
         // Visual metrics, one independent job per image, collected in item
         // order and reduced serially.
         let adv_images =
-            tensor_to_images(&adv.images).expect("attack preserves the NCHW image shape");
+            tensor_to_images(&adv.data).expect("attack preserves the NCHW image shape");
         let qualities: Vec<(f64, f64, f64)> = (0..items.len())
             .into_par_iter()
             .map(|k| {
@@ -708,7 +922,95 @@ impl Pipeline {
 
         Ok(AttackOutcome {
             attack: attack.name().to_owned(),
-            epsilon_255: attack.epsilon().as_255(),
+            epsilon_255: spec.epsilon_255(),
+            model: kind,
+            source: scenario.source.name().to_owned(),
+            target: scenario.target.name().to_owned(),
+            semantically_similar: scenario.is_semantically_similar(),
+            chr_source_before: chr_before[source_id],
+            chr_target_before: chr_before[target_id],
+            chr_source_after: chr_after[source_id],
+            success_rate: successes as f64 / items.len() as f64,
+            visual: quality_acc.mean(),
+            attacked_items: items.len(),
+        })
+    }
+
+    /// The embedding-surface measurement path: perturb item feature vectors
+    /// directly (no CNN in the loop), then re-rank with the perturbed rows.
+    ///
+    /// There are no images to compare, so the perceptibility cell reports
+    /// the clamped-identical PSNR/SSIM and the PSM between clean and
+    /// perturbed feature rows — the metric that actually lives on this
+    /// surface.
+    fn run_embedding_attack(
+        &mut self,
+        kind: ModelKind,
+        spec: &AttackSpec,
+        scenario: AttackScenario,
+    ) -> Result<AttackOutcome, PipelineError> {
+        let source_id = scenario.source.id();
+        let target_id = scenario.target.id();
+        let items = self.attack_items(scenario)?;
+        let chr_before = self.chr_cached(kind);
+
+        let attack = spec.build();
+        let goal = AttackGoal::Targeted(target_id);
+        let master = self.config.seed ^ (source_id as u64) << 8 ^ (target_id as u64) << 16;
+        let item_ids: Vec<u64> = items.iter().map(|&item| item as u64).collect();
+        // The clean payload: one feature row per attacked item, exactly as
+        // the recommender holds them (already L2-normalised by training).
+        let probes = self.probe_users();
+        let (clean, adv) = match kind {
+            ModelKind::Vbpr => {
+                let clean = feature_rows(&self.vbpr, &items);
+                let target = EmbedTarget::new(&self.vbpr, probes);
+                let adv = attack.perturb_batch(&target, &clean, goal, master, &item_ids, 8);
+                (clean, adv)
+            }
+            ModelKind::Amr => {
+                let clean = feature_rows(&self.amr, &items);
+                let target = EmbedTarget::new(&self.amr, probes);
+                let adv = attack.perturb_batch(&target, &clean, goal, master, &item_ids, 8);
+                (clean, adv)
+            }
+        };
+        let adv = adv.map_err(|e| PipelineError::AttackFailed { message: e.to_string() })?;
+        let successes = adv.success.iter().filter(|&&s| s).count();
+
+        let d = clean.dims()[1];
+        let mut quality_acc = QualityAccumulator::default();
+        for k in 0..items.len() {
+            let f_clean = &clean.as_slice()[k * d..(k + 1) * d];
+            let f_adv = &adv.data.as_slice()[k * d..(k + 1) * d];
+            // No pixels changed on this surface: PSNR is at the identical-
+            // image clamp, SSIM at 1; PSM measures the feature drift.
+            quality_acc.add(99.0, 1.0, psm(f_clean, f_adv).expect("same dims"));
+        }
+
+        // Re-rank with the perturbed rows swapped directly into a scratch
+        // copy of the model — the attack already operates on the model's own
+        // (normalised) feature scale, so no re-normalisation happens here.
+        let chr_after = match kind {
+            ModelKind::Vbpr => {
+                let mut m = self.vbpr.clone();
+                for (k, &item) in items.iter().enumerate() {
+                    m.set_item_feature(item, &adv.data.as_slice()[k * d..(k + 1) * d]);
+                }
+                self.chr_per_category(&m)
+            }
+            ModelKind::Amr => {
+                let mut m = self.amr.clone();
+                for (k, &item) in items.iter().enumerate() {
+                    m.set_item_feature(item, &adv.data.as_slice()[k * d..(k + 1) * d]);
+                }
+                self.chr_per_category(&m)
+            }
+        };
+
+        Ok(AttackOutcome {
+            attack: attack.name().to_owned(),
+            epsilon_255: spec.epsilon_255(),
             model: kind,
             source: scenario.source.name().to_owned(),
             target: scenario.target.name().to_owned(),
@@ -741,18 +1043,38 @@ impl Pipeline {
         [similar, dissimilar].into_iter().flatten().collect()
     }
 
-    /// The full attack grid in deterministic order: every model × scenario
-    /// × ε × attack cell. Cell ordinals index fault injection and per-cell
-    /// checkpoints.
-    fn attack_grid(&self) -> Vec<(ModelKind, AttackScenario, Epsilon, bool)> {
+    /// The full attack grid in deterministic order. Cell ordinals index
+    /// fault injection and per-cell checkpoints.
+    ///
+    /// Layout: the paper's pixel cells first (model × scenario × ε ×
+    /// {FGSM, PGD}, in the pre-existing order), then the new attacker
+    /// families (model × scenario × {black-box SPSA, EmbedSign, EmbedL2})
+    /// appended at the end — so every pre-existing cell keeps its ordinal,
+    /// checkpoint name, fault index and replay hash.
+    fn attack_grid(&self) -> Vec<(ModelKind, AttackScenario, AttackSpec)> {
         let mut cells = Vec::new();
         for kind in ModelKind::ALL {
             for scenario in self.experiment_scenarios(kind) {
                 for eps in Epsilon::paper_sweep() {
-                    for is_pgd in [false, true] {
-                        cells.push((kind, scenario, eps, is_pgd));
-                    }
+                    cells.push((kind, scenario, AttackSpec::Fgsm { epsilon_255: eps.as_255() }));
+                    cells.push((kind, scenario, AttackSpec::Pgd { epsilon_255: eps.as_255() }));
                 }
+            }
+        }
+        for kind in ModelKind::ALL {
+            for scenario in self.experiment_scenarios(kind) {
+                cells.push((
+                    kind,
+                    scenario,
+                    AttackSpec::BlackBox {
+                        epsilon_255: 8.0,
+                        steps: 2,
+                        samples: 2,
+                        query_budget: SpsaAttack::required_queries(2, 2),
+                    },
+                ));
+                cells.push((kind, scenario, AttackSpec::EmbedSign { radius: 0.5, steps: 5 }));
+                cells.push((kind, scenario, AttackSpec::EmbedL2 { radius: 0.5, steps: 5 }));
             }
         }
         cells
@@ -763,15 +1085,13 @@ impl Pipeline {
     fn run_cell(
         &mut self,
         ordinal: u64,
-        (kind, scenario, eps, is_pgd): (ModelKind, AttackScenario, Epsilon, bool),
+        (kind, scenario, spec): (ModelKind, AttackScenario, AttackSpec),
     ) -> CellRecord {
         let _span = taamr_obs::span("attack-cell");
-        let attack: Box<dyn Attack> =
-            if is_pgd { Box::new(Pgd::new(eps)) } else { Box::new(Fgsm::new(eps)) };
         let result = if taamr_fault::fire(FaultSite::AttackCell, ordinal) {
             Err(PipelineError::AttackFailed { message: "injected cell fault".to_owned() })
         } else {
-            self.run_attack(kind, attack.as_ref(), scenario)
+            self.run_attack(kind, &spec, scenario)
         };
         match result {
             Ok(outcome) => CellRecord { outcome: Some(outcome), error: None },
@@ -779,10 +1099,10 @@ impl Pipeline {
                 outcome: None,
                 error: Some(CellError {
                     model: kind,
-                    attack: attack.name().to_owned(),
+                    attack: spec.name().to_owned(),
                     source: scenario.source.name().to_owned(),
                     target: scenario.target.name().to_owned(),
-                    epsilon_255: eps.as_255(),
+                    epsilon_255: spec.epsilon_255(),
                     message: e.to_string(),
                 }),
             },
@@ -811,8 +1131,10 @@ impl Pipeline {
         }
     }
 
-    /// Runs the paper's full per-dataset experiment: both models, both
-    /// attacks (FGSM and 10-step PGD), both scenarios, all four ε values.
+    /// Runs the full per-dataset experiment: the paper's grid (both models,
+    /// FGSM and 10-step PGD, both scenarios, all four ε values) plus one
+    /// black-box SPSA cell and both embedding-space cells per model ×
+    /// scenario.
     ///
     /// A cell that fails is recorded as a [`CellError`] in the report (the
     /// tables render a marked gap) rather than aborting the whole grid.
@@ -897,17 +1219,25 @@ impl Pipeline {
         // to the first item if none flips at this ε.
         let candidates: Vec<usize> = items.iter().take(32).copied().collect();
         let master = self.config.seed ^ 0xF16;
-        let seeds: Vec<u64> =
-            candidates.iter().map(|&c| item_seed(master, c as u64)).collect();
+        let candidate_ids: Vec<u64> = candidates.iter().map(|&c| c as u64).collect();
         let batch = self.catalog.batch(&candidates);
-        let all = par_attack_batch(&self.classifier, &pgd, &batch, goal, &seeds, 4);
+        let all = pgd
+            .perturb_batch(
+                &WhiteBoxTarget::new(&self.classifier),
+                &batch,
+                goal,
+                master,
+                &candidate_ids,
+                4,
+            )
+            .expect("white-box PGD cannot fail on a white-box target");
         let k = all.success.iter().position(|&s| s).unwrap_or(0);
         let item = candidates[k];
         let sample_dims = [1, batch.dims()[1], batch.dims()[2], batch.dims()[3]];
         let sample_len: usize = sample_dims[1..].iter().product();
         let adv = AdversarialBatch {
-            images: Tensor::from_vec(
-                all.images.as_slice()[k * sample_len..(k + 1) * sample_len].to_vec(),
+            data: Tensor::from_vec(
+                all.data.as_slice()[k * sample_len..(k + 1) * sample_len].to_vec(),
                 &sample_dims,
             )
             .expect("row shape is consistent"),
@@ -917,9 +1247,9 @@ impl Pipeline {
         let clean = self.catalog.batch(&[item]);
 
         let p_clean = self.classifier.probabilities(&clean);
-        let p_adv = self.classifier.probabilities(&adv.images);
+        let p_adv = self.classifier.probabilities(&adv.data);
         let d = self.classifier.feature_dim();
-        let f_adv = self.classifier.features(&adv.images);
+        let f_adv = self.classifier.features(&adv.data);
 
         // Mean and best (minimum) rank across users: the mean shows the
         // population effect, the best rank is the closest analogue of the
@@ -1068,6 +1398,18 @@ impl Pipeline {
     }
 }
 
+/// The clean feature rows of `items` as an `[n, d]` tensor, copied from the
+/// recommender's own item-feature matrix — the clean payload of
+/// embedding-surface attacks.
+fn feature_rows<M: VisualRecommender>(model: &M, items: &[usize]) -> Tensor {
+    let d = model.feature_dim();
+    let mut rows = Vec::with_capacity(items.len() * d);
+    for &item in items {
+        rows.extend_from_slice(model.item_feature(item));
+    }
+    Tensor::from_vec(rows, &[items.len(), d]).expect("row-major feature matrix")
+}
+
 /// FNV-1a fingerprint of a network's weight bits; used by
 /// [`Pipeline::with_classifier_mut`] to detect actual weight mutation
 /// (gradient buffers are not part of the state vector).
@@ -1155,8 +1497,8 @@ mod tests {
         let mut p = tiny_pipeline();
         let (similar, dissimilar) = p.select_scenarios(ModelKind::Vbpr);
         let scenario = similar.or(dissimilar).expect("a scenario exists at tiny scale");
-        let attack = Fgsm::new(Epsilon::from_255(8.0));
-        let outcome = p.run_attack(ModelKind::Vbpr, &attack, scenario).unwrap();
+        let spec = AttackSpec::Fgsm { epsilon_255: 8.0 };
+        let outcome = p.run_attack(ModelKind::Vbpr, &spec, scenario).unwrap();
         assert_eq!(outcome.attack, "FGSM");
         assert!(outcome.attacked_items > 0);
         assert!((0.0..=1.0).contains(&outcome.success_rate));
@@ -1165,6 +1507,64 @@ mod tests {
         assert!(outcome.visual.psnr > 20.0, "psnr {}", outcome.visual.psnr);
         assert!(outcome.visual.ssim > 0.5);
         assert!(outcome.visual.psm >= 0.0);
+    }
+
+    #[test]
+    fn black_box_and_embedding_specs_flow_through_the_same_pipeline() {
+        let mut p = tiny_pipeline();
+        let (similar, dissimilar) = p.select_scenarios(ModelKind::Vbpr);
+        let scenario = similar.or(dissimilar).expect("a scenario exists at tiny scale");
+        let specs = [
+            AttackSpec::BlackBox {
+                epsilon_255: 8.0,
+                steps: 2,
+                samples: 1,
+                query_budget: taamr_attack::SpsaAttack::required_queries(2, 1),
+            },
+            AttackSpec::EmbedSign { radius: 0.5, steps: 5 },
+            AttackSpec::EmbedL2 { radius: 0.5, steps: 5 },
+        ];
+        for spec in specs {
+            let outcome = p.run_attack(ModelKind::Vbpr, &spec, scenario).unwrap();
+            assert_eq!(outcome.attack, spec.name());
+            assert!(outcome.attacked_items > 0);
+            assert!((0.0..=1.0).contains(&outcome.success_rate), "{}", spec.name());
+            assert!(outcome.chr_source_after >= 0.0);
+            assert!(outcome.visual.psm >= 0.0);
+        }
+    }
+
+    #[test]
+    fn starved_black_box_cell_degrades_to_a_typed_pipeline_error() {
+        let mut p = tiny_pipeline();
+        let (similar, dissimilar) = p.select_scenarios(ModelKind::Vbpr);
+        let scenario = similar.or(dissimilar).expect("a scenario exists at tiny scale");
+        let spec =
+            AttackSpec::BlackBox { epsilon_255: 8.0, steps: 2, samples: 1, query_budget: 0 };
+        let err = p
+            .run_attack(ModelKind::Vbpr, &spec, scenario)
+            .expect_err("a zero query budget must fail");
+        assert!(
+            err.to_string().contains("query budget exhausted"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn attack_spec_round_trips_through_serde_and_matches_built_names() {
+        for spec in [
+            AttackSpec::Fgsm { epsilon_255: 8.0 },
+            AttackSpec::Bim { epsilon_255: 4.0, steps: 3 },
+            AttackSpec::Pgd { epsilon_255: 16.0 },
+            AttackSpec::BlackBox { epsilon_255: 8.0, steps: 2, samples: 2, query_budget: 10 },
+            AttackSpec::EmbedSign { radius: 0.5, steps: 5 },
+            AttackSpec::EmbedL2 { radius: 0.25, steps: 3 },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: AttackSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(spec.build().name(), spec.name());
+        }
     }
 
     #[test]

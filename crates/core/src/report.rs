@@ -123,7 +123,7 @@ impl fmt::Display for Figure2Report {
 pub struct CellError {
     /// Model under attack.
     pub model: ModelKind,
-    /// Attack name ("FGSM" / "PGD").
+    /// Attack name ("FGSM", "PGD", "SPSA", "EmbedSign", "EmbedL2", …).
     pub attack: String,
     /// Source category name.
     pub source: String,

@@ -61,6 +61,11 @@ pub enum FaultSite {
     /// deadline tests can prove a slow handler becomes a typed timeout
     /// response instead of a hang.
     ServeStall,
+    /// Black-box attack oracle: the query ledger of the item whose id is
+    /// the index reports exhaustion on its next debit, so degradation
+    /// tests can prove an oracle failure becomes a typed error (and a
+    /// marked grid gap), never a panic.
+    AttackOracle,
 }
 
 /// A deterministic schedule of one-shot faults, keyed by `(site, index)`.

@@ -73,8 +73,10 @@ use serde::{Deserialize, Serialize};
 /// `replay_record_writes`, `replay_record_reads`). v5 added the serving
 /// accountant counters (`serve_requests`, `serve_ok`, `serve_timeouts`,
 /// `serve_sheds`, `serve_retries`, `serve_restarts`, `serve_swaps`,
-/// `serve_snapshot_writes`).
-pub const TELEMETRY_SCHEMA: u32 = 5;
+/// `serve_snapshot_writes`). v6 added the attack-suite counters
+/// (`attack_queries`, `attack_oracle_cache_hits`, `embed_attack_steps`),
+/// all thread-invariant.
+pub const TELEMETRY_SCHEMA: u32 = 6;
 
 /// The process-wide monotonic counters.
 ///
@@ -157,10 +159,21 @@ pub enum Counter {
     ServeSwaps,
     /// Actor-state snapshots written to the serving snapshot store.
     ServeSnapshotWrites,
+    /// Score-oracle queries debited against a black-box attacker's query
+    /// ledger (cache hits are free and counted separately). Counted per
+    /// (item, query) at the oracle entry point, so the value is
+    /// thread-invariant.
+    AttackQueries,
+    /// Score-oracle queries answered from the per-item memo cache without
+    /// touching the ledger (e.g. the attacker's final validation re-query).
+    AttackOracleCacheHits,
+    /// Gradient steps taken by embedding-space attackers, counted per
+    /// attacked item at the attack entry point.
+    EmbedAttackSteps,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 31] = [
+pub const COUNTERS: [Counter; 34] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -192,6 +205,9 @@ pub const COUNTERS: [Counter; 31] = [
     Counter::ServeRestarts,
     Counter::ServeSwaps,
     Counter::ServeSnapshotWrites,
+    Counter::AttackQueries,
+    Counter::AttackOracleCacheHits,
+    Counter::EmbedAttackSteps,
 ];
 
 impl Counter {
@@ -229,6 +245,9 @@ impl Counter {
             Counter::ServeRestarts => "serve_restarts",
             Counter::ServeSwaps => "serve_swaps",
             Counter::ServeSnapshotWrites => "serve_snapshot_writes",
+            Counter::AttackQueries => "attack_queries",
+            Counter::AttackOracleCacheHits => "attack_oracle_cache_hits",
+            Counter::EmbedAttackSteps => "embed_attack_steps",
         }
     }
 

@@ -138,6 +138,10 @@ impl VisualRecommender for Amr {
     fn set_item_feature(&mut self, item: usize, feature: &[f32]) {
         self.inner.set_item_feature(item, feature);
     }
+
+    fn score_feature_grad(&self, user: usize, item: usize) -> Vec<f32> {
+        self.inner.score_feature_grad(user, item)
+    }
 }
 
 impl PairwiseModel for Amr {

@@ -42,6 +42,7 @@
 
 mod amr;
 mod bpr;
+mod oracle;
 mod popularity;
 mod recommend;
 mod scoring;
@@ -49,6 +50,7 @@ mod train;
 mod vbpr;
 
 pub use amr::{Amr, AmrConfig};
+pub use oracle::{ItemScoreOracle, QueryBudgetExceeded, QueryLedger};
 pub use bpr::BprMf;
 pub use popularity::Popularity;
 pub use recommend::{
@@ -167,4 +169,19 @@ pub trait VisualRecommender: Recommender {
     /// Panics if `item` is out of range or the length differs from
     /// [`VisualRecommender::feature_dim`].
     fn set_item_feature(&mut self, item: usize, feature: &[f32]);
+
+    /// Gradient of `ŝ(user, item)` with respect to the item's feature
+    /// vector, evaluated at the item's current features — the ascent
+    /// direction an embedding-space attacker follows to *promote* the item
+    /// for this user.
+    ///
+    /// For the bilinear models in this crate the score is linear in `f_i`
+    /// (`∂ŝ/∂f_i[d] = Σ_a E[d,a]·α_u[a] + β[d]`), so the gradient does not
+    /// actually depend on the current features; nonlinear implementations
+    /// must differentiate at the stored feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `item` is out of range.
+    fn score_feature_grad(&self, user: usize, item: usize) -> Vec<f32>;
 }

@@ -1,0 +1,374 @@
+//! Score-oracle adapter for black-box attacks.
+//!
+//! A black-box attacker (Cohen et al., *A Black-Box Attack Model for
+//! Visually-Aware Recommender Systems*) cannot see model weights or
+//! gradients — it can only *query* the recommender: "if this item had these
+//! features, what score would it get?" — and it pays for every query.
+//!
+//! [`ItemScoreOracle`] is that query interface for one attacked item:
+//!
+//! * a **sandbox clone** of the model answers what-if feature swaps without
+//!   touching the live model;
+//! * the **clean baseline** comes from the GEMM-backed [`ScoringEngine`]
+//!   (the PR-5 batched scoring path), so "did the attack promote the item?"
+//!   is judged against exactly the scores the serving layer would produce;
+//! * a [`QueryLedger`] debits every fresh query against a budget and
+//!   returns a typed [`QueryBudgetExceeded`] — never a panic — when the
+//!   attacker overspends;
+//! * a per-item **memo cache** answers repeated queries (e.g. the
+//!   attacker's final validation re-query of its best candidate) for free,
+//!   keyed on the feature bits.
+//!
+//! Scores are averaged over a fixed *probe user* range in ascending user
+//! order with an `f64` accumulator, so an oracle answer depends only on
+//! `(model, item, probe_users, feature)` — never on thread count or query
+//! history — which keeps black-box attack cells bit-reproducible.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use taamr_fault::FaultSite;
+use taamr_replay::hash_f32s;
+
+use crate::scoring::{ScoreBlock, ScoringEngine, StaleEngine, SCORE_BLOCK_USERS};
+use crate::{Recommender, VisualRecommender};
+
+/// Typed error returned when a black-box attacker spends more oracle
+/// queries than its declared budget allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryBudgetExceeded {
+    /// Queries already debited when the over-budget query arrived.
+    pub used: u64,
+    /// The declared budget.
+    pub budget: u64,
+}
+
+impl fmt::Display for QueryBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query budget exhausted: {} of {} oracle queries spent", self.used, self.budget)
+    }
+}
+
+impl std::error::Error for QueryBudgetExceeded {}
+
+/// Debit ledger for black-box oracle queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLedger {
+    budget: u64,
+    used: u64,
+}
+
+impl QueryLedger {
+    /// A fresh ledger with `budget` queries available.
+    pub fn new(budget: u64) -> Self {
+        QueryLedger { budget, used: 0 }
+    }
+
+    /// Debits one query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryBudgetExceeded`] once the budget is spent; the ledger
+    /// is left unchanged, so the caller can still report `used`/`budget`.
+    pub fn debit(&mut self) -> Result<(), QueryBudgetExceeded> {
+        if self.used >= self.budget {
+            return Err(QueryBudgetExceeded { used: self.used, budget: self.budget });
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// Queries debited so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The declared budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Queries still available.
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.used
+    }
+}
+
+/// A budgeted what-if score oracle for one attacked item.
+///
+/// See the [module docs](self) for the threat model. Construct with
+/// [`ItemScoreOracle::with_engine`] (baseline via the [`ScoringEngine`]) or
+/// [`ItemScoreOracle::with_baseline`] when the caller already computed the
+/// clean score through an engine it owns.
+#[derive(Debug, Clone)]
+pub struct ItemScoreOracle<M: VisualRecommender + Clone> {
+    sandbox: M,
+    item: usize,
+    probe_users: Range<usize>,
+    clean_score: f32,
+    ledger: QueryLedger,
+    memo: HashMap<u64, f32>,
+}
+
+/// Mean engine score of `item` over `probe_users`, chunked by the engine's
+/// fixed user-block size so the accumulation order matches the scalar path.
+fn engine_baseline<M: Recommender + ?Sized>(
+    model: &M,
+    engine: &mut ScoringEngine,
+    item: usize,
+    probe_users: Range<usize>,
+) -> Result<f32, StaleEngine> {
+    engine.ensure(model);
+    let mut block = ScoreBlock::new();
+    let mut sum = 0.0f64;
+    let mut start = probe_users.start;
+    while start < probe_users.end {
+        let end = probe_users.end.min(start + SCORE_BLOCK_USERS);
+        engine.score_block(model, start..end, &mut block)?;
+        for u in start..end {
+            sum += f64::from(block.row(u)[item]);
+        }
+        start = end;
+    }
+    Ok(mean_of(sum, probe_users.len()))
+}
+
+/// The fixed mean both the engine and sandbox paths share: `f64` sum over
+/// per-user `f32` scores in ascending user order, divided once.
+fn mean_of(sum: f64, count: usize) -> f32 {
+    (sum / count.max(1) as f64) as f32
+}
+
+impl<M: VisualRecommender + Clone> ItemScoreOracle<M> {
+    /// Builds an oracle whose clean baseline is computed through `engine`
+    /// (the batched GEMM scoring path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StaleEngine`] if `engine` belongs to a different model
+    /// generation than `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` or the probe range is out of range, or the probe
+    /// range is empty.
+    pub fn with_engine(
+        base: &M,
+        engine: &mut ScoringEngine,
+        item: usize,
+        probe_users: Range<usize>,
+        budget: u64,
+    ) -> Result<Self, StaleEngine> {
+        let clean_score = engine_baseline(base, engine, item, probe_users.clone())?;
+        Ok(Self::with_baseline(base, item, probe_users, budget, clean_score))
+    }
+
+    /// Builds an oracle from a pre-computed clean baseline (e.g. one the
+    /// pipeline batched over all attacked items through its persistent
+    /// engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` or the probe range is out of range, or the probe
+    /// range is empty.
+    pub fn with_baseline(
+        base: &M,
+        item: usize,
+        probe_users: Range<usize>,
+        budget: u64,
+        clean_score: f32,
+    ) -> Self {
+        assert!(item < base.num_items(), "item {item} out of range");
+        assert!(
+            probe_users.start < probe_users.end && probe_users.end <= base.num_users(),
+            "probe users {probe_users:?} out of range for {} users",
+            base.num_users()
+        );
+        // Seed the memo with the clean feature so a query of the unperturbed
+        // item answers the baseline without spending budget.
+        let mut memo = HashMap::new();
+        memo.insert(hash_f32s(base.item_feature(item)), clean_score);
+        ItemScoreOracle {
+            sandbox: base.clone(),
+            item,
+            probe_users,
+            clean_score,
+            ledger: QueryLedger::new(budget),
+            memo,
+        }
+    }
+
+    /// The attacked item.
+    pub fn item(&self) -> usize {
+        self.item
+    }
+
+    /// The engine-computed score of the unperturbed item (mean over the
+    /// probe users).
+    pub fn clean_score(&self) -> f32 {
+        self.clean_score
+    }
+
+    /// Queries debited so far (memo hits are free).
+    pub fn queries_used(&self) -> u64 {
+        self.ledger.used()
+    }
+
+    /// The declared query budget.
+    pub fn query_budget(&self) -> u64 {
+        self.ledger.budget()
+    }
+
+    /// Answers "what score would the item get with these features?" —
+    /// the mean sandbox score over the probe users.
+    ///
+    /// Repeated queries of bit-identical features are served from the memo
+    /// cache without debiting the ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryBudgetExceeded`] when a fresh query arrives after the
+    /// budget is spent (or when fault injection simulates exhaustion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` has the wrong dimension.
+    pub fn query_feature(&mut self, feature: &[f32]) -> Result<f32, QueryBudgetExceeded> {
+        let key = hash_f32s(feature);
+        if let Some(&score) = self.memo.get(&key) {
+            taamr_obs::incr(taamr_obs::Counter::AttackOracleCacheHits);
+            return Ok(score);
+        }
+        if taamr_fault::fire(FaultSite::AttackOracle, self.item as u64) {
+            return Err(QueryBudgetExceeded {
+                used: self.ledger.used(),
+                budget: self.ledger.budget(),
+            });
+        }
+        self.ledger.debit()?;
+        taamr_obs::incr(taamr_obs::Counter::AttackQueries);
+        self.sandbox.set_item_feature(self.item, feature);
+        let mut sum = 0.0f64;
+        for u in self.probe_users.clone() {
+            sum += f64::from(self.sandbox.score(u, self.item));
+        }
+        let score = mean_of(sum, self.probe_users.len());
+        self.memo.insert(key, score);
+        Ok(score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbpr::tests::visual_dataset;
+    use crate::{PairwiseConfig, PairwiseTrainer, Vbpr, VbprConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_vbpr() -> Vbpr {
+        let (data, features, d) = visual_dataset();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = Vbpr::new(
+            data.num_users(),
+            data.num_items(),
+            d,
+            features,
+            VbprConfig::default(),
+            &mut rng,
+        );
+        let trainer = PairwiseTrainer::new(PairwiseConfig { epochs: 3, ..Default::default() });
+        trainer.fit(&mut model, &data, &mut rng).expect("tiny training converges");
+        model
+    }
+
+    #[test]
+    fn engine_baseline_matches_scalar_mean() {
+        let model = trained_vbpr();
+        let probes = 0..model.num_users().min(8);
+        let mut engine = ScoringEngine::for_model(&model);
+        let oracle =
+            ItemScoreOracle::with_engine(&model, &mut engine, 3, probes.clone(), 10).unwrap();
+        let mut sum = 0.0f64;
+        for u in probes.clone() {
+            sum += f64::from(model.score(u, 3));
+        }
+        let scalar = mean_of(sum, probes.len());
+        assert_eq!(
+            oracle.clean_score().to_bits(),
+            scalar.to_bits(),
+            "engine baseline must equal the scalar probe mean bitwise"
+        );
+    }
+
+    #[test]
+    fn clean_feature_query_is_a_free_memo_hit() {
+        let model = trained_vbpr();
+        let mut engine = ScoringEngine::for_model(&model);
+        let mut oracle =
+            ItemScoreOracle::with_engine(&model, &mut engine, 2, 0..4, 5).unwrap();
+        let clean = model.item_feature(2).to_vec();
+        let s = oracle.query_feature(&clean).unwrap();
+        assert_eq!(s.to_bits(), oracle.clean_score().to_bits());
+        assert_eq!(oracle.queries_used(), 0, "memo hits must not debit the ledger");
+    }
+
+    #[test]
+    fn queries_are_memoised_and_deterministic() {
+        let model = trained_vbpr();
+        let mut oracle = ItemScoreOracle::with_baseline(&model, 1, 0..6, 10, 0.0);
+        let d = model.feature_dim();
+        let probe: Vec<f32> = (0..d).map(|i| (i as f32 + 1.0) / d as f32).collect();
+        let a = oracle.query_feature(&probe).unwrap();
+        let used = oracle.queries_used();
+        let b = oracle.query_feature(&probe).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(oracle.queries_used(), used, "repeat query must be free");
+
+        // A fresh oracle answers the same bits for the same feature.
+        let mut fresh = ItemScoreOracle::with_baseline(&model, 1, 0..6, 10, 0.0);
+        assert_eq!(fresh.query_feature(&probe).unwrap().to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error_not_a_panic() {
+        let model = trained_vbpr();
+        let mut oracle = ItemScoreOracle::with_baseline(&model, 0, 0..4, 2, 0.0);
+        let d = model.feature_dim();
+        for k in 0..2u32 {
+            let f: Vec<f32> = (0..d).map(|i| (i + k as usize) as f32).collect();
+            oracle.query_feature(&f).expect("within budget");
+        }
+        let f: Vec<f32> = (0..d).map(|i| i as f32 + 100.0).collect();
+        let err = oracle.query_feature(&f).expect_err("budget must be enforced");
+        assert_eq!(err, QueryBudgetExceeded { used: 2, budget: 2 });
+        assert!(err.to_string().contains("query budget exhausted"));
+    }
+
+    #[test]
+    fn injected_oracle_fault_reports_exhaustion() {
+        let model = trained_vbpr();
+        let d = model.feature_dim();
+        let plan = taamr_fault::FaultPlan::new().with(FaultSite::AttackOracle, 5);
+        let (result, unfired) = taamr_fault::with_plan(plan, || {
+            let mut oracle = ItemScoreOracle::with_baseline(&model, 5, 0..4, 100, 0.0);
+            let f: Vec<f32> = (0..d).map(|i| i as f32).collect();
+            oracle.query_feature(&f)
+        });
+        assert_eq!(unfired, 0, "the oracle fault must fire");
+        assert!(result.is_err(), "injected exhaustion must surface as the typed error");
+    }
+
+    #[test]
+    fn ledger_accounting() {
+        let mut ledger = QueryLedger::new(3);
+        assert_eq!(ledger.remaining(), 3);
+        ledger.debit().unwrap();
+        ledger.debit().unwrap();
+        assert_eq!((ledger.used(), ledger.remaining()), (2, 1));
+        ledger.debit().unwrap();
+        assert!(ledger.debit().is_err());
+        assert_eq!(ledger.used(), 3, "a refused debit must not count");
+    }
+}

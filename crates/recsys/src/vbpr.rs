@@ -406,6 +406,22 @@ impl VisualRecommender for Vbpr {
             .copy_from_slice(feature);
         self.version = self.version.wrapping_add(1);
     }
+
+    fn score_feature_grad(&self, user: usize, item: usize) -> Vec<f32> {
+        assert!(user < self.num_users, "user {user} out of range");
+        assert!(item < self.num_items, "item {item} out of range");
+        // ∂ŝ/∂f_i[d] = E[d,·]·α_u + β[d]; the VBPR score is linear in f_i,
+        // so the item argument only participates in the range check.
+        let a = self.config.visual_factors;
+        let alpha = self.alpha(user);
+        let mut grad = vec![0.0f32; self.feature_dim];
+        for (dd, g) in grad.iter_mut().enumerate() {
+            let row = &self.projection[dd * a..(dd + 1) * a];
+            let e_alpha: f32 = row.iter().zip(alpha).map(|(&e, &al)| e * al).sum();
+            *g = e_alpha + self.visual_bias[dd];
+        }
+        grad
+    }
 }
 
 impl PairwiseModel for Vbpr {

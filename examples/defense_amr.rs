@@ -12,8 +12,7 @@
 //! TAAMR_SCALE=tiny cargo run --release --example defense_amr
 //! ```
 
-use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
-use taamr_attack::{Epsilon, Pgd};
+use taamr::{AttackSpec, ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 
 fn main() -> Result<(), taamr::PipelineError> {
     let scale = ExperimentScale::from_env();
@@ -37,8 +36,8 @@ fn main() -> Result<(), taamr::PipelineError> {
             println!("{:<6}   no attackable scenario", kind.name());
             continue;
         };
-        for eps in [Epsilon::from_255(8.0), Epsilon::from_255(16.0)] {
-            let attack = Pgd::new(eps);
+        for eps in [8.0, 16.0] {
+            let attack = AttackSpec::Pgd { epsilon_255: eps };
             let o = pipeline.run_attack(kind, &attack, scenario)?;
             println!(
                 "{:<6} {:>5} | {:>13.3} {:>13.3} | {:>+13.3}",

@@ -16,7 +16,7 @@
 //! ```
 
 use taamr_attack::{
-    adversarial_finetune, AdversarialTrainingConfig, Attack, AttackGoal, Epsilon, Pgd,
+    adversarial_finetune, AdversarialTrainingConfig, Attack, AttackGoal, Epsilon, Pgd, WhiteBox,
 };
 use taamr_nn::{
     distill, DistillConfig, ImageClassifier, LrSchedule, SgdConfig, TinyResNet,
@@ -122,7 +122,9 @@ fn main() {
         for eps in [4.0, 8.0, 16.0] {
             let attack = Pgd::new(Epsilon::from_255(eps));
             let mut arng = seeded_rng(99);
-            let adv = attack.perturb(net, &fresh_batch, AttackGoal::Targeted(1), &mut arng);
+            let adv = attack
+                .perturb(&mut WhiteBox(net), &fresh_batch, AttackGoal::Targeted(1), &mut arng)
+                .unwrap();
             rates.push(adv.success_rate());
         }
         println!(

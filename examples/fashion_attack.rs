@@ -12,8 +12,7 @@
 //! TAAMR_SCALE=tiny cargo run --release --example fashion_attack
 //! ```
 
-use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
-use taamr_attack::{Attack, Epsilon, Fgsm, Pgd};
+use taamr::{AttackSpec, ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 
 fn main() -> Result<(), taamr::PipelineError> {
     let scale = ExperimentScale::from_env();
@@ -34,9 +33,11 @@ fn main() -> Result<(), taamr::PipelineError> {
         "attack", "ε", "CHR before", "CHR after", "success", "PSNR", "SSIM", "PSM"
     );
 
-    for eps in Epsilon::paper_sweep() {
-        for attack in [&Fgsm::new(eps) as &dyn Attack, &Pgd::new(eps) as &dyn Attack] {
-            let o = pipeline.run_attack(ModelKind::Vbpr, attack, scenario)?;
+    for eps in [2.0, 4.0, 8.0, 16.0] {
+        for attack in
+            [AttackSpec::Fgsm { epsilon_255: eps }, AttackSpec::Pgd { epsilon_255: eps }]
+        {
+            let o = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario)?;
             println!(
                 "{:<6} {:>5} | {:>12.3} {:>12.3} | {:>8.1}% | {:>8.2} {:>8.4} {:>8.4}",
                 o.attack,

@@ -7,8 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineError};
-use taamr_attack::{Epsilon, Pgd};
+use taamr::{AttackSpec, ExperimentScale, ModelKind, Pipeline, PipelineError};
+use taamr_attack::Epsilon;
 
 fn main() -> Result<(), PipelineError> {
     // 1. Build everything: synthetic data, CNN, catalog, features, VBPR, AMR.
@@ -42,7 +42,7 @@ fn main() -> Result<(), PipelineError> {
     let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
     let scenario = similar.or(dissimilar).expect("a scenario exists");
     println!("\nattack scenario: {scenario}");
-    let attack = Pgd::new(Epsilon::from_255(8.0));
+    let attack = AttackSpec::Pgd { epsilon_255: 8.0 };
     let outcome = pipeline.run_attack(ModelKind::Vbpr, &attack, scenario)?;
     println!(
         "{} {}: attacked {} items, success rate {:.1}%",

@@ -20,8 +20,11 @@ cd "$(dirname "$0")/.."
 QUICK=${1:-}
 
 # Audited shape-invariant expects that predate the fault-tolerance work
-# (mostly "attack preserves the NCHW shape" style postconditions).
-BASELINE_CORE=10
+# (mostly "attack preserves the NCHW shape" style postconditions), plus the
+# attack-abstraction invariants from the unified Attack trait: white-box
+# pixel attacks cannot return an AttackError (only black-box query budgets
+# can), and feature-row extraction preserves its row-major shape.
+BASELINE_CORE=14
 BASELINE_RECSYS=0
 BASELINE_SERVE=0
 
@@ -100,6 +103,18 @@ cargo test -p taamr-tensor --features serial -q \
 # covered by the same tests in the workspace pass above).
 echo "== scoring audit: differential engine tests (serial feature)"
 cargo test -p taamr-recsys --features serial -q --test scoring
+
+# Attack audit: the unified Attack abstraction's contracts — every attacker
+# family (white-box pixel, black-box SPSA, embedding-space) stays inside its
+# declared Budget, perturbs bitwise-deterministically at 1/2/8 threads, and
+# the over-budget black-box path degrades to a typed QueryBudgetExceeded
+# error instead of panicking. Run under the default (threaded) and `serial`
+# builds so neither schedule can hide a divergence.
+echo "== attack audit: budget + determinism properties (default features)"
+cargo test -p taamr-attack -q --test properties
+
+echo "== attack audit: budget + determinism properties (serial feature)"
+cargo test -p taamr-attack --features serial -q --test properties
 
 # Replay audit: re-run the checked-in golden experiment records against the
 # live pipeline and diff the per-stage content hashes. Any hash divergence —

@@ -2,19 +2,26 @@
 //! shimmed `serde` crate.
 //!
 //! Supports exactly the shapes this workspace serializes: non-generic
-//! structs with named fields, and non-generic enums with unit variants.
-//! Anything else produces a `compile_error!` naming the limitation rather
-//! than silently misbehaving. Field types are never parsed — the generated
-//! code leans on type inference inside a struct literal, so arbitrary field
-//! types work as long as they implement the serde traits.
+//! structs with named fields, and non-generic enums whose variants are unit
+//! or have named fields (externally tagged, matching upstream serde's JSON:
+//! `"Variant"` for unit variants, `{"Variant": {..fields..}}` for struct
+//! variants). Anything else produces a `compile_error!` naming the
+//! limitation rather than silently misbehaving. Field types are never
+//! parsed — the generated code leans on type inference inside a struct
+//! literal, so arbitrary field types work as long as they implement the
+//! serde traits.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant: its name, plus `Some(named fields)` for a
+/// struct variant or `None` for a unit variant.
+type EnumVariant = (String, Option<Vec<String>>);
 
 enum Shape {
     /// Named struct fields, in declaration order.
     Struct { name: String, fields: Vec<String> },
-    /// Unit enum variants, in declaration order.
-    Enum { name: String, variants: Vec<String> },
+    /// Enum variants, in declaration order.
+    Enum { name: String, variants: Vec<EnumVariant> },
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -131,7 +138,7 @@ fn parse_struct_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
     Ok(fields)
 }
 
-fn parse_enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+fn parse_enum_variants(body: &[TokenTree]) -> Result<Vec<EnumVariant>, String> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < body.len() {
@@ -144,17 +151,34 @@ fn parse_enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
             other => return Err(format!("expected variant name, found {other:?}")),
         };
         i += 1;
+        let fields = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Some(parse_struct_fields(&inner).map_err(|e| {
+                    format!("in struct variant `{variant}`: {e}")
+                })?)
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "enum variant `{variant}` is a tuple variant; only unit and \
+                     struct variants are supported"
+                ));
+            }
+            _ => None,
+        };
         match body.get(i) {
             None => {}
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
-            Some(TokenTree::Group(_)) | Some(TokenTree::Punct(_)) => {
+            Some(TokenTree::Punct(_)) => {
                 return Err(format!(
-                    "enum variant `{variant}` is not a unit variant; only unit variants are supported"
+                    "enum variant `{variant}` has a discriminant; only unit and \
+                     struct variants are supported"
                 ));
             }
             Some(other) => return Err(format!("unexpected token after variant: {other:?}")),
         }
-        variants.push(variant);
+        variants.push((variant, fields));
     }
     if variants.is_empty() {
         return Err("empty enums are not supported".into());
@@ -189,7 +213,29 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Enum { name, variants } => {
             let arms: String = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .map(|(v, fields)| match fields {
+                    None => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::to_json_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => ::serde::Value::Object(vec![(\
+                                 \"{v}\".to_string(), \
+                                 ::serde::Value::Object(vec![{entries}]),\
+                             )]),"
+                        )
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -235,21 +281,64 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::Enum { name, variants } => {
-            let arms: String = variants
+            let unit_arms: String = variants
                 .iter()
-                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .filter(|(_, fields)| fields.is_none())
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
                 .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|(v, fields)| fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| {
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: match __body.get_field(\"{f}\") {{\n\
+                                     Some(__field) => \
+                                         ::serde::Deserialize::from_json_value(__field)?,\n\
+                                     None => ::serde::Deserialize::missing_field(\"{f}\")?,\n\
+                                 }},"
+                            )
+                        })
+                        .collect();
+                    format!("\"{v}\" => Ok({name}::{v} {{ {entries} }}),")
+                })
+                .collect();
+            // Enums without struct variants keep the old string-only error
+            // path, so their generated code binds no unused `__body`.
+            let none_arm = if struct_arms.is_empty() {
+                format!(
+                    "Err(::serde::DeError::custom(\n\
+                         \"expected string for enum {name}\".to_string()))"
+                )
+            } else {
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                             let (__tag, __body) = &__fields[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {struct_arms}\n\
+                                 __other => Err(::serde::DeError::custom(format!(\n\
+                                     \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         _ => Err(::serde::DeError::custom(\n\
+                             \"expected string or single-key object for enum {name}\"\n\
+                                 .to_string())),\n\
+                     }}"
+                )
+            };
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
                          match __v.as_str() {{\n\
                              Some(__s) => match __s {{\n\
-                                 {arms}\n\
+                                 {unit_arms}\n\
                                  __other => Err(::serde::DeError::custom(format!(\n\
                                      \"unknown variant `{{__other}}` for enum {name}\"))),\n\
                              }},\n\
-                             None => Err(::serde::DeError::custom(\n\
-                                 \"expected string for enum {name}\".to_string())),\n\
+                             None => {none_arm},\n\
                          }}\n\
                      }}\n\
                  }}"

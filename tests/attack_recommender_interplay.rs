@@ -7,7 +7,7 @@
 //! pipeline tests, which prioritise speed), so they validate the scientific
 //! mechanism rather than just the plumbing.
 
-use taamr_attack::{Attack, AttackGoal, Epsilon, Fgsm, Pgd};
+use taamr_attack::{Attack, AttackGoal, Epsilon, Fgsm, Pgd, WhiteBox};
 use taamr_nn::{
     ImageClassifier, LrSchedule, SgdConfig, TinyResNet, TinyResNetConfig, Trainer, TrainerConfig,
 };
@@ -111,8 +111,15 @@ fn targeted_attack_moves_features_toward_target_cluster() {
 
     let pgd = Pgd::new(Epsilon::from_255(16.0));
     let mut rng = seeded_rng(5);
-    let adv = pgd.perturb(&mut net, &source_batch, AttackGoal::Targeted(target_label), &mut rng);
-    let f_adv = net.features(&adv.images);
+    let adv = pgd
+        .perturb(
+            &mut WhiteBox(&mut net),
+            &source_batch,
+            AttackGoal::Targeted(target_label),
+            &mut rng,
+        )
+        .unwrap();
+    let f_adv = net.features(&adv.data);
 
     let d = f_adv.dims()[1];
     let mut moved_toward_target = 0usize;
@@ -140,8 +147,14 @@ fn pgd_succeeds_more_often_than_fgsm_on_a_real_classifier() {
     let goal = AttackGoal::Targeted(1);
     let eps = Epsilon::from_255(8.0);
     let mut rng = seeded_rng(6);
-    let fgsm_rate = Fgsm::new(eps).perturb(&mut net, &batch, goal, &mut rng).success_rate();
-    let pgd_rate = Pgd::new(eps).perturb(&mut net, &batch, goal, &mut rng).success_rate();
+    let fgsm_rate = Fgsm::new(eps)
+        .perturb(&mut WhiteBox(&mut net), &batch, goal, &mut rng)
+        .unwrap()
+        .success_rate();
+    let pgd_rate = Pgd::new(eps)
+        .perturb(&mut WhiteBox(&mut net), &batch, goal, &mut rng)
+        .unwrap()
+        .success_rate();
     assert!(
         pgd_rate >= fgsm_rate,
         "PGD ({pgd_rate}) should succeed at least as often as FGSM ({fgsm_rate})"
@@ -158,8 +171,12 @@ fn success_rate_increases_with_epsilon_for_pgd() {
     let batch = images_to_tensor(&source_imgs);
     let goal = AttackGoal::Targeted(2); // dissimilar target: harder
     let mut rng = seeded_rng(7);
-    let low = Pgd::new(Epsilon::from_255(2.0)).perturb(&mut net, &batch, goal, &mut rng);
-    let high = Pgd::new(Epsilon::from_255(16.0)).perturb(&mut net, &batch, goal, &mut rng);
+    let low = Pgd::new(Epsilon::from_255(2.0))
+        .perturb(&mut WhiteBox(&mut net), &batch, goal, &mut rng)
+        .unwrap();
+    let high = Pgd::new(Epsilon::from_255(16.0))
+        .perturb(&mut WhiteBox(&mut net), &batch, goal, &mut rng)
+        .unwrap();
     assert!(
         high.success_rate() >= low.success_rate(),
         "ε=16 ({}) should beat ε=2 ({})",
@@ -178,13 +195,10 @@ fn attacked_images_remain_visually_close() {
     let source_imgs = fresh_images(&gen, cats[0], 6);
     let batch = images_to_tensor(&source_imgs);
     let mut rng = seeded_rng(8);
-    let adv = Pgd::new(Epsilon::from_255(16.0)).perturb(
-        &mut net,
-        &batch,
-        AttackGoal::Targeted(1),
-        &mut rng,
-    );
-    let adv_imgs = tensor_to_images(&adv.images).unwrap();
+    let adv = Pgd::new(Epsilon::from_255(16.0))
+        .perturb(&mut WhiteBox(&mut net), &batch, AttackGoal::Targeted(1), &mut rng)
+        .unwrap();
+    let adv_imgs = tensor_to_images(&adv.data).unwrap();
     // Note: absolute values are lower than the paper's (0.99 SSIM) because
     // our procedural images are 24 px, so an ε=16/255 perturbation is large
     // relative to local variance; the paper attacks high-resolution photos.

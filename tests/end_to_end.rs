@@ -1,7 +1,7 @@
 //! End-to-end integration tests: the full TAaMR pipeline at test scale.
 
-use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
-use taamr_attack::{Attack, Epsilon, Fgsm, Pgd};
+use taamr::{AttackSpec, ExperimentScale, ModelKind, Pipeline, PipelineConfig};
+use taamr_attack::{Attack, Epsilon, Fgsm, Pgd, WhiteBox};
 
 fn tiny() -> Pipeline {
     Pipeline::build(&PipelineConfig::for_scale(ExperimentScale::Tiny)).expect("tiny build converges")
@@ -11,25 +11,33 @@ fn tiny() -> Pipeline {
 fn full_grid_experiment_covers_all_cells() {
     let mut pipeline = tiny();
     let report = pipeline.run_paper_experiment(None).unwrap();
-    // Each scenario contributes 2 attacks × 4 ε = 8 outcomes per model.
+    // Each scenario contributes 2 pixel attacks × 4 ε + SPSA + 2 embedding
+    // cells = 11 outcomes per model.
     assert!(!report.outcomes.is_empty());
-    assert_eq!(report.outcomes.len() % 8, 0);
-    // Epsilons appear in the paper's sweep only.
+    assert_eq!(report.outcomes.len() % 11, 0);
+    let pixel = |a: &str| a == "FGSM" || a == "PGD";
     for o in &report.outcomes {
-        assert!([2.0, 4.0, 8.0, 16.0].contains(&o.epsilon_255));
-        assert!(o.attack == "FGSM" || o.attack == "PGD");
+        match o.attack.as_str() {
+            // Pixel epsilons appear in the paper's sweep only.
+            "FGSM" | "PGD" => assert!([2.0, 4.0, 8.0, 16.0].contains(&o.epsilon_255)),
+            "SPSA" => assert_eq!(o.epsilon_255, 8.0),
+            // Embedding-space attacks have no pixel budget.
+            "EmbedSign" | "EmbedL2" => assert_eq!(o.epsilon_255, 0.0),
+            other => panic!("unexpected attack family `{other}` in the grid"),
+        }
         assert!((0.0..=1.0).contains(&o.success_rate));
     }
     // Both models appear.
     assert!(report.outcomes.iter().any(|o| o.model == ModelKind::Vbpr));
     assert!(report.outcomes.iter().any(|o| o.model == ModelKind::Amr));
-    // The pivoted tables cover every attack.
+    // The pivoted tables cover every attack: pixel rows sweep 4 ε, the new
+    // families contribute a single-ε column each.
     let t2 = report.table2();
-    assert!(t2.iter().all(|r| r.chr_after.len() == 4));
+    assert!(t2.iter().all(|r| r.chr_after.len() == if pixel(&r.attack) { 4 } else { 1 }));
     let t3 = report.table3();
-    assert!(t3.iter().all(|r| r.success.len() == 4));
+    assert!(t3.iter().all(|r| r.success.len() == if pixel(&r.attack) { 4 } else { 1 }));
     let t4 = report.table4();
-    assert_eq!(t4.len(), 3 * 2); // 3 metrics × 2 attacks
+    assert_eq!(t4.len(), 3 * 5); // 3 metrics × 5 attack families
 }
 
 #[test]
@@ -56,15 +64,17 @@ fn attacks_respect_threat_model_through_the_pipeline() {
         for attack in [&Fgsm::new(eps) as &dyn Attack, &Pgd::new(eps) as &dyn Attack] {
             let mut rng = taamr_tensor::seeded_rng(0);
             let adv = pipeline.with_classifier_mut(|classifier| {
-                attack.perturb(
-                    classifier,
-                    &clean,
-                    taamr_attack::AttackGoal::Targeted(scenario.target.id()),
-                    &mut rng,
-                )
+                attack
+                    .perturb(
+                        &mut WhiteBox(classifier),
+                        &clean,
+                        taamr_attack::AttackGoal::Targeted(scenario.target.id()),
+                        &mut rng,
+                    )
+                    .expect("white-box pixel attacks cannot fail on a white-box worker")
             });
             assert!(adv.linf_distance(&clean) <= eps.as_fraction() + 1e-6);
-            assert!(adv.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(adv.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
 }
@@ -77,7 +87,7 @@ fn attack_only_changes_attacked_category_lists_modestly() {
     let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
     let scenario = similar.or(dissimilar).expect("scenario exists");
     let outcome = pipeline
-        .run_attack(ModelKind::Vbpr, &Fgsm::new(Epsilon::from_255(8.0)), scenario)
+        .run_attack(ModelKind::Vbpr, &AttackSpec::Fgsm { epsilon_255: 8.0 }, scenario)
         .unwrap();
     // The baseline CHR reported in the outcome matches a fresh computation.
     let chr = pipeline.chr_per_category(pipeline.model(ModelKind::Vbpr));
@@ -144,12 +154,11 @@ fn amr_lift_is_bounded_by_vbpr_lift_under_pgd16() {
     // budget, AMR's CHR lift should not exceed VBPR's. (At tiny scale the
     // CNN is weak, so compare lifts rather than absolute CHR.)
     let mut pipeline = tiny();
-    let eps = Epsilon::from_255(16.0);
     let lift = |p: &mut Pipeline, kind: ModelKind| -> f64 {
         let (similar, dissimilar) = p.select_scenarios(kind);
         match similar.or(dissimilar) {
             Some(s) => {
-                let o = p.run_attack(kind, &Pgd::new(eps), s).unwrap();
+                let o = p.run_attack(kind, &AttackSpec::Pgd { epsilon_255: 16.0 }, s).unwrap();
                 o.chr_source_after - o.chr_source_before
             }
             None => 0.0,

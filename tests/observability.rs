@@ -69,6 +69,8 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
 
         // The telemetry itself is substantive: every counter is exported
         // (17 > the 8 the acceptance bar asks for) and the hot ones fired.
+        // The last three only fire in the black-box and embedding-space
+        // attack cells, so they double as proof those cells really ran.
         assert!(telemetry.counters.len() >= 8, "expected ≥8 counters");
         for c in [
             Counter::GemmCalls,
@@ -79,6 +81,9 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
             Counter::ScoringGemmCalls,
             Counter::EmbedCacheRebuilds,
             Counter::EmbedCacheHits,
+            Counter::AttackQueries,
+            Counter::AttackOracleCacheHits,
+            Counter::EmbedAttackSteps,
         ] {
             assert!(
                 telemetry.counter(c.name()).unwrap_or(0) > 0,

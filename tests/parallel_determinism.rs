@@ -7,12 +7,11 @@
 //! parallel path splits work into pieces whose floating-point accumulation
 //! order is split-invariant and collects results in input order, and every
 //! attacked item derives its own RNG stream from
-//! `item_seed(master, item_id)`, so thread count can never leak into any
-//! number the paper's tables report.
+//! `Attack::item_seed(master, item_id)`, so thread count can never leak into
+//! any number the paper's tables report.
 
 use taamr::parallel::with_threads;
-use taamr::{ExperimentScale, ModelKind, Pipeline, PipelineConfig};
-use taamr_attack::{Epsilon, Pgd};
+use taamr::{AttackSpec, ExperimentScale, ModelKind, Pipeline, PipelineConfig};
 use taamr_tensor::{conv_scratch_footprint, gemm, seeded_rng, Tensor, Transpose};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -70,7 +69,7 @@ fn conv_scratch_is_reused_not_regrown_across_attacks() {
         let mut pipeline = Pipeline::build(&config).unwrap();
         let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
         let scenario = similar.or(dissimilar).expect("scenario exists");
-        let attack = Pgd::new(Epsilon::from_255(8.0));
+        let attack = AttackSpec::Pgd { epsilon_255: 8.0 };
 
         pipeline.run_attack(ModelKind::Vbpr, &attack, scenario).unwrap();
         let after_first = conv_scratch_footprint();
@@ -129,7 +128,7 @@ fn build_attack_and_rankings_are_bitwise_identical_across_thread_counts() {
             let (similar, dissimilar) = pipeline.select_scenarios(ModelKind::Vbpr);
             let scenario = similar.or(dissimilar).expect("scenario exists");
             let outcome = pipeline
-                .run_attack(ModelKind::Vbpr, &Pgd::new(Epsilon::from_255(8.0)), scenario)
+                .run_attack(ModelKind::Vbpr, &AttackSpec::Pgd { epsilon_255: 8.0 }, scenario)
                 .unwrap();
             let figure2 = pipeline.figure2_example(ModelKind::Vbpr, scenario);
             Probe {

@@ -2,8 +2,8 @@
 //!
 //! The checked-in records under `tests/golden_records/` pin the content
 //! hash of every pipeline-level command — dataset, CNN, features, VBPR
-//! warm-up, VBPR, AMR, four attack cells, report — for two tiny-scale
-//! profiles. Replaying means re-running the live pipeline under a fresh
+//! warm-up, VBPR, AMR, five attack cells (four white-box pixel cells plus
+//! one black-box SPSA cell), report — for two tiny-scale profiles. Replaying means re-running the live pipeline under a fresh
 //! recorder and diffing command streams; any determinism-breaking change
 //! to gemm, scoring, checkpointing, or RNG derivation fails here with the
 //! *first* divergent stage named, at both 1 and 8 threads.
@@ -31,7 +31,7 @@ fn golden(profile: &GoldenProfile) -> ExperimentRecord {
 fn golden_records_replay_bit_identically_at_1_and_8_threads() {
     for profile in GoldenProfile::all() {
         let record = golden(&profile);
-        assert_eq!(record.commands.len(), 11, "6 build stages + 4 cells + report");
+        assert_eq!(record.commands.len(), 12, "6 build stages + 5 cells + report");
         for threads in [1usize, 8] {
             let replayed = with_threads(threads, || {
                 profile.run_recorded().expect("golden profile re-runs")
