@@ -1,0 +1,390 @@
+//! `scale_grid`: the sharded-scoring scale benchmark behind
+//! `BENCH_scale.json`.
+//!
+//! Four sections, one JSON artifact:
+//!
+//! * **gemm_256** — serial vs parallel wall time of the 256³ GEMM at 1/2/4/8
+//!   threads, plus a shared-pack vs per-task-pack schedule ablation. On a
+//!   single-core runner every "parallel" row runs the identical code path
+//!   through the same worker pool, so the speedup column measures scheduling
+//!   overhead, not scaling — `hardware.available_parallelism` records which
+//!   regime produced the file.
+//! * **scale_rows** — a users × items × threads grid of full-catalog top-N
+//!   through [`ScoringEngine::par_top_n_all_sharded`], each row reporting
+//!   the shard plan and the resident-score bound it ran under.
+//! * **headline** — the million-user row: 1M users × 100k items, top-100,
+//!   default shard plan. Unsharded this would materialise 400 GB of scores;
+//!   the row reports the process peak RSS (`VmHWM`) to prove the
+//!   `O(shard × items)` bound held. `TAAMR_BENCH_FAST=1` shrinks it (and
+//!   the grid) to smoke-test scale.
+//! * **quant** — i8-quantized vs f32 scoring: top-N overlap (the accuracy
+//!   delta), wall time, and factor-storage compression per model family.
+//!
+//! Usage: `cargo run --release -p taamr-bench --bin scale_grid [out.json]`.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use taamr_data::ImplicitDataset;
+use taamr_recsys::{
+    top_n_overlap, BprMf, Popularity, Recommender, ScoringEngine, ShardPlan, Vbpr, VbprConfig,
+    SCORE_BLOCK_USERS,
+};
+use taamr_tensor::{
+    gemm_blocked_scheduled, seeded_rng, GemmSchedule, GemmScratch, Tensor, Transpose,
+    GEMM_BLOCKING,
+};
+
+#[derive(Serialize)]
+struct Hardware {
+    available_parallelism: usize,
+    note: &'static str,
+}
+
+#[derive(Serialize)]
+struct GemmRow {
+    threads: usize,
+    ns: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct ScheduleRow {
+    schedule: &'static str,
+    threads: usize,
+    ns: f64,
+}
+
+#[derive(Serialize)]
+struct GemmSection {
+    serial_ns: f64,
+    rows: Vec<GemmRow>,
+    schedules: Vec<ScheduleRow>,
+}
+
+#[derive(Serialize)]
+struct ScaleRow {
+    model: &'static str,
+    users: usize,
+    items: usize,
+    n: usize,
+    threads: usize,
+    shard_users: usize,
+    num_shards: usize,
+    ns: f64,
+    /// `min(shard, threads · SCORE_BLOCK_USERS) × items × 4` — the peak
+    /// resident score bytes the shard plan admits.
+    resident_scores_bound_bytes: u64,
+    /// `users × items × 4` — what an unsharded materialisation would cost.
+    unsharded_scores_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Headline {
+    row: ScaleRow,
+    /// Process peak RSS (`VmHWM`) after the run; `None` off Linux.
+    peak_rss_bytes: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct QuantRow {
+    model: &'static str,
+    users: usize,
+    items: usize,
+    n: usize,
+    /// Mean per-user top-N set overlap vs the exact f32 path (1.0 = equal).
+    top_n_overlap: f64,
+    f32_ns: f64,
+    quant_ns: f64,
+    quant_factor_bytes: usize,
+    f32_factor_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: u64,
+    hardware: Hardware,
+    gemm_256: GemmSection,
+    scale_rows: Vec<ScaleRow>,
+    headline: Headline,
+    quant: Vec<QuantRow>,
+}
+
+/// Median-free quick timer: doubles the iteration count until the batch
+/// takes ≥150 ms, then reports ns per iteration.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm caches / pool
+    let mut iters: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = start.elapsed();
+        if dt >= Duration::from_millis(150) || iters >= 4096 {
+            return dt.as_nanos() as f64 / f64::from(iters);
+        }
+        iters *= 2;
+    }
+}
+
+/// One-shot timer for the long rows where doubling would be prohibitive.
+fn time_once<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64
+}
+
+fn peak_rss_bytes() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn resident_bound(shard_users: usize, threads: usize, items: usize) -> u64 {
+    (shard_users.min(threads * SCORE_BLOCK_USERS) * items * 4) as u64
+}
+
+fn gemm_section() -> GemmSection {
+    let a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut seeded_rng(0));
+    let b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut seeded_rng(1));
+    let run = |threads: usize, schedule: GemmSchedule| {
+        let mut c = Tensor::zeros(&[256, 256]);
+        let mut scratch = GemmScratch::new();
+        time_ns(|| {
+            rayon::with_threads(threads, || {
+                if let Err(e) = gemm_blocked_scheduled(
+                    1.0,
+                    &a,
+                    Transpose::No,
+                    &b,
+                    Transpose::No,
+                    0.0,
+                    &mut c,
+                    GEMM_BLOCKING,
+                    &mut scratch,
+                    schedule,
+                ) {
+                    panic!("gemm_256 failed: {e}");
+                }
+            });
+        })
+    };
+    let serial_ns = run(1, GemmSchedule::Auto);
+    let rows = [2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let ns = run(threads, GemmSchedule::Auto);
+            GemmRow { threads, ns, speedup_vs_serial: serial_ns / ns }
+        })
+        .collect();
+    let schedules = [
+        ("shared_pack", GemmSchedule::SharedPack),
+        ("per_task_pack", GemmSchedule::PerTaskPack),
+    ]
+    .into_iter()
+    .map(|(name, schedule)| ScheduleRow { schedule: name, threads: 8, ns: run(8, schedule) })
+    .collect();
+    GemmSection { serial_ns, rows, schedules }
+}
+
+fn bpr(users: usize, items: usize, dim: usize, seed: u64) -> BprMf {
+    BprMf::new(users, items, dim, &mut StdRng::seed_from_u64(seed))
+}
+
+fn scale_rows(fast: bool) -> Vec<ScaleRow> {
+    let (user_sizes, item_sizes): (&[usize], &[usize]) = if fast {
+        (&[2048, 8192], &[512, 2048])
+    } else {
+        (&[4096, 16384, 65536], &[1024, 8192])
+    };
+    let n = 10;
+    let mut rows = Vec::new();
+    for &users in user_sizes {
+        for &items in item_sizes {
+            let model = bpr(users, items, 16, 7);
+            let engine = ScoringEngine::for_model(&model);
+            for threads in [1usize, 2, 8] {
+                let plan = ShardPlan::default_for(users);
+                let ns = time_once(|| {
+                    rayon::with_threads(threads, || {
+                        if let Err(e) = model_sweep(&engine, &model, n, &plan) {
+                            panic!("scale row failed: {e}");
+                        }
+                    });
+                });
+                rows.push(ScaleRow {
+                    model: "bpr_mf_d16",
+                    users,
+                    items,
+                    n,
+                    threads,
+                    shard_users: plan.shard_users(),
+                    num_shards: plan.num_shards(),
+                    ns,
+                    resident_scores_bound_bytes: resident_bound(plan.shard_users(), threads, items),
+                    unsharded_scores_bytes: (users * items * 4) as u64,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn model_sweep(
+    engine: &ScoringEngine,
+    model: &dyn Recommender,
+    n: usize,
+    plan: &ShardPlan,
+) -> Result<usize, taamr_recsys::StaleEngine> {
+    let lists = engine.par_top_n_all_sharded(model, n, |_| &[][..], plan)?;
+    Ok(lists.len())
+}
+
+fn headline(fast: bool) -> Headline {
+    let (users, items, n) = if fast { (50_000, 10_000, 100) } else { (1_000_000, 100_000, 100) };
+    // Popularity keeps the headline selection-bound (static scores, no
+    // factors), which is what makes a million-user sweep tractable while
+    // still exercising the full shard → block → top-N pipeline.
+    let user_items: Vec<Vec<usize>> = (0..users).map(|u| vec![u % items]).collect();
+    let data = ImplicitDataset::new(user_items, vec![0; items], 1);
+    let model = Popularity::from_dataset(&data);
+    let engine = ScoringEngine::for_model(&model);
+    let plan = ShardPlan::default_for(users);
+    let threads = rayon::current_num_threads();
+    let ns = time_once(|| {
+        let lists = match engine.par_top_n_all_sharded(&model, n, |_| &[][..], &plan) {
+            Ok(lists) => lists,
+            Err(e) => panic!("headline sweep failed: {e}"),
+        };
+        assert_eq!(lists.len(), users);
+    });
+    Headline {
+        row: ScaleRow {
+            model: "popularity",
+            users,
+            items,
+            n,
+            threads,
+            shard_users: plan.shard_users(),
+            num_shards: plan.num_shards(),
+            ns,
+            resident_scores_bound_bytes: resident_bound(plan.shard_users(), threads, items),
+            unsharded_scores_bytes: (users as u64) * (items as u64) * 4,
+        },
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn fake_features(num_items: usize, d: usize) -> Vec<f32> {
+    (0..num_items * d).map(|i| ((i * 37 % 101) as f32 / 101.0) - 0.5).collect()
+}
+
+fn quant_row(
+    label: &'static str,
+    model: &dyn Recommender,
+    users: usize,
+    items: usize,
+    n: usize,
+) -> QuantRow {
+    let engine = ScoringEngine::for_model(model);
+    let q = match engine.quantized(model) {
+        Ok(Some(q)) => q,
+        Ok(None) => panic!("{label} has no gemm plan to quantize"),
+        Err(e) => panic!("{label} quantization failed: {e}"),
+    };
+    let exact = match engine.par_top_n_all(model, n, |_| &[][..]) {
+        Ok(lists) => lists,
+        Err(e) => panic!("{label} f32 sweep failed: {e}"),
+    };
+    let approx = match q.par_top_n_all(model, n, |_| &[][..]) {
+        Ok(lists) => lists,
+        Err(e) => panic!("{label} quant sweep failed: {e}"),
+    };
+    let overlap = top_n_overlap(&exact, &approx);
+    let f32_ns = time_ns(|| {
+        if engine.par_top_n_all(model, n, |_| &[][..]).is_err() {
+            panic!("{label} f32 sweep failed");
+        }
+    });
+    let quant_ns = time_ns(|| {
+        if q.par_top_n_all(model, n, |_| &[][..]).is_err() {
+            panic!("{label} quant sweep failed");
+        }
+    });
+    let f32_factor_bytes = q.f32_factor_bytes();
+    QuantRow {
+        model: label,
+        users,
+        items,
+        n,
+        top_n_overlap: overlap,
+        f32_ns,
+        quant_ns,
+        quant_factor_bytes: q.factor_bytes(),
+        f32_factor_bytes,
+    }
+}
+
+fn quant_rows(fast: bool) -> Vec<QuantRow> {
+    let (users, items) = if fast { (512, 256) } else { (2048, 1024) };
+    let mut rows = Vec::new();
+    let mf = bpr(users, items, 32, 11);
+    rows.push(quant_row("bpr_mf_d32", &mf, users, items, 10));
+    let d = 32;
+    let vbpr = Vbpr::new(
+        users,
+        items,
+        d,
+        fake_features(items, d),
+        VbprConfig::default(),
+        &mut StdRng::seed_from_u64(13),
+    );
+    rows.push(quant_row("vbpr_d32", &vbpr, users, items, 10));
+    rows
+}
+
+fn main() {
+    let fast = std::env::var_os("TAAMR_BENCH_FAST").is_some();
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_scale.json".to_owned());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("scale_grid: fast={fast} available_parallelism={threads}");
+
+    let gemm = gemm_section();
+    eprintln!("scale_grid: gemm_256 serial {:.0} ns", gemm.serial_ns);
+    let rows = scale_rows(fast);
+    eprintln!("scale_grid: {} scale rows done", rows.len());
+    let head = headline(fast);
+    eprintln!(
+        "scale_grid: headline {}x{} in {:.1} s (peak rss {:?})",
+        head.row.users,
+        head.row.items,
+        head.row.ns / 1e9,
+        head.peak_rss_bytes
+    );
+    let quant = quant_rows(fast);
+
+    let report = Report {
+        schema: 1,
+        hardware: Hardware {
+            available_parallelism: threads,
+            note: "speedup columns are only meaningful when available_parallelism >= the row's \
+                   thread count; single-core runs measure scheduling overhead",
+        },
+        gemm_256: gemm,
+        scale_rows: rows,
+        headline: head,
+        quant,
+    };
+    let body = match serde_json::to_string_pretty(&report) {
+        Ok(body) => body,
+        Err(e) => panic!("cannot serialise report: {e}"),
+    };
+    if let Err(e) = std::fs::write(&out, body + "\n") {
+        panic!("cannot write {out}: {e}");
+    }
+    println!("scale_grid: wrote {out}");
+}

@@ -24,7 +24,7 @@ fn expected_schema(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     match name {
         "BENCH_parallel.json" | "BENCH_gemm_v2.json" | "BENCH_scoring.json"
-        | "BENCH_serve.json" => Some(BENCH_SUMMARY_SCHEMA),
+        | "BENCH_serve.json" | "BENCH_scale.json" => Some(BENCH_SUMMARY_SCHEMA),
         "BENCH_obs.json" => Some(u64::from(taamr_obs::TELEMETRY_SCHEMA)),
         _ => None,
     }

@@ -22,9 +22,30 @@
 //!   serial per-item loop regardless of chunking or thread count.
 //! * **Metrics** — per-user hit counts and ranks are integers; parallel maps
 //!   collect in user order and reduce serially, which is exact.
+//! * **Scoring** — full-catalog evaluation streams over bounded user shards
+//!   ([`taamr_recsys::ShardPlan`]); shard and score-block boundaries are
+//!   pure functions of the plan, never of the thread count, so sharding is
+//!   bitwise invisible and peak score memory is `O(shard × items)`.
 //!
 //! Floating-point *reductions* are never parallelised: sums stay serial (or
 //! integer), so no result depends on reduction order.
+//!
+//! # Scheduling: work stealing over a fixed partition
+//!
+//! The rayon shim runs parallel regions on a persistent daemon worker pool
+//! with *chunk stealing*: the input is split into a fixed, ordered list of
+//! contiguous chunks — up to [`CHUNKS_PER_WORKER`] per thread, computed
+//! from the item count alone — and idle workers (the caller included) claim
+//! chunks from a shared atomic cursor. Which thread runs a chunk varies run
+//! to run; *what each chunk computes and where its results land* never
+//! does, which is why stealing cannot break the determinism contract while
+//! still keeping every core busy when chunk costs are skewed (GEMM edge
+//! panels, ragged score blocks).
+//!
+//! Kernels that partition 2-D outputs build their task lists with
+//! [`block_grid`] / [`aligned_blocks`], which align block boundaries to
+//! micro-kernel tiles (GEMM row panels) or cache blocks (column stripes) so
+//! stealing granularity amortizes operand packing.
 //!
 //! # Choosing the thread count
 //!
@@ -41,9 +62,10 @@
 //! Because every parallel path is bit-reproducible, these knobs only change
 //! wall-clock time, never results.
 
-pub use rayon::{current_num_threads, serial_feature_enabled, with_threads};
+pub use rayon::{current_num_threads, serial_feature_enabled, with_threads, CHUNKS_PER_WORKER};
 pub use taamr_nn::parallel::{batch_chunks, par_features, par_predict};
 pub use taamr_recsys::par_top_n_all;
+pub use taamr_tensor::{aligned_blocks, block_grid, GridTask};
 
 #[cfg(test)]
 mod tests {

@@ -75,8 +75,10 @@ use serde::{Deserialize, Serialize};
 /// `serve_sheds`, `serve_retries`, `serve_restarts`, `serve_swaps`,
 /// `serve_snapshot_writes`). v6 added the attack-suite counters
 /// (`attack_queries`, `attack_oracle_cache_hits`, `embed_attack_steps`),
-/// all thread-invariant.
-pub const TELEMETRY_SCHEMA: u32 = 6;
+/// all thread-invariant. v7 added the sharded-scoring counters
+/// (`scoring_shards`, `quantized_score_blocks`), both thread-invariant —
+/// shard and block patterns are pure functions of the shard plan.
+pub const TELEMETRY_SCHEMA: u32 = 7;
 
 /// The process-wide monotonic counters.
 ///
@@ -170,10 +172,19 @@ pub enum Counter {
     /// Gradient steps taken by embedding-space attackers, counted per
     /// attacked item at the attack entry point.
     EmbedAttackSteps,
+    /// User shards streamed by the recsys sharded scoring driver (one per
+    /// shard of a `par_top_n_all` / `par_item_ranks` call). Shard boundaries
+    /// are a pure function of the `ShardPlan`, so the value is
+    /// thread-invariant.
+    ScoringShards,
+    /// Score blocks computed through the opt-in i8-quantized scoring path.
+    /// The block pattern is fixed by the shard plan, so the value is
+    /// thread-invariant.
+    QuantizedScoreBlocks,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 34] = [
+pub const COUNTERS: [Counter; 36] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -208,6 +219,8 @@ pub const COUNTERS: [Counter; 34] = [
     Counter::AttackQueries,
     Counter::AttackOracleCacheHits,
     Counter::EmbedAttackSteps,
+    Counter::ScoringShards,
+    Counter::QuantizedScoreBlocks,
 ];
 
 impl Counter {
@@ -248,6 +261,8 @@ impl Counter {
             Counter::AttackQueries => "attack_queries",
             Counter::AttackOracleCacheHits => "attack_oracle_cache_hits",
             Counter::EmbedAttackSteps => "embed_attack_steps",
+            Counter::ScoringShards => "scoring_shards",
+            Counter::QuantizedScoreBlocks => "quantized_score_blocks",
         }
     }
 

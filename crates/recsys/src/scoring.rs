@@ -44,6 +44,7 @@ use taamr_tensor::{
 };
 
 use crate::recommend::{item_rank_with, top_n_with, SelectionScratch};
+use crate::shard::ShardPlan;
 use crate::Recommender;
 
 /// Users per batched scoring block. Fixed (not thread-derived) so the GEMM
@@ -81,15 +82,15 @@ pub(crate) fn scoring_gemm(
 /// [`Recommender::user_term_rows`](crate::Recommender::user_term_rows))
 /// against a cached `num_items × dim` item-side matrix.
 #[derive(Debug, Clone)]
-struct PlanTerm {
+pub(crate) struct PlanTerm {
     /// Latent dimension of this pathway.
-    dim: usize,
+    pub(crate) dim: usize,
     /// Item-side factors, row-major `num_items × dim`.
-    items: Tensor,
+    pub(crate) items: Tensor,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum PlanKind {
+pub(crate) enum PlanKind {
     /// `S = static + Σ_t U_t · I_tᵀ` via GEMM.
     Gemm,
     /// No bilinear decomposition: block scoring falls back to per-user
@@ -109,9 +110,9 @@ pub struct CatalogPlan {
     num_users: usize,
     num_items: usize,
     /// Per-item user-independent score term (biases + cached visual bias).
-    static_term: Vec<f32>,
-    terms: Vec<PlanTerm>,
-    kind: PlanKind,
+    pub(crate) static_term: Vec<f32>,
+    pub(crate) terms: Vec<PlanTerm>,
+    pub(crate) kind: PlanKind,
 }
 
 impl CatalogPlan {
@@ -179,12 +180,18 @@ impl CatalogPlan {
 /// allocating entirely.
 #[derive(Debug, Default)]
 pub struct ScoreBlock {
-    users: Range<usize>,
+    pub(crate) users: Range<usize>,
     /// `users.len() × num_items` scores, row-major.
-    scores: Tensor,
+    pub(crate) scores: Tensor,
     /// Staging for the block's user factors (`users.len() × dim`).
-    staging: Tensor,
-    scratch: GemmScratch,
+    pub(crate) staging: Tensor,
+    pub(crate) scratch: GemmScratch,
+    /// Quantized-path scratch: per-user i8 codes and scales, used only by
+    /// [`QuantizedPlan::score_block`](crate::QuantizedPlan::score_block).
+    /// Living here keeps the quantized drivers on the exact same grow-only
+    /// worker-state reuse as the f32 path.
+    pub(crate) user_codes: Vec<i8>,
+    pub(crate) user_scales: Vec<f32>,
 }
 
 impl ScoreBlock {
@@ -195,6 +202,8 @@ impl ScoreBlock {
             scores: Tensor::zeros(&[0, 0]),
             staging: Tensor::zeros(&[0, 0]),
             scratch: GemmScratch::new(),
+            user_codes: Vec::new(),
+            user_scales: Vec::new(),
         }
     }
 
@@ -331,6 +340,14 @@ impl ScoringEngine {
     /// against the live model, and a mismatch surfaces as an error the
     /// caller can convert into an `ensure`-and-retry.
     fn plan<M: Recommender + ?Sized>(&self, model: &M) -> Result<&CatalogPlan, StaleEngine> {
+        self.cache_checked(model).map(|c| &c.plan)
+    }
+
+    /// The full validated cache entry (plan + the version it was built at).
+    fn cache_checked<M: Recommender + ?Sized>(
+        &self,
+        model: &M,
+    ) -> Result<&PlanCache, StaleEngine> {
         let Some(cache) = &self.cache else {
             return Err(StaleEngine { cached: None, live: model.scoring_version() });
         };
@@ -340,7 +357,25 @@ impl ScoringEngine {
         {
             return Err(StaleEngine { cached: Some(cache.version), live: model.scoring_version() });
         }
-        Ok(&cache.plan)
+        Ok(cache)
+    }
+
+    /// Builds an opt-in i8-quantized snapshot of the cached plan, or `None`
+    /// when the model's plan has no GEMM decomposition (oracle/scalar
+    /// models). See [`QuantizedPlan`](crate::QuantizedPlan) for the accuracy
+    /// contract — quantized scores are *approximate* and are validated by
+    /// top-N overlap, never bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEngine`] when the cache is absent or stale; refresh
+    /// with [`ScoringEngine::ensure`] and retry.
+    pub fn quantized<M: Recommender + ?Sized>(
+        &self,
+        model: &M,
+    ) -> Result<Option<crate::QuantizedPlan>, StaleEngine> {
+        let cache = self.cache_checked(model)?;
+        Ok(crate::QuantizedPlan::from_plan(&cache.plan, cache.version))
     }
 
     /// Scores every item for the contiguous user block `users`, writing the
@@ -373,7 +408,7 @@ impl ScoringEngine {
         );
         let b = users.len();
         let ni = plan.num_items;
-        let ScoreBlock { users: out_users, scores, staging, scratch } = out;
+        let ScoreBlock { users: out_users, scores, staging, scratch, .. } = out;
         *out_users = users.clone();
         scores.reset_to_zeros(&[b, ni]);
         match plan.kind {
@@ -404,9 +439,9 @@ impl ScoringEngine {
     }
 
     /// Top-`n` lists for every user, served from batched score blocks on
-    /// worker threads. Results are identical to calling
-    /// [`Recommender::top_n`](crate::Recommender::top_n) in a serial loop,
-    /// for every thread count.
+    /// worker threads under the default [`ShardPlan`]. Results are identical
+    /// to calling [`Recommender::top_n`](crate::Recommender::top_n) in a
+    /// serial loop, for every thread count and every shard plan.
     ///
     /// `seen_of(u)` supplies the items to exclude for user `u`; sorted
     /// seen-lists (as [`taamr_data::ImplicitDataset::user_items`] returns)
@@ -430,31 +465,48 @@ impl ScoringEngine {
         M: Recommender + ?Sized,
         F: Fn(usize) -> &'a [usize] + Sync,
     {
+        self.par_top_n_all_sharded(model, n, seen_of, &ShardPlan::default_for(model.num_users()))
+    }
+
+    /// [`ScoringEngine::par_top_n_all`] streaming over an explicit
+    /// [`ShardPlan`]: one bounded parallel region per shard, so peak
+    /// resident score memory is `O(min(shard, threads ·
+    /// [`SCORE_BLOCK_USERS`]) × items)` — never `O(users × items)`.
+    /// Sharding is bitwise invisible (see the [`crate::shard`] module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEngine`] when the cache is absent or stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `plan` does not cover the model's users.
+    pub fn par_top_n_all_sharded<'a, M, F>(
+        &self,
+        model: &M,
+        n: usize,
+        seen_of: F,
+        plan: &ShardPlan,
+    ) -> Result<Vec<Vec<usize>>, StaleEngine>
+    where
+        M: Recommender + ?Sized,
+        F: Fn(usize) -> &'a [usize] + Sync,
+    {
         assert!(n > 0, "n must be positive");
         // Validate eagerly so misuse fails even for zero-user models. The
         // model is borrowed for the whole call, so the per-block
         // revalidation below cannot fail after this succeeds.
         self.plan(model)?;
-        let num_users = model.num_users();
-        let nested: Vec<Vec<Vec<usize>>> = (0..num_users.div_ceil(SCORE_BLOCK_USERS))
-            .into_par_iter()
-            .map_init(
-                || (ScoreBlock::new(), SelectionScratch::new()),
-                |(block, sel), blk| {
-                    let users =
-                        blk * SCORE_BLOCK_USERS..((blk + 1) * SCORE_BLOCK_USERS).min(num_users);
-                    self.score_block(model, users.clone(), block)?;
-                    Ok(users.map(|u| top_n_with(block.row(u), n, seen_of(u), sel)).collect())
-                },
-            )
-            .collect::<Result<_, StaleEngine>>()?;
-        Ok(nested.into_iter().flatten().collect())
+        stream_user_shards(model.num_users(), plan, |(block, sel), users| {
+            self.score_block(model, users.clone(), block)?;
+            Ok(users.map(|u| top_n_with(block.row(u), n, seen_of(u), sel)).collect())
+        })
     }
 
     /// 1-based rank of `item` for every user (see
     /// [`item_rank`](crate::item_rank)), served from batched score blocks on
-    /// worker threads. Entry `u` is `None` when `item` is excluded for user
-    /// `u`.
+    /// worker threads under the default [`ShardPlan`]. Entry `u` is `None`
+    /// when `item` is excluded for user `u`.
     ///
     /// # Errors
     ///
@@ -470,22 +522,95 @@ impl ScoringEngine {
         M: Recommender + ?Sized,
         F: Fn(usize) -> &'a [usize] + Sync,
     {
+        self.par_item_ranks_sharded(model, item, seen_of, &ShardPlan::default_for(model.num_users()))
+    }
+
+    /// [`ScoringEngine::par_item_ranks`] streaming over an explicit
+    /// [`ShardPlan`]; same memory bound and bitwise-invisibility contract as
+    /// [`ScoringEngine::par_top_n_all_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEngine`] when the cache is absent or stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not cover the model's users.
+    pub fn par_item_ranks_sharded<'a, M, F>(
+        &self,
+        model: &M,
+        item: usize,
+        seen_of: F,
+        plan: &ShardPlan,
+    ) -> Result<Vec<Option<usize>>, StaleEngine>
+    where
+        M: Recommender + ?Sized,
+        F: Fn(usize) -> &'a [usize] + Sync,
+    {
         self.plan(model)?;
-        let num_users = model.num_users();
-        let nested: Vec<Vec<Option<usize>>> = (0..num_users.div_ceil(SCORE_BLOCK_USERS))
+        stream_user_shards(model.num_users(), plan, |(block, sel), users| {
+            self.score_block(model, users.clone(), block)?;
+            Ok(users.map(|u| item_rank_with(block.row(u), item, seen_of(u), sel)).collect())
+        })
+    }
+}
+
+/// The shard-streaming driver behind every `par_*` scoring entry point
+/// (f32 and quantized alike): shards run *serially* in user order — bounding
+/// resident scores — and the [`SCORE_BLOCK_USERS`]-sized blocks inside one
+/// shard fan out across worker threads, each worker reusing one
+/// `(ScoreBlock, SelectionScratch)` pair for every block it processes.
+///
+/// `per_block` receives the worker state and one contiguous user block and
+/// returns that block's outputs in user order; outputs are reassembled in
+/// user order regardless of scheduling. The shard count is recorded in the
+/// `scoring_shards` telemetry (a pure function of the plan, so
+/// thread-invariant).
+///
+/// # Panics
+///
+/// Panics if `plan` does not cover exactly `num_users`.
+pub(crate) fn stream_user_shards<T, F>(
+    num_users: usize,
+    plan: &ShardPlan,
+    per_block: F,
+) -> Result<Vec<T>, StaleEngine>
+where
+    T: Send,
+    F: Fn(&mut (ScoreBlock, SelectionScratch), Range<usize>) -> Result<Vec<T>, StaleEngine> + Sync,
+{
+    assert_eq!(
+        plan.num_users(),
+        num_users,
+        "shard plan covers {} users but the model has {num_users}",
+        plan.num_users()
+    );
+    taamr_obs::add(taamr_obs::Counter::ScoringShards, plan.num_shards() as u64);
+    let mut out = Vec::with_capacity(num_users);
+    for shard in plan.shards() {
+        let blocks: Vec<Range<usize>> = blocks_of(shard.clone());
+        let nested: Vec<Vec<T>> = blocks
             .into_par_iter()
             .map_init(
                 || (ScoreBlock::new(), SelectionScratch::new()),
-                |(block, sel), blk| {
-                    let users =
-                        blk * SCORE_BLOCK_USERS..((blk + 1) * SCORE_BLOCK_USERS).min(num_users);
-                    self.score_block(model, users.clone(), block)?;
-                    Ok(users.map(|u| item_rank_with(block.row(u), item, seen_of(u), sel)).collect())
-                },
+                |state, users| per_block(state, users),
             )
             .collect::<Result<_, StaleEngine>>()?;
-        Ok(nested.into_iter().flatten().collect())
+        out.extend(nested.into_iter().flatten());
     }
+    Ok(out)
+}
+
+/// Splits one shard into [`SCORE_BLOCK_USERS`]-sized scoring blocks (the
+/// last may be shorter). Blocks are relative to the shard's own range, so
+/// the pattern depends only on the shard — never the thread count.
+fn blocks_of(shard: Range<usize>) -> Vec<Range<usize>> {
+    let (start, len) = (shard.start, shard.len());
+    (0..len.div_ceil(SCORE_BLOCK_USERS))
+        .map(|b| {
+            start + b * SCORE_BLOCK_USERS..start + ((b + 1) * SCORE_BLOCK_USERS).min(len)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use taamr_fault::FaultSite;
-use taamr_recsys::{top_n_with, ScoreBlock, ScoringEngine, SelectionScratch};
+use taamr_recsys::{top_n_with, ScoreBlock, ScoringEngine, SelectionScratch, ShardPlan};
 
 use crate::error::ServeError;
 use crate::ServeModel;
@@ -41,10 +41,38 @@ pub struct TopNResponse {
     pub scores: Vec<f32>,
 }
 
+/// A full-catalog sweep: top-`n` lists for *every* user of a slot's model,
+/// streamed over bounded user shards so peak score memory is
+/// `O(shard × items)` regardless of the user count. This is the serving-side
+/// twin of the offline CHR@N evaluation — the route an operator hits to
+/// audit what a deployed (possibly attacked) model would recommend to the
+/// whole user base.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResponse {
+    /// Slot that served the sweep.
+    pub slot: String,
+    /// Model version behind the slot's version gate.
+    pub model_version: u64,
+    /// Actor incarnation that computed the sweep.
+    pub incarnation: u64,
+    /// Shard height the sweep streamed with.
+    pub shard_users: usize,
+    /// Number of shards streamed (`ceil(users / shard_users)`).
+    pub num_shards: usize,
+    /// Per-user recommendation lists, indexed by user, best first.
+    pub lists: Vec<Vec<usize>>,
+}
+
 /// Mailbox protocol between supervisor and actor.
 pub(crate) enum ActorMsg {
     /// Serve a top-`n` request; the answer goes to `reply`.
     TopN { user: usize, n: usize, reply: Sender<Result<TopNResponse, ServeError>> },
+    /// Serve a sharded full-catalog sweep; the answer goes to `reply`.
+    Sweep {
+        n: usize,
+        shard_users: Option<usize>,
+        reply: Sender<Result<SweepResponse, ServeError>>,
+    },
     /// Hand back the actor's serialised state for a snapshot.
     State { reply: Sender<(String, u64)> },
     /// Chaos: die immediately, dropping everything still queued.
@@ -115,6 +143,27 @@ fn run<M: ServeModel>(spec: ActorSpec<M>, rx: Receiver<ActorMsg>) {
                     Err(_) => return,
                 }
             }
+            ActorMsg::Sweep { n, shard_users, reply } => {
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    serve_sweep(
+                        &slot,
+                        &model,
+                        &mut engine,
+                        &seen,
+                        model_version,
+                        incarnation,
+                        n,
+                        shard_users,
+                    )
+                }));
+                match outcome {
+                    Ok(result) => {
+                        let _ = reply.send(result);
+                    }
+                    // Same crash protocol as TopN: die, let supervision heal.
+                    Err(_) => return,
+                }
+            }
             ActorMsg::State { reply } => {
                 if let Ok(json) = serde_json::to_string(&model) {
                     let _ = reply.send((json, model_version));
@@ -167,5 +216,51 @@ fn serve_top_n<M: ServeModel>(
         user,
         items,
         scores,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_sweep<M: ServeModel>(
+    slot: &str,
+    model: &M,
+    engine: &mut ScoringEngine,
+    seen: &[Vec<usize>],
+    model_version: u64,
+    incarnation: u64,
+    n: usize,
+    shard_users: Option<usize>,
+) -> Result<SweepResponse, ServeError> {
+    if n == 0 {
+        return Err(ServeError::BadRequest { reason: "n must be positive".to_owned() });
+    }
+    if shard_users == Some(0) {
+        return Err(ServeError::BadRequest { reason: "shard must be positive".to_owned() });
+    }
+    let plan = match shard_users {
+        Some(s) => ShardPlan::new(model.num_users(), s),
+        None => ShardPlan::default_for(model.num_users()),
+    };
+    let seen_of = |u: usize| seen.get(u).map_or(&[][..], |s| s.as_slice());
+    let lists = match engine.par_top_n_all_sharded(model, n, seen_of, &plan) {
+        Ok(lists) => lists,
+        Err(_stale) => {
+            // Same typed-StaleEngine protocol as the single-user path:
+            // refresh the plan cache and retry once.
+            engine.ensure(model);
+            match engine.par_top_n_all_sharded(model, n, seen_of, &plan) {
+                Ok(lists) => lists,
+                // The actor owns the model exclusively, so a just-ensured
+                // engine cannot be stale again.
+                Err(e) => unreachable!("scoring engine stale immediately after refresh: {e}"),
+            }
+        }
+    };
+    Ok(SweepResponse {
+        slot: slot.to_owned(),
+        model_version,
+        incarnation,
+        shard_users: plan.shard_users(),
+        num_shards: plan.num_shards(),
+        lists,
     })
 }

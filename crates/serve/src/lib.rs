@@ -63,7 +63,7 @@ mod server;
 mod snapshot;
 mod supervisor;
 
-pub use actor::TopNResponse;
+pub use actor::{SweepResponse, TopNResponse};
 pub use error::ServeError;
 pub use http::http_get;
 pub use ledger::{Accountant, LedgerSnapshot};

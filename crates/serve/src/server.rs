@@ -12,8 +12,13 @@
 //! | Route | Response |
 //! |---|---|
 //! | `GET /recommend/<slot>/<user>?n=K` | [`TopNResponse`] JSON |
+//! | `GET /sweep/<slot>?n=K&shard=S` | [`SweepResponse`](crate::SweepResponse) JSON |
 //! | `GET /stats` | [`LedgerSnapshot`](crate::LedgerSnapshot) JSON |
 //! | `GET /healthz` | `{"ok":true}` |
+//!
+//! The sweep route is the shard-streamed full-catalog evaluation (top-`n`
+//! for every user); `shard` bounds the actor's peak score memory and
+//! defaults to the recsys [`ShardPlan`](taamr_recsys::ShardPlan) height.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,7 +27,6 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::actor::TopNResponse;
 use crate::error::ServeError;
 use crate::http::{read_request, respond, Request};
 use crate::queue::BoundedQueue;
@@ -184,6 +188,13 @@ fn route<M: ServeModel>(
                 (500, error_body(&err))
             }
         },
+        path if path.starts_with("/sweep/") => match parse_sweep(path, request) {
+            Ok((slot, n, shard)) => match supervisor.sweep_top_n(&slot, n, shard, deadline) {
+                Ok(resp) => ok_body(&resp),
+                Err(err) => (err.status(), error_body(&err)),
+            },
+            Err(err) => (err.status(), error_body(&err)),
+        },
         path => match parse_recommend(path, request) {
             Ok((slot, user, n)) => match supervisor.top_n(&slot, user, n, deadline) {
                 Ok(resp) => ok_body(&resp),
@@ -194,7 +205,7 @@ fn route<M: ServeModel>(
     }
 }
 
-fn ok_body(resp: &TopNResponse) -> (u16, String) {
+fn ok_body<T: serde::Serialize>(resp: &T) -> (u16, String) {
     match serde_json::to_string(resp) {
         Ok(body) => (200, body),
         Err(e) => {
@@ -202,6 +213,41 @@ fn ok_body(resp: &TopNResponse) -> (u16, String) {
                 ServeError::BadRequest { reason: format!("response unserialisable: {e}") };
             (500, error_body(&err))
         }
+    }
+}
+
+/// Parses `/sweep/<slot>` plus the optional `n` (default 10) and `shard`
+/// query parameters.
+fn parse_sweep(
+    path: &str,
+    request: &Request,
+) -> Result<(String, usize, Option<usize>), ServeError> {
+    let bad = |reason: String| ServeError::BadRequest { reason };
+    let mut parts = path.trim_start_matches('/').split('/');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("sweep"), Some(slot), None) if !slot.is_empty() => {
+            let n = match request.param("n") {
+                None => 10,
+                Some(raw) => raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| bad(format!("n must be a positive integer, got `{raw}`")))?,
+            };
+            let shard = match request.param("shard") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or_else(|| {
+                            bad(format!("shard must be a positive integer, got `{raw}`"))
+                        })?,
+                ),
+            };
+            Ok((slot.to_owned(), n, shard))
+        }
+        _ => Err(ServeError::SlotNotFound { slot: path.to_owned() }),
     }
 }
 

@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::actor::{self, ActorMsg, ActorSpec, TopNResponse};
+use crate::actor::{self, ActorMsg, ActorSpec, SweepResponse, TopNResponse};
 use crate::error::ServeError;
 use crate::ledger::Accountant;
 use crate::snapshot::SnapshotStore;
@@ -178,6 +178,39 @@ impl<M: ServeModel> Supervisor<M> {
         n: usize,
         deadline: Duration,
     ) -> Result<TopNResponse, ServeError> {
+        self.request(slot_name, deadline, |reply| ActorMsg::TopN { user, n, reply })
+    }
+
+    /// Serves a sharded full-catalog sweep against `slot`: top-`n` lists for
+    /// every user, streamed over `shard_users`-high user shards (`None` uses
+    /// the default [`taamr_recsys::ShardPlan`] height) so the actor's peak
+    /// score memory stays `O(shard × items)`. Same crash-recovery and retry
+    /// semantics as [`Supervisor::top_n`]; size the deadline for a
+    /// full-catalog evaluation, not a point lookup.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Supervisor::top_n`], plus [`ServeError::BadRequest`] when
+    /// `n` or `shard_users` is zero.
+    pub fn sweep_top_n(
+        &self,
+        slot_name: &str,
+        n: usize,
+        shard_users: Option<usize>,
+        deadline: Duration,
+    ) -> Result<SweepResponse, ServeError> {
+        self.request(slot_name, deadline, |reply| ActorMsg::Sweep { n, shard_users, reply })
+    }
+
+    /// The shared request loop: version-gated send, deadline-bounded reply
+    /// wait, restart-and-retry on actor death. `make_msg` packages the
+    /// reply sender into the actor message for the concrete request kind.
+    fn request<T>(
+        &self,
+        slot_name: &str,
+        deadline: Duration,
+        make_msg: impl Fn(Sender<Result<T, ServeError>>) -> ActorMsg,
+    ) -> Result<T, ServeError> {
         self.accountant.request();
         let slot = self.slot(slot_name)?;
         let start = Instant::now();
@@ -194,7 +227,7 @@ impl<M: ServeModel> Supervisor<M> {
                 (st.tx.clone(), st.incarnation)
             };
             let (reply_tx, reply_rx) = mpsc::channel();
-            let delivered = tx.send(ActorMsg::TopN { user, n, reply: reply_tx }).is_ok();
+            let delivered = tx.send(make_msg(reply_tx)).is_ok();
             if delivered {
                 let Some(remaining) = deadline.checked_sub(start.elapsed()).filter(|d| !d.is_zero())
                 else {

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use taamr_serve::{
-    http_get, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig, TopNResponse,
+    http_get, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig, SweepResponse,
+    TopNResponse,
 };
 
 fn start() -> (Server, Arc<Supervisor<taamr_recsys::BprMf>>, std::path::PathBuf) {
@@ -71,6 +72,45 @@ fn the_full_surface_speaks_json() {
     assert_eq!(ledger.requests, 5, "ledger: {ledger:?}");
     assert_eq!(ledger.sheds, 0);
     assert_eq!(ledger.timeouts, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn sweep_route_runs_a_sharded_catalog_pass_for_every_user() {
+    let (server, sup, _dir) = start();
+    let addr = server.addr();
+
+    // Default shard plan: one response row per user, each agreeing with
+    // the point-lookup route for that user.
+    let (status, body) = http_get(addr, "/sweep/bpr?n=5").unwrap();
+    assert_eq!(status, 200, "body: {body}");
+    let sweep: SweepResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(sweep.lists.len(), common::USERS);
+    assert_eq!(sweep.num_shards, 1, "16 users fit one default shard");
+    for (user, list) in sweep.lists.iter().enumerate() {
+        assert_eq!(list.len(), 5);
+        let point = sup.top_n("bpr", user, 5, Duration::from_secs(5)).unwrap();
+        assert_eq!(list, &point.items, "user {user}");
+    }
+
+    // An explicit ragged shard height changes the streaming schedule but
+    // not one element of the result.
+    let (status, body) = http_get(addr, "/sweep/bpr?n=5&shard=7").unwrap();
+    assert_eq!(status, 200);
+    let ragged: SweepResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(ragged.num_shards, 3, "ceil(16/7)");
+    assert_eq!(ragged.shard_users, 7);
+    assert_eq!(ragged.lists, sweep.lists, "sharding must be invisible");
+
+    // Typed rejections: zero n, zero shard, unknown slot.
+    let (status, _) = http_get(addr, "/sweep/bpr?n=0").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_get(addr, "/sweep/bpr?shard=0").unwrap();
+    assert_eq!(status, 400);
+    let (status, body) = http_get(addr, "/sweep/ghost").unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("\"slot_not_found\""), "body: {body}");
 
     server.shutdown();
 }

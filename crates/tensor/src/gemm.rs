@@ -36,6 +36,7 @@
 
 use rayon::prelude::*;
 
+use crate::partition::{block_grid, GridTask};
 use crate::{with_gemm_scratch, GemmScratch, Tensor, TensorError};
 
 /// Whether an operand of [`gemm`] is used as-is or transposed.
@@ -106,9 +107,71 @@ impl BlockSizes {
 }
 
 /// Minimum `m * n * k` before gemm fans out across threads. The rayon shim
-/// spawns fresh scoped threads per region (no persistent pool), so the
-/// fork-join cost only amortises over fairly large products.
-const PAR_MIN_WORK: usize = 2 * 1024 * 1024;
+/// dispatches onto a persistent worker pool (a mutex push + wakeup, not a
+/// thread spawn), so even mid-sized products amortise the fork-join cost.
+const PAR_MIN_WORK: usize = 256 * 1024;
+
+/// Ceiling, in floats, on the shared packed-`op(B)` arena the cooperative
+/// schedule pre-builds (128 MiB). Above this the kernel falls back to
+/// per-task packing rather than ballooning scratch; the catalog-scoring
+/// shapes (100k items × 256-dim) sit comfortably below it.
+const SHARED_PACK_CAP: usize = 32 * 1024 * 1024;
+
+/// How a parallel GEMM divides packing work between tasks.
+///
+/// Every schedule produces **bitwise identical** results (packing is a pure
+/// copy and each output element is owned by one task walking the absolute
+/// `KC` blocks in ascending order); the choice only moves wall-clock time.
+/// The differential tests exercise each variant explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmSchedule {
+    /// Pick per call: shared packing when the packed `op(B)` arena fits the
+    /// cap, per-task packing otherwise.
+    #[default]
+    Auto,
+    /// Pack each `KC × NC` sliver of `op(B)` exactly once into a shared
+    /// arena that every task reads — packing cost matches the serial
+    /// schedule no matter how many threads run.
+    SharedPack,
+    /// Each task packs the slivers its own output rectangle needs (the
+    /// pre-pool schedule): duplicated `op(B)` packing across row panels,
+    /// but zero shared state and O(1) extra scratch per task.
+    PerTaskPack,
+}
+
+/// An unchecked, shareable handle to the output matrix.
+///
+/// Parallel tasks own disjoint `(row, col)` rectangles of `C` but those
+/// rectangles interleave in memory, so tasks cannot hold `&mut` slices;
+/// they write through this raw pointer instead.
+///
+/// Safety contract: the grid partition hands every output element to exactly
+/// one task, the buffer outlives the parallel region (the shim's completion
+/// barrier), and the caller finishes all `&mut c` access before tasks start.
+#[derive(Clone, Copy)]
+struct COut {
+    ptr: *mut f32,
+    ldc: usize,
+}
+
+unsafe impl Send for COut {}
+unsafe impl Sync for COut {}
+
+impl COut {
+    /// Accumulates `vals` into `C[row, col..col + vals.len()]`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own that element range per the struct contract and
+    /// stay in bounds.
+    #[inline(always)]
+    unsafe fn accumulate(&self, row: usize, col: usize, vals: &[f32]) {
+        let dst = unsafe { self.ptr.add(row * self.ldc + col) };
+        for (j, &v) in vals.iter().enumerate() {
+            unsafe { *dst.add(j) += v };
+        }
+    }
+}
 
 /// A borrowed matrix with its transpose normalised away: `at(i, j)` is
 /// `op(M)[i, j]` regardless of storage order.
@@ -182,12 +245,12 @@ fn micro_kernel(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR
     }
 }
 
-/// Serial packed-panel driver over one rectangular region of `C`.
+/// Packed-panel driver over one rectangular region of `C`, packing both
+/// operands itself (`pack` must hold `bs.pack_len()` floats; prior contents
+/// are irrelevant — packing fully overwrites each sliver).
 ///
-/// Writes into `c` (leading dimension `ldc`, origin at the region's top-left
-/// element) the update for global rows `[row0, row0 + m)` and columns
-/// `[col0, col0 + n)`. `pack` must hold at least `bs.pack_len()` floats; its
-/// prior contents are irrelevant (packing fully overwrites each sliver).
+/// Writes the update for global rows `[row0, row0 + m)` and columns
+/// `[col0, col0 + n)` through `c` (see [`COut`] for the aliasing contract).
 ///
 /// This wrapper only picks a code-generation flavour of the one driver body:
 /// on x86-64 CPUs reporting AVX2 it calls the AVX2-compiled clone, otherwise
@@ -197,9 +260,8 @@ fn micro_kernel(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR
 /// dispatch is bitwise invisible; the differential and golden tests would
 /// fail on any machine where it were not.
 #[allow(clippy::too_many_arguments)]
-fn gemm_region(
-    c: &mut [f32],
-    ldc: usize,
+fn region_per_task(
+    c: COut,
     row0: usize,
     m: usize,
     col0: usize,
@@ -215,21 +277,20 @@ fn gemm_region(
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the callee only requires AVX2, which the runtime check
         // just confirmed this CPU supports.
-        unsafe { gemm_region_avx2(c, ldc, row0, m, col0, n, k, alpha, a, b, bs, pack) };
+        unsafe { region_per_task_avx2(c, row0, m, col0, n, k, alpha, a, b, bs, pack) };
         return;
     }
-    gemm_region_impl(c, ldc, row0, m, col0, n, k, alpha, a, b, bs, pack);
+    region_per_task_impl(c, row0, m, col0, n, k, alpha, a, b, bs, pack);
 }
 
-/// The AVX2-compiled clone of [`gemm_region_impl`]. The 8-wide registers
+/// The AVX2-compiled clone of [`region_per_task_impl`]. The 8-wide registers
 /// roughly double the no-FMA mul/add throughput the baseline x86-64 (SSE2)
 /// build is capped at, without touching the operation order.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
-fn gemm_region_avx2(
-    c: &mut [f32],
-    ldc: usize,
+fn region_per_task_avx2(
+    c: COut,
     row0: usize,
     m: usize,
     col0: usize,
@@ -241,14 +302,13 @@ fn gemm_region_avx2(
     bs: BlockSizes,
     pack: &mut [f32],
 ) {
-    gemm_region_impl(c, ldc, row0, m, col0, n, k, alpha, a, b, bs, pack);
+    region_per_task_impl(c, row0, m, col0, n, k, alpha, a, b, bs, pack);
 }
 
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn gemm_region_impl(
-    c: &mut [f32],
-    ldc: usize,
+fn region_per_task_impl(
+    c: COut,
     row0: usize,
     m: usize,
     col0: usize,
@@ -270,24 +330,133 @@ fn gemm_region_impl(
             for ic in (0..m).step_by(bs.mc) {
                 let mcb = bs.mc.min(m - ic);
                 pack_a(a_pack, a, row0 + ic, mcb, pc, kcb, alpha);
-                for jr in 0..ncb.div_ceil(NR) {
-                    let j0 = jr * NR;
-                    let cols = NR.min(ncb - j0);
-                    let b_panel = &b_pack[jr * kcb * NR..(jr + 1) * kcb * NR];
-                    for ir in 0..mcb.div_ceil(MR) {
-                        let i0 = ir * MR;
-                        let rows = MR.min(mcb - i0);
-                        let a_panel = &a_pack[ir * kcb * MR..(ir + 1) * kcb * MR];
-                        let mut acc = [[0.0f32; NR]; MR];
-                        micro_kernel(kcb, a_panel, b_panel, &mut acc);
-                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
-                            let off = (ic + i0 + r) * ldc + jc + j0;
-                            for (slot, &v) in c[off..off + cols].iter_mut().zip(acc_row) {
-                                *slot += v;
-                            }
-                        }
-                    }
-                }
+                micro_sweep(c, row0 + ic, mcb, col0 + jc, ncb, kcb, a_pack, b_pack);
+            }
+        }
+    }
+}
+
+/// Driver over one rectangular region of `C` that consumes pre-packed
+/// `op(B)` slivers from a shared arena and packs only its own `op(A)` rows
+/// (`a_pack` must hold `bs.a_pack_len()` floats).
+///
+/// `col0` must be a multiple of `bs.nc` (the grid partition guarantees it),
+/// so every column block maps onto exactly one shared sliver; `slivers` is
+/// laid out `[jc_index * kc_blocks + pc_index] × bs.b_pack_len()` over the
+/// *global* column/K space. The loop nest here differs from
+/// [`region_per_task_impl`] (`pc` outermost so each packed `op(A)` sliver is
+/// reused across every column block), which is invisible to results: each
+/// output element still accumulates its `KC` blocks in ascending order.
+#[allow(clippy::too_many_arguments)]
+fn region_shared_b(
+    c: COut,
+    row0: usize,
+    m: usize,
+    col0: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: MatRef<'_>,
+    bs: BlockSizes,
+    slivers: &[f32],
+    a_pack: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: as for `region_per_task_avx2`.
+        unsafe { region_shared_b_avx2(c, row0, m, col0, n, k, alpha, a, bs, slivers, a_pack) };
+        return;
+    }
+    region_shared_b_impl(c, row0, m, col0, n, k, alpha, a, bs, slivers, a_pack);
+}
+
+/// AVX2-compiled clone of [`region_shared_b_impl`]; see
+/// [`region_per_task_avx2`] for why the dispatch is bitwise invisible.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn region_shared_b_avx2(
+    c: COut,
+    row0: usize,
+    m: usize,
+    col0: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: MatRef<'_>,
+    bs: BlockSizes,
+    slivers: &[f32],
+    a_pack: &mut [f32],
+) {
+    region_shared_b_impl(c, row0, m, col0, n, k, alpha, a, bs, slivers, a_pack);
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn region_shared_b_impl(
+    c: COut,
+    row0: usize,
+    m: usize,
+    col0: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: MatRef<'_>,
+    bs: BlockSizes,
+    slivers: &[f32],
+    a_pack: &mut [f32],
+) {
+    debug_assert_eq!(col0 % bs.nc, 0, "column stripes must start on an NC boundary");
+    let kc_blocks = k.div_ceil(bs.kc);
+    let sliver_len = bs.b_pack_len();
+    // Absolute, ascending K blocks outermost: the summation-order anchor.
+    for (pc_i, pc) in (0..k).step_by(bs.kc).enumerate() {
+        let kcb = bs.kc.min(k - pc);
+        for ic in (0..m).step_by(bs.mc) {
+            let mcb = bs.mc.min(m - ic);
+            pack_a(a_pack, a, row0 + ic, mcb, pc, kcb, alpha);
+            for jc in (0..n).step_by(bs.nc) {
+                let ncb = bs.nc.min(n - jc);
+                let s = ((col0 + jc) / bs.nc) * kc_blocks + pc_i;
+                let sliver = &slivers[s * sliver_len..(s + 1) * sliver_len];
+                micro_sweep(c, row0 + ic, mcb, col0 + jc, ncb, kcb, a_pack, sliver);
+            }
+        }
+    }
+}
+
+/// Sweeps the micro-kernel over one packed `mcb × ncb` block pair and
+/// accumulates the register tiles into `C` at absolute origin `(i_abs,
+/// j_abs)`. Shared by both region drivers so the write sequence is
+/// literally the same code.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_sweep(
+    c: COut,
+    i_abs: usize,
+    mcb: usize,
+    j_abs: usize,
+    ncb: usize,
+    kcb: usize,
+    a_pack: &[f32],
+    b_pack: &[f32],
+) {
+    for jr in 0..ncb.div_ceil(NR) {
+        let j0 = jr * NR;
+        let cols = NR.min(ncb - j0);
+        let b_panel = &b_pack[jr * kcb * NR..(jr + 1) * kcb * NR];
+        for ir in 0..mcb.div_ceil(MR) {
+            let i0 = ir * MR;
+            let rows = MR.min(mcb - i0);
+            let a_panel = &a_pack[ir * kcb * MR..(ir + 1) * kcb * MR];
+            let mut acc = [[0.0f32; NR]; MR];
+            micro_kernel(kcb, a_panel, b_panel, &mut acc);
+            for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                // SAFETY: this task owns rows `[row0, row0 + m)` × cols
+                // `[col0, col0 + n)` of `C` exclusively (grid partition),
+                // and `i_abs + i0 + r < row0 + m`, `j_abs + j0 + cols ≤
+                // col0 + n` keep the write inside that rectangle.
+                unsafe { c.accumulate(i_abs + i0 + r, j_abs + j0, &acc_row[..cols]) };
             }
         }
     }
@@ -405,6 +574,33 @@ pub fn gemm_blocked(
     blocking: BlockSizes,
     scratch: &mut GemmScratch,
 ) -> Result<(), TensorError> {
+    gemm_blocked_scheduled(alpha, a, ta, b, tb, beta, c, blocking, scratch, GemmSchedule::Auto)
+}
+
+/// [`gemm_blocked`] with an explicit parallel [`GemmSchedule`] — the ablation
+/// entry point behind the schedule differential tests and the `scale_grid`
+/// bench. Bitwise identical results for every schedule.
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`gemm`].
+///
+/// # Panics
+///
+/// Panics if any field of `blocking` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_scheduled(
+    alpha: f32,
+    a: &Tensor,
+    ta: Transpose,
+    b: &Tensor,
+    tb: Transpose,
+    beta: f32,
+    c: &mut Tensor,
+    blocking: BlockSizes,
+    scratch: &mut GemmScratch,
+    schedule: GemmSchedule,
+) -> Result<(), TensorError> {
     assert!(
         blocking.mc > 0 && blocking.nc > 0 && blocking.kc > 0,
         "gemm block sizes must be positive"
@@ -462,65 +658,85 @@ pub fn gemm_blocked(
     let a_ref = MatRef { data: a.as_slice(), ld: a.dims()[1], trans: ta.is_yes() };
     let b_ref = MatRef { data: b.as_slice(), ld: b.dims()[1], trans: tb.is_yes() };
     let c_data = c.as_mut_slice();
+    let c_out = COut { ptr: c_data.as_mut_ptr(), ldc: n };
     let per_task = blocking.pack_len();
 
     let threads = rayon::current_num_threads();
-    let parallel = threads > 1 && m * n * k >= PAR_MIN_WORK;
-    if parallel && m >= threads * MR {
-        // Row panels: whole MR-aligned row ranges of C, one per task. Each
-        // task walks the same absolute jc/pc schedule over its rows, so the
-        // partition is invisible to the summation order.
-        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
-        let tasks = m.div_ceil(rows_per);
-        let buf = scratch.ensure(per_task * tasks);
-        let work: Vec<(usize, &mut [f32], &mut [f32])> = c_data
-            .chunks_mut(rows_per * n)
-            .zip(buf.chunks_mut(per_task))
-            .enumerate()
-            .map(|(i, (c_chunk, pack))| (i, c_chunk, pack))
-            .collect();
-        work.into_par_iter().for_each(|(i, c_chunk, pack)| {
-            let rows = c_chunk.len() / n;
-            gemm_region(c_chunk, n, i * rows_per, rows, 0, n, k, alpha, a_ref, b_ref, blocking, pack);
-        });
-    } else if parallel && n >= threads * NR {
-        // Column stripes for short-wide products (the conv shapes: m = OC,
-        // n = N·OH·OW). Disjoint column ranges of C are not contiguous, so
-        // each task computes into its own contiguous staging buffer; the
-        // serial copy-in/copy-out is bit-preserving.
-        let cols_per = n.div_ceil(threads).div_ceil(NR) * NR;
-        let stripes = n.div_ceil(cols_per);
-        let task_len = per_task + m * cols_per;
-        let buf = scratch.ensure(task_len * stripes);
-        for s in 0..stripes {
-            let j0 = s * cols_per;
-            let cols = cols_per.min(n - j0);
-            let cbuf = &mut buf[s * task_len..s * task_len + m * cols];
-            for r in 0..m {
-                cbuf[r * cols..(r + 1) * cols]
-                    .copy_from_slice(&c_data[r * n + j0..r * n + j0 + cols]);
-            }
-        }
-        let work: Vec<(usize, &mut [f32])> =
-            buf.chunks_mut(task_len).enumerate().collect();
-        work.into_par_iter().for_each(|(s, chunk)| {
-            let j0 = s * cols_per;
-            let cols = cols_per.min(n - j0);
-            let (cbuf, pack) = chunk.split_at_mut(m * cols_per);
-            gemm_region(&mut cbuf[..m * cols], cols, 0, m, j0, cols, k, alpha, a_ref, b_ref, blocking, pack);
-        });
-        for s in 0..stripes {
-            let j0 = s * cols_per;
-            let cols = cols_per.min(n - j0);
-            let cbuf = &buf[s * task_len..s * task_len + m * cols];
-            for r in 0..m {
-                c_data[r * n + j0..r * n + j0 + cols]
-                    .copy_from_slice(&cbuf[r * cols..(r + 1) * cols]);
-            }
-        }
+    let tasks = if threads > 1 && m * n * k >= PAR_MIN_WORK {
+        // Work-stealing-friendly grid: NC-aligned column stripes ×
+        // MR-aligned row blocks, oversubscribed so early finishers steal the
+        // tail. The partition depends only on shape and thread policy and is
+        // invisible to the summation order — every output element is owned
+        // by exactly one task walking the absolute K blocks ascending.
+        block_grid(m, n, MR, blocking.nc, threads * rayon::CHUNKS_PER_WORKER)
     } else {
+        Vec::new()
+    };
+    if tasks.len() <= 1 {
         let buf = scratch.ensure(per_task);
-        gemm_region(c_data, n, 0, m, 0, n, k, alpha, a_ref, b_ref, blocking, buf);
+        region_per_task(c_out, 0, m, 0, n, k, alpha, a_ref, b_ref, blocking, buf);
+        return Ok(());
+    }
+
+    let kc_blocks = k.div_ceil(blocking.kc);
+    let sliver_len = blocking.b_pack_len();
+    let shared_len = n.div_ceil(blocking.nc) * kc_blocks * sliver_len;
+    let use_shared = match schedule {
+        GemmSchedule::Auto => shared_len <= SHARED_PACK_CAP,
+        GemmSchedule::SharedPack => true,
+        GemmSchedule::PerTaskPack => false,
+    };
+    if use_shared {
+        // Cooperative schedule: every KC × NC sliver of op(B) is packed
+        // exactly once (in parallel — slivers are disjoint and packing is a
+        // pure copy), then all tasks read the shared arena while packing
+        // only their own op(A) rows. Total packing work thus matches the
+        // serial schedule instead of scaling with the task count.
+        let a_len = blocking.a_pack_len();
+        let buf = scratch.ensure(shared_len + tasks.len() * a_len);
+        let (b_buf, a_buf) = buf.split_at_mut(shared_len);
+        b_buf.par_chunks_mut(sliver_len).enumerate().for_each(|(s, dst)| {
+            let jc = (s / kc_blocks) * blocking.nc;
+            let pc = (s % kc_blocks) * blocking.kc;
+            pack_b(dst, b_ref, pc, blocking.kc.min(k - pc), jc, blocking.nc.min(n - jc));
+        });
+        let slivers: &[f32] = b_buf;
+        let work: Vec<(GridTask, &mut [f32])> =
+            tasks.into_iter().zip(a_buf.chunks_mut(a_len)).collect();
+        work.into_par_iter().for_each(|(t, a_pack)| {
+            region_shared_b(
+                c_out,
+                t.rows.start,
+                t.rows.len(),
+                t.cols.start,
+                t.cols.len(),
+                k,
+                alpha,
+                a_ref,
+                blocking,
+                slivers,
+                a_pack,
+            );
+        });
+    } else {
+        let buf = scratch.ensure(per_task * tasks.len());
+        let work: Vec<(GridTask, &mut [f32])> =
+            tasks.into_iter().zip(buf.chunks_mut(per_task)).collect();
+        work.into_par_iter().for_each(|(t, pack)| {
+            region_per_task(
+                c_out,
+                t.rows.start,
+                t.rows.len(),
+                t.cols.start,
+                t.cols.len(),
+                k,
+                alpha,
+                a_ref,
+                b_ref,
+                blocking,
+                pack,
+            );
+        });
     }
     Ok(())
 }

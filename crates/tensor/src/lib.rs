@@ -38,6 +38,7 @@ mod error;
 mod gemm;
 mod init;
 mod ops;
+pub mod partition;
 mod reduce;
 mod scratch;
 mod shape;
@@ -46,9 +47,10 @@ mod tensor;
 pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
 pub use gemm::{
-    dot_blocked, gemm, gemm_blocked, gemm_with_scratch, BlockSizes, Transpose, GEMM_BLOCKING,
-    GEMM_KC, MR, NR,
+    dot_blocked, gemm, gemm_blocked, gemm_blocked_scheduled, gemm_with_scratch, BlockSizes,
+    GemmSchedule, Transpose, GEMM_BLOCKING, GEMM_KC, MR, NR,
 };
+pub use partition::{aligned_blocks, block_grid, GridTask};
 pub use init::seeded_rng;
 pub use scratch::{
     conv_scratch_footprint, gemm_scratch_footprint, with_conv_scratch, with_gemm_scratch,

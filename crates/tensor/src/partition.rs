@@ -1,0 +1,147 @@
+//! Work-stealing-friendly block partitions.
+//!
+//! The parallel kernels split their output into contiguous, aligned blocks
+//! and let pool threads *steal* blocks off a shared counter (see the `rayon`
+//! shim). These helpers compute the partitions; they are pure functions of
+//! the problem shape and requested block budget, so a partition is
+//! reproducible — and because every kernel's per-element arithmetic order is
+//! independent of the partition, the block boundaries never show up in
+//! results, only in wall-clock time.
+//!
+//! The budget convention is "at most `max_blocks`, each a multiple of
+//! `align` except the last": more blocks than threads is what makes stealing
+//! effective (a straggler delays at most one small block, not a static
+//! 1/threads share), while alignment keeps every block a whole number of
+//! micro-tiles or cache slivers so no two blocks share a packed panel.
+
+use std::ops::Range;
+
+/// One task's rectangle of the output: a row range × a column range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridTask {
+    /// Row range of the output owned by this task.
+    pub rows: Range<usize>,
+    /// Column range of the output owned by this task.
+    pub cols: Range<usize>,
+}
+
+/// Splits `len` items into at most `max_blocks` contiguous ranges whose
+/// starts are multiples of `align` (the final range simply ends at `len`).
+///
+/// Returns an empty vector for `len == 0`. Blocks are as equal as
+/// `align`-rounding allows; the result depends only on the arguments.
+///
+/// # Panics
+///
+/// Panics if `align == 0`.
+pub fn aligned_blocks(len: usize, align: usize, max_blocks: usize) -> Vec<Range<usize>> {
+    assert!(align > 0, "aligned_blocks: align must be positive");
+    if len == 0 {
+        return Vec::new();
+    }
+    let units = len.div_ceil(align);
+    let blocks = max_blocks.clamp(1, units);
+    let per = units.div_ceil(blocks) * align;
+    (0..len.div_ceil(per)).map(|i| i * per..((i + 1) * per).min(len)).collect()
+}
+
+/// Partitions an `m × n` output into a grid of [`GridTask`] rectangles:
+/// column stripes are multiples of `col_align` (so each stripe owns whole
+/// packed slivers) and row blocks are multiples of `row_align` (whole
+/// micro-tiles), with roughly `max_tasks` rectangles in total.
+///
+/// Columns are split first — wide-short outputs become column stripes,
+/// tall outputs become row panels, and genuinely large outputs become a 2-D
+/// grid. Tasks are ordered row-major so neighbouring steals touch
+/// neighbouring memory. Returns an empty vector when either dimension is 0.
+///
+/// # Panics
+///
+/// Panics if either alignment is 0.
+pub fn block_grid(
+    m: usize,
+    n: usize,
+    row_align: usize,
+    col_align: usize,
+    max_tasks: usize,
+) -> Vec<GridTask> {
+    if m == 0 || n == 0 {
+        return Vec::new();
+    }
+    let max_tasks = max_tasks.max(1);
+    let col_ranges = aligned_blocks(n, col_align, max_tasks);
+    let row_budget = (max_tasks / col_ranges.len()).max(1);
+    let row_ranges = aligned_blocks(m, row_align, row_budget);
+    let mut tasks = Vec::with_capacity(row_ranges.len() * col_ranges.len());
+    for rows in &row_ranges {
+        for cols in &col_ranges {
+            tasks.push(GridTask { rows: rows.clone(), cols: cols.clone() });
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_blocks_cover_exactly_once() {
+        for len in [0usize, 1, 3, 4, 7, 16, 63, 64, 65, 257, 1000] {
+            for align in [1usize, 4, 16] {
+                for max_blocks in [1usize, 2, 7, 32] {
+                    let blocks = aligned_blocks(len, align, max_blocks);
+                    assert!(blocks.len() <= max_blocks.max(1));
+                    let mut next = 0;
+                    for b in &blocks {
+                        assert_eq!(b.start, next, "contiguous");
+                        assert!(b.start % align == 0, "aligned start");
+                        assert!(b.end > b.start, "non-empty");
+                        next = b.end;
+                    }
+                    assert_eq!(next, len, "covers len={len} align={align}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_blocks_is_deterministic() {
+        assert_eq!(aligned_blocks(256, 4, 8), aligned_blocks(256, 4, 8));
+        assert_eq!(aligned_blocks(256, 4, 8).len(), 8);
+        assert_eq!(aligned_blocks(10, 4, 8), vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn block_grid_tiles_the_output() {
+        for (m, n) in [(1usize, 1usize), (8, 4096), (256, 256), (64, 100_000), (7, 13)] {
+            let tasks = block_grid(m, n, 4, 256, 32);
+            assert!(!tasks.is_empty());
+            // Every cell covered exactly once.
+            let mut covered = 0usize;
+            for t in &tasks {
+                assert!(t.rows.end <= m && t.cols.end <= n);
+                covered += t.rows.len() * t.cols.len();
+            }
+            assert_eq!(covered, m * n, "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn block_grid_empty_dims() {
+        assert!(block_grid(0, 10, 4, 16, 8).is_empty());
+        assert!(block_grid(10, 0, 4, 16, 8).is_empty());
+    }
+
+    #[test]
+    fn block_grid_prefers_columns_for_wide_outputs() {
+        // Conv-style short-wide output: stripes along n.
+        let tasks = block_grid(8, 4096, 4, 256, 16);
+        assert!(tasks.len() > 1);
+        assert!(tasks.iter().all(|t| t.rows == (0..8)));
+        // Tall output: panels along m.
+        let tasks = block_grid(4096, 256, 4, 256, 16);
+        assert!(tasks.len() > 1);
+        assert!(tasks.iter().all(|t| t.cols == (0..256)));
+    }
+}

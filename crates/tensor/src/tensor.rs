@@ -57,6 +57,24 @@ impl Tensor {
         self.shape = shape;
     }
 
+    /// Reshapes this tensor in place to `dims` *without* clearing retained
+    /// contents, reusing the existing allocation whenever it is large
+    /// enough.
+    ///
+    /// For fills that write every element anyway (e.g. the single-pass
+    /// `im2col` lowering), the memset [`Tensor::reset_to_zeros`] performs is
+    /// pure overhead; this variant skips it. Elements carried over from a
+    /// previous use hold stale values until the caller overwrites them, so
+    /// this is only safe-by-contract for full overwrites — hence
+    /// crate-private. Newly grown elements are zeroed (Vec growth), keeping
+    /// the method free of `unsafe`.
+    pub(crate) fn reset_for_overwrite(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        crate::scratch::count_reuse(shape.len() > self.data.capacity());
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
     /// Reshapes this tensor in place to `dims` and copies `src` into it,
     /// reusing the existing allocation whenever it is large enough.
     ///

@@ -14,7 +14,10 @@
 //! packing or its dispatch (including the AVX2 clone) broke the contract.
 
 use proptest::prelude::*;
-use taamr_tensor::{gemm, seeded_rng, Tensor, Transpose, GEMM_KC};
+use taamr_tensor::{
+    gemm, gemm_blocked_scheduled, seeded_rng, GemmSchedule, GemmScratch, Tensor, Transpose,
+    GEMM_BLOCKING, GEMM_KC,
+};
 
 /// Scalar model of the kernel's summation-order contract.
 ///
@@ -158,6 +161,54 @@ fn parallel_schedules_match_reference_bitwise() {
                     bits(&want),
                     "threads={threads} m={m} k={k} n={n} ta={ta:?} tb={tb:?}"
                 );
+            }
+        }
+    }
+}
+
+/// The explicit packing schedules — shared `op(B)` arena vs per-task
+/// packing — are pure work-placement choices. Both must land on the
+/// reference bits for every shape, transpose combination, and thread
+/// count, with and without a warm reused scratch.
+#[test]
+fn explicit_pack_schedules_match_reference_bitwise() {
+    for &(m, k, n) in &[(256usize, 256usize, 256usize), (16, 144, 4096)] {
+        for &(ta, tb) in
+            &[(Transpose::No, Transpose::No), (Transpose::Yes, Transpose::No), (Transpose::No, Transpose::Yes)]
+        {
+            let a = match ta {
+                Transpose::No => operand(m, k, 21),
+                Transpose::Yes => operand(k, m, 21),
+            };
+            let b = match tb {
+                Transpose::No => operand(k, n, 22),
+                Transpose::Yes => operand(n, k, 22),
+            };
+            let c0 = operand(m, n, 23);
+
+            let mut want = c0.clone();
+            reference_gemm(0.75, &a, ta, &b, tb, 0.25, &mut want);
+
+            for schedule in [GemmSchedule::Auto, GemmSchedule::SharedPack, GemmSchedule::PerTaskPack] {
+                // One scratch per schedule: the second thread count below
+                // reuses a warm (already-grown) arena, pinning that reuse
+                // never leaks stale panel data into the product.
+                let mut scratch = GemmScratch::new();
+                for threads in [1usize, 2, 8] {
+                    let mut got = c0.clone();
+                    rayon::with_threads(threads, || {
+                        gemm_blocked_scheduled(
+                            0.75, &a, ta, &b, tb, 0.25, &mut got, GEMM_BLOCKING, &mut scratch,
+                            schedule,
+                        )
+                        .expect("shapes are consistent");
+                    });
+                    assert_eq!(
+                        bits(&got),
+                        bits(&want),
+                        "schedule={schedule:?} threads={threads} m={m} k={k} n={n} ta={ta:?} tb={tb:?}"
+                    );
+                }
             }
         }
     }

@@ -197,6 +197,15 @@ echo "== serve_load (sustained + crash-storm QPS -> $SERVE_OUT)"
 cargo run -q --release -p taamr-bench --bin serve_load -- "$SERVE_OUT"
 echo "wrote $SERVE_OUT"
 
+# --- BENCH_scale.json: sharded-scoring scale grid (gemm_256 thread sweep +
+# schedule ablation, users x items x threads top-N rows with their resident-
+# score bounds, the headline sharded sweep, and i8-quant accuracy/size).
+# TAAMR_BENCH_FAST shrinks the grid; unset it for the checked-in numbers.
+SCALE_OUT=${TAAMR_BENCH_SCALE:-BENCH_scale.json}
+echo "== scale_grid (sharded scoring scale grid -> $SCALE_OUT)"
+cargo run -q --release -p taamr-bench --bin scale_grid -- "$SCALE_OUT"
+echo "wrote $SCALE_OUT"
+
 OBS_OUT=${TAAMR_BENCH_OBS:-BENCH_obs.json}
 echo "== table1 --telemetry (per-stage wall times -> $OBS_OUT)"
 TAAMR_SCALE=tiny cargo run -q --release -p taamr-bench --bin table1 -- \
@@ -209,4 +218,4 @@ echo "wrote $OBS_OUT"
 # fails the run on a missing or mismatched declaration.
 echo "== validate emitted BENCH_*.json schemas"
 cargo run -q --release -p taamr-bench --bin validate_bench -- \
-    "$OUT" "$GEMM_OUT" "$SCORING_OUT" "$SERVE_OUT" "$OBS_OUT"
+    "$OUT" "$GEMM_OUT" "$SCORING_OUT" "$SERVE_OUT" "$SCALE_OUT" "$OBS_OUT"

@@ -141,12 +141,26 @@ cargo test -p taamr-serve -q --test supervision --test swap
 echo "== serve audit: supervision + swap tests (serial feature)"
 cargo test -p taamr-serve --features serial -q --test supervision --test swap
 
+# Scale audit: sharded scoring must be bitwise invisible — the shard-
+# streaming drivers and the default-plan drivers land on identical lists
+# and ranks for every model family, ragged shard height, and thread count,
+# and the i8-quantized path stays deterministic above its pinned accuracy
+# floor. Run under both the default (threaded) and `serial` builds so
+# neither schedule can hide a shard-boundary divergence.
+echo "== scale audit: sharded scoring differential (default features)"
+cargo test -p taamr -q --test scale_grid
+
+echo "== scale audit: sharded scoring differential (serial feature)"
+cargo test -p taamr --features serial -q --test scale_grid
+
 # Perf smoke: the gemm_256 dispatch-overhead guard self-skips without
 # TAAMR_PERF_TESTS=1; enable it here where a release build is available.
 # Smoke form (best-of-3 medians, 25% headroom) keeps it non-flaky on
-# loaded boxes.
+# loaded boxes. On multi-core hosts the same binary also asserts gemm_256
+# scales >= 1.5x at 8 threads; on single-core hosts that test self-skips
+# with the reason printed.
 if [ "$QUICK" != "--quick" ]; then
-    echo "== perf smoke: gemm_256 dispatch overhead (TAAMR_PERF_TESTS=1)"
+    echo "== perf smoke: gemm_256 dispatch overhead + scaling (TAAMR_PERF_TESTS=1)"
     TAAMR_PERF_TESTS=1 cargo test -p taamr --release -q --test perf_kernel
 fi
 

@@ -7,14 +7,28 @@
 //!
 //! # Execution model
 //!
-//! Unlike upstream rayon's work-stealing pool, this shim is a plain
-//! fork-join: each parallel call splits its items into at most
-//! [`current_num_threads`] *contiguous, ordered* chunks and runs them on
-//! `std::thread::scope` threads. Outputs are reassembled in input order, so
-//! a `map` over N items returns exactly the Vec the serial loop would
-//! produce — scheduling can never reorder results. Combined with the
-//! per-item seed derivation used by the attack layer, this is what makes
-//! every parallel path in the workspace bitwise-independent of thread count.
+//! Parallel calls run on a **persistent worker pool**: worker threads are
+//! spawned once (lazily, up to the highest thread count ever requested) and
+//! then sleep on a condition variable between parallel regions, so the
+//! per-region cost is a mutex push + wakeup instead of a `thread::spawn` +
+//! join round trip. That fixed cost is what used to cap the packed-panel
+//! GEMM at ~1.0× parallel/serial: spawning scoped threads per call costs
+//! hundreds of microseconds, which is the entire runtime of a 256³ product.
+//!
+//! Within a region, items are split into more contiguous, ordered chunks
+//! than workers (up to [`CHUNKS_PER_WORKER`] per thread) and workers *steal*
+//! chunks off a shared atomic counter — a work-stealing-friendly block
+//! partition: a worker that finishes early takes the next unclaimed chunk
+//! instead of idling behind a static assignment. The calling thread
+//! participates in the stealing too, so a region can always finish even if
+//! every pool worker is busy serving some other region.
+//!
+//! Scheduling can never reorder results: outputs are reassembled by chunk
+//! index, so a `map` over N items returns exactly the Vec the serial loop
+//! would produce. Combined with the per-item seed derivation used by the
+//! attack layer, this is what makes every parallel path in the workspace
+//! bitwise-independent of thread count *and* of which worker ran which
+//! chunk.
 //!
 //! # Thread policy
 //!
@@ -29,10 +43,13 @@
 //! parallel attack batch that calls into parallel gemm cannot explode the
 //! thread count.
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Thread policy
@@ -61,8 +78,9 @@ fn env_threads() -> usize {
 }
 
 thread_local! {
-    /// Set while a worker thread is running a parallel region; nested
-    /// parallel calls on such a thread run inline.
+    /// Set while a thread is executing chunks of a parallel region (pool
+    /// workers and the participating caller alike); nested parallel calls on
+    /// such a thread run inline.
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -108,12 +126,236 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 }
 
 // ---------------------------------------------------------------------------
-// Fork-join executor
+// Persistent worker pool
 // ---------------------------------------------------------------------------
 
-/// Splits `items` into at most `current_num_threads()` contiguous chunks,
-/// maps each chunk on its own scoped thread (`init` once per thread), and
-/// reassembles outputs in input order.
+/// Upper bound on chunks per participating thread. More chunks than threads
+/// is what makes the partition work-stealing-friendly: a straggler holds up
+/// at most `1/CHUNKS_PER_WORKER` of one thread's share instead of a whole
+/// static chunk.
+pub const CHUNKS_PER_WORKER: usize = 4;
+
+/// Hard cap on pool workers, a backstop against pathological
+/// `with_threads(huge)` calls. Regions still complete above the cap — the
+/// caller and however many workers exist steal every chunk.
+const MAX_POOL_WORKERS: usize = 128;
+
+/// A type-erased reference to a live [`Region`] on some caller's stack.
+///
+/// Soundness: the caller that posted this job blocks until every popped copy
+/// has retired (see `run_region`) and revokes unpopped copies from the queue
+/// before returning, so the pointee strictly outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job {
+    region: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the region behind the pointer is Sync (all shared state is atomics,
+// mutexes, or index-claimed UnsafeCells) and outlives the job per the
+// contract above.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0 }),
+        work_cv: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Grows the pool to at least `want` workers (capped). Workers are
+    /// detached daemon threads that live for the rest of the process.
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_POOL_WORKERS);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.workers < want {
+            st.workers += 1;
+            let name = format!("taamr-par-{}", st.workers);
+            // Spawn failure is unrecoverable resource exhaustion; the region
+            // still completes on the caller thread, so just stop growing.
+            if std::thread::Builder::new().name(name).spawn(worker_main).is_err() {
+                st.workers -= 1;
+                break;
+            }
+        }
+    }
+
+    /// Posts `copies` references to `job` and wakes workers.
+    fn post(&self, job: Job, copies: usize) {
+        if copies == 0 {
+            return;
+        }
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..copies {
+                st.queue.push_back(job);
+            }
+        }
+        if copies == 1 {
+            self.work_cv.notify_one();
+        } else {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Removes every queued copy pointing at `region`; returns how many were
+    /// removed (i.e. never popped by a worker).
+    fn revoke(&self, region: *const ()) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let before = st.queue.len();
+        st.queue.retain(|j| !std::ptr::eq(j.region, region));
+        before - st.queue.len()
+    }
+}
+
+fn worker_main() {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                st = pool.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        IN_PARALLEL_REGION.with(|flag| flag.set(true));
+        // Worker-side panics are captured inside the region (per chunk), so
+        // this unwinding is a defensive impossibility guard: a worker thread
+        // must never die, or queued jobs could strand.
+        let _ = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.region) }));
+        IN_PARALLEL_REGION.with(|flag| flag.set(false));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join region
+// ---------------------------------------------------------------------------
+
+struct RegionStatus {
+    /// Popped job copies that have finished touching the region.
+    retired: usize,
+}
+
+/// One parallel call's shared state, living on the caller's stack for the
+/// duration of `run_chunked`.
+struct Region<'env, I, O, S, INIT, F> {
+    /// Chunk payloads: `(start index, items)`, claimed exactly once via
+    /// `next` so each cell is read by one thread.
+    #[allow(clippy::type_complexity)]
+    chunks: Vec<UnsafeCell<Option<(usize, Vec<I>)>>>,
+    /// Per-chunk outputs, written by whichever thread claimed the chunk and
+    /// read by the caller after the completion barrier.
+    results: Vec<UnsafeCell<Option<Vec<O>>>>,
+    /// The steal counter: `fetch_add` hands out chunk indices.
+    next: AtomicUsize,
+    init: &'env INIT,
+    f: &'env F,
+    status: Mutex<RegionStatus>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// `S` only appears inside the worker bodies; anchor it for inference.
+    _state: std::marker::PhantomData<fn() -> S>,
+}
+
+// SAFETY: chunk/result cells are accessed under the exclusive-claim protocol
+// (unique index from `next`, completion barrier before the caller reads);
+// everything else is Sync by construction. `S` never crosses threads — each
+// worker builds its own via `init`.
+unsafe impl<I: Send, O: Send, S, INIT: Sync, F: Sync> Sync for Region<'_, I, O, S, INIT, F> {}
+
+impl<I, O, S, INIT, F> Region<'_, I, O, S, INIT, F>
+where
+    I: Send,
+    O: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) -> O + Sync,
+{
+    /// Steals and runs chunks until the counter is exhausted. Panics from
+    /// `init`/`f` are recorded (first wins) and the loop continues, so every
+    /// chunk is always claimed and the caller's completion barrier cannot
+    /// hang; the caller re-raises after the barrier.
+    fn work(&self) {
+        let mut state: Option<S> = None;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks.len() {
+                break;
+            }
+            // SAFETY: `i` came from the shared counter exactly once, so this
+            // thread has exclusive access to cell `i`; the payload was
+            // written before the job was posted (release via the pool/status
+            // mutexes).
+            let (start, items) = unsafe { (*self.chunks[i].get()).take() }
+                .expect("chunk claimed twice");
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let st = match &mut state {
+                    Some(st) => st,
+                    none => none.insert((self.init)()),
+                };
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(d, item)| (self.f)(st, start + d, item))
+                    .collect::<Vec<O>>()
+            }));
+            match outcome {
+                // SAFETY: same exclusive claim as above.
+                Ok(out) => unsafe { *self.results[i].get() = Some(out) },
+                Err(payload) => {
+                    let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                    // The per-worker state may be mid-mutation; rebuild it.
+                    state = None;
+                }
+            }
+        }
+    }
+}
+
+/// The type-erased entry a pool worker runs. Retirement is counted in a drop
+/// guard so the caller's barrier advances even on (impossible) unwinds.
+unsafe fn run_region<I, O, S, INIT, F>(ptr: *const ())
+where
+    I: Send,
+    O: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) -> O + Sync,
+{
+    let region = unsafe { &*(ptr as *const Region<'_, I, O, S, INIT, F>) };
+    struct Retire<'a> {
+        status: &'a Mutex<RegionStatus>,
+        cv: &'a Condvar,
+    }
+    impl Drop for Retire<'_> {
+        fn drop(&mut self) {
+            let mut st = self.status.lock().unwrap_or_else(|e| e.into_inner());
+            st.retired += 1;
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+    let _retire = Retire { status: &region.status, cv: &region.done_cv };
+    region.work();
+}
+
+/// Splits `items` into contiguous, ordered chunks (up to
+/// [`CHUNKS_PER_WORKER`] per participating thread), runs them across the
+/// persistent pool plus the calling thread, and reassembles outputs in input
+/// order. `init` runs at most once per participating thread.
 fn run_chunked<I, O, S, INIT, F>(items: Vec<I>, init: INIT, f: F) -> Vec<O>
 where
     I: Send,
@@ -132,45 +374,68 @@ where
             .collect();
     }
 
-    // Contiguous ordered partition: the first `rem` chunks get one extra item.
-    let base = n / threads;
-    let rem = n % threads;
-    let mut chunks: Vec<(usize, Vec<I>)> = Vec::with_capacity(threads);
-    let mut items = items.into_iter();
+    // Contiguous ordered partition into more chunks than threads, so early
+    // finishers steal the remainder. The first `rem` chunks get one extra
+    // item; boundaries depend only on `n` and the thread policy, never on
+    // scheduling.
+    let num_chunks = n.min(threads * CHUNKS_PER_WORKER);
+    let base = n / num_chunks;
+    let rem = n % num_chunks;
+    let mut chunks = Vec::with_capacity(num_chunks);
+    let mut it = items.into_iter();
     let mut start = 0;
-    for t in 0..threads {
-        let size = base + usize::from(t < rem);
-        chunks.push((start, items.by_ref().take(size).collect()));
+    for c in 0..num_chunks {
+        let size = base + usize::from(c < rem);
+        chunks.push(UnsafeCell::new(Some((start, it.by_ref().take(size).collect::<Vec<I>>()))));
         start += size;
     }
 
-    let mut outputs: Vec<Vec<O>> = Vec::with_capacity(threads);
-    let (init, f) = (&init, &f);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|(chunk_start, chunk)| {
-                scope.spawn(move || {
-                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
-                    let mut state = init();
-                    chunk
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, item)| f(&mut state, chunk_start + i, item))
-                        .collect::<Vec<O>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(out) => outputs.push(out),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+    let region = Region {
+        chunks,
+        results: (0..num_chunks).map(|_| UnsafeCell::new(None)).collect(),
+        next: AtomicUsize::new(0),
+        init: &init,
+        f: &f,
+        status: Mutex::new(RegionStatus { retired: 0 }),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+        _state: std::marker::PhantomData,
+    };
+
+    let pool = pool();
+    let helpers = threads - 1;
+    pool.ensure_workers(helpers);
+    let job = Job {
+        region: &region as *const _ as *const (),
+        run: run_region::<I, O, S, INIT, F>,
+    };
+    pool.post(job, helpers);
+
+    // The caller participates in the steal loop; nested parallel calls made
+    // by `f` on this thread must run inline, exactly as they do on workers.
+    let was_in_region = IN_PARALLEL_REGION.with(|flag| flag.replace(true));
+    region.work();
+    IN_PARALLEL_REGION.with(|flag| flag.set(was_in_region));
+
+    // Completion barrier: drop the queue copies no worker ever picked up,
+    // then wait for every picked-up copy to retire. After this, no other
+    // thread holds a reference into `region`.
+    let revoked = pool.revoke(job.region);
+    let expected = helpers - revoked;
+    {
+        let mut st = region.status.lock().unwrap_or_else(|e| e.into_inner());
+        while st.retired < expected {
+            st = region.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-    });
+    }
+
+    if let Some(payload) = region.panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        std::panic::resume_unwind(payload);
+    }
+
     let mut flat = Vec::with_capacity(n);
-    for out in outputs {
-        flat.extend(out);
+    for cell in region.results {
+        flat.extend(cell.into_inner().expect("all chunks completed"));
     }
     flat
 }
@@ -244,8 +509,8 @@ impl<T: Send> ParIter<T> {
         C::from_par_iter(self.items)
     }
 
-    /// Upstream-compat no-op: chunking here is already one contiguous block
-    /// per thread.
+    /// Upstream-compat no-op: chunk boundaries here are already derived from
+    /// the item count and thread policy alone.
     pub fn with_min_len(self, _min: usize) -> Self {
         self
     }
@@ -442,6 +707,25 @@ mod tests {
     }
 
     #[test]
+    fn pool_survives_a_panicking_region() {
+        // A panic in one region must not kill pool workers: the next region
+        // still completes and returns ordered results.
+        let _ = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..32usize).into_par_iter().for_each(|i| {
+                    if i % 7 == 3 {
+                        panic!("recoverable");
+                    }
+                });
+            })
+        });
+        let out: Vec<usize> = with_threads(4, || {
+            (0..128usize).into_par_iter().map(|i| i + 1).collect()
+        });
+        assert_eq!(out, (1..=128).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn nested_parallelism_runs_inline() {
         with_threads(4, || {
             (0..8usize).into_par_iter().for_each(|_| {
@@ -449,5 +733,42 @@ mod tests {
                 assert_eq!(current_num_threads(), 1);
             });
         });
+    }
+
+    #[test]
+    fn concurrent_regions_from_many_threads_complete() {
+        // Several OS threads each drive their own regions through the one
+        // shared pool; every region must finish with correct, ordered output
+        // even when workers are busy serving someone else.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for round in 0..8 {
+                        let out: Vec<usize> = with_threads(4, || {
+                            (0..200usize).into_par_iter().map(|i| i * 3 + t + round).collect()
+                        });
+                        assert_eq!(
+                            out,
+                            (0..200).map(|i| i * 3 + t + round).collect::<Vec<_>>()
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("concurrent region thread");
+        }
+    }
+
+    #[test]
+    fn results_are_identical_regardless_of_chunk_count() {
+        // Chunk boundaries vary with the thread policy; outputs must not.
+        let expect: Vec<u64> = (0..997u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        for threads in [1, 2, 3, 5, 8, 16] {
+            let got: Vec<u64> = with_threads(threads, || {
+                (0..997u64).into_par_iter().map(|i| i.wrapping_mul(2654435761)).collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 }

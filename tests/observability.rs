@@ -79,6 +79,7 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
             Counter::AttackItems,
             Counter::CnnEpochs,
             Counter::ScoringGemmCalls,
+            Counter::ScoringShards,
             Counter::EmbedCacheRebuilds,
             Counter::EmbedCacheHits,
             Counter::AttackQueries,

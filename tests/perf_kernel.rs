@@ -6,12 +6,17 @@
 //! median-of-5 samples with generous headroom, tuned to catch order-of-
 //! magnitude scheduling regressions rather than percent-level drift.
 //!
-//! The contract under test replaces the old, misleading
-//! `gemm_256 speedup 0.851` row in `BENCH_parallel.json`: on a single-core
-//! host the ambient pool resolves to one thread and the parallel entry
-//! point runs the identical serial schedule, so parallel dispatch must not
-//! *cost* anything beyond noise. On multi-core hosts the same assertion
-//! tightens into "parallel is at least as fast as serial".
+//! Two contracts, gated on the host's actual core count:
+//!
+//! - **Single-core hosts** (`available_parallelism() < 2`): the ambient
+//!   pool resolves to one worker and the parallel entry point runs the
+//!   identical serial schedule, so parallel dispatch must not *cost*
+//!   anything beyond noise. The scaling smoke self-skips with a printed
+//!   reason — a speedup assertion on one core measures only overhead.
+//! - **Multi-core hosts**: an 8-thread gemm_256 must be at least 1.5×
+//!   faster than serial. The shared-pack schedule packs each `op(B)`
+//!   sliver once regardless of worker count, so anything below 1.5× on
+//!   real cores means the partition or the pack-reuse path regressed.
 
 use std::time::Instant;
 
@@ -25,6 +30,11 @@ fn perf_tests_disabled() -> bool {
     }
     eprintln!("perf_kernel: skipped (set TAAMR_PERF_TESTS=1 to enable)");
     true
+}
+
+/// Cores the OS will actually give us; 1 when the query fails.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Median-of-5 wall time of one 256³ GEMM, in nanoseconds.
@@ -47,6 +57,9 @@ fn time_gemm_256(threads: Option<usize>) -> u128 {
     samples[2]
 }
 
+/// Single-core contract: parallel dispatch is free (within noise) when the
+/// pool has one worker. Doubles as the only wall-clock gate available on
+/// one-core CI hosts, where a scaling assertion would be meaningless.
 #[test]
 fn gemm_256_parallel_dispatch_is_not_slower_than_serial() {
     if perf_tests_disabled() {
@@ -73,4 +86,45 @@ fn gemm_256_parallel_dispatch_is_not_slower_than_serial() {
     // regression — like the historical 0.851 "speedup" would have implied
     // if it had been signal — blows well past this on all three attempts.
     panic!("parallel gemm_256 is {best_ratio:.3}x serial; dispatch overhead regressed");
+}
+
+/// Multi-core contract: gemm_256 at 8 threads is ≥ 1.5× serial. This is
+/// the scaling smoke the sharded-scoring work targets — the shared-pack
+/// schedule keeps packing cost flat across workers, so the 8-thread run
+/// should comfortably clear half of ideal 2-core scaling even on busy
+/// boxes. Self-skips (with the reason printed) when the host cannot
+/// schedule two threads at once: measured "speedup" there is pure
+/// coordination overhead, not kernel behaviour.
+#[test]
+fn gemm_256_parallel_scales_on_multicore_hosts() {
+    if perf_tests_disabled() {
+        return;
+    }
+    let cores = host_cores();
+    if cores < 2 {
+        eprintln!(
+            "perf_kernel: scaling smoke skipped — available_parallelism()={cores}; \
+             a single core cannot exhibit parallel speedup, only scheduling overhead \
+             (see BENCH_scale.json hardware note)"
+        );
+        return;
+    }
+    let mut best_speedup = 0.0f64;
+    for attempt in 0..3 {
+        let serial = time_gemm_256(Some(1));
+        let parallel = time_gemm_256(Some(8));
+        let speedup = serial as f64 / parallel as f64;
+        eprintln!(
+            "gemm_256 attempt {attempt}: serial {serial} ns, 8-thread {parallel} ns, \
+             speedup {speedup:.3}"
+        );
+        best_speedup = best_speedup.max(speedup);
+        if best_speedup >= 1.5 {
+            return;
+        }
+    }
+    panic!(
+        "gemm_256 8-thread speedup is {best_speedup:.3}x on a {cores}-core host; \
+         parallel schedule stopped scaling"
+    );
 }

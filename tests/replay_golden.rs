@@ -48,6 +48,35 @@ fn golden_records_replay_bit_identically_at_1_and_8_threads() {
 }
 
 #[test]
+fn replay_traverses_the_sharded_scoring_driver_and_still_matches() {
+    // Since the user-shard streaming landed, `par_top_n_all` runs every
+    // evaluation through `ShardPlan`-bounded blocks. This test makes that
+    // coverage explicit rather than incidental: the live re-run must both
+    // stream at least one shard (telemetry proves the sharded driver ran)
+    // and still land on the checked-in command hashes, at 1 and 8 threads.
+    let profile = GoldenProfile::by_name("tiny-men").expect("profile exists");
+    let record = golden(&profile);
+    for threads in [1usize, 8] {
+        let (replayed, shards) = with_threads(threads, || {
+            taamr_obs::reset();
+            taamr_obs::set_enabled(true);
+            let replayed = profile.run_recorded().expect("golden profile re-runs");
+            let shards =
+                taamr_obs::snapshot().counter("scoring_shards").unwrap_or(0);
+            taamr_obs::set_enabled(false);
+            taamr_obs::reset();
+            (replayed, shards)
+        });
+        assert!(shards > 0, "replay at {threads} thread(s) never streamed a shard");
+        let report = diff(&record, &replayed);
+        assert!(
+            report.is_match(),
+            "sharded scoring changed golden hashes at {threads} thread(s): {report}"
+        );
+    }
+}
+
+#[test]
 fn corrupting_any_command_hash_reports_that_command_as_first_divergent() {
     // Pure diff-level check across *every* stage of *every* record: flip
     // one bit of command i's hash and the diff must localise the
