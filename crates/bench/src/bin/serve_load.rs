@@ -1,14 +1,26 @@
 //! Load generator for the serving layer: sustained top-100 QPS through the
-//! HTTP front door, with and without an injected crash storm, written to
-//! `BENCH_serve.json` (summary schema 1).
+//! HTTP front door under four client/server scenarios, written to
+//! `BENCH_serve.json` (summary schema 2).
 //!
-//! Phase 1 ("sustained") hammers `/recommend` from several client threads
-//! and reports throughput plus p50/p99 latency. Phase 2 ("crash_storm")
-//! repeats the exact same load while a chaos thread kills the slot's actor
-//! every few milliseconds: the supervisor restarts it from its snapshot
-//! each time, and the phase's error count is the number of requests that
-//! ever saw a failure — the robustness headline is that it stays zero
-//! while the restart counter climbs.
+//! The scenarios isolate the hot-path mechanisms one at a time:
+//!
+//! * `close_per_request` vs `keepalive` run the identical workload against
+//!   the same warm server, differing only in connection strategy — one TCP
+//!   connect per request versus one kept-alive connection per client. The
+//!   `keepalive_speedup` headline is the QPS ratio between them.
+//! * `cache_cold` vs `cache_warm` run the identical kept-alive workload
+//!   against a fresh server twice: the first pass misses and computes every
+//!   answer, the second replays it from the version-keyed top-N cache. The
+//!   `warm_cache_p50_speedup` headline is the p50 ratio between them.
+//! * `crash_storm` repeats the kept-alive load while a chaos thread kills
+//!   the slot's actor every few milliseconds: the supervisor restarts it
+//!   from its snapshot each time (which also empties the result cache), and
+//!   the robustness headline is that the error count stays zero while the
+//!   restart counter climbs.
+//!
+//! Every scenario row also reports the ledger *deltas* it produced —
+//! reconnects, coalesced batches/requests, cache hits/misses — so the
+//! artifact shows which mechanism did the work, not just that it was fast.
 //!
 //! ```text
 //! serve_load [BENCH_serve.json]       # TAAMR_BENCH_FAST=1 shrinks the run
@@ -22,7 +34,9 @@ use std::time::{Duration, Instant};
 use rand::SeedableRng;
 use serde::Serialize;
 use taamr_recsys::BprMf;
-use taamr_serve::{http_get, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig};
+use taamr_serve::{
+    http_get, HttpClient, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig,
+};
 
 #[derive(Clone, Copy)]
 struct LoadConfig {
@@ -45,7 +59,7 @@ impl LoadConfig {
                 factors: 16,
                 clients: 2,
                 requests_per_client: 150,
-                top_n: 100,
+                top_n: 10,
                 kill_interval: Duration::from_millis(25),
                 kills: 8,
             }
@@ -56,7 +70,7 @@ impl LoadConfig {
                 factors: 32,
                 clients: 4,
                 requests_per_client: 500,
-                top_n: 100,
+                top_n: 10,
                 kill_interval: Duration::from_millis(25),
                 kills: 20,
             }
@@ -64,14 +78,42 @@ impl LoadConfig {
     }
 }
 
+/// How the load clients talk to the server.
+#[derive(Clone, Copy)]
+enum ClientMode {
+    /// One fresh TCP connection per request (`http_get`, `Connection: close`).
+    ClosePerRequest,
+    /// One kept-alive connection per client thread ([`HttpClient`]).
+    KeepAlive,
+}
+
+impl ClientMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ClientMode::ClosePerRequest => "close_per_request",
+            ClientMode::KeepAlive => "keepalive",
+        }
+    }
+}
+
 #[derive(Debug, Serialize)]
-struct PhaseSummary {
+struct ScenarioSummary {
+    name: String,
+    client_mode: String,
     requests: usize,
     errors: usize,
     wall_ms: f64,
     qps: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Extra connections the kept-alive clients had to open past the first
+    /// (always 0 for `close_per_request`, which reconnects by design).
+    reconnects: u64,
+    /// Ledger deltas attributable to this scenario's window.
+    coalesced_batches: u64,
+    coalesced_requests: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -83,8 +125,11 @@ struct ServeBench {
     clients: usize,
     requests_per_client: usize,
     top_n: usize,
-    sustained: PhaseSummary,
-    crash_storm: PhaseSummary,
+    scenarios: Vec<ScenarioSummary>,
+    /// `keepalive` QPS over `close_per_request` QPS (same warm server).
+    keepalive_speedup: f64,
+    /// `cache_cold` p50 over `cache_warm` p50 (same fresh server).
+    warm_cache_p50_speedup: f64,
     storm_kills: usize,
     ledger: LedgerSnapshot,
 }
@@ -97,9 +142,18 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len() - 1)]
 }
 
-/// Runs one load phase: `clients` threads each issuing
-/// `requests_per_client` top-N requests round-robin over the user space.
-fn run_phase(addr: SocketAddr, config: &LoadConfig) -> PhaseSummary {
+/// Runs one load scenario: `clients` threads each issuing
+/// `requests_per_client` top-N requests round-robin over the user space,
+/// bracketing the run with ledger snapshots so the row reports the deltas
+/// this scenario produced.
+fn run_scenario(
+    name: &str,
+    addr: SocketAddr,
+    supervisor: &Supervisor<BprMf>,
+    mode: ClientMode,
+    config: &LoadConfig,
+) -> ScenarioSummary {
+    let before = supervisor.accountant().snapshot();
     let started = Instant::now();
     let handles: Vec<_> = (0..config.clients)
         .map(|c| {
@@ -108,58 +162,79 @@ fn run_phase(addr: SocketAddr, config: &LoadConfig) -> PhaseSummary {
             let requests = config.requests_per_client;
             let top_n = config.top_n;
             std::thread::spawn(move || {
+                let mut keep_alive = match mode {
+                    ClientMode::ClosePerRequest => None,
+                    ClientMode::KeepAlive => Some(HttpClient::new(addr)),
+                };
                 let mut latencies_us = Vec::with_capacity(requests);
                 let mut errors = 0usize;
                 for r in 0..requests {
                     let user = (c + r * clients) % users;
                     let target = format!("/recommend/bpr/{user}?n={top_n}");
                     let sent = Instant::now();
-                    match http_get(addr, &target) {
+                    let outcome = match keep_alive.as_mut() {
+                        None => http_get(addr, &target),
+                        Some(client) => client.get(&target),
+                    };
+                    match outcome {
                         Ok((200, _)) => {
                             latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
                         }
                         Ok(_) | Err(_) => errors += 1,
                     }
                 }
-                (latencies_us, errors)
+                let reconnects = keep_alive.map_or(0, |client| client.reconnects());
+                (latencies_us, errors, reconnects)
             })
         })
         .collect();
     let mut latencies_us = Vec::new();
     let mut errors = 0;
+    let mut reconnects = 0;
     for handle in handles {
-        let (lat, err) = handle.join().expect("client thread");
+        let (lat, err, rec) = handle.join().expect("client thread");
         latencies_us.extend(lat);
         errors += err;
+        reconnects += rec;
     }
     let wall = started.elapsed();
     latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
     let requests = config.clients * config.requests_per_client;
-    PhaseSummary {
+    let after = supervisor.accountant().snapshot();
+    ScenarioSummary {
+        name: name.to_owned(),
+        client_mode: mode.as_str().to_owned(),
         requests,
         errors,
         wall_ms: wall.as_secs_f64() * 1e3,
         qps: requests as f64 / wall.as_secs_f64(),
         p50_us: percentile(&latencies_us, 0.50),
         p99_us: percentile(&latencies_us, 0.99),
+        reconnects,
+        coalesced_batches: after.coalesced_batches - before.coalesced_batches,
+        coalesced_requests: after.coalesced_requests - before.coalesced_requests,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
     }
 }
 
-fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_owned());
-    let config = LoadConfig::from_env();
-    taamr_obs::set_enabled(true);
-
-    let dir = std::env::temp_dir().join(format!("taamr-serve-load-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-
+fn start_server(
+    dir: &std::path::Path,
+    config: &LoadConfig,
+) -> (Server, Arc<Supervisor<BprMf>>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let model = BprMf::new(config.users, config.items, config.factors, &mut rng);
     let seen: Vec<Vec<usize>> =
         (0..config.users).map(|u| vec![u % config.items, (u * 7) % config.items]).collect();
 
-    let mut sup_config = SupervisorConfig::new(&dir);
-    sup_config.max_retries = 4;
+    let mut sup_config = SupervisorConfig::new(dir);
+    // Generous retry budget: the crash storm can land several kills inside
+    // one snapshot-restore window, and the robustness headline is that the
+    // clients never see an error while that happens.
+    sup_config.max_retries = 8;
+    // The cache must cover the full user round-robin so the warm scenarios
+    // measure hits, not capacity-bound churn.
+    sup_config.cache_capacity = config.users.max(sup_config.cache_capacity);
     let supervisor = Arc::new(Supervisor::new(sup_config));
     supervisor.add_slot("bpr", model, seen).expect("add slot");
 
@@ -170,12 +245,32 @@ fn main() {
         ..ServerConfig::default()
     };
     let server = Server::start(server_config, Arc::clone(&supervisor)).expect("start server");
-    let addr = server.addr();
+    (server, supervisor)
+}
 
-    // Warm up connections and caches off the record.
-    for user in 0..config.clients {
-        let _ = http_get(addr, &format!("/recommend/bpr/{user}?n={}", config.top_n));
-    }
+fn eprint_row(row: &ScenarioSummary) {
+    eprintln!(
+        "{:>18}: {:>6.0} qps, p50 {:>6.0} us, p99 {:>7.0} us, {} errors, \
+         {} reconnects, {} hits / {} misses, {} coalesced batches",
+        row.name,
+        row.qps,
+        row.p50_us,
+        row.p99_us,
+        row.errors,
+        row.reconnects,
+        row.cache_hits,
+        row.cache_misses,
+        row.coalesced_batches
+    );
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let config = LoadConfig::from_env();
+    taamr_obs::set_enabled(true);
+
+    let dir = std::env::temp_dir().join(format!("taamr-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
 
     eprintln!(
         "serve_load: {} users x {} items x {} factors, {} clients x {} requests, top-{}",
@@ -187,14 +282,41 @@ fn main() {
         config.top_n
     );
 
-    let sustained = run_phase(addr, &config);
-    eprintln!(
-        "sustained:   {:.0} qps, p50 {:.0} us, p99 {:.0} us, {} errors",
-        sustained.qps, sustained.p50_us, sustained.p99_us, sustained.errors
-    );
+    let mut scenarios = Vec::new();
+
+    // --- Connection-strategy pair: same warm server, only the client's
+    // connection handling differs, so the QPS ratio isolates per-request
+    // connection overhead (connect, accept, admission-queue handoff,
+    // close) from scoring cost.
+    let (server, supervisor) = start_server(&dir.join("conn"), &config);
+    let addr = server.addr();
+    for user in 0..config.users {
+        let _ = http_get(addr, &format!("/recommend/bpr/{user}?n={}", config.top_n));
+    }
+    let close = run_scenario("close_per_request", addr, &supervisor, ClientMode::ClosePerRequest, &config);
+    eprint_row(&close);
+    let keepalive = run_scenario("keepalive", addr, &supervisor, ClientMode::KeepAlive, &config);
+    eprint_row(&keepalive);
+    let keepalive_speedup = keepalive.qps / close.qps.max(f64::MIN_POSITIVE);
+    eprintln!("keepalive speedup: {keepalive_speedup:.2}x");
+    server.shutdown();
+
+    // --- Cache pair + crash storm: a fresh server so the first kept-alive
+    // pass is genuinely cold (every request computed and inserted) and the
+    // second is genuinely warm (every request a version-checked hit).
+    let (server, supervisor) = start_server(&dir.join("cache"), &config);
+    let addr = server.addr();
+    let cold = run_scenario("cache_cold", addr, &supervisor, ClientMode::KeepAlive, &config);
+    eprint_row(&cold);
+    let warm = run_scenario("cache_warm", addr, &supervisor, ClientMode::KeepAlive, &config);
+    eprint_row(&warm);
+    let warm_cache_p50_speedup = cold.p50_us / warm.p50_us.max(f64::MIN_POSITIVE);
+    eprintln!("warm-cache p50 speedup: {warm_cache_p50_speedup:.2}x");
 
     // Crash storm: kill the actor on a fixed cadence while the identical
-    // load runs. Recovery is the supervisor's problem, not the clients'.
+    // kept-alive load runs. Recovery is the supervisor's problem, not the
+    // clients': every restart re-opens an empty cache, and no request may
+    // ever observe an error.
     let storm_stop = Arc::new(AtomicBool::new(false));
     let chaos = {
         let supervisor = Arc::clone(&supervisor);
@@ -212,13 +334,11 @@ fn main() {
             sent
         })
     };
-    let crash_storm = run_phase(addr, &config);
+    let crash_storm = run_scenario("crash_storm", addr, &supervisor, ClientMode::KeepAlive, &config);
     storm_stop.store(true, Ordering::Relaxed);
     let storm_kills = chaos.join().expect("chaos thread");
-    eprintln!(
-        "crash storm: {:.0} qps, p50 {:.0} us, p99 {:.0} us, {} errors, {} kills",
-        crash_storm.qps, crash_storm.p50_us, crash_storm.p99_us, crash_storm.errors, storm_kills
-    );
+    eprint_row(&crash_storm);
+    eprintln!("crash storm kills: {storm_kills}");
 
     let ledger = supervisor.accountant().snapshot();
     eprintln!(
@@ -226,16 +346,18 @@ fn main() {
         ledger.requests, ledger.restarts, ledger.retries, ledger.timeouts, ledger.snapshot_writes
     );
 
+    scenarios.extend([close, keepalive, cold, warm, crash_storm]);
     let summary = ServeBench {
-        schema: 1,
+        schema: 2,
         users: config.users,
         items: config.items,
         factors: config.factors,
         clients: config.clients,
         requests_per_client: config.requests_per_client,
         top_n: config.top_n,
-        sustained,
-        crash_storm,
+        scenarios,
+        keepalive_speedup,
+        warm_cache_p50_speedup,
         storm_kills,
         ledger,
     };

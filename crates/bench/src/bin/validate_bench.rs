@@ -8,26 +8,91 @@
 //! ```
 //!
 //! Known files are pinned to their schema: the awk-aggregated bench
-//! summaries declare `"schema": 1`, and `BENCH_obs.json` is a telemetry
-//! snapshot that must match [`taamr_obs::TELEMETRY_SCHEMA`]. Unknown files
-//! only need to parse and declare *some* positive integer schema.
+//! summaries declare `"schema": 1`, the scenario-based `BENCH_serve.json`
+//! declares `"schema": 2` (and is additionally shape-checked: the five
+//! named scenarios with their per-scenario metric and ledger-delta fields,
+//! plus the two headline speedup ratios), and `BENCH_obs.json` is a
+//! telemetry snapshot that must match [`taamr_obs::TELEMETRY_SCHEMA`].
+//! Unknown files only need to parse and declare *some* positive integer
+//! schema.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use serde::Value;
 
-/// The schema version the bench summary JSON files declare.
+/// The schema version the awk-aggregated bench summary JSON files declare.
 const BENCH_SUMMARY_SCHEMA: u64 = 1;
+
+/// The scenario-based `BENCH_serve.json` schema (`serve_load`).
+const SERVE_BENCH_SCHEMA: u64 = 2;
 
 fn expected_schema(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     match name {
         "BENCH_parallel.json" | "BENCH_gemm_v2.json" | "BENCH_scoring.json"
-        | "BENCH_serve.json" | "BENCH_scale.json" => Some(BENCH_SUMMARY_SCHEMA),
+        | "BENCH_scale.json" => Some(BENCH_SUMMARY_SCHEMA),
+        "BENCH_serve.json" => Some(SERVE_BENCH_SCHEMA),
         "BENCH_obs.json" => Some(u64::from(taamr_obs::TELEMETRY_SCHEMA)),
         _ => None,
     }
+}
+
+/// Numeric fields every `BENCH_serve.json` scenario row must carry.
+const SCENARIO_FIELDS: [&str; 11] = [
+    "requests",
+    "errors",
+    "wall_ms",
+    "qps",
+    "p50_us",
+    "p99_us",
+    "reconnects",
+    "coalesced_batches",
+    "coalesced_requests",
+    "cache_hits",
+    "cache_misses",
+];
+
+fn is_number(value: &Value) -> bool {
+    matches!(value, Value::Int(_) | Value::UInt(_) | Value::Float(_))
+}
+
+/// Shape check for the scenario-based serve summary: the named scenario
+/// rows must be present with their per-scenario metrics and ledger deltas,
+/// and the two headline ratios must be numbers — a `serve_load` refactor
+/// that drops a field fails the smoke run here.
+fn validate_serve(value: &Value) -> Result<(), String> {
+    let scenarios = match value.get_field("scenarios") {
+        Some(Value::Array(rows)) => rows,
+        _ => return Err("missing \"scenarios\" array".to_owned()),
+    };
+    let mut names = Vec::new();
+    for row in scenarios {
+        let name = row
+            .get_field("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "scenario row without a string \"name\"".to_owned())?;
+        row.get_field("client_mode")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("scenario {name:?} lacks a string \"client_mode\""))?;
+        for field in SCENARIO_FIELDS {
+            if !row.get_field(field).is_some_and(is_number) {
+                return Err(format!("scenario {name:?} lacks numeric field {field:?}"));
+            }
+        }
+        names.push(name);
+    }
+    for required in ["close_per_request", "keepalive", "cache_cold", "cache_warm", "crash_storm"] {
+        if !names.contains(&required) {
+            return Err(format!("missing scenario {required:?} (have {names:?})"));
+        }
+    }
+    for headline in ["keepalive_speedup", "warm_cache_p50_speedup"] {
+        if !value.get_field(headline).is_some_and(is_number) {
+            return Err(format!("missing numeric headline field {headline:?}"));
+        }
+    }
+    Ok(())
 }
 
 fn declared_schema(value: &Value) -> Option<u64> {
@@ -50,6 +115,9 @@ fn validate(path: &Path) -> Result<u64, String> {
         if declared != expected {
             return Err(format!("declares schema {declared}, expected {expected}"));
         }
+    }
+    if path.file_name().and_then(|n| n.to_str()) == Some("BENCH_serve.json") {
+        validate_serve(&value)?;
     }
     Ok(declared)
 }

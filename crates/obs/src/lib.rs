@@ -77,8 +77,13 @@ use serde::{Deserialize, Serialize};
 /// (`attack_queries`, `attack_oracle_cache_hits`, `embed_attack_steps`),
 /// all thread-invariant. v7 added the sharded-scoring counters
 /// (`scoring_shards`, `quantized_score_blocks`), both thread-invariant —
-/// shard and block patterns are pure functions of the shard plan.
-pub const TELEMETRY_SCHEMA: u32 = 7;
+/// shard and block patterns are pure functions of the shard plan. v8 added
+/// the serving hot-path counters (`serve_cache_hits`, `serve_cache_misses`,
+/// `serve_cache_evictions`, `serve_coalesced_batches`,
+/// `serve_coalesced_requests`), all scheduling-dependent like the rest of
+/// the serve accountant family — hit rates and batch shapes depend on
+/// request arrival timing.
+pub const TELEMETRY_SCHEMA: u32 = 8;
 
 /// The process-wide monotonic counters.
 ///
@@ -181,10 +186,24 @@ pub enum Counter {
     /// The block pattern is fixed by the shard plan, so the value is
     /// thread-invariant.
     QuantizedScoreBlocks,
+    /// `/recommend` requests answered from an actor's version-keyed top-N
+    /// result cache. Driven by request timing — see the serve carve-out.
+    ServeCacheHits,
+    /// `/recommend` requests that missed the top-N result cache (absent
+    /// entry or version-stale entry) and were recomputed.
+    ServeCacheMisses,
+    /// Top-N cache entries evicted by the LRU capacity bound.
+    ServeCacheEvictions,
+    /// Coalesced scoring batches drained by actors (only batches that
+    /// merged two or more requests are counted).
+    ServeCoalescedBatches,
+    /// Requests answered as part of a coalesced batch (the sum of the
+    /// sizes of the batches counted by `serve_coalesced_batches`).
+    ServeCoalescedRequests,
 }
 
 /// All counters, in export order.
-pub const COUNTERS: [Counter; 36] = [
+pub const COUNTERS: [Counter; 41] = [
     Counter::GemmCalls,
     Counter::Im2colCalls,
     Counter::Col2imCalls,
@@ -221,6 +240,11 @@ pub const COUNTERS: [Counter; 36] = [
     Counter::EmbedAttackSteps,
     Counter::ScoringShards,
     Counter::QuantizedScoreBlocks,
+    Counter::ServeCacheHits,
+    Counter::ServeCacheMisses,
+    Counter::ServeCacheEvictions,
+    Counter::ServeCoalescedBatches,
+    Counter::ServeCoalescedRequests,
 ];
 
 impl Counter {
@@ -263,6 +287,11 @@ impl Counter {
             Counter::EmbedAttackSteps => "embed_attack_steps",
             Counter::ScoringShards => "scoring_shards",
             Counter::QuantizedScoreBlocks => "quantized_score_blocks",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeCacheEvictions => "serve_cache_evictions",
+            Counter::ServeCoalescedBatches => "serve_coalesced_batches",
+            Counter::ServeCoalescedRequests => "serve_coalesced_requests",
         }
     }
 
@@ -285,6 +314,11 @@ impl Counter {
                 | Counter::ServeRestarts
                 | Counter::ServeSwaps
                 | Counter::ServeSnapshotWrites
+                | Counter::ServeCacheHits
+                | Counter::ServeCacheMisses
+                | Counter::ServeCacheEvictions
+                | Counter::ServeCoalescedBatches
+                | Counter::ServeCoalescedRequests
         )
     }
 }
@@ -609,6 +643,11 @@ mod tests {
                 &Counter::ServeRestarts,
                 &Counter::ServeSwaps,
                 &Counter::ServeSnapshotWrites,
+                &Counter::ServeCacheHits,
+                &Counter::ServeCacheMisses,
+                &Counter::ServeCacheEvictions,
+                &Counter::ServeCoalescedBatches,
+                &Counter::ServeCoalescedRequests,
             ]
         );
         assert!(Counter::GemmPanelPacks.thread_invariant());
@@ -634,6 +673,15 @@ mod tests {
         assert!(!Counter::ServeRequests.thread_invariant());
         assert_eq!(Counter::ServeRequests.name(), "serve_requests");
         assert_eq!(Counter::ServeSnapshotWrites.name(), "serve_snapshot_writes");
+        // The hot-path additions (result cache, coalescing) are timing
+        // artefacts of request arrival, so they join the serve carve-out.
+        assert!(!Counter::ServeCacheHits.thread_invariant());
+        assert!(!Counter::ServeCoalescedBatches.thread_invariant());
+        assert_eq!(Counter::ServeCacheHits.name(), "serve_cache_hits");
+        assert_eq!(Counter::ServeCacheMisses.name(), "serve_cache_misses");
+        assert_eq!(Counter::ServeCacheEvictions.name(), "serve_cache_evictions");
+        assert_eq!(Counter::ServeCoalescedBatches.name(), "serve_coalesced_batches");
+        assert_eq!(Counter::ServeCoalescedRequests.name(), "serve_coalesced_requests");
     }
 
     #[test]

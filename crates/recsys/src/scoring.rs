@@ -438,6 +438,85 @@ impl ScoringEngine {
         Ok(())
     }
 
+    /// Scores every item for an arbitrary *gathered* list of users — the
+    /// batched entry point behind request coalescing in the serving layer:
+    /// concurrent single-user requests for the same model are answered by
+    /// one `score_gather` call whose GEMMs amortise the item-side traversal
+    /// across all of them.
+    ///
+    /// Unlike [`ScoringEngine::score_block`], `users` need not be contiguous,
+    /// sorted, or duplicate-free. On return `out.users()` is
+    /// `0..users.len()` and `out.row(i)` holds the score row of `users[i]`
+    /// (positional indexing — the block does not remember the original user
+    /// ids).
+    ///
+    /// Each row is **bitwise identical** to the corresponding single-user
+    /// [`ScoringEngine::score_block`] row (and therefore to the scalar
+    /// [`Recommender::score`](crate::Recommender::score)), at every thread
+    /// count and for every batch composition: the GEMM contract fixes each
+    /// output element to `beta`-scaled start + ascending KC-blocked partial
+    /// sums independent of the `m`/`n` partition, so adding more rows to the
+    /// batch cannot change any existing row's bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleEngine`] when the cache is absent or the model mutated
+    /// after the last [`ScoringEngine::ensure`]; refresh with `ensure` and
+    /// retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user in `users` is out of range.
+    pub fn score_gather<M: Recommender + ?Sized>(
+        &self,
+        model: &M,
+        users: &[usize],
+        out: &mut ScoreBlock,
+    ) -> Result<(), StaleEngine> {
+        let plan = self.plan(model)?;
+        for &u in users {
+            assert!(u < plan.num_users, "user {u} out of range for {} users", plan.num_users);
+        }
+        let b = users.len();
+        let ni = plan.num_items;
+        let ScoreBlock { users: out_users, scores, staging, scratch, .. } = out;
+        *out_users = 0..b;
+        scores.reset_to_zeros(&[b, ni]);
+        match plan.kind {
+            PlanKind::Scalar => {
+                let rows = scores.as_mut_slice();
+                for (r, &u) in users.iter().enumerate() {
+                    model.score_into(u, &mut rows[r * ni..(r + 1) * ni]);
+                }
+            }
+            PlanKind::Gemm => {
+                let rows = scores.as_mut_slice();
+                for r in 0..b {
+                    rows[r * ni..(r + 1) * ni].copy_from_slice(&plan.static_term);
+                }
+                for (t, term) in plan.terms.iter().enumerate() {
+                    // Gather the batch's user factors row by row: the trait
+                    // only promises borrowed slices for *contiguous* user
+                    // ranges, so each gathered user contributes its own
+                    // single-row range.
+                    staging.reset_to_zeros(&[b, term.dim]);
+                    let stage_rows = staging.as_mut_slice();
+                    for (r, &u) in users.iter().enumerate() {
+                        let row = model.user_term_rows(t, u..u + 1);
+                        assert_eq!(
+                            row.len(),
+                            term.dim,
+                            "model returned a mis-sized user factor row for term {t}"
+                        );
+                        stage_rows[r * term.dim..(r + 1) * term.dim].copy_from_slice(row);
+                    }
+                    scoring_gemm(staging, &term.items, Transpose::Yes, 1.0, scores, scratch);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Top-`n` lists for every user, served from batched score blocks on
     /// worker threads under the default [`ShardPlan`]. Results are identical
     /// to calling [`Recommender::top_n`](crate::Recommender::top_n) in a

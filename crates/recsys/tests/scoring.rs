@@ -317,3 +317,100 @@ fn amr_training_invalidates_through_the_wrapper() {
     amr.sgd_step(&Triplet { user: 0, positive: 1, negative: 2 }, 0.05);
     assert!(!engine.is_fresh(&amr), "AMR steps mutate the inner VBPR");
 }
+
+#[test]
+fn score_gather_matches_per_user_blocks_bitwise() {
+    // The gathered entry point (serving's request-coalescing path) must
+    // reproduce the per-user score_block rows bit-for-bit for arbitrary
+    // batch compositions: unsorted, duplicated, singleton, full-range —
+    // at every thread count.
+    let nu = 14;
+    let ni = 33;
+    let model = vbpr(nu, ni, 0xBA7C4);
+    let engine = ScoringEngine::for_model(&model);
+
+    // Per-user reference rows via the contiguous block path.
+    let mut reference_block = ScoreBlock::new();
+    let reference: Vec<Vec<u32>> = (0..nu)
+        .map(|u| {
+            engine.score_block(&model, u..u + 1, &mut reference_block).unwrap();
+            reference_block.row(u).iter().map(|s| s.to_bits()).collect()
+        })
+        .collect();
+
+    let batches: Vec<Vec<usize>> = vec![
+        vec![3],
+        vec![0, 1, 2, 3],
+        vec![13, 0, 7, 7, 2, 13],
+        (0..nu).rev().collect(),
+        vec![5; 9],
+    ];
+    let mut block = ScoreBlock::new();
+    for threads in [1usize, 2, 8] {
+        rayon::with_threads(threads, || {
+            for users in &batches {
+                engine.score_gather(&model, users, &mut block).unwrap();
+                for (row_idx, &u) in users.iter().enumerate() {
+                    let got: Vec<u32> =
+                        block.row(row_idx).iter().map(|s| s.to_bits()).collect();
+                    assert_eq!(
+                        got, reference[u],
+                        "gathered row {row_idx} (user {u}) at {threads} threads"
+                    );
+                }
+            }
+        });
+    }
+
+    // The scalar-plan path (Popularity has no factor terms) agrees too.
+    let data = dataset(nu, ni);
+    let pop = Popularity::from_dataset(&data);
+    let pop_engine = ScoringEngine::for_model(&pop);
+    let users = vec![9, 0, 9, 4];
+    pop_engine.score_gather(&pop, &users, &mut block).unwrap();
+    for (row_idx, &u) in users.iter().enumerate() {
+        let want = pop.score_all(u);
+        let got = block.row(row_idx);
+        assert_eq!(got.len(), want.len());
+        for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "popularity gathered ({u},{i})");
+        }
+    }
+}
+
+#[test]
+fn score_gather_empty_batch_is_a_no_op() {
+    let model = vbpr(5, 12, 3);
+    let engine = ScoringEngine::for_model(&model);
+    let mut block = ScoreBlock::new();
+    engine.score_gather(&model, &[], &mut block).unwrap();
+    assert_eq!(block.users(), 0..0);
+}
+
+#[test]
+fn score_gather_respects_the_version_gate() {
+    let mut model = vbpr(6, 15, 11);
+    let mut engine = ScoringEngine::for_model(&model);
+    let mut block = ScoreBlock::new();
+    engine.score_gather(&model, &[1, 4], &mut block).unwrap();
+
+    // A training step bumps the scoring version: the gathered path must
+    // refuse with the typed StaleEngine error until re-ensured, exactly
+    // like score_block.
+    model.sgd_step(&Triplet { user: 0, positive: 1, negative: 2 }, 0.05);
+    assert!(matches!(engine.score_gather(&model, &[1, 4], &mut block), Err(StaleEngine { .. })));
+    engine.ensure(&model);
+    engine.score_gather(&model, &[1, 4], &mut block).unwrap();
+    let fresh: Vec<u32> = model.score_all(1).iter().map(|s| s.to_bits()).collect();
+    let got: Vec<u32> = block.row(0).iter().map(|s| s.to_bits()).collect();
+    assert_eq!(got, fresh, "post-refresh gathered row is the new model's row");
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn score_gather_panics_on_an_out_of_range_user() {
+    let model = vbpr(4, 10, 2);
+    let engine = ScoringEngine::for_model(&model);
+    let mut block = ScoreBlock::new();
+    let _ = engine.score_gather(&model, &[4], &mut block);
+}

@@ -7,6 +7,30 @@
 //! the supervisor's request path — observes a disconnect and triggers
 //! restart-from-snapshot. Stalls ([`FaultSite::ServeStall`]) sleep through
 //! the caller's deadline; the late reply lands in a dropped channel.
+//!
+//! # The hot path: coalescing and the result cache
+//!
+//! Top-N requests are drained from the mailbox as *batches*: when one
+//! arrives, the actor keeps pulling queued `TopN` messages (and, with a
+//! positive coalescing window, waits out the window for more) up to the
+//! batch cap, then answers the whole batch from one
+//! [`ScoringEngine::score_gather`] call — one GEMM pass amortised across
+//! every user in the batch. The GEMM per-element contract makes each
+//! response bitwise identical to the serial per-request answer, so
+//! coalescing is purely a throughput optimisation, invisible in the
+//! payload. Per-request fault ordinals (stall/panic injection) are
+//! assigned in arrival order before scoring, preserving the supervision
+//! tests' crash semantics; a mid-batch panic drops every unanswered reply
+//! in the batch, and each sender retries through the supervisor exactly as
+//! if its own request had crashed.
+//!
+//! Before scoring, each request consults the actor's [`TopNCache`]
+//! (`(user, n) →` response, guarded by the model's
+//! [`scoring_version`](taamr_recsys::Recommender::scoring_version)): hits
+//! are answered immediately without touching the engine, misses are
+//! gathered into the batch. The version check makes a stale entry
+//! structurally unreachable — see the [`crate::cache`] docs for the
+//! invalidation argument.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -18,7 +42,9 @@ use serde::{Deserialize, Serialize};
 use taamr_fault::FaultSite;
 use taamr_recsys::{top_n_with, ScoreBlock, ScoringEngine, SelectionScratch, ShardPlan};
 
+use crate::cache::{CacheLookup, TopNCache};
 use crate::error::ServeError;
+use crate::ledger::Accountant;
 use crate::ServeModel;
 
 /// A served recommendation list, annotated with where it came from: the
@@ -89,6 +115,16 @@ pub(crate) struct ActorSpec<M> {
     pub incarnation: u64,
     pub seen: Arc<Vec<Vec<usize>>>,
     pub stall: Duration,
+    /// The supervisor's accountant, for cache/coalescing events.
+    pub accountant: Arc<Accountant>,
+    /// How long the actor waits for more `TopN` requests to join a batch
+    /// after the first arrives. Zero (the default) drains only requests
+    /// already queued — no added latency.
+    pub coalesce_window: Duration,
+    /// Most `TopN` requests merged into one scoring batch.
+    pub max_coalesce: usize,
+    /// Top-N result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
 }
 
 /// Spawns the actor thread with a warm scoring engine. The returned sender
@@ -100,46 +136,75 @@ pub(crate) fn spawn<M: ServeModel>(spec: ActorSpec<M>) -> (Sender<ActorMsg>, Joi
     (tx, handle)
 }
 
+/// One queued top-N request awaiting a batched answer.
+struct PendingTopN {
+    user: usize,
+    n: usize,
+    reply: Sender<Result<TopNResponse, ServeError>>,
+}
+
 fn run<M: ServeModel>(spec: ActorSpec<M>, rx: Receiver<ActorMsg>) {
-    let ActorSpec { slot, model, model_version, incarnation, seen, stall } = spec;
+    let ActorSpec {
+        slot,
+        model,
+        model_version,
+        incarnation,
+        seen,
+        stall,
+        accountant,
+        coalesce_window,
+        max_coalesce,
+        cache_capacity,
+    } = spec;
     let mut engine = ScoringEngine::for_model(&model);
     let mut block = ScoreBlock::new();
     let mut scratch = SelectionScratch::new();
+    let mut cache = TopNCache::new(cache_capacity);
+    let max_coalesce = max_coalesce.max(1);
     // Per-actor request ordinal: the fault index for ServeActorPanic and
-    // ServeStall.
+    // ServeStall, assigned in arrival order.
     let mut served: u64 = 0;
-    for msg in rx {
+    // A non-TopN message pulled off the mailbox while collecting a batch;
+    // processed before the next receive.
+    let mut pending: Option<ActorMsg> = None;
+    loop {
+        let msg = match pending.take() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                // Every sender gone: the supervisor dropped this slot.
+                Err(_) => return,
+            },
+        };
         match msg {
             ActorMsg::TopN { user, n, reply } => {
-                let ordinal = served;
-                served += 1;
+                let mut batch = vec![PendingTopN { user, n, reply }];
+                pending = collect_batch(&rx, &mut batch, coalesce_window, max_coalesce);
+                if batch.len() > 1 {
+                    accountant.coalesced(batch.len() as u64);
+                }
                 let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                    if taamr_fault::fire(FaultSite::ServeStall, ordinal) {
-                        std::thread::sleep(stall);
-                    }
-                    if taamr_fault::fire(FaultSite::ServeActorPanic, ordinal) {
-                        panic!("injected serving-actor crash (ServeActorPanic #{ordinal})");
-                    }
-                    serve_top_n(
+                    serve_batch(
                         &slot,
                         &model,
                         &mut engine,
                         &mut block,
                         &mut scratch,
+                        &mut cache,
+                        &accountant,
                         &seen,
                         model_version,
                         incarnation,
-                        user,
-                        n,
+                        stall,
+                        &mut served,
+                        &batch,
                     )
                 }));
                 match outcome {
-                    Ok(result) => {
-                        // A dropped receiver (caller timed out) is fine.
-                        let _ = reply.send(result);
-                    }
-                    // Crash mid-request: drop `reply` unanswered and die.
-                    // Senders see a disconnect; the supervisor restarts us.
+                    Ok(()) => {}
+                    // Crash mid-batch: every unanswered `reply` in the
+                    // batch drops; each sender sees a disconnect and the
+                    // supervisor restarts us, then retries per request.
                     Err(_) => return,
                 }
             }
@@ -175,48 +240,143 @@ fn run<M: ServeModel>(spec: ActorSpec<M>, rx: Receiver<ActorMsg>) {
     }
 }
 
+/// Pulls additional `TopN` messages into `batch`, up to `max_coalesce`,
+/// draining what is already queued and — with a positive window — waiting
+/// out the window for stragglers. A non-`TopN` message ends collection and
+/// is returned for the main loop to process next.
+fn collect_batch(
+    rx: &Receiver<ActorMsg>,
+    batch: &mut Vec<PendingTopN>,
+    window: Duration,
+    max_coalesce: usize,
+) -> Option<ActorMsg> {
+    let deadline =
+        if window.is_zero() { None } else { Some(std::time::Instant::now() + window) };
+    while batch.len() < max_coalesce {
+        let next = match deadline {
+            None => match rx.try_recv() {
+                Ok(msg) => msg,
+                Err(_) => return None,
+            },
+            Some(deadline) => {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(msg) => msg,
+                    Err(_) => return None,
+                }
+            }
+        };
+        match next {
+            ActorMsg::TopN { user, n, reply } => batch.push(PendingTopN { user, n, reply }),
+            other => return Some(other),
+        }
+    }
+    None
+}
+
+/// Serves one drained batch: per-request fault ordinals in arrival order,
+/// cache lookups at the live scoring version, then a single
+/// [`ScoringEngine::score_gather`] over every miss.
 #[allow(clippy::too_many_arguments)]
-fn serve_top_n<M: ServeModel>(
+fn serve_batch<M: ServeModel>(
     slot: &str,
     model: &M,
     engine: &mut ScoringEngine,
     block: &mut ScoreBlock,
     scratch: &mut SelectionScratch,
+    cache: &mut TopNCache,
+    accountant: &Accountant,
     seen: &[Vec<usize>],
     model_version: u64,
     incarnation: u64,
-    user: usize,
-    n: usize,
-) -> Result<TopNResponse, ServeError> {
-    if user >= model.num_users() {
-        return Err(ServeError::BadRequest {
-            reason: format!("user {user} out of range ({} users)", model.num_users()),
-        });
+    stall: Duration,
+    served: &mut u64,
+    batch: &[PendingTopN],
+) {
+    // Fault checks first, one ordinal per request in arrival order —
+    // exactly the sequence a serial loop would produce, so stall/crash
+    // injection tests see the same indices regardless of batching.
+    for _req in batch {
+        let ordinal = *served;
+        *served += 1;
+        if taamr_fault::fire(FaultSite::ServeStall, ordinal) {
+            std::thread::sleep(stall);
+        }
+        if taamr_fault::fire(FaultSite::ServeActorPanic, ordinal) {
+            panic!("injected serving-actor crash (ServeActorPanic #{ordinal})");
+        }
     }
-    if n == 0 {
-        return Err(ServeError::BadRequest { reason: "n must be positive".to_owned() });
+
+    // Validation and cache lookups. Hits are answered immediately; misses
+    // queue for the gathered scoring pass.
+    let version = model.scoring_version();
+    let mut compute: Vec<&PendingTopN> = Vec::with_capacity(batch.len());
+    for req in batch {
+        if req.user >= model.num_users() {
+            let err = ServeError::BadRequest {
+                reason: format!(
+                    "user {} out of range ({} users)",
+                    req.user,
+                    model.num_users()
+                ),
+            };
+            let _ = req.reply.send(Err(err));
+            continue;
+        }
+        if req.n == 0 {
+            let err = ServeError::BadRequest { reason: "n must be positive".to_owned() };
+            let _ = req.reply.send(Err(err));
+            continue;
+        }
+        match cache.get(version, req.user, req.n) {
+            CacheLookup::Hit(response) => {
+                accountant.cache_hit();
+                // A dropped receiver (caller timed out) is fine.
+                let _ = req.reply.send(Ok(response));
+            }
+            CacheLookup::Miss(_why) => {
+                accountant.cache_miss();
+                compute.push(req);
+            }
+        }
     }
-    if let Err(_stale) = engine.score_block(model, user..user + 1, block) {
+    if compute.is_empty() {
+        return;
+    }
+
+    // One gathered scoring pass for every miss. Duplicate users (same user,
+    // different n) are allowed; each request reads its own row.
+    let users: Vec<usize> = compute.iter().map(|req| req.user).collect();
+    if engine.score_gather(model, &users, block).is_err() {
         // The typed StaleEngine path: refresh the plan cache and retry.
         engine.ensure(model);
-        if let Err(e) = engine.score_block(model, user..user + 1, block) {
+        if let Err(e) = engine.score_gather(model, &users, block) {
             // The actor owns the model exclusively, so a just-ensured
             // engine cannot be stale again.
             unreachable!("scoring engine stale immediately after refresh: {e}");
         }
     }
-    let row = block.row(user);
-    let exclude = seen.get(user).map_or(&[][..], |s| s.as_slice());
-    let items = top_n_with(row, n, exclude, scratch);
-    let scores = items.iter().map(|&i| row[i]).collect();
-    Ok(TopNResponse {
-        slot: slot.to_owned(),
-        model_version,
-        incarnation,
-        user,
-        items,
-        scores,
-    })
+    for (row_idx, req) in compute.iter().enumerate() {
+        let row = block.row(row_idx);
+        let exclude = seen.get(req.user).map_or(&[][..], |s| s.as_slice());
+        let items = top_n_with(row, req.n, exclude, scratch);
+        let scores = items.iter().map(|&i| row[i]).collect();
+        let response = TopNResponse {
+            slot: slot.to_owned(),
+            model_version,
+            incarnation,
+            user: req.user,
+            items,
+            scores,
+        };
+        for _ in 0..cache.insert(version, req.n, response.clone()) {
+            accountant.cache_eviction();
+        }
+        let _ = req.reply.send(Ok(response));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -6,7 +6,9 @@
 //! mirrored into the process-global [`taamr_obs`] counters (schema v5), so
 //! telemetry snapshots taken by benches and the checkpointed
 //! `telemetry.json` carry the same story — but the ledger itself works even
-//! when global telemetry is disabled.
+//! when global telemetry is disabled. Schema v8 added the hot-path events:
+//! top-N result-cache hits/misses/evictions and request-coalescing batch
+//! counts, recorded by the actors.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -26,6 +28,11 @@ pub struct Accountant {
     restarts: AtomicU64,
     swaps: AtomicU64,
     snapshot_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_requests: AtomicU64,
 }
 
 /// A point-in-time copy of an [`Accountant`], serialisable for `/stats`.
@@ -47,6 +54,18 @@ pub struct LedgerSnapshot {
     pub swaps: u64,
     /// Actor-state snapshots written to the store.
     pub snapshot_writes: u64,
+    /// Requests answered from an actor's version-keyed top-N result cache.
+    pub cache_hits: u64,
+    /// Requests that missed the result cache (absent or version-stale
+    /// entry) and were recomputed.
+    pub cache_misses: u64,
+    /// Result-cache entries evicted by the LRU capacity bound.
+    pub cache_evictions: u64,
+    /// Coalesced scoring batches (two or more requests merged) drained by
+    /// the actors.
+    pub coalesced_batches: u64,
+    /// Requests answered as part of a coalesced batch.
+    pub coalesced_requests: u64,
 }
 
 fn bump(cell: &AtomicU64, counter: Counter) {
@@ -95,6 +114,28 @@ impl Accountant {
         bump(&self.snapshot_writes, Counter::ServeSnapshotWrites);
     }
 
+    /// A request was answered from the top-N result cache.
+    pub fn cache_hit(&self) {
+        bump(&self.cache_hits, Counter::ServeCacheHits);
+    }
+
+    /// A request missed the top-N result cache and was recomputed.
+    pub fn cache_miss(&self) {
+        bump(&self.cache_misses, Counter::ServeCacheMisses);
+    }
+
+    /// The LRU capacity bound evicted a result-cache entry.
+    pub fn cache_eviction(&self) {
+        bump(&self.cache_evictions, Counter::ServeCacheEvictions);
+    }
+
+    /// An actor drained a coalesced batch of `size >= 2` requests.
+    pub fn coalesced(&self, size: u64) {
+        bump(&self.coalesced_batches, Counter::ServeCoalescedBatches);
+        self.coalesced_requests.fetch_add(size, Ordering::Relaxed);
+        taamr_obs::add(Counter::ServeCoalescedRequests, size);
+    }
+
     /// A consistent-enough point-in-time copy (each field individually
     /// exact; cross-field skew bounded by in-flight requests).
     pub fn snapshot(&self) -> LedgerSnapshot {
@@ -107,6 +148,11 @@ impl Accountant {
             restarts: self.restarts.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
             snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -127,6 +173,11 @@ mod tests {
         a.restart();
         a.swap();
         a.snapshot_write();
+        a.cache_hit();
+        a.cache_miss();
+        a.cache_miss();
+        a.cache_eviction();
+        a.coalesced(3);
         let snap = a.snapshot();
         assert_eq!(
             snap,
@@ -139,6 +190,11 @@ mod tests {
                 restarts: 1,
                 swaps: 1,
                 snapshot_writes: 1,
+                cache_hits: 1,
+                cache_misses: 2,
+                cache_evictions: 1,
+                coalesced_batches: 1,
+                coalesced_requests: 3,
             }
         );
     }
@@ -148,9 +204,12 @@ mod tests {
         let a = Accountant::default();
         a.request();
         a.ok();
+        a.cache_hit();
+        a.coalesced(2);
         let snap = a.snapshot();
         let json = serde_json::to_string(&snap).expect("ledger serialises");
         let back: LedgerSnapshot = serde_json::from_str(&json).expect("ledger parses");
         assert_eq!(back, snap);
     }
+
 }

@@ -9,11 +9,18 @@
 //!   usable [`SnapshotStore`] generation with **byte-identical** scores;
 //!   [`Supervisor::swap`] replaces a slot's model with **zero downtime**
 //!   (a clean version cliff, no failed requests).
-//! * [`Server`] is an HTTP/1.1 front door over a bounded worker pool:
+//! * [`Server`] is an HTTP/1.1 front door over a bounded worker pool with
+//!   keep-alive: each connection runs a request loop (idle deadline,
+//!   per-connection request cap, per-request mid-stream load shedding),
 //!   per-request deadlines become typed `503` timeouts, a full request
-//!   queue sheds connections with `429`, and every outcome lands in the
+//!   queue sheds with `429`, and every outcome lands in the
 //!   [`Accountant`] ledger (mirrored into `taamr-obs` telemetry, schema
-//!   v5).
+//!   v8).
+//! * The read path is batched and cached: actors coalesce concurrent
+//!   top-N requests into one gathered scoring pass (bitwise-identical to
+//!   serial answers) and serve repeats from a version-keyed [`TopNCache`]
+//!   whose entries are invalidated exactly by the scoring-version
+//!   counter — a stale list is structurally unreachable.
 //! * Failure paths are testable on demand: `taamr-fault` sites inject an
 //!   actor panic mid-request, a corrupt snapshot write, or a stalled
 //!   handler, deterministically, by request ordinal.
@@ -55,6 +62,7 @@
 #![deny(missing_docs)]
 
 mod actor;
+mod cache;
 mod error;
 mod http;
 mod ledger;
@@ -64,8 +72,9 @@ mod snapshot;
 mod supervisor;
 
 pub use actor::{SweepResponse, TopNResponse};
+pub use cache::{CacheLookup, CacheMiss, TopNCache};
 pub use error::ServeError;
-pub use http::http_get;
+pub use http::{http_get, HttpClient};
 pub use ledger::{Accountant, LedgerSnapshot};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{Restored, SnapshotStore, SNAPSHOT_KEEP};

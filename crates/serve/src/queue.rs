@@ -37,6 +37,18 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
+    /// Whether the queue is at capacity (or closed) right now. Used as the
+    /// mid-stream load-shed probe for kept-alive connections: requests
+    /// after a connection's first bypass the acceptor's `try_push`, so the
+    /// worker consults this before admitting each follow-on request. The
+    /// answer is advisory — the queue may change before the caller acts —
+    /// which matches the shed semantics at the acceptor (admission control,
+    /// not a capacity guarantee).
+    pub(crate) fn is_full(&self) -> bool {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.closed || st.items.len() >= self.capacity
+    }
+
     /// Non-blocking push: returns the item back when the queue is full or
     /// closed — the caller decides what shedding looks like.
     pub(crate) fn try_push(&self, item: T) -> Result<(), T> {
@@ -116,6 +128,79 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q2.close();
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn is_full_tracks_occupancy_and_close() {
+        let q = BoundedQueue::new(2);
+        assert!(!q.is_full());
+        q.try_push(1).unwrap();
+        assert!(!q.is_full());
+        q.try_push(2).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert!(!q.is_full());
+        q.close();
+        assert!(q.is_full(), "a closed queue admits nothing, so it reports full");
+    }
+
+    #[test]
+    fn close_under_concurrent_pushers_never_strands_an_item() {
+        // Many pushers race a close: every push either lands (and is
+        // drained by the poppers) or is rejected back to its caller —
+        // no item may vanish and no popper may hang.
+        for _ in 0..20 {
+            let q = Arc::new(BoundedQueue::<usize>::new(4));
+            let pushers: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut landed = 0usize;
+                        for i in 0..50 {
+                            if q.try_push(t * 1000 + i).is_ok() {
+                                landed += 1;
+                            }
+                        }
+                        landed
+                    })
+                })
+                .collect();
+            let poppers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut drained = 0usize;
+                        while q.pop().is_some() {
+                            drained += 1;
+                        }
+                        drained
+                    })
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            q.close();
+            let landed: usize = pushers.into_iter().map(|h| h.join().unwrap()).sum();
+            let drained: usize = poppers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(landed, drained, "every accepted item is drained exactly once");
+            assert!(q.try_push(9999).is_err(), "closed queue rejects new pushes");
+            assert_eq!(q.pop(), None, "closed+drained queue reports None forever");
+        }
+    }
+
+    #[test]
+    fn every_blocked_popper_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<usize>::new(1));
+        let waiters: Vec<_> = (0..8)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), None);
+        }
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! worker threads drains the queue, parses requests, and calls into the
 //! supervisor with the configured per-request deadline.
 //!
+//! Workers speak HTTP/1.1 keep-alive: each connection runs a request loop
+//! with reused parse/response buffers until the client asks for `close`,
+//! the idle deadline passes with no new request, the per-connection
+//! request cap is reached, or the server starts shutting down. Requests
+//! after a connection's first bypass the acceptor's admission queue, so
+//! the worker re-applies load shedding per request: when the queue is full
+//! the follow-on request is answered `429` with `Connection: close`
+//! (overload policy holds per request, not just per connection).
+//!
 //! Routes:
 //!
 //! | Route | Response |
@@ -28,7 +37,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::error::ServeError;
-use crate::http::{read_request, respond, Request};
+use crate::http::{
+    read_request, respond, respond_with, Conn, ReadOutcome, Request, CLIENT_READ_TIMEOUT,
+};
+use crate::ledger::Accountant;
 use crate::queue::BoundedQueue;
 use crate::supervisor::Supervisor;
 use crate::ServeModel;
@@ -46,6 +58,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-request deadline handed to the supervisor.
     pub deadline: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the worker closes it and returns to the pool.
+    pub idle_timeout: Duration,
+    /// Requests served over one connection before the server forces a
+    /// close (`Connection: close` on the final response), bounding how
+    /// long any single client can monopolise a worker. Minimum 1.
+    pub max_requests_per_connection: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,12 +74,16 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             deadline: Duration::from_millis(500),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
         }
     }
 }
 
-/// A running HTTP server. Dropping it without [`Server::shutdown`] leaks
-/// the threads until process exit; tests and the bench always shut down.
+/// A running HTTP server. [`Server::shutdown`] stops it explicitly;
+/// dropping it without shutting down stops and joins every thread too
+/// (the `Drop` impl runs the same stop sequence), so a `Server` can never
+/// leak its acceptor or workers.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -99,6 +122,9 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // Responses are latency-sensitive single writes; never
+                    // let Nagle hold one back on a kept-alive connection.
+                    let _ = stream.set_nodelay(true);
                     if let Err(mut shed) = queue.try_push(stream) {
                         // The load-shed point: full queue, typed 429.
                         // Consume the request head first — closing with
@@ -119,10 +145,28 @@ impl Server {
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let supervisor = Arc::clone(&supervisor);
-                let deadline = config.deadline;
+                let stop = Arc::clone(&stop);
+                let accountant = supervisor.accountant();
+                let knobs = ConnKnobs {
+                    deadline: config.deadline,
+                    idle_timeout: config.idle_timeout,
+                    max_requests: config.max_requests_per_connection.max(1),
+                };
                 std::thread::spawn(move || {
-                    while let Some(mut stream) = queue.pop() {
-                        let _ = handle_connection(&mut stream, &supervisor, deadline);
+                    // Parse/response buffers live for the worker's whole
+                    // life and are reused across every connection it
+                    // serves.
+                    let mut scratch = String::new();
+                    while let Some(stream) = queue.pop() {
+                        let _ = handle_connection(
+                            stream,
+                            &supervisor,
+                            &knobs,
+                            &stop,
+                            &queue,
+                            &accountant,
+                            &mut scratch,
+                        );
                     }
                 })
             })
@@ -138,6 +182,13 @@ impl Server {
 
     /// Stops accepting, drains queued connections, and joins every thread.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Idempotent stop sequence shared by [`Server::shutdown`] and `Drop`.
+    /// Workers parked on idle kept-alive connections notice the stop flag
+    /// within one idle-poll interval, so the join completes promptly.
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor with a throwaway connection so it sees `stop`.
         let _ = TcpStream::connect(self.addr);
@@ -151,23 +202,74 @@ impl Server {
     }
 }
 
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Per-connection policy knobs threaded into the worker loop.
+struct ConnKnobs {
+    deadline: Duration,
+    idle_timeout: Duration,
+    max_requests: usize,
+}
+
 fn error_body(err: &ServeError) -> String {
     // Hand-rolled object: two string fields, no escaping subtleties beyond
     // what `{:?}` already guarantees for the message.
     format!(r#"{{"error":{:?},"detail":{:?}}}"#, err.kind(), err.to_string())
 }
 
+/// The keep-alive request loop for one connection. State machine:
+///
+/// ```text
+/// READ(first: client timeout / later: idle deadline)
+///   ├─ Closed / TimedOut / Malformed ──────────────► DROP
+///   ├─ Request, follow-on & queue full ── 429+close ► DROP (mid-stream shed)
+///   └─ Request ── route ── respond(keep?) ─┬─ keep ─► READ
+///                                          └─ close ► DROP
+/// keep = client keep-alive ∧ served < max_requests ∧ ¬stopping
+/// ```
 fn handle_connection<M: ServeModel>(
-    stream: &mut TcpStream,
+    stream: TcpStream,
     supervisor: &Supervisor<M>,
-    deadline: Duration,
+    knobs: &ConnKnobs,
+    stop: &AtomicBool,
+    queue: &BoundedQueue<TcpStream>,
+    accountant: &Accountant,
+    scratch: &mut String,
 ) -> io::Result<()> {
-    let Some(request) = read_request(stream)? else {
-        // Closed early or malformed head; nothing to answer.
-        return Ok(());
-    };
-    let (status, body) = route(&request, supervisor, deadline);
-    respond(stream, status, &body)
+    let mut conn = Conn::new(stream);
+    let mut served = 0usize;
+    loop {
+        // The first head gets the slow-client timeout; follow-ons wait out
+        // the idle deadline, punctuated so shutdown is never blocked.
+        let wait = if served == 0 { CLIENT_READ_TIMEOUT } else { knobs.idle_timeout };
+        let request = match conn.read_request(wait, || !stop.load(Ordering::SeqCst))? {
+            ReadOutcome::Request(request) => request,
+            // Closed early, idle past the deadline, or malformed head;
+            // nothing (more) to answer.
+            ReadOutcome::Closed | ReadOutcome::TimedOut | ReadOutcome::Malformed => return Ok(()),
+        };
+        if served > 0 && queue.is_full() {
+            // Mid-stream shed: this request never crossed the acceptor's
+            // admission queue, so the overload check re-runs here.
+            accountant.shed();
+            let body =
+                error_body(&ServeError::Overloaded { queue_capacity: queue.capacity() });
+            return respond_with(conn.stream(), 429, &body, false, scratch);
+        }
+        served += 1;
+        let keep = request.keep_alive
+            && served < knobs.max_requests
+            && !stop.load(Ordering::SeqCst);
+        let (status, body) = route(&request, supervisor, knobs.deadline);
+        respond_with(conn.stream(), status, &body, keep, scratch)?;
+        if !keep {
+            return Ok(());
+        }
+    }
 }
 
 fn route<M: ServeModel>(

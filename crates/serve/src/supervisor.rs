@@ -37,17 +37,32 @@ pub struct SupervisorConfig {
     /// Production leaves this at a value larger than any sane deadline;
     /// tests shrink it alongside their deadlines.
     pub stall: Duration,
+    /// How long an actor waits for more top-N requests to join a scoring
+    /// batch after the first arrives. Zero (the default) coalesces only
+    /// requests already queued in the mailbox — amortisation under load
+    /// with no added latency when idle.
+    pub coalesce_window: Duration,
+    /// Most top-N requests merged into one gathered scoring pass.
+    pub max_coalesce: usize,
+    /// Per-actor top-N result-cache capacity, in responses (0 disables
+    /// the cache).
+    pub cache_capacity: usize,
 }
 
 impl SupervisorConfig {
     /// A policy rooted at `snapshot_dir` with defaults sized for tests and
-    /// benches: 2 retries, 10 ms backoff base, 200 ms injected stall.
+    /// benches: 2 retries, 10 ms backoff base, 200 ms injected stall,
+    /// drain-only coalescing capped at 64 requests per batch, and a
+    /// 4096-entry result cache.
     pub fn new(snapshot_dir: impl Into<PathBuf>) -> Self {
         SupervisorConfig {
             snapshot_dir: snapshot_dir.into(),
             max_retries: 2,
             backoff_base: Duration::from_millis(10),
             stall: Duration::from_millis(200),
+            coalesce_window: Duration::ZERO,
+            max_coalesce: 64,
+            cache_capacity: 4096,
         }
     }
 }
@@ -131,6 +146,10 @@ impl<M: ServeModel> Supervisor<M> {
             incarnation: 1,
             seen: Arc::clone(&seen),
             stall: self.config.stall,
+            accountant: Arc::clone(&self.accountant),
+            coalesce_window: self.config.coalesce_window,
+            max_coalesce: self.config.max_coalesce,
+            cache_capacity: self.config.cache_capacity,
         });
         slots.insert(
             name.to_owned(),
@@ -311,6 +330,10 @@ impl<M: ServeModel> Supervisor<M> {
             incarnation,
             seen: Arc::clone(&slot.seen),
             stall: self.config.stall,
+            accountant: Arc::clone(&self.accountant),
+            coalesce_window: self.config.coalesce_window,
+            max_coalesce: self.config.max_coalesce,
+            cache_capacity: self.config.cache_capacity,
         });
         st.tx = tx;
         st.join = Some(join);
@@ -346,6 +369,10 @@ impl<M: ServeModel> Supervisor<M> {
             incarnation,
             seen: Arc::clone(&slot.seen),
             stall: self.config.stall,
+            accountant: Arc::clone(&self.accountant),
+            coalesce_window: self.config.coalesce_window,
+            max_coalesce: self.config.max_coalesce,
+            cache_capacity: self.config.cache_capacity,
         });
         // Snapshot first: if the store is broken we refuse the swap and the
         // old actor keeps serving.

@@ -122,3 +122,57 @@ fn full_queue_sheds_with_429() {
 
     server.shutdown();
 }
+
+#[test]
+fn kept_alive_connection_is_shed_mid_stream_when_the_queue_fills() {
+    let _gate = SHARED_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = common::fresh_dir("shed-midstream");
+    let sup = std::sync::Arc::new(Supervisor::new(SupervisorConfig::new(&dir)));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+
+    let server_config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        deadline: Duration::from_secs(5),
+        idle_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(server_config, std::sync::Arc::clone(&sup)).unwrap();
+    let addr = server.addr();
+
+    // The kept-alive client takes the only worker and parks on it.
+    let mut client = taamr_serve::HttpClient::new(addr);
+    let (status, _) = client.get("/recommend/bpr/0?n=5").unwrap();
+    assert_eq!(status, 200);
+
+    // A second connection lands in the queue (capacity 1, now full) and
+    // waits there — the single worker is captive to the kept-alive
+    // client.
+    use std::io::Write;
+    let mut queued = std::net::TcpStream::connect(addr).unwrap();
+    queued.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The kept-alive client's *second* request bypassed the acceptor's
+    // admission queue, so the worker re-applies the shed policy: full
+    // queue, typed 429, `Connection: close`.
+    let (status, body) = client.get("/recommend/bpr/1?n=5").unwrap();
+    assert_eq!(status, 429, "body: {body}");
+    assert!(body.contains("\"overloaded\""), "body: {body}");
+
+    // The 429 closed the connection, freeing the worker: the queued
+    // connection is served, and the shed client reconnects cleanly.
+    use std::io::Read;
+    let mut text = String::new();
+    queued.read_to_string(&mut text).unwrap();
+    assert!(text.contains(r#"{"ok":true}"#), "queued connection served: {text}");
+    let (status, _) = client.get("/recommend/bpr/1?n=5").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(client.reconnects(), 1, "the mid-stream 429 forced one reconnect");
+
+    let ledger = sup.accountant().snapshot();
+    assert_eq!(ledger.sheds, 1, "exactly the mid-stream request was shed: {ledger:?}");
+
+    server.shutdown();
+}

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use taamr_serve::{
-    http_get, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig, SweepResponse,
-    TopNResponse,
+    http_get, HttpClient, LedgerSnapshot, Server, ServerConfig, Supervisor, SupervisorConfig,
+    SweepResponse, TopNResponse,
 };
 
 fn start() -> (Server, Arc<Supervisor<taamr_recsys::BprMf>>, std::path::PathBuf) {
@@ -113,6 +113,150 @@ fn sweep_route_runs_a_sharded_catalog_pass_for_every_user() {
     assert!(body.contains("\"slot_not_found\""), "body: {body}");
 
     server.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let (server, sup, _dir) = start();
+    let mut client = HttpClient::new(server.addr());
+
+    // A mixed stream of routes over one TCP connection, each bitwise
+    // equal to the supervisor's direct answer.
+    for round in 0..3 {
+        for user in 0..4 {
+            let (status, body) = client.get(&format!("/recommend/bpr/{user}?n=6")).unwrap();
+            assert_eq!(status, 200, "round {round} user {user}");
+            let resp: TopNResponse = serde_json::from_str(&body).unwrap();
+            let direct = sup.top_n("bpr", user, 6, Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.items, direct.items);
+            assert_eq!(common::score_bits(&resp), common::score_bits(&direct));
+        }
+        let (status, _) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+    }
+    assert_eq!(client.reconnects(), 0, "every request rode the first connection");
+
+    // Typed errors do not tear the connection down either.
+    let (status, _) = client.get("/recommend/bpr/999").unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(client.reconnects(), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_semantics_follow_the_http_version() {
+    use std::io::{Read, Write};
+
+    let (server, _sup, _dir) = start();
+    let addr = server.addr();
+
+    // An HTTP/1.0 request without `Connection: keep-alive` is answered
+    // and closed: the response says `Connection: close` and the stream
+    // reaches EOF.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.contains("Connection: close"), "response: {text}");
+
+    // The same request at HTTP/1.0 with an explicit keep-alive opt-in
+    // stays open for a second request.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+    let mut buf = [0u8; 2048];
+    let n = raw.read(&mut buf).unwrap();
+    let first = String::from_utf8_lossy(&buf[..n]).into_owned();
+    assert!(first.contains("Connection: keep-alive"), "response: {first}");
+    raw.write_all(b"GET /healthz HTTP/1.0\r\nConnection: close\r\n\r\n").unwrap();
+    let mut rest = String::new();
+    raw.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("Connection: close"), "response: {rest}");
+    assert!(rest.contains(r#"{"ok":true}"#));
+
+    // An HTTP/1.1 `Connection: close` is honoured (this is what
+    // `http_get` sends; EOF framing must keep working).
+    let (status, body) = http_get(addr, "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, r#"{"ok":true}"#));
+
+    server.shutdown();
+}
+
+#[test]
+fn per_connection_request_cap_forces_a_clean_reconnect() {
+    let dir = common::fresh_dir("http-cap");
+    let sup = Arc::new(Supervisor::new(SupervisorConfig::new(&dir)));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+    let config = ServerConfig {
+        deadline: Duration::from_secs(5),
+        max_requests_per_connection: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config, Arc::clone(&sup)).unwrap();
+
+    let mut client = HttpClient::new(server.addr());
+    for _ in 0..6 {
+        let (status, _) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+    }
+    // Six requests at two per connection: the server closed after each
+    // pair and the client transparently opened two more connections.
+    assert_eq!(client.reconnects(), 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_and_clients_recover() {
+    let dir = common::fresh_dir("http-idle");
+    let sup = Arc::new(Supervisor::new(SupervisorConfig::new(&dir)));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+    let config = ServerConfig {
+        deadline: Duration::from_secs(5),
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config, Arc::clone(&sup)).unwrap();
+
+    let mut client = HttpClient::new(server.addr());
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    // Sit idle past the server's deadline: it reaps the connection, and
+    // the next request transparently reconnects.
+    std::thread::sleep(Duration::from_millis(500));
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(client.reconnects(), 1, "the idle connection was reaped server-side");
+
+    server.shutdown();
+}
+
+#[test]
+fn dropping_a_server_without_shutdown_stops_and_joins() {
+    let dir = common::fresh_dir("http-drop");
+    let sup = Arc::new(Supervisor::new(SupervisorConfig::new(&dir)));
+    sup.add_slot("bpr", common::model(1), common::seen_lists()).unwrap();
+    {
+        let config = ServerConfig { deadline: Duration::from_secs(5), ..ServerConfig::default() };
+        let server = Server::start(config, Arc::clone(&sup)).unwrap();
+        let mut client = HttpClient::new(server.addr());
+        // Park a kept-alive connection on a worker, then drop the server
+        // while it is mid-idle-wait: Drop must still stop and join.
+        let (status, _) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        // `server` drops here without shutdown().
+    }
+    // The drop joined the acceptor and workers, so the supervisor can be
+    // fronted by a fresh server immediately.
+    let config = ServerConfig { deadline: Duration::from_secs(5), ..ServerConfig::default() };
+    let server = Server::start(config, Arc::clone(&sup)).unwrap();
+    let (status, _) = http_get(server.addr(), "/recommend/bpr/1?n=3").unwrap();
+    assert_eq!(status, 200);
+    drop(server);
 }
 
 #[test]

@@ -24,9 +24,13 @@
 # thread so the speedup is purely algorithmic), plus the embedding-cache
 # rebuild/hit costs. The engine speedups carry a >=5x acceptance target.
 #
-# It also emits BENCH_serve.json from the `serve_load` bin: sustained
-# top-100 QPS through the HTTP serving layer plus the same load under a
-# crash storm (an actor kill every 25ms), with the supervisor ledger.
+# It also emits BENCH_serve.json (schema 2) from the `serve_load` bin: five
+# scenarios through the HTTP serving layer — close-per-request vs keep-alive
+# connections on the same warm server, cold vs warm top-N result cache on a
+# fresh one, and the kept-alive load under a crash storm (an actor kill
+# every 25ms) — each row carrying its latency percentiles and the ledger
+# deltas (reconnects, coalesced batches, cache hits/misses) it produced,
+# plus the keep-alive and warm-cache headline speedups.
 #
 # Finally it runs the table1 experiment binary with telemetry on and copies
 # the resulting span/counter snapshot to BENCH_obs.json (per-stage wall
@@ -189,11 +193,12 @@ END {
 echo "wrote $SCORING_OUT"
 awk '/speedup/' "$SCORING_OUT"
 
-# --- BENCH_serve.json: serving-layer load test, with and without a crash
-# storm. TAAMR_BENCH_FAST is already exported, so this is the shrunk run;
-# unset it and re-run serve_load by hand for the full checked-in numbers.
+# --- BENCH_serve.json: serving-layer load scenarios (connection strategy,
+# result cache, crash storm). TAAMR_BENCH_FAST is already exported, so this
+# is the shrunk run; unset it and re-run serve_load by hand for the full
+# checked-in numbers.
 SERVE_OUT=${TAAMR_BENCH_SERVE:-BENCH_serve.json}
-echo "== serve_load (sustained + crash-storm QPS -> $SERVE_OUT)"
+echo "== serve_load (keep-alive/cache/crash-storm scenarios -> $SERVE_OUT)"
 cargo run -q --release -p taamr-bench --bin serve_load -- "$SERVE_OUT"
 echo "wrote $SERVE_OUT"
 

@@ -129,17 +129,20 @@ echo "== replay audit: golden records, serial build"
 cargo run -q --release -p taamr-bench --features taamr/serial --bin replay -- \
     verify tests/golden_records
 
-# Serve audit: the serving layer's two headline guarantees — crash recovery
-# restores byte-identical scores from the snapshot, and a hammered model
-# swap shows no errors and a clean version cliff — re-run under the `serial`
-# scoring feature as well as the default, so neither threading schedule can
-# hide a supervision race. (The full workspace pass above already ran every
-# serve test once under the default features.)
-echo "== serve audit: supervision + swap tests (default features)"
-cargo test -p taamr-serve -q --test supervision --test swap
+# Serve audit: the serving layer's headline guarantees — crash recovery
+# restores byte-identical scores from the snapshot, a hammered model swap
+# shows no errors and a clean version cliff, coalesced batches and cache
+# hits are bitwise identical to serial uncached scoring, and a version bump
+# makes every cached top-N unreachable (hot_path) — re-run under the
+# `serial` scoring feature as well as the default, so neither threading
+# schedule can hide a supervision race or a batching divergence. (The full
+# workspace pass above already ran every serve test once under the default
+# features.)
+echo "== serve audit: supervision + swap + hot-path tests (default features)"
+cargo test -p taamr-serve -q --test supervision --test swap --test hot_path
 
-echo "== serve audit: supervision + swap tests (serial feature)"
-cargo test -p taamr-serve --features serial -q --test supervision --test swap
+echo "== serve audit: supervision + swap + hot-path tests (serial feature)"
+cargo test -p taamr-serve --features serial -q --test supervision --test swap --test hot_path
 
 # Scale audit: sharded scoring must be bitwise invisible — the shard-
 # streaming drivers and the default-plan drivers land on identical lists

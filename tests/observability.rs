@@ -97,6 +97,24 @@ fn instrumented_run_is_bitwise_identical_at_1_and_8_threads() {
             let span = telemetry.span(stage).unwrap_or_else(|| panic!("span {stage} missing"));
             assert!(span.count > 0 && span.total_ns > 0, "span {stage} must record time");
         }
+        // The serve hot-path counters (schema v8) must be *declared*
+        // scheduling-dependent: whether two concurrent requests coalesce
+        // into one batch or land as a cache hit is a wall-clock race, so
+        // promising thread invariance for them would make this very test
+        // flaky the moment a serve workload joins the experiment.
+        for c in [
+            Counter::ServeCacheHits,
+            Counter::ServeCacheMisses,
+            Counter::ServeCacheEvictions,
+            Counter::ServeCoalescedBatches,
+            Counter::ServeCoalescedRequests,
+        ] {
+            assert!(
+                !c.thread_invariant(),
+                "serve counter {} must be declared scheduling-dependent",
+                c.name()
+            );
+        }
         // Keep only the counters that promise thread invariance: the scratch
         // gauges legitimately differ with scheduling (each thread warms its
         // own buffers), the serve counters count wall-clock races by
